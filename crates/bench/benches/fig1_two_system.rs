@@ -1,0 +1,15 @@
+//! Criterion wrapper for E1 (Figure 1): two hosts, one DIF.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_two_system");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(5));
+    g.bench_function("alloc+transfer", |b| {
+        b.iter(|| rina_bench::e1_fig1::run(0, 100));
+    });
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Criterion wrapper for E2 (Figure 2): relayed IPC through a router.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_relay");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(5));
+    g.bench_function("one-relay", |b| {
+        b.iter(|| rina_bench::e1_fig1::run(1, 101));
+    });
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Criterion wrapper for E3 (Figure 3): scoped wireless DIF vs e2e-only.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_scoped_layers");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(5));
+    for (name, scoped) in [("e2e-only", false), ("scoped", true)] {
+        g.bench_function(name, |b| {
+            b.iter(|| rina_bench::e3_fig3::run(0.2, scoped, 200));
+        });
+    }
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

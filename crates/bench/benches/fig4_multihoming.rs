@@ -1,0 +1,14 @@
+//! Criterion wrapper for E4 (Figure 4): multihoming failover, both stacks.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_multihoming");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(5));
+    g.bench_function("rina", |b| b.iter(|| rina_bench::e4_fig4::run_rina(300)));
+    g.bench_function("inet", |b| b.iter(|| rina_bench::e4_fig4::run_inet(300)));
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Criterion wrapper for E5 (Figure 5): handoff, RINA vs Mobile-IP.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_mobility");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(5));
+    g.bench_function("rina", |b| b.iter(|| rina_bench::e5_fig5::run_rina(400)));
+    g.bench_function("mobile-ip", |b| b.iter(|| rina_bench::e5_fig5::run_inet(400)));
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Criterion wrapper for E6 (§6.5): flat vs hierarchical routing state.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scalability");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(5));
+    g.bench_function("flat-3x4", |b| b.iter(|| rina_bench::e6_scale::run(3, 4, true, 500)));
+    g.bench_function("hier-3x4", |b| b.iter(|| rina_bench::e6_scale::run(3, 4, false, 500)));
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Criterion wrapper for E7 (§6.1): attack surface.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("security_surface");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(5));
+    g.bench_function("inet-scan", |b| b.iter(|| rina_bench::e7_security::run_inet(600)));
+    g.bench_function("rina-access-control", |b| {
+        b.iter(|| rina_bench::e7_security::run_rina_access_control(601));
+    });
+    g.bench_function("rina-private-dif", |b| {
+        b.iter(|| rina_bench::e7_security::run_rina_private(602));
+    });
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

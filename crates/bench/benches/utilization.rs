@@ -1,0 +1,14 @@
+//! Criterion wrapper for E9: utilization and QoS-class protection.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("utilization");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(5));
+    g.bench_function("fifo-1.1", |b| b.iter(|| rina_bench::e9_util::run(1.1, false, 800)));
+    g.bench_function("priority-1.1", |b| b.iter(|| rina_bench::e9_util::run(1.1, true, 800)));
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,165 @@
+//! Regenerate every table/figure of the reproduction. Prints markdown
+//! tables (the source of EXPERIMENTS.md) and writes `results.json`.
+//!
+//! Usage: `cargo run --release -p rina-bench --bin experiments [--quick]`
+
+use rina_bench::*;
+use serde::Serialize;
+
+#[derive(Serialize, Default)]
+struct Results {
+    e1_fig1: Vec<e1_fig1::Fig1Row>,
+    e3_fig3: Vec<e3_fig3::Fig3Row>,
+    e4_fig4: Vec<e4_fig4::Fig4Row>,
+    e5_fig5: Vec<e5_fig5::Fig5Row>,
+    e6_scale: Vec<e6_scale::ScaleRow>,
+    e7_security: Vec<e7_security::SecurityRow>,
+    e8_enroll: Vec<e8_enroll::EnrollRow>,
+    e9_util: Vec<e9_util::UtilRow>,
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut out = Results::default();
+
+    println!("## E1/E2 — Figures 1 & 2: two-system and relayed IPC\n");
+    println!("| scenario | relays | alloc latency (s) | RTT mean (s) | goodput (Mb/s) | relayed PDUs | hdr overhead (B) |");
+    println!("|---|---|---|---|---|---|---|");
+    for relays in [0usize, 1, 3] {
+        let r = e1_fig1::run(relays, 100 + relays as u64);
+        println!(
+            "| {} | {} | {} | {} | {} | {} | {} |",
+            r.scenario,
+            r.relays,
+            fmt(r.alloc_latency_s),
+            fmt(r.rtt_mean_s),
+            fmt(r.goodput_mbps),
+            r.relayed_pdus,
+            r.overhead_bytes
+        );
+        out.e1_fig1.push(r);
+    }
+
+    println!("\n## E3 — Figure 3: an extra DIF scoped to the lossy segment\n");
+    println!("| P(bad) | config | delivered | goodput (Mb/s) | lat mean (s) | lat p99 (s) |");
+    println!("|---|---|---|---|---|---|");
+    let pbads: &[f64] = if quick { &[0.0, 0.25] } else { &[0.0, 0.1, 0.2, 0.3] };
+    for &p in pbads {
+        for scoped in [false, true] {
+            let r = e3_fig3::run(p, scoped, 200);
+            println!(
+                "| {} | {} | {} | {} | {} | {} |",
+                fmt(r.p_bad),
+                r.config,
+                r.delivered,
+                fmt(r.goodput_mbps),
+                fmt(r.latency_mean_s),
+                fmt(r.latency_p99_s)
+            );
+            out.e3_fig3.push(r);
+        }
+    }
+
+    println!("\n## E4 — Figure 4 / §6.3: multihoming failover\n");
+    println!("| stack | flow survived | outage (s) | delivered/2000 | conn failures |");
+    println!("|---|---|---|---|---|");
+    for r in [e4_fig4::run_rina(300), e4_fig4::run_inet(300)] {
+        println!(
+            "| {} | {} | {} | {} | {} |",
+            r.stack,
+            r.flow_survived,
+            fmt(r.outage_s),
+            r.delivered,
+            r.conn_failures
+        );
+        out.e4_fig4.push(r);
+    }
+
+    println!("\n## E5 — Figure 5 / §6.4: mobility\n");
+    println!("| stack | handoff gap (s) | flow survived | update/tunnel msgs | delivered/3000 |");
+    println!("|---|---|---|---|---|");
+    for r in [e5_fig5::run_rina(400), e5_fig5::run_inet(400)] {
+        println!(
+            "| {} | {} | {} | {} | {} |",
+            r.stack,
+            fmt(r.handoff_gap_s),
+            r.flow_survived,
+            r.update_msgs,
+            r.delivered
+        );
+        out.e5_fig5.push(r);
+    }
+
+    println!("\n## E6 — §6.5: routing state, flat vs hierarchical\n");
+    println!("| regions×hosts | config | fwd mean | fwd max | RIEP msgs | e2e ok |");
+    println!("|---|---|---|---|---|---|");
+    let sizes: &[(usize, usize)] = if quick { &[(3, 4)] } else { &[(3, 4), (4, 8), (6, 12)] };
+    for &(rg, h) in sizes {
+        for flat in [true, false] {
+            let r = e6_scale::run(rg, h, flat, 500);
+            println!(
+                "| {}×{} | {} | {} | {} | {} | {} |",
+                r.regions,
+                r.hosts_per_region,
+                r.config,
+                fmt(r.fwd_mean),
+                r.fwd_max,
+                r.rib_msgs,
+                r.e2e_ok
+            );
+            out.e6_scale.push(r);
+        }
+    }
+
+    println!("\n## E7 — §6.1: attack surface\n");
+    println!("| stack | probes | information leaks | attacker payloads delivered |");
+    println!("|---|---|---|---|");
+    for r in [
+        e7_security::run_inet(600),
+        e7_security::run_rina_access_control(601),
+        e7_security::run_rina_private(602),
+    ] {
+        println!("| {} | {} | {} | {} |", r.stack, r.probes, r.leaks, r.payloads_delivered);
+        out.e7_security.push(r);
+    }
+
+    println!("\n## E8 — §5.2: enrollment cost\n");
+    println!("| members | assemble (s) | mgmt msgs | per member |");
+    println!("|---|---|---|---|");
+    let ks: &[usize] = if quick { &[4, 8] } else { &[2, 4, 8, 16, 32] };
+    for &k in ks {
+        let r = e8_enroll::run(k, 700 + k as u64);
+        println!(
+            "| {} | {} | {} | {} |",
+            r.members,
+            fmt(r.assemble_s),
+            r.mgmt_msgs,
+            fmt(r.mgmt_per_member)
+        );
+        out.e8_enroll.push(r);
+    }
+
+    println!("\n## E9 — intro item 5 / §6.2 / §6.6: utilization & QoS classes\n");
+    println!("| offered load | sched | utilization | inter lat mean (s) | inter lat p99 (s) | bulk (Mb/s) |");
+    println!("|---|---|---|---|---|---|");
+    let loads: &[f64] = if quick { &[0.9, 1.1] } else { &[0.5, 0.8, 0.95, 1.1] };
+    for &load in loads {
+        for prio in [false, true] {
+            let r = e9_util::run(load, prio, 800);
+            println!(
+                "| {} | {} | {} | {} | {} | {} |",
+                fmt(r.offered_load),
+                r.sched,
+                fmt(r.utilization),
+                fmt(r.inter_lat_mean_s),
+                fmt(r.inter_lat_p99_s),
+                fmt(r.bulk_mbps)
+            );
+            out.e9_util.push(r);
+        }
+    }
+
+    let json = serde_json::to_string_pretty(&out).expect("serialize");
+    std::fs::write("results.json", json).ok();
+    println!("\n(results.json written)");
+}

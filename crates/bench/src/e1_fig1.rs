@@ -1,0 +1,127 @@
+//! E1 (Figure 1) + E2 (Figure 2): the elemental scenarios.
+//!
+//! Two hosts on one wire (Fig 1), then two hosts joined by a relaying
+//! router (Fig 2). Reported: flow-allocation latency (by *name*), RTT,
+//! goodput, relay activity, and per-PDU header overhead per layer.
+
+use rina::apps::{EchoApp, PingApp, SinkApp, SourceApp};
+use rina::prelude::*;
+use serde::Serialize;
+
+/// Result of the two-system / relay scenarios.
+#[derive(Debug, Serialize)]
+pub struct Fig1Row {
+    /// Scenario name.
+    pub scenario: &'static str,
+    /// Number of relaying members on the path.
+    pub relays: usize,
+    /// Time from allocation request to flow active (seconds).
+    pub alloc_latency_s: f64,
+    /// Mean application RTT (seconds).
+    pub rtt_mean_s: f64,
+    /// Bulk goodput (Mbit/s) over the transfer.
+    pub goodput_mbps: f64,
+    /// PDUs relayed by intermediate members.
+    pub relayed_pdus: u64,
+    /// Wire overhead per data PDU at the top DIF (bytes).
+    pub overhead_bytes: usize,
+}
+
+/// Run Figure 1 (relays = 0) or Figure 2 (relays = 1) style chains.
+pub fn run(relays: usize, seed: u64) -> Fig1Row {
+    let mut b = NetBuilder::new(seed);
+    let n = relays + 2;
+    let nodes: Vec<usize> = (0..n).map(|i| b.node(&format!("n{i}"))).collect();
+    let links: Vec<usize> = (0..n - 1)
+        .map(|i| b.link(nodes[i], nodes[i + 1], LinkCfg::wired()))
+        .collect();
+    let d = b.dif(DifConfig::new("net"));
+    for &nd in &nodes {
+        b.join(d, nd);
+    }
+    for i in 0..n - 1 {
+        b.adjacency_over_link(d, nodes[i], nodes[i + 1], links[i]);
+    }
+    let last = nodes[n - 1];
+    b.app(last, AppName::new("echo"), d, EchoApp::default());
+    b.app(last, AppName::new("sink"), d, SinkApp::default());
+    let ping = b.app(
+        nodes[0],
+        AppName::new("ping"),
+        d,
+        PingApp::new(AppName::new("echo"), QosSpec::reliable(), 20, 64),
+    );
+    let src = b.app(
+        nodes[0],
+        AppName::new("src"),
+        d,
+        SourceApp::new(AppName::new("sink"), QosSpec::reliable(), 1200, 2000, Dur::ZERO),
+    );
+    let relay_ipcps: Vec<(usize, usize)> = nodes[1..n - 1]
+        .iter()
+        .map(|&nd| (nd, b.ipcp_of(d, nd)))
+        .collect();
+    let mut net = b.build();
+    net.run_until_assembled(Dur::from_secs(30), Dur::from_millis(200));
+    net.run_for(Dur::from_secs(20));
+
+    let p: &PingApp = net.node(nodes[0]).app(ping);
+    let alloc = match (p.alloc_requested, p.alloc_done) {
+        (Some(a), Some(b)) => b.since(a).as_secs_f64(),
+        _ => f64::NAN,
+    };
+    let rtt = if p.rtts.is_empty() {
+        f64::NAN
+    } else {
+        p.rtts.iter().sum::<f64>() / p.rtts.len() as f64
+    };
+    let s: &SourceApp = net.node(nodes[0]).app(src);
+    let sink: &SinkApp = net.node(last).app(1);
+    let dur = sink
+        .last_arrival
+        .since(s.flow_up_at.unwrap_or(Time::ZERO))
+        .as_secs_f64();
+    let goodput = if dur > 0.0 { sink.bytes as f64 * 8.0 / dur / 1e6 } else { 0.0 };
+    let relayed = relay_ipcps
+        .iter()
+        .map(|&(nd, ip)| net.node(nd).ipcp(ip).stats.relayed)
+        .sum();
+
+    // Header overhead of a representative top-DIF data PDU.
+    let pdu = rina_wire::Pdu::Data(rina_wire::DataPdu {
+        dest_addr: 2,
+        src_addr: 1,
+        qos_id: 1,
+        dest_cep: 3,
+        src_cep: 4,
+        seq: 1000,
+        flags: 0,
+        ttl: 64,
+        payload: bytes::Bytes::from_static(&[0u8; 64]),
+    });
+
+    Fig1Row {
+        scenario: if relays == 0 { "fig1-two-hosts" } else { "fig2-relay" },
+        relays,
+        alloc_latency_s: alloc,
+        rtt_mean_s: rtt,
+        goodput_mbps: goodput,
+        relayed_pdus: relayed,
+        overhead_bytes: pdu.overhead(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fig1_and_fig2_shapes() {
+        let r0 = super::run(0, 1);
+        assert!(r0.alloc_latency_s < 0.1, "alloc {}", r0.alloc_latency_s);
+        assert!(r0.rtt_mean_s > 0.002 && r0.rtt_mean_s < 0.1);
+        assert!(r0.goodput_mbps > 1.0);
+        assert_eq!(r0.relayed_pdus, 0);
+        let r1 = super::run(1, 2);
+        assert!(r1.relayed_pdus > 0, "router relayed");
+        assert!(r1.rtt_mean_s > r0.rtt_mean_s, "extra hop adds delay");
+    }
+}

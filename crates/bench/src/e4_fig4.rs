@@ -1,0 +1,236 @@
+//! E4 (Figure 4, §6.3): multihoming failover.
+//!
+//! A dual-homed destination loses its primary point of attachment
+//! mid-flow. RINA: the node address never changes, forwarding rebinds to
+//! the surviving (N-1) path, the flow lives. Baseline: the TCP connection
+//! is bound to the dead interface address; it must fail and be re-dialed.
+
+use bytes::Bytes;
+use inet::{Cidr, InetApi, InetApp, InetNode, IpAddr, SockId};
+use rina::apps::{SinkApp, SourceApp};
+use rina::prelude::*;
+use serde::Serialize;
+
+/// Result of one failover run.
+#[derive(Debug, Serialize)]
+pub struct Fig4Row {
+    /// Which stack.
+    pub stack: &'static str,
+    /// Did the original flow/connection survive the PoA failure?
+    pub flow_survived: bool,
+    /// Longest delivery gap around the failure (s).
+    pub outage_s: f64,
+    /// Messages delivered in total (of 2000).
+    pub delivered: u64,
+    /// Application-visible connection failures.
+    pub conn_failures: u64,
+}
+
+/// RINA side: the multihoming scenario of the stack tests, measured.
+pub fn run_rina(seed: u64) -> Fig4Row {
+    let mut b = NetBuilder::new(seed);
+    let src = b.node("src");
+    let r1 = b.node("r1");
+    let r2 = b.node("r2");
+    let dst = b.node("dst");
+    let l_s1 = b.link(src, r1, LinkCfg::wired());
+    let l_s2 = b.link(src, r2, LinkCfg::wired());
+    let l_1d = b.link(r1, dst, LinkCfg::wired());
+    let l_2d = b.link(r2, dst, LinkCfg::wired());
+    let d = b.dif(DifConfig::new("net").with_hello_period(Dur::from_millis(50)));
+    b.join(d, r1);
+    b.join(d, src);
+    b.join(d, r2);
+    b.join(d, dst);
+    b.adjacency_over_link(d, src, r1, l_s1);
+    b.adjacency_over_link(d, src, r2, l_s2);
+    b.adjacency_over_link(d, r1, dst, l_1d);
+    b.adjacency_over_link(d, r2, dst, l_2d);
+    b.app(dst, AppName::new("sink"), d, SinkApp::default());
+    let s = b.app(
+        src,
+        AppName::new("src"),
+        d,
+        SourceApp::new(AppName::new("sink"), QosSpec::reliable(), 256, 2000, Dur::from_millis(2)),
+    );
+    let mut net = b.build();
+    net.run_until_assembled(Dur::from_secs(10), Dur::from_millis(300));
+    net.run_for(Dur::from_secs(2));
+    let fails_before = net.node(src).app::<SourceApp>(s).alloc_failures;
+    net.set_link_up(l_1d, false);
+    net.set_link_up(l_s1, false);
+    let t_fail = net.sim.now();
+    // Sample arrivals to find the outage gap.
+    let mut last_count = net.node(dst).app::<SinkApp>(0).received;
+    let mut last_progress = t_fail;
+    let mut outage = 0.0f64;
+    for _ in 0..240 {
+        net.run_for(Dur::from_millis(50));
+        let c = net.node(dst).app::<SinkApp>(0).received;
+        if c > last_count {
+            outage = outage.max(net.sim.now().since(last_progress).as_secs_f64());
+            last_count = c;
+            last_progress = net.sim.now();
+        }
+        if net.node(src).app::<SourceApp>(s).completed && c >= 2000 {
+            break;
+        }
+    }
+    let src_app: &SourceApp = net.node(src).app(s);
+    Fig4Row {
+        stack: "rina",
+        flow_survived: src_app.alloc_failures == fails_before,
+        outage_s: outage,
+        delivered: net.node(dst).app::<SinkApp>(0).received,
+        conn_failures: src_app.alloc_failures - fails_before,
+    }
+}
+
+/// Baseline client used by the inet failover scenario.
+struct FailClient {
+    dst: IpAddr,
+    count: u64,
+    pub sent: u64,
+    pub acked: u64,
+    pub failures: u64,
+    sock: Option<SockId>,
+}
+const K_DIAL: u64 = 1;
+const K_SEND: u64 = 2;
+impl InetApp for FailClient {
+    fn on_start(&mut self, api: &mut InetApi<'_, '_, '_>) {
+        api.timer_in(rina_sim::Dur::from_millis(10), K_DIAL);
+    }
+    fn on_timer(&mut self, key: u64, api: &mut InetApi<'_, '_, '_>) {
+        match key {
+            K_DIAL => {
+                if self.sock.is_none() {
+                    self.sock = api.connect(self.dst, 80);
+                    if self.sock.is_none() {
+                        api.timer_in(rina_sim::Dur::from_millis(100), K_DIAL);
+                    }
+                }
+            }
+            K_SEND => {
+                let Some(sock) = self.sock else { return };
+                if self.sent >= self.count {
+                    return;
+                }
+                match api.send(sock, Bytes::from(vec![0u8; 200])) {
+                    Ok(()) => {
+                        self.sent += 1;
+                        api.timer_in(rina_sim::Dur::from_millis(2), K_SEND);
+                    }
+                    Err(_) => api.timer_in(rina_sim::Dur::from_millis(10), K_SEND),
+                }
+            }
+            _ => {}
+        }
+    }
+    fn on_connected(&mut self, _s: SockId, _p: (IpAddr, u16), api: &mut InetApi<'_, '_, '_>) {
+        api.timer_in(rina_sim::Dur::ZERO, K_SEND);
+    }
+    fn on_data(&mut self, _s: SockId, _d: Bytes, _api: &mut InetApi<'_, '_, '_>) {
+        self.acked += 1;
+    }
+    fn on_conn_failed(&mut self, _s: SockId, api: &mut InetApi<'_, '_, '_>) {
+        self.failures += 1;
+        self.sock = None;
+        self.sent = self.acked;
+        api.timer_in(rina_sim::Dur::from_millis(50), K_DIAL);
+    }
+}
+
+/// Echo-ish server counting arrivals.
+#[derive(Default)]
+struct CountServer {
+    received: u64,
+    last_arrival_ns: u64,
+}
+impl InetApp for CountServer {
+    fn on_start(&mut self, api: &mut InetApi<'_, '_, '_>) {
+        api.listen(80);
+    }
+    fn on_data(&mut self, sock: SockId, data: Bytes, api: &mut InetApi<'_, '_, '_>) {
+        self.received += 1;
+        self.last_arrival_ns = api.now().nanos();
+        let _ = api.send(sock, data);
+    }
+}
+
+/// Baseline side: same square topology, dual-homed *client* whose primary
+/// interface dies.
+pub fn run_inet(seed: u64) -> Fig4Row {
+    let ip = IpAddr::new;
+    let net24 = |a, b, c| Cidr::new(ip(a, b, c, 0), 24);
+    let mut sim = rina_sim::Sim::new(seed);
+    let mut ch = InetNode::new("client", false);
+    let mut r1 = InetNode::new("r1", true);
+    let mut r2 = InetNode::new("r2", true);
+    let mut sv = InetNode::new("server", false);
+    ch.add_iface(ip(10, 0, 1, 1), net24(10, 0, 1));
+    ch.add_iface(ip(10, 0, 3, 1), net24(10, 0, 3));
+    ch.add_route(Cidr::default_route(), 0, 0);
+    ch.add_route(Cidr::default_route(), 1, 1);
+    r1.add_iface(ip(10, 0, 1, 2), net24(10, 0, 1));
+    r1.add_iface(ip(10, 0, 2, 3), net24(10, 0, 2));
+    r2.add_iface(ip(10, 0, 3, 2), net24(10, 0, 3));
+    r2.add_iface(ip(10, 0, 2, 4), net24(10, 0, 2));
+    sv.add_iface(ip(10, 0, 2, 1), net24(10, 0, 2));
+    sv.add_route(net24(10, 0, 1), 0, 0);
+    sv.add_route(net24(10, 0, 3), 0, 0);
+    let c_app = ch.add_app(FailClient { dst: ip(10, 0, 2, 1), count: 2000, sent: 0, acked: 0, failures: 0, sock: None });
+    let s_app = sv.add_app(CountServer::default());
+    let nc = sim.add_node(ch);
+    let n1 = sim.add_node(r1);
+    let n2 = sim.add_node(r2);
+    let ns = sim.add_node(sv);
+    let (l_primary, _, _) = sim.connect(nc, n1, LinkCfg::wired());
+    sim.connect(nc, n2, LinkCfg::wired());
+    sim.connect(n1, ns, LinkCfg::wired());
+    sim.connect(n2, n1, LinkCfg::wired());
+    sim.agent_mut::<InetNode>(n2).add_route(net24(10, 0, 2), 2, 0);
+    sim.agent_mut::<InetNode>(n1).add_route(net24(10, 0, 3), 2, 0);
+
+    sim.run_until(Time::from_secs(2));
+    sim.set_link_up(l_primary, false);
+    let t_fail = sim.now();
+    let mut last_count = sim.agent::<InetNode>(ns).app::<CountServer>(s_app).received;
+    let mut last_progress = t_fail;
+    let mut outage = 0.0f64;
+    for _ in 0..1200 {
+        let t = sim.now() + Dur::from_millis(50);
+        sim.run_until(t);
+        let c = sim.agent::<InetNode>(ns).app::<CountServer>(s_app).received;
+        if c > last_count {
+            outage = outage.max(sim.now().since(last_progress).as_secs_f64());
+            last_count = c;
+            last_progress = sim.now();
+        }
+        let cl = sim.agent::<InetNode>(nc).app::<FailClient>(c_app);
+        if cl.acked >= 2000 {
+            break;
+        }
+    }
+    let cl = sim.agent::<InetNode>(nc).app::<FailClient>(c_app);
+    Fig4Row {
+        stack: "inet(tcp)",
+        flow_survived: cl.failures == 0,
+        outage_s: outage,
+        delivered: sim.agent::<InetNode>(ns).app::<CountServer>(s_app).received.min(2000),
+        conn_failures: cl.failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn rina_survives_inet_does_not() {
+        let r = super::run_rina(31);
+        assert!(r.flow_survived);
+        assert_eq!(r.delivered, 2000);
+        let i = super::run_inet(31);
+        assert!(!i.flow_survived, "TCP must break: {i:?}");
+        assert!(i.outage_s > r.outage_s, "baseline outage {} vs rina {}", i.outage_s, r.outage_s);
+    }
+}

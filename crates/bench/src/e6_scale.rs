@@ -1,0 +1,211 @@
+//! E6 (§6.5): scalability by repeating private address spaces.
+//!
+//! The same physical ISP-tree is covered either by **one flat DIF** (every
+//! router and host in a single routing scope — the current-Internet shape)
+//! or **hierarchically**: one small DIF per region, a backbone DIF over
+//! the region borders, and a host-facing internet DIF whose adjacencies
+//! ride the lower DIFs. The paper predicts the repeating structure keeps
+//! per-member routing state and update traffic bounded by the *scope*, not
+//! the internetwork (§6.5).
+
+use rina::apps::{PingApp, EchoApp};
+use rina::prelude::*;
+use serde::Serialize;
+
+/// Result of one scalability cell.
+#[derive(Debug, Serialize)]
+pub struct ScaleRow {
+    /// Regions × hosts-per-region.
+    pub regions: usize,
+    /// Hosts per region.
+    pub hosts_per_region: usize,
+    /// Layering.
+    pub config: &'static str,
+    /// Mean forwarding-table entries per IPC process (non-shim).
+    pub fwd_mean: f64,
+    /// Largest forwarding table anywhere.
+    pub fwd_max: usize,
+    /// Total RIEP messages sent during assembly + settle.
+    pub rib_msgs: u64,
+    /// Cross-internetwork reachability verified.
+    pub e2e_ok: bool,
+}
+
+struct Built {
+    net: Net,
+    ipcps: Vec<(usize, usize)>,
+    ping_node: usize,
+    ping_app: usize,
+}
+
+/// Physical topology: `regions` stars of `hosts` leaves, region routers
+/// chained as a backbone line.
+fn build(regions: usize, hosts: usize, flat: bool, seed: u64) -> Built {
+    let mut b = NetBuilder::new(seed);
+    let routers: Vec<usize> = (0..regions).map(|r| b.node(&format!("r{r}"))).collect();
+    let mut host_ids = vec![];
+    let mut host_links = vec![];
+    for (r, &router) in routers.iter().enumerate() {
+        let mut row = vec![];
+        let mut lrow = vec![];
+        for h in 0..hosts {
+            let id = b.node(&format!("h{r}x{h}"));
+            let l = b.link(router, id, LinkCfg::wired());
+            row.push(id);
+            lrow.push(l);
+        }
+        host_ids.push(row);
+        host_links.push(lrow);
+    }
+    let backbone_links: Vec<usize> = (1..regions)
+        .map(|r| b.link(routers[r - 1], routers[r], LinkCfg::wired()))
+        .collect();
+
+    let mut ipcps: Vec<(usize, usize)> = vec![];
+    if flat {
+        let d = b.dif(DifConfig::new("flat"));
+        for &r in &routers {
+            b.join(d, r);
+        }
+        for row in &host_ids {
+            for &h in row {
+                b.join(d, h);
+            }
+        }
+        for r in 1..regions {
+            b.adjacency_over_link(d, routers[r - 1], routers[r], backbone_links[r - 1]);
+        }
+        for (r, row) in host_ids.iter().enumerate() {
+            for (h, &host) in row.iter().enumerate() {
+                b.adjacency_over_link(d, routers[r], host, host_links[r][h]);
+            }
+        }
+        b.app(host_ids[0][0], AppName::new("echo"), d, EchoApp::default());
+        let ping = b.app(
+            host_ids[regions - 1][hosts - 1],
+            AppName::new("ping"),
+            d,
+            PingApp::new(AppName::new("echo"), QosSpec::reliable(), 3, 32),
+        );
+        for &r in &routers {
+            ipcps.push((r, b.ipcp_of(d, r)));
+        }
+        for row in &host_ids {
+            for &h in row {
+                ipcps.push((h, b.ipcp_of(d, h)));
+            }
+        }
+        let net = b.build();
+        return Built { net, ipcps, ping_node: host_ids[regions - 1][hosts - 1], ping_app: ping };
+    }
+
+    // Hierarchical: per-region DIFs (router + its hosts), a backbone DIF
+    // (routers only), and the internet DIF whose members are hosts and
+    // routers but whose adjacencies ride the lower DIFs — so its graph is
+    // star-of-stars with tiny diameter, and the lower DIFs never see
+    // internet-wide state.
+    let mut region_difs = vec![];
+    for (r, row) in host_ids.iter().enumerate() {
+        let d = b.dif(DifConfig::new(&format!("region{r}")));
+        b.join(d, routers[r]);
+        for &h in row {
+            b.join(d, h);
+        }
+        for (h, &host) in row.iter().enumerate() {
+            b.adjacency_over_link(d, routers[r], host, host_links[r][h]);
+        }
+        region_difs.push(d);
+        for &h in row {
+            ipcps.push((h, b.ipcp_of(d, h)));
+        }
+        ipcps.push((routers[r], b.ipcp_of(d, routers[r])));
+    }
+    let backbone = b.dif(DifConfig::new("backbone"));
+    for &r in &routers {
+        b.join(backbone, r);
+    }
+    for r in 1..regions {
+        b.adjacency_over_link(backbone, routers[r - 1], routers[r], backbone_links[r - 1]);
+    }
+    for &r in &routers {
+        ipcps.push((r, b.ipcp_of(backbone, r)));
+    }
+    // The internet DIF: hosts attach to their region router via the region
+    // DIF; routers interconnect via the backbone DIF.
+    let inet_dif = b.dif(DifConfig::new("internet"));
+    for &r in &routers {
+        b.join(inet_dif, r);
+    }
+    for row in &host_ids {
+        for &h in row {
+            b.join(inet_dif, h);
+        }
+    }
+    for r in 1..regions {
+        b.adjacency(inet_dif, routers[r - 1], routers[r], Via::Dif(backbone), QosSpec::datagram());
+    }
+    for (r, row) in host_ids.iter().enumerate() {
+        for &host in row {
+            b.adjacency(inet_dif, routers[r], host, Via::Dif(region_difs[r]), QosSpec::datagram());
+        }
+    }
+    b.app(host_ids[0][0], AppName::new("echo"), inet_dif, EchoApp::default());
+    let ping = b.app(
+        host_ids[regions - 1][hosts - 1],
+        AppName::new("ping"),
+        inet_dif,
+        PingApp::new(AppName::new("echo"), QosSpec::reliable(), 3, 32),
+    );
+    for &r in &routers {
+        ipcps.push((r, b.ipcp_of(inet_dif, r)));
+    }
+    for row in &host_ids {
+        for &h in row {
+            ipcps.push((h, b.ipcp_of(inet_dif, h)));
+        }
+    }
+    let net = b.build();
+    Built { net, ipcps, ping_node: host_ids[regions - 1][hosts - 1], ping_app: ping }
+}
+
+/// Run one cell.
+pub fn run(regions: usize, hosts: usize, flat: bool, seed: u64) -> ScaleRow {
+    let Built { mut net, ipcps, ping_node, ping_app } = build(regions, hosts, flat, seed);
+    net.run_until_assembled(Dur::from_secs(120), Dur::from_secs(1));
+    net.run_for(Dur::from_secs(3));
+    let mut fwd_sum = 0usize;
+    let mut fwd_max = 0usize;
+    let mut rib = 0u64;
+    for &(n, i) in &ipcps {
+        let ip = net.node(n).ipcp(i);
+        fwd_sum += ip.fwd.len();
+        fwd_max = fwd_max.max(ip.fwd.len());
+        rib += ip.stats.rib_tx;
+    }
+    let e2e_ok = net.node(ping_node).app::<PingApp>(ping_app).done();
+    ScaleRow {
+        regions,
+        hosts_per_region: hosts,
+        config: if flat { "flat" } else { "hierarchical" },
+        fwd_mean: fwd_sum as f64 / ipcps.len() as f64,
+        fwd_max,
+        rib_msgs: rib,
+        e2e_ok,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn hierarchy_bounds_state() {
+        let flat = super::run(3, 4, true, 51);
+        let hier = super::run(3, 4, false, 51);
+        assert!(flat.e2e_ok && hier.e2e_ok);
+        // Flat: every member's table covers the whole internetwork.
+        assert!(flat.fwd_max >= 3 + 3 * 4 - 1);
+        // Hierarchical: the *largest* table still sees internet members
+        // (the internet DIF), but the mean drops because regional and
+        // backbone members are scoped.
+        assert!(hier.fwd_mean < flat.fwd_mean, "hier {} flat {}", hier.fwd_mean, flat.fwd_mean);
+    }
+}

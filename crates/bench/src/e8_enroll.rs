@@ -1,0 +1,65 @@
+//! E8 (§5.2): the cost of joining a DIF.
+//!
+//! A chain of members enrolls one hop at a time from the bootstrap.
+//! Reported: time for the whole facility to assemble and management
+//! messages per member — enrollment is a handshake plus a RIB sync, so
+//! cost should grow roughly linearly in members (with the sync set).
+
+use rina::prelude::*;
+use serde::Serialize;
+
+/// One row of the enrollment sweep.
+#[derive(Debug, Serialize)]
+pub struct EnrollRow {
+    /// DIF size (members).
+    pub members: usize,
+    /// Virtual time until every member enrolled and adjacencies held (s).
+    pub assemble_s: f64,
+    /// Management PDUs sent in total during assembly.
+    pub mgmt_msgs: u64,
+    /// Management PDUs per member.
+    pub mgmt_per_member: f64,
+}
+
+/// Enroll a `k`-member chain and measure.
+pub fn run(k: usize, seed: u64) -> EnrollRow {
+    let mut b = NetBuilder::new(seed);
+    let nodes: Vec<usize> = (0..k).map(|i| b.node(&format!("n{i}"))).collect();
+    let links: Vec<usize> = (1..k)
+        .map(|i| b.link(nodes[i - 1], nodes[i], LinkCfg::wired()))
+        .collect();
+    let d = b.dif(DifConfig::new("net"));
+    for &n in &nodes {
+        b.join(d, n);
+    }
+    for i in 1..k {
+        b.adjacency_over_link(d, nodes[i - 1], nodes[i], links[i - 1]);
+    }
+    let ipcps: Vec<(usize, usize)> = nodes.iter().map(|&n| (n, b.ipcp_of(d, n))).collect();
+    let mut net = b.build();
+    let t = net.run_until_assembled(Dur::from_secs(120), Dur::ZERO);
+    let mgmt: u64 = ipcps.iter().map(|&(n, i)| net.node(n).ipcp(i).stats.mgmt_tx).sum();
+    EnrollRow {
+        members: k,
+        assemble_s: t.as_secs_f64(),
+        mgmt_msgs: mgmt,
+        mgmt_per_member: mgmt as f64 / k as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn enrollment_scales_gently() {
+        let small = super::run(3, 71);
+        let big = super::run(9, 72);
+        assert!(big.assemble_s < 60.0, "assembled in {}", big.assemble_s);
+        // Per-member cost must not blow up combinatorially.
+        assert!(
+            big.mgmt_per_member < small.mgmt_per_member * 20.0,
+            "per-member {} vs {}",
+            big.mgmt_per_member,
+            small.mgmt_per_member
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! E9 (intro item 5, §6.2/§6.6): operating near capacity with per-scope
+//! multiplexing policy.
+//!
+//! Three application classes share one bottleneck link: interactive
+//! (urgent, small), and two bulk flows. With a FIFO best-effort relay
+//! (the current-Internet shape) interactive latency collapses as offered
+//! load approaches capacity. With the DIF's priority multiplexing the
+//! interactive class keeps its latency while the link still runs near
+//! full utilization — the "more resource management options than just
+//! over-provision" claim, and the basis of QoS-differentiated IPC
+//! services (§6.6's marketplace).
+
+use rina::apps::{SinkApp, SourceApp};
+use rina::prelude::*;
+use serde::Serialize;
+
+/// One row of the utilization sweep.
+#[derive(Debug, Serialize)]
+pub struct UtilRow {
+    /// Offered load as a fraction of bottleneck capacity.
+    pub offered_load: f64,
+    /// Relay scheduling policy.
+    pub sched: &'static str,
+    /// Achieved bottleneck utilization (delivered bits / capacity).
+    pub utilization: f64,
+    /// Interactive-class mean one-way latency (s).
+    pub inter_lat_mean_s: f64,
+    /// Interactive-class p99 one-way latency (s).
+    pub inter_lat_p99_s: f64,
+    /// Bulk goodput (Mbit/s).
+    pub bulk_mbps: f64,
+}
+
+/// Run one cell: two senders behind one 10 Mbit/s bottleneck.
+pub fn run(offered_load: f64, priority: bool, seed: u64) -> UtilRow {
+    let cap_bps = 10_000_000u64;
+    let mut b = NetBuilder::new(seed);
+    b.set_shim_sched(if priority { SchedPolicy::Priority } else { SchedPolicy::Fifo });
+    let src = b.node("src");
+    let gw = b.node("gw");
+    let dst = b.node("dst");
+    let l_in = b.link(src, gw, LinkCfg::wired());
+    let l_bottle = b.link(
+        gw,
+        dst,
+        LinkCfg::wired().with_bandwidth(cap_bps).with_delay(Dur::from_millis(5)),
+    );
+    let sched = if priority { SchedPolicy::Priority } else { SchedPolicy::Fifo };
+    let d = b.dif(DifConfig::new("net").with_sched(sched));
+    b.join(d, gw);
+    b.join(d, src);
+    b.join(d, dst);
+    b.adjacency_over_link(d, src, gw, l_in);
+    b.adjacency_over_link(d, gw, dst, l_bottle);
+
+    // NOTE: the shim at the bottleneck inherits the DIF's scheduling via
+    // the builder (each link's shim uses its own cfg) — the priority that
+    // matters is applied at the bottleneck's transmit queue.
+    b.app(dst, AppName::new("inter-sink"), d, SinkApp::default());
+    b.app(dst, AppName::new("bulk-sink"), d, SinkApp::default());
+
+    // Interactive: 200-byte SDUs at 200/s = 0.32 Mbit/s.
+    let inter = SourceApp::new(
+        AppName::new("inter-sink"),
+        QosSpec::interactive(),
+        200,
+        10_000,
+        Dur::from_millis(5),
+    );
+    b.app(src, AppName::new("inter"), d, inter);
+    // Bulk: fill the remainder of the offered load.
+    let bulk_bps = (offered_load * cap_bps as f64 - 320_000.0).max(100_000.0);
+    let sdu = 1200usize;
+    let interval_ns = (sdu as f64 * 8.0 / bulk_bps * 1e9) as u64;
+    let bulk = SourceApp::new(
+        AppName::new("bulk-sink"),
+        QosSpec::datagram(),
+        sdu,
+        1_000_000,
+        Dur::from_nanos(interval_ns.max(1)),
+    );
+    b.app(src, AppName::new("bulk"), d, bulk);
+
+    let mut net = b.build();
+    net.run_until_assembled(Dur::from_secs(10), Dur::from_millis(300));
+    let t0 = net.sim.now();
+    let run_s = 10u64;
+    net.run_for(Dur::from_secs(run_s));
+    let t1 = net.sim.now();
+    let secs = t1.since(t0).as_secs_f64();
+
+    let isink: &SinkApp = net.node(dst).app(0);
+    let bsink: &SinkApp = net.node(dst).app(1);
+    let delivered_bits = (isink.bytes + bsink.bytes) as f64 * 8.0;
+    UtilRow {
+        offered_load,
+        sched: if priority { "priority" } else { "fifo" },
+        utilization: delivered_bits / (cap_bps as f64 * secs),
+        inter_lat_mean_s: isink.latency.mean(),
+        inter_lat_p99_s: isink.latency.quantile(0.99),
+        bulk_mbps: bsink.bytes as f64 * 8.0 / secs / 1e6,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn priority_protects_interactive_at_high_load() {
+        let fifo = super::run(1.1, false, 81);
+        let prio = super::run(1.1, true, 81);
+        assert!(
+            prio.inter_lat_p99_s < fifo.inter_lat_p99_s,
+            "prio p99 {} vs fifo {}",
+            prio.inter_lat_p99_s,
+            fifo.inter_lat_p99_s
+        );
+        assert!(prio.utilization > 0.7, "still well utilized: {}", prio.utilization);
+    }
+}

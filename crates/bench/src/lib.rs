@@ -1,0 +1,35 @@
+//! # rina-bench — the experiment harness
+//!
+//! One module per experiment in DESIGN.md §4. Each builds its scenario on
+//! the shared simulator, runs it, and returns a typed result row. The
+//! `experiments` binary prints every table; the criterion benches wrap the
+//! same functions at reduced scale.
+//!
+//! The paper is a position paper: its "figures" are architecture diagrams
+//! and its claims are qualitative. What we reproduce is the predicted
+//! *shape* — who wins, where, and why — with the current-Internet
+//! architecture (`inet`) as baseline under identical physical conditions.
+
+#![warn(missing_docs)]
+
+pub mod e1_fig1;
+pub mod e3_fig3;
+pub mod e4_fig4;
+pub mod e5_fig5;
+pub mod e6_scale;
+pub mod e7_security;
+pub mod e8_enroll;
+pub mod e9_util;
+
+/// Format a floating value compactly for tables.
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}

@@ -1,0 +1,128 @@
+//! The application-facing IPC interface.
+//!
+//! This is the paper's whole point of contact between applications and the
+//! network (§3.1): an application *names* the destination application and
+//! states desired properties; it gets back an opaque, local [`PortId`].
+//! "Applications never see addresses" — nothing in [`IpcApi`] exposes one.
+//!
+//! Applications are event-driven state machines implementing
+//! [`AppProcess`]; the [`crate::node::Node`] invokes their callbacks and
+//! hands them an [`IpcApi`] for issuing requests.
+
+use crate::naming::{AppName, PortId};
+use crate::qos::QosSpec;
+use bytes::Bytes;
+use rina_sim::{Dur, Time};
+
+/// Callbacks of an application process. All are optional except [`AppProcess::on_sdu`]
+/// implementors typically react to flows and data.
+pub trait AppProcess: 'static {
+    /// The node started (simulation time zero for statically built nets).
+    fn on_start(&mut self, api: &mut IpcApi<'_, '_, '_>) {
+        let _ = api;
+    }
+
+    /// A remote application asks for a flow to this one. Return `false` to
+    /// refuse (the requester sees an allocation failure, §5.3's access
+    /// control step).
+    fn on_flow_requested(&mut self, from: &AppName) -> bool {
+        let _ = from;
+        true
+    }
+
+    /// A flow is ready. For flows this application requested, `handle` is
+    /// the value returned by [`IpcApi::allocate_flow`]; for flows allocated
+    /// *to* it, `handle` is 0.
+    fn on_flow_allocated(&mut self, handle: u64, port: PortId, peer: &AppName, api: &mut IpcApi<'_, '_, '_>) {
+        let _ = (handle, port, peer, api);
+    }
+
+    /// A flow allocation failed or an active flow died.
+    fn on_flow_failed(&mut self, handle: u64, reason: &str, api: &mut IpcApi<'_, '_, '_>) {
+        let _ = (handle, reason, api);
+    }
+
+    /// An SDU arrived on a flow.
+    fn on_sdu(&mut self, port: PortId, sdu: Bytes, api: &mut IpcApi<'_, '_, '_>) {
+        let _ = (port, sdu, api);
+    }
+
+    /// The peer deallocated a flow.
+    fn on_flow_closed(&mut self, port: PortId, api: &mut IpcApi<'_, '_, '_>) {
+        let _ = (port, api);
+    }
+
+    /// A timer armed with [`IpcApi::timer_in`] (or injected externally)
+    /// fired.
+    fn on_timer(&mut self, key: u64, api: &mut IpcApi<'_, '_, '_>) {
+        let _ = (key, api);
+    }
+}
+
+/// Why an [`IpcApi`] request was rejected synchronously.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IpcError {
+    /// The port does not exist or is not owned by this application.
+    BadPort,
+    /// The flow is not (or no longer) active.
+    NotActive,
+    /// The SDU exceeds the DIF's maximum SDU size or the flow pushed back.
+    Rejected,
+}
+
+impl std::fmt::Display for IpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            IpcError::BadPort => "bad port",
+            IpcError::NotActive => "flow not active",
+            IpcError::Rejected => "sdu rejected",
+        };
+        f.write_str(s)
+    }
+}
+impl std::error::Error for IpcError {}
+
+/// The distributed-IPC-facility interface handed to application callbacks.
+///
+/// Lifetimes: borrows the node core and the simulator context for the
+/// duration of one callback.
+pub struct IpcApi<'n, 'c, 'w> {
+    pub(crate) node: &'n mut crate::node::Node,
+    pub(crate) ctx: &'c mut rina_sim::Ctx<'w>,
+    pub(crate) app: usize,
+}
+
+impl IpcApi<'_, '_, '_> {
+    /// Request a flow to the application named `dst` with the desired
+    /// properties. Returns a handle; completion arrives later via
+    /// [`AppProcess::on_flow_allocated`] or [`AppProcess::on_flow_failed`].
+    pub fn allocate_flow(&mut self, dst: &AppName, spec: QosSpec) -> u64 {
+        self.node.api_allocate(self.app, dst.clone(), spec, self.ctx)
+    }
+
+    /// Send an SDU on an allocated flow.
+    pub fn write(&mut self, port: PortId, sdu: Bytes) -> Result<(), IpcError> {
+        self.node.api_write(self.app, port, sdu, self.ctx)
+    }
+
+    /// Release a flow.
+    pub fn deallocate(&mut self, port: PortId) {
+        self.node.api_deallocate(self.app, port, self.ctx);
+    }
+
+    /// Arm an application timer that fires [`AppProcess::on_timer`] with
+    /// `key` after `d`.
+    pub fn timer_in(&mut self, d: Dur, key: u64) {
+        self.node.api_timer(self.app, d, key, self.ctx);
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.ctx.now()
+    }
+
+    /// This application's own name.
+    pub fn my_name(&self) -> AppName {
+        self.node.app_name(self.app)
+    }
+}

@@ -1,0 +1,298 @@
+//! Reusable application processes for examples, tests and experiments.
+//!
+//! These are ordinary [`AppProcess`] implementations — the same API any
+//! user of the library writes against. They only ever name destination
+//! applications; none of them ever sees an address.
+
+use crate::app::{AppProcess, IpcApi};
+use crate::naming::{AppName, PortId};
+use crate::qos::QosSpec;
+use bytes::Bytes;
+use rina_sim::{Dur, Histogram, Time};
+
+const KEY_START: u64 = 1;
+const KEY_SEND: u64 = 2;
+
+/// Accepts every flow and echoes every SDU back to the sender.
+#[derive(Default)]
+pub struct EchoApp {
+    /// SDUs echoed.
+    pub echoed: u64,
+    /// Payload bytes echoed.
+    pub bytes: u64,
+}
+
+impl AppProcess for EchoApp {
+    fn on_sdu(&mut self, port: PortId, sdu: Bytes, api: &mut IpcApi<'_, '_, '_>) {
+        self.echoed += 1;
+        self.bytes += sdu.len() as u64;
+        let _ = api.write(port, sdu);
+    }
+}
+
+/// Accepts flows and counts what arrives. If SDUs carry a leading 8-byte
+/// virtual-time timestamp (as [`SourceApp`] writes), records one-way
+/// latency.
+#[derive(Default)]
+pub struct SinkApp {
+    /// SDUs received.
+    pub received: u64,
+    /// Payload bytes received.
+    pub bytes: u64,
+    /// One-way latencies in seconds (timestamped SDUs only).
+    pub latency: Histogram,
+    /// Time the last SDU arrived.
+    pub last_arrival: Time,
+    /// Refuse flows from these applications (access control, §5.3).
+    pub reject_from: Vec<AppName>,
+    /// Flow requests refused.
+    pub rejected: u64,
+}
+
+impl SinkApp {
+    /// A sink that refuses flows from the given applications.
+    pub fn rejecting(reject_from: Vec<AppName>) -> Self {
+        SinkApp { reject_from, ..Default::default() }
+    }
+}
+
+impl AppProcess for SinkApp {
+    fn on_flow_requested(&mut self, from: &AppName) -> bool {
+        if self.reject_from.contains(from) {
+            self.rejected += 1;
+            false
+        } else {
+            true
+        }
+    }
+
+    fn on_sdu(&mut self, _port: PortId, sdu: Bytes, api: &mut IpcApi<'_, '_, '_>) {
+        self.received += 1;
+        self.bytes += sdu.len() as u64;
+        self.last_arrival = api.now();
+        if sdu.len() >= 8 {
+            let ts = u64::from_be_bytes(sdu[..8].try_into().expect("len checked"));
+            if ts > 0 && ts <= api.now().nanos() {
+                self.latency.push((api.now().nanos() - ts) as f64 / 1e9);
+            }
+        }
+    }
+}
+
+/// Allocates a flow to `dst` and sends `count` SDUs of `size` bytes every
+/// `interval`, retrying allocation until the network is ready. SDUs carry a
+/// leading virtual-time timestamp for the sink's latency histogram.
+pub struct SourceApp {
+    /// Destination application name.
+    pub dst: AppName,
+    /// Requested flow properties.
+    pub spec: QosSpec,
+    /// SDU payload size (min 8 for the timestamp).
+    pub size: usize,
+    /// SDUs to send.
+    pub count: u64,
+    /// Send interval (zero = as fast as backpressure allows).
+    pub interval: Dur,
+    /// Delay before the first allocation attempt.
+    pub start_delay: Dur,
+    /// SDUs sent so far.
+    pub sent: u64,
+    /// Allocation failures observed (then retried).
+    pub alloc_failures: u64,
+    /// The allocated port, once any.
+    pub port: Option<PortId>,
+    /// Time the flow came up.
+    pub flow_up_at: Option<Time>,
+    /// All SDUs sent.
+    pub completed: bool,
+}
+
+impl SourceApp {
+    /// A source sending `count` SDUs of `size` bytes to `dst`.
+    pub fn new(dst: AppName, spec: QosSpec, size: usize, count: u64, interval: Dur) -> Self {
+        SourceApp {
+            dst,
+            spec,
+            size: size.max(8),
+            count,
+            interval,
+            start_delay: Dur::from_millis(10),
+            sent: 0,
+            alloc_failures: 0,
+            port: None,
+            flow_up_at: None,
+            completed: false,
+        }
+    }
+
+    fn payload(&self, now: Time) -> Bytes {
+        let mut v = vec![0u8; self.size];
+        v[..8].copy_from_slice(&now.nanos().to_be_bytes());
+        Bytes::from(v)
+    }
+}
+
+impl AppProcess for SourceApp {
+    fn on_start(&mut self, api: &mut IpcApi<'_, '_, '_>) {
+        api.timer_in(self.start_delay, KEY_START);
+    }
+
+    fn on_timer(&mut self, key: u64, api: &mut IpcApi<'_, '_, '_>) {
+        match key {
+            KEY_START => {
+                if self.port.is_none() {
+                    api.allocate_flow(&self.dst.clone(), self.spec);
+                }
+            }
+            KEY_SEND => {
+                let Some(port) = self.port else { return };
+                if self.sent >= self.count {
+                    self.completed = true;
+                    return;
+                }
+                let pl = self.payload(api.now());
+                match api.write(port, pl) {
+                    Ok(()) => {
+                        self.sent += 1;
+                        if self.sent >= self.count {
+                            self.completed = true;
+                        } else {
+                            api.timer_in(self.interval, KEY_SEND);
+                        }
+                    }
+                    Err(_) => {
+                        // Backpressure: try again shortly.
+                        api.timer_in(Dur::from_millis(5), KEY_SEND);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_flow_allocated(&mut self, _h: u64, port: PortId, _peer: &AppName, api: &mut IpcApi<'_, '_, '_>) {
+        self.port = Some(port);
+        self.flow_up_at = Some(api.now());
+        api.timer_in(Dur::ZERO, KEY_SEND);
+    }
+
+    fn on_flow_failed(&mut self, _h: u64, _reason: &str, api: &mut IpcApi<'_, '_, '_>) {
+        self.alloc_failures += 1;
+        self.port = None;
+        api.timer_in(Dur::from_millis(200), KEY_START);
+    }
+
+    fn on_flow_closed(&mut self, _port: PortId, _api: &mut IpcApi<'_, '_, '_>) {
+        self.port = None;
+    }
+}
+
+/// Allocates a flow to an [`EchoApp`] and measures request/response RTTs.
+pub struct PingApp {
+    /// Destination (an echo responder).
+    pub dst: AppName,
+    /// Requested flow properties.
+    pub spec: QosSpec,
+    /// Round trips to measure.
+    pub count: usize,
+    /// Payload size per ping.
+    pub size: usize,
+    /// Collected RTTs in seconds.
+    pub rtts: Vec<f64>,
+    /// Time the flow allocation was requested / completed (for allocation
+    /// latency measurements).
+    pub alloc_requested: Option<Time>,
+    /// Time the flow came up.
+    pub alloc_done: Option<Time>,
+    sent_at: Time,
+    port: Option<PortId>,
+    /// Allocation failures observed (then retried).
+    pub alloc_failures: u64,
+}
+
+impl PingApp {
+    /// A pinger that will measure `count` RTTs against `dst`.
+    pub fn new(dst: AppName, spec: QosSpec, count: usize, size: usize) -> Self {
+        PingApp {
+            dst,
+            spec,
+            count,
+            size: size.max(1),
+            rtts: Vec::new(),
+            alloc_requested: None,
+            alloc_done: None,
+            sent_at: Time::ZERO,
+            port: None,
+            alloc_failures: 0,
+        }
+    }
+
+    /// All round trips measured.
+    pub fn done(&self) -> bool {
+        self.rtts.len() >= self.count
+    }
+}
+
+impl AppProcess for PingApp {
+    fn on_start(&mut self, api: &mut IpcApi<'_, '_, '_>) {
+        api.timer_in(Dur::from_millis(10), KEY_START);
+    }
+
+    fn on_timer(&mut self, key: u64, api: &mut IpcApi<'_, '_, '_>) {
+        if key == KEY_START && self.port.is_none() {
+            self.alloc_requested = Some(api.now());
+            api.allocate_flow(&self.dst.clone(), self.spec);
+        }
+    }
+
+    fn on_flow_allocated(&mut self, _h: u64, port: PortId, _peer: &AppName, api: &mut IpcApi<'_, '_, '_>) {
+        self.port = Some(port);
+        self.alloc_done = Some(api.now());
+        self.sent_at = api.now();
+        let _ = api.write(port, Bytes::from(vec![0u8; self.size]));
+    }
+
+    fn on_flow_failed(&mut self, _h: u64, _reason: &str, api: &mut IpcApi<'_, '_, '_>) {
+        self.alloc_failures += 1;
+        self.port = None;
+        api.timer_in(Dur::from_millis(200), KEY_START);
+    }
+
+    fn on_sdu(&mut self, port: PortId, _sdu: Bytes, api: &mut IpcApi<'_, '_, '_>) {
+        let rtt = api.now().since(self.sent_at).as_secs_f64();
+        self.rtts.push(rtt);
+        if self.rtts.len() < self.count {
+            self.sent_at = api.now();
+            let _ = api.write(port, Bytes::from(vec![0u8; self.size]));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_payload_embeds_timestamp() {
+        let s = SourceApp::new(AppName::new("x"), QosSpec::reliable(), 64, 1, Dur::ZERO);
+        let p = s.payload(Time::from_millis(1500));
+        assert_eq!(p.len(), 64);
+        let ts = u64::from_be_bytes(p[..8].try_into().unwrap());
+        assert_eq!(ts, 1_500_000_000);
+    }
+
+    #[test]
+    fn source_minimum_size_is_timestamp() {
+        let s = SourceApp::new(AppName::new("x"), QosSpec::reliable(), 1, 1, Dur::ZERO);
+        assert_eq!(s.size, 8);
+    }
+
+    #[test]
+    fn ping_done_logic() {
+        let mut p = PingApp::new(AppName::new("e"), QosSpec::reliable(), 2, 16);
+        assert!(!p.done());
+        p.rtts.push(0.1);
+        p.rtts.push(0.2);
+        assert!(p.done());
+    }
+}

@@ -1,0 +1,152 @@
+//! DIF-wide configuration: the policy bundle every member shares.
+//!
+//! A DIF is defined by its name, its membership (authentication) policy,
+//! its QoS cubes, and its timescale policies (hello cadence, routing). The
+//! same mechanisms run in every DIF; only these values differ — the paper's
+//! repeating-structure claim (§4): layers "are not so much isolating
+//! different functions … as they are supporting different ranges of the
+//! resource-allocation problem".
+
+use crate::naming::DifName;
+use crate::qos::QosCube;
+use rina_sim::Dur;
+
+/// Membership (enrollment) authentication policy — §6.1's "range of
+/// security levels from public … to private".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AuthPolicy {
+    /// Anyone may join (the public-Internet-like degenerate case, §6.7).
+    Open,
+    /// Joiners must present this pre-shared secret.
+    Secret(String),
+}
+
+impl AuthPolicy {
+    /// Check a presented credential.
+    pub fn verify(&self, presented: &str) -> bool {
+        match self {
+            AuthPolicy::Open => true,
+            AuthPolicy::Secret(s) => s == presented,
+        }
+    }
+}
+
+/// Relay/multiplex scheduling discipline for a DIF's RMT.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// Single FIFO — the best-effort baseline.
+    Fifo,
+    /// Strict priority by QoS-cube priority.
+    Priority,
+}
+
+/// Shared configuration of one DIF.
+#[derive(Clone, Debug)]
+pub struct DifConfig {
+    /// The DIF's external name.
+    pub name: DifName,
+    /// Membership policy.
+    pub auth: AuthPolicy,
+    /// Offered QoS cubes (cube 0 must exist: management).
+    pub cubes: Vec<QosCube>,
+    /// Relay scheduling discipline.
+    pub sched: SchedPolicy,
+    /// Neighbor keepalive (hello) period. Narrow-scope DIFs use short
+    /// hellos — policies tuned to the range (§4).
+    pub hello_period: Dur,
+    /// Declare a neighbor dead after this many missed hellos.
+    pub hello_misses: u32,
+    /// Maximum SDU size the DIF accepts from its users. PDUs add header
+    /// overhead below this.
+    pub max_sdu: usize,
+}
+
+impl DifConfig {
+    /// A sensible default configuration for a wide-area DIF.
+    pub fn new(name: &str) -> Self {
+        DifConfig {
+            name: DifName::new(name),
+            auth: AuthPolicy::Open,
+            cubes: QosCube::standard_set(),
+            sched: SchedPolicy::Priority,
+            hello_period: Dur::from_millis(500),
+            hello_misses: 3,
+            max_sdu: 64 * 1024,
+        }
+    }
+
+    /// Configuration for a narrow-scope DIF over a lossy medium: short
+    /// hellos, local retransmission cubes.
+    pub fn wireless(name: &str) -> Self {
+        DifConfig {
+            cubes: QosCube::wireless_set(),
+            hello_period: Dur::from_millis(50),
+            ..DifConfig::new(name)
+        }
+    }
+
+    /// Builder-style auth override.
+    pub fn with_auth(mut self, auth: AuthPolicy) -> Self {
+        self.auth = auth;
+        self
+    }
+
+    /// Builder-style cube-set override.
+    pub fn with_cubes(mut self, cubes: Vec<QosCube>) -> Self {
+        assert!(cubes.iter().any(|c| c.id == 0), "cube 0 (mgmt) is required");
+        self.cubes = cubes;
+        self
+    }
+
+    /// Builder-style scheduler override.
+    pub fn with_sched(mut self, s: SchedPolicy) -> Self {
+        self.sched = s;
+        self
+    }
+
+    /// Builder-style hello-period override.
+    pub fn with_hello_period(mut self, d: Dur) -> Self {
+        self.hello_period = d;
+        self
+    }
+
+    /// Look up a cube by id.
+    pub fn cube(&self, id: u8) -> Option<&QosCube> {
+        self.cubes.iter().find(|c| c.id == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auth_verification() {
+        assert!(AuthPolicy::Open.verify(""));
+        assert!(AuthPolicy::Open.verify("anything"));
+        let s = AuthPolicy::Secret("hunter2".into());
+        assert!(s.verify("hunter2"));
+        assert!(!s.verify(""));
+        assert!(!s.verify("hunter3"));
+    }
+
+    #[test]
+    fn wireless_config_is_tighter() {
+        let w = DifConfig::wireless("w");
+        let n = DifConfig::new("n");
+        assert!(w.hello_period < n.hello_period);
+    }
+
+    #[test]
+    #[should_panic]
+    fn cube_zero_required() {
+        let _ = DifConfig::new("x").with_cubes(vec![]);
+    }
+
+    #[test]
+    fn cube_lookup() {
+        let c = DifConfig::new("x");
+        assert_eq!(c.cube(0).unwrap().name, "mgmt");
+        assert!(c.cube(200).is_none());
+    }
+}

@@ -1,0 +1,1353 @@
+//! The IPC process: one member of one DIF.
+//!
+//! An [`Ipcp`] bundles the paper's three task sets (§4):
+//!
+//! * **IPC Data Transfer** — [`Ipcp::on_frame`] decodes PDUs arriving on
+//!   (N-1) ports and either delivers them to a local EFCP connection or
+//!   relays them toward their destination address.
+//! * **IPC Transfer Control** — one `rina_efcp::Connection` per flow.
+//! * **IPC Management** — enrollment (§5.2), flow allocation (§5.3),
+//!   neighbor hellos, and RIEP dissemination over the RIB.
+//!
+//! The recursion that defines the architecture is in [`N1Kind`]: an (N-1)
+//! port is *either* a raw interface (making this a shim DIF "tailored to
+//! the physical medium") *or* a flow allocated from a lower DIF on the
+//! same node. Nothing else in the IPC process distinguishes ranks.
+//!
+//! An `Ipcp` is sans-IO like everything else: methods append [`IpcpOut`]
+//! effects which the owning [`crate::node::Node`] executes.
+
+use crate::dif::DifConfig;
+use crate::msg::MgmtBody;
+use crate::naming::{AppName, Addr};
+use crate::qos::{match_cube, QosSpec};
+use crate::routing::{compute_routes, Lsa, LSA_CLASS, LSA_PREFIX};
+use bytes::Bytes;
+use rina_efcp::{ConnId, Connection};
+use rina_rib::{Rib, RibEvent, RibObject};
+use rina_sim::Time;
+use rina_wire::{CdapMsg, CepId, MgmtPdu, Pdu};
+use std::collections::HashMap;
+
+/// What backs an (N-1) port.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum N1Kind {
+    /// A raw simulator interface — this IPC process is part of a shim DIF
+    /// bound directly to the medium.
+    Phys {
+        /// Interface index on the node.
+        iface: u32,
+        /// Link MTU in bytes.
+        mtu: usize,
+    },
+    /// A flow provided by a lower DIF on this node, identified by the
+    /// node-local port id.
+    Lower {
+        /// Node-local port id of the lower flow.
+        port: u64,
+    },
+}
+
+/// One (N-1) port: an adjacency to (usually) one peer IPC process.
+#[derive(Clone, Debug)]
+pub struct N1Port {
+    /// What the port is backed by.
+    pub kind: N1Kind,
+    /// Peer IPC process name, learned from hellos.
+    pub peer_name: Option<AppName>,
+    /// Peer's DIF-internal address (0 until learned).
+    pub peer_addr: Addr,
+    /// Administratively/operationally up.
+    pub up: bool,
+    /// Last hello heard on this port.
+    pub last_hello: Time,
+}
+
+/// Flow allocation phase of one connection endpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    /// Requester waiting for the destination's FlowResponse.
+    Requesting,
+    /// Data can flow.
+    Active,
+}
+
+struct FlowState {
+    conn: Connection,
+    port: u64,
+    phase: Phase,
+    peer: AppName,
+}
+
+/// A shim-DIF flow: no EFCP, PDUs pass straight through to the medium.
+/// The shim is the degenerate DIF "tailored to the physical medium" — on a
+/// point-to-point link there is nothing to relay, sequence, or window, so
+/// its data-transfer task reduces to framing plus priority multiplexing.
+struct RawFlow {
+    port: u64,
+    peer_cep: CepId,
+    qos_id: u8,
+    priority: u8,
+    peer: AppName,
+    phase: Phase,
+}
+
+/// What the node must do on behalf of this IPC process.
+#[derive(Debug)]
+pub enum IpcpOut {
+    /// Transmit a frame on a physical interface, scheduled at `priority`.
+    TxPhys {
+        /// (N-1) port index (must be `N1Kind::Phys`).
+        n1: usize,
+        /// Encoded PDU.
+        frame: Bytes,
+        /// Scheduling priority (QoS-cube priority).
+        priority: u8,
+    },
+    /// Write an SDU into a lower-DIF flow.
+    TxLower {
+        /// Node-local port of the lower flow.
+        port: u64,
+        /// Encoded PDU (the lower DIF's SDU).
+        sdu: Bytes,
+        /// Scheduling priority inherited from the originating QoS cube, so
+        /// class differentiation survives multiplexing onto shared lower
+        /// flows all the way to the bottleneck medium.
+        priority: u8,
+    },
+    /// An SDU arrived for the user bound to `port`.
+    Deliver {
+        /// Node-local port id.
+        port: u64,
+        /// The SDU.
+        sdu: Bytes,
+    },
+    /// A flow requested earlier is now active.
+    FlowActive {
+        /// Node-local port id.
+        port: u64,
+        /// Peer application name.
+        peer: AppName,
+    },
+    /// A flow could not be allocated or has failed.
+    FlowFailed {
+        /// Node-local port id.
+        port: u64,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// The peer deallocated this flow.
+    FlowClosed {
+        /// Node-local port id.
+        port: u64,
+    },
+    /// An inbound flow request: the node must look up the destination
+    /// application and call [`Ipcp::flow_accept`] or [`Ipcp::flow_reject`].
+    FlowReqIn {
+        /// Requesting application.
+        src_app: AppName,
+        /// Destination application (should be local).
+        dst_app: AppName,
+        /// Requested QoS.
+        spec: QosSpec,
+        /// Requester's member address.
+        src_addr: Addr,
+        /// Requester's endpoint.
+        src_cep: CepId,
+        /// Invoke id to echo in the response.
+        invoke_id: u32,
+    },
+    /// Enrollment completed; the IPC process now has an address.
+    Enrolled,
+}
+
+/// Counters the experiments aggregate per DIF.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IpcpStats {
+    /// PDUs relayed (not locally originated or delivered).
+    pub relayed: u64,
+    /// PDUs dropped for lack of a route.
+    pub no_route: u64,
+    /// PDUs dropped because TTL expired.
+    pub ttl_drops: u64,
+    /// Management PDUs sent (all kinds).
+    pub mgmt_tx: u64,
+    /// RIEP object updates sent (dissemination + re-flood).
+    pub rib_tx: u64,
+    /// Enrollment requests handled as sponsor.
+    pub enrollments_sponsored: u64,
+    /// Flow requests handled as destination.
+    pub flow_reqs_in: u64,
+    /// Undecodable frames received.
+    pub decode_errors: u64,
+}
+
+enum Pending {
+    Enroll,
+    FlowAlloc { cep: CepId },
+}
+
+/// One IPC process (see module docs).
+pub struct Ipcp {
+    /// This process's index within its node (used by the node to route
+    /// effects back).
+    pub idx: usize,
+    /// The DIF's shared configuration.
+    pub cfg: DifConfig,
+    /// This IPC process's application name (it is an application of the
+    /// DIF below).
+    pub name: AppName,
+    /// DIF-internal address (0 until enrolled).
+    pub addr: Addr,
+    /// Shim mode: degenerate two-member DIF bound to a point-to-point
+    /// medium; no enrollment, no routing, implicit directory.
+    pub is_shim: bool,
+    /// Member state.
+    enrolled: bool,
+    /// The Resource Information Base.
+    pub rib: Rib,
+    /// Current forwarding table (step one: destination → next hops).
+    pub fwd: crate::routing::ForwardingTable,
+    n1: Vec<N1Port>,
+    conns: HashMap<CepId, FlowState>,
+    raw: HashMap<CepId, RawFlow>,
+    next_cep: CepId,
+    next_invoke: u32,
+    pending: HashMap<u32, Pending>,
+    enroll_via: Option<usize>,
+    /// Pending effects, drained by the node.
+    out: Vec<IpcpOut>,
+    /// Counters.
+    pub stats: IpcpStats,
+    /// Neighbor set currently advertised in our LSA.
+    advertised: Vec<Addr>,
+    /// Hello periods elapsed (drives periodic re-advertisement).
+    hello_ticks: u64,
+}
+
+impl Ipcp {
+    /// Create a not-yet-enrolled IPC process for `cfg`, named `name`.
+    pub fn new(idx: usize, cfg: DifConfig, name: AppName) -> Self {
+        Ipcp {
+            idx,
+            cfg,
+            name,
+            addr: 0,
+            is_shim: false,
+            enrolled: false,
+            rib: Rib::new(0),
+            fwd: Default::default(),
+            n1: Vec::new(),
+            conns: HashMap::new(),
+            raw: HashMap::new(),
+            next_cep: 1,
+            next_invoke: 1,
+            pending: HashMap::new(),
+            enroll_via: None,
+            out: Vec::new(),
+            stats: IpcpStats::default(),
+            advertised: Vec::new(),
+            hello_ticks: 0,
+        }
+    }
+
+    /// Make this the DIF's first member, self-assigned `addr`.
+    pub fn bootstrap(&mut self, addr: Addr) {
+        assert!(!self.enrolled, "already a member");
+        assert!(addr != 0, "address 0 is reserved");
+        self.addr = addr;
+        self.rib.set_origin(addr);
+        self.enrolled = true;
+        self.rib.write_local(
+            &format!("/members/{}", self.name.key()),
+            "member",
+            encode_addr(addr),
+        );
+        self.drain_rib();
+    }
+
+    /// Configure shim mode with the given side address (1 or 2).
+    pub fn make_shim(&mut self, side_addr: Addr) {
+        self.is_shim = true;
+        self.addr = side_addr;
+        self.rib.set_origin(side_addr);
+        self.enrolled = true;
+    }
+
+    /// Whether this process is an enrolled member.
+    pub fn is_enrolled(&self) -> bool {
+        self.enrolled
+    }
+
+    /// Attach an (N-1) port. Returns its index.
+    pub fn add_n1(&mut self, kind: N1Kind) -> usize {
+        self.n1.push(N1Port {
+            kind,
+            peer_name: None,
+            peer_addr: 0,
+            up: true,
+            last_hello: Time::ZERO,
+        });
+        self.n1.len() - 1
+    }
+
+    /// The (N-1) ports (read-only view).
+    pub fn n1_ports(&self) -> &[N1Port] {
+        &self.n1
+    }
+
+    /// Find the (N-1) port backed by the given lower-flow port id.
+    pub fn n1_by_lower_port(&self, port: u64) -> Option<usize> {
+        self.n1.iter().position(|p| p.kind == N1Kind::Lower { port })
+    }
+
+    /// Find the (N-1) port backed by the given physical interface.
+    pub fn n1_by_iface(&self, iface: u32) -> Option<usize> {
+        self.n1
+            .iter()
+            .position(|p| matches!(p.kind, N1Kind::Phys { iface: i, .. } if i == iface))
+    }
+
+    /// Drain pending effects.
+    pub fn take_out(&mut self) -> Vec<IpcpOut> {
+        std::mem::take(&mut self.out)
+    }
+
+    /// Earliest EFCP timer deadline over all connections, with its cep.
+    pub fn conn_timer_wants(&self) -> Vec<(CepId, u64)> {
+        self.conns
+            .iter()
+            .filter_map(|(&cep, f)| f.conn.poll_timeout().map(|t| (cep, t)))
+            .collect()
+    }
+
+    /// Drive one connection's timers.
+    pub fn on_conn_timer(&mut self, cep: CepId, now: Time) {
+        if let Some(f) = self.conns.get_mut(&cep) {
+            f.conn.on_timeout(now.nanos());
+        }
+        self.pump_conn(cep, now);
+    }
+
+    // ------------------------------------------------------------------
+    // Hello / neighbor maintenance
+    // ------------------------------------------------------------------
+
+    /// Send a hello on every (N-1) port — including down ones, as a
+    /// revival probe: if the medium or lower flow comes back, the peer's
+    /// hello response brings the port up again (mobility depends on this:
+    /// re-attaching to a previously-left point of attachment must work).
+    /// Also expires silent neighbors, and periodically re-advertises this
+    /// member's own RIB objects (anti-entropy: RIEP dissemination is
+    /// unreliable, so lost updates must eventually be repaired).
+    /// Called on the DIF's hello period.
+    pub fn tick_hello(&mut self, now: Time) {
+        for i in 0..self.n1.len() {
+            self.send_hello(i);
+        }
+        self.hello_ticks += 1;
+        if !self.is_shim && self.enrolled && self.hello_ticks % 8 == 0 {
+            let own: Vec<RibObject> = self
+                .rib
+                .snapshot()
+                .into_iter()
+                .filter(|o| o.origin == self.addr)
+                .collect();
+            for i in 0..self.n1.len() {
+                if self.n1[i].up && self.n1[i].peer_addr != 0 {
+                    for obj in &own {
+                        self.stats.rib_tx += 1;
+                        self.send_mgmt_on(i, MgmtBody::RibUpdate(obj.clone()), 0, 0);
+                    }
+                }
+            }
+        }
+        // Expire neighbors we have not heard from.
+        let deadline = self.cfg.hello_period * self.cfg.hello_misses as u64;
+        let mut changed = false;
+        for p in &mut self.n1 {
+            if p.up
+                && p.peer_addr != 0
+                && p.last_hello != Time::ZERO
+                && now.since(p.last_hello) > deadline
+            {
+                p.up = false;
+                p.peer_addr = 0;
+                changed = true;
+            }
+        }
+        if changed {
+            self.refresh_lsa(now);
+        }
+    }
+
+    fn send_hello(&mut self, n1: usize) {
+        let body = MgmtBody::Hello { name: self.name.clone(), addr: self.addr };
+        self.send_mgmt_on(n1, body, 0, 0);
+    }
+
+    /// Push the entire RIB to the peer on one port (joiner-style sync for
+    /// a neighbor that just (re)appeared). Version guards make this
+    /// idempotent.
+    fn resync_port(&mut self, n1: usize) {
+        for obj in self.rib.snapshot() {
+            self.stats.rib_tx += 1;
+            self.send_mgmt_on(n1, MgmtBody::RibUpdate(obj), 0, 0);
+        }
+    }
+
+    /// Mark an (N-1) port down (local failure detection: the lower flow
+    /// failed or the interface reported link-down).
+    pub fn n1_down(&mut self, n1: usize, now: Time) {
+        if let Some(p) = self.n1.get_mut(n1) {
+            if p.up {
+                p.up = false;
+                p.peer_addr = 0;
+                self.refresh_lsa(now);
+            }
+        }
+    }
+
+    /// Mark an (N-1) port back up and re-hello.
+    pub fn n1_up(&mut self, n1: usize, now: Time) {
+        if let Some(p) = self.n1.get_mut(n1) {
+            p.up = true;
+            p.last_hello = now;
+        }
+        self.send_hello(n1);
+    }
+
+    /// Recompute and re-advertise our LSA if the live neighbor set changed.
+    fn refresh_lsa(&mut self, _now: Time) {
+        if !self.enrolled || self.is_shim {
+            return;
+        }
+        let mut neigh: Vec<Addr> = self
+            .n1
+            .iter()
+            .filter(|p| p.up && p.peer_addr != 0)
+            .map(|p| p.peer_addr)
+            .collect();
+        neigh.sort_unstable();
+        neigh.dedup();
+        if neigh == self.advertised {
+            return;
+        }
+        self.advertised = neigh.clone();
+        let lsa = Lsa { neighbors: neigh.into_iter().map(|a| (a, 1)).collect() };
+        self.rib
+            .write_local(&Lsa::object_name(self.addr), LSA_CLASS, lsa.encode());
+        self.drain_rib();
+    }
+
+    /// Recompute the forwarding table from the RIB's LSAs.
+    fn recompute_routes(&mut self) {
+        let mut lsas = HashMap::new();
+        for o in self.rib.iter_prefix(LSA_PREFIX) {
+            let Ok(addr) = o.name[LSA_PREFIX.len()..].parse::<u64>() else {
+                continue;
+            };
+            if let Ok(l) = Lsa::decode(&o.value) {
+                lsas.insert(addr, l);
+            }
+        }
+        self.fwd = compute_routes(self.addr, &lsas);
+    }
+
+    // ------------------------------------------------------------------
+    // Enrollment (§5.2)
+    // ------------------------------------------------------------------
+
+    /// Begin enrollment through the member reachable over (N-1) port `n1`,
+    /// presenting `credential` and proposing `proposed_addr` (0 = let the
+    /// sponsor choose).
+    pub fn start_enroll(&mut self, n1: usize, credential: &str, proposed_addr: Addr) {
+        assert!(!self.enrolled, "already enrolled");
+        self.enroll_via = Some(n1);
+        self.send_hello(n1);
+        let invoke = self.next_invoke();
+        self.pending.insert(invoke, Pending::Enroll);
+        let body = MgmtBody::EnrollRequest {
+            name: self.name.clone(),
+            credential: credential.to_string(),
+            proposed_addr,
+        };
+        self.send_mgmt_on(n1, body, invoke, 0);
+    }
+
+    /// Retry enrollment if still not a member (drives the retry timer).
+    pub fn retry_enroll(&mut self, credential: &str, proposed_addr: Addr) {
+        if self.enrolled {
+            return;
+        }
+        if let Some(n1) = self.enroll_via {
+            let invoke = self.next_invoke();
+            self.pending.insert(invoke, Pending::Enroll);
+            let body = MgmtBody::EnrollRequest {
+                name: self.name.clone(),
+                credential: credential.to_string(),
+                proposed_addr,
+            };
+            self.send_mgmt_on(n1, body, invoke, 0);
+        }
+    }
+
+    fn handle_enroll_request(
+        &mut self,
+        from_n1: usize,
+        name: AppName,
+        credential: String,
+        proposed_addr: Addr,
+        invoke_id: u32,
+    ) {
+        if !self.enrolled || self.is_shim {
+            let body = MgmtBody::EnrollResponse { addr: 0, snapshot: vec![] };
+            self.send_mgmt_on(from_n1, body, invoke_id, -1);
+            return;
+        }
+        if !self.cfg.auth.verify(&credential) {
+            let body = MgmtBody::EnrollResponse { addr: 0, snapshot: vec![] };
+            self.send_mgmt_on(from_n1, body, invoke_id, -2);
+            return;
+        }
+        // Honour the joiner's proposal if it conflicts with nothing we
+        // know; otherwise assign max+1 over known members. (Proposals are
+        // how statically planned networks avoid races between concurrent
+        // sponsors; dynamically joining members propose 0.)
+        let mut max_addr = self.addr;
+        let mut proposal_taken = proposed_addr == 0 || proposed_addr == self.addr;
+        for o in self.rib.iter_prefix("/members/") {
+            if let Some(a) = decode_addr(&o.value) {
+                max_addr = max_addr.max(a);
+                if a == proposed_addr && o.name != format!("/members/{}", name.key()) {
+                    proposal_taken = true;
+                }
+            }
+        }
+        let new_addr = if proposal_taken { max_addr + 1 } else { proposed_addr };
+        self.stats.enrollments_sponsored += 1;
+        self.rib
+            .write_local(&format!("/members/{}", name.key()), "member", encode_addr(new_addr));
+        // Snapshot *after* recording the new member so the joiner sees
+        // itself.
+        let snapshot = self.rib.snapshot();
+        if let Some(p) = self.n1.get_mut(from_n1) {
+            p.peer_name = Some(name);
+            p.peer_addr = new_addr;
+        }
+        let body = MgmtBody::EnrollResponse { addr: new_addr, snapshot };
+        self.send_mgmt_on(from_n1, body, invoke_id, 0);
+        self.drain_rib();
+        self.refresh_lsa(Time::ZERO);
+    }
+
+    fn handle_enroll_response(&mut self, addr: Addr, snapshot: Vec<RibObject>, result: i32, now: Time) {
+        if self.enrolled {
+            return; // duplicate response to a retried request
+        }
+        if result != 0 || addr == 0 {
+            return; // keep retrying (or give up via node policy)
+        }
+        self.addr = addr;
+        self.rib.set_origin(addr);
+        self.enrolled = true;
+        for o in snapshot {
+            self.rib.apply_remote(o);
+        }
+        // Flush events generated by the snapshot without re-flooding it.
+        while self.rib.poll_event().is_some() {}
+        self.recompute_routes();
+        // Announce ourselves on every port and advertise our adjacency.
+        for i in 0..self.n1.len() {
+            if self.n1[i].up {
+                self.send_hello(i);
+            }
+        }
+        self.refresh_lsa(now);
+        self.out.push(IpcpOut::Enrolled);
+    }
+
+    // ------------------------------------------------------------------
+    // Directory
+    // ------------------------------------------------------------------
+
+    /// Register a local application in this DIF's directory.
+    pub fn dir_register(&mut self, app: &AppName) {
+        if self.is_shim {
+            return; // shims have an implicit two-party directory
+        }
+        self.rib
+            .write_local(&format!("/dir/{}", app.key()), "dir", encode_addr(self.addr));
+        self.drain_rib();
+    }
+
+    /// Remove a local application from this DIF's directory.
+    pub fn dir_unregister(&mut self, app: &AppName) {
+        if self.is_shim {
+            return;
+        }
+        self.rib.delete_local(&format!("/dir/{}", app.key()));
+        self.drain_rib();
+    }
+
+    /// Where (which member address) an application is registered, if known.
+    pub fn dir_lookup(&self, app: &AppName) -> Option<Addr> {
+        if self.is_shim {
+            // Degenerate directory: the peer might have it.
+            return self.peer_addr_any();
+        }
+        self.rib
+            .get(&format!("/dir/{}", app.key()))
+            .and_then(|o| decode_addr(&o.value))
+    }
+
+    fn peer_addr_any(&self) -> Option<Addr> {
+        self.n1.iter().find(|p| p.up).map(|_| if self.addr == 1 { 2 } else { 1 })
+    }
+
+    // ------------------------------------------------------------------
+    // Flow allocation (§5.3)
+    // ------------------------------------------------------------------
+
+    /// Requester side: allocate a flow from `src_app` (bound to node port
+    /// `port`) to `dst_app` with `spec`. The result arrives later as a
+    /// [`IpcpOut::FlowActive`] or [`IpcpOut::FlowFailed`] effect.
+    pub fn alloc_flow(&mut self, port: u64, src_app: AppName, dst_app: AppName, spec: QosSpec) {
+        let Some(dst_addr) = self.dir_lookup(&dst_app) else {
+            self.out.push(IpcpOut::FlowFailed { port, reason: "destination unknown in DIF" });
+            return;
+        };
+        // Fail fast if routing has not converged to the destination member
+        // yet — the requester retries rather than stalling on a timeout.
+        if !self.is_shim && dst_addr != self.addr && self.pick_n1_toward(dst_addr).is_none() {
+            self.out.push(IpcpOut::FlowFailed { port, reason: "no route to destination member" });
+            return;
+        }
+        let cep = self.next_cep();
+        if self.is_shim {
+            let cube = match_cube(&self.cfg.cubes, &spec);
+            self.raw.insert(
+                cep,
+                RawFlow {
+                    port,
+                    peer_cep: 0,
+                    qos_id: cube.map(|c| c.id).unwrap_or(3),
+                    priority: cube.map(|c| c.priority).unwrap_or(1),
+                    peer: dst_app.clone(),
+                    phase: Phase::Requesting,
+                },
+            );
+            let invoke = self.next_invoke();
+            self.pending.insert(invoke, Pending::FlowAlloc { cep });
+            let body = MgmtBody::FlowRequest {
+                src_app,
+                dst_app,
+                spec,
+                src_addr: self.addr,
+                src_cep: cep,
+            };
+            self.send_mgmt_addr(dst_addr, body, invoke, 0);
+            return;
+        }
+        self.conns.insert(
+            cep,
+            FlowState {
+                // The connection is provisional until the response supplies
+                // the peer cep and qos cube; created then.
+                conn: Connection::new(
+                    ConnId {
+                        local_addr: self.addr,
+                        remote_addr: dst_addr,
+                        local_cep: cep,
+                        remote_cep: 0,
+                        qos_id: 0,
+                    },
+                    self.cfg.cube(0).expect("mgmt cube").params.clone(),
+                ),
+                port,
+                phase: Phase::Requesting,
+                peer: dst_app.clone(),
+            },
+        );
+        let invoke = self.next_invoke();
+        self.pending.insert(invoke, Pending::FlowAlloc { cep });
+        let body = MgmtBody::FlowRequest {
+            src_app,
+            dst_app,
+            spec,
+            src_addr: self.addr,
+            src_cep: cep,
+        };
+        self.send_mgmt_addr(dst_addr, body, invoke, 0);
+    }
+
+    /// Responder side: the node approved an inbound flow request. Creates
+    /// the local endpoint bound to `port` and answers the requester.
+    #[allow(clippy::too_many_arguments)]
+    pub fn flow_accept(
+        &mut self,
+        port: u64,
+        src_app: AppName,
+        spec: QosSpec,
+        src_addr: Addr,
+        src_cep: CepId,
+        invoke_id: u32,
+    ) {
+        let Some(cube) = match_cube(&self.cfg.cubes, &spec).cloned() else {
+            self.flow_reject(src_addr, invoke_id, -3);
+            return;
+        };
+        let cep = self.next_cep();
+        if self.is_shim {
+            self.raw.insert(
+                cep,
+                RawFlow {
+                    port,
+                    peer_cep: src_cep,
+                    qos_id: cube.id,
+                    priority: cube.priority,
+                    peer: src_app.clone(),
+                    phase: Phase::Active,
+                },
+            );
+            let body = MgmtBody::FlowResponse { dst_cep: cep, qos_id: cube.id };
+            self.send_mgmt_addr(src_addr, body, invoke_id, 0);
+            self.out.push(IpcpOut::FlowActive { port, peer: src_app });
+            return;
+        }
+        let conn = Connection::new(
+            ConnId {
+                local_addr: self.addr,
+                remote_addr: src_addr,
+                local_cep: cep,
+                remote_cep: src_cep,
+                qos_id: cube.id,
+            },
+            cube.params.clone(),
+        );
+        self.conns
+            .insert(cep, FlowState { conn, port, phase: Phase::Active, peer: src_app.clone() });
+        let body = MgmtBody::FlowResponse { dst_cep: cep, qos_id: cube.id };
+        self.send_mgmt_addr(src_addr, body, invoke_id, 0);
+        self.out.push(IpcpOut::FlowActive { port, peer: src_app });
+    }
+
+    /// Responder side: refuse an inbound flow request.
+    pub fn flow_reject(&mut self, src_addr: Addr, invoke_id: u32, result: i32) {
+        let body = MgmtBody::FlowResponse { dst_cep: 0, qos_id: 0 };
+        self.send_mgmt_addr(src_addr, body, invoke_id, result);
+    }
+
+    fn handle_flow_response(&mut self, invoke_id: u32, dst_cep: CepId, qos_id: u8, result: i32) {
+        let Some(Pending::FlowAlloc { cep }) = self.pending.remove(&invoke_id) else {
+            return;
+        };
+        if self.is_shim {
+            let Some(r) = self.raw.get_mut(&cep) else { return };
+            if result != 0 || dst_cep == 0 {
+                let port = r.port;
+                self.raw.remove(&cep);
+                self.out.push(IpcpOut::FlowFailed { port, reason: "refused by destination" });
+                return;
+            }
+            r.peer_cep = dst_cep;
+            r.phase = Phase::Active;
+            let (port, peer) = (r.port, r.peer.clone());
+            self.out.push(IpcpOut::FlowActive { port, peer });
+            return;
+        }
+        let Some(f) = self.conns.get_mut(&cep) else { return };
+        if result != 0 || dst_cep == 0 {
+            let port = f.port;
+            self.conns.remove(&cep);
+            self.out.push(IpcpOut::FlowFailed { port, reason: "refused by destination" });
+            return;
+        }
+        let Some(cube) = self.cfg.cube(qos_id) else {
+            let port = f.port;
+            self.conns.remove(&cep);
+            self.out.push(IpcpOut::FlowFailed { port, reason: "unknown qos cube" });
+            return;
+        };
+        let remote_addr = f.conn.id().remote_addr;
+        f.conn = Connection::new(
+            ConnId {
+                local_addr: self.addr,
+                remote_addr,
+                local_cep: cep,
+                remote_cep: dst_cep,
+                qos_id: cube.id,
+            },
+            cube.params.clone(),
+        );
+        f.phase = Phase::Active;
+        let (port, peer) = (f.port, f.peer.clone());
+        self.out.push(IpcpOut::FlowActive { port, peer });
+    }
+
+    /// Deallocate the flow bound to node port `port` (local side),
+    /// notifying the peer.
+    pub fn dealloc_port(&mut self, port: u64) {
+        if self.is_shim {
+            let Some((&cep, _)) = self.raw.iter().find(|(_, r)| r.port == port) else {
+                return;
+            };
+            let r = self.raw.remove(&cep).expect("present");
+            if r.phase == Phase::Active {
+                let peer_addr = if self.addr == 1 { 2 } else { 1 };
+                let invoke = self.next_invoke();
+                let body = MgmtBody::FlowTeardown { cep: r.peer_cep };
+                self.send_mgmt_addr(peer_addr, body, invoke, 0);
+            }
+            return;
+        }
+        let Some((&cep, _)) = self.conns.iter().find(|(_, f)| f.port == port) else {
+            return;
+        };
+        let f = self.conns.remove(&cep).expect("present");
+        let id = f.conn.id();
+        if f.phase == Phase::Active {
+            let invoke = self.next_invoke();
+            let body = MgmtBody::FlowTeardown { cep: id.remote_cep };
+            self.send_mgmt_addr(id.remote_addr, body, invoke, 0);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Data path
+    // ------------------------------------------------------------------
+
+    /// User SDU written to the flow bound to `port`. `priority_hint`
+    /// carries the originating cube's priority when the writer is a higher
+    /// IPC process (None for application writes).
+    pub fn write_port(
+        &mut self,
+        port: u64,
+        sdu: Bytes,
+        now: Time,
+        priority_hint: Option<u8>,
+    ) -> Result<(), &'static str> {
+        if self.is_shim {
+            return self.write_raw(port, sdu, priority_hint);
+        }
+        let Some((&cep, f)) = self.conns.iter_mut().find(|(_, f)| f.port == port) else {
+            return Err("no such flow");
+        };
+        if f.phase != Phase::Active {
+            return Err("flow not active");
+        }
+        if sdu.len() > self.cfg.max_sdu {
+            return Err("sdu exceeds dif max");
+        }
+        f.conn
+            .send_sdu(sdu, now.nanos())
+            .map_err(|_| "flow failed or backpressured")?;
+        self.pump_conn(cep, now);
+        Ok(())
+    }
+
+    /// Shim data path: wrap the SDU in a DataPdu for demultiplexing at the
+    /// peer and pass it straight to the medium.
+    fn write_raw(&mut self, port: u64, sdu: Bytes, priority_hint: Option<u8>) -> Result<(), &'static str> {
+        let Some(r) = self.raw.values().find(|r| r.port == port) else {
+            return Err("no such flow");
+        };
+        if r.phase != Phase::Active {
+            return Err("flow not active");
+        }
+        let peer_addr = if self.addr == 1 { 2 } else { 1 };
+        let pdu = Pdu::Data(rina_wire::DataPdu {
+            dest_addr: peer_addr,
+            src_addr: self.addr,
+            qos_id: r.qos_id,
+            dest_cep: r.peer_cep,
+            src_cep: 0,
+            seq: 0,
+            flags: 0,
+            ttl: 1,
+            payload: sdu,
+        });
+        let (priority, frame) = (priority_hint.unwrap_or(r.priority), pdu.encode());
+        let Some(n1) = self.n1.iter().position(|p| p.up) else {
+            return Err("link down");
+        };
+        self.tx_n1(n1, frame, priority);
+        Ok(())
+    }
+
+    /// A frame (encoded PDU) arrived on (N-1) port `n1`.
+    pub fn on_frame(&mut self, n1: usize, frame: Bytes, now: Time) {
+        if let Some(p) = self.n1.get_mut(n1) {
+            // Any traffic proves liveness.
+            p.last_hello = now;
+        }
+        let pdu = match Pdu::decode(&frame) {
+            Ok(p) => p,
+            Err(_) => {
+                self.stats.decode_errors += 1;
+                return;
+            }
+        };
+        self.rmt_in(pdu, n1, now);
+    }
+
+    /// RMT input: deliver locally or relay.
+    fn rmt_in(&mut self, mut pdu: Pdu, from_n1: usize, now: Time) {
+        let dest = pdu.dest_addr();
+        if dest == 0 || dest == self.addr || (self.is_shim && dest != 0) {
+            self.deliver_local(pdu, from_n1, now);
+            return;
+        }
+        if !pdu.decrement_ttl() {
+            self.stats.ttl_drops += 1;
+            return;
+        }
+        self.stats.relayed += 1;
+        self.forward(pdu, now);
+    }
+
+    /// Two-step forwarding (§ Fig 4): (1) next-hop member address from the
+    /// forwarding table, (2) live (N-1) port (path / point of attachment)
+    /// toward that next hop, chosen at transmission time.
+    fn forward(&mut self, pdu: Pdu, _now: Time) {
+        let dest = pdu.dest_addr();
+        let picked = if self.is_shim {
+            // Point-to-point: the only path is the medium itself.
+            self.n1.iter().position(|p| p.up)
+        } else {
+            self.pick_n1_toward(dest)
+        };
+        let Some(n1) = picked else {
+            self.stats.no_route += 1;
+            return;
+        };
+        let prio = self
+            .cfg
+            .cube(pdu.qos_id())
+            .map(|c| c.priority)
+            .unwrap_or(0);
+        let frame = pdu.encode();
+        self.tx_n1(n1, frame, prio);
+    }
+
+    /// Choose the (N-1) port for `dest`: step 1 route lookup, step 2 path
+    /// selection among live ports to the chosen next hop.
+    fn pick_n1_toward(&self, dest: Addr) -> Option<usize> {
+        // Direct adjacency short-circuit (also the only case for shims).
+        if let Some(i) = self
+            .n1
+            .iter()
+            .position(|p| p.up && p.peer_addr == dest)
+        {
+            return Some(i);
+        }
+        let hops = self.fwd.route(dest)?;
+        for &hop in hops {
+            if let Some(i) = self.n1.iter().position(|p| p.up && p.peer_addr == hop) {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    fn tx_n1(&mut self, n1: usize, frame: Bytes, priority: u8) {
+        match self.n1[n1].kind {
+            N1Kind::Phys { .. } => self.out.push(IpcpOut::TxPhys { n1, frame, priority }),
+            N1Kind::Lower { port } => {
+                self.out.push(IpcpOut::TxLower { port, sdu: frame, priority })
+            }
+        }
+    }
+
+    fn deliver_local(&mut self, pdu: Pdu, from_n1: usize, now: Time) {
+        match pdu {
+            Pdu::Mgmt(m) => self.handle_mgmt(m, from_n1, now),
+            Pdu::Data(ref d) => {
+                let cep = d.dest_cep;
+                if self.is_shim {
+                    if let Some(r) = self.raw.get(&cep) {
+                        if r.phase == Phase::Active {
+                            self.out.push(IpcpOut::Deliver { port: r.port, sdu: d.payload.clone() });
+                        }
+                    }
+                    return;
+                }
+                if let Some(f) = self.conns.get_mut(&cep) {
+                    f.conn.on_pdu(&pdu, now.nanos());
+                    self.pump_conn(cep, now);
+                }
+            }
+            Pdu::Ctrl(ref c) => {
+                let cep = c.dest_cep;
+                if let Some(f) = self.conns.get_mut(&cep) {
+                    f.conn.on_pdu(&pdu, now.nanos());
+                    self.pump_conn(cep, now);
+                }
+            }
+        }
+    }
+
+    /// Pump one connection: route its outgoing PDUs, surface delivered
+    /// SDUs, detect failure.
+    fn pump_conn(&mut self, cep: CepId, now: Time) {
+        let Some(f) = self.conns.get_mut(&cep) else { return };
+        let port = f.port;
+        let mut pdus = Vec::new();
+        while let Some(p) = f.conn.poll_transmit() {
+            pdus.push(p);
+        }
+        let mut sdus = Vec::new();
+        while let Some(s) = f.conn.poll_deliver() {
+            sdus.push(s);
+        }
+        let failed = f.conn.is_failed();
+        for pdu in pdus {
+            if pdu.dest_addr() == self.addr && !self.is_shim {
+                // Flow to an app on the same member: loop back.
+                self.deliver_local(pdu, usize::MAX, now);
+            } else {
+                self.forward(pdu, now);
+            }
+        }
+        for sdu in sdus {
+            self.out.push(IpcpOut::Deliver { port, sdu });
+        }
+        if failed {
+            self.conns.remove(&cep);
+            self.out.push(IpcpOut::FlowFailed { port, reason: "efcp gave up (max rtx)" });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Management plumbing
+    // ------------------------------------------------------------------
+
+    fn handle_mgmt(&mut self, m: MgmtPdu, from_n1: usize, now: Time) {
+        let cdap = match CdapMsg::decode(&m.payload) {
+            Ok(c) => c,
+            Err(_) => {
+                self.stats.decode_errors += 1;
+                return;
+            }
+        };
+        let body = match MgmtBody::from_cdap(&cdap) {
+            Ok(b) => b,
+            Err(_) => {
+                self.stats.decode_errors += 1;
+                return;
+            }
+        };
+        match body {
+            MgmtBody::Hello { name, addr } => {
+                let mut changed = false;
+                let mut new_member = false;
+                if let Some(p) = self.n1.get_mut(from_n1) {
+                    p.last_hello = now;
+                    if !p.up {
+                        p.up = true;
+                        changed = true;
+                    }
+                    if p.peer_name.as_ref() != Some(&name) {
+                        p.peer_name = Some(name);
+                        changed = true;
+                    }
+                    // A hello carrying address 0 means the peer is not
+                    // (yet) enrolled; it must not *unlearn* an address we
+                    // already know — stale hellos cross enrollment
+                    // responses in flight.
+                    if addr != 0 && p.peer_addr != addr {
+                        p.peer_addr = addr;
+                        changed = true;
+                        new_member = true;
+                    }
+                }
+                if changed {
+                    self.refresh_lsa(now);
+                }
+                if new_member && !self.is_shim && self.enrolled {
+                    // A member (re)appeared on this port: bring it fully up
+                    // to date. RIEP dissemination is unreliable and
+                    // version-guarded, so (re)attachment is the moment to
+                    // resynchronize — this is what makes mobility's
+                    // join/leave cycles (§6.4) converge.
+                    self.resync_port(from_n1);
+                }
+            }
+            MgmtBody::EnrollRequest { name, credential, proposed_addr } => {
+                self.handle_enroll_request(from_n1, name, credential, proposed_addr, cdap.invoke_id);
+            }
+            MgmtBody::EnrollResponse { addr, snapshot } => {
+                if matches!(self.pending.remove(&cdap.invoke_id), Some(Pending::Enroll)) {
+                    self.handle_enroll_response(addr, snapshot, cdap.result, now);
+                }
+            }
+            MgmtBody::FlowRequest { src_app, dst_app, spec, src_addr, src_cep } => {
+                self.stats.flow_reqs_in += 1;
+                self.out.push(IpcpOut::FlowReqIn {
+                    src_app,
+                    dst_app,
+                    spec,
+                    src_addr,
+                    src_cep,
+                    invoke_id: cdap.invoke_id,
+                });
+            }
+            MgmtBody::FlowResponse { dst_cep, qos_id } => {
+                self.handle_flow_response(cdap.invoke_id, dst_cep, qos_id, cdap.result);
+            }
+            MgmtBody::FlowTeardown { cep } => {
+                if let Some(f) = self.conns.remove(&cep) {
+                    self.out.push(IpcpOut::FlowClosed { port: f.port });
+                } else if let Some(r) = self.raw.remove(&cep) {
+                    self.out.push(IpcpOut::FlowClosed { port: r.port });
+                }
+            }
+            MgmtBody::RibUpdate(obj) => {
+                let lsa_changed = obj.class == LSA_CLASS;
+                if self.rib.apply_remote(obj.clone()) {
+                    // Re-flood to all other live neighbors.
+                    for i in 0..self.n1.len() {
+                        if i != from_n1 && self.n1[i].up && self.n1[i].peer_addr != 0 {
+                            self.stats.rib_tx += 1;
+                            let b = MgmtBody::RibUpdate(obj.clone());
+                            self.send_mgmt_on(i, b, 0, 0);
+                        }
+                    }
+                    while self.rib.poll_event().is_some() {}
+                    if lsa_changed {
+                        self.recompute_routes();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Send a management body link-locally over one (N-1) port.
+    fn send_mgmt_on(&mut self, n1: usize, body: MgmtBody, invoke_id: u32, result: i32) {
+        let payload = body.encode(invoke_id, result);
+        let pdu = Pdu::Mgmt(MgmtPdu {
+            dest_addr: 0,
+            src_addr: self.addr,
+            ttl: 1,
+            payload,
+        });
+        self.stats.mgmt_tx += 1;
+        let frame = pdu.encode();
+        self.tx_n1(n1, frame, 7);
+    }
+
+    /// Send a management body to a member address (relayed if needed).
+    fn send_mgmt_addr(&mut self, dest: Addr, body: MgmtBody, invoke_id: u32, result: i32) {
+        let payload = body.encode(invoke_id, result);
+        let pdu = Pdu::Mgmt(MgmtPdu {
+            dest_addr: dest,
+            src_addr: self.addr,
+            ttl: rina_wire::efcp::DEFAULT_TTL,
+            payload,
+        });
+        self.stats.mgmt_tx += 1;
+        if dest == self.addr {
+            // Rare but possible: both apps on the same member.
+            self.deliver_local(pdu, usize::MAX, Time::ZERO);
+            return;
+        }
+        self.forward(pdu, Time::ZERO);
+    }
+
+    /// Flush RIB events (recompute routes on LSA changes) and disseminate
+    /// queued updates to all live neighbors.
+    fn drain_rib(&mut self) {
+        let mut lsa_changed = false;
+        while let Some(ev) = self.rib.poll_event() {
+            if ev.object().class == LSA_CLASS {
+                lsa_changed = true;
+            }
+            let _ = matches!(ev, RibEvent::Deleted(_));
+        }
+        if lsa_changed {
+            self.recompute_routes();
+        }
+        let mut updates = Vec::new();
+        while let Some(o) = self.rib.poll_dissemination() {
+            updates.push(o);
+        }
+        for obj in updates {
+            for i in 0..self.n1.len() {
+                if self.n1[i].up && self.n1[i].peer_addr != 0 {
+                    self.stats.rib_tx += 1;
+                    self.send_mgmt_on(i, MgmtBody::RibUpdate(obj.clone()), 0, 0);
+                }
+            }
+        }
+    }
+
+    fn next_cep(&mut self) -> CepId {
+        let c = self.next_cep;
+        self.next_cep += 1;
+        c
+    }
+
+    fn next_invoke(&mut self) -> u32 {
+        let i = self.next_invoke;
+        self.next_invoke += 1;
+        i
+    }
+
+    /// Number of active flows terminating at this member.
+    pub fn flow_count(&self) -> usize {
+        self.conns.len() + self.raw.len()
+    }
+
+    /// Aggregate EFCP stats over local flow endpoints.
+    pub fn conn_stats_sum(&self) -> rina_efcp::ConnStats {
+        let mut s = rina_efcp::ConnStats::default();
+        for f in self.conns.values() {
+            let c = f.conn.stats();
+            s.sdus_sent += c.sdus_sent;
+            s.pdus_sent += c.pdus_sent;
+            s.retransmissions += c.retransmissions;
+            s.timeouts += c.timeouts;
+            s.sdus_delivered += c.sdus_delivered;
+            s.bytes_delivered += c.bytes_delivered;
+            s.dup_pdus += c.dup_pdus;
+            s.ooo_pdus += c.ooo_pdus;
+            s.acks_sent += c.acks_sent;
+            s.rcv_dropped += c.rcv_dropped;
+        }
+        s
+    }
+}
+
+fn encode_addr(a: Addr) -> Bytes {
+    let mut w = rina_wire::codec::Writer::new();
+    w.varint(a);
+    w.finish()
+}
+
+fn decode_addr(b: &[u8]) -> Option<Addr> {
+    rina_wire::codec::Reader::new(b).varint().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dif::AuthPolicy;
+
+    fn mk(name: &str) -> Ipcp {
+        Ipcp::new(0, DifConfig::new("net"), AppName::new(name))
+    }
+
+    #[test]
+    fn bootstrap_writes_member_object() {
+        let mut a = mk("net.a");
+        a.bootstrap(1);
+        assert!(a.is_enrolled());
+        assert_eq!(a.addr, 1);
+        assert!(a.rib.get("/members/net.a").is_some());
+    }
+
+    #[test]
+    fn dir_register_and_lookup() {
+        let mut a = mk("net.a");
+        a.bootstrap(1);
+        a.dir_register(&AppName::new("web"));
+        assert_eq!(a.dir_lookup(&AppName::new("web")), Some(1));
+        assert_eq!(a.dir_lookup(&AppName::new("nope")), None);
+        a.dir_unregister(&AppName::new("web"));
+        assert_eq!(a.dir_lookup(&AppName::new("web")), None);
+    }
+
+    #[test]
+    fn shim_directory_points_at_peer() {
+        let mut s = mk("shim.a");
+        s.make_shim(1);
+        s.add_n1(N1Kind::Phys { iface: 0, mtu: 1500 });
+        assert_eq!(s.dir_lookup(&AppName::new("anything")), Some(2));
+    }
+
+    #[test]
+    fn alloc_flow_unknown_dest_fails_immediately() {
+        let mut a = mk("net.a");
+        a.bootstrap(1);
+        a.alloc_flow(10, AppName::new("c"), AppName::new("ghost"), QosSpec::reliable());
+        let out = a.take_out();
+        assert!(matches!(&out[..], [IpcpOut::FlowFailed { port: 10, .. }]));
+    }
+
+    #[test]
+    fn enroll_request_rejected_on_bad_secret() {
+        let mut sponsor = Ipcp::new(
+            0,
+            DifConfig::new("net").with_auth(AuthPolicy::Secret("sesame".into())),
+            AppName::new("net.sponsor"),
+        );
+        sponsor.bootstrap(1);
+        sponsor.add_n1(N1Kind::Phys { iface: 0, mtu: 1500 });
+        sponsor.handle_enroll_request(0, AppName::new("net.x"), "wrong".into(), 0, 5);
+        // The response effect is a TxPhys frame; decode it and check result.
+        let out = sponsor.take_out();
+        let frame = out
+            .iter()
+            .find_map(|o| match o {
+                IpcpOut::TxPhys { frame, .. } => Some(frame.clone()),
+                _ => None,
+            })
+            .expect("a response frame");
+        let pdu = Pdu::decode(&frame).unwrap();
+        let Pdu::Mgmt(m) = pdu else { panic!("mgmt expected") };
+        let cdap = CdapMsg::decode(&m.payload).unwrap();
+        assert_eq!(cdap.result, -2);
+        // And no member object was written.
+        assert!(sponsor.rib.get("/members/net.x").is_none());
+    }
+
+    #[test]
+    fn sponsor_assigns_sequential_addresses() {
+        let mut sponsor = mk("net.s");
+        sponsor.bootstrap(1);
+        sponsor.add_n1(N1Kind::Phys { iface: 0, mtu: 1500 });
+        sponsor.add_n1(N1Kind::Phys { iface: 1, mtu: 1500 });
+        sponsor.handle_enroll_request(0, AppName::new("net.x"), String::new(), 0, 1);
+        sponsor.handle_enroll_request(1, AppName::new("net.y"), String::new(), 0, 2);
+        let x = decode_addr(&sponsor.rib.get("/members/net.x").unwrap().value).unwrap();
+        let y = decode_addr(&sponsor.rib.get("/members/net.y").unwrap().value).unwrap();
+        assert_eq!((x, y), (2, 3));
+    }
+
+    #[test]
+    fn ttl_expiry_drops() {
+        let mut r = mk("net.r");
+        r.bootstrap(1);
+        let pdu = Pdu::Mgmt(MgmtPdu {
+            dest_addr: 99,
+            src_addr: 50,
+            ttl: 0,
+            payload: Bytes::new(),
+        });
+        r.rmt_in(pdu, 0, Time::ZERO);
+        assert_eq!(r.stats.ttl_drops, 1);
+    }
+
+    #[test]
+    fn no_route_counted() {
+        let mut r = mk("net.r");
+        r.bootstrap(1);
+        let pdu = Pdu::Mgmt(MgmtPdu {
+            dest_addr: 99,
+            src_addr: 50,
+            ttl: 8,
+            payload: Bytes::new(),
+        });
+        r.rmt_in(pdu, 0, Time::ZERO);
+        assert_eq!(r.stats.no_route, 1);
+    }
+
+    #[test]
+    fn garbage_frame_counted_not_panicking() {
+        let mut r = mk("net.r");
+        r.bootstrap(1);
+        r.add_n1(N1Kind::Phys { iface: 0, mtu: 1500 });
+        r.on_frame(0, Bytes::from_static(b"\xde\xad\xbe\xef"), Time::ZERO);
+        assert_eq!(r.stats.decode_errors, 1);
+    }
+}

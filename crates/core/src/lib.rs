@@ -1,0 +1,90 @@
+//! # rina — "Networking is IPC", the architecture itself
+//!
+//! This crate implements the recursive distributed-IPC architecture of
+//! Day, Matta & Mattar, *"Networking is IPC": A Guiding Principle to a
+//! Better Internet* (BUCS-TR-2008-019, 2008): a single kind of layer — the
+//! **Distributed IPC Facility (DIF)** — repeating over different scopes,
+//! each instance running the same mechanisms under scope-appropriate
+//! policies.
+//!
+//! ## The pieces
+//!
+//! * [`naming`] — location-independent application names; DIF-internal
+//!   addresses that applications never see; local port ids.
+//! * [`qos`] — what applications ask for ([`QosSpec`]) and what DIFs offer
+//!   ([`QosCube`]).
+//! * [`dif`] — the per-DIF policy bundle: membership auth, QoS cubes,
+//!   scheduling, hello cadence.
+//! * [`ipcp`] — the IPC process: data transfer (relay + multiplex),
+//!   transfer control (EFCP), and management (enrollment §5.2, flow
+//!   allocation §5.3, RIEP over the RIB).
+//! * [`routing`] — link-state routing per DIF and the **two-step
+//!   forwarding** of Figure 4 (next-hop address, then live (N-1) path).
+//! * [`node`] — the IPC manager of one machine; hosts applications and the
+//!   DIF stack.
+//! * [`net`] — declarative construction of whole internetworks.
+//! * [`apps`] — ready-made application processes for experiments.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rina::prelude::*;
+//!
+//! // Two hosts on one wire, one DIF spanning them (Figure 1).
+//! let mut b = NetBuilder::new(7);
+//! let h1 = b.node("h1");
+//! let h2 = b.node("h2");
+//! let wire = b.link(h1, h2, LinkCfg::wired());
+//! let net_dif = b.dif(DifConfig::new("net"));
+//! b.join(net_dif, h1);
+//! b.join(net_dif, h2);
+//! b.adjacency_over_link(net_dif, h1, h2, wire);
+//!
+//! // An echo server, found purely by name.
+//! b.app(h2, AppName::new("echo"), net_dif, EchoApp::default());
+//! let ping = b.app(
+//!     h1,
+//!     AppName::new("ping"),
+//!     net_dif,
+//!     PingApp::new(AppName::new("echo"), QosSpec::reliable(), 3, 64),
+//! );
+//!
+//! let mut net = b.build();
+//! net.run_until_assembled(Dur::from_secs(10), Dur::from_millis(200));
+//! net.run_for(Dur::from_secs(2));
+//! assert!(net.node(h1).app::<PingApp>(ping).done());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod apps;
+pub mod dif;
+pub mod ipcp;
+pub mod msg;
+pub mod naming;
+pub mod net;
+pub mod node;
+pub mod qos;
+pub mod routing;
+pub mod rmt;
+
+pub use app::{AppProcess, IpcApi, IpcError};
+pub use dif::{AuthPolicy, DifConfig, SchedPolicy};
+pub use naming::{Addr, AppName, DifName, PortId};
+pub use net::{Net, NetBuilder, Via};
+pub use node::{ext_timer_key, Node};
+pub use qos::{QosCube, QosSpec};
+
+/// Convenient glob-import for examples and experiments.
+pub mod prelude {
+    pub use crate::app::{AppProcess, IpcApi};
+    pub use crate::apps::{EchoApp, PingApp, SinkApp, SourceApp};
+    pub use crate::dif::{AuthPolicy, DifConfig, SchedPolicy};
+    pub use crate::naming::{AppName, DifName, PortId};
+    pub use crate::net::{Net, NetBuilder, Via};
+    pub use crate::node::{ext_timer_key, Node};
+    pub use crate::qos::{QosCube, QosSpec};
+    pub use bytes::Bytes;
+    pub use rina_sim::{Dur, LinkCfg, LossModel, Time};
+}

@@ -1,0 +1,270 @@
+//! Typed layer-management messages, carried as CDAP over management PDUs.
+//!
+//! Everything the paper's *IPC Management* task says to a peer is one of
+//! these: neighbor hellos, enrollment (§5.2), flow allocation (§5.3), and
+//! RIEP object dissemination. [`MgmtBody`] gives each a typed form and maps
+//! it onto the generic CDAP envelope from `rina-wire`.
+
+use crate::naming::AppName;
+use crate::qos::QosSpec;
+use bytes::Bytes;
+use rina_rib::RibObject;
+use rina_wire::codec::{Reader, Writer};
+use rina_wire::{Addr, CdapMsg, CepId, OpCode, WireError};
+
+/// Object class names used on the wire.
+mod class {
+    pub const HELLO: &str = "hello";
+    pub const ENROLL: &str = "enrollment";
+    pub const FLOW: &str = "flow";
+    pub const RIB: &str = "rib-object";
+}
+
+/// A typed management message body.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MgmtBody {
+    /// Periodic link-local announcement over an (N-1) port: who is on the
+    /// other side. Also serves as keepalive.
+    Hello {
+        /// Sender's IPC-process application name.
+        name: AppName,
+        /// Sender's DIF-internal address (0 if not yet enrolled).
+        addr: Addr,
+    },
+    /// Request to join the DIF (sent to a member over an (N-1) flow).
+    EnrollRequest {
+        /// Joiner's IPC-process application name.
+        name: AppName,
+        /// Credential for the DIF's [`crate::dif::AuthPolicy`].
+        credential: String,
+        /// Address the joiner proposes (0 = sponsor chooses). Statically
+        /// planned networks propose to avoid races between concurrent
+        /// sponsors; the sponsor still verifies uniqueness.
+        proposed_addr: Addr,
+    },
+    /// Enrollment outcome. On success carries the assigned address and a
+    /// full RIB synchronization set.
+    EnrollResponse {
+        /// Address assigned to the joiner (0 on failure).
+        addr: Addr,
+        /// RIB snapshot to initialize the joiner.
+        snapshot: Vec<RibObject>,
+    },
+    /// Ask the member hosting the destination application to create a flow
+    /// (the request "continues to the identified IPC process to ensure that
+    /// the application is really there and that the requester has access to
+    /// it", §5.3).
+    FlowRequest {
+        /// Requesting application.
+        src_app: AppName,
+        /// Destination application.
+        dst_app: AppName,
+        /// Requested properties.
+        spec: QosSpec,
+        /// Requester's member address.
+        src_addr: Addr,
+        /// Requester's connection endpoint.
+        src_cep: CepId,
+    },
+    /// Flow allocation outcome.
+    FlowResponse {
+        /// Responder's connection endpoint (0 on failure).
+        dst_cep: CepId,
+        /// QoS cube the flow was bound to.
+        qos_id: u8,
+    },
+    /// Tear down a flow by its destination endpoint.
+    FlowTeardown {
+        /// The endpoint at the receiver of this message.
+        cep: CepId,
+    },
+    /// RIEP dissemination of one RIB object version.
+    RibUpdate(RibObject),
+}
+
+impl MgmtBody {
+    /// Wrap into a CDAP message with the given invoke id and result code.
+    pub fn into_cdap(self, invoke_id: u32, result: i32) -> CdapMsg {
+        let (op, cls, name, value) = match self {
+            MgmtBody::Hello { name, addr } => {
+                let mut w = Writer::new();
+                w.string(&name.key()).varint(addr);
+                (OpCode::Write, class::HELLO, "/neighbors/self".to_string(), w.finish())
+            }
+            MgmtBody::EnrollRequest { name, credential, proposed_addr } => {
+                let mut w = Writer::new();
+                w.string(&name.key()).string(&credential).varint(proposed_addr);
+                (OpCode::Connect, class::ENROLL, "/enrollment".to_string(), w.finish())
+            }
+            MgmtBody::EnrollResponse { addr, snapshot } => {
+                let mut w = Writer::new();
+                w.varint(addr).varint(snapshot.len() as u64);
+                for o in &snapshot {
+                    w.bytes(&o.encode());
+                }
+                (OpCode::ConnectR, class::ENROLL, "/enrollment".to_string(), w.finish())
+            }
+            MgmtBody::FlowRequest { src_app, dst_app, spec, src_addr, src_cep } => {
+                let mut w = Writer::new();
+                w.string(&src_app.key()).string(&dst_app.key());
+                spec.encode_into(&mut w);
+                w.varint(src_addr).varint(src_cep as u64);
+                (OpCode::Create, class::FLOW, format!("/flows/{}", dst_app.key()), w.finish())
+            }
+            MgmtBody::FlowResponse { dst_cep, qos_id } => {
+                let mut w = Writer::new();
+                w.varint(dst_cep as u64).u8(qos_id);
+                (OpCode::CreateR, class::FLOW, "/flows".to_string(), w.finish())
+            }
+            MgmtBody::FlowTeardown { cep } => {
+                let mut w = Writer::new();
+                w.varint(cep as u64);
+                (OpCode::Delete, class::FLOW, "/flows".to_string(), w.finish())
+            }
+            MgmtBody::RibUpdate(obj) => {
+                let name = obj.name.clone();
+                (OpCode::Write, class::RIB, name, obj.encode())
+            }
+        };
+        CdapMsg {
+            op,
+            invoke_id,
+            obj_class: cls.to_string(),
+            obj_name: name,
+            result,
+            value,
+        }
+    }
+
+    /// Parse a CDAP message back into a typed body.
+    pub fn from_cdap(m: &CdapMsg) -> Result<MgmtBody, WireError> {
+        let mut r = Reader::new(&m.value);
+        match (m.op, m.obj_class.as_str()) {
+            (OpCode::Write, class::HELLO) => {
+                let name = AppName::from_key(r.string()?);
+                let addr = r.varint()?;
+                r.expect_end()?;
+                Ok(MgmtBody::Hello { name, addr })
+            }
+            (OpCode::Connect, class::ENROLL) => {
+                let name = AppName::from_key(r.string()?);
+                let credential = r.string()?.to_string();
+                let proposed_addr = r.varint()?;
+                r.expect_end()?;
+                Ok(MgmtBody::EnrollRequest { name, credential, proposed_addr })
+            }
+            (OpCode::ConnectR, class::ENROLL) => {
+                let addr = r.varint()?;
+                let n = r.varint()? as usize;
+                let mut snapshot = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    snapshot.push(RibObject::decode(r.bytes()?)?);
+                }
+                r.expect_end()?;
+                Ok(MgmtBody::EnrollResponse { addr, snapshot })
+            }
+            (OpCode::Create, class::FLOW) => {
+                let src_app = AppName::from_key(r.string()?);
+                let dst_app = AppName::from_key(r.string()?);
+                let spec = QosSpec::decode_from(&mut r)?;
+                let src_addr = r.varint()?;
+                let src_cep = cep(r.varint()?)?;
+                r.expect_end()?;
+                Ok(MgmtBody::FlowRequest { src_app, dst_app, spec, src_addr, src_cep })
+            }
+            (OpCode::CreateR, class::FLOW) => {
+                let dst_cep = cep(r.varint()?)?;
+                let qos_id = r.u8()?;
+                r.expect_end()?;
+                Ok(MgmtBody::FlowResponse { dst_cep, qos_id })
+            }
+            (OpCode::Delete, class::FLOW) => {
+                let c = cep(r.varint()?)?;
+                r.expect_end()?;
+                Ok(MgmtBody::FlowTeardown { cep: c })
+            }
+            (OpCode::Write, class::RIB) => Ok(MgmtBody::RibUpdate(RibObject::decode(&m.value)?)),
+            _ => Err(WireError::Invalid("mgmt op/class")),
+        }
+    }
+
+    /// Encode straight to bytes (CDAP envelope included).
+    pub fn encode(self, invoke_id: u32, result: i32) -> Bytes {
+        self.into_cdap(invoke_id, result).encode()
+    }
+}
+
+fn cep(v: u64) -> Result<CepId, WireError> {
+    CepId::try_from(v).map_err(|_| WireError::Invalid("cep id"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(body: MgmtBody) {
+        let cd = body.clone().into_cdap(42, 0);
+        let b = cd.encode();
+        let back = CdapMsg::decode(&b).unwrap();
+        assert_eq!(back.invoke_id, 42);
+        assert_eq!(MgmtBody::from_cdap(&back).unwrap(), body);
+    }
+
+    #[test]
+    fn hello_roundtrip() {
+        roundtrip(MgmtBody::Hello { name: AppName::new("net.r1"), addr: 7 });
+        roundtrip(MgmtBody::Hello { name: AppName::with_instance("net", "2"), addr: 0 });
+    }
+
+    #[test]
+    fn enroll_roundtrip() {
+        roundtrip(MgmtBody::EnrollRequest {
+            name: AppName::new("net.h1"),
+            credential: "s3cret".into(),
+            proposed_addr: 4,
+        });
+        roundtrip(MgmtBody::EnrollResponse {
+            addr: 9,
+            snapshot: vec![RibObject {
+                name: "/dir/a".into(),
+                class: "dir".into(),
+                value: Bytes::from_static(b"\x07"),
+                version: 3,
+                origin: 1,
+                deleted: false,
+            }],
+        });
+        roundtrip(MgmtBody::EnrollResponse { addr: 0, snapshot: vec![] });
+    }
+
+    #[test]
+    fn flow_roundtrip() {
+        roundtrip(MgmtBody::FlowRequest {
+            src_app: AppName::new("client"),
+            dst_app: AppName::new("server"),
+            spec: QosSpec::reliable(),
+            src_addr: 3,
+            src_cep: 11,
+        });
+        roundtrip(MgmtBody::FlowResponse { dst_cep: 12, qos_id: 1 });
+        roundtrip(MgmtBody::FlowTeardown { cep: 12 });
+    }
+
+    #[test]
+    fn rib_update_roundtrip() {
+        roundtrip(MgmtBody::RibUpdate(RibObject {
+            name: "/lsa/4".into(),
+            class: "lsa".into(),
+            value: Bytes::from_static(b"\x01\x02\x03"),
+            version: 8,
+            origin: 4,
+            deleted: false,
+        }));
+    }
+
+    #[test]
+    fn unknown_combination_rejected() {
+        let m = CdapMsg::request(OpCode::Stop, 1, "bogus", "/x", Bytes::new());
+        assert!(MgmtBody::from_cdap(&m).is_err());
+    }
+}

@@ -1,0 +1,400 @@
+//! Declarative network construction.
+//!
+//! [`NetBuilder`] assembles a whole simulated internetwork: machines,
+//! physical links (each automatically wrapped in a shim DIF "tailored to
+//! the medium"), DIFs of any rank stacked over links or over other DIFs,
+//! and application processes. `build()` computes an enrollment spanning
+//! tree per DIF from its declared adjacencies; at simulation start the
+//! stack then assembles itself bottom-up, exactly as §5 describes (create,
+//! enroll, operate).
+
+use crate::app::AppProcess;
+use crate::dif::{AuthPolicy, DifConfig};
+use crate::naming::AppName;
+use crate::node::Node;
+use crate::qos::QosSpec;
+use rina_sim::{Dur, LinkCfg, LinkId, NodeId, Sim, Time};
+use std::collections::{HashMap, VecDeque};
+
+/// How a DIF adjacency is carried.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Via {
+    /// Over the shim of physical link `link_id` (as returned by
+    /// [`NetBuilder::link`]).
+    Link(usize),
+    /// Over a flow allocated from another (lower-rank) DIF.
+    Dif(usize),
+}
+
+struct AdjPlan {
+    dif: usize,
+    a: usize,
+    b: usize,
+    via: Via,
+    spec: QosSpec,
+}
+
+struct DifPlan {
+    cfg: DifConfig,
+    /// Node index → ipcp index on that node, in join order (first =
+    /// bootstrap member).
+    members: Vec<(usize, usize)>,
+    /// Per-node credential override (node index → credential a joiner
+    /// presents instead of the DIF's real secret — impostor testing).
+    credential_overrides: HashMap<usize, String>,
+}
+
+/// Builder for a complete simulated network. See the crate examples.
+pub struct NetBuilder {
+    sim: Sim,
+    nodes: Vec<NodeId>,
+    links: Vec<(usize, usize, LinkId)>,
+    shim_of: HashMap<(usize, usize), usize>,
+    difs: Vec<DifPlan>,
+    adjacencies: Vec<AdjPlan>,
+    shim_count: usize,
+    shim_sched: crate::dif::SchedPolicy,
+}
+
+impl NetBuilder {
+    /// Start building with a deterministic RNG seed.
+    pub fn new(seed: u64) -> Self {
+        NetBuilder {
+            sim: Sim::new(seed),
+            nodes: Vec::new(),
+            links: Vec::new(),
+            shim_of: HashMap::new(),
+            difs: Vec::new(),
+            adjacencies: Vec::new(),
+            shim_count: 0,
+            shim_sched: crate::dif::SchedPolicy::Priority,
+        }
+    }
+
+    /// Set the transmit-scheduling policy shims created by subsequent
+    /// [`NetBuilder::link`] calls apply at their media (the bottleneck
+    /// queues). `Fifo` models the best-effort baseline.
+    pub fn set_shim_sched(&mut self, s: crate::dif::SchedPolicy) {
+        self.shim_sched = s;
+    }
+
+    /// Add a machine. Returns its index.
+    pub fn node(&mut self, name: &str) -> usize {
+        let id = self.sim.add_node(Node::new(name));
+        self.nodes.push(id);
+        self.nodes.len() - 1
+    }
+
+    /// Connect two machines with a physical link; both ends get shim IPC
+    /// processes. Returns the link index for [`Via::Link`].
+    pub fn link(&mut self, a: usize, b: usize, cfg: LinkCfg) -> usize {
+        let mtu = cfg.mtu;
+        let (lid, ia, ib) = self.sim.connect(self.nodes[a], self.nodes[b], cfg);
+        let lidx = self.links.len();
+        self.links.push((a, b, lid));
+        let shim_name = self.shim_count;
+        self.shim_count += 1;
+        let mut shim_cfg = DifConfig::new(&format!("shim{shim_name}"))
+            .with_cubes(crate::qos::QosCube::shim_set())
+            .with_sched(self.shim_sched);
+        shim_cfg.hello_period = Dur::from_millis(100);
+        let na = {
+            let node = self.node_mut(a);
+            let name_a = AppName::new(&format!("shim{shim_name}.a"));
+            node.add_shim(shim_cfg.clone(), name_a, ia, 0, mtu)
+        };
+        let nb = {
+            let node = self.node_mut(b);
+            let name_b = AppName::new(&format!("shim{shim_name}.b"));
+            node.add_shim(shim_cfg, name_b, ib, 1, mtu)
+        };
+        self.shim_of.insert((lidx, a), na);
+        self.shim_of.insert((lidx, b), nb);
+        lidx
+    }
+
+    /// Declare a DIF. Returns its index.
+    pub fn dif(&mut self, cfg: DifConfig) -> usize {
+        self.difs.push(DifPlan {
+            cfg,
+            members: Vec::new(),
+            credential_overrides: HashMap::new(),
+        });
+        self.difs.len() - 1
+    }
+
+    /// Make `node` present `credential` when enrolling in `dif`, instead
+    /// of the DIF's configured secret. For testing membership control: an
+    /// impostor presenting the wrong credential never becomes a member.
+    pub fn join_credential(&mut self, dif: usize, node: usize, credential: &str) {
+        self.difs[dif]
+            .credential_overrides
+            .insert(node, credential.to_string());
+    }
+
+    /// Make `node` a member of `dif`. The first member is the DIF's
+    /// bootstrap (address 1); all others enroll at runtime (§5.2).
+    pub fn join(&mut self, dif: usize, node: usize) {
+        let cfg = self.difs[dif].cfg.clone();
+        let node_name = self.node_name(node);
+        let ipcp_name = AppName::new(&format!("{}.{}", cfg.name.0, node_name));
+        let idx = self.node_mut(node).add_ipcp(cfg, ipcp_name);
+        let first = self.difs[dif].members.is_empty();
+        if first {
+            self.node_mut(node).bootstrap_ipcp(idx, 1);
+        }
+        self.difs[dif].members.push((node, idx));
+    }
+
+    /// Declare that members `a` and `b` of `dif` are adjacent, carried
+    /// `via` a link shim or a lower DIF, with flow properties `spec`.
+    pub fn adjacency(&mut self, dif: usize, a: usize, b: usize, via: Via, spec: QosSpec) {
+        self.adjacencies.push(AdjPlan { dif, a, b, via, spec });
+    }
+
+    /// Shorthand: adjacency carried over a link shim with datagram
+    /// properties (relays do not retransmit; end DIFs keep responsibility).
+    pub fn adjacency_over_link(&mut self, dif: usize, a: usize, b: usize, link: usize) {
+        self.adjacency(dif, a, b, Via::Link(link), QosSpec::datagram());
+    }
+
+    /// Host an application on `node`, registered in `dif`'s directory.
+    /// Returns the node-local application index.
+    pub fn app(&mut self, node: usize, name: AppName, dif: usize, behavior: impl AppProcess) -> usize {
+        let ipcp = self.ipcp_of(dif, node);
+        let n = self.node_mut(node);
+        let idx = n.add_app(name.clone(), behavior);
+        n.register_name(name, ipcp);
+        idx
+    }
+
+    /// The ipcp index of `dif`'s member on `node`.
+    ///
+    /// # Panics
+    /// If `node` is not a member of `dif`.
+    pub fn ipcp_of(&self, dif: usize, node: usize) -> usize {
+        self.difs[dif]
+            .members
+            .iter()
+            .find(|&&(n, _)| n == node)
+            .map(|&(_, i)| i)
+            .unwrap_or_else(|| panic!("node {node} is not a member of dif {dif}"))
+    }
+
+    fn node_mut(&mut self, idx: usize) -> &mut Node {
+        let id = self.nodes[idx];
+        self.sim.agent_mut::<Node>(id)
+    }
+
+    fn node_name(&mut self, idx: usize) -> String {
+        let id = self.nodes[idx];
+        self.sim.agent_mut::<Node>(id).name.clone()
+    }
+
+    /// Resolve the provider ipcp index on `node` for an adjacency.
+    fn provider_on(&self, via: Via, node: usize) -> usize {
+        match via {
+            Via::Link(l) => *self
+                .shim_of
+                .get(&(l, node))
+                .unwrap_or_else(|| panic!("link {l} has no end at node {node}")),
+            Via::Dif(d) => self.ipcp_of(d, node),
+        }
+    }
+
+    /// Finalize: compute per-DIF enrollment spanning trees and install all
+    /// (N-1) plans. Returns the runnable [`Net`].
+    pub fn build(mut self) -> Net {
+        // Group adjacencies per dif.
+        for dif in 0..self.difs.len() {
+            let members: Vec<usize> = self.difs[dif].members.iter().map(|&(n, _)| n).collect();
+            if members.len() <= 1 {
+                continue;
+            }
+            let adjs: Vec<(usize, usize, Via, QosSpec)> = self
+                .adjacencies
+                .iter()
+                .filter(|a| a.dif == dif)
+                .map(|a| (a.a, a.b, a.via, a.spec))
+                .collect();
+            // BFS from the bootstrap member over declared adjacencies.
+            let boot = members[0];
+            let mut parent: HashMap<usize, (usize, Via, QosSpec)> = HashMap::new();
+            let mut seen = vec![boot];
+            let mut q = VecDeque::from([boot]);
+            while let Some(u) = q.pop_front() {
+                for &(a, b, via, spec) in &adjs {
+                    let v = if a == u {
+                        b
+                    } else if b == u {
+                        a
+                    } else {
+                        continue;
+                    };
+                    if !seen.contains(&v) {
+                        seen.push(v);
+                        parent.insert(v, (u, via, spec));
+                        q.push_back(v);
+                    }
+                }
+            }
+            for &m in &members {
+                assert!(
+                    m == boot || parent.contains_key(&m),
+                    "dif {}: member node {m} has no adjacency path to the bootstrap",
+                    self.difs[dif].cfg.name
+                );
+            }
+            let credential = match &self.difs[dif].cfg.auth {
+                AuthPolicy::Open => String::new(),
+                AuthPolicy::Secret(s) => s.clone(),
+            };
+            // Enrollment plans: child allocates the flow toward its parent
+            // and enrolls through it.
+            let overrides = self.difs[dif].credential_overrides.clone();
+            // Member addresses are pre-assigned by join order (bootstrap =
+            // 1); joiners propose them at enrollment so concurrent
+            // sponsors cannot collide.
+            let addr_of: HashMap<usize, u64> = self.difs[dif]
+                .members
+                .iter()
+                .enumerate()
+                .map(|(i, &(n, _))| (n, i as u64 + 1))
+                .collect();
+            for (&child, &(par, via, spec)) in &parent {
+                let credential = overrides.get(&child).unwrap_or(&credential).clone();
+                let proposed = addr_of.get(&child).copied().unwrap_or(0);
+                let upper_child = self.ipcp_of(dif, child);
+                let provider_child = self.provider_on(via, child);
+                let dst = self.ipcp_name(dif, par);
+                // Register the upper ipcp names in lower-DIF directories so
+                // flows to them can be allocated.
+                if let Via::Dif(lower) = via {
+                    let par_upper_name = self.ipcp_name(dif, par);
+                    let par_provider = self.ipcp_of(lower, par);
+                    self.node_mut(par).register_name(par_upper_name, par_provider);
+                    let child_upper_name = self.ipcp_name(dif, child);
+                    let child_provider = self.ipcp_of(lower, child);
+                    self.node_mut(child).register_name(child_upper_name, child_provider);
+                }
+                self.node_mut(child).plan_n1(
+                    upper_child,
+                    dst,
+                    spec,
+                    provider_child,
+                    Some((&credential, proposed)),
+                );
+            }
+            // Non-tree adjacencies: plain flows from the BFS-later side.
+            let order: HashMap<usize, usize> =
+                seen.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+            for &(a, b, via, spec) in &adjs {
+                let tree_edge = parent.get(&a).map(|&(p, _, _)| p) == Some(b)
+                    || parent.get(&b).map(|&(p, _, _)| p) == Some(a);
+                if tree_edge {
+                    continue;
+                }
+                let (src, dst_node) = if order.get(&a).unwrap_or(&usize::MAX)
+                    > order.get(&b).unwrap_or(&usize::MAX)
+                {
+                    (a, b)
+                } else {
+                    (b, a)
+                };
+                let upper = self.ipcp_of(dif, src);
+                let provider = self.provider_on(via, src);
+                let dst = self.ipcp_name(dif, dst_node);
+                if let Via::Dif(lower) = via {
+                    let dst_upper_name = self.ipcp_name(dif, dst_node);
+                    let dst_provider = self.ipcp_of(lower, dst_node);
+                    self.node_mut(dst_node).register_name(dst_upper_name, dst_provider);
+                    let src_upper_name = self.ipcp_name(dif, src);
+                    let src_provider = self.ipcp_of(lower, src);
+                    self.node_mut(src).register_name(src_upper_name, src_provider);
+                }
+                self.node_mut(src).plan_n1(upper, dst, spec, provider, None);
+            }
+        }
+        Net { sim: self.sim, nodes: self.nodes, links: self.links }
+    }
+
+    fn ipcp_name(&mut self, dif: usize, node: usize) -> AppName {
+        let dif_name = self.difs[dif].cfg.name.0.clone();
+        let node_name = self.node_name(node);
+        AppName::new(&format!("{dif_name}.{node_name}"))
+    }
+}
+
+/// A built, runnable network.
+pub struct Net {
+    /// The underlying simulator.
+    pub sim: Sim,
+    nodes: Vec<NodeId>,
+    links: Vec<(usize, usize, LinkId)>,
+}
+
+impl Net {
+    /// Immutable access to a machine.
+    pub fn node(&self, idx: usize) -> &Node {
+        self.sim.agent::<Node>(self.nodes[idx])
+    }
+
+    /// Mutable access to a machine.
+    pub fn node_mut(&mut self, idx: usize) -> &mut Node {
+        self.sim.agent_mut::<Node>(self.nodes[idx])
+    }
+
+    /// The sim-level id of a machine (for [`rina_sim::Sim::call`]).
+    pub fn node_id(&self, idx: usize) -> NodeId {
+        self.nodes[idx]
+    }
+
+    /// The sim-level id of a link (for failure injection).
+    pub fn link_id(&self, idx: usize) -> LinkId {
+        self.links[idx].2
+    }
+
+    /// Bring a physical link down or up mid-run.
+    pub fn set_link_up(&mut self, idx: usize, up: bool) {
+        let id = self.links[idx].2;
+        self.sim.set_link_up(id, up);
+    }
+
+    /// Run until every node's stack has assembled (all plans satisfied,
+    /// all members enrolled), plus `settle` extra time for directory and
+    /// routing dissemination. Panics after `limit` of virtual time.
+    pub fn run_until_assembled(&mut self, limit: Dur, settle: Dur) -> Time {
+        let deadline = self.sim.now() + limit;
+        loop {
+            let t = self.sim.now() + Dur::from_millis(50);
+            self.sim.run_until(t);
+            if self.assembled() {
+                break;
+            }
+            assert!(
+                self.sim.now() < deadline,
+                "network failed to assemble within {limit}"
+            );
+        }
+        let t = self.sim.now() + settle;
+        self.sim.run_until(t);
+        self.sim.now()
+    }
+
+    /// Whether every machine's stack has assembled.
+    pub fn assembled(&self) -> bool {
+        self.nodes
+            .iter()
+            .all(|&id| self.sim.agent::<Node>(id).assembled())
+    }
+
+    /// Run for `d` of virtual time.
+    pub fn run_for(&mut self, d: Dur) -> Time {
+        self.sim.run_for(d)
+    }
+
+    /// Number of machines.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}

@@ -1,0 +1,842 @@
+//! A simulated machine: the IPC manager.
+//!
+//! A [`Node`] hosts application processes and a stack of IPC processes
+//! (shims bound to its physical interfaces, plus members of higher DIFs).
+//! It is the glue the paper calls the *IPC manager* (§3.1, Figure 1): it
+//! owns the port table that binds applications (and higher IPC processes —
+//! they are applications too, §4) to the flows lower DIFs provide, executes
+//! the effects IPC processes emit, and runs their timers.
+//!
+//! Construction is declarative: shims are attached to interfaces, higher
+//! DIF memberships are *planned* ([`Node::plan_n1`]) as "allocate a flow to
+//! that peer IPC process and, optionally, enroll through it". Plans retry
+//! until the stack assembles itself — exactly the bottom-up self-formation
+//! the paper's §5 describes.
+
+use crate::app::{AppProcess, IpcApi, IpcError};
+use crate::dif::DifConfig;
+use crate::ipcp::{Ipcp, IpcpOut, N1Kind};
+use crate::naming::{Addr, AppName, PortId};
+use crate::qos::QosSpec;
+use crate::rmt::RmtQueue;
+use bytes::Bytes;
+use rina_sim::{Agent, Ctx, Dur, Event, IfaceId, SendError, Time};
+use rina_wire::CepId;
+use std::any::Any;
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// Timer key bit marking externally injected application timers (see
+/// [`ext_timer_key`]).
+const EXT_BIT: u64 = 1 << 63;
+
+/// Build the key for [`rina_sim::Sim::call`] that fires
+/// [`AppProcess::on_timer`] with `key` at application `app` of the target
+/// node. Lets benches poke applications without holding a context.
+pub fn ext_timer_key(app: usize, key: u32) -> u64 {
+    EXT_BIT | ((app as u64) << 32) | key as u64
+}
+
+/// Who consumes SDUs delivered on a port.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Owner {
+    /// A local application process.
+    App(usize),
+    /// A higher IPC process using this flow as an (N-1) port.
+    Upper(usize),
+}
+
+struct PortState {
+    owner: Owner,
+    provider: usize,
+    handle: u64,
+    active: bool,
+    n1_of_owner: Option<usize>,
+}
+
+struct AppEntry {
+    name: AppName,
+    behavior: Option<Box<dyn AnyApp>>,
+}
+
+trait AnyApp: AppProcess {
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+impl<T: AppProcess> AnyApp for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A planned (N-1) adjacency for a higher IPC process, retried until it
+/// holds. Optionally doubles as the enrollment path.
+struct N1Plan {
+    upper: usize,
+    dst: AppName,
+    spec: QosSpec,
+    via: usize,
+    credential: Option<(String, u64)>,
+    port: Option<u64>,
+    satisfied: bool,
+    /// A retry timer is already armed (dedupe: multiple failure signals
+    /// for one attempt must not multiply retries).
+    retry_pending: bool,
+}
+
+struct Pace {
+    queue: RmtQueue,
+    busy_until: Time,
+    iface: IfaceId,
+    /// A wake-up timer for `busy_until` is already armed.
+    timer_armed: bool,
+}
+
+enum TimerKind {
+    Hello(usize),
+    EnrollRetry { ipcp: usize, credential: String, proposed: u64 },
+    Conn { ipcp: usize, cep: CepId },
+    Pace { ipcp: usize, n1: usize },
+    App { app: usize, key: u64 },
+    N1Retry(usize),
+    AllocTimeout { port: u64 },
+}
+
+enum Work {
+    WritePort { port: u64, sdu: Bytes, priority: Option<u8> },
+    DeliverPort { port: u64, sdu: Bytes },
+    NotifyActive { port: u64, peer: AppName },
+    NotifyFailed { port: u64, reason: &'static str },
+    NotifyClosed { port: u64 },
+    FlowReqIn {
+        ipcp: usize,
+        src_app: AppName,
+        dst_app: AppName,
+        spec: QosSpec,
+        src_addr: Addr,
+        src_cep: CepId,
+        invoke_id: u32,
+    },
+}
+
+/// A simulated machine hosting applications and a DIF stack.
+pub struct Node {
+    /// Machine name (debugging and IPC-process naming convention).
+    pub name: String,
+    apps: Vec<AppEntry>,
+    ipcps: Vec<Ipcp>,
+    ports: HashMap<u64, PortState>,
+    next_port: u64,
+    next_handle: u64,
+    timers: HashMap<u64, TimerKind>,
+    next_token: u64,
+    workq: VecDeque<Work>,
+    ifmap: HashMap<u32, (usize, usize)>,
+    pace: HashMap<(usize, usize), Pace>,
+    plans: Vec<N1Plan>,
+    pending_regs: Vec<(AppName, usize)>,
+    dirty: BTreeSet<usize>,
+    armed_conn: HashMap<(usize, CepId), (u64, u64)>,
+    /// SDUs delivered to ports with no live owner (diagnostic).
+    pub orphan_sdus: u64,
+}
+
+impl Node {
+    /// A machine with no applications or IPC processes yet.
+    pub fn new(name: &str) -> Self {
+        Node {
+            name: name.to_string(),
+            apps: Vec::new(),
+            ipcps: Vec::new(),
+            ports: HashMap::new(),
+            next_port: 1,
+            next_handle: 1,
+            timers: HashMap::new(),
+            next_token: 1,
+            workq: VecDeque::new(),
+            ifmap: HashMap::new(),
+            pace: HashMap::new(),
+            plans: Vec::new(),
+            pending_regs: Vec::new(),
+            dirty: BTreeSet::new(),
+            armed_conn: HashMap::new(),
+            orphan_sdus: 0,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Construction (called before the simulation runs)
+    // ------------------------------------------------------------------
+
+    /// Host an application process. Returns its index.
+    pub fn add_app(&mut self, name: AppName, behavior: impl AppProcess) -> usize {
+        self.apps.push(AppEntry { name, behavior: Some(Box::new(behavior)) });
+        self.apps.len() - 1
+    }
+
+    /// Create an IPC process for `cfg` named `name`. Returns its index.
+    pub fn add_ipcp(&mut self, cfg: DifConfig, name: AppName) -> usize {
+        let idx = self.ipcps.len();
+        self.ipcps.push(Ipcp::new(idx, cfg, name));
+        idx
+    }
+
+    /// Create the shim IPC process for a physical interface. `side` is 0
+    /// or 1 (which end of the link this node is). Returns the ipcp index.
+    pub fn add_shim(&mut self, cfg: DifConfig, name: AppName, iface: IfaceId, side: u8, mtu: usize) -> usize {
+        let idx = self.add_ipcp(cfg, name);
+        let sched = self.ipcps[idx].cfg.sched;
+        self.ipcps[idx].make_shim(side as Addr + 1);
+        let n1 = self.ipcps[idx].add_n1(N1Kind::Phys { iface: iface.0, mtu });
+        self.ifmap.insert(iface.0, (idx, n1));
+        self.pace.insert(
+            (idx, n1),
+            Pace {
+                queue: RmtQueue::new(sched, 256 * 1024),
+                busy_until: Time::ZERO,
+                iface,
+                timer_armed: false,
+            },
+        );
+        idx
+    }
+
+    /// Make ipcp `idx` the first member of its DIF with address `addr`.
+    pub fn bootstrap_ipcp(&mut self, idx: usize, addr: Addr) {
+        self.ipcps[idx].bootstrap(addr);
+    }
+
+    /// Plan an (N-1) adjacency: allocate a flow from DIF `via` to the peer
+    /// IPC process `dst`, attach it to `upper` as an (N-1) port, and — if
+    /// `credential` is given and `upper` is not yet enrolled — enroll
+    /// through it, proposing the given address (0 = sponsor chooses).
+    /// Retries until it succeeds.
+    pub fn plan_n1(
+        &mut self,
+        upper: usize,
+        dst: AppName,
+        spec: QosSpec,
+        via: usize,
+        credential: Option<(&str, u64)>,
+    ) {
+        self.plans.push(N1Plan {
+            upper,
+            dst,
+            spec,
+            via,
+            credential: credential.map(|(s, a)| (s.to_string(), a)),
+            port: None,
+            satisfied: false,
+            retry_pending: false,
+        });
+    }
+
+    /// Register application `name` in DIF `ipcp`'s directory (deferred
+    /// until the ipcp is enrolled).
+    pub fn register_name(&mut self, name: AppName, ipcp: usize) {
+        if self.ipcps[ipcp].is_enrolled() && !self.ipcps[ipcp].is_shim {
+            self.ipcps[ipcp].dir_register(&name);
+        } else if !self.ipcps[ipcp].is_shim {
+            self.pending_regs.push((name, ipcp));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Inspection
+    // ------------------------------------------------------------------
+
+    /// The IPC process at `idx`.
+    pub fn ipcp(&self, idx: usize) -> &Ipcp {
+        &self.ipcps[idx]
+    }
+
+    /// Mutable access to the IPC process at `idx` (tests/benches only).
+    pub fn ipcp_mut(&mut self, idx: usize) -> &mut Ipcp {
+        &mut self.ipcps[idx]
+    }
+
+    /// Number of IPC processes.
+    pub fn ipcp_count(&self) -> usize {
+        self.ipcps.len()
+    }
+
+    /// Downcast application `idx` to its concrete type.
+    ///
+    /// # Panics
+    /// If the index is invalid, the type mismatches, or the app is mid-callback.
+    pub fn app<T: AppProcess>(&self, idx: usize) -> &T {
+        self.apps[idx]
+            .behavior
+            .as_ref()
+            .expect("app is mid-callback")
+            .as_any()
+            .downcast_ref()
+            .expect("app type mismatch")
+    }
+
+    /// Mutable downcast of application `idx`.
+    pub fn app_mut<T: AppProcess>(&mut self, idx: usize) -> &mut T {
+        self.apps[idx]
+            .behavior
+            .as_mut()
+            .expect("app is mid-callback")
+            .as_any_mut()
+            .downcast_mut()
+            .expect("app type mismatch")
+    }
+
+    /// Name of application `idx`.
+    pub fn app_name(&self, idx: usize) -> AppName {
+        self.apps[idx].name.clone()
+    }
+
+    /// Whether all planned (N-1) adjacencies are up and all IPC processes
+    /// enrolled — "the stack has assembled".
+    pub fn assembled(&self) -> bool {
+        self.plans.iter().all(|p| p.satisfied)
+            && self.ipcps.iter().all(|i| i.is_enrolled())
+    }
+
+    // ------------------------------------------------------------------
+    // IpcApi backing (called by application callbacks)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn api_allocate(&mut self, app: usize, dst: AppName, spec: QosSpec, ctx: &mut Ctx<'_>) -> u64 {
+        let handle = self.next_handle;
+        self.next_handle += 1;
+        let src = self.apps[app].name.clone();
+        let Some(provider) = self.pick_provider(&dst) else {
+            // Deliver the failure asynchronously, after this callback.
+            let port = self.new_port(Owner::App(app), usize::MAX, handle);
+            self.workq
+                .push_back(Work::NotifyFailed { port, reason: "no DIF knows the destination" });
+            return handle;
+        };
+        let port = self.new_port(Owner::App(app), provider, handle);
+        self.ipcps[provider].alloc_flow(port, src, dst, spec);
+        self.flush_ipcp(provider, ctx);
+        self.arm(ctx, Dur::from_secs(1), TimerKind::AllocTimeout { port });
+        handle
+    }
+
+    pub(crate) fn api_write(&mut self, app: usize, port: PortId, sdu: Bytes, ctx: &mut Ctx<'_>) -> Result<(), IpcError> {
+        let st = self.ports.get(&port.0).ok_or(IpcError::BadPort)?;
+        if st.owner != Owner::App(app) {
+            return Err(IpcError::BadPort);
+        }
+        if !st.active {
+            return Err(IpcError::NotActive);
+        }
+        let provider = st.provider;
+        let res = self.ipcps[provider]
+            .write_port(port.0, sdu, ctx.now(), None)
+            .map_err(|_| IpcError::Rejected);
+        self.flush_ipcp(provider, ctx);
+        res
+    }
+
+    pub(crate) fn api_deallocate(&mut self, app: usize, port: PortId, ctx: &mut Ctx<'_>) {
+        let Some(st) = self.ports.get(&port.0) else { return };
+        if st.owner != Owner::App(app) {
+            return;
+        }
+        let provider = st.provider;
+        self.ipcps[provider].dealloc_port(port.0);
+        self.flush_ipcp(provider, ctx);
+        self.ports.remove(&port.0);
+    }
+
+    pub(crate) fn api_timer(&mut self, app: usize, d: Dur, key: u64, ctx: &mut Ctx<'_>) {
+        self.arm(ctx, d, TimerKind::App { app, key });
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn new_port(&mut self, owner: Owner, provider: usize, handle: u64) -> u64 {
+        let port = self.next_port;
+        self.next_port += 1;
+        self.ports
+            .insert(port, PortState { owner, provider, handle, active: false, n1_of_owner: None });
+        port
+    }
+
+    /// Applications allocate only from real DIFs; shims serve IPC
+    /// processes (their service is raw and their directory degenerate).
+    fn pick_provider(&self, dst: &AppName) -> Option<usize> {
+        self.ipcps
+            .iter()
+            .position(|p| !p.is_shim && p.is_enrolled() && p.dir_lookup(dst).is_some())
+    }
+
+    fn arm(&mut self, ctx: &mut Ctx<'_>, d: Dur, kind: TimerKind) -> u64 {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.timers.insert(token, kind);
+        ctx.timer_in(d, token);
+        token
+    }
+
+    fn flush_ipcp(&mut self, i: usize, ctx: &mut Ctx<'_>) {
+        if i == usize::MAX {
+            return;
+        }
+        loop {
+            let effs = self.ipcps[i].take_out();
+            if effs.is_empty() {
+                break;
+            }
+            for e in effs {
+                match e {
+                    IpcpOut::TxPhys { n1, frame, priority } => {
+                        self.pace_push(i, n1, frame, priority, ctx);
+                    }
+                    IpcpOut::TxLower { port, sdu, priority } => {
+                        self.workq
+                            .push_back(Work::WritePort { port, sdu, priority: Some(priority) });
+                    }
+                    IpcpOut::Deliver { port, sdu } => {
+                        self.workq.push_back(Work::DeliverPort { port, sdu });
+                    }
+                    IpcpOut::FlowActive { port, peer } => {
+                        self.workq.push_back(Work::NotifyActive { port, peer });
+                    }
+                    IpcpOut::FlowFailed { port, reason } => {
+                        self.workq.push_back(Work::NotifyFailed { port, reason });
+                    }
+                    IpcpOut::FlowClosed { port } => {
+                        self.workq.push_back(Work::NotifyClosed { port });
+                    }
+                    IpcpOut::FlowReqIn { src_app, dst_app, spec, src_addr, src_cep, invoke_id } => {
+                        self.workq.push_back(Work::FlowReqIn {
+                            ipcp: i,
+                            src_app,
+                            dst_app,
+                            spec,
+                            src_addr,
+                            src_cep,
+                            invoke_id,
+                        });
+                    }
+                    IpcpOut::Enrolled => {
+                        let regs: Vec<_> = self
+                            .pending_regs
+                            .iter()
+                            .filter(|(_, p)| *p == i)
+                            .map(|(n, _)| n.clone())
+                            .collect();
+                        self.pending_regs.retain(|(_, p)| *p != i);
+                        for n in regs {
+                            self.ipcps[i].dir_register(&n);
+                        }
+                    }
+                }
+            }
+        }
+        self.dirty.insert(i);
+    }
+
+    fn pace_push(&mut self, i: usize, n1: usize, frame: Bytes, priority: u8, ctx: &mut Ctx<'_>) {
+        let Some(p) = self.pace.get_mut(&(i, n1)) else {
+            return;
+        };
+        p.queue.push(priority, frame);
+        self.pace_kick(i, n1, ctx);
+    }
+
+    fn pace_kick(&mut self, i: usize, n1: usize, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let Some(p) = self.pace.get_mut(&(i, n1)) else {
+            return;
+        };
+        if now < p.busy_until {
+            // Transmitter busy: make sure a wake-up is armed so queued
+            // frames leave as soon as it frees (not at the next unrelated
+            // event).
+            if !p.timer_armed && !p.queue.is_empty() {
+                p.timer_armed = true;
+                let at = p.busy_until;
+                let token = self.next_token;
+                self.next_token += 1;
+                self.timers.insert(token, TimerKind::Pace { ipcp: i, n1 });
+                ctx.timer_at(at, token);
+            }
+            return;
+        }
+        let Some(frame) = p.queue.pop() else {
+            return;
+        };
+        let bw = ctx.iface_bandwidth(p.iface).unwrap_or(1_000_000_000);
+        let tx = Dur::serialization(frame.len(), bw);
+        match ctx.send(p.iface, frame) {
+            Ok(()) => {
+                p.busy_until = now + tx;
+                if !p.queue.is_empty() && !p.timer_armed {
+                    p.timer_armed = true;
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    self.timers.insert(token, TimerKind::Pace { ipcp: i, n1 });
+                    ctx.timer_at(now + tx, token);
+                }
+            }
+            Err(SendError::LinkDown) => {
+                // Local failure detection: the medium is gone.
+                self.ipcps[i].n1_down(n1, now);
+                self.flush_ipcp(i, ctx);
+            }
+            Err(_) => { /* oversize or queue-full at the link: drop */ }
+        }
+    }
+
+    fn drain(&mut self, ctx: &mut Ctx<'_>) {
+        let mut guard = 0u64;
+        while let Some(w) = self.workq.pop_front() {
+            guard += 1;
+            assert!(guard < 5_000_000, "node work loop runaway on {}", self.name);
+            match w {
+                Work::WritePort { port, sdu, priority } => {
+                    let Some(st) = self.ports.get(&port) else { continue };
+                    let provider = st.provider;
+                    let _ = self.ipcps[provider].write_port(port, sdu, ctx.now(), priority);
+                    self.flush_ipcp(provider, ctx);
+                }
+                Work::DeliverPort { port, sdu } => {
+                    let Some(st) = self.ports.get(&port) else {
+                        self.orphan_sdus += 1;
+                        continue;
+                    };
+                    match st.owner {
+                        Owner::App(a) => {
+                            self.call_app(a, ctx, |app, api| {
+                                app.on_sdu(PortId(port), sdu, api);
+                            });
+                        }
+                        Owner::Upper(u) => {
+                            let n1 = st
+                                .n1_of_owner
+                                .or_else(|| self.ipcps[u].n1_by_lower_port(port));
+                            if let Some(n1) = n1 {
+                                self.ipcps[u].on_frame(n1, sdu, ctx.now());
+                                self.flush_ipcp(u, ctx);
+                            } else {
+                                self.orphan_sdus += 1;
+                            }
+                        }
+                    }
+                }
+                Work::NotifyActive { port, peer } => {
+                    let Some(st) = self.ports.get_mut(&port) else { continue };
+                    st.active = true;
+                    let (owner, handle) = (st.owner, st.handle);
+                    match owner {
+                        Owner::App(a) => {
+                            self.call_app(a, ctx, |app, api| {
+                                app.on_flow_allocated(handle, PortId(port), &peer, api);
+                            });
+                        }
+                        Owner::Upper(u) => {
+                            let n1 = match self.ports.get(&port).and_then(|s| s.n1_of_owner) {
+                                Some(n1) => n1,
+                                None => {
+                                    let n1 = self.ipcps[u].add_n1(N1Kind::Lower { port });
+                                    if let Some(s) = self.ports.get_mut(&port) {
+                                        s.n1_of_owner = Some(n1);
+                                    }
+                                    n1
+                                }
+                            };
+                            self.ipcps[u].n1_up(n1, ctx.now());
+                            self.flush_ipcp(u, ctx);
+                            // Satisfy the plan and kick enrollment if this
+                            // adjacency is the enrollment path.
+                            let mut start_enroll: Option<(usize, usize, String, u64)> = None;
+                            for p in &mut self.plans {
+                                if p.port == Some(port) {
+                                    p.satisfied = true;
+                                    if let Some((c, a)) = &p.credential {
+                                        start_enroll = Some((u, n1, c.clone(), *a));
+                                    }
+                                }
+                            }
+                            if let Some((u, n1, cred, proposed)) = start_enroll {
+                                if !self.ipcps[u].is_enrolled() {
+                                    self.ipcps[u].start_enroll(n1, &cred, proposed);
+                                    self.flush_ipcp(u, ctx);
+                                    self.arm(
+                                        ctx,
+                                        Dur::from_millis(300),
+                                        TimerKind::EnrollRetry { ipcp: u, credential: cred, proposed },
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+                Work::NotifyFailed { port, reason } => {
+                    let Some(st) = self.ports.remove(&port) else { continue };
+                    match st.owner {
+                        Owner::App(a) => {
+                            let handle = st.handle;
+                            self.call_app(a, ctx, |app, api| {
+                                app.on_flow_failed(handle, reason, api);
+                            });
+                        }
+                        Owner::Upper(u) => {
+                            if let Some(n1) = st.n1_of_owner {
+                                self.ipcps[u].n1_down(n1, ctx.now());
+                                self.flush_ipcp(u, ctx);
+                            }
+                            self.reschedule_plan_for(port, ctx);
+                        }
+                    }
+                }
+                Work::NotifyClosed { port } => {
+                    let Some(st) = self.ports.remove(&port) else { continue };
+                    match st.owner {
+                        Owner::App(a) => {
+                            self.call_app(a, ctx, |app, api| {
+                                app.on_flow_closed(PortId(port), api);
+                            });
+                        }
+                        Owner::Upper(u) => {
+                            if let Some(n1) = st.n1_of_owner {
+                                self.ipcps[u].n1_down(n1, ctx.now());
+                                self.flush_ipcp(u, ctx);
+                            }
+                            self.reschedule_plan_for(port, ctx);
+                        }
+                    }
+                }
+                Work::FlowReqIn { ipcp, src_app, dst_app, spec, src_addr, src_cep, invoke_id } => {
+                    self.handle_flow_req(ipcp, src_app, dst_app, spec, src_addr, src_cep, invoke_id, ctx);
+                }
+            }
+        }
+        // Re-sync EFCP timers for every touched ipcp.
+        let dirty: Vec<usize> = std::mem::take(&mut self.dirty).into_iter().collect();
+        for i in dirty {
+            for (cep, t) in self.ipcps[i].conn_timer_wants() {
+                let key = (i, cep);
+                let need = match self.armed_conn.get(&key) {
+                    Some(&(_, deadline)) => t < deadline,
+                    None => true,
+                };
+                if need {
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    self.timers.insert(token, TimerKind::Conn { ipcp: i, cep });
+                    ctx.timer_at(Time(t), token);
+                    self.armed_conn.insert(key, (token, t));
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_flow_req(
+        &mut self,
+        ipcp: usize,
+        src_app: AppName,
+        dst_app: AppName,
+        spec: QosSpec,
+        src_addr: Addr,
+        src_cep: CepId,
+        invoke_id: u32,
+        ctx: &mut Ctx<'_>,
+    ) {
+        // Destination is a local application?
+        if let Some(a) = self.apps.iter().position(|e| e.name == dst_app) {
+            let mut b = self.apps[a].behavior.take().expect("app busy");
+            let accept = b.on_flow_requested(&src_app);
+            self.apps[a].behavior = Some(b);
+            if accept {
+                let port = self.new_port(Owner::App(a), ipcp, 0);
+                self.ipcps[ipcp].flow_accept(port, src_app, spec, src_addr, src_cep, invoke_id);
+            } else {
+                self.ipcps[ipcp].flow_reject(src_addr, invoke_id, -5);
+            }
+            self.flush_ipcp(ipcp, ctx);
+            return;
+        }
+        // Destination is a higher IPC process on this node? (They are
+        // applications of this DIF — auto-accept; adjacency forming.)
+        if let Some(u) = self.ipcps.iter().position(|p| p.name == dst_app) {
+            let port = self.new_port(Owner::Upper(u), ipcp, 0);
+            self.ipcps[ipcp].flow_accept(port, src_app, spec, src_addr, src_cep, invoke_id);
+            self.flush_ipcp(ipcp, ctx);
+            return;
+        }
+        self.ipcps[ipcp].flow_reject(src_addr, invoke_id, -4);
+        self.flush_ipcp(ipcp, ctx);
+    }
+
+    fn reschedule_plan_for(&mut self, port: u64, ctx: &mut Ctx<'_>) {
+        let mut retry = None;
+        for (idx, p) in self.plans.iter_mut().enumerate() {
+            if p.port == Some(port) {
+                p.port = None;
+                p.satisfied = false;
+                retry = Some(idx);
+            }
+        }
+        if let Some(idx) = retry {
+            self.schedule_plan_retry(idx, Dur::from_millis(200), ctx);
+        }
+    }
+
+    /// Arm the plan's retry timer unless one is already pending.
+    fn schedule_plan_retry(&mut self, idx: usize, d: Dur, ctx: &mut Ctx<'_>) {
+        if !self.plans[idx].retry_pending {
+            self.plans[idx].retry_pending = true;
+            self.arm(ctx, d, TimerKind::N1Retry(idx));
+        }
+    }
+
+    fn try_plan(&mut self, idx: usize, ctx: &mut Ctx<'_>) {
+        let (upper, dst, spec, via) = {
+            let p = &self.plans[idx];
+            if p.satisfied {
+                return;
+            }
+            (p.upper, p.dst.clone(), p.spec, p.via)
+        };
+        // Drop any stale pending port.
+        if let Some(old) = self.plans[idx].port.take() {
+            if let Some(st) = self.ports.remove(&old) {
+                self.ipcps[st.provider].dealloc_port(old);
+                self.flush_ipcp(st.provider, ctx);
+            }
+        }
+        let src = self.ipcps[upper].name.clone();
+        let port = self.new_port(Owner::Upper(upper), via, 0);
+        self.plans[idx].port = Some(port);
+        self.ipcps[via].alloc_flow(port, src, dst, spec);
+        self.flush_ipcp(via, ctx);
+        // Watchdog: if the request (or its response) is lost, try again.
+        self.schedule_plan_retry(idx, Dur::from_millis(250), ctx);
+    }
+
+    fn call_app(&mut self, a: usize, ctx: &mut Ctx<'_>, f: impl FnOnce(&mut dyn AppProcess, &mut IpcApi<'_, '_, '_>)) {
+        let mut b = self.apps[a].behavior.take().expect("app re-entered");
+        {
+            let mut api = IpcApi { node: self, ctx, app: a };
+            f(b.as_mut_app(), &mut api);
+        }
+        self.apps[a].behavior = Some(b);
+    }
+
+    fn on_timer_kind(&mut self, token: u64, ctx: &mut Ctx<'_>) {
+        let Some(kind) = self.timers.remove(&token) else {
+            return;
+        };
+        match kind {
+            TimerKind::Hello(i) => {
+                self.ipcps[i].tick_hello(ctx.now());
+                self.flush_ipcp(i, ctx);
+                let period = self.ipcps[i].cfg.hello_period;
+                self.arm(ctx, period, TimerKind::Hello(i));
+            }
+            TimerKind::EnrollRetry { ipcp, credential, proposed } => {
+                if !self.ipcps[ipcp].is_enrolled() {
+                    self.ipcps[ipcp].retry_enroll(&credential, proposed);
+                    self.flush_ipcp(ipcp, ctx);
+                    self.arm(
+                        ctx,
+                        Dur::from_millis(300),
+                        TimerKind::EnrollRetry { ipcp, credential, proposed },
+                    );
+                }
+            }
+            TimerKind::Conn { ipcp, cep } => {
+                let valid = self.armed_conn.get(&(ipcp, cep)).map(|&(t, _)| t) == Some(token);
+                if valid {
+                    self.armed_conn.remove(&(ipcp, cep));
+                    self.ipcps[ipcp].on_conn_timer(cep, ctx.now());
+                    self.flush_ipcp(ipcp, ctx);
+                }
+            }
+            TimerKind::Pace { ipcp, n1 } => {
+                if let Some(p) = self.pace.get_mut(&(ipcp, n1)) {
+                    p.timer_armed = false;
+                }
+                self.pace_kick(ipcp, n1, ctx);
+            }
+            TimerKind::App { app, key } => {
+                self.call_app(app, ctx, |a, api| a.on_timer(key, api));
+            }
+            TimerKind::N1Retry(idx) => {
+                self.plans[idx].retry_pending = false;
+                if !self.plans[idx].satisfied {
+                    self.try_plan(idx, ctx);
+                }
+            }
+            TimerKind::AllocTimeout { port } => {
+                let still_pending = self.ports.get(&port).map(|s| !s.active).unwrap_or(false);
+                if still_pending {
+                    let provider = self.ports[&port].provider;
+                    if provider != usize::MAX {
+                        self.ipcps[provider].dealloc_port(port);
+                        self.flush_ipcp(provider, ctx);
+                    }
+                    self.workq
+                        .push_back(Work::NotifyFailed { port, reason: "allocation timed out" });
+                }
+            }
+        }
+    }
+}
+
+trait AsMutApp {
+    fn as_mut_app(&mut self) -> &mut dyn AppProcess;
+}
+impl AsMutApp for Box<dyn AnyApp> {
+    fn as_mut_app(&mut self) -> &mut dyn AppProcess {
+        self.as_mut()
+    }
+}
+
+impl Agent for Node {
+    fn handle(&mut self, now: Time, ev: Event, ctx: &mut Ctx<'_>) {
+        let _ = now;
+        match ev {
+            Event::Start => {
+                // Arm hellos (shims included: they learn peers this way).
+                for i in 0..self.ipcps.len() {
+                    self.ipcps[i].tick_hello(ctx.now());
+                    self.flush_ipcp(i, ctx);
+                    let period = self.ipcps[i].cfg.hello_period;
+                    self.arm(ctx, period, TimerKind::Hello(i));
+                }
+                // Kick adjacency plans.
+                for idx in 0..self.plans.len() {
+                    self.try_plan(idx, ctx);
+                }
+                // Start applications.
+                for a in 0..self.apps.len() {
+                    self.call_app(a, ctx, |app, api| app.on_start(api));
+                }
+            }
+            Event::Frame { iface, data } => {
+                if let Some(&(i, n1)) = self.ifmap.get(&iface.0) {
+                    self.ipcps[i].on_frame(n1, data, ctx.now());
+                    self.flush_ipcp(i, ctx);
+                }
+            }
+            Event::Timer { key } => {
+                if key & EXT_BIT != 0 {
+                    let app = ((key >> 32) & 0x7FFF_FFFF) as usize;
+                    let k = key & 0xFFFF_FFFF;
+                    if app < self.apps.len() {
+                        self.call_app(app, ctx, |a, api| a.on_timer(k, api));
+                    }
+                } else {
+                    self.on_timer_kind(key, ctx);
+                }
+            }
+        }
+        self.drain(ctx);
+    }
+}

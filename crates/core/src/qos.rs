@@ -1,0 +1,239 @@
+//! QoS specifications and cubes.
+//!
+//! Applications request properties ([`QosSpec`]) when allocating a flow —
+//! "name the destination application process and specify desired properties
+//! for the communication" (§3.1). Each DIF offers a set of [`QosCube`]s:
+//! named operating points with concrete EFCP policies and a relay
+//! scheduling priority. The flow allocator matches spec to cube.
+
+use rina_efcp::ConnParams;
+use rina_wire::codec::{Reader, Writer};
+use rina_wire::WireError;
+use bytes::Bytes;
+
+/// Properties an application asks of a flow. Deliberately small: the point
+/// is that the application expresses *requirements*, not mechanisms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QosSpec {
+    /// Every SDU must arrive (retransmission requested).
+    pub reliable: bool,
+    /// SDUs must arrive in order.
+    pub ordered: bool,
+    /// 0 = bulk/background … 3 = interactive/control.
+    pub urgency: u8,
+}
+
+impl QosSpec {
+    /// Reliable, ordered, normal urgency — file-transfer-like.
+    pub fn reliable() -> Self {
+        QosSpec { reliable: true, ordered: true, urgency: 1 }
+    }
+    /// Unreliable, unordered, normal urgency — telemetry-like.
+    pub fn datagram() -> Self {
+        QosSpec { reliable: false, ordered: false, urgency: 1 }
+    }
+    /// Unreliable but urgent — interactive media.
+    pub fn interactive() -> Self {
+        QosSpec { reliable: false, ordered: true, urgency: 3 }
+    }
+    /// Builder-style urgency override.
+    pub fn with_urgency(mut self, u: u8) -> Self {
+        self.urgency = u.min(3);
+        self
+    }
+
+    /// Encode for carriage in flow-allocation requests.
+    pub fn encode_into(&self, w: &mut Writer) {
+        w.boolean(self.reliable).boolean(self.ordered).u8(self.urgency);
+    }
+
+    /// Decode from a flow-allocation request.
+    pub fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(QosSpec { reliable: r.boolean()?, ordered: r.boolean()?, urgency: r.u8()? })
+    }
+}
+
+/// One operating point a DIF offers: a named policy bundle.
+#[derive(Clone, Debug)]
+pub struct QosCube {
+    /// Cube id, carried in every PDU (`qos_id`).
+    pub id: u8,
+    /// Human-readable name.
+    pub name: String,
+    /// EFCP policies for flows in this cube.
+    pub params: ConnParams,
+    /// Relay scheduling priority (higher = served first).
+    pub priority: u8,
+}
+
+impl QosCube {
+    /// The standard cube set most DIFs start from: management (highest
+    /// priority, reliable), reliable bulk, interactive, and datagram.
+    pub fn standard_set() -> Vec<QosCube> {
+        vec![
+            QosCube {
+                id: 0,
+                name: "mgmt".into(),
+                params: ConnParams::reliable(),
+                priority: 7,
+            },
+            QosCube {
+                id: 1,
+                name: "reliable".into(),
+                params: ConnParams::reliable(),
+                priority: 2,
+            },
+            QosCube {
+                id: 2,
+                name: "interactive".into(),
+                params: {
+                    let mut p = ConnParams::unreliable();
+                    p.ordered = true;
+                    p
+                },
+                priority: 5,
+            },
+            QosCube {
+                id: 3,
+                name: "datagram".into(),
+                params: ConnParams::unreliable(),
+                priority: 1,
+            },
+        ]
+    }
+
+    /// A cube set tuned for a short-haul lossy (wireless) DIF: local
+    /// retransmission with a short feedback loop — the paper's Figure 3
+    /// policy specialization.
+    pub fn wireless_set() -> Vec<QosCube> {
+        let mut cubes = Self::standard_set();
+        for c in &mut cubes {
+            if c.params.reliable {
+                c.params = ConnParams::short_haul_lossy();
+            }
+        }
+        cubes
+    }
+
+    /// The cube set of a shim DIF over a point-to-point medium: the shim
+    /// adds no EFCP, so it honestly offers only unreliable service (the
+    /// link preserves order; reliability is a higher DIF's job).
+    pub fn shim_set() -> Vec<QosCube> {
+        vec![
+            QosCube { id: 0, name: "mgmt".into(), params: ConnParams::reliable(), priority: 7 },
+            QosCube {
+                id: 2,
+                name: "interactive".into(),
+                params: {
+                    let mut p = ConnParams::unreliable();
+                    p.ordered = true;
+                    p
+                },
+                priority: 5,
+            },
+            QosCube {
+                id: 3,
+                name: "datagram".into(),
+                params: ConnParams::unreliable(),
+                priority: 1,
+            },
+        ]
+    }
+
+    /// A transit cube set: relays do not retransmit (end-to-end DIFs keep
+    /// responsibility) — used as the *baseline* in the Figure 3 experiment.
+    pub fn transit_set() -> Vec<QosCube> {
+        vec![
+            QosCube { id: 0, name: "mgmt".into(), params: ConnParams::reliable(), priority: 7 },
+            QosCube {
+                id: 3,
+                name: "datagram".into(),
+                params: ConnParams::unreliable(),
+                priority: 1,
+            },
+        ]
+    }
+}
+
+/// Pick the best cube for a spec: all hard requirements satisfied, then
+/// least over-provision (don't burn retransmission state on a flow that
+/// didn't ask for it), then closest priority to the requested urgency band.
+pub fn match_cube<'a>(cubes: &'a [QosCube], spec: &QosSpec) -> Option<&'a QosCube> {
+    cubes
+        .iter()
+        .filter(|c| c.id != 0) // cube 0 is reserved for management
+        .filter(|c| (!spec.reliable || c.params.reliable) && (!spec.ordered || c.params.ordered))
+        .min_by_key(|c| {
+            let want = 1 + spec.urgency as i32 * 2; // map 0..3 to 1..7
+            let over = (c.params.reliable && !spec.reliable) as i32
+                + (c.params.ordered && !spec.ordered) as i32;
+            10 * over + (c.priority as i32 - want).abs()
+        })
+}
+
+/// Serialize a QoS spec standalone (for CDAP values).
+pub fn encode_spec(spec: &QosSpec) -> Bytes {
+    let mut w = Writer::new();
+    spec.encode_into(&mut w);
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rina_efcp::CongestionCtrl;
+
+    #[test]
+    fn spec_roundtrip() {
+        for spec in [QosSpec::reliable(), QosSpec::datagram(), QosSpec::interactive()] {
+            let b = encode_spec(&spec);
+            let mut r = Reader::new(&b);
+            assert_eq!(QosSpec::decode_from(&mut r).unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn matching_respects_hard_requirements() {
+        let cubes = QosCube::standard_set();
+        let c = match_cube(&cubes, &QosSpec::reliable()).unwrap();
+        assert!(c.params.reliable && c.params.ordered);
+        let c = match_cube(&cubes, &QosSpec::datagram()).unwrap();
+        assert_eq!(c.name, "datagram");
+        let c = match_cube(&cubes, &QosSpec::interactive()).unwrap();
+        assert_eq!(c.name, "interactive");
+    }
+
+    #[test]
+    fn matching_never_returns_mgmt_cube() {
+        let cubes = QosCube::standard_set();
+        for spec in [
+            QosSpec::reliable().with_urgency(3),
+            QosSpec::datagram().with_urgency(3),
+        ] {
+            assert_ne!(match_cube(&cubes, &spec).unwrap().id, 0);
+        }
+    }
+
+    #[test]
+    fn transit_set_cannot_satisfy_reliable() {
+        let cubes = QosCube::transit_set();
+        assert!(match_cube(&cubes, &QosSpec::reliable()).is_none());
+        assert!(match_cube(&cubes, &QosSpec::datagram()).is_some());
+    }
+
+    #[test]
+    fn wireless_set_shortens_feedback_loop() {
+        let std = QosCube::standard_set();
+        let wl = QosCube::wireless_set();
+        let std_rtx = std.iter().find(|c| c.name == "reliable").unwrap().params.rtx_timeout_ns;
+        let wl_rtx = wl.iter().find(|c| c.name == "reliable").unwrap().params.rtx_timeout_ns;
+        assert!(wl_rtx < std_rtx);
+    }
+
+    #[test]
+    fn congestion_defaults_sane() {
+        let cubes = QosCube::standard_set();
+        let rel = cubes.iter().find(|c| c.name == "reliable").unwrap();
+        assert!(matches!(rel.params.congestion, CongestionCtrl::Aimd { .. }));
+    }
+}

@@ -1,0 +1,145 @@
+//! The relaying-and-multiplexing task's transmit queues.
+//!
+//! "a multiplexing task to efficiently use (schedule) the underlying IPC
+//! facility (communication medium) that is shared among several
+//! connections" (§3.1). Each (N-1) port that drains into a rate-limited
+//! medium gets an [`RmtQueue`]: a bounded buffer with a scheduling policy
+//! over QoS-cube priorities. The owning node paces departures at the
+//! medium's rate, so priority actually bites at the bottleneck instead of
+//! inside an uncontrolled FIFO.
+
+use crate::dif::SchedPolicy;
+use bytes::Bytes;
+use std::collections::VecDeque;
+
+/// A bounded, scheduled transmit queue for one (N-1) port.
+#[derive(Debug)]
+pub struct RmtQueue {
+    policy: SchedPolicy,
+    /// One sub-queue per priority 0..=7 (index = priority).
+    queues: [VecDeque<Bytes>; 8],
+    bytes: usize,
+    cap_bytes: usize,
+    /// Frames dropped because the queue was full.
+    pub drops: u64,
+    /// Frames enqueued in total.
+    pub enqueued: u64,
+}
+
+impl RmtQueue {
+    /// A queue with the given policy and byte capacity.
+    pub fn new(policy: SchedPolicy, cap_bytes: usize) -> Self {
+        RmtQueue {
+            policy,
+            queues: Default::default(),
+            bytes: 0,
+            cap_bytes,
+            drops: 0,
+            enqueued: 0,
+        }
+    }
+
+    /// Enqueue a frame at `priority` (0..=7, clamped). Returns false (and
+    /// counts a drop) when the queue is full.
+    pub fn push(&mut self, priority: u8, frame: Bytes) -> bool {
+        if self.bytes + frame.len() > self.cap_bytes {
+            self.drops += 1;
+            return false;
+        }
+        self.bytes += frame.len();
+        self.enqueued += 1;
+        let p = priority.min(7) as usize;
+        match self.policy {
+            SchedPolicy::Fifo => self.queues[0].push_back(frame),
+            SchedPolicy::Priority => self.queues[p].push_back(frame),
+        }
+        true
+    }
+
+    /// Dequeue the next frame per the scheduling policy.
+    pub fn pop(&mut self) -> Option<Bytes> {
+        let frame = match self.policy {
+            SchedPolicy::Fifo => self.queues[0].pop_front(),
+            SchedPolicy::Priority => {
+                self.queues.iter_mut().rev().find_map(|q| q.pop_front())
+            }
+        };
+        if let Some(f) = &frame {
+            self.bytes -= f.len();
+        }
+        frame
+    }
+
+    /// Bytes currently queued.
+    pub fn backlog_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.bytes == 0 && self.queues.iter().all(|q| q.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(tag: u8, len: usize) -> Bytes {
+        Bytes::from(vec![tag; len])
+    }
+
+    #[test]
+    fn fifo_preserves_arrival_order() {
+        let mut q = RmtQueue::new(SchedPolicy::Fifo, 1000);
+        assert!(q.push(7, frame(1, 10)));
+        assert!(q.push(0, frame(2, 10)));
+        assert!(q.push(3, frame(3, 10)));
+        assert_eq!(q.pop().unwrap()[0], 1);
+        assert_eq!(q.pop().unwrap()[0], 2);
+        assert_eq!(q.pop().unwrap()[0], 3);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn priority_serves_urgent_first() {
+        let mut q = RmtQueue::new(SchedPolicy::Priority, 1000);
+        q.push(1, frame(1, 10));
+        q.push(5, frame(5, 10));
+        q.push(3, frame(3, 10));
+        q.push(5, frame(6, 10));
+        assert_eq!(q.pop().unwrap()[0], 5);
+        assert_eq!(q.pop().unwrap()[0], 6, "same priority keeps FIFO order");
+        assert_eq!(q.pop().unwrap()[0], 3);
+        assert_eq!(q.pop().unwrap()[0], 1);
+    }
+
+    #[test]
+    fn bounded_and_counts_drops() {
+        let mut q = RmtQueue::new(SchedPolicy::Priority, 25);
+        assert!(q.push(1, frame(1, 10)));
+        assert!(q.push(1, frame(2, 10)));
+        assert!(!q.push(1, frame(3, 10)), "26 bytes would overflow");
+        assert_eq!(q.drops, 1);
+        assert_eq!(q.backlog_bytes(), 20);
+        q.pop();
+        assert!(q.push(1, frame(3, 10)));
+    }
+
+    #[test]
+    fn priority_clamped() {
+        let mut q = RmtQueue::new(SchedPolicy::Priority, 100);
+        q.push(200, frame(9, 5));
+        assert_eq!(q.pop().unwrap()[0], 9);
+    }
+
+    #[test]
+    fn empty_accounting() {
+        let mut q = RmtQueue::new(SchedPolicy::Fifo, 10);
+        assert!(q.is_empty());
+        q.push(0, frame(1, 5));
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,241 @@
+//! Routing within one DIF, and the two-step forwarding of Figure 4.
+//!
+//! Routing runs over the RIB: every member floods a link-state object
+//! (`/lsa/<addr>`) listing its neighbor addresses and costs. Each member
+//! runs Dijkstra over the collected LSAs to produce a [`ForwardingTable`]
+//! mapping destination address → equal-cost *next-hop addresses*.
+//!
+//! Crucially — and this is the paper's resolution of multihoming (§6.3) —
+//! the table stops at the next hop. Choosing *which (N-1) path* reaches the
+//! next hop (which underlying port/point-of-attachment) is a second,
+//! separate step performed at transmission time against the live set of
+//! (N-1) flows. A PoA failing therefore never invalidates the route, only
+//! the local binding.
+
+use bytes::Bytes;
+use rina_wire::codec::{Reader, Writer};
+use rina_wire::{Addr, WireError};
+use std::collections::{BinaryHeap, HashMap};
+
+/// RIB object name prefix for link-state advertisements.
+pub const LSA_PREFIX: &str = "/lsa/";
+/// RIB object class for link-state advertisements.
+pub const LSA_CLASS: &str = "lsa";
+
+/// The value of one member's link-state advertisement.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Lsa {
+    /// (neighbor address, cost) pairs.
+    pub neighbors: Vec<(Addr, u32)>,
+}
+
+impl Lsa {
+    /// Encode as a RIB object value.
+    pub fn encode(&self) -> Bytes {
+        let mut w = Writer::with_capacity(2 + self.neighbors.len() * 6);
+        w.varint(self.neighbors.len() as u64);
+        for &(a, c) in &self.neighbors {
+            w.varint(a).varint(c as u64);
+        }
+        w.finish()
+    }
+
+    /// Decode from a RIB object value.
+    pub fn decode(buf: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(buf);
+        let n = r.varint()? as usize;
+        let mut neighbors = Vec::with_capacity(n.min(65_536));
+        for _ in 0..n {
+            let a = r.varint()?;
+            let c = u32::try_from(r.varint()?).map_err(|_| WireError::Invalid("lsa cost"))?;
+            neighbors.push((a, c));
+        }
+        r.expect_end()?;
+        Ok(Lsa { neighbors })
+    }
+
+    /// RIB object name for the LSA of `addr`.
+    pub fn object_name(addr: Addr) -> String {
+        format!("{LSA_PREFIX}{addr}")
+    }
+}
+
+/// Destination → equal-cost next-hop addresses (step one of two).
+#[derive(Clone, Debug, Default)]
+pub struct ForwardingTable {
+    next_hops: HashMap<Addr, Vec<Addr>>,
+}
+
+impl ForwardingTable {
+    /// Next-hop candidates toward `dest`, best first. Empty/None if
+    /// unreachable.
+    pub fn route(&self, dest: Addr) -> Option<&[Addr]> {
+        self.next_hops.get(&dest).map(|v| v.as_slice())
+    }
+
+    /// Number of destination entries (the routing-table-size metric of the
+    /// scalability experiment, §6.5).
+    pub fn len(&self) -> usize {
+        self.next_hops.len()
+    }
+
+    /// True if the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.next_hops.is_empty()
+    }
+
+    /// All reachable destinations.
+    pub fn destinations(&self) -> impl Iterator<Item = Addr> + '_ {
+        self.next_hops.keys().copied()
+    }
+}
+
+/// Compute the forwarding table at `self_addr` from a set of LSAs
+/// (`origin address → Lsa`). An edge is used only if *both* endpoints
+/// advertise it, so a one-sided stale LSA cannot route into a dead link.
+pub fn compute_routes(self_addr: Addr, lsas: &HashMap<Addr, Lsa>) -> ForwardingTable {
+    // Build the bidirectionally-confirmed adjacency with min cost per edge.
+    let mut adj: HashMap<Addr, Vec<(Addr, u32)>> = HashMap::new();
+    for (&u, lsa) in lsas {
+        for &(v, c) in &lsa.neighbors {
+            let confirmed = lsas
+                .get(&v)
+                .map(|l| l.neighbors.iter().any(|&(w, _)| w == u))
+                .unwrap_or(false);
+            if confirmed {
+                adj.entry(u).or_default().push((v, c));
+            }
+        }
+    }
+
+    // Dijkstra with predecessor sets for equal-cost multipath.
+    let mut dist: HashMap<Addr, u64> = HashMap::new();
+    let mut first_hops: HashMap<Addr, Vec<Addr>> = HashMap::new();
+    let mut heap: BinaryHeap<std::cmp::Reverse<(u64, Addr)>> = BinaryHeap::new();
+    dist.insert(self_addr, 0);
+    heap.push(std::cmp::Reverse((0, self_addr)));
+
+    while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+        if dist.get(&u).copied() != Some(d) {
+            continue; // stale heap entry
+        }
+        let Some(edges) = adj.get(&u) else { continue };
+        for &(v, c) in edges {
+            let nd = d + c as u64;
+            let cur = dist.get(&v).copied();
+            // First hops propagate: the first hop to v via u is u itself if
+            // u is the source, else u's first hops.
+            let hops_via_u: Vec<Addr> = if u == self_addr {
+                vec![v]
+            } else {
+                first_hops.get(&u).cloned().unwrap_or_default()
+            };
+            match cur {
+                Some(cd) if nd > cd => {}
+                Some(cd) if nd == cd => {
+                    let e = first_hops.entry(v).or_default();
+                    for h in hops_via_u {
+                        if !e.contains(&h) {
+                            e.push(h);
+                        }
+                    }
+                }
+                _ => {
+                    dist.insert(v, nd);
+                    first_hops.insert(v, hops_via_u);
+                    heap.push(std::cmp::Reverse((nd, v)));
+                }
+            }
+        }
+    }
+
+    first_hops.remove(&self_addr);
+    for hops in first_hops.values_mut() {
+        hops.sort_unstable();
+    }
+    ForwardingTable { next_hops: first_hops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lsa(pairs: &[(Addr, u32)]) -> Lsa {
+        Lsa { neighbors: pairs.to_vec() }
+    }
+
+    fn lsas(entries: &[(Addr, &[(Addr, u32)])]) -> HashMap<Addr, Lsa> {
+        entries.iter().map(|&(a, ns)| (a, lsa(ns))).collect()
+    }
+
+    #[test]
+    fn lsa_roundtrip() {
+        let l = lsa(&[(2, 1), (3, 10)]);
+        assert_eq!(Lsa::decode(&l.encode()).unwrap(), l);
+        assert_eq!(Lsa::decode(&Lsa::default().encode()).unwrap(), Lsa::default());
+    }
+
+    #[test]
+    fn line_routes() {
+        // 1 - 2 - 3
+        let m = lsas(&[(1, &[(2, 1)]), (2, &[(1, 1), (3, 1)]), (3, &[(2, 1)])]);
+        let t = compute_routes(1, &m);
+        assert_eq!(t.route(2), Some(&[2][..]));
+        assert_eq!(t.route(3), Some(&[2][..]));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn picks_cheaper_path() {
+        // 1-2-4 cost 2, 1-3-4 cost 11.
+        let m = lsas(&[
+            (1, &[(2, 1), (3, 1)]),
+            (2, &[(1, 1), (4, 1)]),
+            (3, &[(1, 1), (4, 10)]),
+            (4, &[(2, 1), (3, 10)]),
+        ]);
+        let t = compute_routes(1, &m);
+        assert_eq!(t.route(4), Some(&[2][..]));
+    }
+
+    #[test]
+    fn equal_cost_multipath_lists_both() {
+        // Diamond: 1-2-4 and 1-3-4, all cost 1.
+        let m = lsas(&[
+            (1, &[(2, 1), (3, 1)]),
+            (2, &[(1, 1), (4, 1)]),
+            (3, &[(1, 1), (4, 1)]),
+            (4, &[(2, 1), (3, 1)]),
+        ]);
+        let t = compute_routes(1, &m);
+        assert_eq!(t.route(4), Some(&[2, 3][..]));
+    }
+
+    #[test]
+    fn one_sided_lsa_not_used() {
+        // 2 still claims a link to 3, but 3 no longer lists 2.
+        let m = lsas(&[(1, &[(2, 1)]), (2, &[(1, 1), (3, 1)]), (3, &[])]);
+        let t = compute_routes(1, &m);
+        assert_eq!(t.route(3), None);
+        assert_eq!(t.route(2), Some(&[2][..]));
+    }
+
+    #[test]
+    fn unreachable_absent() {
+        let m = lsas(&[(1, &[(2, 1)]), (2, &[(1, 1)]), (7, &[(8, 1)]), (8, &[(7, 1)])]);
+        let t = compute_routes(1, &m);
+        assert!(t.route(7).is_none());
+        assert!(t.route(8).is_none());
+    }
+
+    #[test]
+    fn empty_input_empty_table() {
+        let t = compute_routes(1, &HashMap::new());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn object_names() {
+        assert_eq!(Lsa::object_name(17), "/lsa/17");
+    }
+}

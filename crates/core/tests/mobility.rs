@@ -1,0 +1,105 @@
+//! Figure 5 / §6.4: mobility as dynamic multihoming. A mobile host's
+//! point of attachment changes; its DIF address — and therefore its flows
+//! — do not.
+
+use rina::apps::{SinkApp, SourceApp};
+use rina::prelude::*;
+
+/// The mobile M detaches from access point AP1 and attaches to AP2 while
+/// streaming to a server. The flow survives; only routing inside the DIF
+/// updates.
+#[test]
+fn handoff_preserves_flow() {
+    let mut b = NetBuilder::new(11);
+    let s = b.node("server");
+    let ap1 = b.node("ap1");
+    let ap2 = b.node("ap2");
+    let m = b.node("mobile");
+    let l_s1 = b.link(s, ap1, LinkCfg::wired());
+    let l_s2 = b.link(s, ap2, LinkCfg::wired());
+    let l_m1 = b.link(m, ap1, LinkCfg::wireless(0.0));
+    let l_m2 = b.link(m, ap2, LinkCfg::wireless(0.0));
+    let d = b.dif(DifConfig::new("net").with_hello_period(Dur::from_millis(50)));
+    b.join(d, s);
+    b.join(d, ap1);
+    b.join(d, ap2);
+    b.join(d, m);
+    b.adjacency_over_link(d, s, ap1, l_s1);
+    b.adjacency_over_link(d, s, ap2, l_s2);
+    b.adjacency_over_link(d, m, ap1, l_m1);
+    b.adjacency_over_link(d, m, ap2, l_m2);
+    b.app(s, AppName::new("sink"), d, SinkApp::default());
+    let src = b.app(
+        m,
+        AppName::new("cam"),
+        d,
+        SourceApp::new(AppName::new("sink"), QosSpec::reliable(), 256, 3000, Dur::from_millis(2)),
+    );
+    let mut net = b.build();
+    // M starts attached to AP1 only.
+    net.set_link_up(l_m2, false);
+    net.run_for(Dur::from_secs(3));
+    let before = net.node(s).app::<SinkApp>(0).received;
+    assert!(before > 200, "traffic flowing via ap1: {before}");
+    let fails_before = net.node(m).app::<SourceApp>(src).alloc_failures;
+
+    // Hard handoff: leave AP1, arrive at AP2 (break before make).
+    net.set_link_up(l_m1, false);
+    net.run_for(Dur::from_millis(40));
+    net.set_link_up(l_m2, true);
+    net.run_for(Dur::from_secs(8));
+
+    let src_app: &SourceApp = net.node(m).app(src);
+    assert!(src_app.completed, "sent {}", src_app.sent);
+    let sink: &SinkApp = net.node(s).app(0);
+    assert_eq!(sink.received, 3000, "no SDU lost across the handoff");
+    assert_eq!(
+        src_app.alloc_failures, fails_before,
+        "the flow itself never needed re-allocation"
+    );
+}
+
+/// Moving back and forth works repeatedly (re-attachment to a previously
+/// used point of attachment).
+#[test]
+fn repeated_handoffs() {
+    let mut b = NetBuilder::new(12);
+    let s = b.node("server");
+    let ap1 = b.node("ap1");
+    let ap2 = b.node("ap2");
+    let m = b.node("mobile");
+    let l_s1 = b.link(s, ap1, LinkCfg::wired());
+    let l_s2 = b.link(s, ap2, LinkCfg::wired());
+    let l_m1 = b.link(m, ap1, LinkCfg::wireless(0.0));
+    let l_m2 = b.link(m, ap2, LinkCfg::wireless(0.0));
+    let d = b.dif(DifConfig::new("net").with_hello_period(Dur::from_millis(50)));
+    b.join(d, s);
+    b.join(d, ap1);
+    b.join(d, ap2);
+    b.join(d, m);
+    b.adjacency_over_link(d, s, ap1, l_s1);
+    b.adjacency_over_link(d, s, ap2, l_s2);
+    b.adjacency_over_link(d, m, ap1, l_m1);
+    b.adjacency_over_link(d, m, ap2, l_m2);
+    b.app(s, AppName::new("sink"), d, SinkApp::default());
+    b.app(
+        m,
+        AppName::new("cam"),
+        d,
+        SourceApp::new(AppName::new("sink"), QosSpec::reliable(), 128, 6000, Dur::from_millis(2)),
+    );
+    let mut net = b.build();
+    net.set_link_up(l_m2, false);
+    net.run_for(Dur::from_secs(2));
+    // Ping-pong between the two cells.
+    for i in 0..4 {
+        let (down, up) = if i % 2 == 0 { (l_m1, l_m2) } else { (l_m2, l_m1) };
+        net.set_link_up(down, false);
+        net.run_for(Dur::from_millis(30));
+        net.set_link_up(up, true);
+        net.run_for(Dur::from_secs(2));
+    }
+    net.run_for(Dur::from_secs(10));
+    let sink: &SinkApp = net.node(s).app(0);
+    assert_eq!(sink.received, 6000, "all SDUs across 4 handoffs");
+}

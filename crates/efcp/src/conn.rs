@@ -1,0 +1,862 @@
+//! The EFCP connection state machine (DTP + DTCP), sans-IO.
+//!
+//! A [`Connection`] is one end of an EFCP connection. It never does IO or
+//! reads a clock: the caller feeds it SDUs ([`Connection::send_sdu`]),
+//! incoming PDUs ([`Connection::on_pdu`]) and time ([`Connection::on_timeout`]),
+//! and drains outgoing PDUs ([`Connection::poll_transmit`]) and delivered
+//! SDUs ([`Connection::poll_deliver`]). This mirrors the paper's split of an
+//! IPC process into data-transfer and transfer-control tasks coupled only
+//! through shared per-flow state (§4).
+
+use crate::cong::Cong;
+use crate::params::ConnParams;
+use bytes::Bytes;
+use rina_wire::efcp::{FLAG_DRF, FLAG_FIRST, FLAG_MORE};
+use rina_wire::{Addr, CepId, CtrlKind, CtrlPdu, DataPdu, Pdu, SeqNum};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Addressing of one connection within its DIF. EFCP fills these into every
+/// PDU it emits; the relaying task routes on `remote_addr`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConnId {
+    /// This end's DIF-internal address.
+    pub local_addr: Addr,
+    /// Peer's DIF-internal address.
+    pub remote_addr: Addr,
+    /// This end's connection endpoint id.
+    pub local_cep: CepId,
+    /// Peer's connection endpoint id.
+    pub remote_cep: CepId,
+    /// QoS cube the flow belongs to.
+    pub qos_id: u8,
+}
+
+/// Counters kept by a connection.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConnStats {
+    /// SDUs accepted from the local user.
+    pub sdus_sent: u64,
+    /// Data PDUs transmitted (including retransmissions).
+    pub pdus_sent: u64,
+    /// Data PDUs retransmitted.
+    pub retransmissions: u64,
+    /// Retransmission timer expiries.
+    pub timeouts: u64,
+    /// SDUs delivered to the local user.
+    pub sdus_delivered: u64,
+    /// Payload bytes delivered to the local user.
+    pub bytes_delivered: u64,
+    /// Duplicate data PDUs received and discarded.
+    pub dup_pdus: u64,
+    /// PDUs received out of order and buffered.
+    pub ooo_pdus: u64,
+    /// Control PDUs sent.
+    pub acks_sent: u64,
+    /// SDUs (or fragments) dropped by the receiver in unreliable modes.
+    pub rcv_dropped: u64,
+}
+
+#[derive(Clone, Debug)]
+struct RtxEntry {
+    flags: u8,
+    payload: Bytes,
+    retries: u32,
+}
+
+/// Why [`Connection::send_sdu`] refused an SDU.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SendSduError {
+    /// The connection has failed (max retransmissions exceeded).
+    ConnectionFailed,
+    /// The send queue is full (backpressure to the user).
+    Backpressured,
+}
+
+impl std::fmt::Display for SendSduError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SendSduError::ConnectionFailed => write!(f, "connection failed"),
+            SendSduError::Backpressured => write!(f, "send queue full"),
+        }
+    }
+}
+impl std::error::Error for SendSduError {}
+
+/// Maximum fragments queued before `send_sdu` applies backpressure.
+const SENDQ_LIMIT: usize = 4096;
+
+/// One end of an EFCP connection.
+#[derive(Debug)]
+pub struct Connection {
+    id: ConnId,
+    p: ConnParams,
+    cong: Cong,
+
+    // --- sender ---
+    next_seq: SeqNum,
+    snd_una: SeqNum,
+    credit_rwe: SeqNum,
+    sendq: VecDeque<(u8, Bytes)>,
+    rtxq: BTreeMap<SeqNum, RtxEntry>,
+    rtx_deadline: Option<u64>,
+    rtx_backoff: u32,
+    /// Loss-recovery frontier: after an RTO, every ack below this point
+    /// immediately retransmits the new head (go-back-N pacing at one PDU
+    /// per RTT), instead of waiting out an RTO per lost PDU. Essential
+    /// after burst loss, e.g. a path failure killing a whole window.
+    recover_until: Option<SeqNum>,
+    drf_pending: bool,
+    failed: bool,
+
+    // --- receiver ---
+    rcv_next: SeqNum,
+    ooo: BTreeMap<SeqNum, (u8, Bytes)>,
+    reasm: Vec<Bytes>,
+    /// Unreliable mode: currently discarding fragments of a lost SDU.
+    dropping_sdu: bool,
+    deliver_q: VecDeque<Bytes>,
+    ack_pending: bool,
+    ack_deadline: Option<u64>,
+    last_nacked: Option<SeqNum>,
+
+    outq: VecDeque<Pdu>,
+    stats: ConnStats,
+}
+
+impl Connection {
+    /// Create a connection endpoint with the given addressing and policies.
+    pub fn new(id: ConnId, params: ConnParams) -> Self {
+        let credit_rwe = if params.flow_control { params.credit_window } else { SeqNum::MAX / 4 };
+        Connection {
+            id,
+            cong: Cong::new(params.congestion),
+            p: params,
+            next_seq: 0,
+            snd_una: 0,
+            credit_rwe,
+            sendq: VecDeque::new(),
+            rtxq: BTreeMap::new(),
+            rtx_deadline: None,
+            rtx_backoff: 0,
+            recover_until: None,
+            drf_pending: true,
+            failed: false,
+            rcv_next: 0,
+            ooo: BTreeMap::new(),
+            reasm: Vec::new(),
+            dropping_sdu: false,
+            deliver_q: VecDeque::new(),
+            ack_pending: false,
+            ack_deadline: None,
+            last_nacked: None,
+            outq: VecDeque::new(),
+            stats: ConnStats::default(),
+        }
+    }
+
+    /// The connection's addressing.
+    pub fn id(&self) -> ConnId {
+        self.id
+    }
+
+    /// Rebind the peer address — the late binding that makes multihoming
+    /// and mobility cheap (§6.3/§6.4): in-flight state is untouched, future
+    /// PDUs are simply addressed to the node's current address.
+    pub fn set_remote_addr(&mut self, addr: Addr) {
+        self.id.remote_addr = addr;
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> ConnStats {
+        self.stats
+    }
+
+    /// True once `max_rtx` retransmissions of one PDU have failed.
+    pub fn is_failed(&self) -> bool {
+        self.failed
+    }
+
+    /// True when nothing is queued, unacked, or pending delivery.
+    pub fn is_idle(&self) -> bool {
+        self.sendq.is_empty()
+            && self.rtxq.is_empty()
+            && self.outq.is_empty()
+            && self.deliver_q.is_empty()
+            && !self.ack_pending
+    }
+
+    /// Number of PDUs in flight (sent, not yet acknowledged).
+    pub fn in_flight(&self) -> u64 {
+        self.next_seq - self.snd_una
+    }
+
+    /// Accept an SDU from the user, fragmenting to the PDU payload limit.
+    pub fn send_sdu(&mut self, data: Bytes, now_ns: u64) -> Result<(), SendSduError> {
+        if self.failed {
+            return Err(SendSduError::ConnectionFailed);
+        }
+        if self.sendq.len() >= SENDQ_LIMIT {
+            return Err(SendSduError::Backpressured);
+        }
+        self.stats.sdus_sent += 1;
+        let mtu = self.p.max_pdu_payload;
+        if data.is_empty() {
+            self.sendq.push_back((FLAG_FIRST, data));
+        } else {
+            let mut off = 0;
+            while off < data.len() {
+                let end = (off + mtu).min(data.len());
+                let mut flags = if end < data.len() { FLAG_MORE } else { 0 };
+                if off == 0 {
+                    flags |= FLAG_FIRST;
+                }
+                self.sendq.push_back((flags, data.slice(off..end)));
+                off = end;
+            }
+        }
+        self.pump(now_ns);
+        Ok(())
+    }
+
+    /// Sender window limit: receiver credit AND congestion window.
+    fn send_limit(&self) -> SeqNum {
+        let cong_limit = self.snd_una.saturating_add(self.cong.window());
+        self.credit_rwe.min(cong_limit)
+    }
+
+    /// Move fragments from the send queue into PDUs while window allows.
+    fn pump(&mut self, now_ns: u64) {
+        while !self.sendq.is_empty() && self.next_seq < self.send_limit() {
+            let (mut flags, payload) = self.sendq.pop_front().expect("nonempty");
+            if self.drf_pending {
+                flags |= FLAG_DRF;
+                self.drf_pending = false;
+            }
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            if self.p.reliable {
+                self.rtxq.insert(seq, RtxEntry { flags, payload: payload.clone(), retries: 0 });
+                if self.rtx_deadline.is_none() {
+                    self.rtx_deadline = Some(now_ns + self.p.rtx_timeout_ns);
+                }
+            }
+            self.stats.pdus_sent += 1;
+            self.outq.push_back(Pdu::Data(self.data_pdu(seq, flags, payload)));
+        }
+    }
+
+    fn data_pdu(&self, seq: SeqNum, flags: u8, payload: Bytes) -> DataPdu {
+        DataPdu {
+            dest_addr: self.id.remote_addr,
+            src_addr: self.id.local_addr,
+            qos_id: self.id.qos_id,
+            dest_cep: self.id.remote_cep,
+            src_cep: self.id.local_cep,
+            seq,
+            flags,
+            ttl: rina_wire::efcp::DEFAULT_TTL,
+            payload,
+        }
+    }
+
+    fn ctrl_pdu(&self, kind: CtrlKind) -> CtrlPdu {
+        CtrlPdu {
+            dest_addr: self.id.remote_addr,
+            src_addr: self.id.local_addr,
+            qos_id: self.id.qos_id,
+            dest_cep: self.id.remote_cep,
+            src_cep: self.id.local_cep,
+            ttl: rina_wire::efcp::DEFAULT_TTL,
+            kind,
+        }
+    }
+
+    /// Feed one incoming PDU addressed to this connection.
+    pub fn on_pdu(&mut self, pdu: &Pdu, now_ns: u64) {
+        match pdu {
+            Pdu::Data(d) => self.on_data(d, now_ns),
+            Pdu::Ctrl(c) => self.on_ctrl(c.kind, now_ns),
+            Pdu::Mgmt(_) => { /* management is handled above EFCP */ }
+        }
+    }
+
+    fn on_data(&mut self, d: &DataPdu, now_ns: u64) {
+        if !self.p.reliable {
+            self.on_data_unreliable(d);
+            return;
+        }
+        if d.seq < self.rcv_next {
+            // Duplicate: re-ack so the sender advances.
+            self.stats.dup_pdus += 1;
+            self.schedule_ack(now_ns);
+            return;
+        }
+        if d.seq > self.rcv_next {
+            self.stats.ooo_pdus += 1;
+            self.ooo.insert(d.seq, (d.flags, d.payload.clone()));
+            // One nack per gap head to trigger fast retransmit.
+            if self.last_nacked != Some(self.rcv_next) {
+                self.last_nacked = Some(self.rcv_next);
+                self.stats.acks_sent += 1;
+                let k = CtrlKind::Nack { seq: self.rcv_next };
+                self.outq.push_back(Pdu::Ctrl(self.ctrl_pdu(k)));
+            }
+            self.schedule_ack(now_ns);
+            return;
+        }
+        // In-order.
+        self.accept_in_order(d.flags, d.payload.clone());
+        while let Some((&s, _)) = self.ooo.first_key_value() {
+            if s != self.rcv_next {
+                break;
+            }
+            let (flags, payload) = self.ooo.remove(&s).expect("present");
+            self.accept_in_order(flags, payload);
+        }
+        self.last_nacked = None;
+        self.schedule_ack(now_ns);
+    }
+
+    /// Accept the in-sequence fragment at `rcv_next`.
+    fn accept_in_order(&mut self, flags: u8, payload: Bytes) {
+        self.rcv_next += 1;
+        self.reasm.push(payload);
+        if flags & FLAG_MORE == 0 {
+            let sdu = concat(&mut self.reasm);
+            self.stats.sdus_delivered += 1;
+            self.stats.bytes_delivered += sdu.len() as u64;
+            self.deliver_q.push_back(sdu);
+        }
+    }
+
+    fn on_data_unreliable(&mut self, d: &DataPdu) {
+        if d.seq < self.rcv_next {
+            // Late/duplicate in unreliable mode: drop.
+            self.stats.dup_pdus += 1;
+            return;
+        }
+        let gap = d.seq > self.rcv_next;
+        if gap {
+            self.stats.ooo_pdus += 1;
+        }
+        let first = d.flags & FLAG_FIRST != 0;
+        if (gap || first) && !self.reasm.is_empty() {
+            // A gap (or an unexpected new SDU) killed the one being
+            // reassembled.
+            self.reasm.clear();
+            self.stats.rcv_dropped += 1;
+            self.dropping_sdu = true;
+        }
+        self.rcv_next = d.seq + 1;
+        if !first && self.reasm.is_empty() {
+            // Orphan continuation fragment: its SDU's head was lost.
+            if !self.dropping_sdu {
+                self.stats.rcv_dropped += 1;
+                self.dropping_sdu = true;
+            }
+            return;
+        }
+        if first {
+            self.dropping_sdu = false;
+        }
+        self.reasm.push(d.payload.clone());
+        if d.flags & FLAG_MORE == 0 {
+            let sdu = concat(&mut self.reasm);
+            self.stats.sdus_delivered += 1;
+            self.stats.bytes_delivered += sdu.len() as u64;
+            self.deliver_q.push_back(sdu);
+        }
+    }
+
+    fn schedule_ack(&mut self, now_ns: u64) {
+        if !self.p.reliable {
+            return;
+        }
+        if self.p.ack_delay_ns == 0 {
+            self.emit_ack();
+        } else {
+            self.ack_pending = true;
+            if self.ack_deadline.is_none() {
+                self.ack_deadline = Some(now_ns + self.p.ack_delay_ns);
+            }
+        }
+    }
+
+    fn emit_ack(&mut self) {
+        let rwe = if self.p.flow_control {
+            self.rcv_next + self.p.credit_window
+        } else {
+            SeqNum::MAX / 4
+        };
+        self.stats.acks_sent += 1;
+        let k = CtrlKind::AckCredit { seq: self.rcv_next, rwe };
+        self.outq.push_back(Pdu::Ctrl(self.ctrl_pdu(k)));
+        self.ack_pending = false;
+        self.ack_deadline = None;
+    }
+
+    fn on_ctrl(&mut self, kind: CtrlKind, now_ns: u64) {
+        match kind {
+            CtrlKind::Ack { seq } => self.on_ack(seq, None, now_ns),
+            CtrlKind::AckCredit { seq, rwe } => self.on_ack(seq, Some(rwe), now_ns),
+            CtrlKind::Credit { rwe } => {
+                self.credit_rwe = self.credit_rwe.max(rwe);
+                self.pump(now_ns);
+            }
+            CtrlKind::Nack { seq } => {
+                if let Some(e) = self.rtxq.get_mut(&seq) {
+                    e.retries += 1;
+                    let (flags, payload) = (e.flags, e.payload.clone());
+                    self.stats.retransmissions += 1;
+                    self.stats.pdus_sent += 1;
+                    self.cong.on_fast_retransmit();
+                    self.outq.push_back(Pdu::Data(self.data_pdu(seq, flags, payload)));
+                }
+            }
+        }
+    }
+
+    fn on_ack(&mut self, seq: SeqNum, rwe: Option<SeqNum>, now_ns: u64) {
+        if let Some(rwe) = rwe {
+            self.credit_rwe = self.credit_rwe.max(rwe);
+        }
+        if seq > self.snd_una {
+            let acked = seq - self.snd_una;
+            self.snd_una = seq;
+            self.rtxq = self.rtxq.split_off(&seq);
+            self.cong.on_ack(acked);
+            self.rtx_backoff = 0;
+            self.rtx_deadline = if self.rtxq.is_empty() {
+                None
+            } else {
+                Some(now_ns + self.p.rtx_timeout_ns)
+            };
+            // Go-back-N recovery: while below the loss frontier, each ack
+            // pulls the next unacked PDU forward immediately.
+            match self.recover_until {
+                Some(frontier) if self.snd_una >= frontier || self.rtxq.is_empty() => {
+                    self.recover_until = None;
+                }
+                Some(_) => {
+                    if let Some((&head, e)) = self.rtxq.iter_mut().next() {
+                        e.retries += 1;
+                        let (flags, payload) = (e.flags, e.payload.clone());
+                        self.stats.retransmissions += 1;
+                        self.stats.pdus_sent += 1;
+                        self.outq.push_back(Pdu::Data(self.data_pdu(head, flags, payload)));
+                    }
+                }
+                None => {}
+            }
+        }
+        self.pump(now_ns);
+    }
+
+    /// Earliest instant at which [`Connection::on_timeout`] must be called,
+    /// if any timer is armed.
+    pub fn poll_timeout(&self) -> Option<u64> {
+        match (self.rtx_deadline, self.ack_deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Drive timers. Call at (or after) the instant from
+    /// [`Connection::poll_timeout`]; spurious calls are harmless.
+    pub fn on_timeout(&mut self, now_ns: u64) {
+        if let Some(d) = self.ack_deadline {
+            if now_ns >= d && self.ack_pending {
+                self.emit_ack();
+            }
+        }
+        if let Some(d) = self.rtx_deadline {
+            if now_ns >= d {
+                self.retransmit_head(now_ns);
+            }
+        }
+    }
+
+    fn retransmit_head(&mut self, now_ns: u64) {
+        let Some((&seq, e)) = self.rtxq.iter_mut().next() else {
+            self.rtx_deadline = None;
+            return;
+        };
+        if e.retries >= self.p.max_rtx {
+            self.failed = true;
+            self.rtx_deadline = None;
+            return;
+        }
+        e.retries += 1;
+        let (flags, payload) = (e.flags, e.payload.clone());
+        self.stats.timeouts += 1;
+        self.stats.retransmissions += 1;
+        self.stats.pdus_sent += 1;
+        self.cong.on_loss();
+        self.recover_until = Some(self.next_seq);
+        self.rtx_backoff = (self.rtx_backoff + 1).min(10);
+        self.rtx_deadline = Some(now_ns + (self.p.rtx_timeout_ns << self.rtx_backoff));
+        self.outq.push_back(Pdu::Data(self.data_pdu(seq, flags, payload)));
+    }
+
+    /// Next outgoing PDU, if any. Drain until `None` after every call into
+    /// the connection.
+    pub fn poll_transmit(&mut self) -> Option<Pdu> {
+        self.outq.pop_front()
+    }
+
+    /// Next SDU delivered to the user, if any.
+    pub fn poll_deliver(&mut self) -> Option<Bytes> {
+        self.deliver_q.pop_front()
+    }
+}
+
+fn concat(parts: &mut Vec<Bytes>) -> Bytes {
+    if parts.len() == 1 {
+        return parts.pop().expect("len 1");
+    }
+    let total = parts.iter().map(|p| p.len()).sum();
+    let mut v = Vec::with_capacity(total);
+    for p in parts.drain(..) {
+        v.extend_from_slice(&p);
+    }
+    Bytes::from(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CongestionCtrl;
+
+    fn pair(params: ConnParams) -> (Connection, Connection) {
+        let a = Connection::new(
+            ConnId { local_addr: 1, remote_addr: 2, local_cep: 10, remote_cep: 20, qos_id: 0 },
+            params.clone(),
+        );
+        let b = Connection::new(
+            ConnId { local_addr: 2, remote_addr: 1, local_cep: 20, remote_cep: 10, qos_id: 0 },
+            params,
+        );
+        (a, b)
+    }
+
+    /// Move all pending PDUs between the two endpoints, dropping according
+    /// to `drop`. Returns true if anything moved.
+    fn shuttle(
+        a: &mut Connection,
+        b: &mut Connection,
+        now: u64,
+        drop: &mut impl FnMut(&Pdu) -> bool,
+    ) -> bool {
+        let mut moved = false;
+        loop {
+            let mut any = false;
+            while let Some(p) = a.poll_transmit() {
+                any = true;
+                if !drop(&p) {
+                    b.on_pdu(&p, now);
+                }
+            }
+            while let Some(p) = b.poll_transmit() {
+                any = true;
+                if !drop(&p) {
+                    a.on_pdu(&p, now);
+                }
+            }
+            if !any {
+                break;
+            }
+            moved = true;
+        }
+        moved
+    }
+
+    /// Run the pair with timers until both are idle or `max_ms` elapses.
+    fn run(a: &mut Connection, b: &mut Connection, mut drop: impl FnMut(&Pdu) -> bool, max_ms: u64) {
+        let mut now = 0u64;
+        let end = max_ms * 1_000_000;
+        loop {
+            shuttle(a, b, now, &mut drop);
+            if (a.is_idle() || a.is_failed()) && (b.is_idle() || b.is_failed()) {
+                break;
+            }
+            let next = [a.poll_timeout(), b.poll_timeout()]
+                .into_iter()
+                .flatten()
+                .min();
+            match next {
+                Some(t) if t <= end => {
+                    now = t.max(now);
+                    a.on_timeout(now);
+                    b.on_timeout(now);
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn drain(b: &mut Connection) -> Vec<Bytes> {
+        std::iter::from_fn(|| b.poll_deliver()).collect()
+    }
+
+    #[test]
+    fn basic_transfer_in_order() {
+        let (mut a, mut b) = pair(ConnParams::reliable());
+        for i in 0..10u8 {
+            a.send_sdu(Bytes::from(vec![i; 100]), 0).unwrap();
+        }
+        run(&mut a, &mut b, |_| false, 1000);
+        let got = drain(&mut b);
+        assert_eq!(got.len(), 10);
+        for (i, sdu) in got.iter().enumerate() {
+            assert_eq!(sdu.as_ref(), &vec![i as u8; 100][..]);
+        }
+        assert_eq!(a.stats().retransmissions, 0);
+    }
+
+    #[test]
+    fn fragmentation_and_reassembly() {
+        let p = ConnParams::reliable().with_max_pdu_payload(100);
+        let (mut a, mut b) = pair(p);
+        let sdu = Bytes::from((0..1000u32).flat_map(|v| v.to_be_bytes()).collect::<Vec<u8>>());
+        a.send_sdu(sdu.clone(), 0).unwrap();
+        run(&mut a, &mut b, |_| false, 1000);
+        let got = drain(&mut b);
+        assert_eq!(got, vec![sdu]);
+        assert!(a.stats().pdus_sent >= 40); // 4000 bytes / 100
+    }
+
+    #[test]
+    fn loss_recovered_by_retransmission() {
+        let (mut a, mut b) = pair(ConnParams::reliable());
+        let mut n = 0u32;
+        for i in 0..50u8 {
+            a.send_sdu(Bytes::from(vec![i; 64]), 0).unwrap();
+        }
+        // Drop every 5th data PDU on its first transmission.
+        let mut seen = std::collections::HashSet::new();
+        run(
+            &mut a,
+            &mut b,
+            |p| {
+                if let Pdu::Data(d) = p {
+                    n += 1;
+                    if d.seq % 5 == 0 && seen.insert(d.seq) {
+                        return true;
+                    }
+                }
+                false
+            },
+            10_000,
+        );
+        let got = drain(&mut b);
+        assert_eq!(got.len(), 50);
+        for (i, sdu) in got.iter().enumerate() {
+            assert_eq!(sdu[0], i as u8, "order preserved");
+        }
+        assert!(a.stats().retransmissions >= 10);
+        assert!(!a.is_failed());
+    }
+
+    #[test]
+    fn nack_triggers_fast_retransmit_without_timeout() {
+        let (mut a, mut b) = pair(ConnParams::reliable());
+        for i in 0..5u8 {
+            a.send_sdu(Bytes::from(vec![i; 10]), 0).unwrap();
+        }
+        // Drop only seq 0 on first transmission; nack from ooo arrivals
+        // should recover it without any timer firing.
+        let mut dropped = false;
+        let mut now = 0u64;
+        loop {
+            let moved = shuttle(&mut a, &mut b, now, &mut |p| {
+                if let Pdu::Data(d) = p {
+                    if d.seq == 0 && !dropped {
+                        dropped = true;
+                        return true;
+                    }
+                }
+                false
+            });
+            if !moved {
+                break;
+            }
+            now += 1000;
+        }
+        assert_eq!(drain(&mut b).len(), 5);
+        assert_eq!(a.stats().timeouts, 0, "recovered via nack, not timeout");
+        assert_eq!(a.stats().retransmissions, 1);
+    }
+
+    #[test]
+    fn window_stalls_then_credit_opens() {
+        let p = ConnParams::reliable()
+            .with_credit_window(4)
+            .with_congestion(CongestionCtrl::None);
+        let (mut a, mut b) = pair(p);
+        for i in 0..20u8 {
+            a.send_sdu(Bytes::from(vec![i; 8]), 0).unwrap();
+        }
+        // Without feedback, only the window's worth is emitted.
+        let mut first_burst = 0;
+        let mut held = Vec::new();
+        while let Some(pdu) = a.poll_transmit() {
+            first_burst += 1;
+            held.push(pdu);
+        }
+        assert_eq!(first_burst, 4);
+        // Deliver them; acks open the window.
+        for pdu in &held {
+            b.on_pdu(pdu, 0);
+        }
+        let mut acked = 0;
+        while let Some(pdu) = b.poll_transmit() {
+            a.on_pdu(&pdu, 0);
+            acked += 1;
+        }
+        assert!(acked >= 1);
+        assert!(a.poll_transmit().is_some(), "window reopened");
+    }
+
+    #[test]
+    fn max_rtx_fails_connection() {
+        let p = ConnParams::reliable().with_rtx_timeout_ns(1_000_000);
+        let mut pp = p;
+        pp.max_rtx = 3;
+        let (mut a, mut b) = pair(pp);
+        a.send_sdu(Bytes::from_static(b"doomed"), 0).unwrap();
+        // Black hole: drop everything.
+        run(&mut a, &mut b, |_| true, 10_000);
+        assert!(a.is_failed());
+        assert_eq!(
+            a.send_sdu(Bytes::from_static(b"x"), 0),
+            Err(SendSduError::ConnectionFailed)
+        );
+    }
+
+    #[test]
+    fn duplicate_pdus_discarded() {
+        let (mut a, mut b) = pair(ConnParams::reliable());
+        a.send_sdu(Bytes::from_static(b"once"), 0).unwrap();
+        let pdu = a.poll_transmit().unwrap();
+        b.on_pdu(&pdu, 0);
+        b.on_pdu(&pdu, 0);
+        b.on_pdu(&pdu, 0);
+        assert_eq!(drain(&mut b).len(), 1);
+        assert_eq!(b.stats().dup_pdus, 2);
+    }
+
+    #[test]
+    fn unreliable_drops_are_not_recovered() {
+        let (mut a, mut b) = pair(ConnParams::unreliable());
+        for i in 0..10u8 {
+            a.send_sdu(Bytes::from(vec![i; 32]), 0).unwrap();
+        }
+        let mut k = 0;
+        run(
+            &mut a,
+            &mut b,
+            |p| {
+                if matches!(p, Pdu::Data(_)) {
+                    k += 1;
+                    k % 3 == 0
+                } else {
+                    false
+                }
+            },
+            100,
+        );
+        let got = drain(&mut b);
+        assert!(got.len() < 10 && got.len() >= 5, "got {}", got.len());
+        assert_eq!(a.stats().retransmissions, 0);
+        // Delivered SDUs are intact even though some were lost.
+        for sdu in got {
+            assert_eq!(sdu.len(), 32);
+        }
+    }
+
+    #[test]
+    fn unreliable_fragmented_sdu_dropped_on_gap() {
+        let p = ConnParams::unreliable().with_max_pdu_payload(10);
+        let (mut a, mut b) = pair(p);
+        a.send_sdu(Bytes::from(vec![1u8; 25]), 0).unwrap(); // 3 fragments
+        a.send_sdu(Bytes::from(vec![2u8; 5]), 0).unwrap(); // 1 PDU
+        // Drop the middle fragment (seq 1).
+        run(
+            &mut a,
+            &mut b,
+            |p| matches!(p, Pdu::Data(d) if d.seq == 1),
+            100,
+        );
+        let got = drain(&mut b);
+        assert_eq!(got.len(), 1, "partial SDU dropped, whole one kept");
+        assert_eq!(got[0].as_ref(), &[2u8; 5][..]);
+        assert_eq!(b.stats().rcv_dropped, 1);
+    }
+
+    #[test]
+    fn rebinding_remote_addr_changes_pdu_destination() {
+        let (mut a, _b) = pair(ConnParams::reliable());
+        a.send_sdu(Bytes::from_static(b"x"), 0).unwrap();
+        let p1 = a.poll_transmit().unwrap();
+        assert_eq!(p1.dest_addr(), 2);
+        a.set_remote_addr(99);
+        a.send_sdu(Bytes::from_static(b"y"), 0).unwrap();
+        let p2 = a.poll_transmit().unwrap();
+        assert_eq!(p2.dest_addr(), 99);
+    }
+
+    #[test]
+    fn delayed_ack_batches() {
+        let mut p = ConnParams::reliable().with_congestion(CongestionCtrl::None);
+        p.ack_delay_ns = 5_000_000;
+        let (mut a, mut b) = pair(p);
+        for _ in 0..8 {
+            a.send_sdu(Bytes::from_static(b"z"), 0).unwrap();
+        }
+        while let Some(pdu) = a.poll_transmit() {
+            b.on_pdu(&pdu, 0);
+        }
+        // No ack yet.
+        assert!(b.poll_transmit().is_none());
+        let t = b.poll_timeout().unwrap();
+        b.on_timeout(t);
+        let acks: Vec<_> = std::iter::from_fn(|| b.poll_transmit()).collect();
+        assert_eq!(acks.len(), 1, "one cumulative ack for 8 PDUs");
+        match &acks[0] {
+            Pdu::Ctrl(c) => assert_eq!(c.kind, CtrlKind::AckCredit { seq: 8, rwe: 8 + 256 }),
+            _ => panic!("expected ctrl"),
+        }
+    }
+
+    #[test]
+    fn drf_set_on_first_pdu_only() {
+        let (mut a, _) = pair(ConnParams::reliable());
+        a.send_sdu(Bytes::from_static(b"1"), 0).unwrap();
+        a.send_sdu(Bytes::from_static(b"2"), 0).unwrap();
+        let p1 = a.poll_transmit().unwrap();
+        let p2 = a.poll_transmit().unwrap();
+        match (p1, p2) {
+            (Pdu::Data(d1), Pdu::Data(d2)) => {
+                assert!(d1.flags & FLAG_DRF != 0);
+                assert!(d2.flags & FLAG_DRF == 0);
+            }
+            _ => panic!("expected data"),
+        }
+    }
+
+    #[test]
+    fn backpressure_at_sendq_limit() {
+        let p = ConnParams::reliable()
+            .with_credit_window(1)
+            .with_congestion(CongestionCtrl::None);
+        let (mut a, _) = pair(p);
+        let mut hit = false;
+        for _ in 0..(SENDQ_LIMIT + 10) {
+            if a.send_sdu(Bytes::from_static(b"q"), 0) == Err(SendSduError::Backpressured) {
+                hit = true;
+                break;
+            }
+        }
+        assert!(hit);
+    }
+}

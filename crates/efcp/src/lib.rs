@@ -1,0 +1,22 @@
+//! # rina-efcp — the Error and Flow Control Protocol
+//!
+//! EFCP is the per-flow data-transfer mechanism of every DIF in the
+//! `netipc` reproduction of *"Networking is IPC"* (Day, Matta, Mattar
+//! 2008). One implementation, many behaviours: a [`ConnParams`] policy set
+//! turns the same state machine into a reliable ordered byte-stream, an
+//! unreliable datagram flow, or a short-feedback-loop segment protocol for
+//! the lossy inner DIFs of the paper's Figure 3.
+//!
+//! The crate is sans-IO (no sockets, no clock): a [`Connection`] consumes
+//! SDUs, PDUs and timeout notifications, and is polled for outgoing PDUs
+//! and delivered SDUs. The `rina` crate instantiates one `Connection` per
+//! allocated flow and wires it to the relaying/multiplexing task.
+
+#![warn(missing_docs)]
+
+mod cong;
+mod conn;
+mod params;
+
+pub use conn::{ConnId, ConnStats, Connection, SendSduError};
+pub use params::{CongestionCtrl, ConnParams};

@@ -1,0 +1,107 @@
+//! IPv4-like addressing: 32-bit addresses that name *interfaces* (not
+//! nodes) — precisely the property the paper identifies as the root of the
+//! Internet's multihoming and mobility problems (§6.3, after Saltzer).
+
+use std::fmt;
+
+/// A 32-bit interface address.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct IpAddr(pub u32);
+
+impl IpAddr {
+    /// Build from dotted-quad octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Self {
+        IpAddr(u32::from_be_bytes([a, b, c, d]))
+    }
+    /// The unspecified address.
+    pub const UNSPECIFIED: IpAddr = IpAddr(0);
+}
+
+impl fmt::Debug for IpAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.0.to_be_bytes();
+        write!(f, "{}.{}.{}.{}", o[0], o[1], o[2], o[3])
+    }
+}
+impl fmt::Display for IpAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// An address block in CIDR notation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Cidr {
+    /// Network address.
+    pub addr: IpAddr,
+    /// Prefix length (0..=32).
+    pub prefix: u8,
+}
+
+impl Cidr {
+    /// Construct, masking the address down to the prefix.
+    pub fn new(addr: IpAddr, prefix: u8) -> Self {
+        assert!(prefix <= 32);
+        Cidr { addr: IpAddr(addr.0 & Self::mask(prefix)), prefix }
+    }
+
+    fn mask(prefix: u8) -> u32 {
+        if prefix == 0 {
+            0
+        } else {
+            u32::MAX << (32 - prefix)
+        }
+    }
+
+    /// Whether `ip` falls inside this block.
+    pub fn contains(&self, ip: IpAddr) -> bool {
+        ip.0 & Self::mask(self.prefix) == self.addr.0
+    }
+
+    /// The host address at `index` within the block.
+    pub fn host(&self, index: u32) -> IpAddr {
+        IpAddr(self.addr.0 | index)
+    }
+
+    /// A default route (0.0.0.0/0).
+    pub fn default_route() -> Self {
+        Cidr { addr: IpAddr::UNSPECIFIED, prefix: 0 }
+    }
+}
+
+impl fmt::Display for Cidr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.addr, self.prefix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(IpAddr::new(10, 0, 1, 2).to_string(), "10.0.1.2");
+        assert_eq!(Cidr::new(IpAddr::new(10, 0, 1, 7), 24).to_string(), "10.0.1.0/24");
+    }
+
+    #[test]
+    fn containment() {
+        let c = Cidr::new(IpAddr::new(192, 168, 4, 0), 24);
+        assert!(c.contains(IpAddr::new(192, 168, 4, 250)));
+        assert!(!c.contains(IpAddr::new(192, 168, 5, 1)));
+        assert!(Cidr::default_route().contains(IpAddr::new(8, 8, 8, 8)));
+    }
+
+    #[test]
+    fn host_addresses() {
+        let c = Cidr::new(IpAddr::new(10, 0, 2, 0), 24);
+        assert_eq!(c.host(5), IpAddr::new(10, 0, 2, 5));
+    }
+
+    #[test]
+    fn mask_edges() {
+        assert!(Cidr::new(IpAddr::new(1, 2, 3, 4), 32).contains(IpAddr::new(1, 2, 3, 4)));
+        assert!(!Cidr::new(IpAddr::new(1, 2, 3, 4), 32).contains(IpAddr::new(1, 2, 3, 5)));
+    }
+}

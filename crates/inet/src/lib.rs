@@ -1,0 +1,31 @@
+//! # inet — the current-Internet baseline stack
+//!
+//! A deliberately faithful model of the architecture the paper argues
+//! against, used as the comparison baseline in every experiment:
+//!
+//! * [`addr`] — 32-bit addresses that name *interfaces*.
+//! * [`pkt`] — IP-like packets, TCP-like segments, UDP-like datagrams,
+//!   IP-in-IP tunnels.
+//! * [`tcp`] — a transport bound to 4-tuples of addresses and well-known
+//!   ports, sealed off from routing.
+//! * [`node`] — hosts and routers with longest-prefix forwarding, and the
+//!   Mobile-IP home/foreign-agent machinery (§6.4's "special case").
+//! * [`dns`] — name resolution that hands addresses back to applications.
+//!
+//! Everything runs on the same `rina-sim` substrate as the `rina` crate,
+//! so head-to-head experiments share identical physical conditions.
+
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod app;
+pub mod dns;
+pub mod node;
+pub mod pkt;
+pub mod tcp;
+
+pub use addr::{Cidr, IpAddr};
+pub use app::{InetApi, InetApp, SockId};
+pub use node::{InetNode, InetStats, MobileCfg, MIP_PORT};
+pub use pkt::{Packet, Payload, Port, Segment};
+pub use tcp::{TcpConn, TcpState};

@@ -1,0 +1,510 @@
+//! A compact TCP-like transport: 3-way handshake, cumulative acks,
+//! go-back-N retransmission, AIMD congestion control.
+//!
+//! The property under test is not its performance but its *binding*: a
+//! connection is identified by the 4-tuple (src ip, src port, dst ip, dst
+//! port). The source address names an interface, so when that interface
+//! (point of attachment) dies, the connection dies with it — the failure
+//! mode the paper attributes to the incomplete naming architecture (§6.3).
+
+use crate::addr::IpAddr;
+use crate::pkt::{Packet, Payload, Port, SegKind, Segment, DEFAULT_TTL};
+use bytes::Bytes;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Connection state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TcpState {
+    /// Client sent SYN.
+    SynSent,
+    /// Server accepted, sent SYN-ACK.
+    SynReceived,
+    /// Data may flow.
+    Established,
+    /// Orderly closed.
+    Closed,
+    /// Dead: retransmissions exhausted or reset.
+    Failed,
+}
+
+/// Counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TcpStats {
+    /// Data segments sent (incl. retransmissions).
+    pub segs_sent: u64,
+    /// Retransmissions.
+    pub retransmissions: u64,
+    /// Segments delivered to the app.
+    pub segs_delivered: u64,
+    /// Bytes delivered to the app.
+    pub bytes_delivered: u64,
+    /// RTO expiries.
+    pub timeouts: u64,
+}
+
+const MAX_RTX: u32 = 8;
+const WINDOW: u64 = 64;
+
+/// One end of a TCP-like connection (sans-IO).
+#[derive(Debug)]
+pub struct TcpConn {
+    /// Local binding (interface address + port). Immutable for the life of
+    /// the connection — that is the point.
+    pub local: (IpAddr, Port),
+    /// Remote binding.
+    pub remote: (IpAddr, Port),
+    state: TcpState,
+    rtx_timeout_ns: u64,
+
+    snd_next: u64,
+    snd_una: u64,
+    sendq: VecDeque<Bytes>,
+    rtxq: BTreeMap<u64, (Bytes, u32)>,
+    rtx_deadline: Option<u64>,
+    rtx_backoff: u32,
+    recover_until: Option<u64>,
+    cwnd: f64,
+    ssthresh: f64,
+
+    rcv_next: u64,
+    ooo: BTreeMap<u64, Bytes>,
+    deliver_q: VecDeque<Bytes>,
+
+    outq: VecDeque<Packet>,
+    handshake_retries: u32,
+    stats: TcpStats,
+}
+
+impl TcpConn {
+    /// Client side: begin a connection (emits a SYN).
+    pub fn connect(local: (IpAddr, Port), remote: (IpAddr, Port), now_ns: u64, rtx_timeout_ns: u64) -> Self {
+        let mut c = TcpConn::new(local, remote, TcpState::SynSent, rtx_timeout_ns);
+        c.emit(SegKind::Syn, 0, 0, Bytes::new());
+        c.rtx_deadline = Some(now_ns + rtx_timeout_ns);
+        c
+    }
+
+    /// Server side: accept an incoming SYN (emits a SYN-ACK).
+    pub fn accept(local: (IpAddr, Port), remote: (IpAddr, Port), now_ns: u64, rtx_timeout_ns: u64) -> Self {
+        let mut c = TcpConn::new(local, remote, TcpState::SynReceived, rtx_timeout_ns);
+        c.emit(SegKind::SynAck, 0, 0, Bytes::new());
+        c.rtx_deadline = Some(now_ns + rtx_timeout_ns);
+        c
+    }
+
+    fn new(local: (IpAddr, Port), remote: (IpAddr, Port), state: TcpState, rtx_timeout_ns: u64) -> Self {
+        TcpConn {
+            local,
+            remote,
+            state,
+            rtx_timeout_ns,
+            snd_next: 0,
+            snd_una: 0,
+            sendq: VecDeque::new(),
+            rtxq: BTreeMap::new(),
+            rtx_deadline: None,
+            rtx_backoff: 0,
+            recover_until: None,
+            cwnd: 2.0,
+            ssthresh: 64.0,
+            rcv_next: 0,
+            ooo: BTreeMap::new(),
+            deliver_q: VecDeque::new(),
+            outq: VecDeque::new(),
+            handshake_retries: 0,
+            stats: TcpStats::default(),
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> TcpState {
+        self.state
+    }
+    /// Whether data can be sent.
+    pub fn is_established(&self) -> bool {
+        self.state == TcpState::Established
+    }
+    /// Whether the connection is dead.
+    pub fn is_failed(&self) -> bool {
+        self.state == TcpState::Failed
+    }
+    /// Counters.
+    pub fn stats(&self) -> TcpStats {
+        self.stats
+    }
+    /// Segments in flight.
+    pub fn in_flight(&self) -> u64 {
+        self.snd_next - self.snd_una
+    }
+    /// Nothing queued or unacknowledged.
+    pub fn is_idle(&self) -> bool {
+        self.sendq.is_empty() && self.rtxq.is_empty() && self.outq.is_empty()
+    }
+
+    fn emit(&mut self, kind: SegKind, seq: u64, ack: u64, payload: Bytes) {
+        self.outq.push_back(Packet {
+            src: self.local.0,
+            dst: self.remote.0,
+            ttl: DEFAULT_TTL,
+            payload: Payload::Seg(Segment {
+                src_port: self.local.1,
+                dst_port: self.remote.1,
+                kind,
+                seq,
+                ack,
+                payload,
+            }),
+        });
+    }
+
+    /// Queue one application message (≤ MSS; the caller chunks).
+    pub fn send(&mut self, data: Bytes, now_ns: u64) -> Result<(), &'static str> {
+        match self.state {
+            TcpState::Failed | TcpState::Closed => return Err("connection dead"),
+            _ => {}
+        }
+        if self.sendq.len() >= 8192 {
+            return Err("backpressure");
+        }
+        self.sendq.push_back(data);
+        self.pump(now_ns);
+        Ok(())
+    }
+
+    /// Orderly close.
+    pub fn close(&mut self) {
+        if matches!(self.state, TcpState::Established) {
+            let seq = self.snd_next;
+            self.emit(SegKind::Fin, seq, self.rcv_next, Bytes::new());
+            self.state = TcpState::Closed;
+        }
+    }
+
+    fn window(&self) -> u64 {
+        WINDOW.min(self.cwnd.max(1.0) as u64)
+    }
+
+    fn pump(&mut self, now_ns: u64) {
+        if self.state != TcpState::Established {
+            return;
+        }
+        while !self.sendq.is_empty() && self.snd_next < self.snd_una + self.window() {
+            let data = self.sendq.pop_front().expect("nonempty");
+            let seq = self.snd_next;
+            self.snd_next += 1;
+            self.rtxq.insert(seq, (data.clone(), 0));
+            if self.rtx_deadline.is_none() {
+                self.rtx_deadline = Some(now_ns + self.rtx_timeout_ns);
+            }
+            self.stats.segs_sent += 1;
+            self.emit(SegKind::Data, seq, self.rcv_next, data);
+        }
+    }
+
+    /// Feed a segment addressed to this connection.
+    pub fn on_segment(&mut self, seg: &Segment, now_ns: u64) {
+        match (self.state, seg.kind) {
+            (_, SegKind::Rst) => self.state = TcpState::Failed,
+            (TcpState::SynSent, SegKind::SynAck) => {
+                self.state = TcpState::Established;
+                self.rtx_deadline = None;
+                self.rtx_backoff = 0;
+                self.emit(SegKind::Ack, 0, 0, Bytes::new());
+                self.pump(now_ns);
+            }
+            (TcpState::SynReceived, SegKind::Ack) => {
+                self.state = TcpState::Established;
+                self.rtx_deadline = None;
+                self.rtx_backoff = 0;
+                self.pump(now_ns);
+            }
+            (TcpState::SynReceived, SegKind::Data) => {
+                // The handshake ack was implicit; promote and process.
+                self.state = TcpState::Established;
+                self.rtx_deadline = None;
+                self.on_data(seg, now_ns);
+            }
+            (TcpState::Established, SegKind::Data) => self.on_data(seg, now_ns),
+            (TcpState::Established, SegKind::Ack) => self.on_ack(seg.ack, now_ns),
+            (TcpState::Established, SegKind::Fin) => {
+                self.emit(SegKind::Ack, 0, seg.seq + 1, Bytes::new());
+                self.state = TcpState::Closed;
+            }
+            (TcpState::SynReceived, SegKind::Syn) => {
+                // Duplicate SYN: re-answer.
+                self.emit(SegKind::SynAck, 0, 0, Bytes::new());
+            }
+            _ => {}
+        }
+    }
+
+    fn on_data(&mut self, seg: &Segment, now_ns: u64) {
+        self.on_ack(seg.ack, now_ns);
+        if seg.seq < self.rcv_next {
+            self.emit(SegKind::Ack, 0, self.rcv_next, Bytes::new());
+            return;
+        }
+        if seg.seq > self.rcv_next {
+            self.ooo.insert(seg.seq, seg.payload.clone());
+        } else {
+            self.accept_in_order(seg.payload.clone());
+            while let Some((&s, _)) = self.ooo.first_key_value() {
+                if s != self.rcv_next {
+                    break;
+                }
+                let d = self.ooo.remove(&s).expect("present");
+                self.accept_in_order(d);
+            }
+        }
+        self.emit(SegKind::Ack, 0, self.rcv_next, Bytes::new());
+    }
+
+    fn accept_in_order(&mut self, data: Bytes) {
+        self.rcv_next += 1;
+        self.stats.segs_delivered += 1;
+        self.stats.bytes_delivered += data.len() as u64;
+        self.deliver_q.push_back(data);
+    }
+
+    fn on_ack(&mut self, ack: u64, now_ns: u64) {
+        if ack > self.snd_una {
+            let n = ack - self.snd_una;
+            self.snd_una = ack;
+            self.rtxq = self.rtxq.split_off(&ack);
+            for _ in 0..n {
+                if self.cwnd < self.ssthresh {
+                    self.cwnd += 1.0;
+                } else {
+                    self.cwnd += 1.0 / self.cwnd;
+                }
+            }
+            self.rtx_backoff = 0;
+            self.rtx_deadline = if self.rtxq.is_empty() {
+                None
+            } else {
+                Some(now_ns + self.rtx_timeout_ns)
+            };
+            match self.recover_until {
+                Some(f) if self.snd_una >= f || self.rtxq.is_empty() => self.recover_until = None,
+                Some(_) => {
+                    if let Some((&head, e)) = self.rtxq.iter_mut().next() {
+                        e.1 += 1;
+                        let data = e.0.clone();
+                        self.stats.retransmissions += 1;
+                        self.stats.segs_sent += 1;
+                        self.emit(SegKind::Data, head, self.rcv_next, data);
+                    }
+                }
+                None => {}
+            }
+        }
+        self.pump(now_ns);
+    }
+
+    /// Next timer deadline.
+    pub fn poll_timeout(&self) -> Option<u64> {
+        self.rtx_deadline
+    }
+
+    /// Drive timers.
+    pub fn on_timeout(&mut self, now_ns: u64) {
+        let Some(d) = self.rtx_deadline else { return };
+        if now_ns < d {
+            return;
+        }
+        match self.state {
+            TcpState::SynSent | TcpState::SynReceived => {
+                self.handshake_retries += 1;
+                if self.handshake_retries > MAX_RTX {
+                    self.state = TcpState::Failed;
+                    self.rtx_deadline = None;
+                    return;
+                }
+                let kind = if self.state == TcpState::SynSent { SegKind::Syn } else { SegKind::SynAck };
+                self.emit(kind, 0, 0, Bytes::new());
+                self.rtx_backoff = (self.rtx_backoff + 1).min(8);
+                self.rtx_deadline = Some(now_ns + (self.rtx_timeout_ns << self.rtx_backoff));
+            }
+            TcpState::Established => {
+                let Some((&head, e)) = self.rtxq.iter_mut().next() else {
+                    self.rtx_deadline = None;
+                    return;
+                };
+                if e.1 >= MAX_RTX {
+                    self.state = TcpState::Failed;
+                    self.rtx_deadline = None;
+                    return;
+                }
+                e.1 += 1;
+                let data = e.0.clone();
+                self.stats.timeouts += 1;
+                self.stats.retransmissions += 1;
+                self.stats.segs_sent += 1;
+                self.ssthresh = (self.cwnd / 2.0).max(2.0);
+                self.cwnd = 1.0;
+                self.recover_until = Some(self.snd_next);
+                self.rtx_backoff = (self.rtx_backoff + 1).min(8);
+                self.rtx_deadline = Some(now_ns + (self.rtx_timeout_ns << self.rtx_backoff));
+                self.emit(SegKind::Data, head, self.rcv_next, data);
+            }
+            _ => self.rtx_deadline = None,
+        }
+    }
+
+    /// Next outgoing packet.
+    pub fn poll_transmit(&mut self) -> Option<Packet> {
+        self.outq.pop_front()
+    }
+
+    /// Next delivered message.
+    pub fn poll_deliver(&mut self) -> Option<Bytes> {
+        self.deliver_q.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(now: u64) -> (TcpConn, TcpConn) {
+        let a = (IpAddr::new(10, 0, 0, 1), 40000);
+        let b = (IpAddr::new(10, 0, 1, 1), 80);
+        let client = TcpConn::connect(a, b, now, 50_000_000);
+        let server = TcpConn::accept(b, a, now, 50_000_000);
+        (client, server)
+    }
+
+    fn shuttle(a: &mut TcpConn, b: &mut TcpConn, now: u64, drop: &mut impl FnMut(&Packet) -> bool) {
+        loop {
+            let mut moved = false;
+            while let Some(p) = a.poll_transmit() {
+                moved = true;
+                if !drop(&p) {
+                    if let Payload::Seg(s) = &p.payload {
+                        b.on_segment(s, now);
+                    }
+                }
+            }
+            while let Some(p) = b.poll_transmit() {
+                moved = true;
+                if !drop(&p) {
+                    if let Payload::Seg(s) = &p.payload {
+                        a.on_segment(s, now);
+                    }
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+    }
+
+    fn run(a: &mut TcpConn, b: &mut TcpConn, mut drop: impl FnMut(&Packet) -> bool, max_ms: u64) {
+        let mut now = 0u64;
+        loop {
+            shuttle(a, b, now, &mut drop);
+            if (a.is_idle() || a.is_failed()) && (b.is_idle() || b.is_failed()) {
+                break;
+            }
+            let next = [a.poll_timeout(), b.poll_timeout()].into_iter().flatten().min();
+            match next {
+                Some(t) if t <= max_ms * 1_000_000 => {
+                    now = t.max(now);
+                    a.on_timeout(now);
+                    b.on_timeout(now);
+                }
+                _ => break,
+            }
+        }
+    }
+
+    #[test]
+    fn handshake_then_transfer() {
+        let (mut c, mut s) = pair(0);
+        run(&mut c, &mut s, |_| false, 100);
+        assert!(c.is_established() && s.is_established());
+        for i in 0..20u8 {
+            c.send(Bytes::from(vec![i; 100]), 0).unwrap();
+        }
+        run(&mut c, &mut s, |_| false, 1000);
+        let got: Vec<Bytes> = std::iter::from_fn(|| s.poll_deliver()).collect();
+        assert_eq!(got.len(), 20);
+        for (i, m) in got.iter().enumerate() {
+            assert_eq!(m[0], i as u8);
+        }
+    }
+
+    #[test]
+    fn loss_recovered() {
+        let (mut c, mut s) = pair(0);
+        run(&mut c, &mut s, |_| false, 100);
+        for i in 0..50u8 {
+            c.send(Bytes::from(vec![i; 50]), 0).unwrap();
+        }
+        let mut n = 0u32;
+        run(
+            &mut c,
+            &mut s,
+            |p| {
+                if matches!(&p.payload, Payload::Seg(s) if s.kind == SegKind::Data) {
+                    n += 1;
+                    n % 7 == 0
+                } else {
+                    false
+                }
+            },
+            60_000,
+        );
+        let got: Vec<Bytes> = std::iter::from_fn(|| s.poll_deliver()).collect();
+        assert_eq!(got.len(), 50);
+        assert!(c.stats().retransmissions > 0);
+    }
+
+    #[test]
+    fn black_hole_fails_connection() {
+        let (mut c, mut s) = pair(0);
+        run(&mut c, &mut s, |_| false, 100);
+        c.send(Bytes::from_static(b"doomed"), 0).unwrap();
+        run(&mut c, &mut s, |_| true, 600_000);
+        assert!(c.is_failed());
+        assert!(c.send(Bytes::new(), 0).is_err());
+    }
+
+    #[test]
+    fn handshake_timeout_fails() {
+        let a = (IpAddr::new(10, 0, 0, 1), 40000);
+        let b = (IpAddr::new(10, 0, 1, 1), 80);
+        let mut c = TcpConn::connect(a, b, 0, 50_000_000);
+        while let Some(t) = c.poll_timeout() {
+            c.on_timeout(t);
+            while c.poll_transmit().is_some() {}
+        }
+        assert!(c.is_failed());
+    }
+
+    #[test]
+    fn fin_closes_both() {
+        let (mut c, mut s) = pair(0);
+        run(&mut c, &mut s, |_| false, 100);
+        c.close();
+        run(&mut c, &mut s, |_| false, 100);
+        assert_eq!(c.state(), TcpState::Closed);
+        assert_eq!(s.state(), TcpState::Closed);
+    }
+
+    #[test]
+    fn rst_kills() {
+        let (mut c, mut s) = pair(0);
+        run(&mut c, &mut s, |_| false, 100);
+        let rst = Segment {
+            src_port: s.local.1,
+            dst_port: c.local.1,
+            kind: SegKind::Rst,
+            seq: 0,
+            ack: 0,
+            payload: Bytes::new(),
+        };
+        c.on_segment(&rst, 0);
+        assert!(c.is_failed());
+    }
+}

@@ -1,0 +1,296 @@
+//! Integration tests of the baseline stack — and demonstrations of the
+//! exact pathologies the paper attributes to it.
+
+use bytes::Bytes;
+use inet::dns::{self, DnsServerApp, DNS_PORT};
+use inet::{Cidr, InetApi, InetApp, InetNode, IpAddr, MobileCfg, SockId};
+use rina_sim::{Dur, LinkCfg, Sim};
+
+/// A client that resolves a name via DNS, dials the address on a
+/// well-known port, sends `count` messages, and reconnects (from scratch)
+/// if the connection dies.
+struct Client {
+    server_name: String,
+    dns: IpAddr,
+    port: u16,
+    count: u64,
+    pub sent: u64,
+    pub acked: u64,
+    pub sock: Option<SockId>,
+    pub resolved: Option<IpAddr>,
+    pub conn_failures: u64,
+}
+
+impl Client {
+    fn new(server_name: &str, dns: IpAddr, port: u16, count: u64) -> Self {
+        Client {
+            server_name: server_name.to_string(),
+            dns,
+            port,
+            count,
+            sent: 0,
+            acked: 0,
+            sock: None,
+            resolved: None,
+            conn_failures: 0,
+        }
+    }
+}
+
+const K_RESOLVE: u64 = 1;
+const K_SEND: u64 = 2;
+
+impl InetApp for Client {
+    fn on_start(&mut self, api: &mut InetApi<'_, '_, '_>) {
+        api.bind_dgram(5353);
+        api.timer_in(Dur::from_millis(10), K_RESOLVE);
+    }
+
+    fn on_timer(&mut self, key: u64, api: &mut InetApi<'_, '_, '_>) {
+        match key {
+            K_RESOLVE => {
+                if self.sock.is_some() {
+                    return;
+                }
+                match self.resolved {
+                    None => {
+                        // Ask DNS, try again shortly.
+                        api.send_dgram(self.dns, DNS_PORT, 5353, dns::query(&self.server_name));
+                        api.timer_in(Dur::from_millis(100), K_RESOLVE);
+                    }
+                    Some(ip) => {
+                        self.sock = api.connect(ip, self.port);
+                        if self.sock.is_none() {
+                            api.timer_in(Dur::from_millis(100), K_RESOLVE);
+                        }
+                    }
+                }
+            }
+            K_SEND => {
+                let Some(sock) = self.sock else { return };
+                if self.sent >= self.count {
+                    return;
+                }
+                match api.send(sock, Bytes::from(vec![0u8; 200])) {
+                    Ok(()) => {
+                        self.sent += 1;
+                        api.timer_in(Dur::from_millis(2), K_SEND);
+                    }
+                    Err(_) => api.timer_in(Dur::from_millis(10), K_SEND),
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_dgram(&mut self, _from: (IpAddr, u16), _to: u16, data: Bytes, _api: &mut InetApi<'_, '_, '_>) {
+        if let Some(ip) = dns::parse_reply(&data) {
+            self.resolved = Some(ip);
+        }
+    }
+
+    fn on_connected(&mut self, _s: SockId, _peer: (IpAddr, u16), api: &mut InetApi<'_, '_, '_>) {
+        api.timer_in(Dur::ZERO, K_SEND);
+    }
+
+    fn on_data(&mut self, _s: SockId, _d: Bytes, _api: &mut InetApi<'_, '_, '_>) {
+        self.acked += 1;
+    }
+
+    fn on_conn_failed(&mut self, _s: SockId, api: &mut InetApi<'_, '_, '_>) {
+        self.conn_failures += 1;
+        self.sock = None;
+        // Application-level recovery: re-resolve, re-dial, and resend
+        // everything not yet acknowledged (the app cannot know which
+        // in-flight messages died with the connection).
+        self.sent = self.acked;
+        self.resolved = None;
+        api.timer_in(Dur::from_millis(50), K_RESOLVE);
+    }
+}
+
+/// Echo server on a well-known port.
+#[derive(Default)]
+struct Server {
+    received: u64,
+}
+impl InetApp for Server {
+    fn on_start(&mut self, api: &mut InetApi<'_, '_, '_>) {
+        api.listen(80);
+    }
+    fn on_data(&mut self, sock: SockId, data: Bytes, api: &mut InetApi<'_, '_, '_>) {
+        self.received += 1;
+        let _ = api.send(sock, data);
+    }
+}
+
+fn ip(a: u8, b: u8, c: u8, d: u8) -> IpAddr {
+    IpAddr::new(a, b, c, d)
+}
+fn net24(a: u8, b: u8, c: u8) -> Cidr {
+    Cidr::new(ip(a, b, c, 0), 24)
+}
+
+/// Client — r1 — r2 — server, DNS lookup, TCP transfer with echo.
+#[test]
+fn dns_then_tcp_across_routers() {
+    let mut sim = Sim::new(21);
+    let mut ch = InetNode::new("client", false);
+    let mut r1 = InetNode::new("r1", true);
+    let mut r2 = InetNode::new("r2", true);
+    let mut sv = InetNode::new("server", false);
+
+    // client 10.0.1.1 -- 10.0.1.2 r1 10.0.12.1 -- 10.0.12.2 r2 10.0.2.2 -- 10.0.2.1 server
+    ch.add_iface(ip(10, 0, 1, 1), net24(10, 0, 1));
+    ch.add_route(Cidr::default_route(), 0, 0);
+    r1.add_iface(ip(10, 0, 1, 2), net24(10, 0, 1));
+    r1.add_iface(ip(10, 0, 12, 1), net24(10, 0, 12));
+    r1.add_route(net24(10, 0, 2), 1, 0);
+    r2.add_iface(ip(10, 0, 12, 2), net24(10, 0, 12));
+    r2.add_iface(ip(10, 0, 2, 2), net24(10, 0, 2));
+    r2.add_route(net24(10, 0, 1), 0, 0);
+    sv.add_iface(ip(10, 0, 2, 1), net24(10, 0, 2));
+    sv.add_route(Cidr::default_route(), 0, 0);
+
+    let c_app = ch.add_app(Client::new("server", ip(10, 0, 2, 1), 80, 100));
+    let s_app = sv.add_app(Server::default());
+    sv.add_app(DnsServerApp::new([("server".to_string(), ip(10, 0, 2, 1))]));
+
+    let nc = sim.add_node(ch);
+    let n1 = sim.add_node(r1);
+    let n2 = sim.add_node(r2);
+    let ns = sim.add_node(sv);
+    sim.connect(nc, n1, LinkCfg::wired());
+    sim.connect(n1, n2, LinkCfg::wired());
+    sim.connect(n2, ns, LinkCfg::wired());
+
+    sim.run_until(rina_sim::Time::from_secs(5));
+    let server = sim.agent::<InetNode>(ns).app::<Server>(s_app);
+    assert_eq!(server.received, 100);
+    let client = sim.agent::<InetNode>(nc).app::<Client>(c_app);
+    assert_eq!(client.acked, 100);
+    assert_eq!(client.conn_failures, 0);
+    assert!(sim.agent::<InetNode>(n1).stats.forwarded > 0);
+}
+
+/// §6.3 baseline: a multihomed client's primary interface dies. Routing
+/// fails over, but the TCP connection is bound to the dead interface's
+/// address — it fails, and the application must re-resolve and re-dial.
+#[test]
+fn interface_death_kills_tcp_connection() {
+    let mut sim = Sim::new(22);
+    let mut ch = InetNode::new("client", false);
+    let mut r1 = InetNode::new("r1", true);
+    let mut r2 = InetNode::new("r2", true);
+    let mut sv = InetNode::new("server", false);
+
+    // Dual-homed client: 10.0.1.1 via r1 (primary), 10.0.3.1 via r2 (backup).
+    ch.add_iface(ip(10, 0, 1, 1), net24(10, 0, 1));
+    ch.add_iface(ip(10, 0, 3, 1), net24(10, 0, 3));
+    ch.add_route(Cidr::default_route(), 0, 0); // prefer r1
+    ch.add_route(Cidr::default_route(), 1, 1); // backup via r2
+    r1.add_iface(ip(10, 0, 1, 2), net24(10, 0, 1));
+    r1.add_iface(ip(10, 0, 2, 3), net24(10, 0, 2));
+    r2.add_iface(ip(10, 0, 3, 2), net24(10, 0, 3));
+    r2.add_iface(ip(10, 0, 2, 4), net24(10, 0, 2));
+    sv.add_iface(ip(10, 0, 2, 1), net24(10, 0, 2));
+    sv.add_route(net24(10, 0, 1), 0, 0);
+    sv.add_route(net24(10, 0, 3), 0, 0);
+    // Server reaches both client prefixes through its lone link onto the
+    // shared 10.0.2.0/24 where both routers sit; routers route back.
+    r1.add_route(net24(10, 0, 3), 1, 0);
+    r2.add_route(net24(10, 0, 1), 1, 0);
+
+    let c_app = ch.add_app(Client::new("server", ip(10, 0, 2, 1), 80, 500));
+    let s_app = sv.add_app(Server::default());
+    sv.add_app(DnsServerApp::new([("server".to_string(), ip(10, 0, 2, 1))]));
+
+    let nc = sim.add_node(ch);
+    let n1 = sim.add_node(r1);
+    let n2 = sim.add_node(r2);
+    let ns = sim.add_node(sv);
+    let (l_primary, _, _) = sim.connect(nc, n1, LinkCfg::wired());
+    sim.connect(nc, n2, LinkCfg::wired());
+    // Both routers share a segment with the server. Two p2p links model it;
+    // the server's iface 0 faces r1, and r2 reaches the server via r1.
+    sim.connect(n1, ns, LinkCfg::wired());
+    let (_l4, _, _) = sim.connect(n2, n1, LinkCfg::wired());
+    // r2's route to 10.0.2.0/24 goes via its link to r1 (iface 2).
+    sim.agent_mut::<InetNode>(n2).add_route(net24(10, 0, 2), 2, 0);
+    // r1 reaches 10.0.3.0/24 via its link to r2 (iface 3... index 2 on r1).
+    sim.agent_mut::<InetNode>(n1).add_route(net24(10, 0, 3), 2, 0);
+
+    sim.run_until(rina_sim::Time::from_secs(1));
+    let before = sim.agent::<InetNode>(ns).app::<Server>(s_app).received;
+    assert!(before > 100, "traffic flowing: {before}");
+
+    // Kill the client's primary interface.
+    sim.set_link_up(l_primary, false);
+    sim.run_until(rina_sim::Time::from_secs(60));
+    let client = sim.agent::<InetNode>(nc).app::<Client>(c_app);
+    assert!(client.conn_failures >= 1, "the TCP connection could not survive");
+    assert!(client.acked >= 500, "application-level re-dial eventually finished: {}", client.acked);
+    let server = sim.agent::<InetNode>(ns).app::<Server>(s_app);
+    assert!(server.received >= 500, "server got everything (some twice): {}", server.received);
+}
+
+/// §6.4 baseline: Mobile-IP. The mobile keeps its home address while
+/// attached to a foreign network; the home agent tunnels to the foreign
+/// agent (triangle routing).
+#[test]
+fn mobile_ip_tunnels_through_home_agent() {
+    let mut sim = Sim::new(23);
+    // corr(espondent) -- ha -- fa -- (mobile roams to fa)
+    let mut corr = InetNode::new("corr", false);
+    let mut ha = InetNode::new("ha", true);
+    let mut fa = InetNode::new("fa", true);
+    let mut mob = InetNode::new("mobile", false);
+
+    corr.add_iface(ip(10, 0, 9, 1), net24(10, 0, 9));
+    corr.add_route(Cidr::default_route(), 0, 0);
+    ha.add_iface(ip(10, 0, 9, 2), net24(10, 0, 9));
+    ha.add_iface(ip(10, 0, 50, 1), net24(10, 0, 50)); // link to fa
+    ha.add_iface(ip(10, 0, 1, 2), net24(10, 0, 1)); // home subnet (mobile's)
+    ha.add_route(net24(10, 0, 60), 1, 0);
+    ha.set_home_agent_for(ip(10, 0, 1, 9));
+    fa.add_iface(ip(10, 0, 50, 2), net24(10, 0, 50));
+    fa.add_iface(ip(10, 0, 60, 1), net24(10, 0, 60)); // foreign subnet
+    fa.add_route(Cidr::default_route(), 0, 0);
+    // The mobile: iface 0 = home link (down in this test), iface 1 = foreign.
+    mob.add_iface(ip(10, 0, 1, 9), net24(10, 0, 1));
+    mob.add_iface(ip(10, 0, 1, 9), net24(10, 0, 60)); // keeps home address!
+    mob.add_route(Cidr::default_route(), 1, 1);
+    mob.set_mobile(MobileCfg {
+        home_addr: ip(10, 0, 1, 9),
+        home_agent: ip(10, 0, 9, 2),
+        fa_of_iface: vec![None, Some(ip(10, 0, 60, 1))],
+    });
+    let m_srv = mob.add_app(Server::default());
+
+    let c_app = corr.add_app(Client::new("mobile", ip(10, 0, 1, 9), 80, 50));
+    // "DNS" here: the client already knows the mobile's home address; the
+    // whole point of Mobile-IP is that the home address stays valid.
+    let mut dns_holder = InetNode::new("unused", false);
+    let _ = &mut dns_holder;
+
+    let nc = sim.add_node(corr);
+    let nh = sim.add_node(ha);
+    let nf = sim.add_node(fa);
+    let nm = sim.add_node(mob);
+    sim.connect(nc, nh, LinkCfg::wired());
+    sim.connect(nh, nf, LinkCfg::wired());
+    let (l_home, _, _) = sim.connect(nm, nh, LinkCfg::wired()); // home link
+    sim.connect(nm, nf, LinkCfg::wired()); // foreign link
+
+    // The mobile is away from home.
+    sim.set_link_up(l_home, false);
+    // Give the client its "DNS" answer directly.
+    sim.agent_mut::<InetNode>(nc).app_mut::<Client>(c_app).resolved = Some(ip(10, 0, 1, 9));
+
+    sim.run_until(rina_sim::Time::from_secs(5));
+    let ha_node = sim.agent::<InetNode>(nh);
+    assert_eq!(ha_node.care_of(ip(10, 0, 1, 9)), Some(ip(10, 0, 60, 1)), "registration reached the HA");
+    assert!(ha_node.stats.tunneled > 0, "traffic was tunneled");
+    let server = sim.agent::<InetNode>(nm).app::<Server>(m_srv);
+    assert!(server.received > 0, "mobile reachable at its home address: {}", server.received);
+}

@@ -1,0 +1,427 @@
+//! # rina-rib — the Resource Information Base and RIEP
+//!
+//! Every IPC process keeps a Resource Information Base: the shared state
+//! that the paper's *IPC Management* task maintains via the Resource
+//! Information Exchange Protocol (RIEP) — "application names, addresses,
+//! and performance capabilities, used by various DIF coordination tasks,
+//! such as routing, connection management, etc." (§3.1).
+//!
+//! The RIB here is a path-named object store with per-object versions and
+//! single-writer semantics (each object is owned by the member that
+//! originates it — e.g. `/lsa/<addr>` by the member at `<addr>`). RIEP is
+//! realized as version-guarded flooding: an update is applied if strictly
+//! newer and then re-disseminated, so updates reach every member of the DIF
+//! exactly once per version regardless of topology. Deletions are
+//! tombstones so they win over stale resurrections.
+//!
+//! The crate is sans-IO: [`Rib`] produces [`RibEvent`]s for the local IPC
+//! process (routing recomputation, directory changes) and dissemination
+//! items for the management task to forward; the `rina` crate moves them.
+
+#![warn(missing_docs)]
+
+use bytes::Bytes;
+use rina_wire::codec::{Reader, Writer};
+use rina_wire::WireError;
+use std::collections::{BTreeMap, VecDeque};
+
+/// One replicated object. Ordering of versions: `(version, origin)`
+/// lexicographic, so concurrent writes by different members resolve
+/// deterministically (higher origin wins ties — origins are DIF-internal
+/// addresses, so this is arbitrary but consistent everywhere).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RibObject {
+    /// Path-style instance name, e.g. `/dir/video-server`.
+    pub name: String,
+    /// Object class, e.g. `"dir"`, `"lsa"`.
+    pub class: String,
+    /// Encoded value (empty for tombstones).
+    pub value: Bytes,
+    /// Monotonic per-name version.
+    pub version: u64,
+    /// DIF-internal address of the writing member.
+    pub origin: u64,
+    /// True if this version deletes the object.
+    pub deleted: bool,
+}
+
+impl RibObject {
+    /// Encode for carriage inside a CDAP value.
+    pub fn encode(&self) -> Bytes {
+        let mut w = Writer::with_capacity(16 + self.name.len() + self.class.len() + self.value.len());
+        w.string(&self.name)
+            .string(&self.class)
+            .bytes(&self.value)
+            .varint(self.version)
+            .varint(self.origin)
+            .boolean(self.deleted);
+        w.finish()
+    }
+
+    /// Decode from a CDAP value.
+    pub fn decode(buf: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(buf);
+        let name = r.string()?.to_string();
+        let class = r.string()?.to_string();
+        let value = Bytes::copy_from_slice(r.bytes()?);
+        let version = r.varint()?;
+        let origin = r.varint()?;
+        let deleted = r.boolean()?;
+        r.expect_end()?;
+        Ok(RibObject { name, class, value, version, origin, deleted })
+    }
+
+    fn newer_than(&self, other: &RibObject) -> bool {
+        (self.version, self.origin) > (other.version, other.origin)
+    }
+}
+
+/// A change the local IPC process should react to.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RibEvent {
+    /// An object appeared or changed value.
+    Upserted(RibObject),
+    /// An object was deleted (tombstoned).
+    Deleted(RibObject),
+}
+
+impl RibEvent {
+    /// The object the event concerns.
+    pub fn object(&self) -> &RibObject {
+        match self {
+            RibEvent::Upserted(o) | RibEvent::Deleted(o) => o,
+        }
+    }
+}
+
+/// The Resource Information Base of one IPC process.
+#[derive(Debug, Default)]
+pub struct Rib {
+    /// The member's own DIF-internal address (0 until enrolled).
+    origin: u64,
+    objects: BTreeMap<String, RibObject>,
+    events: VecDeque<RibEvent>,
+    /// Objects (new versions) to disseminate to neighbors.
+    outbox: VecDeque<RibObject>,
+}
+
+impl Rib {
+    /// An empty RIB for a member that will write with address `origin`.
+    pub fn new(origin: u64) -> Self {
+        Rib { origin, ..Default::default() }
+    }
+
+    /// Update the origin address (set when enrollment assigns one).
+    pub fn set_origin(&mut self, origin: u64) {
+        self.origin = origin;
+    }
+
+    /// This member's origin address.
+    pub fn origin(&self) -> u64 {
+        self.origin
+    }
+
+    /// Write (create or update) an object authored locally. The new version
+    /// supersedes any existing one and is queued for dissemination.
+    pub fn write_local(&mut self, name: &str, class: &str, value: Bytes) {
+        let version = self.objects.get(name).map(|o| o.version + 1).unwrap_or(1);
+        let obj = RibObject {
+            name: name.to_string(),
+            class: class.to_string(),
+            value,
+            version,
+            origin: self.origin,
+            deleted: false,
+        };
+        self.objects.insert(name.to_string(), obj.clone());
+        self.events.push_back(RibEvent::Upserted(obj.clone()));
+        self.outbox.push_back(obj);
+    }
+
+    /// Tombstone an object authored locally. No-op if absent or already
+    /// deleted.
+    pub fn delete_local(&mut self, name: &str) {
+        let Some(cur) = self.objects.get(name) else {
+            return;
+        };
+        if cur.deleted {
+            return;
+        }
+        let obj = RibObject {
+            name: cur.name.clone(),
+            class: cur.class.clone(),
+            value: Bytes::new(),
+            version: cur.version + 1,
+            origin: self.origin,
+            deleted: true,
+        };
+        self.objects.insert(name.to_string(), obj.clone());
+        self.events.push_back(RibEvent::Deleted(obj.clone()));
+        self.outbox.push_back(obj);
+    }
+
+    /// Apply an object received from a peer. Returns `true` if it was newer
+    /// than local state (caller should then re-flood it to other
+    /// neighbors); `false` if stale or identical.
+    pub fn apply_remote(&mut self, obj: RibObject) -> bool {
+        match self.objects.get(&obj.name) {
+            Some(cur) if !obj.newer_than(cur) => return false,
+            _ => {}
+        }
+        let ev = if obj.deleted {
+            RibEvent::Deleted(obj.clone())
+        } else {
+            RibEvent::Upserted(obj.clone())
+        };
+        self.objects.insert(obj.name.clone(), obj);
+        self.events.push_back(ev);
+        true
+    }
+
+    /// Current value of a live (non-deleted) object.
+    pub fn get(&self, name: &str) -> Option<&RibObject> {
+        self.objects.get(name).filter(|o| !o.deleted)
+    }
+
+    /// All live objects whose names start with `prefix`, in name order.
+    pub fn iter_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a RibObject> + 'a {
+        self.objects
+            .range(prefix.to_string()..)
+            .take_while(move |(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| v)
+            .filter(|o| !o.deleted)
+    }
+
+    /// Every object including tombstones — the enrollment sync set a new
+    /// member receives (§5.2).
+    pub fn snapshot(&self) -> Vec<RibObject> {
+        self.objects.values().cloned().collect()
+    }
+
+    /// Number of live objects.
+    pub fn len(&self) -> usize {
+        self.objects.values().filter(|o| !o.deleted).count()
+    }
+
+    /// True when no live objects exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drain pending local events.
+    pub fn poll_event(&mut self) -> Option<RibEvent> {
+        self.events.pop_front()
+    }
+
+    /// Drain objects queued for dissemination to neighbors.
+    pub fn poll_dissemination(&mut self) -> Option<RibObject> {
+        self.outbox.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn drain_events(r: &mut Rib) -> Vec<RibEvent> {
+        std::iter::from_fn(|| r.poll_event()).collect()
+    }
+
+    #[test]
+    fn local_write_and_get() {
+        let mut rib = Rib::new(5);
+        rib.write_local("/dir/app-a", "dir", Bytes::from_static(b"\x2a"));
+        let o = rib.get("/dir/app-a").unwrap();
+        assert_eq!(o.version, 1);
+        assert_eq!(o.origin, 5);
+        assert_eq!(o.value.as_ref(), b"\x2a");
+        let evs = drain_events(&mut rib);
+        assert_eq!(evs.len(), 1);
+        assert!(matches!(evs[0], RibEvent::Upserted(_)));
+        assert!(rib.poll_dissemination().is_some());
+        assert!(rib.poll_dissemination().is_none());
+    }
+
+    #[test]
+    fn rewrite_bumps_version() {
+        let mut rib = Rib::new(1);
+        rib.write_local("/x", "c", Bytes::from_static(b"1"));
+        rib.write_local("/x", "c", Bytes::from_static(b"2"));
+        assert_eq!(rib.get("/x").unwrap().version, 2);
+        assert_eq!(rib.get("/x").unwrap().value.as_ref(), b"2");
+    }
+
+    #[test]
+    fn remote_newer_applies_and_floods_stale_does_not() {
+        let mut a = Rib::new(1);
+        let mut b = Rib::new(2);
+        a.write_local("/lsa/1", "lsa", Bytes::from_static(b"v1"));
+        let o1 = a.poll_dissemination().unwrap();
+        assert!(b.apply_remote(o1.clone()));
+        assert!(!b.apply_remote(o1.clone()), "duplicate is stale");
+        a.write_local("/lsa/1", "lsa", Bytes::from_static(b"v2"));
+        let o2 = a.poll_dissemination().unwrap();
+        assert!(b.apply_remote(o2));
+        assert!(!b.apply_remote(o1), "old version rejected");
+        assert_eq!(b.get("/lsa/1").unwrap().value.as_ref(), b"v2");
+    }
+
+    #[test]
+    fn delete_tombstones_and_wins() {
+        let mut a = Rib::new(1);
+        a.write_local("/dir/app", "dir", Bytes::from_static(b"7"));
+        let create = a.poll_dissemination().unwrap();
+        a.delete_local("/dir/app");
+        let tomb = a.poll_dissemination().unwrap();
+        assert!(a.get("/dir/app").is_none());
+        assert_eq!(a.len(), 0);
+
+        // A peer that sees the delete after the create ends deleted…
+        let mut b = Rib::new(2);
+        assert!(b.apply_remote(create.clone()));
+        assert!(b.apply_remote(tomb.clone()));
+        assert!(b.get("/dir/app").is_none());
+        // …and a peer that sees them reordered also ends deleted.
+        let mut c = Rib::new(3);
+        assert!(c.apply_remote(tomb));
+        assert!(!c.apply_remote(create));
+        assert!(c.get("/dir/app").is_none());
+    }
+
+    #[test]
+    fn delete_absent_is_noop() {
+        let mut a = Rib::new(1);
+        a.delete_local("/nope");
+        assert!(drain_events(&mut a).is_empty());
+        assert!(a.poll_dissemination().is_none());
+    }
+
+    #[test]
+    fn tie_break_is_deterministic() {
+        // Two members write the same name at the same version.
+        let mut a = Rib::new(1);
+        let mut b = Rib::new(9);
+        a.write_local("/contested", "c", Bytes::from_static(b"low"));
+        b.write_local("/contested", "c", Bytes::from_static(b"high"));
+        let oa = a.poll_dissemination().unwrap();
+        let ob = b.poll_dissemination().unwrap();
+        // Cross-apply in both orders: both converge on origin 9's value.
+        let mut x = Rib::new(50);
+        assert!(x.apply_remote(oa.clone()));
+        assert!(x.apply_remote(ob.clone()));
+        let mut y = Rib::new(51);
+        assert!(y.apply_remote(ob));
+        assert!(!y.apply_remote(oa));
+        assert_eq!(x.get("/contested").unwrap().value, y.get("/contested").unwrap().value);
+        assert_eq!(x.get("/contested").unwrap().value.as_ref(), b"high");
+    }
+
+    #[test]
+    fn prefix_iteration_ordered_and_filtered() {
+        let mut rib = Rib::new(1);
+        rib.write_local("/dir/b", "dir", Bytes::new());
+        rib.write_local("/dir/a", "dir", Bytes::new());
+        rib.write_local("/lsa/1", "lsa", Bytes::new());
+        rib.write_local("/dir/c", "dir", Bytes::new());
+        rib.delete_local("/dir/b");
+        let names: Vec<_> = rib.iter_prefix("/dir/").map(|o| o.name.as_str()).collect();
+        assert_eq!(names, vec!["/dir/a", "/dir/c"]);
+    }
+
+    #[test]
+    fn snapshot_includes_tombstones() {
+        let mut rib = Rib::new(1);
+        rib.write_local("/a", "c", Bytes::new());
+        rib.delete_local("/a");
+        rib.write_local("/b", "c", Bytes::new());
+        let snap = rib.snapshot();
+        assert_eq!(snap.len(), 2);
+        // A fresh member applying the snapshot converges.
+        let mut n = Rib::new(7);
+        for o in snap {
+            n.apply_remote(o);
+        }
+        assert!(n.get("/a").is_none());
+        assert!(n.get("/b").is_some());
+    }
+
+    #[test]
+    fn object_encode_roundtrip() {
+        let o = RibObject {
+            name: "/dir/x".into(),
+            class: "dir".into(),
+            value: Bytes::from_static(b"\x01\x02"),
+            version: 42,
+            origin: 7,
+            deleted: true,
+        };
+        assert_eq!(RibObject::decode(&o.encode()).unwrap(), o);
+    }
+
+    #[test]
+    fn flooding_converges_on_a_line_of_members() {
+        // a - b - c: a's write reaches c through b's re-flood decision.
+        let mut ribs = vec![Rib::new(1), Rib::new(2), Rib::new(3)];
+        ribs[0].write_local("/lsa/1", "lsa", Bytes::from_static(b"x"));
+        // Simulate flooding: each dissemination is offered to neighbors,
+        // re-offered while apply_remote returns true.
+        let mut pending: Vec<(usize, RibObject)> = vec![];
+        while let Some(o) = ribs[0].poll_dissemination() {
+            pending.push((0, o));
+        }
+        while let Some((from, obj)) = pending.pop() {
+            let neighbors: &[usize] = match from {
+                0 => &[1],
+                1 => &[0, 2],
+                _ => &[1],
+            };
+            for &n in neighbors {
+                if ribs[n].apply_remote(obj.clone()) {
+                    pending.push((n, obj.clone()));
+                }
+            }
+        }
+        for rib in &ribs {
+            assert_eq!(rib.get("/lsa/1").unwrap().value.as_ref(), b"x");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_object_roundtrip(
+            name in "[a-z/]{0,24}",
+            class in "[a-z]{0,8}",
+            value in proptest::collection::vec(any::<u8>(), 0..64),
+            version in any::<u64>(),
+            origin in any::<u64>(),
+            deleted in any::<bool>(),
+        ) {
+            let o = RibObject { name, class, value: Bytes::from(value), version, origin, deleted };
+            prop_assert_eq!(RibObject::decode(&o.encode()).unwrap(), o);
+        }
+
+        #[test]
+        fn prop_convergence_any_order(seed in any::<u64>()) {
+            // Generate updates from 3 writers, apply to a reader in a
+            // seed-shuffled order; final state must equal the max-version
+            // object per name.
+            use rand::seq::SliceRandom;
+            use rand::SeedableRng;
+            let mut updates = vec![];
+            for origin in 1u64..=3 {
+                let mut w = Rib::new(origin);
+                for v in 0..4 {
+                    w.write_local("/obj", "c", Bytes::from(vec![origin as u8, v]));
+                    while let Some(o) = w.poll_dissemination() { updates.push(o); }
+                }
+            }
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+            updates.shuffle(&mut rng);
+            let mut r = Rib::new(9);
+            for o in updates.clone() { r.apply_remote(o); }
+            let winner = updates.iter().max_by_key(|o| (o.version, o.origin)).unwrap();
+            prop_assert_eq!(&r.get("/obj").unwrap().value, &winner.value);
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Abstract topology generators.
+//!
+//! These produce edge lists over `0..n` vertex indices; callers create the
+//! node agents and then [`crate::Sim::connect`] along each edge. Keeping the
+//! graph abstract lets the RINA and the baseline Internet stacks be laid
+//! over the *same* physical topology in comparison experiments.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// An undirected edge between two vertex indices.
+pub type Edge = (usize, usize);
+
+/// A chain `0 - 1 - ... - (n-1)`.
+pub fn line(n: usize) -> Vec<Edge> {
+    (1..n).map(|i| (i - 1, i)).collect()
+}
+
+/// A star with vertex 0 at the centre and `n-1` leaves.
+pub fn star(n: usize) -> Vec<Edge> {
+    (1..n).map(|i| (0, i)).collect()
+}
+
+/// A ring `0 - 1 - ... - (n-1) - 0`. Requires `n >= 3`.
+pub fn ring(n: usize) -> Vec<Edge> {
+    assert!(n >= 3, "a ring needs at least 3 vertices");
+    let mut e = line(n);
+    e.push((n - 1, 0));
+    e
+}
+
+/// A complete `fanout`-ary tree of the given `depth` (root has depth 0).
+/// Returns the edges and the total vertex count. Vertices are numbered in
+/// BFS order, so the root is 0 and leaves occupy the tail of the range.
+pub fn tree(fanout: usize, depth: usize) -> (Vec<Edge>, usize) {
+    assert!(fanout >= 1);
+    let mut edges = Vec::new();
+    let mut level: Vec<usize> = vec![0];
+    let mut next_id = 1usize;
+    for _ in 0..depth {
+        let mut next_level = Vec::new();
+        for &p in &level {
+            for _ in 0..fanout {
+                edges.push((p, next_id));
+                next_level.push(next_id);
+                next_id += 1;
+            }
+        }
+        level = next_level;
+    }
+    (edges, next_id)
+}
+
+/// A `w` x `h` grid; vertex `(x, y)` has index `y * w + x`.
+pub fn grid(w: usize, h: usize) -> Vec<Edge> {
+    let mut e = Vec::new();
+    for y in 0..h {
+        for x in 0..w {
+            let i = y * w + x;
+            if x + 1 < w {
+                e.push((i, i + 1));
+            }
+            if y + 1 < h {
+                e.push((i, i + w));
+            }
+        }
+    }
+    e
+}
+
+/// The leaves of a [`tree`] topology: the vertex range that has no children.
+pub fn tree_leaves(fanout: usize, depth: usize) -> std::ops::Range<usize> {
+    let (_, total) = tree(fanout, depth);
+    let leaves = fanout.pow(depth as u32);
+    (total - leaves)..total
+}
+
+/// A two-tier "ISP internetwork": `isps` provider cores connected in a ring
+/// (full mesh if `isps <= 4`), each core serving `hosts_per_isp` customer
+/// hosts via an access router.
+///
+/// Vertex layout: `0..isps` are core routers, `isps..2*isps` are access
+/// routers (access router i hangs off core i), and hosts follow, grouped by
+/// ISP. Returns `(edges, host index range, total vertices)`.
+pub fn isp_internetwork(isps: usize, hosts_per_isp: usize) -> (Vec<Edge>, std::ops::Range<usize>, usize) {
+    assert!(isps >= 2);
+    let mut e = Vec::new();
+    // Core interconnect.
+    if isps <= 4 {
+        for i in 0..isps {
+            for j in (i + 1)..isps {
+                e.push((i, j));
+            }
+        }
+    } else {
+        for i in 0..isps {
+            e.push((i, (i + 1) % isps));
+        }
+    }
+    // Access routers.
+    for i in 0..isps {
+        e.push((i, isps + i));
+    }
+    // Hosts.
+    let host_base = 2 * isps;
+    for i in 0..isps {
+        for h in 0..hosts_per_isp {
+            e.push((isps + i, host_base + i * hosts_per_isp + h));
+        }
+    }
+    let total = host_base + isps * hosts_per_isp;
+    (e, host_base..total, total)
+}
+
+/// A connected random graph: a random spanning tree plus `extra` random
+/// chords, deterministic in `seed`.
+pub fn random_connected(n: usize, extra: usize, seed: u64) -> Vec<Edge> {
+    assert!(n >= 2);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(n - 1 + extra);
+    // Random spanning tree: attach each new vertex to a random earlier one.
+    for v in 1..n {
+        let u = rng.gen_range(0..v);
+        edges.push((u, v));
+    }
+    let mut tries = 0;
+    let mut added = 0;
+    while added < extra && tries < extra * 20 {
+        tries += 1;
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a == b || edges.iter().any(|&(x, y)| (x, y) == (a.min(b), a.max(b))) {
+            continue;
+        }
+        edges.push((a.min(b), a.max(b)));
+        added += 1;
+    }
+    edges
+}
+
+/// Number of vertices implied by an edge list (max index + 1).
+pub fn vertex_count(edges: &[Edge]) -> usize {
+    edges.iter().map(|&(a, b)| a.max(b) + 1).max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn connected(n: usize, edges: &[Edge]) -> bool {
+        let mut adj = vec![vec![]; n];
+        for &(a, b) in edges {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        let mut seen = HashSet::from([0usize]);
+        let mut stack = vec![0usize];
+        while let Some(v) = stack.pop() {
+            for &w in &adj[v] {
+                if seen.insert(w) {
+                    stack.push(w);
+                }
+            }
+        }
+        seen.len() == n
+    }
+
+    #[test]
+    fn line_star_ring_shapes() {
+        assert_eq!(line(4), vec![(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(star(4), vec![(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(ring(3).len(), 3);
+        assert!(connected(5, &line(5)));
+        assert!(connected(5, &star(5)));
+    }
+
+    #[test]
+    fn tree_counts() {
+        let (edges, total) = tree(2, 3);
+        assert_eq!(total, 1 + 2 + 4 + 8);
+        assert_eq!(edges.len(), total - 1);
+        assert!(connected(total, &edges));
+        assert_eq!(tree_leaves(2, 3), 7..15);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let e = grid(3, 2);
+        assert_eq!(e.len(), 3 + 4); // 3 vertical + 2*2 horizontal
+        assert!(connected(6, &e));
+    }
+
+    #[test]
+    fn isp_internetwork_shape() {
+        let (edges, hosts, total) = isp_internetwork(3, 4);
+        assert_eq!(total, 3 + 3 + 12);
+        assert_eq!(hosts, 6..18);
+        assert!(connected(total, &edges));
+        // Full mesh core for 3 ISPs: 3 core edges.
+        assert!(edges.contains(&(0, 1)) && edges.contains(&(1, 2)) && edges.contains(&(0, 2)));
+    }
+
+    #[test]
+    fn random_connected_is_connected_and_deterministic() {
+        let e1 = random_connected(50, 20, 9);
+        let e2 = random_connected(50, 20, 9);
+        assert_eq!(e1, e2);
+        assert!(connected(50, &e1));
+        assert!(e1.len() >= 49);
+    }
+}

@@ -1,0 +1,56 @@
+//! Optional in-memory tracing of link-level events, for debugging and for
+//! experiments that count wire activity.
+
+use crate::time::Time;
+
+/// What happened at a node's interface.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A frame was queued for transmission.
+    Tx,
+    /// A frame was delivered to the agent.
+    Rx,
+    /// A frame was tail-dropped at the transmit queue.
+    DropOverflow,
+}
+
+/// One recorded link-level event.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceEvent {
+    /// Virtual time of the event.
+    pub time: Time,
+    /// Node index where the event occurred.
+    pub node: u32,
+    /// Event kind.
+    pub kind: TraceKind,
+    /// Interface index local to the node.
+    pub iface: u32,
+    /// Frame length in bytes.
+    pub len: usize,
+}
+
+/// Bounded trace recorder. Disabled by default; recording is a no-op then.
+pub(crate) struct Tracer {
+    events: Vec<TraceEvent>,
+    cap: usize,
+    enabled: bool,
+}
+
+impl Tracer {
+    pub fn disabled() -> Self {
+        Tracer { events: Vec::new(), cap: 0, enabled: false }
+    }
+    pub fn enabled(cap: usize) -> Self {
+        Tracer { events: Vec::with_capacity(cap.min(4096)), cap, enabled: true }
+    }
+    /// Record an event, lazily constructing it only if tracing is on.
+    #[inline]
+    pub fn record(&mut self, f: impl FnOnce() -> TraceEvent) {
+        if self.enabled && self.events.len() < self.cap {
+            self.events.push(f());
+        }
+    }
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+}

@@ -1,0 +1,482 @@
+//! EFCP PDU syntax: the data-transfer (DTP) and transfer-control (DTCP)
+//! PDUs exchanged between IPC processes of one DIF, plus the management PDU
+//! that carries CDAP between layer-management tasks.
+//!
+//! Addresses here are *internal to a DIF* (the paper's §3.2: "addresses …
+//! are internal identifiers used by the members of the DIF"); nothing in
+//! this format is visible to applications.
+
+use crate::codec::{Reader, Writer};
+use crate::error::WireError;
+use bytes::Bytes;
+
+/// An IPC-process address, meaningful only within one DIF. Address 0 is
+/// reserved to mean "unaddressed / link-local next hop" and is used during
+/// enrollment before an address has been assigned.
+pub type Addr = u64;
+/// A connection-endpoint id, local to one IPC process.
+pub type CepId = u32;
+/// A DTP sequence number.
+pub type SeqNum = u64;
+
+/// Wire format version implemented by this crate.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Default initial TTL for relayed PDUs.
+pub const DEFAULT_TTL: u8 = 64;
+
+/// Flag bit: Data Run Flag — first PDU of a new run (fresh connection state).
+pub const FLAG_DRF: u8 = 0x01;
+/// Flag bit: this PDU is a fragment and more fragments of the SDU follow.
+pub const FLAG_MORE: u8 = 0x02;
+/// Flag bit: explicit congestion notification (set by relays under pressure).
+pub const FLAG_ECN: u8 = 0x04;
+/// Flag bit: this PDU carries the *first* fragment of an SDU (set together
+/// with a clear `FLAG_MORE` on unfragmented SDUs). Lets receivers on
+/// unreliable flows resynchronize SDU boundaries after loss.
+pub const FLAG_FIRST: u8 = 0x08;
+
+/// A data-transfer PDU (DTP).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DataPdu {
+    /// Destination IPC-process address within the DIF.
+    pub dest_addr: Addr,
+    /// Source IPC-process address within the DIF.
+    pub src_addr: Addr,
+    /// QoS cube id the flow belongs to (selects relay queue and policies).
+    pub qos_id: u8,
+    /// Destination connection endpoint.
+    pub dest_cep: CepId,
+    /// Source connection endpoint.
+    pub src_cep: CepId,
+    /// Sequence number.
+    pub seq: SeqNum,
+    /// OR of the `FLAG_*` bits.
+    pub flags: u8,
+    /// Remaining relay hops; decremented by each relay.
+    pub ttl: u8,
+    /// User data (possibly one fragment of an SDU).
+    pub payload: Bytes,
+}
+
+/// The control content of a DTCP PDU.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CtrlKind {
+    /// Cumulative acknowledgement: everything `< seq` has been delivered.
+    Ack {
+        /// Next expected sequence number.
+        seq: SeqNum,
+    },
+    /// Selective negative acknowledgement of one missing PDU.
+    Nack {
+        /// The missing sequence number.
+        seq: SeqNum,
+    },
+    /// Flow-control only: advance the sender's right window edge.
+    Credit {
+        /// New right window edge (highest sendable seq, exclusive).
+        rwe: SeqNum,
+    },
+    /// Combined ack + credit, the common case.
+    AckCredit {
+        /// Next expected sequence number.
+        seq: SeqNum,
+        /// New right window edge (exclusive).
+        rwe: SeqNum,
+    },
+}
+
+/// A transfer-control (DTCP) PDU.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CtrlPdu {
+    /// Destination IPC-process address within the DIF.
+    pub dest_addr: Addr,
+    /// Source IPC-process address within the DIF.
+    pub src_addr: Addr,
+    /// QoS cube id of the controlled flow.
+    pub qos_id: u8,
+    /// Destination connection endpoint.
+    pub dest_cep: CepId,
+    /// Source connection endpoint.
+    pub src_cep: CepId,
+    /// Remaining relay hops.
+    pub ttl: u8,
+    /// The control information.
+    pub kind: CtrlKind,
+}
+
+/// A management PDU carrying a CDAP message between the layer-management
+/// tasks of two IPC processes. Delivery is datagram (management protocols
+/// are idempotent or retried); relayed like data.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MgmtPdu {
+    /// Destination IPC-process address, or 0 for "the IPC process at the
+    /// other end of this (N-1) flow" (used during enrollment).
+    pub dest_addr: Addr,
+    /// Source IPC-process address, or 0 before an address is assigned.
+    pub src_addr: Addr,
+    /// Remaining relay hops.
+    pub ttl: u8,
+    /// Encoded CDAP message.
+    pub payload: Bytes,
+}
+
+/// Any PDU of a DIF, as relayed by the RMT and delivered to EFCP instances
+/// or the management AE.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Pdu {
+    /// Data transfer.
+    Data(DataPdu),
+    /// Transfer control.
+    Ctrl(CtrlPdu),
+    /// Layer management (CDAP).
+    Mgmt(MgmtPdu),
+}
+
+const T_DATA: u8 = 0x81;
+const T_CTRL: u8 = 0x82;
+const T_MGMT: u8 = 0x83;
+
+const CK_ACK: u8 = 1;
+const CK_NACK: u8 = 2;
+const CK_CREDIT: u8 = 3;
+const CK_ACK_CREDIT: u8 = 4;
+
+impl Pdu {
+    /// Destination address, for relay decisions.
+    pub fn dest_addr(&self) -> Addr {
+        match self {
+            Pdu::Data(p) => p.dest_addr,
+            Pdu::Ctrl(p) => p.dest_addr,
+            Pdu::Mgmt(p) => p.dest_addr,
+        }
+    }
+
+    /// Source address.
+    pub fn src_addr(&self) -> Addr {
+        match self {
+            Pdu::Data(p) => p.src_addr,
+            Pdu::Ctrl(p) => p.src_addr,
+            Pdu::Mgmt(p) => p.src_addr,
+        }
+    }
+
+    /// QoS cube id (management PDUs ride the highest-priority cube, 0).
+    pub fn qos_id(&self) -> u8 {
+        match self {
+            Pdu::Data(p) => p.qos_id,
+            Pdu::Ctrl(p) => p.qos_id,
+            Pdu::Mgmt(_) => 0,
+        }
+    }
+
+    /// Remaining TTL.
+    pub fn ttl(&self) -> u8 {
+        match self {
+            Pdu::Data(p) => p.ttl,
+            Pdu::Ctrl(p) => p.ttl,
+            Pdu::Mgmt(p) => p.ttl,
+        }
+    }
+
+    /// Decrement TTL, returning `false` if it was already zero (drop).
+    pub fn decrement_ttl(&mut self) -> bool {
+        let ttl = match self {
+            Pdu::Data(p) => &mut p.ttl,
+            Pdu::Ctrl(p) => &mut p.ttl,
+            Pdu::Mgmt(p) => &mut p.ttl,
+        };
+        if *ttl == 0 {
+            return false;
+        }
+        *ttl -= 1;
+        true
+    }
+
+    /// Encode to bytes with version byte and trailing CRC-32.
+    pub fn encode(&self) -> Bytes {
+        let mut w = Writer::with_capacity(32 + self.payload_len());
+        w.u8(WIRE_VERSION);
+        match self {
+            Pdu::Data(p) => {
+                w.u8(T_DATA)
+                    .varint(p.dest_addr)
+                    .varint(p.src_addr)
+                    .u8(p.qos_id)
+                    .varint(p.dest_cep as u64)
+                    .varint(p.src_cep as u64)
+                    .varint(p.seq)
+                    .u8(p.flags)
+                    .u8(p.ttl)
+                    .raw(&p.payload);
+            }
+            Pdu::Ctrl(p) => {
+                w.u8(T_CTRL)
+                    .varint(p.dest_addr)
+                    .varint(p.src_addr)
+                    .u8(p.qos_id)
+                    .varint(p.dest_cep as u64)
+                    .varint(p.src_cep as u64)
+                    .u8(p.ttl);
+                match p.kind {
+                    CtrlKind::Ack { seq } => {
+                        w.u8(CK_ACK).varint(seq);
+                    }
+                    CtrlKind::Nack { seq } => {
+                        w.u8(CK_NACK).varint(seq);
+                    }
+                    CtrlKind::Credit { rwe } => {
+                        w.u8(CK_CREDIT).varint(rwe);
+                    }
+                    CtrlKind::AckCredit { seq, rwe } => {
+                        w.u8(CK_ACK_CREDIT).varint(seq).varint(rwe);
+                    }
+                }
+            }
+            Pdu::Mgmt(p) => {
+                w.u8(T_MGMT)
+                    .varint(p.dest_addr)
+                    .varint(p.src_addr)
+                    .u8(p.ttl)
+                    .raw(&p.payload);
+            }
+        }
+        w.finish_with_crc()
+    }
+
+    /// Decode from bytes, verifying the CRC. The payload of data/management
+    /// PDUs is a zero-copy slice of `buf`.
+    pub fn decode(buf: &Bytes) -> Result<Pdu, WireError> {
+        let mut r = Reader::new_checked(buf)?;
+        let v = r.u8()?;
+        if v != WIRE_VERSION {
+            return Err(WireError::BadVersion(v));
+        }
+        let t = r.u8()?;
+        match t {
+            T_DATA => {
+                let dest_addr = r.varint()?;
+                let src_addr = r.varint()?;
+                let qos_id = r.u8()?;
+                let dest_cep = cep(r.varint()?)?;
+                let src_cep = cep(r.varint()?)?;
+                let seq = r.varint()?;
+                let flags = r.u8()?;
+                let ttl = r.u8()?;
+                let payload = slice_rest(buf, &mut r);
+                Ok(Pdu::Data(DataPdu {
+                    dest_addr,
+                    src_addr,
+                    qos_id,
+                    dest_cep,
+                    src_cep,
+                    seq,
+                    flags,
+                    ttl,
+                    payload,
+                }))
+            }
+            T_CTRL => {
+                let dest_addr = r.varint()?;
+                let src_addr = r.varint()?;
+                let qos_id = r.u8()?;
+                let dest_cep = cep(r.varint()?)?;
+                let src_cep = cep(r.varint()?)?;
+                let ttl = r.u8()?;
+                let kind = match r.u8()? {
+                    CK_ACK => CtrlKind::Ack { seq: r.varint()? },
+                    CK_NACK => CtrlKind::Nack { seq: r.varint()? },
+                    CK_CREDIT => CtrlKind::Credit { rwe: r.varint()? },
+                    CK_ACK_CREDIT => {
+                        CtrlKind::AckCredit { seq: r.varint()?, rwe: r.varint()? }
+                    }
+                    _ => return Err(WireError::Invalid("ctrl kind")),
+                };
+                r.expect_end()?;
+                Ok(Pdu::Ctrl(CtrlPdu {
+                    dest_addr,
+                    src_addr,
+                    qos_id,
+                    dest_cep,
+                    src_cep,
+                    ttl,
+                    kind,
+                }))
+            }
+            T_MGMT => {
+                let dest_addr = r.varint()?;
+                let src_addr = r.varint()?;
+                let ttl = r.u8()?;
+                let payload = slice_rest(buf, &mut r);
+                Ok(Pdu::Mgmt(MgmtPdu { dest_addr, src_addr, ttl, payload }))
+            }
+            _ => Err(WireError::Invalid("pdu type")),
+        }
+    }
+
+    fn payload_len(&self) -> usize {
+        match self {
+            Pdu::Data(p) => p.payload.len(),
+            Pdu::Mgmt(p) => p.payload.len(),
+            Pdu::Ctrl(_) => 0,
+        }
+    }
+
+    /// Encoded header + trailer overhead for this PDU (everything except the
+    /// payload). Used by the header-overhead experiment.
+    pub fn overhead(&self) -> usize {
+        self.encode().len() - self.payload_len()
+    }
+}
+
+fn cep(v: u64) -> Result<CepId, WireError> {
+    CepId::try_from(v).map_err(|_| WireError::Invalid("cep id"))
+}
+
+/// Zero-copy slice of the remaining body bytes out of the original buffer.
+fn slice_rest(buf: &Bytes, r: &mut Reader<'_>) -> Bytes {
+    let rest = r.rest();
+    if rest.is_empty() {
+        return Bytes::new();
+    }
+    // Compute the offset of `rest` within `buf`.
+    let base = buf.as_ptr() as usize;
+    let off = rest.as_ptr() as usize - base;
+    buf.slice(off..off + rest.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_data() -> DataPdu {
+        DataPdu {
+            dest_addr: 42,
+            src_addr: 7,
+            qos_id: 2,
+            dest_cep: 1001,
+            src_cep: 2002,
+            seq: 123456,
+            flags: FLAG_DRF | FLAG_MORE,
+            ttl: 64,
+            payload: Bytes::from_static(b"hello dif"),
+        }
+    }
+
+    #[test]
+    fn data_roundtrip() {
+        let p = Pdu::Data(sample_data());
+        let b = p.encode();
+        assert_eq!(Pdu::decode(&b).unwrap(), p);
+    }
+
+    #[test]
+    fn ctrl_roundtrips() {
+        for kind in [
+            CtrlKind::Ack { seq: 9 },
+            CtrlKind::Nack { seq: 10 },
+            CtrlKind::Credit { rwe: 999 },
+            CtrlKind::AckCredit { seq: 5, rwe: 105 },
+        ] {
+            let p = Pdu::Ctrl(CtrlPdu {
+                dest_addr: 1,
+                src_addr: 2,
+                qos_id: 0,
+                dest_cep: 3,
+                src_cep: 4,
+                ttl: 16,
+                kind,
+            });
+            let b = p.encode();
+            assert_eq!(Pdu::decode(&b).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn mgmt_roundtrip_with_zero_addrs() {
+        let p = Pdu::Mgmt(MgmtPdu {
+            dest_addr: 0,
+            src_addr: 0,
+            ttl: 1,
+            payload: Bytes::from_static(b"cdap"),
+        });
+        let b = p.encode();
+        assert_eq!(Pdu::decode(&b).unwrap(), p);
+    }
+
+    #[test]
+    fn ttl_decrements_and_floors() {
+        let mut p = Pdu::Data(DataPdu { ttl: 1, ..sample_data() });
+        assert!(p.decrement_ttl());
+        assert_eq!(p.ttl(), 0);
+        assert!(!p.decrement_ttl());
+    }
+
+    #[test]
+    fn corrupt_pdu_rejected() {
+        let b = Pdu::Data(sample_data()).encode();
+        let mut bad = b.to_vec();
+        bad[3] ^= 0xFF;
+        assert_eq!(Pdu::decode(&Bytes::from(bad)).err(), Some(WireError::BadChecksum));
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let mut w = Writer::new();
+        w.u8(WIRE_VERSION).u8(0x7F);
+        let b = w.finish_with_crc();
+        assert_eq!(Pdu::decode(&b).err(), Some(WireError::Invalid("pdu type")));
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut w = Writer::new();
+        w.u8(9).u8(T_DATA);
+        let b = w.finish_with_crc();
+        assert_eq!(Pdu::decode(&b).err(), Some(WireError::BadVersion(9)));
+    }
+
+    #[test]
+    fn overhead_is_modest() {
+        let p = Pdu::Data(sample_data());
+        // varint fields keep small-address headers compact.
+        assert!(p.overhead() <= 24, "overhead {}", p.overhead());
+    }
+
+    #[test]
+    fn payload_is_zero_copy() {
+        let p = Pdu::Data(sample_data());
+        let b = p.encode();
+        let d = match Pdu::decode(&b).unwrap() {
+            Pdu::Data(d) => d,
+            _ => unreachable!(),
+        };
+        // Same backing allocation: pointer lies within the encoded buffer.
+        let base = b.as_ptr() as usize;
+        let pp = d.payload.as_ptr() as usize;
+        assert!(pp >= base && pp < base + b.len());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_data_roundtrip(
+            dest_addr in any::<u64>(), src_addr in any::<u64>(),
+            qos_id in any::<u8>(), dest_cep in any::<u32>(), src_cep in any::<u32>(),
+            seq in any::<u64>(), flags in 0u8..8, ttl in any::<u8>(),
+            payload in proptest::collection::vec(any::<u8>(), 0..256),
+        ) {
+            let p = Pdu::Data(DataPdu {
+                dest_addr, src_addr, qos_id, dest_cep, src_cep, seq, flags, ttl,
+                payload: Bytes::from(payload),
+            });
+            let b = p.encode();
+            prop_assert_eq!(Pdu::decode(&b).unwrap(), p);
+        }
+
+        #[test]
+        fn prop_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+            let _ = Pdu::decode(&Bytes::from(data));
+        }
+    }
+}

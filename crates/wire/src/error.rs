@@ -1,0 +1,34 @@
+//! Decode errors shared by all wire formats.
+
+use std::fmt;
+
+/// Why a byte string failed to parse as a PDU.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the field being read.
+    Truncated,
+    /// The version byte is not one this implementation speaks.
+    BadVersion(u8),
+    /// The trailing CRC32 did not match the computed value.
+    BadChecksum,
+    /// A varint exceeded 64 bits or 10 bytes.
+    VarintOverflow,
+    /// A field held a value that is not valid for its type.
+    Invalid(&'static str),
+    /// Trailing bytes remained after a complete message.
+    TrailingBytes,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated PDU"),
+            WireError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            WireError::BadChecksum => write!(f, "checksum mismatch"),
+            WireError::VarintOverflow => write!(f, "varint overflow"),
+            WireError::Invalid(what) => write!(f, "invalid field: {what}"),
+            WireError::TrailingBytes => write!(f, "trailing bytes after message"),
+        }
+    }
+}
+impl std::error::Error for WireError {}

@@ -1,0 +1,28 @@
+//! # rina-wire — wire formats for the recursive-IPC suite
+//!
+//! Concrete protocol *syntax* for the `netipc` reproduction of Day, Matta &
+//! Mattar's *"Networking is IPC"* (2008). The paper deliberately does not
+//! fix encodings ("it should be possible to change protocols in an
+//! architecture without changing the architecture"); this crate provides
+//! one unambiguous, compact choice:
+//!
+//! * [`codec`] — varints, big-endian integers, length-prefixed strings.
+//! * [`efcp`] — the EFCP data-transfer (DTP) and transfer-control (DTCP)
+//!   PDUs, plus the management PDU that carries CDAP.
+//! * [`cdap`] — the management envelope (operation on a named object).
+//! * [`crc`] — CRC-32 framing integrity.
+//!
+//! All decoders are total: arbitrary bytes produce an error, never a panic
+//! (verified by property tests).
+
+#![warn(missing_docs)]
+
+pub mod cdap;
+pub mod codec;
+pub mod crc;
+pub mod efcp;
+mod error;
+
+pub use cdap::{CdapMsg, OpCode, RES_OK};
+pub use efcp::{Addr, CepId, CtrlKind, CtrlPdu, DataPdu, MgmtPdu, Pdu, SeqNum};
+pub use error::WireError;

@@ -1,0 +1,99 @@
+//! §6.6/§6.7 — ISPs as IPC providers, and a "boutique" private DIF.
+//!
+//! Two provider networks (each an ISP-scoped DIF) carry a customer-facing
+//! internet DIF. On top of *that*, a content provider builds its own
+//! private DIF spanning only its servers and subscribers — "a host service
+//! provider creating its own DIF from the ground up" — with membership
+//! gated by a secret. The paper's marketplace: layers as products.
+//!
+//! Run: `cargo run --example isp_marketplace`
+
+use netipc::rina::apps::{PingApp, EchoApp, SinkApp, SourceApp};
+use netipc::rina::prelude::*;
+
+fn main() {
+    let mut b = NetBuilder::new(99);
+    // Two ISPs: isp-a = {ra1, ra2}, isp-b = {rb1, rb2}, peered ra2—rb1.
+    let ra1 = b.node("ra1");
+    let ra2 = b.node("ra2");
+    let rb1 = b.node("rb1");
+    let rb2 = b.node("rb2");
+    // Customers: alice on isp-a, bob + the cdn server on isp-b.
+    let alice = b.node("alice");
+    let bob = b.node("bob");
+    let cdn = b.node("cdn");
+
+    let l_a = b.link(ra1, ra2, LinkCfg::wired());
+    let l_peer = b.link(ra2, rb1, LinkCfg::wired());
+    let l_b = b.link(rb1, rb2, LinkCfg::wired());
+    let l_alice = b.link(alice, ra1, LinkCfg::wired());
+    let l_bob = b.link(bob, rb2, LinkCfg::wired());
+    let l_cdn = b.link(cdn, rb2, LinkCfg::wired());
+
+    // Each ISP runs its own DIF over its own links — its product is IPC.
+    let isp_a = b.dif(DifConfig::new("isp-a"));
+    b.join(isp_a, ra1);
+    b.join(isp_a, ra2);
+    b.adjacency_over_link(isp_a, ra1, ra2, l_a);
+
+    let isp_b = b.dif(DifConfig::new("isp-b"));
+    b.join(isp_b, rb1);
+    b.join(isp_b, rb2);
+    b.adjacency_over_link(isp_b, rb1, rb2, l_b);
+
+    // The public internet DIF: weak joining requirements (§6.7's mega-mall).
+    // Its backbone adjacencies *buy transport* from the ISP DIFs.
+    let inet = b.dif(DifConfig::new("internet"));
+    for n in [ra1, ra2, rb1, rb2, alice, bob, cdn] {
+        b.join(inet, n);
+    }
+    b.adjacency(inet, ra1, ra2, Via::Dif(isp_a), QosSpec::datagram());
+    b.adjacency_over_link(inet, ra2, rb1, l_peer);
+    b.adjacency(inet, rb1, rb2, Via::Dif(isp_b), QosSpec::datagram());
+    b.adjacency_over_link(inet, alice, ra1, l_alice);
+    b.adjacency_over_link(inet, bob, rb2, l_bob);
+    b.adjacency_over_link(inet, cdn, rb2, l_cdn);
+
+    // The boutique e-mall: a private DIF over the internet DIF, members
+    // only by subscription (pre-shared secret), tighter hello policy.
+    let club = b.dif(
+        DifConfig::new("cdn-club")
+            .with_auth(AuthPolicy::Secret("subscriber-token".into()))
+            .with_hello_period(Dur::from_millis(250)),
+    );
+    b.join(club, cdn);
+    b.join(club, alice);
+    b.join(club, bob);
+    b.adjacency(club, alice, cdn, Via::Dif(inet), QosSpec::reliable());
+    b.adjacency(club, bob, cdn, Via::Dif(inet), QosSpec::reliable());
+
+    // Services: a public echo on the internet DIF, and members-only video
+    // inside the club DIF.
+    b.app(cdn, AppName::new("public-echo"), inet, EchoApp::default());
+    b.app(cdn, AppName::new("video"), club, SinkApp::default());
+    let a_ping = b.app(
+        alice,
+        AppName::new("alice-ping"),
+        inet,
+        PingApp::new(AppName::new("public-echo"), QosSpec::reliable(), 3, 64),
+    );
+    let b_upload = b.app(
+        bob,
+        AppName::new("bob-cam"),
+        club,
+        SourceApp::new(AppName::new("video"), QosSpec::reliable(), 800, 200, Dur::from_millis(5)),
+    );
+
+    let mut net = b.build();
+    let t = net.run_until_assembled(Dur::from_secs(60), Dur::from_millis(500));
+    println!("three-rank provider stack assembled at t={t}");
+    net.run_for(Dur::from_secs(5));
+
+    let p: &PingApp = net.node(alice).app(a_ping);
+    println!("alice over the public internet DIF: {} RTTs, first = {:.2} ms", p.rtts.len(), p.rtts[0] * 1e3);
+    let s: &SourceApp = net.node(bob).app(b_upload);
+    let v: &SinkApp = net.node(cdn).app(1);
+    println!("bob inside cdn-club: sent {} SDUs, cdn received {}", s.sent, v.received);
+    assert!(p.done() && v.received == 200);
+    println!("ok: providers sold IPC at every rank; the club ran its own private network");
+}

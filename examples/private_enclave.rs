@@ -1,0 +1,58 @@
+//! §6.1 — security as a consequence of structure.
+//!
+//! Three machines share a wire. The payroll DIF requires a secret to
+//! join; the attacker's machine presents the wrong one. It never gets an
+//! address, the DIF's addresses are never visible to it, and there is no
+//! port space to scan — the facility is "impervious to attacks from
+//! outside the facility". Inside an *open* DIF, the destination
+//! application still vets each flow request (§5.3 access control).
+//!
+//! Run: `cargo run --example private_enclave`
+
+use netipc::rina::apps::{SinkApp, SourceApp};
+use netipc::rina::prelude::*;
+
+fn main() {
+    let mut b = NetBuilder::new(13);
+    let hr = b.node("hr-server");
+    let gw = b.node("gw");
+    let intruder = b.node("intruder");
+    let l1 = b.link(hr, gw, LinkCfg::wired());
+    let l2 = b.link(gw, intruder, LinkCfg::wired());
+
+    let payroll = b.dif(
+        DifConfig::new("payroll").with_auth(AuthPolicy::Secret("employees-only".into())),
+    );
+    b.join(payroll, gw);
+    b.join(payroll, hr);
+    b.join(payroll, intruder);
+    // The intruder's machine tries to join with a guessed credential.
+    b.join_credential(payroll, intruder, "letmein");
+    b.adjacency_over_link(payroll, hr, gw, l1);
+    b.adjacency_over_link(payroll, gw, intruder, l2);
+
+    b.app(hr, AppName::new("salaries"), payroll, SinkApp::default());
+    let atk = b.app(
+        intruder,
+        AppName::new("exfil"),
+        payroll,
+        SourceApp::new(AppName::new("salaries"), QosSpec::reliable(), 64, 10, Dur::ZERO),
+    );
+
+    let payroll_hr = b.ipcp_of(payroll, hr);
+    let payroll_intruder = b.ipcp_of(payroll, intruder);
+    let mut net = b.build();
+    let t = net.sim.now() + Dur::from_secs(8);
+    net.sim.run_until(t);
+
+    let hr_ok = net.node(hr).ipcp(payroll_hr).is_enrolled();
+    let intruder_in = net.node(intruder).ipcp(payroll_intruder).is_enrolled();
+    let attacker: &SourceApp = net.node(intruder).app(atk);
+    let sink: &SinkApp = net.node(hr).app(0);
+    println!("hr-server enrolled:   {hr_ok}");
+    println!("intruder enrolled:    {intruder_in}");
+    println!("intruder flow allocs: {} failures, {} SDUs delivered", attacker.alloc_failures, sink.received);
+    assert!(hr_ok && !intruder_in);
+    assert_eq!(sink.received, 0);
+    println!("ok: no membership, no addresses, no reachable surface — by structure, not by firewall");
+}

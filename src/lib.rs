@@ -1,0 +1,22 @@
+//! # netipc — "Networking is IPC", reproduced in Rust
+//!
+//! Umbrella crate for the reproduction of Day, Matta & Mattar,
+//! *"Networking is IPC": A Guiding Principle to a Better Internet*
+//! (BUCS-TR-2008-019, 2008). It re-exports the component crates and hosts
+//! the runnable examples and cross-crate integration tests.
+//!
+//! * [`sim`] — deterministic discrete-event network substrate.
+//! * [`wire`] — PDU syntax (EFCP, CDAP-like management envelope).
+//! * [`efcp`] — error- and flow-control protocol state machines.
+//! * [`rib`] — resource information base + RIEP dissemination.
+//! * [`rina`] — the recursive-IPC architecture itself (DIFs, IPC
+//!   processes, enrollment, flow allocation, relaying, routing).
+//! * [`inet`] — the current-Internet baseline stack the paper argues
+//!   against (flat addresses, well-known ports, DNS, Mobile-IP).
+
+pub use inet;
+pub use rina;
+pub use rina_efcp as efcp;
+pub use rina_rib as rib;
+pub use rina_sim as sim;
+pub use rina_wire as wire;

@@ -1,0 +1,84 @@
+//! The paper's claim 3: "This repeating structure scales indefinitely."
+//! Four ranks of the *same* layer, each riding flows of the one below:
+//! shims → metro DIFs → a national DIF → the internet DIF. Nothing in the
+//! code distinguishes ranks; only the builder's wiring does.
+
+use netipc::rina::apps::{EchoApp, PingApp};
+use netipc::rina::prelude::*;
+
+#[test]
+fn four_rank_stack_assembles_and_carries_flows() {
+    let mut b = NetBuilder::new(77);
+    // Chain: h1 - m1 - m2 - m3 - m4 - h2
+    // m1,m2 form metro-west; m3,m4 form metro-east.
+    // national spans m2,m3 over... physical m2-m3 link.
+    // internet spans h1,m1,m4,h2 (+ m2,m3) with adjacencies over the
+    // metros and the national DIF.
+    let h1 = b.node("h1");
+    let m1 = b.node("m1");
+    let m2 = b.node("m2");
+    let m3 = b.node("m3");
+    let m4 = b.node("m4");
+    let h2 = b.node("h2");
+    let l_h1 = b.link(h1, m1, LinkCfg::wired());
+    let l_w = b.link(m1, m2, LinkCfg::wired());
+    let l_mid = b.link(m2, m3, LinkCfg::wired());
+    let l_e = b.link(m3, m4, LinkCfg::wired());
+    let l_h2 = b.link(m4, h2, LinkCfg::wired());
+
+    // Rank 1: metro DIFs over their own links.
+    let west = b.dif(DifConfig::new("metro-west"));
+    b.join(west, m1);
+    b.join(west, m2);
+    b.adjacency_over_link(west, m1, m2, l_w);
+    let east = b.dif(DifConfig::new("metro-east"));
+    b.join(east, m3);
+    b.join(east, m4);
+    b.adjacency_over_link(east, m3, m4, l_e);
+
+    // Rank 2: the national DIF rides the metros *and* the middle link.
+    let national = b.dif(DifConfig::new("national"));
+    b.join(national, m1);
+    b.join(national, m2);
+    b.join(national, m3);
+    b.join(national, m4);
+    b.adjacency(national, m1, m2, Via::Dif(west), QosSpec::datagram());
+    b.adjacency_over_link(national, m2, m3, l_mid);
+    b.adjacency(national, m3, m4, Via::Dif(east), QosSpec::datagram());
+
+    // Rank 3: the internet DIF: hosts at the edge, long-haul adjacency
+    // rides the national DIF end to end (m1 ⇄ m4 in one hop up here).
+    let inet = b.dif(DifConfig::new("internet"));
+    b.join(inet, m1);
+    b.join(inet, h1);
+    b.join(inet, m4);
+    b.join(inet, h2);
+    b.adjacency_over_link(inet, h1, m1, l_h1);
+    b.adjacency(inet, m1, m4, Via::Dif(national), QosSpec::datagram());
+    b.adjacency_over_link(inet, m4, h2, l_h2);
+
+    b.app(h2, AppName::new("echo"), inet, EchoApp::default());
+    let ping = b.app(
+        h1,
+        AppName::new("ping"),
+        inet,
+        PingApp::new(AppName::new("echo"), QosSpec::reliable(), 5, 128),
+    );
+
+    let national_m2 = b.ipcp_of(national, m2);
+    let mut net = b.build();
+    net.run_until_assembled(Dur::from_secs(60), Dur::from_millis(500));
+    net.run_for(Dur::from_secs(5));
+
+    let p: &PingApp = net.node(h1).app(ping);
+    assert!(p.done(), "pings through 4 ranks: got {}", p.rtts.len());
+    // The physical path is 5 hops; RTT must reflect all of them (≥10 ms),
+    // even though the internet DIF sees only h1-m1-m4-h2.
+    assert!(p.rtts[0] >= 0.010, "rtt {}", p.rtts[0]);
+    // And the national DIF actually relayed (m2 is interior to the m1–m4
+    // adjacency at internet rank).
+    assert!(
+        net.node(m2).ipcp(national_m2).stats.relayed > 0,
+        "national-rank relaying happened"
+    );
+}
