@@ -3,28 +3,17 @@
 //!
 //! Usage: `cargo run --release -p rina-bench --bin experiments [--quick]`
 
+use rina_bench::report::{finish_doc, push_section};
 use rina_bench::*;
-use serde::Serialize;
-
-#[derive(Serialize, Default)]
-struct Results {
-    e1_fig1: Vec<e1_fig1::Fig1Row>,
-    e3_fig3: Vec<e3_fig3::Fig3Row>,
-    e4_fig4: Vec<e4_fig4::Fig4Row>,
-    e5_fig5: Vec<e5_fig5::Fig5Row>,
-    e6_scale: Vec<e6_scale::ScaleRow>,
-    e7_security: Vec<e7_security::SecurityRow>,
-    e8_enroll: Vec<e8_enroll::EnrollRow>,
-    e9_util: Vec<e9_util::UtilRow>,
-}
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let mut out = Results::default();
+    let mut doc: Vec<String> = Vec::new();
 
     println!("## E1/E2 — Figures 1 & 2: two-system and relayed IPC\n");
     println!("| scenario | relays | alloc latency (s) | RTT mean (s) | goodput (Mb/s) | relayed PDUs | hdr overhead (B) |");
     println!("|---|---|---|---|---|---|---|");
+    let mut rows = Vec::new();
     for relays in [0usize, 1, 3] {
         let r = e1_fig1::run(relays, 100 + relays as u64);
         println!(
@@ -37,13 +26,15 @@ fn main() {
             r.relayed_pdus,
             r.overhead_bytes
         );
-        out.e1_fig1.push(r);
+        rows.push(r);
     }
+    push_section(&mut doc, "e1_fig1", &rows);
 
     println!("\n## E3 — Figure 3: an extra DIF scoped to the lossy segment\n");
     println!("| P(bad) | config | delivered | goodput (Mb/s) | lat mean (s) | lat p99 (s) |");
     println!("|---|---|---|---|---|---|");
     let pbads: &[f64] = if quick { &[0.0, 0.25] } else { &[0.0, 0.1, 0.2, 0.3] };
+    let mut rows = Vec::new();
     for &p in pbads {
         for scoped in [false, true] {
             let r = e3_fig3::run(p, scoped, 200);
@@ -56,13 +47,15 @@ fn main() {
                 fmt(r.latency_mean_s),
                 fmt(r.latency_p99_s)
             );
-            out.e3_fig3.push(r);
+            rows.push(r);
         }
     }
+    push_section(&mut doc, "e3_fig3", &rows);
 
     println!("\n## E4 — Figure 4 / §6.3: multihoming failover\n");
     println!("| stack | flow survived | outage (s) | delivered/2000 | conn failures |");
     println!("|---|---|---|---|---|");
+    let mut rows = Vec::new();
     for r in [e4_fig4::run_rina(300), e4_fig4::run_inet(300)] {
         println!(
             "| {} | {} | {} | {} | {} |",
@@ -72,12 +65,14 @@ fn main() {
             r.delivered,
             r.conn_failures
         );
-        out.e4_fig4.push(r);
+        rows.push(r);
     }
+    push_section(&mut doc, "e4_fig4", &rows);
 
     println!("\n## E5 — Figure 5 / §6.4: mobility\n");
     println!("| stack | handoff gap (s) | flow survived | update/tunnel msgs | delivered/3000 |");
     println!("|---|---|---|---|---|");
+    let mut rows = Vec::new();
     for r in [e5_fig5::run_rina(400), e5_fig5::run_inet(400)] {
         println!(
             "| {} | {} | {} | {} | {} |",
@@ -87,13 +82,15 @@ fn main() {
             r.update_msgs,
             r.delivered
         );
-        out.e5_fig5.push(r);
+        rows.push(r);
     }
+    push_section(&mut doc, "e5_fig5", &rows);
 
     println!("\n## E6 — §6.5: routing state, flat vs hierarchical\n");
     println!("| regions×hosts | config | fwd mean | fwd max | RIEP msgs | e2e ok |");
     println!("|---|---|---|---|---|---|");
     let sizes: &[(usize, usize)] = if quick { &[(3, 4)] } else { &[(3, 4), (4, 8), (6, 12)] };
+    let mut rows = Vec::new();
     for &(rg, h) in sizes {
         for flat in [true, false] {
             let r = e6_scale::run(rg, h, flat, 500);
@@ -107,26 +104,30 @@ fn main() {
                 r.rib_msgs,
                 r.e2e_ok
             );
-            out.e6_scale.push(r);
+            rows.push(r);
         }
     }
+    push_section(&mut doc, "e6_scale", &rows);
 
     println!("\n## E7 — §6.1: attack surface\n");
     println!("| stack | probes | information leaks | attacker payloads delivered |");
     println!("|---|---|---|---|");
+    let mut rows = Vec::new();
     for r in [
         e7_security::run_inet(600),
         e7_security::run_rina_access_control(601),
         e7_security::run_rina_private(602),
     ] {
         println!("| {} | {} | {} | {} |", r.stack, r.probes, r.leaks, r.payloads_delivered);
-        out.e7_security.push(r);
+        rows.push(r);
     }
+    push_section(&mut doc, "e7_security", &rows);
 
     println!("\n## E8 — §5.2: enrollment cost\n");
     println!("| members | assemble (s) | mgmt msgs | per member |");
     println!("|---|---|---|---|");
     let ks: &[usize] = if quick { &[4, 8] } else { &[2, 4, 8, 16, 32] };
+    let mut rows = Vec::new();
     for &k in ks {
         let r = e8_enroll::run(k, 700 + k as u64);
         println!(
@@ -136,13 +137,15 @@ fn main() {
             r.mgmt_msgs,
             fmt(r.mgmt_per_member)
         );
-        out.e8_enroll.push(r);
+        rows.push(r);
     }
+    push_section(&mut doc, "e8_enroll", &rows);
 
     println!("\n## E9 — intro item 5 / §6.2 / §6.6: utilization & QoS classes\n");
     println!("| offered load | sched | utilization | inter lat mean (s) | inter lat p99 (s) | bulk (Mb/s) |");
     println!("|---|---|---|---|---|---|");
     let loads: &[f64] = if quick { &[0.9, 1.1] } else { &[0.5, 0.8, 0.95, 1.1] };
+    let mut rows = Vec::new();
     for &load in loads {
         for prio in [false, true] {
             let r = e9_util::run(load, prio, 800);
@@ -155,11 +158,34 @@ fn main() {
                 fmt(r.inter_lat_p99_s),
                 fmt(r.bulk_mbps)
             );
-            out.e9_util.push(r);
+            rows.push(r);
         }
     }
+    push_section(&mut doc, "e9_util", &rows);
 
-    let json = serde_json::to_string_pretty(&out).expect("serialize");
-    std::fs::write("results.json", json).ok();
+    println!("\n## E10 — scale-free internetworks (Barabási–Albert DIFs)\n");
+    println!("| members | m | assemble (s) | mgmt/member | hub degree | hub fwd | fwd mean | hub relayed | e2e ok |");
+    println!("|---|---|---|---|---|---|---|---|---|");
+    let ns: &[usize] = if quick { &[50] } else { &[50, 100] };
+    let mut rows = Vec::new();
+    for &n in ns {
+        let r = e10_scalefree::run(n, 2, 900 + n as u64);
+        println!(
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} |",
+            r.members,
+            r.attach_degree,
+            fmt(r.assemble_s),
+            fmt(r.mgmt_per_member),
+            r.hub_degree,
+            r.hub_fwd,
+            fmt(r.fwd_mean),
+            r.hub_relayed,
+            r.e2e_ok
+        );
+        rows.push(r);
+    }
+    push_section(&mut doc, "e10_scalefree", &rows);
+
+    std::fs::write("results.json", finish_doc(doc)).ok();
     println!("\n(results.json written)");
 }

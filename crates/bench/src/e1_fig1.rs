@@ -4,12 +4,12 @@
 //! router (Fig 2). Reported: flow-allocation latency (by *name*), RTT,
 //! goodput, relay activity, and per-PDU header overhead per layer.
 
+use crate::{row_json, Scenario};
 use rina::apps::{EchoApp, PingApp, SinkApp, SourceApp};
 use rina::prelude::*;
-use serde::Serialize;
 
 /// Result of the two-system / relay scenarios.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct Fig1Row {
     /// Scenario name.
     pub scenario: &'static str,
@@ -27,65 +27,52 @@ pub struct Fig1Row {
     pub overhead_bytes: usize,
 }
 
+row_json!(Fig1Row {
+    scenario,
+    relays,
+    alloc_latency_s,
+    rtt_mean_s,
+    goodput_mbps,
+    relayed_pdus,
+    overhead_bytes,
+});
+
 /// Run Figure 1 (relays = 0) or Figure 2 (relays = 1) style chains.
 pub fn run(relays: usize, seed: u64) -> Fig1Row {
-    let mut b = NetBuilder::new(seed);
-    let n = relays + 2;
-    let nodes: Vec<usize> = (0..n).map(|i| b.node(&format!("n{i}"))).collect();
-    let links: Vec<usize> = (0..n - 1)
-        .map(|i| b.link(nodes[i], nodes[i + 1], LinkCfg::wired()))
-        .collect();
-    let d = b.dif(DifConfig::new("net"));
-    for &nd in &nodes {
-        b.join(d, nd);
-    }
-    for i in 0..n - 1 {
-        b.adjacency_over_link(d, nodes[i], nodes[i + 1], links[i]);
-    }
-    let last = nodes[n - 1];
-    b.app(last, AppName::new("echo"), d, EchoApp::default());
-    b.app(last, AppName::new("sink"), d, SinkApp::default());
-    let ping = b.app(
-        nodes[0],
+    let mut s = Scenario::new("fig1-chain", seed);
+    let fab = Topology::line(relays + 2).materialize(&mut s);
+    let (first, last) = (fab.node(0), fab.last());
+    s.app(last, AppName::new("echo"), fab.dif, EchoApp::default());
+    let ping = s.app(
+        first,
         AppName::new("ping"),
-        d,
+        fab.dif,
         PingApp::new(AppName::new("echo"), QosSpec::reliable(), 20, 64),
     );
-    let src = b.app(
-        nodes[0],
+    let src = s.app(
+        first,
         AppName::new("src"),
-        d,
+        fab.dif,
         SourceApp::new(AppName::new("sink"), QosSpec::reliable(), 1200, 2000, Dur::ZERO),
     );
-    let relay_ipcps: Vec<(usize, usize)> = nodes[1..n - 1]
-        .iter()
-        .map(|&nd| (nd, b.ipcp_of(d, nd)))
-        .collect();
-    let mut net = b.build();
-    net.run_until_assembled(Dur::from_secs(30), Dur::from_millis(200));
-    net.run_for(Dur::from_secs(20));
+    let sink = s.app(last, AppName::new("sink"), fab.dif, SinkApp::default());
+    let relay_ipcps: Vec<IpcpH> = (1..=relays).map(|i| s.ipcp_of(fab.dif, fab.node(i))).collect();
 
-    let p: &PingApp = net.node(nodes[0]).app(ping);
+    let mut run = s.assemble(Dur::from_secs(30), Dur::from_millis(200));
+    run.run_for(Dur::from_secs(20));
+    let net = &run.net;
+
+    let p = net.app(ping);
     let alloc = match (p.alloc_requested, p.alloc_done) {
         (Some(a), Some(b)) => b.since(a).as_secs_f64(),
         _ => f64::NAN,
     };
-    let rtt = if p.rtts.is_empty() {
-        f64::NAN
-    } else {
-        p.rtts.iter().sum::<f64>() / p.rtts.len() as f64
-    };
-    let s: &SourceApp = net.node(nodes[0]).app(src);
-    let sink: &SinkApp = net.node(last).app(1);
-    let dur = sink
-        .last_arrival
-        .since(s.flow_up_at.unwrap_or(Time::ZERO))
-        .as_secs_f64();
-    let goodput = if dur > 0.0 { sink.bytes as f64 * 8.0 / dur / 1e6 } else { 0.0 };
-    let relayed = relay_ipcps
-        .iter()
-        .map(|&(nd, ip)| net.node(nd).ipcp(ip).stats.relayed)
-        .sum();
+    let rtt =
+        if p.rtts.is_empty() { f64::NAN } else { p.rtts.iter().sum::<f64>() / p.rtts.len() as f64 };
+    let sk = net.app(sink);
+    let dur = sk.last_arrival.since(net.app(src).flow_up_at.unwrap_or(Time::ZERO)).as_secs_f64();
+    let goodput = if dur > 0.0 { sk.bytes as f64 * 8.0 / dur / 1e6 } else { 0.0 };
+    let relayed = relay_ipcps.iter().map(|&h| net.ipcp(h).stats.relayed).sum();
 
     // Header overhead of a representative top-DIF data PDU.
     let pdu = rina_wire::Pdu::Data(rina_wire::DataPdu {

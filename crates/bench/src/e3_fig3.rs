@@ -13,12 +13,12 @@
 //! The paper predicts the scoped configuration wins, increasingly so with
 //! loss (§6.2: proxies made unnecessary by structure).
 
+use crate::{row_json, Scenario};
 use rina::apps::{SinkApp, SourceApp};
 use rina::prelude::*;
-use serde::Serialize;
 
 /// One row of the Figure-3 sweep.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct Fig3Row {
     /// Wireless badness parameter (Gilbert–Elliott stationary P(bad)).
     pub p_bad: f64,
@@ -36,63 +36,69 @@ pub struct Fig3Row {
     pub e2e_retx: u64,
 }
 
+row_json!(Fig3Row {
+    p_bad,
+    config,
+    delivered,
+    goodput_mbps,
+    latency_mean_s,
+    latency_p99_s,
+    e2e_retx,
+});
+
 /// Run one cell of the sweep.
 pub fn run(p_bad: f64, scoped: bool, seed: u64) -> Fig3Row {
-    let mut b = NetBuilder::new(seed);
-    let h1 = b.node("h1");
-    let r1 = b.node("r1");
-    let r2 = b.node("r2");
-    let h2 = b.node("h2");
-    let l0 = b.link(h1, r1, LinkCfg::wired());
-    let lw = b.link(r1, r2, LinkCfg::wireless(p_bad));
-    let l2 = b.link(r2, h2, LinkCfg::wired());
+    let mut s = Scenario::new("fig3-scoped-layers", seed);
+    let h1 = s.node("h1");
+    let r1 = s.node("r1");
+    let r2 = s.node("r2");
+    let h2 = s.node("h2");
+    let l0 = s.link(h1, r1, LinkCfg::wired());
+    let lw = s.link(r1, r2, LinkCfg::wireless(p_bad));
+    let l2 = s.link(r2, h2, LinkCfg::wired());
 
-    let top = b.dif(DifConfig::new("top"));
-    b.join(top, r1);
-    b.join(top, h1);
-    b.join(top, r2);
-    b.join(top, h2);
-    b.adjacency_over_link(top, h1, r1, l0);
-    b.adjacency_over_link(top, r2, h2, l2);
+    let top = s.dif(DifConfig::new("top"));
+    s.join(top, r1);
+    s.join(top, h1);
+    s.join(top, r2);
+    s.join(top, h2);
+    s.adjacency_over_link(top, h1, r1, l0);
+    s.adjacency_over_link(top, r2, h2, l2);
     if scoped {
         // The extra, scope-tailored layer: a wireless DIF whose reliable
         // cube has a short feedback loop; the top DIF's r1–r2 adjacency
         // rides a *reliable* flow in it.
-        let wdif = b.dif(DifConfig::wireless("wless"));
-        b.join(wdif, r1);
-        b.join(wdif, r2);
-        b.adjacency_over_link(wdif, r1, r2, lw);
-        b.adjacency(top, r1, r2, Via::Dif(wdif), QosSpec::reliable());
+        let wdif = s.dif(DifConfig::wireless("wless"));
+        s.join(wdif, r1);
+        s.join(wdif, r2);
+        s.adjacency_over_link(wdif, r1, r2, lw);
+        s.adjacency_over_dif(top, r1, r2, wdif, QosSpec::reliable());
     } else {
-        b.adjacency_over_link(top, r1, r2, lw);
+        s.adjacency_over_link(top, r1, r2, lw);
     }
 
-    b.app(h2, AppName::new("sink"), top, SinkApp::default());
+    let sink = s.app(h2, AppName::new("sink"), top, SinkApp::default());
     let count = 3000u64;
-    let src = b.app(
+    s.app(
         h1,
         AppName::new("src"),
         top,
         SourceApp::new(AppName::new("sink"), QosSpec::reliable(), 1000, count, Dur::from_millis(1)),
     );
-    let src_ipcp = b.ipcp_of(top, h1);
-    let mut net = b.build();
-    net.run_until_assembled(Dur::from_secs(30), Dur::from_millis(300));
-    let t0 = net.sim.now();
-    net.run_for(Dur::from_secs(12));
+    let src_ipcp = s.ipcp_of(top, h1);
+    let mut run = s.assemble(Dur::from_secs(30), Dur::from_millis(300));
+    run.run_for(Dur::from_secs(12));
 
-    let sink: &SinkApp = net.node(h2).app(0);
-    let s: &SourceApp = net.node(h1).app(src);
-    let dur = sink.last_arrival.since(t0).as_secs_f64().max(1e-9);
-    let e2e_retx = net.node(h1).ipcp(src_ipcp).conn_stats_sum().retransmissions
-        + s.sent.saturating_sub(s.sent); // source-side EFCP only
+    let sk = run.net.app(sink);
+    let dur = run.secs_until(sk.last_arrival);
+    let e2e_retx = run.net.ipcp(src_ipcp).conn_stats_sum().retransmissions;
     Fig3Row {
         p_bad,
         config: if scoped { "scoped(+wireless DIF)" } else { "e2e-only" },
-        delivered: sink.received,
-        goodput_mbps: sink.bytes as f64 * 8.0 / dur / 1e6,
-        latency_mean_s: sink.latency.mean(),
-        latency_p99_s: sink.latency.quantile(0.99),
+        delivered: sk.received,
+        goodput_mbps: sk.bytes as f64 * 8.0 / dur / 1e6,
+        latency_mean_s: sk.latency.mean(),
+        latency_p99_s: sk.latency.quantile(0.99),
         e2e_retx,
     }
 }

@@ -5,14 +5,14 @@
 //! the surviving (N-1) path, the flow lives. Baseline: the TCP connection
 //! is bound to the dead interface address; it must fail and be re-dialed.
 
+use crate::{row_json, GapSampler, Scenario};
 use bytes::Bytes;
 use inet::{Cidr, InetApi, InetApp, InetNode, IpAddr, SockId};
 use rina::apps::{SinkApp, SourceApp};
 use rina::prelude::*;
-use serde::Serialize;
 
 /// Result of one failover run.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct Fig4Row {
     /// Which stack.
     pub stack: &'static str,
@@ -26,9 +26,11 @@ pub struct Fig4Row {
     pub conn_failures: u64,
 }
 
+row_json!(Fig4Row { stack, flow_survived, outage_s, delivered, conn_failures });
+
 /// RINA side: the multihoming scenario of the stack tests, measured.
 pub fn run_rina(seed: u64) -> Fig4Row {
-    let mut b = NetBuilder::new(seed);
+    let mut b = Scenario::new("fig4-rina", seed);
     let src = b.node("src");
     let r1 = b.node("r1");
     let r2 = b.node("r2");
@@ -46,42 +48,30 @@ pub fn run_rina(seed: u64) -> Fig4Row {
     b.adjacency_over_link(d, src, r2, l_s2);
     b.adjacency_over_link(d, r1, dst, l_1d);
     b.adjacency_over_link(d, r2, dst, l_2d);
-    b.app(dst, AppName::new("sink"), d, SinkApp::default());
+    let sink = b.app(dst, AppName::new("sink"), d, SinkApp::default());
     let s = b.app(
         src,
         AppName::new("src"),
         d,
         SourceApp::new(AppName::new("sink"), QosSpec::reliable(), 256, 2000, Dur::from_millis(2)),
     );
-    let mut net = b.build();
-    net.run_until_assembled(Dur::from_secs(10), Dur::from_millis(300));
-    net.run_for(Dur::from_secs(2));
-    let fails_before = net.node(src).app::<SourceApp>(s).alloc_failures;
-    net.set_link_up(l_1d, false);
-    net.set_link_up(l_s1, false);
-    let t_fail = net.sim.now();
+    let mut run = b.assemble(Dur::from_secs(10), Dur::from_millis(300));
+    run.run_for(Dur::from_secs(2));
+    let fails_before = run.net.app(s).alloc_failures;
+    run.net.set_link_up(l_1d, false);
+    run.net.set_link_up(l_s1, false);
     // Sample arrivals to find the outage gap.
-    let mut last_count = net.node(dst).app::<SinkApp>(0).received;
-    let mut last_progress = t_fail;
-    let mut outage = 0.0f64;
-    for _ in 0..240 {
-        net.run_for(Dur::from_millis(50));
-        let c = net.node(dst).app::<SinkApp>(0).received;
-        if c > last_count {
-            outage = outage.max(net.sim.now().since(last_progress).as_secs_f64());
-            last_count = c;
-            last_progress = net.sim.now();
-        }
-        if net.node(src).app::<SourceApp>(s).completed && c >= 2000 {
-            break;
-        }
-    }
-    let src_app: &SourceApp = net.node(src).app(s);
+    let mut gaps = GapSampler::new(run.net.app(sink).received, run.net.sim.now());
+    run.run_until(Dur::from_millis(50), 240, |net| {
+        gaps.observe(net.app(sink).received, net.sim.now());
+        net.app(s).completed && net.app(sink).received >= 2000
+    });
+    let src_app = run.net.app(s);
     Fig4Row {
         stack: "rina",
         flow_survived: src_app.alloc_failures == fails_before,
-        outage_s: outage,
-        delivered: net.node(dst).app::<SinkApp>(0).received,
+        outage_s: gaps.gap(),
+        delivered: run.net.app(sink).received,
         conn_failures: src_app.alloc_failures - fails_before,
     }
 }
@@ -103,12 +93,10 @@ impl InetApp for FailClient {
     }
     fn on_timer(&mut self, key: u64, api: &mut InetApi<'_, '_, '_>) {
         match key {
-            K_DIAL => {
+            K_DIAL if self.sock.is_none() => {
+                self.sock = api.connect(self.dst, 80);
                 if self.sock.is_none() {
-                    self.sock = api.connect(self.dst, 80);
-                    if self.sock.is_none() {
-                        api.timer_in(rina_sim::Dur::from_millis(100), K_DIAL);
-                    }
+                    api.timer_in(rina_sim::Dur::from_millis(100), K_DIAL);
                 }
             }
             K_SEND => {
@@ -179,7 +167,14 @@ pub fn run_inet(seed: u64) -> Fig4Row {
     sv.add_iface(ip(10, 0, 2, 1), net24(10, 0, 2));
     sv.add_route(net24(10, 0, 1), 0, 0);
     sv.add_route(net24(10, 0, 3), 0, 0);
-    let c_app = ch.add_app(FailClient { dst: ip(10, 0, 2, 1), count: 2000, sent: 0, acked: 0, failures: 0, sock: None });
+    let c_app = ch.add_app(FailClient {
+        dst: ip(10, 0, 2, 1),
+        count: 2000,
+        sent: 0,
+        acked: 0,
+        failures: 0,
+        sock: None,
+    });
     let s_app = sv.add_app(CountServer::default());
     let nc = sim.add_node(ch);
     let n1 = sim.add_node(r1);
@@ -194,19 +189,12 @@ pub fn run_inet(seed: u64) -> Fig4Row {
 
     sim.run_until(Time::from_secs(2));
     sim.set_link_up(l_primary, false);
-    let t_fail = sim.now();
-    let mut last_count = sim.agent::<InetNode>(ns).app::<CountServer>(s_app).received;
-    let mut last_progress = t_fail;
-    let mut outage = 0.0f64;
+    let mut gaps =
+        GapSampler::new(sim.agent::<InetNode>(ns).app::<CountServer>(s_app).received, sim.now());
     for _ in 0..1200 {
         let t = sim.now() + Dur::from_millis(50);
         sim.run_until(t);
-        let c = sim.agent::<InetNode>(ns).app::<CountServer>(s_app).received;
-        if c > last_count {
-            outage = outage.max(sim.now().since(last_progress).as_secs_f64());
-            last_count = c;
-            last_progress = sim.now();
-        }
+        gaps.observe(sim.agent::<InetNode>(ns).app::<CountServer>(s_app).received, sim.now());
         let cl = sim.agent::<InetNode>(nc).app::<FailClient>(c_app);
         if cl.acked >= 2000 {
             break;
@@ -216,7 +204,7 @@ pub fn run_inet(seed: u64) -> Fig4Row {
     Fig4Row {
         stack: "inet(tcp)",
         flow_survived: cl.failures == 0,
-        outage_s: outage,
+        outage_s: gaps.gap(),
         delivered: sim.agent::<InetNode>(ns).app::<CountServer>(s_app).received.min(2000),
         conn_failures: cl.failures,
     }

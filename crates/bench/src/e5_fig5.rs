@@ -5,14 +5,14 @@
 //! flow survives, update traffic is local. Baseline: Mobile-IP home-agent
 //! registration plus triangle routing through the home agent.
 
+use crate::{row_json, GapSampler, Scenario};
 use bytes::Bytes;
 use inet::{Cidr, InetApi, InetApp, InetNode, IpAddr, MobileCfg, SockId};
 use rina::apps::{SinkApp, SourceApp};
 use rina::prelude::*;
-use serde::Serialize;
 
 /// Result of one mobility run.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct Fig5Row {
     /// Which stack/mechanism.
     pub stack: &'static str,
@@ -26,9 +26,11 @@ pub struct Fig5Row {
     pub delivered: u64,
 }
 
+row_json!(Fig5Row { stack, handoff_gap_s, flow_survived, update_msgs, delivered });
+
 /// RINA side: the mobility scenario, instrumented.
 pub fn run_rina(seed: u64) -> Fig5Row {
-    let mut b = NetBuilder::new(seed);
+    let mut b = Scenario::new("fig5-rina", seed);
     let s = b.node("server");
     let ap1 = b.node("ap1");
     let ap2 = b.node("ap2");
@@ -46,49 +48,37 @@ pub fn run_rina(seed: u64) -> Fig5Row {
     b.adjacency_over_link(d, s, ap2, l_s2);
     b.adjacency_over_link(d, m, ap1, l_m1);
     b.adjacency_over_link(d, m, ap2, l_m2);
-    b.app(s, AppName::new("sink"), d, SinkApp::default());
+    let sink = b.app(s, AppName::new("sink"), d, SinkApp::default());
     let src = b.app(
         m,
         AppName::new("cam"),
         d,
         SourceApp::new(AppName::new("sink"), QosSpec::reliable(), 256, 3000, Dur::from_millis(2)),
     );
-    let members: Vec<(usize, usize)> =
-        [s, ap1, ap2, m].iter().map(|&n| (n, b.ipcp_of(d, n))).collect();
-    let mut net = b.build();
-    net.set_link_up(l_m2, false);
-    net.run_for(Dur::from_secs(3));
-    let fails_before = net.node(m).app::<SourceApp>(src).alloc_failures;
-    let rib_before: u64 = members.iter().map(|&(n, i)| net.node(n).ipcp(i).stats.rib_tx).sum();
+    let members: Vec<IpcpH> = [s, ap1, ap2, m].iter().map(|&n| b.ipcp_of(d, n)).collect();
+    let mut run = b.launch();
+    run.net.set_link_up(l_m2, false);
+    run.run_for(Dur::from_secs(3));
+    let fails_before = run.net.app(src).alloc_failures;
+    let rib_before: u64 = members.iter().map(|&h| run.net.ipcp(h).stats.rib_tx).sum();
 
     // Hard handoff.
-    net.set_link_up(l_m1, false);
-    net.run_for(Dur::from_millis(40));
-    net.set_link_up(l_m2, true);
-    let t_fail = net.sim.now();
-    let mut last_count = net.node(s).app::<SinkApp>(0).received;
-    let mut last_progress = t_fail;
-    let mut gap = 0.0f64;
-    for _ in 0..400 {
-        net.run_for(Dur::from_millis(50));
-        let c = net.node(s).app::<SinkApp>(0).received;
-        if c > last_count {
-            gap = gap.max(net.sim.now().since(last_progress).as_secs_f64());
-            last_count = c;
-            last_progress = net.sim.now();
-        }
-        if c >= 3000 {
-            break;
-        }
-    }
-    let rib_after: u64 = members.iter().map(|&(n, i)| net.node(n).ipcp(i).stats.rib_tx).sum();
-    let src_app: &SourceApp = net.node(m).app(src);
+    run.net.set_link_up(l_m1, false);
+    run.run_for(Dur::from_millis(40));
+    run.net.set_link_up(l_m2, true);
+    let mut gaps = GapSampler::new(run.net.app(sink).received, run.net.sim.now());
+    run.run_until(Dur::from_millis(50), 400, |net| {
+        gaps.observe(net.app(sink).received, net.sim.now());
+        net.app(sink).received >= 3000
+    });
+    let rib_after: u64 = members.iter().map(|&h| run.net.ipcp(h).stats.rib_tx).sum();
+    let src_app = run.net.app(src);
     Fig5Row {
         stack: "rina",
-        handoff_gap_s: gap,
+        handoff_gap_s: gaps.gap(),
         flow_survived: src_app.alloc_failures == fails_before,
         update_msgs: rib_after - rib_before,
-        delivered: net.node(s).app::<SinkApp>(0).received,
+        delivered: run.net.app(sink).received,
     }
 }
 
@@ -109,12 +99,10 @@ impl InetApp for MipSource {
     }
     fn on_timer(&mut self, key: u64, api: &mut InetApi<'_, '_, '_>) {
         match key {
-            K_DIAL => {
+            K_DIAL if self.sock.is_none() => {
+                self.sock = api.connect(self.dst, 80);
                 if self.sock.is_none() {
-                    self.sock = api.connect(self.dst, 80);
-                    if self.sock.is_none() {
-                        api.timer_in(Dur::from_millis(100), K_DIAL);
-                    }
+                    api.timer_in(Dur::from_millis(100), K_DIAL);
                 }
             }
             K_SEND => {
@@ -228,19 +216,12 @@ pub fn run_inet(seed: u64) -> Fig5Row {
     let t1 = sim.now() + Dur::from_millis(40);
     sim.run_until(t1);
     sim.set_link_up(l_m2, true);
-    let t_fail = sim.now();
-    let mut last_count = sim.agent::<InetNode>(ns).app::<CountServer>(s_app).received;
-    let mut last_progress = t_fail;
-    let mut gap = 0.0f64;
+    let mut gaps =
+        GapSampler::new(sim.agent::<InetNode>(ns).app::<CountServer>(s_app).received, sim.now());
     for _ in 0..1200 {
         let t = sim.now() + Dur::from_millis(50);
         sim.run_until(t);
-        let c = sim.agent::<InetNode>(ns).app::<CountServer>(s_app).received;
-        if c > last_count {
-            gap = gap.max(sim.now().since(last_progress).as_secs_f64());
-            last_count = c;
-            last_progress = sim.now();
-        }
+        gaps.observe(sim.agent::<InetNode>(ns).app::<CountServer>(s_app).received, sim.now());
         if sim.agent::<InetNode>(nm).app::<MipSource>(m_app).acked >= 3000 {
             break;
         }
@@ -249,7 +230,7 @@ pub fn run_inet(seed: u64) -> Fig5Row {
     let tunneled_after = sim.agent::<InetNode>(nh).stats.tunneled;
     Fig5Row {
         stack: "inet(mobile-ip)",
-        handoff_gap_s: gap,
+        handoff_gap_s: gaps.gap(),
         flow_survived: mobapp.failures == 0,
         // Registration messages are few; the real cost is every data packet
         // tunneling through the HA (triangle routing) — report that.

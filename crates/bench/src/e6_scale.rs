@@ -8,12 +8,12 @@
 //! per-member routing state and update traffic bounded by the *scope*, not
 //! the internetwork (§6.5).
 
-use rina::apps::{PingApp, EchoApp};
+use crate::{row_json, ExperimentRun, Scenario};
+use rina::apps::{EchoApp, PingApp};
 use rina::prelude::*;
-use serde::Serialize;
 
 /// Result of one scalability cell.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct ScaleRow {
     /// Regions × hosts-per-region.
     pub regions: usize,
@@ -31,20 +31,21 @@ pub struct ScaleRow {
     pub e2e_ok: bool,
 }
 
+row_json!(ScaleRow { regions, hosts_per_region, config, fwd_mean, fwd_max, rib_msgs, e2e_ok });
+
 struct Built {
-    net: Net,
-    ipcps: Vec<(usize, usize)>,
-    ping_node: usize,
-    ping_app: usize,
+    run: ExperimentRun,
+    ipcps: Vec<IpcpH>,
+    ping: AppH<PingApp>,
 }
 
 /// Physical topology: `regions` stars of `hosts` leaves, region routers
 /// chained as a backbone line.
 fn build(regions: usize, hosts: usize, flat: bool, seed: u64) -> Built {
-    let mut b = NetBuilder::new(seed);
-    let routers: Vec<usize> = (0..regions).map(|r| b.node(&format!("r{r}"))).collect();
-    let mut host_ids = vec![];
-    let mut host_links = vec![];
+    let mut b = Scenario::new("e6-scale", seed);
+    let routers: Vec<NodeH> = (0..regions).map(|r| b.node(&format!("r{r}"))).collect();
+    let mut host_ids: Vec<Vec<NodeH>> = vec![];
+    let mut host_links: Vec<Vec<LinkH>> = vec![];
     for (r, &router) in routers.iter().enumerate() {
         let mut row = vec![];
         let mut lrow = vec![];
@@ -57,12 +58,12 @@ fn build(regions: usize, hosts: usize, flat: bool, seed: u64) -> Built {
         host_ids.push(row);
         host_links.push(lrow);
     }
-    let backbone_links: Vec<usize> = (1..regions)
-        .map(|r| b.link(routers[r - 1], routers[r], LinkCfg::wired()))
-        .collect();
+    let backbone_links: Vec<LinkH> =
+        (1..regions).map(|r| b.link(routers[r - 1], routers[r], LinkCfg::wired())).collect();
+    let ping_node = host_ids[regions - 1][hosts - 1];
 
-    let mut ipcps: Vec<(usize, usize)> = vec![];
-    if flat {
+    let mut ipcps: Vec<IpcpH> = vec![];
+    let top_dif = if flat {
         let d = b.dif(DifConfig::new("flat"));
         for &r in &routers {
             b.join(d, r);
@@ -80,109 +81,113 @@ fn build(regions: usize, hosts: usize, flat: bool, seed: u64) -> Built {
                 b.adjacency_over_link(d, routers[r], host, host_links[r][h]);
             }
         }
-        b.app(host_ids[0][0], AppName::new("echo"), d, EchoApp::default());
-        let ping = b.app(
-            host_ids[regions - 1][hosts - 1],
-            AppName::new("ping"),
-            d,
-            PingApp::new(AppName::new("echo"), QosSpec::reliable(), 3, 32),
-        );
         for &r in &routers {
-            ipcps.push((r, b.ipcp_of(d, r)));
+            ipcps.push(b.ipcp_of(d, r));
         }
         for row in &host_ids {
             for &h in row {
-                ipcps.push((h, b.ipcp_of(d, h)));
+                ipcps.push(b.ipcp_of(d, h));
             }
         }
-        let net = b.build();
-        return Built { net, ipcps, ping_node: host_ids[regions - 1][hosts - 1], ping_app: ping };
-    }
-
-    // Hierarchical: per-region DIFs (router + its hosts), a backbone DIF
-    // (routers only), and the internet DIF whose members are hosts and
-    // routers but whose adjacencies ride the lower DIFs — so its graph is
-    // star-of-stars with tiny diameter, and the lower DIFs never see
-    // internet-wide state.
-    let mut region_difs = vec![];
-    for (r, row) in host_ids.iter().enumerate() {
-        let d = b.dif(DifConfig::new(&format!("region{r}")));
-        b.join(d, routers[r]);
-        for &h in row {
-            b.join(d, h);
+        d
+    } else {
+        // Hierarchical: per-region DIFs (router + its hosts), a backbone
+        // DIF (routers only), and the internet DIF whose members are hosts
+        // and routers but whose adjacencies ride the lower DIFs — so its
+        // graph is star-of-stars with tiny diameter, and the lower DIFs
+        // never see internet-wide state.
+        let mut region_difs = vec![];
+        for (r, row) in host_ids.iter().enumerate() {
+            let d = b.dif(DifConfig::new(&format!("region{r}")));
+            b.join(d, routers[r]);
+            for &h in row {
+                b.join(d, h);
+            }
+            for (h, &host) in row.iter().enumerate() {
+                b.adjacency_over_link(d, routers[r], host, host_links[r][h]);
+            }
+            region_difs.push(d);
+            for &h in row {
+                ipcps.push(b.ipcp_of(d, h));
+            }
+            ipcps.push(b.ipcp_of(d, routers[r]));
         }
-        for (h, &host) in row.iter().enumerate() {
-            b.adjacency_over_link(d, routers[r], host, host_links[r][h]);
+        let backbone = b.dif(DifConfig::new("backbone"));
+        for &r in &routers {
+            b.join(backbone, r);
         }
-        region_difs.push(d);
-        for &h in row {
-            ipcps.push((h, b.ipcp_of(d, h)));
+        for r in 1..regions {
+            b.adjacency_over_link(backbone, routers[r - 1], routers[r], backbone_links[r - 1]);
         }
-        ipcps.push((routers[r], b.ipcp_of(d, routers[r])));
-    }
-    let backbone = b.dif(DifConfig::new("backbone"));
-    for &r in &routers {
-        b.join(backbone, r);
-    }
-    for r in 1..regions {
-        b.adjacency_over_link(backbone, routers[r - 1], routers[r], backbone_links[r - 1]);
-    }
-    for &r in &routers {
-        ipcps.push((r, b.ipcp_of(backbone, r)));
-    }
-    // The internet DIF: hosts attach to their region router via the region
-    // DIF; routers interconnect via the backbone DIF.
-    let inet_dif = b.dif(DifConfig::new("internet"));
-    for &r in &routers {
-        b.join(inet_dif, r);
-    }
-    for row in &host_ids {
-        for &h in row {
-            b.join(inet_dif, h);
+        for &r in &routers {
+            ipcps.push(b.ipcp_of(backbone, r));
         }
-    }
-    for r in 1..regions {
-        b.adjacency(inet_dif, routers[r - 1], routers[r], Via::Dif(backbone), QosSpec::datagram());
-    }
-    for (r, row) in host_ids.iter().enumerate() {
-        for &host in row {
-            b.adjacency(inet_dif, routers[r], host, Via::Dif(region_difs[r]), QosSpec::datagram());
+        // The internet DIF: hosts attach to their region router via the
+        // region DIF; routers interconnect via the backbone DIF.
+        let inet_dif = b.dif(DifConfig::new("internet"));
+        for &r in &routers {
+            b.join(inet_dif, r);
         }
-    }
-    b.app(host_ids[0][0], AppName::new("echo"), inet_dif, EchoApp::default());
+        for row in &host_ids {
+            for &h in row {
+                b.join(inet_dif, h);
+            }
+        }
+        for r in 1..regions {
+            b.adjacency_over_dif(
+                inet_dif,
+                routers[r - 1],
+                routers[r],
+                backbone,
+                QosSpec::datagram(),
+            );
+        }
+        for (r, row) in host_ids.iter().enumerate() {
+            for &host in row {
+                b.adjacency_over_dif(
+                    inet_dif,
+                    routers[r],
+                    host,
+                    region_difs[r],
+                    QosSpec::datagram(),
+                );
+            }
+        }
+        for &r in &routers {
+            ipcps.push(b.ipcp_of(inet_dif, r));
+        }
+        for row in &host_ids {
+            for &h in row {
+                ipcps.push(b.ipcp_of(inet_dif, h));
+            }
+        }
+        inet_dif
+    };
+    b.app(host_ids[0][0], AppName::new("echo"), top_dif, EchoApp::default());
     let ping = b.app(
-        host_ids[regions - 1][hosts - 1],
+        ping_node,
         AppName::new("ping"),
-        inet_dif,
+        top_dif,
         PingApp::new(AppName::new("echo"), QosSpec::reliable(), 3, 32),
     );
-    for &r in &routers {
-        ipcps.push((r, b.ipcp_of(inet_dif, r)));
-    }
-    for row in &host_ids {
-        for &h in row {
-            ipcps.push((h, b.ipcp_of(inet_dif, h)));
-        }
-    }
-    let net = b.build();
-    Built { net, ipcps, ping_node: host_ids[regions - 1][hosts - 1], ping_app: ping }
+    let run = b.assemble(Dur::from_secs(120), Dur::from_secs(1));
+    Built { run, ipcps, ping }
 }
 
 /// Run one cell.
 pub fn run(regions: usize, hosts: usize, flat: bool, seed: u64) -> ScaleRow {
-    let Built { mut net, ipcps, ping_node, ping_app } = build(regions, hosts, flat, seed);
-    net.run_until_assembled(Dur::from_secs(120), Dur::from_secs(1));
-    net.run_for(Dur::from_secs(3));
+    let Built { mut run, ipcps, ping } = build(regions, hosts, flat, seed);
+    run.run_for(Dur::from_secs(3));
+    let net = &run.net;
     let mut fwd_sum = 0usize;
     let mut fwd_max = 0usize;
     let mut rib = 0u64;
-    for &(n, i) in &ipcps {
-        let ip = net.node(n).ipcp(i);
+    for &h in &ipcps {
+        let ip = net.ipcp(h);
         fwd_sum += ip.fwd.len();
         fwd_max = fwd_max.max(ip.fwd.len());
         rib += ip.stats.rib_tx;
     }
-    let e2e_ok = net.node(ping_node).app::<PingApp>(ping_app).done();
     ScaleRow {
         regions,
         hosts_per_region: hosts,
@@ -190,7 +195,7 @@ pub fn run(regions: usize, hosts: usize, flat: bool, seed: u64) -> ScaleRow {
         fwd_mean: fwd_sum as f64 / ipcps.len() as f64,
         fwd_max,
         rib_msgs: rib,
-        e2e_ok,
+        e2e_ok: net.app(ping).done(),
     }
 }
 

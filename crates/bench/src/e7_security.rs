@@ -7,13 +7,13 @@
 //! the credential, and (b) even inside an open DIF, flow allocation
 //! continues *to the destination application*, which refuses (§5.3).
 
+use crate::{row_json, Scenario};
 use inet::{Cidr, InetApi, InetApp, InetNode, IpAddr, SockId};
 use rina::apps::{SinkApp, SourceApp};
 use rina::prelude::*;
-use serde::Serialize;
 
 /// Result of the attack-surface comparison.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct SecurityRow {
     /// Which stack / policy.
     pub stack: &'static str,
@@ -24,6 +24,8 @@ pub struct SecurityRow {
     /// Application data the attacker managed to deliver.
     pub payloads_delivered: u64,
 }
+
+row_json!(SecurityRow { stack, probes, leaks, payloads_delivered });
 
 /// A port scanner.
 struct Scanner {
@@ -105,45 +107,55 @@ pub fn run_inet(seed: u64) -> SecurityRow {
     }
 }
 
+/// The shared three-node wire: attacker — router — victim, one DIF.
+struct AttackNet {
+    s: Scenario,
+    a: NodeH,
+    r: NodeH,
+    v: NodeH,
+    d: DifH,
+}
+
+fn attack_net(seed: u64, cfg: DifConfig) -> AttackNet {
+    let mut s = Scenario::new("e7-attack", seed);
+    let a = s.node("attacker");
+    let r = s.node("r");
+    let v = s.node("victim");
+    let l1 = s.link(a, r, LinkCfg::wired());
+    let l2 = s.link(r, v, LinkCfg::wired());
+    let d = s.dif(cfg);
+    s.join(d, r);
+    s.join(d, a);
+    s.join(d, v);
+    s.adjacency_over_link(d, a, r, l1);
+    s.adjacency_over_link(d, r, v, l2);
+    AttackNet { s, a, r, v, d }
+}
+
 /// RINA with application access control: attacker is *in* the DIF but the
 /// victim refuses its flows; nothing else on the victim even exists to
 /// probe — there are no ports to scan, only names to ask for.
 pub fn run_rina_access_control(seed: u64) -> SecurityRow {
-    let mut b = NetBuilder::new(seed);
-    let a = b.node("attacker");
-    let r = b.node("r");
-    let v = b.node("victim");
-    let l1 = b.link(a, r, LinkCfg::wired());
-    let l2 = b.link(r, v, LinkCfg::wired());
-    let d = b.dif(DifConfig::new("open"));
-    b.join(d, r);
-    b.join(d, a);
-    b.join(d, v);
-    b.adjacency_over_link(d, a, r, l1);
-    b.adjacency_over_link(d, r, v, l2);
-    b.app(
-        v,
-        AppName::new("payroll"),
-        d,
-        SinkApp::rejecting(vec![AppName::new("scanner")]),
-    );
-    let atk = b.app(
+    let AttackNet { mut s, a, v, d, .. } = attack_net(seed, DifConfig::new("open"));
+    let sink =
+        s.app(v, AppName::new("payroll"), d, SinkApp::rejecting(vec![AppName::new("scanner")]));
+    let atk = s.app(
         a,
         AppName::new("scanner"),
         d,
         SourceApp::new(AppName::new("payroll"), QosSpec::reliable(), 64, 10, Dur::ZERO),
     );
-    let v_ipcp = b.ipcp_of(d, v);
-    let mut net = b.build();
-    net.run_until_assembled(Dur::from_secs(10), Dur::from_millis(200));
-    net.run_for(Dur::from_secs(5));
-    let sc: &SourceApp = net.node(a).app(atk);
-    let victim_sink: &SinkApp = net.node(v).app(0);
+    let v_ipcp = s.ipcp_of(d, v);
+    let mut run = s.assemble(Dur::from_secs(10), Dur::from_millis(200));
+    run.run_for(Dur::from_secs(5));
+    let net = &run.net;
+    let sc = net.app(atk);
+    let victim_sink = net.app(sink);
     SecurityRow {
         stack: "rina(open DIF, app access control)",
         probes: sc.alloc_failures.max(1),
         // The only information the attacker gets: "refused".
-        leaks: net.node(v).ipcp(v_ipcp).stats.flow_reqs_in.min(victim_sink.rejected),
+        leaks: net.ipcp(v_ipcp).stats.flow_reqs_in.min(victim_sink.rejected),
         payloads_delivered: victim_sink.received.min(sc.sent),
     }
 }
@@ -151,37 +163,28 @@ pub fn run_rina_access_control(seed: u64) -> SecurityRow {
 /// RINA private DIF: the attacker's node cannot even enroll — nothing
 /// inside is addressable from outside the facility.
 pub fn run_rina_private(seed: u64) -> SecurityRow {
-    let mut b = NetBuilder::new(seed);
-    let a = b.node("attacker");
-    let r = b.node("r");
-    let v = b.node("victim");
-    let l1 = b.link(a, r, LinkCfg::wired());
-    let l2 = b.link(r, v, LinkCfg::wired());
-    let d = b.dif(DifConfig::new("private").with_auth(AuthPolicy::Secret("s3cret".into())));
-    b.join(d, r);
-    b.join(d, a);
-    b.join(d, v);
-    b.join_credential(d, a, "guessed-wrong");
-    b.adjacency_over_link(d, a, r, l1);
-    b.adjacency_over_link(d, r, v, l2);
-    b.app(v, AppName::new("payroll"), d, SinkApp::default());
-    let atk = b.app(
+    let AttackNet { mut s, a, r, v, d } =
+        attack_net(seed, DifConfig::new("private").with_auth(AuthPolicy::Secret("s3cret".into())));
+    s.join_credential(d, a, "guessed-wrong");
+    s.app(v, AppName::new("payroll"), d, SinkApp::default());
+    let atk = s.app(
         a,
         AppName::new("scanner"),
         d,
         SourceApp::new(AppName::new("payroll"), QosSpec::reliable(), 64, 10, Dur::ZERO),
     );
-    let a_ipcp = b.ipcp_of(d, a);
-    let r_ipcp = b.ipcp_of(d, r);
-    let mut net = b.build();
-    let t = net.sim.now() + Dur::from_secs(8);
-    net.sim.run_until(t);
-    let sc: &SourceApp = net.node(a).app(atk);
+    let a_ipcp = s.ipcp_of(d, a);
+    let r_ipcp = s.ipcp_of(d, r);
+    // Assembly is *expected* to fail — the attacker never enrolls.
+    let mut run = s.launch();
+    run.run_for(Dur::from_secs(8));
+    let net = &run.net;
+    let sc = net.app(atk);
     SecurityRow {
         stack: "rina(private DIF)",
-        probes: net.node(r).ipcp(r_ipcp).stats.enrollments_sponsored.max(1),
+        probes: net.ipcp(r_ipcp).stats.enrollments_sponsored.max(1),
         leaks: 0,
-        payloads_delivered: sc.sent.min(if net.node(a).ipcp(a_ipcp).is_enrolled() { 1 } else { 0 }),
+        payloads_delivered: sc.sent.min(if net.ipcp(a_ipcp).is_enrolled() { 1 } else { 0 }),
     }
 }
 

@@ -5,11 +5,11 @@
 //! messages per member — enrollment is a handshake plus a RIB sync, so
 //! cost should grow roughly linearly in members (with the sync set).
 
+use crate::{row_json, Scenario};
 use rina::prelude::*;
-use serde::Serialize;
 
 /// One row of the enrollment sweep.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct EnrollRow {
     /// DIF size (members).
     pub members: usize,
@@ -21,24 +21,16 @@ pub struct EnrollRow {
     pub mgmt_per_member: f64,
 }
 
+row_json!(EnrollRow { members, assemble_s, mgmt_msgs, mgmt_per_member });
+
 /// Enroll a `k`-member chain and measure.
 pub fn run(k: usize, seed: u64) -> EnrollRow {
-    let mut b = NetBuilder::new(seed);
-    let nodes: Vec<usize> = (0..k).map(|i| b.node(&format!("n{i}"))).collect();
-    let links: Vec<usize> = (1..k)
-        .map(|i| b.link(nodes[i - 1], nodes[i], LinkCfg::wired()))
-        .collect();
-    let d = b.dif(DifConfig::new("net"));
-    for &n in &nodes {
-        b.join(d, n);
-    }
-    for i in 1..k {
-        b.adjacency_over_link(d, nodes[i - 1], nodes[i], links[i - 1]);
-    }
-    let ipcps: Vec<(usize, usize)> = nodes.iter().map(|&n| (n, b.ipcp_of(d, n))).collect();
-    let mut net = b.build();
-    let t = net.run_until_assembled(Dur::from_secs(120), Dur::ZERO);
-    let mgmt: u64 = ipcps.iter().map(|&(n, i)| net.node(n).ipcp(i).stats.mgmt_tx).sum();
+    let mut s = Scenario::new("e8-enroll-chain", seed);
+    let fab = Topology::line(k).materialize(&mut s);
+    let ipcps = fab.member_ipcps(&s);
+    let run = s.assemble(Dur::from_secs(120), Dur::ZERO);
+    let t = run.assembled_at.expect("assemble() ran");
+    let mgmt: u64 = ipcps.iter().map(|&h| run.net.ipcp(h).stats.mgmt_tx).sum();
     EnrollRow {
         members: k,
         assemble_s: t.as_secs_f64(),

@@ -10,12 +10,12 @@
 //! over-provision" claim, and the basis of QoS-differentiated IPC
 //! services (§6.6's marketplace).
 
+use crate::{row_json, Scenario};
 use rina::apps::{SinkApp, SourceApp};
 use rina::prelude::*;
-use serde::Serialize;
 
 /// One row of the utilization sweep.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct UtilRow {
     /// Offered load as a fraction of bottleneck capacity.
     pub offered_load: f64,
@@ -31,21 +31,27 @@ pub struct UtilRow {
     pub bulk_mbps: f64,
 }
 
+row_json!(UtilRow {
+    offered_load,
+    sched,
+    utilization,
+    inter_lat_mean_s,
+    inter_lat_p99_s,
+    bulk_mbps,
+});
+
 /// Run one cell: two senders behind one 10 Mbit/s bottleneck.
 pub fn run(offered_load: f64, priority: bool, seed: u64) -> UtilRow {
     let cap_bps = 10_000_000u64;
-    let mut b = NetBuilder::new(seed);
-    b.set_shim_sched(if priority { SchedPolicy::Priority } else { SchedPolicy::Fifo });
+    let sched = if priority { SchedPolicy::Priority } else { SchedPolicy::Fifo };
+    let mut b = Scenario::new("e9-util", seed);
+    b.set_shim_sched(sched);
     let src = b.node("src");
     let gw = b.node("gw");
     let dst = b.node("dst");
     let l_in = b.link(src, gw, LinkCfg::wired());
-    let l_bottle = b.link(
-        gw,
-        dst,
-        LinkCfg::wired().with_bandwidth(cap_bps).with_delay(Dur::from_millis(5)),
-    );
-    let sched = if priority { SchedPolicy::Priority } else { SchedPolicy::Fifo };
+    let l_bottle =
+        b.link(gw, dst, LinkCfg::wired().with_bandwidth(cap_bps).with_delay(Dur::from_millis(5)));
     let d = b.dif(DifConfig::new("net").with_sched(sched));
     b.join(d, gw);
     b.join(d, src);
@@ -56,8 +62,8 @@ pub fn run(offered_load: f64, priority: bool, seed: u64) -> UtilRow {
     // NOTE: the shim at the bottleneck inherits the DIF's scheduling via
     // the builder (each link's shim uses its own cfg) — the priority that
     // matters is applied at the bottleneck's transmit queue.
-    b.app(dst, AppName::new("inter-sink"), d, SinkApp::default());
-    b.app(dst, AppName::new("bulk-sink"), d, SinkApp::default());
+    let isink = b.app(dst, AppName::new("inter-sink"), d, SinkApp::default());
+    let bsink = b.app(dst, AppName::new("bulk-sink"), d, SinkApp::default());
 
     // Interactive: 200-byte SDUs at 200/s = 0.32 Mbit/s.
     let inter = SourceApp::new(
@@ -81,24 +87,19 @@ pub fn run(offered_load: f64, priority: bool, seed: u64) -> UtilRow {
     );
     b.app(src, AppName::new("bulk"), d, bulk);
 
-    let mut net = b.build();
-    net.run_until_assembled(Dur::from_secs(10), Dur::from_millis(300));
-    let t0 = net.sim.now();
-    let run_s = 10u64;
-    net.run_for(Dur::from_secs(run_s));
-    let t1 = net.sim.now();
-    let secs = t1.since(t0).as_secs_f64();
+    let mut run = b.assemble(Dur::from_secs(10), Dur::from_millis(300));
+    run.run_for(Dur::from_secs(10));
+    let secs = run.measured_secs();
 
-    let isink: &SinkApp = net.node(dst).app(0);
-    let bsink: &SinkApp = net.node(dst).app(1);
-    let delivered_bits = (isink.bytes + bsink.bytes) as f64 * 8.0;
+    let net = &run.net;
+    let delivered_bits = (net.app(isink).bytes + net.app(bsink).bytes) as f64 * 8.0;
     UtilRow {
         offered_load,
         sched: if priority { "priority" } else { "fifo" },
         utilization: delivered_bits / (cap_bps as f64 * secs),
-        inter_lat_mean_s: isink.latency.mean(),
-        inter_lat_p99_s: isink.latency.quantile(0.99),
-        bulk_mbps: bsink.bytes as f64 * 8.0 / secs / 1e6,
+        inter_lat_mean_s: net.app(isink).latency.mean(),
+        inter_lat_p99_s: net.app(isink).latency.quantile(0.99),
+        bulk_mbps: run.goodput_mbps(net.app(bsink).bytes),
     }
 }
 

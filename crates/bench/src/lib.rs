@@ -1,9 +1,11 @@
 //! # rina-bench — the experiment harness
 //!
-//! One module per experiment in DESIGN.md §4. Each builds its scenario on
-//! the shared simulator, runs it, and returns a typed result row. The
-//! `experiments` binary prints every table; the criterion benches wrap the
-//! same functions at reduced scale.
+//! One module per experiment in DESIGN.md §4. Each builds its scenario
+//! through the typed [`rina::net`] / [`rina::scenario`] API inside a
+//! [`Scenario`], runs its measurement phase as an [`ExperimentRun`], and
+//! returns a typed result row. The `experiments` binary prints every
+//! table (the source of EXPERIMENTS.md) and writes `results.json`; the
+//! criterion benches wrap the same functions at reduced scale.
 //!
 //! The paper is a position paper: its "figures" are architecture diagrams
 //! and its claims are qualitative. What we reproduce is the predicted
@@ -12,6 +14,9 @@
 
 #![warn(missing_docs)]
 
+use rina::prelude::*;
+
+pub mod e10_scalefree;
 pub mod e1_fig1;
 pub mod e3_fig3;
 pub mod e4_fig4;
@@ -20,6 +25,144 @@ pub mod e6_scale;
 pub mod e7_security;
 pub mod e8_enroll;
 pub mod e9_util;
+pub mod report;
+
+/// An experiment scenario under construction: a named, seeded
+/// [`NetBuilder`] (usable as one via deref). When the wiring is done,
+/// [`Scenario::assemble`] moves to the measurement phase.
+pub struct Scenario {
+    /// Scenario name (labels panics and reports).
+    pub name: &'static str,
+    builder: NetBuilder,
+}
+
+impl Scenario {
+    /// Start describing a scenario with a deterministic seed.
+    pub fn new(name: &'static str, seed: u64) -> Self {
+        Scenario { name, builder: NetBuilder::new(seed) }
+    }
+
+    /// Build the network and run until the whole stack has assembled,
+    /// then `settle` more for dissemination. `assembled_at` records the
+    /// moment assembly held (before settling); the measurement clock
+    /// starts after it. Panics — naming the scenario — if assembly
+    /// exceeds `limit` of virtual time.
+    pub fn assemble(self, limit: Dur, settle: Dur) -> ExperimentRun {
+        let mut net = self.builder.build();
+        let at = net.run_until_assembled_labeled(self.name, limit, settle);
+        let t0 = net.sim.now();
+        ExperimentRun { net, assembled_at: Some(at), t0 }
+    }
+
+    /// Build the network *without* waiting for assembly — for scenarios
+    /// where assembly is expected to fail (impostor enrollment) or where
+    /// links start down.
+    pub fn launch(self) -> ExperimentRun {
+        let net = self.builder.build();
+        let t0 = net.sim.now();
+        ExperimentRun { net, assembled_at: None, t0 }
+    }
+}
+
+impl std::ops::Deref for Scenario {
+    type Target = NetBuilder;
+    fn deref(&self) -> &NetBuilder {
+        &self.builder
+    }
+}
+
+impl std::ops::DerefMut for Scenario {
+    fn deref_mut(&mut self) -> &mut NetBuilder {
+        &mut self.builder
+    }
+}
+
+/// The measurement phase of an experiment: the built [`Net`] plus the
+/// phase clock.
+pub struct ExperimentRun {
+    /// The running network.
+    pub net: Net,
+    /// When assembly completed, if [`Scenario::assemble`] ran it.
+    pub assembled_at: Option<Time>,
+    t0: Time,
+}
+
+impl ExperimentRun {
+    /// Run the network for `d` of virtual time.
+    pub fn run_for(&mut self, d: Dur) {
+        self.net.run_for(d);
+    }
+
+    /// Run in `step` increments until `done(&mut net)` or `max_steps`
+    /// have elapsed, evaluating `done` *after* each step so observers in
+    /// the closure (e.g. a [`GapSampler`]) always see the final window.
+    /// Returns the number of steps taken.
+    pub fn run_until(
+        &mut self,
+        step: Dur,
+        max_steps: usize,
+        mut done: impl FnMut(&mut Net) -> bool,
+    ) -> usize {
+        for i in 0..max_steps {
+            self.net.run_for(step);
+            if done(&mut self.net) {
+                return i + 1;
+            }
+        }
+        max_steps
+    }
+
+    /// Seconds of virtual time since the measurement clock started.
+    pub fn measured_secs(&self) -> f64 {
+        self.net.sim.now().since(self.t0).as_secs_f64()
+    }
+
+    /// Seconds from the measurement clock to `until` (e.g. a sink's last
+    /// arrival), floored at a tiny positive value for safe division.
+    pub fn secs_until(&self, until: Time) -> f64 {
+        until.since(self.t0).as_secs_f64().max(1e-9)
+    }
+
+    /// `bytes` delivered over the measured phase, in Mbit/s.
+    pub fn goodput_mbps(&self, bytes: u64) -> f64 {
+        let secs = self.measured_secs();
+        if secs > 0.0 {
+            bytes as f64 * 8.0 / secs / 1e6
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Tracks the longest gap between delivery-progress observations — the
+/// shared metric of the failover (E4) and mobility (E5) experiments, for
+/// both stacks.
+pub struct GapSampler {
+    last_count: u64,
+    last_progress: Time,
+    gap: f64,
+}
+
+impl GapSampler {
+    /// Start observing from `count` delivered at time `now`.
+    pub fn new(count: u64, now: Time) -> Self {
+        GapSampler { last_count: count, last_progress: now, gap: 0.0 }
+    }
+
+    /// Record an observation: `count` delivered in total at `now`.
+    pub fn observe(&mut self, count: u64, now: Time) {
+        if count > self.last_count {
+            self.gap = self.gap.max(now.since(self.last_progress).as_secs_f64());
+            self.last_count = count;
+            self.last_progress = now;
+        }
+    }
+
+    /// The longest observed progress gap, in seconds.
+    pub fn gap(&self) -> f64 {
+        self.gap
+    }
+}
 
 /// Format a floating value compactly for tables.
 pub fn fmt(v: f64) -> String {
@@ -31,5 +174,49 @@ pub fn fmt(v: f64) -> String {
         format!("{v:.2}")
     } else {
         format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gap_sampler_tracks_longest_stall() {
+        let mut g = GapSampler::new(0, Time::ZERO);
+        g.observe(1, Time::from_millis(100));
+        g.observe(1, Time::from_millis(900)); // no progress: not a gap yet
+        g.observe(2, Time::from_millis(1000)); // 900ms since last progress
+        g.observe(3, Time::from_millis(1050));
+        assert!((g.gap() - 0.9).abs() < 1e-9, "gap {}", g.gap());
+    }
+
+    #[test]
+    fn scenario_assembles_like_a_netbuilder() {
+        let mut s = Scenario::new("two-hosts", 42);
+        let fab = Topology::line(2).materialize(&mut s);
+        let traffic = Workload::sources_to_sink(
+            &mut s,
+            fab.dif,
+            fab.node(1),
+            &[fab.node(0)],
+            QosSpec::reliable(),
+            64,
+            5,
+            Dur::from_millis(1),
+        );
+        let mut run = s.assemble(Dur::from_secs(10), Dur::from_millis(100));
+        assert!(run.assembled_at.is_some());
+        run.run_for(Dur::from_secs(2));
+        assert_eq!(traffic.received(&run.net), 5);
+        assert!(run.measured_secs() >= 2.0);
+    }
+
+    #[test]
+    fn fmt_ranges() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(123.4), "123");
+        assert_eq!(fmt(1.5), "1.50");
+        assert_eq!(fmt(0.0123), "0.0123");
     }
 }

@@ -1,0 +1,155 @@
+//! Result-row reporting without external dependencies: a tiny JSON
+//! emitter and the [`crate::row_json!`] macro that wires a row struct's
+//! fields into it. (The build environment is offline, so serde is out of
+//! reach; the experiment rows are flat structs of scalars, which this
+//! covers completely.)
+
+/// A JSON scalar renderer. Implemented for the field types experiment
+/// rows use.
+pub trait JsonValue {
+    /// Render as a JSON value token.
+    fn render(&self) -> String;
+}
+
+impl JsonValue for f64 {
+    fn render(&self) -> String {
+        // JSON has no NaN/Inf; mirror serde_json and emit null.
+        if self.is_finite() {
+            format!("{self}")
+        } else {
+            "null".into()
+        }
+    }
+}
+impl JsonValue for u64 {
+    fn render(&self) -> String {
+        self.to_string()
+    }
+}
+impl JsonValue for usize {
+    fn render(&self) -> String {
+        self.to_string()
+    }
+}
+impl JsonValue for bool {
+    fn render(&self) -> String {
+        self.to_string()
+    }
+}
+impl JsonValue for &str {
+    fn render(&self) -> String {
+        let mut s = String::with_capacity(self.len() + 2);
+        s.push('"');
+        for c in self.chars() {
+            match c {
+                '"' => s.push_str("\\\""),
+                '\\' => s.push_str("\\\\"),
+                '\n' => s.push_str("\\n"),
+                c if (c as u32) < 0x20 => s.push_str(&format!("\\u{:04x}", c as u32)),
+                c => s.push(c),
+            }
+        }
+        s.push('"');
+        s
+    }
+}
+impl JsonValue for String {
+    fn render(&self) -> String {
+        self.as_str().render()
+    }
+}
+
+/// Incremental JSON object builder.
+#[derive(Default)]
+pub struct Obj {
+    body: String,
+}
+
+impl Obj {
+    /// An empty object.
+    pub fn new() -> Self {
+        Obj::default()
+    }
+
+    /// Append one field.
+    pub fn field(&mut self, name: &str, value: &dyn JsonValue) -> &mut Self {
+        if !self.body.is_empty() {
+            self.body.push_str(", ");
+        }
+        self.body.push_str(&name.render());
+        self.body.push_str(": ");
+        self.body.push_str(&value.render());
+        self
+    }
+
+    /// Close the object.
+    pub fn finish(&self) -> String {
+        format!("{{{}}}", self.body)
+    }
+}
+
+/// Types renderable as one JSON object — every experiment row.
+pub trait ToJson {
+    /// Render as a JSON object.
+    fn to_json(&self) -> String;
+}
+
+/// Implement [`ToJson`] for a row struct by listing its fields.
+#[macro_export]
+macro_rules! row_json {
+    ($t:ty { $($f:ident),+ $(,)? }) => {
+        impl $crate::report::ToJson for $t {
+            fn to_json(&self) -> String {
+                let mut o = $crate::report::Obj::new();
+                $( o.field(stringify!($f), &self.$f); )+
+                o.finish()
+            }
+        }
+    };
+}
+
+/// Render a named array-of-rows section and append it to a results
+/// document body.
+pub fn push_section<R: ToJson>(doc: &mut Vec<String>, name: &str, rows: &[R]) {
+    let items: Vec<String> = rows.iter().map(|r| r.to_json()).collect();
+    doc.push(format!("  {}: [\n    {}\n  ]", name.render(), items.join(",\n    ")));
+}
+
+/// Close a results document into the final JSON text.
+pub fn finish_doc(doc: Vec<String>) -> String {
+    format!("{{\n{}\n}}\n", doc.join(",\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct R {
+        name: &'static str,
+        x: f64,
+        n: u64,
+        ok: bool,
+    }
+    crate::row_json!(R { name, x, n, ok });
+
+    #[test]
+    fn renders_flat_object() {
+        let r = R { name: "a\"b", x: 1.5, n: 7, ok: true };
+        assert_eq!(r.to_json(), r#"{"name": "a\"b", "x": 1.5, "n": 7, "ok": true}"#);
+    }
+
+    #[test]
+    fn nan_becomes_null() {
+        let r = R { name: "x", x: f64::NAN, n: 0, ok: false };
+        assert!(r.to_json().contains("\"x\": null"));
+    }
+
+    #[test]
+    fn document_shape() {
+        let mut doc = Vec::new();
+        push_section(&mut doc, "s", &[R { name: "r", x: 0.5, n: 1, ok: true }]);
+        let out = finish_doc(doc);
+        assert!(out.starts_with("{\n") && out.ends_with("}\n"));
+        assert!(out.contains("\"s\": ["));
+    }
+}

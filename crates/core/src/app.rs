@@ -14,6 +14,35 @@ use crate::qos::QosSpec;
 use bytes::Bytes;
 use rina_sim::{Dur, Time};
 
+/// Where a newly active flow came from, as seen by the application.
+///
+/// Replaces the old `handle = 0` sentinel: an inbound flow is now a
+/// distinct variant instead of being indistinguishable from "outbound
+/// request number zero".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlowOrigin {
+    /// This application requested the flow; the payload is the handle
+    /// [`IpcApi::allocate_flow`] returned.
+    Requested(u64),
+    /// A remote peer allocated the flow *to* this application.
+    Inbound,
+}
+
+impl FlowOrigin {
+    /// The allocation handle, if this application requested the flow.
+    pub fn handle(&self) -> Option<u64> {
+        match *self {
+            FlowOrigin::Requested(h) => Some(h),
+            FlowOrigin::Inbound => None,
+        }
+    }
+
+    /// Whether the peer initiated the flow.
+    pub fn is_inbound(&self) -> bool {
+        matches!(self, FlowOrigin::Inbound)
+    }
+}
+
 /// Callbacks of an application process. All are optional except [`AppProcess::on_sdu`]
 /// implementors typically react to flows and data.
 pub trait AppProcess: 'static {
@@ -30,16 +59,22 @@ pub trait AppProcess: 'static {
         true
     }
 
-    /// A flow is ready. For flows this application requested, `handle` is
-    /// the value returned by [`IpcApi::allocate_flow`]; for flows allocated
-    /// *to* it, `handle` is 0.
-    fn on_flow_allocated(&mut self, handle: u64, port: PortId, peer: &AppName, api: &mut IpcApi<'_, '_, '_>) {
-        let _ = (handle, port, peer, api);
+    /// A flow is ready. `origin` says whether this application requested
+    /// it (and with which [`IpcApi::allocate_flow`] handle) or the peer
+    /// allocated it inbound.
+    fn on_flow_allocated(
+        &mut self,
+        origin: FlowOrigin,
+        port: PortId,
+        peer: &AppName,
+        api: &mut IpcApi<'_, '_, '_>,
+    ) {
+        let _ = (origin, port, peer, api);
     }
 
     /// A flow allocation failed or an active flow died.
-    fn on_flow_failed(&mut self, handle: u64, reason: &str, api: &mut IpcApi<'_, '_, '_>) {
-        let _ = (handle, reason, api);
+    fn on_flow_failed(&mut self, origin: FlowOrigin, reason: &str, api: &mut IpcApi<'_, '_, '_>) {
+        let _ = (origin, reason, api);
     }
 
     /// An SDU arrived on a flow.

@@ -4,7 +4,7 @@
 //! user of the library writes against. They only ever name destination
 //! applications; none of them ever sees an address.
 
-use crate::app::{AppProcess, IpcApi};
+use crate::app::{AppProcess, FlowOrigin, IpcApi};
 use crate::naming::{AppName, PortId};
 use crate::qos::QosSpec;
 use bytes::Bytes;
@@ -139,10 +139,8 @@ impl AppProcess for SourceApp {
 
     fn on_timer(&mut self, key: u64, api: &mut IpcApi<'_, '_, '_>) {
         match key {
-            KEY_START => {
-                if self.port.is_none() {
-                    api.allocate_flow(&self.dst.clone(), self.spec);
-                }
+            KEY_START if self.port.is_none() => {
+                api.allocate_flow(&self.dst.clone(), self.spec);
             }
             KEY_SEND => {
                 let Some(port) = self.port else { return };
@@ -170,13 +168,19 @@ impl AppProcess for SourceApp {
         }
     }
 
-    fn on_flow_allocated(&mut self, _h: u64, port: PortId, _peer: &AppName, api: &mut IpcApi<'_, '_, '_>) {
+    fn on_flow_allocated(
+        &mut self,
+        _origin: FlowOrigin,
+        port: PortId,
+        _peer: &AppName,
+        api: &mut IpcApi<'_, '_, '_>,
+    ) {
         self.port = Some(port);
         self.flow_up_at = Some(api.now());
         api.timer_in(Dur::ZERO, KEY_SEND);
     }
 
-    fn on_flow_failed(&mut self, _h: u64, _reason: &str, api: &mut IpcApi<'_, '_, '_>) {
+    fn on_flow_failed(&mut self, _origin: FlowOrigin, _reason: &str, api: &mut IpcApi<'_, '_, '_>) {
         self.alloc_failures += 1;
         self.port = None;
         api.timer_in(Dur::from_millis(200), KEY_START);
@@ -245,14 +249,20 @@ impl AppProcess for PingApp {
         }
     }
 
-    fn on_flow_allocated(&mut self, _h: u64, port: PortId, _peer: &AppName, api: &mut IpcApi<'_, '_, '_>) {
+    fn on_flow_allocated(
+        &mut self,
+        _origin: FlowOrigin,
+        port: PortId,
+        _peer: &AppName,
+        api: &mut IpcApi<'_, '_, '_>,
+    ) {
         self.port = Some(port);
         self.alloc_done = Some(api.now());
         self.sent_at = api.now();
         let _ = api.write(port, Bytes::from(vec![0u8; self.size]));
     }
 
-    fn on_flow_failed(&mut self, _h: u64, _reason: &str, api: &mut IpcApi<'_, '_, '_>) {
+    fn on_flow_failed(&mut self, _origin: FlowOrigin, _reason: &str, api: &mut IpcApi<'_, '_, '_>) {
         self.alloc_failures += 1;
         self.port = None;
         api.timer_in(Dur::from_millis(200), KEY_START);

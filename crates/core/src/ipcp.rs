@@ -19,7 +19,7 @@
 
 use crate::dif::DifConfig;
 use crate::msg::MgmtBody;
-use crate::naming::{AppName, Addr};
+use crate::naming::{Addr, AppName};
 use crate::qos::{match_cube, QosSpec};
 use crate::routing::{compute_routes, Lsa, LSA_CLASS, LSA_PREFIX};
 use bytes::Bytes;
@@ -258,11 +258,7 @@ impl Ipcp {
         self.addr = addr;
         self.rib.set_origin(addr);
         self.enrolled = true;
-        self.rib.write_local(
-            &format!("/members/{}", self.name.key()),
-            "member",
-            encode_addr(addr),
-        );
+        self.rib.write_local(&format!("/members/{}", self.name.key()), "member", encode_addr(addr));
         self.drain_rib();
     }
 
@@ -303,9 +299,7 @@ impl Ipcp {
 
     /// Find the (N-1) port backed by the given physical interface.
     pub fn n1_by_iface(&self, iface: u32) -> Option<usize> {
-        self.n1
-            .iter()
-            .position(|p| matches!(p.kind, N1Kind::Phys { iface: i, .. } if i == iface))
+        self.n1.iter().position(|p| matches!(p.kind, N1Kind::Phys { iface: i, .. } if i == iface))
     }
 
     /// Drain pending effects.
@@ -315,10 +309,7 @@ impl Ipcp {
 
     /// Earliest EFCP timer deadline over all connections, with its cep.
     pub fn conn_timer_wants(&self) -> Vec<(CepId, u64)> {
-        self.conns
-            .iter()
-            .filter_map(|(&cep, f)| f.conn.poll_timeout().map(|t| (cep, t)))
-            .collect()
+        self.conns.iter().filter_map(|(&cep, f)| f.conn.poll_timeout().map(|t| (cep, t))).collect()
     }
 
     /// Drive one connection's timers.
@@ -346,13 +337,9 @@ impl Ipcp {
             self.send_hello(i);
         }
         self.hello_ticks += 1;
-        if !self.is_shim && self.enrolled && self.hello_ticks % 8 == 0 {
-            let own: Vec<RibObject> = self
-                .rib
-                .snapshot()
-                .into_iter()
-                .filter(|o| o.origin == self.addr)
-                .collect();
+        if !self.is_shim && self.enrolled && self.hello_ticks.is_multiple_of(8) {
+            let own: Vec<RibObject> =
+                self.rib.snapshot().into_iter().filter(|o| o.origin == self.addr).collect();
             for i in 0..self.n1.len() {
                 if self.n1[i].up && self.n1[i].peer_addr != 0 {
                     for obj in &own {
@@ -422,12 +409,8 @@ impl Ipcp {
         if !self.enrolled || self.is_shim {
             return;
         }
-        let mut neigh: Vec<Addr> = self
-            .n1
-            .iter()
-            .filter(|p| p.up && p.peer_addr != 0)
-            .map(|p| p.peer_addr)
-            .collect();
+        let mut neigh: Vec<Addr> =
+            self.n1.iter().filter(|p| p.up && p.peer_addr != 0).map(|p| p.peer_addr).collect();
         neigh.sort_unstable();
         neigh.dedup();
         if neigh == self.advertised {
@@ -435,8 +418,7 @@ impl Ipcp {
         }
         self.advertised = neigh.clone();
         let lsa = Lsa { neighbors: neigh.into_iter().map(|a| (a, 1)).collect() };
-        self.rib
-            .write_local(&Lsa::object_name(self.addr), LSA_CLASS, lsa.encode());
+        self.rib.write_local(&Lsa::object_name(self.addr), LSA_CLASS, lsa.encode());
         self.drain_rib();
     }
 
@@ -526,8 +508,7 @@ impl Ipcp {
         }
         let new_addr = if proposal_taken { max_addr + 1 } else { proposed_addr };
         self.stats.enrollments_sponsored += 1;
-        self.rib
-            .write_local(&format!("/members/{}", name.key()), "member", encode_addr(new_addr));
+        self.rib.write_local(&format!("/members/{}", name.key()), "member", encode_addr(new_addr));
         // Snapshot *after* recording the new member so the joiner sees
         // itself.
         let snapshot = self.rib.snapshot();
@@ -541,7 +522,13 @@ impl Ipcp {
         self.refresh_lsa(Time::ZERO);
     }
 
-    fn handle_enroll_response(&mut self, addr: Addr, snapshot: Vec<RibObject>, result: i32, now: Time) {
+    fn handle_enroll_response(
+        &mut self,
+        addr: Addr,
+        snapshot: Vec<RibObject>,
+        result: i32,
+        now: Time,
+    ) {
         if self.enrolled {
             return; // duplicate response to a retried request
         }
@@ -576,8 +563,7 @@ impl Ipcp {
         if self.is_shim {
             return; // shims have an implicit two-party directory
         }
-        self.rib
-            .write_local(&format!("/dir/{}", app.key()), "dir", encode_addr(self.addr));
+        self.rib.write_local(&format!("/dir/{}", app.key()), "dir", encode_addr(self.addr));
         self.drain_rib();
     }
 
@@ -596,9 +582,7 @@ impl Ipcp {
             // Degenerate directory: the peer might have it.
             return self.peer_addr_any();
         }
-        self.rib
-            .get(&format!("/dir/{}", app.key()))
-            .and_then(|o| decode_addr(&o.value))
+        self.rib.get(&format!("/dir/{}", app.key())).and_then(|o| decode_addr(&o.value))
     }
 
     fn peer_addr_any(&self) -> Option<Addr> {
@@ -639,13 +623,8 @@ impl Ipcp {
             );
             let invoke = self.next_invoke();
             self.pending.insert(invoke, Pending::FlowAlloc { cep });
-            let body = MgmtBody::FlowRequest {
-                src_app,
-                dst_app,
-                spec,
-                src_addr: self.addr,
-                src_cep: cep,
-            };
+            let body =
+                MgmtBody::FlowRequest { src_app, dst_app, spec, src_addr: self.addr, src_cep: cep };
             self.send_mgmt_addr(dst_addr, body, invoke, 0);
             return;
         }
@@ -671,13 +650,8 @@ impl Ipcp {
         );
         let invoke = self.next_invoke();
         self.pending.insert(invoke, Pending::FlowAlloc { cep });
-        let body = MgmtBody::FlowRequest {
-            src_app,
-            dst_app,
-            spec,
-            src_addr: self.addr,
-            src_cep: cep,
-        };
+        let body =
+            MgmtBody::FlowRequest { src_app, dst_app, spec, src_addr: self.addr, src_cep: cep };
         self.send_mgmt_addr(dst_addr, body, invoke, 0);
     }
 
@@ -839,16 +813,19 @@ impl Ipcp {
         if sdu.len() > self.cfg.max_sdu {
             return Err("sdu exceeds dif max");
         }
-        f.conn
-            .send_sdu(sdu, now.nanos())
-            .map_err(|_| "flow failed or backpressured")?;
+        f.conn.send_sdu(sdu, now.nanos()).map_err(|_| "flow failed or backpressured")?;
         self.pump_conn(cep, now);
         Ok(())
     }
 
     /// Shim data path: wrap the SDU in a DataPdu for demultiplexing at the
     /// peer and pass it straight to the medium.
-    fn write_raw(&mut self, port: u64, sdu: Bytes, priority_hint: Option<u8>) -> Result<(), &'static str> {
+    fn write_raw(
+        &mut self,
+        port: u64,
+        sdu: Bytes,
+        priority_hint: Option<u8>,
+    ) -> Result<(), &'static str> {
         let Some(r) = self.raw.values().find(|r| r.port == port) else {
             return Err("no such flow");
         };
@@ -894,7 +871,8 @@ impl Ipcp {
     /// RMT input: deliver locally or relay.
     fn rmt_in(&mut self, mut pdu: Pdu, from_n1: usize, now: Time) {
         let dest = pdu.dest_addr();
-        if dest == 0 || dest == self.addr || (self.is_shim && dest != 0) {
+        // Shims never relay: whatever the destination, it is local.
+        if dest == 0 || dest == self.addr || self.is_shim {
             self.deliver_local(pdu, from_n1, now);
             return;
         }
@@ -921,11 +899,7 @@ impl Ipcp {
             self.stats.no_route += 1;
             return;
         };
-        let prio = self
-            .cfg
-            .cube(pdu.qos_id())
-            .map(|c| c.priority)
-            .unwrap_or(0);
+        let prio = self.cfg.cube(pdu.qos_id()).map(|c| c.priority).unwrap_or(0);
         let frame = pdu.encode();
         self.tx_n1(n1, frame, prio);
     }
@@ -934,11 +908,7 @@ impl Ipcp {
     /// selection among live ports to the chosen next hop.
     fn pick_n1_toward(&self, dest: Addr) -> Option<usize> {
         // Direct adjacency short-circuit (also the only case for shims).
-        if let Some(i) = self
-            .n1
-            .iter()
-            .position(|p| p.up && p.peer_addr == dest)
-        {
+        if let Some(i) = self.n1.iter().position(|p| p.up && p.peer_addr == dest) {
             return Some(i);
         }
         let hops = self.fwd.route(dest)?;
@@ -967,7 +937,8 @@ impl Ipcp {
                 if self.is_shim {
                     if let Some(r) = self.raw.get(&cep) {
                         if r.phase == Phase::Active {
-                            self.out.push(IpcpOut::Deliver { port: r.port, sdu: d.payload.clone() });
+                            self.out
+                                .push(IpcpOut::Deliver { port: r.port, sdu: d.payload.clone() });
                         }
                     }
                     return;
@@ -1074,7 +1045,13 @@ impl Ipcp {
                 }
             }
             MgmtBody::EnrollRequest { name, credential, proposed_addr } => {
-                self.handle_enroll_request(from_n1, name, credential, proposed_addr, cdap.invoke_id);
+                self.handle_enroll_request(
+                    from_n1,
+                    name,
+                    credential,
+                    proposed_addr,
+                    cdap.invoke_id,
+                );
             }
             MgmtBody::EnrollResponse { addr, snapshot } => {
                 if matches!(self.pending.remove(&cdap.invoke_id), Some(Pending::Enroll)) {
@@ -1125,12 +1102,7 @@ impl Ipcp {
     /// Send a management body link-locally over one (N-1) port.
     fn send_mgmt_on(&mut self, n1: usize, body: MgmtBody, invoke_id: u32, result: i32) {
         let payload = body.encode(invoke_id, result);
-        let pdu = Pdu::Mgmt(MgmtPdu {
-            dest_addr: 0,
-            src_addr: self.addr,
-            ttl: 1,
-            payload,
-        });
+        let pdu = Pdu::Mgmt(MgmtPdu { dest_addr: 0, src_addr: self.addr, ttl: 1, payload });
         self.stats.mgmt_tx += 1;
         let frame = pdu.encode();
         self.tx_n1(n1, frame, 7);
@@ -1318,12 +1290,7 @@ mod tests {
     fn ttl_expiry_drops() {
         let mut r = mk("net.r");
         r.bootstrap(1);
-        let pdu = Pdu::Mgmt(MgmtPdu {
-            dest_addr: 99,
-            src_addr: 50,
-            ttl: 0,
-            payload: Bytes::new(),
-        });
+        let pdu = Pdu::Mgmt(MgmtPdu { dest_addr: 99, src_addr: 50, ttl: 0, payload: Bytes::new() });
         r.rmt_in(pdu, 0, Time::ZERO);
         assert_eq!(r.stats.ttl_drops, 1);
     }
@@ -1332,12 +1299,7 @@ mod tests {
     fn no_route_counted() {
         let mut r = mk("net.r");
         r.bootstrap(1);
-        let pdu = Pdu::Mgmt(MgmtPdu {
-            dest_addr: 99,
-            src_addr: 50,
-            ttl: 8,
-            payload: Bytes::new(),
-        });
+        let pdu = Pdu::Mgmt(MgmtPdu { dest_addr: 99, src_addr: 50, ttl: 8, payload: Bytes::new() });
         r.rmt_in(pdu, 0, Time::ZERO);
         assert_eq!(r.stats.no_route, 1);
     }

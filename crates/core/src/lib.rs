@@ -22,7 +22,12 @@
 //!   forwarding** of Figure 4 (next-hop address, then live (N-1) path).
 //! * [`node`] — the IPC manager of one machine; hosts applications and the
 //!   DIF stack.
-//! * [`net`] — declarative construction of whole internetworks.
+//! * [`net`] — declarative construction of whole internetworks through
+//!   **typed handles** ([`net::NodeH`], [`net::LinkH`], [`net::DifH`],
+//!   [`net::AppH`]) — cross-wiring them is a compile error.
+//! * [`scenario`] — topology generators ([`scenario::Topology`]) and
+//!   workload placers ([`scenario::Workload`]) that stamp out whole
+//!   internetworks and their traffic in a few lines.
 //! * [`apps`] — ready-made application processes for experiments.
 //!
 //! ## Quickstart
@@ -52,7 +57,23 @@
 //! let mut net = b.build();
 //! net.run_until_assembled(Dur::from_secs(10), Dur::from_millis(200));
 //! net.run_for(Dur::from_secs(2));
-//! assert!(net.node(h1).app::<PingApp>(ping).done());
+//! // `ping` is an AppH<PingApp>: the downcast is statically typed.
+//! assert!(net.app(ping).done());
+//! ```
+//!
+//! The same scenario through the generators:
+//!
+//! ```
+//! use rina::prelude::*;
+//! use rina::scenario::{Topology, Workload};
+//!
+//! let mut b = NetBuilder::new(7);
+//! let fab = Topology::line(2).materialize(&mut b);
+//! let cs = Workload::client_server(&mut b, fab.dif, &fab.all(), fab.node(1), 3, 64);
+//! let mut net = b.build();
+//! net.run_until_assembled(Dur::from_secs(10), Dur::from_millis(200));
+//! net.run_for(Dur::from_secs(2));
+//! assert!(net.app(cs.clients[0]).done());
 //! ```
 
 #![warn(missing_docs)]
@@ -66,25 +87,27 @@ pub mod naming;
 pub mod net;
 pub mod node;
 pub mod qos;
-pub mod routing;
 pub mod rmt;
+pub mod routing;
+pub mod scenario;
 
-pub use app::{AppProcess, IpcApi, IpcError};
+pub use app::{AppProcess, FlowOrigin, IpcApi, IpcError};
 pub use dif::{AuthPolicy, DifConfig, SchedPolicy};
 pub use naming::{Addr, AppName, DifName, PortId};
-pub use net::{Net, NetBuilder, Via};
+pub use net::{AppH, DifH, IpcpH, LinkH, Net, NetBuilder, NodeH, Via};
 pub use node::{ext_timer_key, Node};
 pub use qos::{QosCube, QosSpec};
 
 /// Convenient glob-import for examples and experiments.
 pub mod prelude {
-    pub use crate::app::{AppProcess, IpcApi};
+    pub use crate::app::{AppProcess, FlowOrigin, IpcApi};
     pub use crate::apps::{EchoApp, PingApp, SinkApp, SourceApp};
     pub use crate::dif::{AuthPolicy, DifConfig, SchedPolicy};
     pub use crate::naming::{AppName, DifName, PortId};
-    pub use crate::net::{Net, NetBuilder, Via};
+    pub use crate::net::{AppH, DifH, IpcpH, LinkH, Net, NetBuilder, NodeH, Via};
     pub use crate::node::{ext_timer_key, Node};
     pub use crate::qos::{QosCube, QosSpec};
+    pub use crate::scenario::{Fabric, Topology, Workload};
     pub use bytes::Bytes;
     pub use rina_sim::{Dur, LinkCfg, LossModel, Time};
 }

@@ -126,14 +126,7 @@ impl MgmtBody {
                 (OpCode::Write, class::RIB, name, obj.encode())
             }
         };
-        CdapMsg {
-            op,
-            invoke_id,
-            obj_class: cls.to_string(),
-            obj_name: name,
-            result,
-            value,
-        }
+        CdapMsg { op, invoke_id, obj_class: cls.to_string(), obj_name: name, result, value }
     }
 
     /// Parse a CDAP message back into a typed body.

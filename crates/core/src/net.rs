@@ -7,23 +7,126 @@
 //! tree per DIF from its declared adjacencies; at simulation start the
 //! stack then assembles itself bottom-up, exactly as §5 describes (create,
 //! enroll, operate).
+//!
+//! Every constructor returns a **typed handle** — [`NodeH`], [`LinkH`],
+//! [`DifH`], [`IpcpH`], [`AppH`] — and every consumer demands the right
+//! one, so wiring mistakes ("passed a link where a DIF belongs") are
+//! compile errors rather than runtime index confusion:
+//!
+//! ```compile_fail
+//! use rina::prelude::*;
+//! let mut b = NetBuilder::new(0);
+//! let h1 = b.node("h1");
+//! let h2 = b.node("h2");
+//! let wire = b.link(h1, h2, LinkCfg::wired());
+//! b.join(wire, h1); // compile error: a LinkH is not a DifH
+//! ```
+//!
+//! [`AppH`] additionally carries the application's concrete type, so
+//! [`Net::app`] downcasts are checked statically:
+//!
+//! ```compile_fail
+//! use rina::prelude::*;
+//! let mut b = NetBuilder::new(0);
+//! let h1 = b.node("h1");
+//! let h2 = b.node("h2");
+//! let wire = b.link(h1, h2, LinkCfg::wired());
+//! let d = b.dif(DifConfig::new("net"));
+//! b.join(d, h1);
+//! b.join(d, h2);
+//! b.adjacency_over_link(d, h1, h2, wire);
+//! let ping = b.app(h1, AppName::new("ping"),
+//!                  d, PingApp::new(AppName::new("echo"), QosSpec::reliable(), 1, 8));
+//! let net = b.build();
+//! let _: &EchoApp = net.app(ping); // compile error: AppH<PingApp> yields &PingApp
+//! ```
 
 use crate::app::AppProcess;
 use crate::dif::{AuthPolicy, DifConfig};
+use crate::ipcp::Ipcp;
 use crate::naming::AppName;
 use crate::node::Node;
 use crate::qos::QosSpec;
 use rina_sim::{Dur, LinkCfg, LinkId, NodeId, Sim, Time};
 use std::collections::{HashMap, VecDeque};
+use std::marker::PhantomData;
+
+/// Handle to a machine added with [`NetBuilder::node`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct NodeH(pub(crate) usize);
+
+/// Handle to a physical link added with [`NetBuilder::link`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct LinkH(pub(crate) usize);
+
+/// Handle to a DIF declared with [`NetBuilder::dif`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct DifH(pub(crate) usize);
+
+/// Handle to one DIF member's IPC process on one machine, from
+/// [`NetBuilder::ipcp_of`]. Resolve it with [`Net::ipcp`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct IpcpH {
+    pub(crate) node: NodeH,
+    pub(crate) idx: usize,
+}
+
+impl IpcpH {
+    /// The machine this IPC process runs on.
+    pub fn node(&self) -> NodeH {
+        self.node
+    }
+}
+
+/// Handle to an application process hosted with [`NetBuilder::app`],
+/// carrying the app's concrete type: [`Net::app`] returns `&A` with no
+/// runtime-checked downcast at the call site.
+pub struct AppH<A> {
+    pub(crate) node: NodeH,
+    pub(crate) idx: usize,
+    _ty: PhantomData<fn() -> A>,
+}
+
+// Derived impls would bound `A`; handles are plain ids, so hand-roll them.
+impl<A> Clone for AppH<A> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<A> Copy for AppH<A> {}
+impl<A> std::fmt::Debug for AppH<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AppH<{}>({:?}, {})", std::any::type_name::<A>(), self.node, self.idx)
+    }
+}
+impl<A> PartialEq for AppH<A> {
+    fn eq(&self, other: &Self) -> bool {
+        self.node == other.node && self.idx == other.idx
+    }
+}
+impl<A> Eq for AppH<A> {}
+
+impl<A> AppH<A> {
+    /// The machine hosting this application.
+    pub fn node(&self) -> NodeH {
+        self.node
+    }
+
+    /// The node-local application index (for [`crate::node::ext_timer_key`]
+    /// and [`Node::app`]).
+    pub fn local_index(&self) -> usize {
+        self.idx
+    }
+}
 
 /// How a DIF adjacency is carried.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Via {
-    /// Over the shim of physical link `link_id` (as returned by
+    /// Over the shim of a physical link (as returned by
     /// [`NetBuilder::link`]).
-    Link(usize),
+    Link(LinkH),
     /// Over a flow allocated from another (lower-rank) DIF.
-    Dif(usize),
+    Dif(DifH),
 }
 
 struct AdjPlan {
@@ -78,20 +181,21 @@ impl NetBuilder {
         self.shim_sched = s;
     }
 
-    /// Add a machine. Returns its index.
-    pub fn node(&mut self, name: &str) -> usize {
+    /// Add a machine.
+    pub fn node(&mut self, name: &str) -> NodeH {
         let id = self.sim.add_node(Node::new(name));
         self.nodes.push(id);
-        self.nodes.len() - 1
+        NodeH(self.nodes.len() - 1)
     }
 
     /// Connect two machines with a physical link; both ends get shim IPC
-    /// processes. Returns the link index for [`Via::Link`].
-    pub fn link(&mut self, a: usize, b: usize, cfg: LinkCfg) -> usize {
+    /// processes. The returned handle feeds [`Via::Link`] and
+    /// [`Net::set_link_up`].
+    pub fn link(&mut self, a: NodeH, b: NodeH, cfg: LinkCfg) -> LinkH {
         let mtu = cfg.mtu;
-        let (lid, ia, ib) = self.sim.connect(self.nodes[a], self.nodes[b], cfg);
+        let (lid, ia, ib) = self.sim.connect(self.nodes[a.0], self.nodes[b.0], cfg);
         let lidx = self.links.len();
-        self.links.push((a, b, lid));
+        self.links.push((a.0, b.0, lid));
         let shim_name = self.shim_count;
         self.shim_count += 1;
         let mut shim_cfg = DifConfig::new(&format!("shim{shim_name}"))
@@ -99,86 +203,108 @@ impl NetBuilder {
             .with_sched(self.shim_sched);
         shim_cfg.hello_period = Dur::from_millis(100);
         let na = {
-            let node = self.node_mut(a);
+            let node = self.node_mut(a.0);
             let name_a = AppName::new(&format!("shim{shim_name}.a"));
             node.add_shim(shim_cfg.clone(), name_a, ia, 0, mtu)
         };
         let nb = {
-            let node = self.node_mut(b);
+            let node = self.node_mut(b.0);
             let name_b = AppName::new(&format!("shim{shim_name}.b"));
             node.add_shim(shim_cfg, name_b, ib, 1, mtu)
         };
-        self.shim_of.insert((lidx, a), na);
-        self.shim_of.insert((lidx, b), nb);
-        lidx
+        self.shim_of.insert((lidx, a.0), na);
+        self.shim_of.insert((lidx, b.0), nb);
+        LinkH(lidx)
     }
 
-    /// Declare a DIF. Returns its index.
-    pub fn dif(&mut self, cfg: DifConfig) -> usize {
-        self.difs.push(DifPlan {
-            cfg,
-            members: Vec::new(),
-            credential_overrides: HashMap::new(),
-        });
-        self.difs.len() - 1
+    /// Declare a DIF.
+    pub fn dif(&mut self, cfg: DifConfig) -> DifH {
+        self.difs.push(DifPlan { cfg, members: Vec::new(), credential_overrides: HashMap::new() });
+        DifH(self.difs.len() - 1)
     }
 
     /// Make `node` present `credential` when enrolling in `dif`, instead
     /// of the DIF's configured secret. For testing membership control: an
     /// impostor presenting the wrong credential never becomes a member.
-    pub fn join_credential(&mut self, dif: usize, node: usize, credential: &str) {
-        self.difs[dif]
-            .credential_overrides
-            .insert(node, credential.to_string());
+    pub fn join_credential(&mut self, dif: DifH, node: NodeH, credential: &str) {
+        self.difs[dif.0].credential_overrides.insert(node.0, credential.to_string());
     }
 
     /// Make `node` a member of `dif`. The first member is the DIF's
     /// bootstrap (address 1); all others enroll at runtime (§5.2).
-    pub fn join(&mut self, dif: usize, node: usize) {
-        let cfg = self.difs[dif].cfg.clone();
-        let node_name = self.node_name(node);
+    pub fn join(&mut self, dif: DifH, node: NodeH) {
+        let cfg = self.difs[dif.0].cfg.clone();
+        let node_name = self.node_name(node.0);
         let ipcp_name = AppName::new(&format!("{}.{}", cfg.name.0, node_name));
-        let idx = self.node_mut(node).add_ipcp(cfg, ipcp_name);
-        let first = self.difs[dif].members.is_empty();
+        let idx = self.node_mut(node.0).add_ipcp(cfg, ipcp_name);
+        let first = self.difs[dif.0].members.is_empty();
         if first {
-            self.node_mut(node).bootstrap_ipcp(idx, 1);
+            self.node_mut(node.0).bootstrap_ipcp(idx, 1);
         }
-        self.difs[dif].members.push((node, idx));
+        self.difs[dif.0].members.push((node.0, idx));
     }
 
     /// Declare that members `a` and `b` of `dif` are adjacent, carried
     /// `via` a link shim or a lower DIF, with flow properties `spec`.
-    pub fn adjacency(&mut self, dif: usize, a: usize, b: usize, via: Via, spec: QosSpec) {
-        self.adjacencies.push(AdjPlan { dif, a, b, via, spec });
+    pub fn adjacency(&mut self, dif: DifH, a: NodeH, b: NodeH, via: Via, spec: QosSpec) {
+        self.adjacencies.push(AdjPlan { dif: dif.0, a: a.0, b: b.0, via, spec });
     }
 
     /// Shorthand: adjacency carried over a link shim with datagram
     /// properties (relays do not retransmit; end DIFs keep responsibility).
-    pub fn adjacency_over_link(&mut self, dif: usize, a: usize, b: usize, link: usize) {
+    pub fn adjacency_over_link(&mut self, dif: DifH, a: NodeH, b: NodeH, link: LinkH) {
         self.adjacency(dif, a, b, Via::Link(link), QosSpec::datagram());
     }
 
-    /// Host an application on `node`, registered in `dif`'s directory.
-    /// Returns the node-local application index.
-    pub fn app(&mut self, node: usize, name: AppName, dif: usize, behavior: impl AppProcess) -> usize {
-        let ipcp = self.ipcp_of(dif, node);
-        let n = self.node_mut(node);
-        let idx = n.add_app(name.clone(), behavior);
-        n.register_name(name, ipcp);
-        idx
+    /// Shorthand: adjacency carried over a flow from the lower DIF
+    /// `lower`, with flow properties `spec`.
+    pub fn adjacency_over_dif(
+        &mut self,
+        dif: DifH,
+        a: NodeH,
+        b: NodeH,
+        lower: DifH,
+        spec: QosSpec,
+    ) {
+        self.adjacency(dif, a, b, Via::Dif(lower), spec);
     }
 
-    /// The ipcp index of `dif`'s member on `node`.
+    /// Host an application on `node`, registered in `dif`'s directory.
+    /// The returned handle remembers `A`, so [`Net::app`] needs no
+    /// turbofish and cannot be downcast to the wrong type.
+    pub fn app<A: AppProcess>(
+        &mut self,
+        node: NodeH,
+        name: AppName,
+        dif: DifH,
+        behavior: A,
+    ) -> AppH<A> {
+        let ipcp = self.ipcp_of(dif, node);
+        let n = self.node_mut(node.0);
+        let idx = n.add_app(name.clone(), behavior);
+        n.register_name(name, ipcp.idx);
+        AppH { node, idx, _ty: PhantomData }
+    }
+
+    /// The IPC process `dif`'s member on `node` runs.
     ///
     /// # Panics
     /// If `node` is not a member of `dif`.
-    pub fn ipcp_of(&self, dif: usize, node: usize) -> usize {
-        self.difs[dif]
+    pub fn ipcp_of(&self, dif: DifH, node: NodeH) -> IpcpH {
+        let idx = self.difs[dif.0]
             .members
             .iter()
-            .find(|&&(n, _)| n == node)
+            .find(|&&(n, _)| n == node.0)
             .map(|&(_, i)| i)
-            .unwrap_or_else(|| panic!("node {node} is not a member of dif {dif}"))
+            .unwrap_or_else(|| {
+                panic!("node {:?} is not a member of dif {}", node, self.difs[dif.0].cfg.name)
+            });
+        IpcpH { node, idx }
+    }
+
+    /// Number of machines added so far.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
     }
 
     fn node_mut(&mut self, idx: usize) -> &mut Node {
@@ -196,9 +322,9 @@ impl NetBuilder {
         match via {
             Via::Link(l) => *self
                 .shim_of
-                .get(&(l, node))
-                .unwrap_or_else(|| panic!("link {l} has no end at node {node}")),
-            Via::Dif(d) => self.ipcp_of(d, node),
+                .get(&(l.0, node))
+                .unwrap_or_else(|| panic!("link {} has no end at node {node}", l.0)),
+            Via::Dif(d) => self.ipcp_of(d, NodeH(node)).idx,
         }
     }
 
@@ -264,17 +390,17 @@ impl NetBuilder {
             for (&child, &(par, via, spec)) in &parent {
                 let credential = overrides.get(&child).unwrap_or(&credential).clone();
                 let proposed = addr_of.get(&child).copied().unwrap_or(0);
-                let upper_child = self.ipcp_of(dif, child);
+                let upper_child = self.ipcp_of(DifH(dif), NodeH(child)).idx;
                 let provider_child = self.provider_on(via, child);
                 let dst = self.ipcp_name(dif, par);
                 // Register the upper ipcp names in lower-DIF directories so
                 // flows to them can be allocated.
                 if let Via::Dif(lower) = via {
                     let par_upper_name = self.ipcp_name(dif, par);
-                    let par_provider = self.ipcp_of(lower, par);
+                    let par_provider = self.ipcp_of(lower, NodeH(par)).idx;
                     self.node_mut(par).register_name(par_upper_name, par_provider);
                     let child_upper_name = self.ipcp_name(dif, child);
-                    let child_provider = self.ipcp_of(lower, child);
+                    let child_provider = self.ipcp_of(lower, NodeH(child)).idx;
                     self.node_mut(child).register_name(child_upper_name, child_provider);
                 }
                 self.node_mut(child).plan_n1(
@@ -301,15 +427,15 @@ impl NetBuilder {
                 } else {
                     (b, a)
                 };
-                let upper = self.ipcp_of(dif, src);
+                let upper = self.ipcp_of(DifH(dif), NodeH(src)).idx;
                 let provider = self.provider_on(via, src);
                 let dst = self.ipcp_name(dif, dst_node);
                 if let Via::Dif(lower) = via {
                     let dst_upper_name = self.ipcp_name(dif, dst_node);
-                    let dst_provider = self.ipcp_of(lower, dst_node);
+                    let dst_provider = self.ipcp_of(lower, NodeH(dst_node)).idx;
                     self.node_mut(dst_node).register_name(dst_upper_name, dst_provider);
                     let src_upper_name = self.ipcp_name(dif, src);
-                    let src_provider = self.ipcp_of(lower, src);
+                    let src_provider = self.ipcp_of(lower, NodeH(src)).idx;
                     self.node_mut(src).register_name(src_upper_name, src_provider);
                 }
                 self.node_mut(src).plan_n1(upper, dst, spec, provider, None);
@@ -335,35 +461,61 @@ pub struct Net {
 
 impl Net {
     /// Immutable access to a machine.
-    pub fn node(&self, idx: usize) -> &Node {
-        self.sim.agent::<Node>(self.nodes[idx])
+    pub fn node(&self, h: NodeH) -> &Node {
+        self.sim.agent::<Node>(self.nodes[h.0])
     }
 
     /// Mutable access to a machine.
-    pub fn node_mut(&mut self, idx: usize) -> &mut Node {
-        self.sim.agent_mut::<Node>(self.nodes[idx])
+    pub fn node_mut(&mut self, h: NodeH) -> &mut Node {
+        self.sim.agent_mut::<Node>(self.nodes[h.0])
+    }
+
+    /// The application behind `h`, statically typed.
+    ///
+    /// # Panics
+    /// If the app is mid-callback (never the case between
+    /// [`Net::run_for`] calls).
+    pub fn app<A: AppProcess>(&self, h: AppH<A>) -> &A {
+        self.node(h.node).app::<A>(h.idx)
+    }
+
+    /// Mutable access to the application behind `h`.
+    pub fn app_mut<A: AppProcess>(&mut self, h: AppH<A>) -> &mut A {
+        self.node_mut(h.node).app_mut::<A>(h.idx)
+    }
+
+    /// The IPC process behind `h`.
+    pub fn ipcp(&self, h: IpcpH) -> &Ipcp {
+        self.node(h.node).ipcp(h.idx)
     }
 
     /// The sim-level id of a machine (for [`rina_sim::Sim::call`]).
-    pub fn node_id(&self, idx: usize) -> NodeId {
-        self.nodes[idx]
+    pub fn node_id(&self, h: NodeH) -> NodeId {
+        self.nodes[h.0]
     }
 
     /// The sim-level id of a link (for failure injection).
-    pub fn link_id(&self, idx: usize) -> LinkId {
-        self.links[idx].2
+    pub fn link_id(&self, h: LinkH) -> LinkId {
+        self.links[h.0].2
     }
 
     /// Bring a physical link down or up mid-run.
-    pub fn set_link_up(&mut self, idx: usize, up: bool) {
-        let id = self.links[idx].2;
+    pub fn set_link_up(&mut self, h: LinkH, up: bool) {
+        let id = self.links[h.0].2;
         self.sim.set_link_up(id, up);
     }
 
     /// Run until every node's stack has assembled (all plans satisfied,
     /// all members enrolled), plus `settle` extra time for directory and
-    /// routing dissemination. Panics after `limit` of virtual time.
+    /// routing dissemination. Returns the time assembly held (*before*
+    /// settling). Panics after `limit` of virtual time.
     pub fn run_until_assembled(&mut self, limit: Dur, settle: Dur) -> Time {
+        self.run_until_assembled_labeled("network", limit, settle)
+    }
+
+    /// [`Net::run_until_assembled`] with `label` naming the scenario in
+    /// the timeout panic — experiment harnesses pass their scenario name.
+    pub fn run_until_assembled_labeled(&mut self, label: &str, limit: Dur, settle: Dur) -> Time {
         let deadline = self.sim.now() + limit;
         loop {
             let t = self.sim.now() + Dur::from_millis(50);
@@ -371,21 +523,17 @@ impl Net {
             if self.assembled() {
                 break;
             }
-            assert!(
-                self.sim.now() < deadline,
-                "network failed to assemble within {limit}"
-            );
+            assert!(self.sim.now() < deadline, "{label}: failed to assemble within {limit}");
         }
-        let t = self.sim.now() + settle;
+        let at = self.sim.now();
+        let t = at + settle;
         self.sim.run_until(t);
-        self.sim.now()
+        at
     }
 
     /// Whether every machine's stack has assembled.
     pub fn assembled(&self) -> bool {
-        self.nodes
-            .iter()
-            .all(|&id| self.sim.agent::<Node>(id).assembled())
+        self.nodes.iter().all(|&id| self.sim.agent::<Node>(id).assembled())
     }
 
     /// Run for `d` of virtual time.
@@ -396,5 +544,40 @@ impl Net {
     /// Number of machines.
     pub fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod handle_invariants {
+    //! Static guarantees of the handle types, asserted at compile time.
+    use super::*;
+    use crate::apps::PingApp;
+
+    fn assert_copy_debug<T: Copy + std::fmt::Debug + Send + 'static>() {}
+
+    #[test]
+    fn handles_are_copy_debug_send() {
+        assert_copy_debug::<NodeH>();
+        assert_copy_debug::<LinkH>();
+        assert_copy_debug::<DifH>();
+        assert_copy_debug::<IpcpH>();
+        assert_copy_debug::<AppH<PingApp>>();
+        assert_copy_debug::<Via>();
+    }
+
+    #[test]
+    fn handle_debug_is_informative() {
+        let h = AppH::<PingApp> { node: NodeH(3), idx: 1, _ty: PhantomData };
+        let s = format!("{h:?}");
+        assert!(s.contains("PingApp") && s.contains("NodeH(3)"), "{s}");
+    }
+
+    #[test]
+    fn distinct_types_never_unify() {
+        // The real guarantee is the two `compile_fail` doctests in the
+        // module docs; this records the positive side — same-type handles
+        // still compare.
+        assert_eq!(NodeH(1), NodeH(1));
+        assert_ne!(DifH(0), DifH(2));
     }
 }

@@ -13,7 +13,7 @@
 //! until the stack assembles itself — exactly the bottom-up self-formation
 //! the paper's §5 describes.
 
-use crate::app::{AppProcess, IpcApi, IpcError};
+use crate::app::{AppProcess, FlowOrigin, IpcApi, IpcError};
 use crate::dif::DifConfig;
 use crate::ipcp::{Ipcp, IpcpOut, N1Kind};
 use crate::naming::{Addr, AppName, PortId};
@@ -48,7 +48,9 @@ enum Owner {
 struct PortState {
     owner: Owner,
     provider: usize,
-    handle: u64,
+    /// The allocation handle when a local application requested this
+    /// flow; `None` for inbound flows and (N-1) ports of upper IPCPs.
+    handle: Option<u64>,
     active: bool,
     n1_of_owner: Option<usize>,
 }
@@ -105,11 +107,26 @@ enum TimerKind {
 }
 
 enum Work {
-    WritePort { port: u64, sdu: Bytes, priority: Option<u8> },
-    DeliverPort { port: u64, sdu: Bytes },
-    NotifyActive { port: u64, peer: AppName },
-    NotifyFailed { port: u64, reason: &'static str },
-    NotifyClosed { port: u64 },
+    WritePort {
+        port: u64,
+        sdu: Bytes,
+        priority: Option<u8>,
+    },
+    DeliverPort {
+        port: u64,
+        sdu: Bytes,
+    },
+    NotifyActive {
+        port: u64,
+        peer: AppName,
+    },
+    NotifyFailed {
+        port: u64,
+        reason: &'static str,
+    },
+    NotifyClosed {
+        port: u64,
+    },
     FlowReqIn {
         ipcp: usize,
         src_app: AppName,
@@ -185,7 +202,14 @@ impl Node {
 
     /// Create the shim IPC process for a physical interface. `side` is 0
     /// or 1 (which end of the link this node is). Returns the ipcp index.
-    pub fn add_shim(&mut self, cfg: DifConfig, name: AppName, iface: IfaceId, side: u8, mtu: usize) -> usize {
+    pub fn add_shim(
+        &mut self,
+        cfg: DifConfig,
+        name: AppName,
+        iface: IfaceId,
+        side: u8,
+        mtu: usize,
+    ) -> usize {
         let idx = self.add_ipcp(cfg, name);
         let sched = self.ipcps[idx].cfg.sched;
         self.ipcps[idx].make_shim(side as Addr + 1);
@@ -295,33 +319,44 @@ impl Node {
     /// Whether all planned (N-1) adjacencies are up and all IPC processes
     /// enrolled — "the stack has assembled".
     pub fn assembled(&self) -> bool {
-        self.plans.iter().all(|p| p.satisfied)
-            && self.ipcps.iter().all(|i| i.is_enrolled())
+        self.plans.iter().all(|p| p.satisfied) && self.ipcps.iter().all(|i| i.is_enrolled())
     }
 
     // ------------------------------------------------------------------
     // IpcApi backing (called by application callbacks)
     // ------------------------------------------------------------------
 
-    pub(crate) fn api_allocate(&mut self, app: usize, dst: AppName, spec: QosSpec, ctx: &mut Ctx<'_>) -> u64 {
+    pub(crate) fn api_allocate(
+        &mut self,
+        app: usize,
+        dst: AppName,
+        spec: QosSpec,
+        ctx: &mut Ctx<'_>,
+    ) -> u64 {
         let handle = self.next_handle;
         self.next_handle += 1;
         let src = self.apps[app].name.clone();
         let Some(provider) = self.pick_provider(&dst) else {
             // Deliver the failure asynchronously, after this callback.
-            let port = self.new_port(Owner::App(app), usize::MAX, handle);
+            let port = self.new_port(Owner::App(app), usize::MAX, Some(handle));
             self.workq
                 .push_back(Work::NotifyFailed { port, reason: "no DIF knows the destination" });
             return handle;
         };
-        let port = self.new_port(Owner::App(app), provider, handle);
+        let port = self.new_port(Owner::App(app), provider, Some(handle));
         self.ipcps[provider].alloc_flow(port, src, dst, spec);
         self.flush_ipcp(provider, ctx);
         self.arm(ctx, Dur::from_secs(1), TimerKind::AllocTimeout { port });
         handle
     }
 
-    pub(crate) fn api_write(&mut self, app: usize, port: PortId, sdu: Bytes, ctx: &mut Ctx<'_>) -> Result<(), IpcError> {
+    pub(crate) fn api_write(
+        &mut self,
+        app: usize,
+        port: PortId,
+        sdu: Bytes,
+        ctx: &mut Ctx<'_>,
+    ) -> Result<(), IpcError> {
         let st = self.ports.get(&port.0).ok_or(IpcError::BadPort)?;
         if st.owner != Owner::App(app) {
             return Err(IpcError::BadPort);
@@ -356,7 +391,7 @@ impl Node {
     // Internals
     // ------------------------------------------------------------------
 
-    fn new_port(&mut self, owner: Owner, provider: usize, handle: u64) -> u64 {
+    fn new_port(&mut self, owner: Owner, provider: usize, handle: Option<u64>) -> u64 {
         let port = self.next_port;
         self.next_port += 1;
         self.ports
@@ -367,9 +402,7 @@ impl Node {
     /// Applications allocate only from real DIFs; shims serve IPC
     /// processes (their service is raw and their directory degenerate).
     fn pick_provider(&self, dst: &AppName) -> Option<usize> {
-        self.ipcps
-            .iter()
-            .position(|p| !p.is_shim && p.is_enrolled() && p.dir_lookup(dst).is_some())
+        self.ipcps.iter().position(|p| !p.is_shim && p.is_enrolled() && p.dir_lookup(dst).is_some())
     }
 
     fn arm(&mut self, ctx: &mut Ctx<'_>, d: Dur, kind: TimerKind) -> u64 {
@@ -395,8 +428,11 @@ impl Node {
                         self.pace_push(i, n1, frame, priority, ctx);
                     }
                     IpcpOut::TxLower { port, sdu, priority } => {
-                        self.workq
-                            .push_back(Work::WritePort { port, sdu, priority: Some(priority) });
+                        self.workq.push_back(Work::WritePort {
+                            port,
+                            sdu,
+                            priority: Some(priority),
+                        });
                     }
                     IpcpOut::Deliver { port, sdu } => {
                         self.workq.push_back(Work::DeliverPort { port, sdu });
@@ -515,9 +551,8 @@ impl Node {
                             });
                         }
                         Owner::Upper(u) => {
-                            let n1 = st
-                                .n1_of_owner
-                                .or_else(|| self.ipcps[u].n1_by_lower_port(port));
+                            let n1 =
+                                st.n1_of_owner.or_else(|| self.ipcps[u].n1_by_lower_port(port));
                             if let Some(n1) = n1 {
                                 self.ipcps[u].on_frame(n1, sdu, ctx.now());
                                 self.flush_ipcp(u, ctx);
@@ -533,8 +568,9 @@ impl Node {
                     let (owner, handle) = (st.owner, st.handle);
                     match owner {
                         Owner::App(a) => {
+                            let origin = handle.map_or(FlowOrigin::Inbound, FlowOrigin::Requested);
                             self.call_app(a, ctx, |app, api| {
-                                app.on_flow_allocated(handle, PortId(port), &peer, api);
+                                app.on_flow_allocated(origin, PortId(port), &peer, api);
                             });
                         }
                         Owner::Upper(u) => {
@@ -568,7 +604,11 @@ impl Node {
                                     self.arm(
                                         ctx,
                                         Dur::from_millis(300),
-                                        TimerKind::EnrollRetry { ipcp: u, credential: cred, proposed },
+                                        TimerKind::EnrollRetry {
+                                            ipcp: u,
+                                            credential: cred,
+                                            proposed,
+                                        },
                                     );
                                 }
                             }
@@ -579,9 +619,10 @@ impl Node {
                     let Some(st) = self.ports.remove(&port) else { continue };
                     match st.owner {
                         Owner::App(a) => {
-                            let handle = st.handle;
+                            let origin =
+                                st.handle.map_or(FlowOrigin::Inbound, FlowOrigin::Requested);
                             self.call_app(a, ctx, |app, api| {
-                                app.on_flow_failed(handle, reason, api);
+                                app.on_flow_failed(origin, reason, api);
                             });
                         }
                         Owner::Upper(u) => {
@@ -611,7 +652,9 @@ impl Node {
                     }
                 }
                 Work::FlowReqIn { ipcp, src_app, dst_app, spec, src_addr, src_cep, invoke_id } => {
-                    self.handle_flow_req(ipcp, src_app, dst_app, spec, src_addr, src_cep, invoke_id, ctx);
+                    self.handle_flow_req(
+                        ipcp, src_app, dst_app, spec, src_addr, src_cep, invoke_id, ctx,
+                    );
                 }
             }
         }
@@ -653,7 +696,7 @@ impl Node {
             let accept = b.on_flow_requested(&src_app);
             self.apps[a].behavior = Some(b);
             if accept {
-                let port = self.new_port(Owner::App(a), ipcp, 0);
+                let port = self.new_port(Owner::App(a), ipcp, None);
                 self.ipcps[ipcp].flow_accept(port, src_app, spec, src_addr, src_cep, invoke_id);
             } else {
                 self.ipcps[ipcp].flow_reject(src_addr, invoke_id, -5);
@@ -664,7 +707,7 @@ impl Node {
         // Destination is a higher IPC process on this node? (They are
         // applications of this DIF — auto-accept; adjacency forming.)
         if let Some(u) = self.ipcps.iter().position(|p| p.name == dst_app) {
-            let port = self.new_port(Owner::Upper(u), ipcp, 0);
+            let port = self.new_port(Owner::Upper(u), ipcp, None);
             self.ipcps[ipcp].flow_accept(port, src_app, spec, src_addr, src_cep, invoke_id);
             self.flush_ipcp(ipcp, ctx);
             return;
@@ -711,7 +754,7 @@ impl Node {
             }
         }
         let src = self.ipcps[upper].name.clone();
-        let port = self.new_port(Owner::Upper(upper), via, 0);
+        let port = self.new_port(Owner::Upper(upper), via, None);
         self.plans[idx].port = Some(port);
         self.ipcps[via].alloc_flow(port, src, dst, spec);
         self.flush_ipcp(via, ctx);
@@ -719,7 +762,12 @@ impl Node {
         self.schedule_plan_retry(idx, Dur::from_millis(250), ctx);
     }
 
-    fn call_app(&mut self, a: usize, ctx: &mut Ctx<'_>, f: impl FnOnce(&mut dyn AppProcess, &mut IpcApi<'_, '_, '_>)) {
+    fn call_app(
+        &mut self,
+        a: usize,
+        ctx: &mut Ctx<'_>,
+        f: impl FnOnce(&mut dyn AppProcess, &mut IpcApi<'_, '_, '_>),
+    ) {
         let mut b = self.apps[a].behavior.take().expect("app re-entered");
         {
             let mut api = IpcApi { node: self, ctx, app: a };

@@ -6,10 +6,10 @@
 //! named operating points with concrete EFCP policies and a relay
 //! scheduling priority. The flow allocator matches spec to cube.
 
+use bytes::Bytes;
 use rina_efcp::ConnParams;
 use rina_wire::codec::{Reader, Writer};
 use rina_wire::WireError;
-use bytes::Bytes;
 
 /// Properties an application asks of a flow. Deliberately small: the point
 /// is that the application expresses *requirements*, not mechanisms.
@@ -71,18 +71,8 @@ impl QosCube {
     /// priority, reliable), reliable bulk, interactive, and datagram.
     pub fn standard_set() -> Vec<QosCube> {
         vec![
-            QosCube {
-                id: 0,
-                name: "mgmt".into(),
-                params: ConnParams::reliable(),
-                priority: 7,
-            },
-            QosCube {
-                id: 1,
-                name: "reliable".into(),
-                params: ConnParams::reliable(),
-                priority: 2,
-            },
+            QosCube { id: 0, name: "mgmt".into(), params: ConnParams::reliable(), priority: 7 },
+            QosCube { id: 1, name: "reliable".into(), params: ConnParams::reliable(), priority: 2 },
             QosCube {
                 id: 2,
                 name: "interactive".into(),
@@ -206,10 +196,7 @@ mod tests {
     #[test]
     fn matching_never_returns_mgmt_cube() {
         let cubes = QosCube::standard_set();
-        for spec in [
-            QosSpec::reliable().with_urgency(3),
-            QosSpec::datagram().with_urgency(3),
-        ] {
+        for spec in [QosSpec::reliable().with_urgency(3), QosSpec::datagram().with_urgency(3)] {
             assert_ne!(match_cube(&cubes, &spec).unwrap().id, 0);
         }
     }

@@ -29,14 +29,7 @@ pub struct RmtQueue {
 impl RmtQueue {
     /// A queue with the given policy and byte capacity.
     pub fn new(policy: SchedPolicy, cap_bytes: usize) -> Self {
-        RmtQueue {
-            policy,
-            queues: Default::default(),
-            bytes: 0,
-            cap_bytes,
-            drops: 0,
-            enqueued: 0,
-        }
+        RmtQueue { policy, queues: Default::default(), bytes: 0, cap_bytes, drops: 0, enqueued: 0 }
     }
 
     /// Enqueue a frame at `priority` (0..=7, clamped). Returns false (and
@@ -60,9 +53,7 @@ impl RmtQueue {
     pub fn pop(&mut self) -> Option<Bytes> {
         let frame = match self.policy {
             SchedPolicy::Fifo => self.queues[0].pop_front(),
-            SchedPolicy::Priority => {
-                self.queues.iter_mut().rev().find_map(|q| q.pop_front())
-            }
+            SchedPolicy::Priority => self.queues.iter_mut().rev().find_map(|q| q.pop_front()),
         };
         if let Some(f) = &frame {
             self.bytes -= f.len();

@@ -98,10 +98,8 @@ pub fn compute_routes(self_addr: Addr, lsas: &HashMap<Addr, Lsa>) -> ForwardingT
     let mut adj: HashMap<Addr, Vec<(Addr, u32)>> = HashMap::new();
     for (&u, lsa) in lsas {
         for &(v, c) in &lsa.neighbors {
-            let confirmed = lsas
-                .get(&v)
-                .map(|l| l.neighbors.iter().any(|&(w, _)| w == u))
-                .unwrap_or(false);
+            let confirmed =
+                lsas.get(&v).map(|l| l.neighbors.iter().any(|&(w, _)| w == u)).unwrap_or(false);
             if confirmed {
                 adj.entry(u).or_default().push((v, c));
             }

@@ -1,0 +1,451 @@
+//! Scenario composition: topology generators and workload placers.
+//!
+//! The paper's claim is that one repeating structure covers every
+//! networking scenario; this module makes *expressing* those scenarios
+//! cheap. A [`Topology`] stamps out nodes + links + one spanning DIF in a
+//! single call and hands back a [`Fabric`] of typed handles; [`Workload`]
+//! places ready-made application processes over a fabric by pattern.
+//! Together they collapse the ~100-line hand-wired scenario preambles
+//! into a few lines:
+//!
+//! ```
+//! use rina::prelude::*;
+//! use rina::scenario::{Topology, Workload};
+//!
+//! let mut b = NetBuilder::new(7);
+//! let fab = Topology::star(5).materialize(&mut b);
+//! let cs = Workload::client_server(&mut b, fab.dif, &fab.all(), fab.node(0), 3, 64);
+//! let mut net = b.build();
+//! net.run_until_assembled(Dur::from_secs(30), Dur::from_millis(200));
+//! net.run_for(Dur::from_secs(2));
+//! assert!(cs.clients.iter().all(|&c| net.app(c).done()));
+//! ```
+
+use crate::apps::{EchoApp, PingApp, SinkApp, SourceApp};
+use crate::dif::DifConfig;
+use crate::naming::AppName;
+use crate::net::{AppH, DifH, LinkH, Net, NetBuilder, NodeH};
+use crate::qos::QosSpec;
+use rina_sim::{topology, Dur, LinkCfg};
+
+/// Which graph a [`Topology`] generates.
+#[derive(Clone, Debug)]
+enum Graph {
+    /// A chain of `n` nodes.
+    Line(usize),
+    /// Node 0 at the centre, `n - 1` leaves.
+    Star(usize),
+    /// A cycle of `n >= 3` nodes.
+    Ring(usize),
+    /// A complete `fanout`-ary tree of `depth` levels below the root.
+    Tree { fanout: usize, depth: usize },
+    /// A complete graph over `n` nodes.
+    Mesh(usize),
+    /// Barabási–Albert preferential attachment: `n` nodes, `m` edges per
+    /// arrival, deterministic in `seed`.
+    BarabasiAlbert { n: usize, m: usize, seed: u64 },
+}
+
+/// A declarative topology: nodes, physical links, and one DIF spanning
+/// them, materialized into a [`NetBuilder`] with one call.
+///
+/// All generators are deterministic (the randomized ones under their
+/// explicit seed), so a scenario is reproducible from its parameters.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    graph: Graph,
+    link: LinkCfg,
+    dif: Option<DifConfig>,
+    prefix: String,
+}
+
+impl Topology {
+    fn new(graph: Graph) -> Self {
+        Topology { graph, link: LinkCfg::wired(), dif: None, prefix: "n".into() }
+    }
+
+    /// A chain `0 - 1 - … - (n-1)`.
+    pub fn line(n: usize) -> Self {
+        Topology::new(Graph::Line(n))
+    }
+
+    /// A star with node 0 at the centre (the hub) and `n - 1` leaves.
+    pub fn star(n: usize) -> Self {
+        Topology::new(Graph::Star(n))
+    }
+
+    /// A ring `0 - 1 - … - (n-1) - 0`. Requires `n >= 3`.
+    pub fn ring(n: usize) -> Self {
+        Topology::new(Graph::Ring(n))
+    }
+
+    /// A complete `fanout`-ary tree with the root at node 0 and `depth`
+    /// levels below it (BFS numbering; leaves occupy the index tail).
+    pub fn tree(fanout: usize, depth: usize) -> Self {
+        Topology::new(Graph::Tree { fanout, depth })
+    }
+
+    /// A complete graph over `n` nodes.
+    pub fn mesh(n: usize) -> Self {
+        Topology::new(Graph::Mesh(n))
+    }
+
+    /// A Barabási–Albert scale-free graph: `n` nodes, each arrival
+    /// attaching `m` degree-weighted edges; deterministic in `seed`.
+    pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Self {
+        Topology::new(Graph::BarabasiAlbert { n, m, seed })
+    }
+
+    /// Use `cfg` for every physical link (default: [`LinkCfg::wired`]).
+    pub fn with_link(mut self, cfg: LinkCfg) -> Self {
+        self.link = cfg;
+        self
+    }
+
+    /// Use `cfg` for the spanning DIF (default: an open DIF named after
+    /// the node prefix).
+    pub fn with_dif(mut self, cfg: DifConfig) -> Self {
+        self.dif = Some(cfg);
+        self
+    }
+
+    /// Name nodes `{prefix}{index}` and the default DIF `{prefix}-dif`
+    /// (default prefix: `"n"`).
+    pub fn with_prefix(mut self, prefix: &str) -> Self {
+        self.prefix = prefix.to_string();
+        self
+    }
+
+    /// The edge list this topology generates (deterministic).
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        match self.graph {
+            Graph::Line(n) => topology::line(n),
+            Graph::Star(n) => topology::star(n),
+            Graph::Ring(n) => topology::ring(n),
+            Graph::Tree { fanout, depth } => topology::tree(fanout, depth).0,
+            Graph::Mesh(n) => topology::full_mesh(n),
+            Graph::BarabasiAlbert { n, m, seed } => topology::barabasi_albert(n, m, seed),
+        }
+    }
+
+    /// Number of nodes this topology generates.
+    pub fn node_count(&self) -> usize {
+        match self.graph {
+            Graph::Line(n) | Graph::Star(n) | Graph::Ring(n) | Graph::Mesh(n) => n,
+            Graph::Tree { fanout, depth } => topology::tree(fanout, depth).1,
+            Graph::BarabasiAlbert { n, .. } => n,
+        }
+    }
+
+    /// Create the nodes, connect every edge, declare the spanning DIF,
+    /// join every node to it, and declare one adjacency per link.
+    pub fn materialize(&self, b: &mut NetBuilder) -> Fabric {
+        let n = self.node_count();
+        let edges = self.edges();
+        let nodes: Vec<NodeH> = (0..n).map(|i| b.node(&format!("{}{}", self.prefix, i))).collect();
+        let links: Vec<LinkH> =
+            edges.iter().map(|&(u, v)| b.link(nodes[u], nodes[v], self.link.clone())).collect();
+        let dif_cfg =
+            self.dif.clone().unwrap_or_else(|| DifConfig::new(&format!("{}-dif", self.prefix)));
+        let dif = b.dif(dif_cfg);
+        for &nd in &nodes {
+            b.join(dif, nd);
+        }
+        for (i, &(u, v)) in edges.iter().enumerate() {
+            b.adjacency_over_link(dif, nodes[u], nodes[v], links[i]);
+        }
+        Fabric { nodes, links, edges, dif }
+    }
+}
+
+/// The typed handles a materialized [`Topology`] produced: one node per
+/// vertex, one link per edge, and the spanning DIF.
+#[derive(Clone, Debug)]
+pub struct Fabric {
+    /// Node handles, indexed by vertex number.
+    pub nodes: Vec<NodeH>,
+    /// Link handles, parallel to [`Fabric::edges`].
+    pub links: Vec<LinkH>,
+    /// The generated edge list (vertex index pairs).
+    pub edges: Vec<(usize, usize)>,
+    /// The DIF spanning every node.
+    pub dif: DifH,
+}
+
+impl Fabric {
+    /// The node at vertex `i`.
+    pub fn node(&self, i: usize) -> NodeH {
+        self.nodes[i]
+    }
+
+    /// The last node (by vertex number) — the far end of lines, a leaf of
+    /// trees.
+    pub fn last(&self) -> NodeH {
+        *self.nodes.last().expect("fabric has nodes")
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the fabric is empty (never, for the provided generators).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// All node handles, for workload placement.
+    pub fn all(&self) -> Vec<NodeH> {
+        self.nodes.clone()
+    }
+
+    /// The link along edge `(u, v)` (either orientation).
+    pub fn link_between(&self, u: usize, v: usize) -> Option<LinkH> {
+        self.edges
+            .iter()
+            .position(|&(a, b)| (a, b) == (u, v) || (a, b) == (v, u))
+            .map(|i| self.links[i])
+    }
+
+    /// Per-vertex degree, for picking hubs and leaves of generated graphs.
+    pub fn degrees(&self) -> Vec<usize> {
+        let mut deg = vec![0usize; self.nodes.len()];
+        for &(a, b) in &self.edges {
+            deg[a] += 1;
+            deg[b] += 1;
+        }
+        deg
+    }
+
+    /// The highest-degree vertex (a hub of scale-free graphs, the centre
+    /// of stars).
+    pub fn hub(&self) -> NodeH {
+        let deg = self.degrees();
+        let i = (0..deg.len()).max_by_key(|&i| deg[i]).expect("fabric has nodes");
+        self.nodes[i]
+    }
+
+    /// This fabric's member IPC process on each node, for stats collection.
+    pub fn member_ipcps(&self, b: &NetBuilder) -> Vec<crate::net::IpcpH> {
+        self.nodes.iter().map(|&n| b.ipcp_of(self.dif, n)).collect()
+    }
+}
+
+/// Application placement patterns over a set of nodes.
+///
+/// Each helper registers apps under predictable names (prefix + vertex
+/// index) and returns the typed handles so measurements stay one-liners.
+pub struct Workload;
+
+/// Handles returned by [`Workload::ping_mesh`].
+pub struct PingMesh {
+    /// One echo responder per node.
+    pub echoes: Vec<AppH<EchoApp>>,
+    /// One pinger per ordered node pair `(from, to)`, `from != to`.
+    pub pings: Vec<(NodeH, NodeH, AppH<PingApp>)>,
+}
+
+impl PingMesh {
+    /// Whether every pinger completed its round trips.
+    pub fn all_done(&self, net: &Net) -> bool {
+        self.pings.iter().all(|&(_, _, p)| net.app(p).done())
+    }
+
+    /// Every measured RTT across the mesh, in seconds.
+    pub fn rtts(&self, net: &Net) -> Vec<f64> {
+        self.pings.iter().flat_map(|&(_, _, p)| net.app(p).rtts.iter().copied()).collect()
+    }
+}
+
+/// Handles returned by [`Workload::client_server`].
+pub struct ClientServer {
+    /// The echo service, named after the server's node handle (so
+    /// placements with *distinct* servers coexist in one DIF; reusing
+    /// one server node for two placements in one DIF still collides).
+    pub server: AppH<EchoApp>,
+    /// One pinger per client node.
+    pub clients: Vec<AppH<PingApp>>,
+}
+
+/// Handles returned by [`Workload::sources_to_sink`].
+pub struct SourcesToSink {
+    /// The sink, named after its node handle (so placements with
+    /// *distinct* sinks coexist in one DIF; reusing one sink node for
+    /// two placements in one DIF still collides).
+    pub sink: AppH<SinkApp>,
+    /// One source per source node.
+    pub sources: Vec<AppH<SourceApp>>,
+}
+
+impl SourcesToSink {
+    /// Whether every source finished sending.
+    pub fn all_completed(&self, net: &Net) -> bool {
+        self.sources.iter().all(|&s| net.app(s).completed)
+    }
+
+    /// Total SDUs the sink received.
+    pub fn received(&self, net: &Net) -> u64 {
+        net.app(self.sink).received
+    }
+}
+
+impl Workload {
+    /// Full-mesh reachability: every node in `nodes` hosts an echo
+    /// responder and pings every other one `count` times with `size`-byte
+    /// payloads. `dif` is the DIF whose directory the apps register in.
+    /// App names are derived from the handles — there is no caller-side
+    /// label bookkeeping to get wrong.
+    ///
+    /// The pair count is quadratic — pass the subset you mean to measure.
+    pub fn ping_mesh(
+        b: &mut NetBuilder,
+        dif: DifH,
+        nodes: &[NodeH],
+        count: usize,
+        size: usize,
+    ) -> PingMesh {
+        let echo_name = |n: NodeH| AppName::new(&format!("echo.{}", n.0));
+        let echoes =
+            nodes.iter().map(|&n| b.app(n, echo_name(n), dif, EchoApp::default())).collect();
+        let mut pings = Vec::new();
+        for &from in nodes {
+            for &to in nodes {
+                if from == to {
+                    continue;
+                }
+                let p = b.app(
+                    from,
+                    AppName::new(&format!("ping.{}.{}", from.0, to.0)),
+                    dif,
+                    PingApp::new(echo_name(to), QosSpec::reliable(), count, size),
+                );
+                pings.push((from, to, p));
+            }
+        }
+        PingMesh { echoes, pings }
+    }
+
+    /// One echo server on `server`; every node of `nodes` (the server
+    /// itself is skipped if listed) pings it `rounds` times with
+    /// `size`-byte payloads. Apps register in `dif`'s directory, like
+    /// the other placers — every listed node must be a member.
+    pub fn client_server(
+        b: &mut NetBuilder,
+        dif: DifH,
+        nodes: &[NodeH],
+        server: NodeH,
+        rounds: usize,
+        size: usize,
+    ) -> ClientServer {
+        let svc = AppName::new(&format!("svc.{}", server.0));
+        let srv = b.app(server, svc.clone(), dif, EchoApp::default());
+        let clients = nodes
+            .iter()
+            .filter(|&&n| n != server)
+            .map(|&n| {
+                b.app(
+                    n,
+                    AppName::new(&format!("client.{}.{}", server.0, n.0)),
+                    dif,
+                    PingApp::new(svc.clone(), QosSpec::reliable(), rounds, size),
+                )
+            })
+            .collect();
+        ClientServer { server: srv, clients }
+    }
+
+    /// Many-to-one traffic: every node of `sources` streams `count`
+    /// SDUs of `size` bytes at `interval` toward one sink on `sink_node`.
+    #[allow(clippy::too_many_arguments)] // a placement pattern is its parameters
+    pub fn sources_to_sink(
+        b: &mut NetBuilder,
+        dif: DifH,
+        sink_node: NodeH,
+        sources: &[NodeH],
+        spec: QosSpec,
+        size: usize,
+        count: u64,
+        interval: Dur,
+    ) -> SourcesToSink {
+        let sink_name = AppName::new(&format!("sink.{}", sink_node.0));
+        let sink = b.app(sink_node, sink_name.clone(), dif, SinkApp::default());
+        let sources = sources
+            .iter()
+            .filter(|&&n| n != sink_node)
+            .map(|&n| {
+                b.app(
+                    n,
+                    AppName::new(&format!("src.{}.{}", sink_node.0, n.0)),
+                    dif,
+                    SourceApp::new(sink_name.clone(), spec, size, count, interval),
+                )
+            })
+            .collect();
+        SourcesToSink { sink, sources }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count_edges(t: &Topology) -> (usize, usize) {
+        (t.node_count(), t.edges().len())
+    }
+
+    #[test]
+    fn generator_node_and_edge_counts() {
+        assert_eq!(count_edges(&Topology::line(6)), (6, 5));
+        assert_eq!(count_edges(&Topology::star(6)), (6, 5));
+        assert_eq!(count_edges(&Topology::ring(6)), (6, 6));
+        assert_eq!(count_edges(&Topology::tree(2, 3)), (15, 14));
+        assert_eq!(count_edges(&Topology::mesh(6)), (6, 15));
+        // BA: clique(m+1) + m per later arrival (n - m - 1 of them).
+        assert_eq!(count_edges(&Topology::barabasi_albert(50, 2, 9)), (50, 3 + 47 * 2));
+    }
+
+    #[test]
+    fn barabasi_albert_deterministic_under_seed() {
+        assert_eq!(
+            Topology::barabasi_albert(40, 2, 5).edges(),
+            Topology::barabasi_albert(40, 2, 5).edges()
+        );
+        assert_ne!(
+            Topology::barabasi_albert(40, 2, 5).edges(),
+            Topology::barabasi_albert(40, 2, 6).edges()
+        );
+    }
+
+    #[test]
+    fn materialize_builds_consistent_fabric() {
+        let mut b = NetBuilder::new(1);
+        let fab = Topology::tree(2, 2).with_prefix("t").materialize(&mut b);
+        assert_eq!(fab.len(), 7);
+        assert_eq!(fab.links.len(), 6);
+        assert_eq!(b.node_count(), 7);
+        assert!(fab.link_between(0, 1).is_some());
+        assert!(fab.link_between(0, 6).is_none());
+        // Every node is a member of the spanning DIF.
+        for &n in &fab.nodes {
+            let _ = b.ipcp_of(fab.dif, n);
+        }
+    }
+
+    #[test]
+    fn star_hub_is_centre() {
+        let mut b = NetBuilder::new(2);
+        let fab = Topology::star(5).materialize(&mut b);
+        assert_eq!(fab.hub(), fab.node(0));
+        assert_eq!(fab.degrees(), vec![4, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn two_fabrics_coexist_in_one_builder() {
+        let mut b = NetBuilder::new(3);
+        let f1 = Topology::line(3).with_prefix("a").materialize(&mut b);
+        let f2 = Topology::ring(3).with_prefix("b").materialize(&mut b);
+        assert_eq!(b.node_count(), 6);
+        assert_ne!(f1.dif, f2.dif);
+        assert_ne!(f1.node(0), f2.node(0));
+    }
+}

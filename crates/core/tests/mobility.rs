@@ -5,12 +5,18 @@
 use rina::apps::{SinkApp, SourceApp};
 use rina::prelude::*;
 
-/// The mobile M detaches from access point AP1 and attaches to AP2 while
-/// streaming to a server. The flow survives; only routing inside the DIF
-/// updates.
-#[test]
-fn handoff_preserves_flow() {
-    let mut b = NetBuilder::new(11);
+struct Cells {
+    net: Net,
+    l_m1: LinkH,
+    l_m2: LinkH,
+    sink: AppH<SinkApp>,
+    src: AppH<SourceApp>,
+}
+
+/// Server + two access points + one mobile, all in one DIF with fast
+/// hellos. The mobile reaches each AP over its own wireless link.
+fn build_cells(seed: u64, count: u64, size: usize) -> Cells {
+    let mut b = NetBuilder::new(seed);
     let s = b.node("server");
     let ap1 = b.node("ap1");
     let ap2 = b.node("ap2");
@@ -28,20 +34,28 @@ fn handoff_preserves_flow() {
     b.adjacency_over_link(d, s, ap2, l_s2);
     b.adjacency_over_link(d, m, ap1, l_m1);
     b.adjacency_over_link(d, m, ap2, l_m2);
-    b.app(s, AppName::new("sink"), d, SinkApp::default());
+    let sink = b.app(s, AppName::new("sink"), d, SinkApp::default());
     let src = b.app(
         m,
         AppName::new("cam"),
         d,
-        SourceApp::new(AppName::new("sink"), QosSpec::reliable(), 256, 3000, Dur::from_millis(2)),
+        SourceApp::new(AppName::new("sink"), QosSpec::reliable(), size, count, Dur::from_millis(2)),
     );
-    let mut net = b.build();
+    Cells { net: b.build(), l_m1, l_m2, sink, src }
+}
+
+/// The mobile M detaches from access point AP1 and attaches to AP2 while
+/// streaming to a server. The flow survives; only routing inside the DIF
+/// updates.
+#[test]
+fn handoff_preserves_flow() {
+    let Cells { mut net, l_m1, l_m2, sink, src } = build_cells(11, 3000, 256);
     // M starts attached to AP1 only.
     net.set_link_up(l_m2, false);
     net.run_for(Dur::from_secs(3));
-    let before = net.node(s).app::<SinkApp>(0).received;
+    let before = net.app(sink).received;
     assert!(before > 200, "traffic flowing via ap1: {before}");
-    let fails_before = net.node(m).app::<SourceApp>(src).alloc_failures;
+    let fails_before = net.app(src).alloc_failures;
 
     // Hard handoff: leave AP1, arrive at AP2 (break before make).
     net.set_link_up(l_m1, false);
@@ -49,12 +63,11 @@ fn handoff_preserves_flow() {
     net.set_link_up(l_m2, true);
     net.run_for(Dur::from_secs(8));
 
-    let src_app: &SourceApp = net.node(m).app(src);
-    assert!(src_app.completed, "sent {}", src_app.sent);
-    let sink: &SinkApp = net.node(s).app(0);
-    assert_eq!(sink.received, 3000, "no SDU lost across the handoff");
+    assert!(net.app(src).completed, "sent {}", net.app(src).sent);
+    assert_eq!(net.app(sink).received, 3000, "no SDU lost across the handoff");
     assert_eq!(
-        src_app.alloc_failures, fails_before,
+        net.app(src).alloc_failures,
+        fails_before,
         "the flow itself never needed re-allocation"
     );
 }
@@ -63,32 +76,7 @@ fn handoff_preserves_flow() {
 /// used point of attachment).
 #[test]
 fn repeated_handoffs() {
-    let mut b = NetBuilder::new(12);
-    let s = b.node("server");
-    let ap1 = b.node("ap1");
-    let ap2 = b.node("ap2");
-    let m = b.node("mobile");
-    let l_s1 = b.link(s, ap1, LinkCfg::wired());
-    let l_s2 = b.link(s, ap2, LinkCfg::wired());
-    let l_m1 = b.link(m, ap1, LinkCfg::wireless(0.0));
-    let l_m2 = b.link(m, ap2, LinkCfg::wireless(0.0));
-    let d = b.dif(DifConfig::new("net").with_hello_period(Dur::from_millis(50)));
-    b.join(d, s);
-    b.join(d, ap1);
-    b.join(d, ap2);
-    b.join(d, m);
-    b.adjacency_over_link(d, s, ap1, l_s1);
-    b.adjacency_over_link(d, s, ap2, l_s2);
-    b.adjacency_over_link(d, m, ap1, l_m1);
-    b.adjacency_over_link(d, m, ap2, l_m2);
-    b.app(s, AppName::new("sink"), d, SinkApp::default());
-    b.app(
-        m,
-        AppName::new("cam"),
-        d,
-        SourceApp::new(AppName::new("sink"), QosSpec::reliable(), 128, 6000, Dur::from_millis(2)),
-    );
-    let mut net = b.build();
+    let Cells { mut net, l_m1, l_m2, sink, .. } = build_cells(12, 6000, 128);
     net.set_link_up(l_m2, false);
     net.run_for(Dur::from_secs(2));
     // Ping-pong between the two cells.
@@ -100,6 +88,5 @@ fn repeated_handoffs() {
         net.run_for(Dur::from_secs(2));
     }
     net.run_for(Dur::from_secs(10));
-    let sink: &SinkApp = net.node(s).app(0);
-    assert_eq!(sink.received, 6000, "all SDUs across 4 handoffs");
+    assert_eq!(net.app(sink).received, 6000, "all SDUs across 4 handoffs");
 }

@@ -1,5 +1,6 @@
 //! Integration tests across the whole DIF stack: the scenarios of the
-//! paper's Figures 1–4 as assertions.
+//! paper's Figures 1–4 as assertions, written against the typed handle
+//! API ([`rina::net`]) and, where a generator fits, [`rina::scenario`].
 
 use rina::apps::{EchoApp, PingApp, SinkApp, SourceApp};
 use rina::prelude::*;
@@ -15,7 +16,7 @@ fn fig1_two_hosts_one_dif() {
     b.join(d, h1);
     b.join(d, h2);
     b.adjacency_over_link(d, h1, h2, l);
-    b.app(h2, AppName::new("sink"), d, SinkApp::default());
+    let sink = b.app(h2, AppName::new("sink"), d, SinkApp::default());
     let src = b.app(
         h1,
         AppName::new("src"),
@@ -25,36 +26,33 @@ fn fig1_two_hosts_one_dif() {
     let mut net = b.build();
     net.run_until_assembled(Dur::from_secs(10), Dur::from_millis(100));
     net.run_for(Dur::from_secs(3));
-    assert!(net.node(h1).app::<SourceApp>(src).completed);
-    let sink: &SinkApp = net.node(h2).app(0);
-    assert_eq!(sink.received, 50);
-    assert_eq!(sink.bytes, 50 * 512);
-    assert!(sink.latency.mean() > 0.0);
+    assert!(net.app(src).completed);
+    assert_eq!(net.app(sink).received, 50);
+    assert_eq!(net.app(sink).bytes, 50 * 512);
+    assert!(net.app(sink).latency.mean() > 0.0);
 }
 
 /// Reliable flows survive a lossy medium (EFCP at work end to end).
 #[test]
 fn reliable_flow_over_lossy_link() {
     let mut b = NetBuilder::new(2);
-    let h1 = b.node("h1");
-    let h2 = b.node("h2");
-    let l = b.link(h1, h2, LinkCfg::wired().with_loss(LossModel::Bernoulli(0.10)));
-    let d = b.dif(DifConfig::new("net"));
-    b.join(d, h1);
-    b.join(d, h2);
-    b.adjacency_over_link(d, h1, h2, l);
-    b.app(h2, AppName::new("sink"), d, SinkApp::default());
-    b.app(
-        h1,
-        AppName::new("src"),
-        d,
-        SourceApp::new(AppName::new("sink"), QosSpec::reliable(), 256, 100, Dur::from_millis(2)),
+    let fab = Topology::line(2)
+        .with_link(LinkCfg::wired().with_loss(LossModel::Bernoulli(0.10)))
+        .materialize(&mut b);
+    let traffic = Workload::sources_to_sink(
+        &mut b,
+        fab.dif,
+        fab.node(1),
+        &[fab.node(0)],
+        QosSpec::reliable(),
+        256,
+        100,
+        Dur::from_millis(2),
     );
     let mut net = b.build();
     net.run_until_assembled(Dur::from_secs(30), Dur::from_millis(100));
     net.run_for(Dur::from_secs(20));
-    let sink: &SinkApp = net.node(h2).app(0);
-    assert_eq!(sink.received, 100, "every SDU recovered despite 10% loss");
+    assert_eq!(traffic.received(&net), 100, "every SDU recovered despite 10% loss");
 }
 
 /// Figure 2: two hosts joined by a router; the DIF spans three members and
@@ -84,11 +82,11 @@ fn fig2_relay_through_router() {
     let mut net = b.build();
     net.run_until_assembled(Dur::from_secs(10), Dur::from_millis(200));
     net.run_for(Dur::from_secs(3));
-    let p: &PingApp = net.node(h1).app(ping);
+    let p = net.app(ping);
     assert!(p.done(), "got {} rtts", p.rtts.len());
     // RTT across two 1ms links: at least 4ms.
     assert!(p.rtts[0] >= 0.004, "rtt {}", p.rtts[0]);
-    assert!(net.node(r).ipcp(r_ipcp).stats.relayed > 0, "router relayed");
+    assert!(net.ipcp(r_ipcp).stats.relayed > 0, "router relayed");
 }
 
 /// Three-layer recursion: a host-to-host DIF rides a regional DIF which
@@ -116,7 +114,7 @@ fn three_layer_stack() {
     b.join(top, r2);
     b.join(top, h2);
     b.adjacency_over_link(top, h1, r1, l0);
-    b.adjacency(top, r1, r2, Via::Dif(region), QosSpec::datagram());
+    b.adjacency_over_dif(top, r1, r2, region, QosSpec::datagram());
     b.adjacency_over_link(top, r2, h2, l2);
 
     b.app(h2, AppName::new("echo"), top, EchoApp::default());
@@ -129,7 +127,7 @@ fn three_layer_stack() {
     let mut net = b.build();
     net.run_until_assembled(Dur::from_secs(20), Dur::from_millis(300));
     net.run_for(Dur::from_secs(5));
-    let p: &PingApp = net.node(h1).app(ping);
+    let p = net.app(ping);
     assert!(p.done(), "got {} rtts through 3 layers", p.rtts.len());
 }
 
@@ -168,12 +166,8 @@ fn destination_app_refuses_flow() {
     b.join(d, h1);
     b.join(d, h2);
     b.adjacency_over_link(d, h1, h2, l);
-    b.app(
-        h2,
-        AppName::new("guarded"),
-        d,
-        SinkApp::rejecting(vec![AppName::new("attacker")]),
-    );
+    let sink =
+        b.app(h2, AppName::new("guarded"), d, SinkApp::rejecting(vec![AppName::new("attacker")]));
     let atk = b.app(
         h1,
         AppName::new("attacker"),
@@ -189,14 +183,11 @@ fn destination_app_refuses_flow() {
     let mut net = b.build();
     net.run_until_assembled(Dur::from_secs(10), Dur::from_millis(100));
     net.run_for(Dur::from_secs(3));
-    let attacker: &SourceApp = net.node(h1).app(atk);
-    assert_eq!(attacker.sent, 0, "attacker never got a flow");
-    assert!(attacker.alloc_failures > 0);
-    let friend: &SourceApp = net.node(h1).app(ok);
-    assert!(friend.completed, "legitimate peer unaffected");
-    let sink: &SinkApp = net.node(h2).app(0);
-    assert_eq!(sink.received, 5);
-    assert!(sink.rejected >= 1);
+    assert_eq!(net.app(atk).sent, 0, "attacker never got a flow");
+    assert!(net.app(atk).alloc_failures > 0);
+    assert!(net.app(ok).completed, "legitimate peer unaffected");
+    assert_eq!(net.app(sink).received, 5);
+    assert!(net.app(sink).rejected >= 1);
 }
 
 /// Figure 4 / §6.3: a dual-homed destination keeps its flow through a PoA
@@ -221,32 +212,24 @@ fn multihoming_failover() {
     b.adjacency_over_link(d, src, r2, l_s2);
     b.adjacency_over_link(d, r1, dst, l_1d);
     b.adjacency_over_link(d, r2, dst, l_2d);
-    b.app(dst, AppName::new("sink"), d, SinkApp::default());
+    let sink = b.app(dst, AppName::new("sink"), d, SinkApp::default());
     let s = b.app(
         src,
         AppName::new("src"),
         d,
-        SourceApp::new(
-            AppName::new("sink"),
-            QosSpec::reliable(),
-            256,
-            2000,
-            Dur::from_millis(2),
-        ),
+        SourceApp::new(AppName::new("sink"), QosSpec::reliable(), 256, 2000, Dur::from_millis(2)),
     );
     let mut net = b.build();
     net.run_until_assembled(Dur::from_secs(10), Dur::from_millis(300));
     // Let traffic run, then kill the primary path mid-flow.
     net.run_for(Dur::from_secs(2));
-    let before = net.node(dst).app::<SinkApp>(0).received;
+    let before = net.app(sink).received;
     assert!(before > 0);
     net.set_link_up(l_1d, false);
     net.set_link_up(l_s1, false);
     net.run_for(Dur::from_secs(5));
-    let src_app: &SourceApp = net.node(src).app(s);
-    assert!(src_app.completed, "sent {}", src_app.sent);
-    let sink: &SinkApp = net.node(dst).app(0);
-    assert_eq!(sink.received, 2000, "flow survived the PoA failure");
+    assert!(net.app(s).completed, "sent {}", net.app(s).sent);
+    assert_eq!(net.app(sink).received, 2000, "flow survived the PoA failure");
 }
 
 /// Flow deallocation notifies the peer.
@@ -273,13 +256,20 @@ fn deallocation_closes_peer() {
                 _ => {}
             }
         }
-        fn on_flow_allocated(&mut self, _h: u64, port: PortId, _p: &AppName, api: &mut IpcApi<'_, '_, '_>) {
+        fn on_flow_allocated(
+            &mut self,
+            origin: FlowOrigin,
+            port: PortId,
+            _p: &AppName,
+            api: &mut IpcApi<'_, '_, '_>,
+        ) {
+            assert!(!origin.is_inbound(), "this app only requests flows");
             self.port = Some(port);
             self.sent = true;
             let _ = api.write(port, Bytes::from_static(b"bye soon"));
             api.timer_in(Dur::from_millis(200), 2);
         }
-        fn on_flow_failed(&mut self, _h: u64, _r: &str, api: &mut IpcApi<'_, '_, '_>) {
+        fn on_flow_failed(&mut self, _o: FlowOrigin, _r: &str, api: &mut IpcApi<'_, '_, '_>) {
             // The network may not have assembled yet; try again.
             api.timer_in(Dur::from_millis(200), 1);
         }
@@ -288,8 +278,20 @@ fn deallocation_closes_peer() {
     struct Watcher {
         got: u64,
         closed: u64,
+        inbound: u64,
     }
     impl AppProcess for Watcher {
+        fn on_flow_allocated(
+            &mut self,
+            origin: FlowOrigin,
+            _p: PortId,
+            _n: &AppName,
+            _a: &mut IpcApi<'_, '_, '_>,
+        ) {
+            if origin.is_inbound() {
+                self.inbound += 1;
+            }
+        }
         fn on_sdu(&mut self, _p: PortId, _s: Bytes, _a: &mut IpcApi<'_, '_, '_>) {
             self.got += 1;
         }
@@ -306,45 +308,48 @@ fn deallocation_closes_peer() {
     b.join(d, h1);
     b.join(d, h2);
     b.adjacency_over_link(d, h1, h2, l);
-    b.app(h2, AppName::new("watcher"), d, Watcher::default());
+    let w = b.app(h2, AppName::new("watcher"), d, Watcher::default());
     b.app(h1, AppName::new("closer"), d, Closer { port: None, sent: false });
     let mut net = b.build();
     net.run_until_assembled(Dur::from_secs(10), Dur::from_millis(100));
     net.run_for(Dur::from_secs(2));
-    let w: &Watcher = net.node(h2).app(0);
-    assert_eq!(w.got, 1);
-    assert_eq!(w.closed, 1, "teardown reached the peer");
+    assert_eq!(net.app(w).got, 1);
+    assert_eq!(net.app(w).closed, 1, "teardown reached the peer");
+    assert_eq!(net.app(w).inbound, 1, "the flow arrived as FlowOrigin::Inbound");
 }
 
-/// A five-hop line: everything still assembles and routes.
+/// A five-hop line from the generator: everything still assembles and
+/// routes.
 #[test]
 fn five_node_line_end_to_end() {
     let mut b = NetBuilder::new(10);
-    let nodes: Vec<usize> = (0..5).map(|i| b.node(&format!("n{i}"))).collect();
-    let links: Vec<usize> = (0..4)
-        .map(|i| b.link(nodes[i], nodes[i + 1], LinkCfg::wired()))
-        .collect();
-    let d = b.dif(DifConfig::new("net"));
-    for &n in &nodes {
-        b.join(d, n);
-    }
-    for i in 0..4 {
-        b.adjacency_over_link(d, nodes[i], nodes[i + 1], links[i]);
-    }
-    b.app(nodes[4], AppName::new("echo"), d, EchoApp::default());
-    let ping = b.app(
-        nodes[0],
-        AppName::new("ping"),
-        d,
-        PingApp::new(AppName::new("echo"), QosSpec::reliable(), 3, 32),
-    );
+    let fab = Topology::line(5).materialize(&mut b);
+    let cs = Workload::client_server(&mut b, fab.dif, &[fab.node(0)], fab.node(4), 3, 32);
     let mut net = b.build();
     net.run_until_assembled(Dur::from_secs(20), Dur::from_millis(300));
     net.run_for(Dur::from_secs(3));
-    let p: &PingApp = net.node(nodes[0]).app(ping);
+    let p = net.app(cs.clients[0]);
     assert!(p.done());
     // 4 hops of >=1ms each way: RTT >= 8ms.
     assert!(p.rtts[0] >= 0.008, "rtt {}", p.rtts[0]);
+}
+
+/// A generator-driven scale test: a 60-node Barabási–Albert internetwork
+/// assembles as one DIF, and flows run between low-degree periphery
+/// nodes through the hubs.
+#[test]
+fn barabasi_albert_sixty_nodes_assemble_and_route() {
+    let mut b = NetBuilder::new(14);
+    let fab = Topology::barabasi_albert(60, 2, 99).with_prefix("ba").materialize(&mut b);
+    // Ping between the two newest (lowest-degree, most peripheral) nodes.
+    let mesh = Workload::ping_mesh(&mut b, fab.dif, &[fab.node(58), fab.node(59)], 2, 32);
+    let hub_ipcp = b.ipcp_of(fab.dif, fab.hub());
+    let mut net = b.build();
+    net.run_until_assembled(Dur::from_secs(120), Dur::from_millis(500));
+    net.run_for(Dur::from_secs(5));
+    assert!(mesh.all_done(&net), "rtts: {:?}", mesh.rtts(&net));
+    // The hub carries state for the whole 60-member scope.
+    assert!(net.ipcp(hub_ipcp).fwd.len() >= 30, "hub fwd {}", net.ipcp(hub_ipcp).fwd.len());
 }
 
 /// Applications never see addresses: the API surface carries only names

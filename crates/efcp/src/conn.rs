@@ -426,11 +426,8 @@ impl Connection {
             self.rtxq = self.rtxq.split_off(&seq);
             self.cong.on_ack(acked);
             self.rtx_backoff = 0;
-            self.rtx_deadline = if self.rtxq.is_empty() {
-                None
-            } else {
-                Some(now_ns + self.p.rtx_timeout_ns)
-            };
+            self.rtx_deadline =
+                if self.rtxq.is_empty() { None } else { Some(now_ns + self.p.rtx_timeout_ns) };
             // Go-back-N recovery: while below the loss frontier, each ack
             // pulls the next unacked PDU forward immediately.
             match self.recover_until {
@@ -571,7 +568,12 @@ mod tests {
     }
 
     /// Run the pair with timers until both are idle or `max_ms` elapses.
-    fn run(a: &mut Connection, b: &mut Connection, mut drop: impl FnMut(&Pdu) -> bool, max_ms: u64) {
+    fn run(
+        a: &mut Connection,
+        b: &mut Connection,
+        mut drop: impl FnMut(&Pdu) -> bool,
+        max_ms: u64,
+    ) {
         let mut now = 0u64;
         let end = max_ms * 1_000_000;
         loop {
@@ -579,10 +581,7 @@ mod tests {
             if (a.is_idle() || a.is_failed()) && (b.is_idle() || b.is_failed()) {
                 break;
             }
-            let next = [a.poll_timeout(), b.poll_timeout()]
-                .into_iter()
-                .flatten()
-                .min();
+            let next = [a.poll_timeout(), b.poll_timeout()].into_iter().flatten().min();
             match next {
                 Some(t) if t <= end => {
                     now = t.max(now);
@@ -689,9 +688,7 @@ mod tests {
 
     #[test]
     fn window_stalls_then_credit_opens() {
-        let p = ConnParams::reliable()
-            .with_credit_window(4)
-            .with_congestion(CongestionCtrl::None);
+        let p = ConnParams::reliable().with_credit_window(4).with_congestion(CongestionCtrl::None);
         let (mut a, mut b) = pair(p);
         for i in 0..20u8 {
             a.send_sdu(Bytes::from(vec![i; 8]), 0).unwrap();
@@ -727,10 +724,7 @@ mod tests {
         // Black hole: drop everything.
         run(&mut a, &mut b, |_| true, 10_000);
         assert!(a.is_failed());
-        assert_eq!(
-            a.send_sdu(Bytes::from_static(b"x"), 0),
-            Err(SendSduError::ConnectionFailed)
-        );
+        assert_eq!(a.send_sdu(Bytes::from_static(b"x"), 0), Err(SendSduError::ConnectionFailed));
     }
 
     #[test]
@@ -780,13 +774,8 @@ mod tests {
         let (mut a, mut b) = pair(p);
         a.send_sdu(Bytes::from(vec![1u8; 25]), 0).unwrap(); // 3 fragments
         a.send_sdu(Bytes::from(vec![2u8; 5]), 0).unwrap(); // 1 PDU
-        // Drop the middle fragment (seq 1).
-        run(
-            &mut a,
-            &mut b,
-            |p| matches!(p, Pdu::Data(d) if d.seq == 1),
-            100,
-        );
+                                                           // Drop the middle fragment (seq 1).
+        run(&mut a, &mut b, |p| matches!(p, Pdu::Data(d) if d.seq == 1), 100);
         let got = drain(&mut b);
         assert_eq!(got.len(), 1, "partial SDU dropped, whole one kept");
         assert_eq!(got[0].as_ref(), &[2u8; 5][..]);
@@ -846,9 +835,7 @@ mod tests {
 
     #[test]
     fn backpressure_at_sendq_limit() {
-        let p = ConnParams::reliable()
-            .with_credit_window(1)
-            .with_congestion(CongestionCtrl::None);
+        let p = ConnParams::reliable().with_credit_window(1).with_congestion(CongestionCtrl::None);
         let (mut a, _) = pair(p);
         let mut hit = false;
         for _ in 0..(SENDQ_LIMIT + 10) {

@@ -125,9 +125,8 @@ fn bulk_transfer_over_20pct_loss() {
 
 #[test]
 fn large_fragmented_sdus_survive_loss() {
-    let sdus: Vec<Vec<u8>> = (0..20)
-        .map(|i| (0..10_000).map(|j| ((i * 7 + j) % 256) as u8).collect())
-        .collect();
+    let sdus: Vec<Vec<u8>> =
+        (0..20).map(|i| (0..10_000).map(|j| ((i * 7 + j) % 256) as u8).collect()).collect();
     let p = ConnParams::reliable().with_max_pdu_payload(512);
     let got = transfer(&sdus, p, 7, 0.10);
     assert_eq!(got.len(), 20);

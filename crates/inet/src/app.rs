@@ -38,7 +38,13 @@ pub trait InetApp: 'static {
         let _ = (sock, api);
     }
     /// A datagram arrived on a bound UDP-like port.
-    fn on_dgram(&mut self, from: (IpAddr, Port), to_port: Port, data: Bytes, api: &mut InetApi<'_, '_, '_>) {
+    fn on_dgram(
+        &mut self,
+        from: (IpAddr, Port),
+        to_port: Port,
+        data: Bytes,
+        api: &mut InetApi<'_, '_, '_>,
+    ) {
         let _ = (from, to_port, data, api);
     }
     /// A timer fired.

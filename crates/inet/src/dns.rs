@@ -37,7 +37,13 @@ impl InetApp for DnsServerApp {
         api.bind_dgram(DNS_PORT);
     }
 
-    fn on_dgram(&mut self, from: (IpAddr, Port), _to: Port, data: Bytes, api: &mut InetApi<'_, '_, '_>) {
+    fn on_dgram(
+        &mut self,
+        from: (IpAddr, Port),
+        _to: Port,
+        data: Bytes,
+        api: &mut InetApi<'_, '_, '_>,
+    ) {
         self.queries += 1;
         let name = String::from_utf8_lossy(&data).to_string();
         let reply = match self.table.get(&name) {

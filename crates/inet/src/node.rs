@@ -329,7 +329,11 @@ impl InetNode {
                 if let Some(&app) = self.dgram_binds.get(&d.dst_port) {
                     self.app_events.push_back((
                         app,
-                        AppEvent::Dgram { from: (pkt.src, d.src_port), to_port: d.dst_port, data: d.payload },
+                        AppEvent::Dgram {
+                            from: (pkt.src, d.src_port),
+                            to_port: d.dst_port,
+                            data: d.payload,
+                        },
                     ));
                 }
             }
@@ -361,7 +365,10 @@ impl InetNode {
                     ctx.now().nanos(),
                     self.rtx_timeout_ns,
                 );
-                self.socks.insert(sock, SockEntry { conn, app, established_notified: false, armed: None });
+                self.socks.insert(
+                    sock,
+                    SockEntry { conn, app, established_notified: false, armed: None },
+                );
                 self.conn_index.insert(key, sock);
                 self.pump_sock(sock, ctx);
                 return;
@@ -473,7 +480,8 @@ impl InetNode {
             // The HA address rides in bytes 9..13.
             if payload.len() >= 13 {
                 let ha = IpAddr(u32::from_be_bytes(payload[9..13].try_into().expect("len")));
-                let pkt = Packet::dgram(self.primary_addr(), ha, MIP_PORT, MIP_PORT, Bytes::from(relay));
+                let pkt =
+                    Packet::dgram(self.primary_addr(), ha, MIP_PORT, MIP_PORT, Bytes::from(relay));
                 self.send_pkt(pkt, ctx);
             }
         } else {
@@ -496,8 +504,9 @@ impl InetNode {
     fn mip_probe(&mut self, ctx: &mut Ctx<'_>) {
         let Some(m) = self.mobile.clone() else { return };
         // Attached iface = lowest up iface with an FA configured.
-        let attached = (0..self.ifaces.len())
-            .find(|&i| ctx.iface_up(IfaceId(i as u32)) && m.fa_of_iface.get(i).copied().flatten().is_some());
+        let attached = (0..self.ifaces.len()).find(|&i| {
+            ctx.iface_up(IfaceId(i as u32)) && m.fa_of_iface.get(i).copied().flatten().is_some()
+        });
         if attached == self.mip_active_iface {
             return;
         }
@@ -518,19 +527,26 @@ impl InetNode {
     // App API backing
     // ------------------------------------------------------------------
 
-    pub(crate) fn api_connect(&mut self, app: usize, dst: IpAddr, port: Port, ctx: &mut Ctx<'_>) -> Option<SockId> {
+    pub(crate) fn api_connect(
+        &mut self,
+        app: usize,
+        dst: IpAddr,
+        port: Port,
+        ctx: &mut Ctx<'_>,
+    ) -> Option<SockId> {
         let iface = self.route_iface(dst, ctx)?;
         // THE BINDING: local address is this interface's address, forever.
-        let local_ip = self
-            .mobile
-            .as_ref()
-            .map(|m| m.home_addr)
-            .unwrap_or(self.ifaces[iface].ip);
+        let local_ip = self.mobile.as_ref().map(|m| m.home_addr).unwrap_or(self.ifaces[iface].ip);
         let local_port = self.next_eph;
         self.next_eph = self.next_eph.wrapping_add(1).max(49152);
         let sock = self.next_sock;
         self.next_sock += 1;
-        let conn = TcpConn::connect((local_ip, local_port), (dst, port), ctx.now().nanos(), self.rtx_timeout_ns);
+        let conn = TcpConn::connect(
+            (local_ip, local_port),
+            (dst, port),
+            ctx.now().nanos(),
+            self.rtx_timeout_ns,
+        );
         self.conn_index.insert((local_ip, local_port, dst, port), sock);
         self.socks.insert(sock, SockEntry { conn, app, established_notified: false, armed: None });
         self.pump_sock(sock, ctx);
@@ -541,7 +557,13 @@ impl InetNode {
         self.listeners.insert(port, app);
     }
 
-    pub(crate) fn api_send(&mut self, app: usize, sock: SockId, data: Bytes, ctx: &mut Ctx<'_>) -> Result<(), &'static str> {
+    pub(crate) fn api_send(
+        &mut self,
+        app: usize,
+        sock: SockId,
+        data: Bytes,
+        ctx: &mut Ctx<'_>,
+    ) -> Result<(), &'static str> {
         let e = self.socks.get_mut(&sock.0).ok_or("no such socket")?;
         if e.app != app {
             return Err("not your socket");
@@ -564,7 +586,14 @@ impl InetNode {
         self.dgram_binds.insert(port, app);
     }
 
-    pub(crate) fn api_send_dgram(&mut self, dst: IpAddr, dst_port: Port, src_port: Port, data: Bytes, ctx: &mut Ctx<'_>) {
+    pub(crate) fn api_send_dgram(
+        &mut self,
+        dst: IpAddr,
+        dst_port: Port,
+        src_port: Port,
+        data: Bytes,
+        ctx: &mut Ctx<'_>,
+    ) {
         let src = self
             .mobile
             .as_ref()
@@ -582,7 +611,12 @@ impl InetNode {
         ctx.timer_in(d, token);
     }
 
-    fn call_app(&mut self, a: usize, ctx: &mut Ctx<'_>, f: impl FnOnce(&mut dyn InetApp, &mut InetApi<'_, '_, '_>)) {
+    fn call_app(
+        &mut self,
+        a: usize,
+        ctx: &mut Ctx<'_>,
+        f: impl FnOnce(&mut dyn InetApp, &mut InetApi<'_, '_, '_>),
+    ) {
         let mut b = self.apps[a].behavior.take().expect("app re-entered");
         {
             let mut api = InetApi { node: self, ctx, app: a };

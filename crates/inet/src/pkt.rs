@@ -241,7 +241,9 @@ mod tests {
 
     #[test]
     fn all_seg_kinds_roundtrip() {
-        for k in [SegKind::Syn, SegKind::SynAck, SegKind::Data, SegKind::Ack, SegKind::Fin, SegKind::Rst] {
+        for k in
+            [SegKind::Syn, SegKind::SynAck, SegKind::Data, SegKind::Ack, SegKind::Fin, SegKind::Rst]
+        {
             assert_eq!(SegKind::from_u8(k.to_u8()).unwrap(), k);
         }
         assert!(SegKind::from_u8(99).is_err());

@@ -77,7 +77,12 @@ pub struct TcpConn {
 
 impl TcpConn {
     /// Client side: begin a connection (emits a SYN).
-    pub fn connect(local: (IpAddr, Port), remote: (IpAddr, Port), now_ns: u64, rtx_timeout_ns: u64) -> Self {
+    pub fn connect(
+        local: (IpAddr, Port),
+        remote: (IpAddr, Port),
+        now_ns: u64,
+        rtx_timeout_ns: u64,
+    ) -> Self {
         let mut c = TcpConn::new(local, remote, TcpState::SynSent, rtx_timeout_ns);
         c.emit(SegKind::Syn, 0, 0, Bytes::new());
         c.rtx_deadline = Some(now_ns + rtx_timeout_ns);
@@ -85,14 +90,24 @@ impl TcpConn {
     }
 
     /// Server side: accept an incoming SYN (emits a SYN-ACK).
-    pub fn accept(local: (IpAddr, Port), remote: (IpAddr, Port), now_ns: u64, rtx_timeout_ns: u64) -> Self {
+    pub fn accept(
+        local: (IpAddr, Port),
+        remote: (IpAddr, Port),
+        now_ns: u64,
+        rtx_timeout_ns: u64,
+    ) -> Self {
         let mut c = TcpConn::new(local, remote, TcpState::SynReceived, rtx_timeout_ns);
         c.emit(SegKind::SynAck, 0, 0, Bytes::new());
         c.rtx_deadline = Some(now_ns + rtx_timeout_ns);
         c
     }
 
-    fn new(local: (IpAddr, Port), remote: (IpAddr, Port), state: TcpState, rtx_timeout_ns: u64) -> Self {
+    fn new(
+        local: (IpAddr, Port),
+        remote: (IpAddr, Port),
+        state: TcpState,
+        rtx_timeout_ns: u64,
+    ) -> Self {
         TcpConn {
             local,
             remote,
@@ -279,11 +294,8 @@ impl TcpConn {
                 }
             }
             self.rtx_backoff = 0;
-            self.rtx_deadline = if self.rtxq.is_empty() {
-                None
-            } else {
-                Some(now_ns + self.rtx_timeout_ns)
-            };
+            self.rtx_deadline =
+                if self.rtxq.is_empty() { None } else { Some(now_ns + self.rtx_timeout_ns) };
             match self.recover_until {
                 Some(f) if self.snd_una >= f || self.rtxq.is_empty() => self.recover_until = None,
                 Some(_) => {
@@ -320,7 +332,8 @@ impl TcpConn {
                     self.rtx_deadline = None;
                     return;
                 }
-                let kind = if self.state == TcpState::SynSent { SegKind::Syn } else { SegKind::SynAck };
+                let kind =
+                    if self.state == TcpState::SynSent { SegKind::Syn } else { SegKind::SynAck };
                 self.emit(kind, 0, 0, Bytes::new());
                 self.rtx_backoff = (self.rtx_backoff + 1).min(8);
                 self.rtx_deadline = Some(now_ns + (self.rtx_timeout_ns << self.rtx_backoff));
@@ -448,7 +461,7 @@ mod tests {
             |p| {
                 if matches!(&p.payload, Payload::Seg(s) if s.kind == SegKind::Data) {
                     n += 1;
-                    n % 7 == 0
+                    n.is_multiple_of(7)
                 } else {
                     false
                 }

@@ -83,7 +83,13 @@ impl InetApp for Client {
         }
     }
 
-    fn on_dgram(&mut self, _from: (IpAddr, u16), _to: u16, data: Bytes, _api: &mut InetApi<'_, '_, '_>) {
+    fn on_dgram(
+        &mut self,
+        _from: (IpAddr, u16),
+        _to: u16,
+        data: Bytes,
+        _api: &mut InetApi<'_, '_, '_>,
+    ) {
         if let Some(ip) = dns::parse_reply(&data) {
             self.resolved = Some(ip);
         }
@@ -289,7 +295,11 @@ fn mobile_ip_tunnels_through_home_agent() {
 
     sim.run_until(rina_sim::Time::from_secs(5));
     let ha_node = sim.agent::<InetNode>(nh);
-    assert_eq!(ha_node.care_of(ip(10, 0, 1, 9)), Some(ip(10, 0, 60, 1)), "registration reached the HA");
+    assert_eq!(
+        ha_node.care_of(ip(10, 0, 1, 9)),
+        Some(ip(10, 0, 60, 1)),
+        "registration reached the HA"
+    );
     assert!(ha_node.stats.tunneled > 0, "traffic was tunneled");
     let server = sim.agent::<InetNode>(nm).app::<Server>(m_srv);
     assert!(server.received > 0, "mobile reachable at its home address: {}", server.received);

@@ -48,7 +48,8 @@ pub struct RibObject {
 impl RibObject {
     /// Encode for carriage inside a CDAP value.
     pub fn encode(&self) -> Bytes {
-        let mut w = Writer::with_capacity(16 + self.name.len() + self.class.len() + self.value.len());
+        let mut w =
+            Writer::with_capacity(16 + self.name.len() + self.class.len() + self.value.len());
         w.string(&self.name)
             .string(&self.class)
             .bytes(&self.value)

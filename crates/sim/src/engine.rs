@@ -196,10 +196,7 @@ impl World {
         });
         self.push(tx_done, EvKind::TxDone { link: lidx, dir: side, len });
         if !lost {
-            self.push(
-                deliver_at,
-                EvKind::Deliver { node: peer_node, iface: peer_iface, data },
-            );
+            self.push(deliver_at, EvKind::Deliver { node: peer_node, iface: peer_iface, data });
         }
         Ok(())
     }
@@ -402,11 +399,7 @@ impl Sim {
     /// # Panics
     /// Panics if the node id is invalid or the type does not match.
     pub fn agent<T: Agent>(&self, n: NodeId) -> &T {
-        self.nodes[n.0 as usize]
-            .agent
-            .as_any()
-            .downcast_ref::<T>()
-            .expect("agent type mismatch")
+        self.nodes[n.0 as usize].agent.as_any().downcast_ref::<T>().expect("agent type mismatch")
     }
 
     /// Mutable access to a node's agent, downcast to its concrete type.

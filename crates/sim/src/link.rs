@@ -64,12 +64,7 @@ impl LossModel {
         match *self {
             LossModel::None => false,
             LossModel::Bernoulli(p) => rng.gen_bool(p.clamp(0.0, 1.0)),
-            LossModel::GilbertElliott {
-                p_good_to_bad,
-                p_bad_to_good,
-                loss_good,
-                loss_bad,
-            } => {
+            LossModel::GilbertElliott { p_good_to_bad, p_bad_to_good, loss_good, loss_bad } => {
                 if st.in_bad {
                     if rng.gen_bool(p_bad_to_good.clamp(0.0, 1.0)) {
                         st.in_bad = false;

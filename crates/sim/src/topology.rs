@@ -82,7 +82,10 @@ pub fn tree_leaves(fanout: usize, depth: usize) -> std::ops::Range<usize> {
 /// Vertex layout: `0..isps` are core routers, `isps..2*isps` are access
 /// routers (access router i hangs off core i), and hosts follow, grouped by
 /// ISP. Returns `(edges, host index range, total vertices)`.
-pub fn isp_internetwork(isps: usize, hosts_per_isp: usize) -> (Vec<Edge>, std::ops::Range<usize>, usize) {
+pub fn isp_internetwork(
+    isps: usize,
+    hosts_per_isp: usize,
+) -> (Vec<Edge>, std::ops::Range<usize>, usize) {
     assert!(isps >= 2);
     let mut e = Vec::new();
     // Core interconnect.
@@ -110,6 +113,50 @@ pub fn isp_internetwork(isps: usize, hosts_per_isp: usize) -> (Vec<Edge>, std::o
     }
     let total = host_base + isps * hosts_per_isp;
     (e, host_base..total, total)
+}
+
+/// A complete graph over `n` vertices.
+pub fn full_mesh(n: usize) -> Vec<Edge> {
+    let mut e = Vec::with_capacity(n * n.saturating_sub(1) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            e.push((i, j));
+        }
+    }
+    e
+}
+
+/// A Barabási–Albert preferential-attachment graph: scale-free degree
+/// distribution, deterministic in `seed`.
+///
+/// Starts from a clique of `m + 1` seed vertices; each subsequent vertex
+/// attaches `m` edges to distinct existing vertices chosen with
+/// probability proportional to their current degree — the "rich get
+/// richer" process behind hub-dominated internetworks. Requires
+/// `n > m >= 1`.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Vec<Edge> {
+    assert!(m >= 1 && n > m, "barabasi_albert needs n > m >= 1");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges = full_mesh(m + 1);
+    // Degree-weighted sampling by repeated vertex endpoints: each edge
+    // contributes both ends, so a uniform pick over `ends` is a pick
+    // proportional to degree.
+    let mut ends: Vec<usize> = edges.iter().flat_map(|&(a, b)| [a, b]).collect();
+    for v in (m + 1)..n {
+        let mut targets: Vec<usize> = Vec::with_capacity(m);
+        while targets.len() < m {
+            let t = ends[rng.gen_range(0..ends.len())];
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            edges.push((t, v));
+            ends.push(t);
+            ends.push(v);
+        }
+    }
+    edges
 }
 
 /// A connected random graph: a random spanning tree plus `extra` random
@@ -199,6 +246,31 @@ mod tests {
         assert!(connected(total, &edges));
         // Full mesh core for 3 ISPs: 3 core edges.
         assert!(edges.contains(&(0, 1)) && edges.contains(&(1, 2)) && edges.contains(&(0, 2)));
+    }
+
+    #[test]
+    fn full_mesh_shape() {
+        let e = full_mesh(5);
+        assert_eq!(e.len(), 10);
+        assert!(connected(5, &e));
+    }
+
+    #[test]
+    fn barabasi_albert_is_connected_deterministic_and_hubby() {
+        let e1 = barabasi_albert(100, 2, 7);
+        let e2 = barabasi_albert(100, 2, 7);
+        assert_eq!(e1, e2, "deterministic under a fixed seed");
+        assert_ne!(e1, barabasi_albert(100, 2, 8), "seed-sensitive");
+        // Clique of m+1=3 (3 edges) + 2 per later vertex.
+        assert_eq!(e1.len(), 3 + 97 * 2);
+        assert!(connected(100, &e1));
+        // Scale-free: some vertex far exceeds the mean degree (~4).
+        let mut deg = vec![0usize; 100];
+        for &(a, b) in &e1 {
+            deg[a] += 1;
+            deg[b] += 1;
+        }
+        assert!(deg.iter().copied().max().unwrap() >= 12, "max degree {:?}", deg.iter().max());
     }
 
     #[test]

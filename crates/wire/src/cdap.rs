@@ -124,7 +124,13 @@ pub struct CdapMsg {
 
 impl CdapMsg {
     /// A request message with the given operation and object coordinates.
-    pub fn request(op: OpCode, invoke_id: u32, obj_class: &str, obj_name: &str, value: Bytes) -> Self {
+    pub fn request(
+        op: OpCode,
+        invoke_id: u32,
+        obj_class: &str,
+        obj_name: &str,
+        value: Bytes,
+    ) -> Self {
         debug_assert!(!op.is_response());
         CdapMsg {
             op,
@@ -151,7 +157,9 @@ impl CdapMsg {
 
     /// Encode to bytes (no CRC: CDAP rides inside a checksummed PDU).
     pub fn encode(&self) -> Bytes {
-        let mut w = Writer::with_capacity(24 + self.obj_class.len() + self.obj_name.len() + self.value.len());
+        let mut w = Writer::with_capacity(
+            24 + self.obj_class.len() + self.obj_name.len() + self.value.len(),
+        );
         w.u8(self.op.to_u8())
             .varint(self.invoke_id as u64)
             .string(&self.obj_class)

@@ -234,11 +234,7 @@ impl Pdu {
                 }
             }
             Pdu::Mgmt(p) => {
-                w.u8(T_MGMT)
-                    .varint(p.dest_addr)
-                    .varint(p.src_addr)
-                    .u8(p.ttl)
-                    .raw(&p.payload);
+                w.u8(T_MGMT).varint(p.dest_addr).varint(p.src_addr).u8(p.ttl).raw(&p.payload);
             }
         }
         w.finish_with_crc()
@@ -287,21 +283,11 @@ impl Pdu {
                     CK_ACK => CtrlKind::Ack { seq: r.varint()? },
                     CK_NACK => CtrlKind::Nack { seq: r.varint()? },
                     CK_CREDIT => CtrlKind::Credit { rwe: r.varint()? },
-                    CK_ACK_CREDIT => {
-                        CtrlKind::AckCredit { seq: r.varint()?, rwe: r.varint()? }
-                    }
+                    CK_ACK_CREDIT => CtrlKind::AckCredit { seq: r.varint()?, rwe: r.varint()? },
                     _ => return Err(WireError::Invalid("ctrl kind")),
                 };
                 r.expect_end()?;
-                Ok(Pdu::Ctrl(CtrlPdu {
-                    dest_addr,
-                    src_addr,
-                    qos_id,
-                    dest_cep,
-                    src_cep,
-                    ttl,
-                    kind,
-                }))
+                Ok(Pdu::Ctrl(CtrlPdu { dest_addr, src_addr, qos_id, dest_cep, src_cep, ttl, kind }))
             }
             T_MGMT => {
                 let dest_addr = r.varint()?;

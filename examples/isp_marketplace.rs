@@ -8,7 +8,7 @@
 //!
 //! Run: `cargo run --example isp_marketplace`
 
-use netipc::rina::apps::{PingApp, EchoApp, SinkApp, SourceApp};
+use netipc::rina::apps::{EchoApp, PingApp, SinkApp, SourceApp};
 use netipc::rina::prelude::*;
 
 fn main() {
@@ -47,9 +47,9 @@ fn main() {
     for n in [ra1, ra2, rb1, rb2, alice, bob, cdn] {
         b.join(inet, n);
     }
-    b.adjacency(inet, ra1, ra2, Via::Dif(isp_a), QosSpec::datagram());
+    b.adjacency_over_dif(inet, ra1, ra2, isp_a, QosSpec::datagram());
     b.adjacency_over_link(inet, ra2, rb1, l_peer);
-    b.adjacency(inet, rb1, rb2, Via::Dif(isp_b), QosSpec::datagram());
+    b.adjacency_over_dif(inet, rb1, rb2, isp_b, QosSpec::datagram());
     b.adjacency_over_link(inet, alice, ra1, l_alice);
     b.adjacency_over_link(inet, bob, rb2, l_bob);
     b.adjacency_over_link(inet, cdn, rb2, l_cdn);
@@ -64,13 +64,13 @@ fn main() {
     b.join(club, cdn);
     b.join(club, alice);
     b.join(club, bob);
-    b.adjacency(club, alice, cdn, Via::Dif(inet), QosSpec::reliable());
-    b.adjacency(club, bob, cdn, Via::Dif(inet), QosSpec::reliable());
+    b.adjacency_over_dif(club, alice, cdn, inet, QosSpec::reliable());
+    b.adjacency_over_dif(club, bob, cdn, inet, QosSpec::reliable());
 
     // Services: a public echo on the internet DIF, and members-only video
     // inside the club DIF.
     b.app(cdn, AppName::new("public-echo"), inet, EchoApp::default());
-    b.app(cdn, AppName::new("video"), club, SinkApp::default());
+    let video = b.app(cdn, AppName::new("video"), club, SinkApp::default());
     let a_ping = b.app(
         alice,
         AppName::new("alice-ping"),
@@ -89,11 +89,17 @@ fn main() {
     println!("three-rank provider stack assembled at t={t}");
     net.run_for(Dur::from_secs(5));
 
-    let p: &PingApp = net.node(alice).app(a_ping);
-    println!("alice over the public internet DIF: {} RTTs, first = {:.2} ms", p.rtts.len(), p.rtts[0] * 1e3);
-    let s: &SourceApp = net.node(bob).app(b_upload);
-    let v: &SinkApp = net.node(cdn).app(1);
-    println!("bob inside cdn-club: sent {} SDUs, cdn received {}", s.sent, v.received);
-    assert!(p.done() && v.received == 200);
+    let p = net.app(a_ping);
+    println!(
+        "alice over the public internet DIF: {} RTTs, first = {:.2} ms",
+        p.rtts.len(),
+        p.rtts[0] * 1e3
+    );
+    println!(
+        "bob inside cdn-club: sent {} SDUs, cdn received {}",
+        net.app(b_upload).sent,
+        net.app(video).received
+    );
+    assert!(net.app(a_ping).done() && net.app(video).received == 200);
     println!("ok: providers sold IPC at every rank; the club ran its own private network");
 }

@@ -33,7 +33,7 @@ fn main() {
     b.adjacency_over_link(d, mobile, ap1, l_m1);
     b.adjacency_over_link(d, mobile, ap2, l_m2);
 
-    b.app(server, AppName::new("sink"), d, SinkApp::default());
+    let sink = b.app(server, AppName::new("sink"), d, SinkApp::default());
     let cam = b.app(
         mobile,
         AppName::new("cam"),
@@ -45,7 +45,7 @@ fn main() {
     // Start attached to cell 1 only.
     net.set_link_up(l_m2, false);
     net.run_for(Dur::from_secs(3));
-    let sink0 = net.node(server).app::<SinkApp>(0).received;
+    let sink0 = net.app(sink).received;
     println!("t=3s: streaming via ap1, {sink0} SDUs delivered");
 
     // Walk: signal to ap1 fades ("controlled link failure"), ap2 appears.
@@ -55,7 +55,7 @@ fn main() {
     net.set_link_up(l_m2, true);
 
     net.run_for(Dur::from_secs(8));
-    let sink1 = net.node(server).app::<SinkApp>(0).received;
+    let sink1 = net.app(sink).received;
     println!("t=11s: streaming via ap2, {sink1} SDUs delivered");
 
     // And back again.
@@ -65,12 +65,12 @@ fn main() {
     net.set_link_up(l_m1, true);
     net.run_for(Dur::from_secs(10));
 
-    let cam_app: &SourceApp = net.node(mobile).app(cam);
-    let sink: &SinkApp = net.node(server).app(0);
     println!(
         "final: {}/{} SDUs delivered, flow re-allocations during handoffs: 0 (alloc failures only at startup: {})",
-        sink.received, cam_app.sent, cam_app.alloc_failures
+        net.app(sink).received,
+        net.app(cam).sent,
+        net.app(cam).alloc_failures
     );
-    assert_eq!(sink.received, 4000);
+    assert_eq!(net.app(sink).received, 4000);
     println!("ok: two handoffs, one flow, zero special-case machinery");
 }

@@ -20,9 +20,8 @@ fn main() {
     let l1 = b.link(hr, gw, LinkCfg::wired());
     let l2 = b.link(gw, intruder, LinkCfg::wired());
 
-    let payroll = b.dif(
-        DifConfig::new("payroll").with_auth(AuthPolicy::Secret("employees-only".into())),
-    );
+    let payroll =
+        b.dif(DifConfig::new("payroll").with_auth(AuthPolicy::Secret("employees-only".into())));
     b.join(payroll, gw);
     b.join(payroll, hr);
     b.join(payroll, intruder);
@@ -31,7 +30,7 @@ fn main() {
     b.adjacency_over_link(payroll, hr, gw, l1);
     b.adjacency_over_link(payroll, gw, intruder, l2);
 
-    b.app(hr, AppName::new("salaries"), payroll, SinkApp::default());
+    let sink = b.app(hr, AppName::new("salaries"), payroll, SinkApp::default());
     let atk = b.app(
         intruder,
         AppName::new("exfil"),
@@ -45,14 +44,18 @@ fn main() {
     let t = net.sim.now() + Dur::from_secs(8);
     net.sim.run_until(t);
 
-    let hr_ok = net.node(hr).ipcp(payroll_hr).is_enrolled();
-    let intruder_in = net.node(intruder).ipcp(payroll_intruder).is_enrolled();
-    let attacker: &SourceApp = net.node(intruder).app(atk);
-    let sink: &SinkApp = net.node(hr).app(0);
+    let hr_ok = net.ipcp(payroll_hr).is_enrolled();
+    let intruder_in = net.ipcp(payroll_intruder).is_enrolled();
     println!("hr-server enrolled:   {hr_ok}");
     println!("intruder enrolled:    {intruder_in}");
-    println!("intruder flow allocs: {} failures, {} SDUs delivered", attacker.alloc_failures, sink.received);
+    println!(
+        "intruder flow allocs: {} failures, {} SDUs delivered",
+        net.app(atk).alloc_failures,
+        net.app(sink).received
+    );
     assert!(hr_ok && !intruder_in);
-    assert_eq!(sink.received, 0);
-    println!("ok: no membership, no addresses, no reachable surface — by structure, not by firewall");
+    assert_eq!(net.app(sink).received, 0);
+    println!(
+        "ok: no membership, no addresses, no reachable surface — by structure, not by firewall"
+    );
 }

@@ -2,7 +2,9 @@
 //!
 //! The application side is the whole point: the client asks for a flow to
 //! `"echo"` *by name* with desired properties, gets back an opaque local
-//! port id, and never sees an address.
+//! port id, and never sees an address. Every builder call returns a typed
+//! handle — mixing them up is a compile error, and the `ping` handle
+//! remembers its app type, so reading results needs no downcast.
 //!
 //! Run: `cargo run --example quickstart`
 
@@ -38,7 +40,8 @@ fn main() {
     println!("stack assembled at t={t}");
     net.run_for(Dur::from_secs(2));
 
-    let p: &PingApp = net.node(h1).app(ping);
+    // `ping` is an AppH<PingApp>: `net.app(ping)` is statically typed.
+    let p = net.app(ping);
     println!(
         "flow allocated by name in {:.3} ms",
         p.alloc_done.unwrap().since(p.alloc_requested.unwrap()).as_secs_f64() * 1e3

@@ -1,8 +1,9 @@
 //! Workspace-level integration: both stacks drive the same simulator
 //! substrate, deterministically.
 
-use netipc::rina::apps::{EchoApp, PingApp};
+use netipc::rina::apps::PingApp;
 use netipc::rina::prelude::*;
+use netipc::rina::scenario::{Topology, Workload};
 
 /// The two stacks share one substrate: a RINA internetwork and an inet
 /// internetwork can run side by side in one process (separate sims),
@@ -11,30 +12,36 @@ use netipc::rina::prelude::*;
 fn determinism_across_stacks() {
     let run_rina = |seed| {
         let mut b = NetBuilder::new(seed);
-        let h1 = b.node("h1");
-        let h2 = b.node("h2");
-        let l = b.link(h1, h2, LinkCfg::wired().with_loss(LossModel::Bernoulli(0.05)));
-        let d = b.dif(DifConfig::new("net"));
-        b.join(d, h1);
-        b.join(d, h2);
-        b.adjacency_over_link(d, h1, h2, l);
-        b.app(h2, AppName::new("echo"), d, EchoApp::default());
-        let ping = b.app(
-            h1,
-            AppName::new("ping"),
-            d,
-            PingApp::new(AppName::new("echo"), QosSpec::reliable(), 10, 64),
-        );
+        let fab = Topology::line(2)
+            .with_link(LinkCfg::wired().with_loss(LossModel::Bernoulli(0.05)))
+            .materialize(&mut b);
+        let cs = Workload::client_server(&mut b, fab.dif, &[fab.node(0)], fab.node(1), 10, 64);
         let mut net = b.build();
         net.run_until_assembled(Dur::from_secs(20), Dur::from_millis(100));
         net.run_for(Dur::from_secs(5));
-        net.node(h1).app::<PingApp>(ping).rtts.clone()
+        net.app(cs.clients[0]).rtts.clone()
     };
     let a = run_rina(5);
     let b = run_rina(5);
     assert_eq!(a, b, "same seed, same RTT series, bit for bit");
     let c = run_rina(6);
     assert_ne!(a, c, "different seed, different series");
+}
+
+/// Typed handles survive crossing crate boundaries: an `AppH<PingApp>`
+/// minted by the builder reads back as `&PingApp` with no turbofish.
+#[test]
+fn typed_handles_across_the_umbrella() {
+    let mut b = NetBuilder::new(9);
+    let fab = Topology::star(4).materialize(&mut b);
+    let cs = Workload::client_server(&mut b, fab.dif, &fab.all(), fab.hub(), 2, 32);
+    let mut net = b.build();
+    net.run_until_assembled(Dur::from_secs(20), Dur::from_millis(200));
+    net.run_for(Dur::from_secs(3));
+    for &c in &cs.clients {
+        let p: &PingApp = net.app(c);
+        assert!(p.done(), "star leaves all reach the hub");
+    }
 }
 
 /// The umbrella crate re-exports every component.

@@ -42,9 +42,9 @@ fn four_rank_stack_assembles_and_carries_flows() {
     b.join(national, m2);
     b.join(national, m3);
     b.join(national, m4);
-    b.adjacency(national, m1, m2, Via::Dif(west), QosSpec::datagram());
+    b.adjacency_over_dif(national, m1, m2, west, QosSpec::datagram());
     b.adjacency_over_link(national, m2, m3, l_mid);
-    b.adjacency(national, m3, m4, Via::Dif(east), QosSpec::datagram());
+    b.adjacency_over_dif(national, m3, m4, east, QosSpec::datagram());
 
     // Rank 3: the internet DIF: hosts at the edge, long-haul adjacency
     // rides the national DIF end to end (m1 ⇄ m4 in one hop up here).
@@ -54,7 +54,7 @@ fn four_rank_stack_assembles_and_carries_flows() {
     b.join(inet, m4);
     b.join(inet, h2);
     b.adjacency_over_link(inet, h1, m1, l_h1);
-    b.adjacency(inet, m1, m4, Via::Dif(national), QosSpec::datagram());
+    b.adjacency_over_dif(inet, m1, m4, national, QosSpec::datagram());
     b.adjacency_over_link(inet, m4, h2, l_h2);
 
     b.app(h2, AppName::new("echo"), inet, EchoApp::default());
@@ -70,15 +70,12 @@ fn four_rank_stack_assembles_and_carries_flows() {
     net.run_until_assembled(Dur::from_secs(60), Dur::from_millis(500));
     net.run_for(Dur::from_secs(5));
 
-    let p: &PingApp = net.node(h1).app(ping);
+    let p = net.app(ping);
     assert!(p.done(), "pings through 4 ranks: got {}", p.rtts.len());
     // The physical path is 5 hops; RTT must reflect all of them (≥10 ms),
     // even though the internet DIF sees only h1-m1-m4-h2.
     assert!(p.rtts[0] >= 0.010, "rtt {}", p.rtts[0]);
     // And the national DIF actually relayed (m2 is interior to the m1–m4
     // adjacency at internet rank).
-    assert!(
-        net.node(m2).ipcp(national_m2).stats.relayed > 0,
-        "national-rank relaying happened"
-    );
+    assert!(net.ipcp(national_m2).stats.relayed > 0, "national-rank relaying happened");
 }
