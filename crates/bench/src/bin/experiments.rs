@@ -3,6 +3,7 @@
 //!
 //! Usage: `cargo run --release -p rina-bench --bin experiments [--quick]`
 
+use rina::prelude::EnrollSchedule;
 use rina_bench::report::{finish_doc, push_section};
 use rina_bench::*;
 
@@ -164,22 +165,35 @@ fn main() {
     push_section(&mut doc, "e9_util", &rows);
 
     println!("\n## E10 — scale-free internetworks (Barabási–Albert DIFs)\n");
-    println!("| members | m | assemble (s) | mgmt/member | hub degree | hub fwd | fwd mean | hub relayed | e2e ok |");
-    println!("|---|---|---|---|---|---|---|---|---|");
-    let ns: &[usize] = if quick { &[50] } else { &[50, 100] };
+    println!("| members | m | schedule | makespan (s) | mgmt/member | deferred | hub degree | hub fwd | hub agg | fwd mean | agg mean | e2e ok |");
+    println!("|---|---|---|---|---|---|---|---|---|---|---|---|");
+    // Wave-parallel sweep (the makespan should grow sublinearly in
+    // members), with the sequential baseline alongside for comparison.
+    let wave_ns: &[usize] = if quick { &[50] } else { &[50, 100, 1000] };
+    let seq_ns: &[usize] = if quick { &[50] } else { &[50, 100] };
     let mut rows = Vec::new();
-    for &n in ns {
-        let r = e10_scalefree::run(n, 2, 900 + n as u64);
+    let mut cells = Vec::new();
+    for &n in wave_ns {
+        cells.push((n, EnrollSchedule::waves()));
+    }
+    for &n in seq_ns {
+        cells.push((n, EnrollSchedule::sequential()));
+    }
+    for (n, schedule) in cells {
+        let r = e10_scalefree::run_with(n, 2, 900 + n as u64, schedule);
         println!(
-            "| {} | {} | {} | {} | {} | {} | {} | {} | {} |",
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |",
             r.members,
             r.attach_degree,
+            r.schedule,
             fmt(r.assemble_s),
             fmt(r.mgmt_per_member),
+            r.deferred,
             r.hub_degree,
             r.hub_fwd,
+            r.hub_fwd_agg,
             fmt(r.fwd_mean),
-            r.hub_relayed,
+            fmt(r.fwd_agg_mean),
             r.e2e_ok
         );
         rows.push(r);

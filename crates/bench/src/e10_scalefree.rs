@@ -5,10 +5,19 @@
 //! with already-well-connected providers, producing hub-dominated,
 //! scale-free graphs. [`Topology::barabasi_albert`] stamps one out as a
 //! single DIF; we measure what the paper's §5.2/§6.5 machinery does with
-//! it — how long a facility of `n` members takes to self-assemble over a
-//! graph with hubs, what the management (enrollment + RIB sync) traffic
-//! totals, how forwarding state concentrates at hubs, and whether
-//! periphery-to-periphery flows route through them.
+//! it — the **enrollment makespan** (how long the facility takes to
+//! self-assemble) under wave-parallel vs sequential scheduling, what the
+//! management traffic totals, and how much the per-member routing state
+//! shrinks when prefix-block addresses let contiguous subtrees aggregate
+//! into single forwarding ranges.
+//!
+//! The wave-parallel schedule ([`EnrollSchedule::waves`], the default)
+//! staggers joiners by spanning-tree depth while each sponsor admits up
+//! to its DIF's admission window concurrently, so makespan tracks tree
+//! depth × admission rounds — sublinear in members. The
+//! [`EnrollSchedule::sequential`] baseline enrolls one member at a time
+//! and grows linearly; it is kept behind the `schedule` parameter for
+//! comparison.
 
 use crate::{row_json, Scenario};
 use rina::prelude::*;
@@ -20,43 +29,66 @@ pub struct ScaleFreeRow {
     pub members: usize,
     /// Edges per arriving member (the BA `m` parameter).
     pub attach_degree: usize,
-    /// Virtual time until the whole facility assembled (s).
+    /// Enrollment schedule ("waves" or "sequential").
+    pub schedule: &'static str,
+    /// Enrollment makespan: virtual time until the whole facility
+    /// assembled (s).
     pub assemble_s: f64,
     /// Management PDUs per member during assembly.
     pub mgmt_per_member: f64,
+    /// Enrollment requests deferred by full admission windows.
+    pub deferred: u64,
     /// Degree of the largest hub.
     pub hub_degree: usize,
-    /// Forwarding-table entries at the largest hub.
+    /// Destinations the largest hub can reach (≈ scope size).
     pub hub_fwd: usize,
-    /// Mean forwarding-table entries across members.
+    /// Range entries the hub actually stores after prefix aggregation.
+    pub hub_fwd_agg: usize,
+    /// Mean reachable destinations across members.
     pub fwd_mean: f64,
-    /// PDUs relayed by the hub while periphery nodes exchanged pings.
+    /// Mean stored range entries across members (the routing-table-size
+    /// metric: with per-subtree address blocks this stays near the local
+    /// degree instead of the member count).
+    pub fwd_agg_mean: f64,
+    /// PDUs relayed by the hub while the stride pings ran.
     pub hub_relayed: u64,
-    /// All periphery-to-periphery pings completed.
+    /// All O(n) stride-reachability pings completed.
     pub e2e_ok: bool,
 }
 
 row_json!(ScaleFreeRow {
     members,
     attach_degree,
+    schedule,
     assemble_s,
     mgmt_per_member,
+    deferred,
     hub_degree,
     hub_fwd,
+    hub_fwd_agg,
     fwd_mean,
+    fwd_agg_mean,
     hub_relayed,
     e2e_ok,
 });
 
 /// Assemble an `n`-member Barabási–Albert DIF (attachment degree `m`)
-/// and ping between the four newest periphery members.
+/// under the default wave-parallel schedule.
 pub fn run(n: usize, m: usize, seed: u64) -> ScaleFreeRow {
+    run_with(n, m, seed, EnrollSchedule::waves())
+}
+
+/// Assemble an `n`-member Barabási–Albert DIF under `schedule` and
+/// verify reachability with an O(n) stride ping over every member.
+pub fn run_with(n: usize, m: usize, seed: u64, schedule: EnrollSchedule) -> ScaleFreeRow {
     let mut s = Scenario::new("e10-scalefree", seed);
+    s.set_enroll_schedule(schedule);
     let fab = Topology::barabasi_albert(n, m, seed).with_prefix("as").materialize(&mut s);
-    // The four newest members sit at the periphery (lowest degree); ping
-    // pairwise among them so traffic crosses the hubs.
-    let periphery: Vec<NodeH> = (n - 4..n).map(|i| fab.node(i)).collect();
-    let mesh = Workload::ping_mesh(&mut s, fab.dif, &periphery, 2, 64);
+    // O(n) reachability: node i pings node (i + stride) mod n. A stride
+    // of about a third of the ring keeps most pairs non-adjacent, so
+    // traffic crosses the hubs.
+    let stride = (n / 3).max(1);
+    let mesh = Workload::ping_stride(&mut s, fab.dif, &fab.nodes, stride, 1, 64);
     let hub = fab.hub();
     let hub_degree =
         fab.degrees()[fab.nodes.iter().position(|&x| x == hub).expect("hub in fabric")];
@@ -65,22 +97,33 @@ pub fn run(n: usize, m: usize, seed: u64) -> ScaleFreeRow {
 
     // Settle manually so the management-traffic sum covers assembly only
     // (comparable with E8, which also measures at the assembly instant).
-    let mut run = s.assemble(Dur::from_secs(600), Dur::ZERO);
+    let limit = Dur::from_secs(600) * (1 + n as u64 / 500);
+    let mut run = s.assemble(limit, Dur::ZERO);
     let assemble_s = run.assembled_at.expect("assemble() ran").as_secs_f64();
     let mgmt: u64 = ipcps.iter().map(|&h| run.net.ipcp(h).stats.mgmt_tx).sum();
+    let deferred: u64 = ipcps.iter().map(|&h| run.net.ipcp(h).stats.enrollments_deferred).sum();
     run.run_for(Dur::from_secs(1));
-    run.run_until(Dur::from_millis(500), 60, |net| mesh.all_done(net));
+    run.run_until(Dur::from_millis(500), 120, |net| mesh.all_done(net));
 
     let net = &run.net;
     let fwd_sum: usize = ipcps.iter().map(|&h| net.ipcp(h).fwd.len()).sum();
+    let agg_sum: usize = ipcps.iter().map(|&h| net.ipcp(h).fwd.aggregated_len()).sum();
     ScaleFreeRow {
         members: n,
         attach_degree: m,
+        schedule: match schedule {
+            EnrollSchedule::Sequential { .. } => "sequential",
+            EnrollSchedule::Waves { .. } => "waves",
+            EnrollSchedule::Eager => "eager",
+        },
         assemble_s,
         mgmt_per_member: mgmt as f64 / n as f64,
+        deferred,
         hub_degree,
         hub_fwd: net.ipcp(hub_ipcp).fwd.len(),
+        hub_fwd_agg: net.ipcp(hub_ipcp).fwd.aggregated_len(),
         fwd_mean: fwd_sum as f64 / n as f64,
+        fwd_agg_mean: agg_sum as f64 / n as f64,
         hub_relayed: net.ipcp(hub_ipcp).stats.relayed,
         e2e_ok: mesh.all_done(net),
     }
@@ -88,16 +131,56 @@ pub fn run(n: usize, m: usize, seed: u64) -> ScaleFreeRow {
 
 #[cfg(test)]
 mod tests {
+    use rina::prelude::EnrollSchedule;
+
     /// The acceptance scenario: a ≥50-node generator-driven internetwork
     /// assembles and routes end to end.
     #[test]
     fn fifty_node_scale_free_assembles_and_routes() {
         let r = super::run(50, 2, 91);
-        assert!(r.e2e_ok, "periphery pings completed: {r:?}");
+        assert!(r.e2e_ok, "stride pings completed: {r:?}");
         assert!(r.assemble_s < 300.0, "assembled in {}", r.assemble_s);
         // Scale-free shape: the hub dwarfs the attachment degree.
         assert!(r.hub_degree >= 8, "hub degree {}", r.hub_degree);
-        // The hub knows (almost) the whole scope.
+        // The hub knows (almost) the whole scope...
         assert!(r.hub_fwd >= r.members / 2, "hub fwd {}", r.hub_fwd);
+        // ...but prefix-block addressing aggregates the stored state.
+        assert!(
+            r.fwd_agg_mean < r.fwd_mean,
+            "aggregation shrinks tables: {} vs {}",
+            r.fwd_agg_mean,
+            r.fwd_mean
+        );
+    }
+
+    /// Wave-parallel enrollment beats the sequential baseline on the
+    /// same graph — the whole point of the schedule.
+    #[test]
+    fn waves_assemble_faster_than_sequential_baseline() {
+        let w = super::run_with(40, 2, 17, EnrollSchedule::waves());
+        let s = super::run_with(40, 2, 17, EnrollSchedule::sequential());
+        assert!(w.e2e_ok && s.e2e_ok, "waves {w:?} sequential {s:?}");
+        assert!(
+            w.assemble_s < s.assemble_s,
+            "waves {} vs sequential {}",
+            w.assemble_s,
+            s.assemble_s
+        );
+    }
+
+    /// CI smoke at 200 members with a wall-clock guard: enrollment-
+    /// scaling regressions (event storms, quadratic flooding) fail the
+    /// build. Release-only — the debug-mode tier-1 run skips it.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn e10_two_hundred_smoke_within_wall_clock_budget() {
+        let t0 = std::time::Instant::now();
+        let r = super::run(200, 2, 23);
+        let wall = t0.elapsed().as_secs_f64();
+        assert!(r.e2e_ok, "{r:?}");
+        // Virtual makespan stays near the 50-node figure (sublinear):
+        // depth × admission rounds, not member count.
+        assert!(r.assemble_s < 15.0, "makespan {} s (virtual)", r.assemble_s);
+        assert!(wall < 120.0, "200-member assembly took {wall:.1} s of wall clock");
     }
 }

@@ -40,130 +40,25 @@ struct Built {
 }
 
 /// Physical topology: `regions` stars of `hosts` leaves, region routers
-/// chained as a backbone line.
+/// chained as a backbone line — [`Topology::layered`] materialized
+/// either flat (one DIF) or hierarchically (region + backbone +
+/// internet DIFs over identical wires).
 fn build(regions: usize, hosts: usize, flat: bool, seed: u64) -> Built {
     let mut b = Scenario::new("e6-scale", seed);
-    let routers: Vec<NodeH> = (0..regions).map(|r| b.node(&format!("r{r}"))).collect();
-    let mut host_ids: Vec<Vec<NodeH>> = vec![];
-    let mut host_links: Vec<Vec<LinkH>> = vec![];
-    for (r, &router) in routers.iter().enumerate() {
-        let mut row = vec![];
-        let mut lrow = vec![];
-        for h in 0..hosts {
-            let id = b.node(&format!("h{r}x{h}"));
-            let l = b.link(router, id, LinkCfg::wired());
-            row.push(id);
-            lrow.push(l);
-        }
-        host_ids.push(row);
-        host_links.push(lrow);
-    }
-    let backbone_links: Vec<LinkH> =
-        (1..regions).map(|r| b.link(routers[r - 1], routers[r], LinkCfg::wired())).collect();
-    let ping_node = host_ids[regions - 1][hosts - 1];
-
-    let mut ipcps: Vec<IpcpH> = vec![];
-    let top_dif = if flat {
-        let d = b.dif(DifConfig::new("flat"));
-        for &r in &routers {
-            b.join(d, r);
-        }
-        for row in &host_ids {
-            for &h in row {
-                b.join(d, h);
-            }
-        }
-        for r in 1..regions {
-            b.adjacency_over_link(d, routers[r - 1], routers[r], backbone_links[r - 1]);
-        }
-        for (r, row) in host_ids.iter().enumerate() {
-            for (h, &host) in row.iter().enumerate() {
-                b.adjacency_over_link(d, routers[r], host, host_links[r][h]);
-            }
-        }
-        for &r in &routers {
-            ipcps.push(b.ipcp_of(d, r));
-        }
-        for row in &host_ids {
-            for &h in row {
-                ipcps.push(b.ipcp_of(d, h));
-            }
-        }
-        d
+    let layered = Topology::line(regions).with_prefix("r").layered(hosts);
+    let (ipcps, top_dif, echo_node, ping_node) = if flat {
+        let fab = layered.materialize_flat(&mut b);
+        let ipcps = fab.member_ipcps(&b);
+        // Node order: routers first, then hosts region by region.
+        let first_host = fab.node(regions);
+        (ipcps, fab.dif, first_host, fab.last())
     } else {
-        // Hierarchical: per-region DIFs (router + its hosts), a backbone
-        // DIF (routers only), and the internet DIF whose members are hosts
-        // and routers but whose adjacencies ride the lower DIFs — so its
-        // graph is star-of-stars with tiny diameter, and the lower DIFs
-        // never see internet-wide state.
-        let mut region_difs = vec![];
-        for (r, row) in host_ids.iter().enumerate() {
-            let d = b.dif(DifConfig::new(&format!("region{r}")));
-            b.join(d, routers[r]);
-            for &h in row {
-                b.join(d, h);
-            }
-            for (h, &host) in row.iter().enumerate() {
-                b.adjacency_over_link(d, routers[r], host, host_links[r][h]);
-            }
-            region_difs.push(d);
-            for &h in row {
-                ipcps.push(b.ipcp_of(d, h));
-            }
-            ipcps.push(b.ipcp_of(d, routers[r]));
-        }
-        let backbone = b.dif(DifConfig::new("backbone"));
-        for &r in &routers {
-            b.join(backbone, r);
-        }
-        for r in 1..regions {
-            b.adjacency_over_link(backbone, routers[r - 1], routers[r], backbone_links[r - 1]);
-        }
-        for &r in &routers {
-            ipcps.push(b.ipcp_of(backbone, r));
-        }
-        // The internet DIF: hosts attach to their region router via the
-        // region DIF; routers interconnect via the backbone DIF.
-        let inet_dif = b.dif(DifConfig::new("internet"));
-        for &r in &routers {
-            b.join(inet_dif, r);
-        }
-        for row in &host_ids {
-            for &h in row {
-                b.join(inet_dif, h);
-            }
-        }
-        for r in 1..regions {
-            b.adjacency_over_dif(
-                inet_dif,
-                routers[r - 1],
-                routers[r],
-                backbone,
-                QosSpec::datagram(),
-            );
-        }
-        for (r, row) in host_ids.iter().enumerate() {
-            for &host in row {
-                b.adjacency_over_dif(
-                    inet_dif,
-                    routers[r],
-                    host,
-                    region_difs[r],
-                    QosSpec::datagram(),
-                );
-            }
-        }
-        for &r in &routers {
-            ipcps.push(b.ipcp_of(inet_dif, r));
-        }
-        for row in &host_ids {
-            for &h in row {
-                ipcps.push(b.ipcp_of(inet_dif, h));
-            }
-        }
-        inet_dif
+        let fab = layered.materialize(&mut b);
+        let ipcps = fab.member_ipcps(&b);
+        let last = fab.host(regions - 1, hosts - 1);
+        (ipcps, fab.inet, fab.host(0, 0), last)
     };
-    b.app(host_ids[0][0], AppName::new("echo"), top_dif, EchoApp::default());
+    b.app(echo_node, AppName::new("echo"), top_dif, EchoApp::default());
     let ping = b.app(
         ping_node,
         AppName::new("ping"),

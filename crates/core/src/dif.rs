@@ -59,6 +59,11 @@ pub struct DifConfig {
     /// Maximum SDU size the DIF accepts from its users. PDUs add header
     /// overhead below this.
     pub max_sdu: usize,
+    /// How many joiners one member sponsors concurrently (§5.2 at scale):
+    /// each admission reserves a window slot until the joiner's first
+    /// hello confirms it is up (or the slot times out); requests beyond
+    /// the window are told to back off and retry. `0` = unlimited.
+    pub admission_window: u32,
 }
 
 impl DifConfig {
@@ -72,6 +77,7 @@ impl DifConfig {
             hello_period: Dur::from_millis(500),
             hello_misses: 3,
             max_sdu: 64 * 1024,
+            admission_window: 8,
         }
     }
 
@@ -107,6 +113,13 @@ impl DifConfig {
     /// Builder-style hello-period override.
     pub fn with_hello_period(mut self, d: Dur) -> Self {
         self.hello_period = d;
+        self
+    }
+
+    /// Builder-style admission-window override (`0` = unlimited; `1`
+    /// serializes each sponsor's admissions — the sequential baseline).
+    pub fn with_admission_window(mut self, w: u32) -> Self {
+        self.admission_window = w;
         self
     }
 

@@ -25,9 +25,41 @@ use crate::routing::{compute_routes, Lsa, LSA_CLASS, LSA_PREFIX};
 use bytes::Bytes;
 use rina_efcp::{ConnId, Connection};
 use rina_rib::{Rib, RibEvent, RibObject};
-use rina_sim::Time;
+use rina_sim::{Dur, Time};
 use rina_wire::{CdapMsg, CepId, MgmtPdu, Pdu};
 use std::collections::HashMap;
+
+/// CDAP result code a sponsor returns when its admission window is full:
+/// not a refusal — the joiner should back off and retry.
+pub const R_ENROLL_BUSY: i32 = -6;
+
+/// RIB object name prefix for delegated address blocks.
+pub const BLOCK_PREFIX: &str = "/blocks/";
+/// RIB object class for delegated address blocks.
+pub const BLOCK_CLASS: &str = "block";
+
+/// How long one admission-window slot stays reserved before the sponsor
+/// gives up waiting for the admitted joiner's first hello.
+const ADMIT_SLOT_TTL: Dur = Dur::from_millis(1500);
+
+/// Backoff hint sent with [`R_ENROLL_BUSY`] responses. Shorter than the
+/// joiner's initial retry period: once a joiner has reached a live
+/// sponsor, admission rounds — not timeouts — should pace the wave.
+const ADMIT_RETRY_MS: u32 = 100;
+
+/// Minimum hello ticks between digest-triggered resyncs of one port:
+/// anti-entropy must repair losses without turning assembly-time churn
+/// (when neighbors' RIBs differ constantly and legitimately) into
+/// full-RIB broadcast storms.
+const RESYNC_DAMP_TICKS: u64 = 8;
+
+/// Largest RIB snapshot inlined into one [`MgmtBody::EnrollResponse`].
+/// Bigger RIBs would overflow the (N-1) MTU in a single PDU — the very
+/// wall that capped facilities near 100 members — so past this size the
+/// sponsor sends an *empty* snapshot and streams the RIB as individual
+/// [`MgmtBody::RibUpdate`]s right behind the response (each one small,
+/// all of them version-guarded and therefore idempotent).
+const SNAPSHOT_INLINE_MAX: usize = 64;
 
 /// What backs an (N-1) port.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -61,6 +93,9 @@ pub struct N1Port {
     pub up: bool,
     /// Last hello heard on this port.
     pub last_hello: Time,
+    /// Our hello-tick count when this port was last resynced (damps
+    /// digest-triggered anti-entropy).
+    pub(crate) last_resync_tick: u64,
 }
 
 /// Flow allocation phase of one connection endpoint.
@@ -176,6 +211,8 @@ pub struct IpcpStats {
     pub rib_tx: u64,
     /// Enrollment requests handled as sponsor.
     pub enrollments_sponsored: u64,
+    /// Enrollment requests deferred because the admission window was full.
+    pub enrollments_deferred: u64,
     /// Flow requests handled as destination.
     pub flow_reqs_in: u64,
     /// Undecodable frames received.
@@ -199,6 +236,10 @@ pub struct Ipcp {
     pub name: AppName,
     /// DIF-internal address (0 until enrolled).
     pub addr: Addr,
+    /// Address block `[lo, hi]` delegated to this member at enrollment:
+    /// its own address plus the range it may sponsor its subtree from.
+    /// `(addr, addr)` when nothing was delegated.
+    pub block: (Addr, Addr),
     /// Shim mode: degenerate two-member DIF bound to a point-to-point
     /// medium; no enrollment, no routing, implicit directory.
     pub is_shim: bool,
@@ -208,6 +249,10 @@ pub struct Ipcp {
     pub rib: Rib,
     /// Current forwarding table (step one: destination → next hops).
     pub fwd: crate::routing::ForwardingTable,
+    /// Remote LSA updates arrived since the last Dijkstra run; the node
+    /// recomputes on a short debounce timer so a flood of LSAs (a whole
+    /// wave enrolling) costs one recomputation, not one per update.
+    routes_dirty: bool,
     n1: Vec<N1Port>,
     conns: HashMap<CepId, FlowState>,
     raw: HashMap<CepId, RawFlow>,
@@ -215,6 +260,13 @@ pub struct Ipcp {
     next_invoke: u32,
     pending: HashMap<u32, Pending>,
     enroll_via: Option<usize>,
+    /// Joiners admitted but not yet confirmed up (first hello pending):
+    /// joiner name → (admitted at, granted address, granted block). Size
+    /// is capped by the DIF's admission window.
+    admitting: HashMap<AppName, (Time, Addr, (Addr, Addr))>,
+    /// Backoff hint from the last busy sponsor response; the node's
+    /// enrollment-retry timer consumes it.
+    retry_hint: Option<Dur>,
     /// Pending effects, drained by the node.
     out: Vec<IpcpOut>,
     /// Counters.
@@ -233,10 +285,12 @@ impl Ipcp {
             cfg,
             name,
             addr: 0,
+            block: (0, 0),
             is_shim: false,
             enrolled: false,
             rib: Rib::new(0),
             fwd: Default::default(),
+            routes_dirty: false,
             n1: Vec::new(),
             conns: HashMap::new(),
             raw: HashMap::new(),
@@ -244,6 +298,8 @@ impl Ipcp {
             next_invoke: 1,
             pending: HashMap::new(),
             enroll_via: None,
+            admitting: HashMap::new(),
+            retry_hint: None,
             out: Vec::new(),
             stats: IpcpStats::default(),
             advertised: Vec::new(),
@@ -256,9 +312,21 @@ impl Ipcp {
         assert!(!self.enrolled, "already a member");
         assert!(addr != 0, "address 0 is reserved");
         self.addr = addr;
+        self.block = (addr, addr);
         self.rib.set_origin(addr);
         self.enrolled = true;
         self.rib.write_local(&format!("/members/{}", self.name.key()), "member", encode_addr(addr));
+        self.drain_rib();
+    }
+
+    /// Give this (bootstrapped) member the address block it sponsors
+    /// from. The enrollment planner hands the bootstrap the whole DIF
+    /// range; sub-blocks are delegated recursively at enrollment.
+    pub fn set_block(&mut self, block: (Addr, Addr)) {
+        assert!(self.enrolled, "only members hold blocks");
+        assert!(block.0 <= self.addr && self.addr <= block.1, "own address outside block");
+        self.block = block;
+        self.rib.write_local(&block_name(self.addr), BLOCK_CLASS, encode_block(block));
         self.drain_rib();
     }
 
@@ -283,6 +351,7 @@ impl Ipcp {
             peer_addr: 0,
             up: true,
             last_hello: Time::ZERO,
+            last_resync_tick: 0,
         });
         self.n1.len() - 1
     }
@@ -340,13 +409,8 @@ impl Ipcp {
         if !self.is_shim && self.enrolled && self.hello_ticks.is_multiple_of(8) {
             let own: Vec<RibObject> =
                 self.rib.snapshot().into_iter().filter(|o| o.origin == self.addr).collect();
-            for i in 0..self.n1.len() {
-                if self.n1[i].up && self.n1[i].peer_addr != 0 {
-                    for obj in &own {
-                        self.stats.rib_tx += 1;
-                        self.send_mgmt_on(i, MgmtBody::RibUpdate(obj.clone()), 0, 0);
-                    }
-                }
+            for obj in &own {
+                self.flood_rib(obj, None);
             }
         }
         // Expire neighbors we have not heard from.
@@ -369,14 +433,23 @@ impl Ipcp {
     }
 
     fn send_hello(&mut self, n1: usize) {
-        let body = MgmtBody::Hello { name: self.name.clone(), addr: self.addr };
+        let body = MgmtBody::Hello {
+            name: self.name.clone(),
+            addr: self.addr,
+            rib_objects: self.rib.object_count() as u64,
+            rib_digest: self.rib.digest(),
+        };
         self.send_mgmt_on(n1, body, 0, 0);
     }
 
     /// Push the entire RIB to the peer on one port (joiner-style sync for
-    /// a neighbor that just (re)appeared). Version guards make this
-    /// idempotent.
+    /// a neighbor that just (re)appeared, streamed snapshot for a fresh
+    /// enrollee, or anti-entropy repair after a digest mismatch). Version
+    /// guards make this idempotent.
     fn resync_port(&mut self, n1: usize) {
+        if let Some(p) = self.n1.get_mut(n1) {
+            p.last_resync_tick = self.hello_ticks;
+        }
         for obj in self.rib.snapshot() {
             self.stats.rib_tx += 1;
             self.send_mgmt_on(n1, MgmtBody::RibUpdate(obj), 0, 0);
@@ -424,6 +497,7 @@ impl Ipcp {
 
     /// Recompute the forwarding table from the RIB's LSAs.
     fn recompute_routes(&mut self) {
+        self.routes_dirty = false;
         let mut lsas = HashMap::new();
         for o in self.rib.iter_prefix(LSA_PREFIX) {
             let Ok(addr) = o.name[LSA_PREFIX.len()..].parse::<u64>() else {
@@ -436,14 +510,34 @@ impl Ipcp {
         self.fwd = compute_routes(self.addr, &lsas);
     }
 
+    /// Whether a debounced route recomputation is wanted (the node arms
+    /// a short timer and calls [`Ipcp::recompute_routes_now`]).
+    pub fn routes_dirty(&self) -> bool {
+        self.routes_dirty
+    }
+
+    /// Run the deferred Dijkstra (no-op when nothing changed).
+    pub fn recompute_routes_now(&mut self) {
+        if self.routes_dirty {
+            self.recompute_routes();
+        }
+    }
+
     // ------------------------------------------------------------------
     // Enrollment (§5.2)
     // ------------------------------------------------------------------
 
     /// Begin enrollment through the member reachable over (N-1) port `n1`,
     /// presenting `credential` and proposing `proposed_addr` (0 = let the
-    /// sponsor choose).
-    pub fn start_enroll(&mut self, n1: usize, credential: &str, proposed_addr: Addr) {
+    /// sponsor choose) plus the address block the joiner's own subtree
+    /// will occupy ((0, 0) = none).
+    pub fn start_enroll(
+        &mut self,
+        n1: usize,
+        credential: &str,
+        proposed_addr: Addr,
+        proposed_block: (Addr, Addr),
+    ) {
         assert!(!self.enrolled, "already enrolled");
         self.enroll_via = Some(n1);
         self.send_hello(n1);
@@ -453,12 +547,18 @@ impl Ipcp {
             name: self.name.clone(),
             credential: credential.to_string(),
             proposed_addr,
+            proposed_block,
         };
         self.send_mgmt_on(n1, body, invoke, 0);
     }
 
     /// Retry enrollment if still not a member (drives the retry timer).
-    pub fn retry_enroll(&mut self, credential: &str, proposed_addr: Addr) {
+    pub fn retry_enroll(
+        &mut self,
+        credential: &str,
+        proposed_addr: Addr,
+        proposed_block: (Addr, Addr),
+    ) {
         if self.enrolled {
             return;
         }
@@ -469,62 +569,156 @@ impl Ipcp {
                 name: self.name.clone(),
                 credential: credential.to_string(),
                 proposed_addr,
+                proposed_block,
             };
             self.send_mgmt_on(n1, body, invoke, 0);
         }
     }
 
+    /// How soon the enrollment-retry timer should re-fire, if a sponsor
+    /// asked for a specific backoff (consumed on read).
+    pub fn take_enroll_retry_hint(&mut self) -> Option<Dur> {
+        self.retry_hint.take()
+    }
+
+    /// Outstanding `Pending::Enroll` entries — must be 0 once enrolled
+    /// (retried requests are garbage-collected on success).
+    pub fn pending_enrolls(&self) -> usize {
+        self.pending.values().filter(|p| matches!(p, Pending::Enroll)).count()
+    }
+
+    /// Choose the address and block for an enrollee, honouring its
+    /// proposal when it conflicts with nothing we know. Sibling blocks
+    /// must stay disjoint: a proposal that *partially* overlaps a known
+    /// block (neither contains the other) falls back to a fresh singleton
+    /// past everything delegated so far.
+    fn assign_enrollee(
+        &self,
+        name: &AppName,
+        proposed_addr: Addr,
+        proposed_block: (Addr, Addr),
+    ) -> (Addr, (Addr, Addr)) {
+        let proposed_block =
+            if proposed_block == (0, 0) { (proposed_addr, proposed_addr) } else { proposed_block };
+        let mut max_addr = self.addr.max(self.block.1);
+        let mut taken = proposed_addr == 0
+            || proposed_addr == self.addr
+            || proposed_addr < proposed_block.0
+            || proposed_addr > proposed_block.1;
+        for o in self.rib.iter_prefix("/members/") {
+            if let Some(a) = decode_addr(&o.value) {
+                max_addr = max_addr.max(a);
+                if a == proposed_addr && o.name != format!("/members/{}", name.key()) {
+                    taken = true;
+                }
+            }
+        }
+        for o in self.rib.iter_prefix(BLOCK_PREFIX) {
+            let Some(b) = decode_block(&o.value) else { continue };
+            max_addr = max_addr.max(b.1);
+            let disjoint = proposed_block.1 < b.0 || b.1 < proposed_block.0;
+            // Nesting is only legitimate *inward*: a proposal may sit
+            // inside an ancestor's block (enrollment runs top-down, so
+            // every known containing block is an ancestor's). A proposal
+            // that swallows an already-delegated block would let two
+            // sponsors hand out the same addresses.
+            let inside = proposed_block.0 >= b.0 && proposed_block.1 <= b.1;
+            if !disjoint && !inside {
+                taken = true;
+            }
+            // A block equal to ours belongs to us; a proposal claiming it
+            // wholesale is only fine when it is the joiner's own retry.
+            if b == proposed_block && o.name != block_name(proposed_addr) {
+                taken = true;
+            }
+        }
+        if taken {
+            let a = max_addr + 1;
+            (a, (a, a))
+        } else {
+            (proposed_addr, proposed_block)
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn handle_enroll_request(
         &mut self,
         from_n1: usize,
         name: AppName,
         credential: String,
         proposed_addr: Addr,
+        proposed_block: (Addr, Addr),
         invoke_id: u32,
+        now: Time,
     ) {
+        let refuse = |retry_after_ms: u32| MgmtBody::EnrollResponse {
+            addr: 0,
+            block: (0, 0),
+            retry_after_ms,
+            snapshot: vec![],
+        };
         if !self.enrolled || self.is_shim {
-            let body = MgmtBody::EnrollResponse { addr: 0, snapshot: vec![] };
+            let body = refuse(0);
             self.send_mgmt_on(from_n1, body, invoke_id, -1);
             return;
         }
         if !self.cfg.auth.verify(&credential) {
-            let body = MgmtBody::EnrollResponse { addr: 0, snapshot: vec![] };
+            let body = refuse(0);
             self.send_mgmt_on(from_n1, body, invoke_id, -2);
             return;
         }
-        // Honour the joiner's proposal if it conflicts with nothing we
-        // know; otherwise assign max+1 over known members. (Proposals are
-        // how statically planned networks avoid races between concurrent
-        // sponsors; dynamically joining members propose 0.)
-        let mut max_addr = self.addr;
-        let mut proposal_taken = proposed_addr == 0 || proposed_addr == self.addr;
-        for o in self.rib.iter_prefix("/members/") {
-            if let Some(a) = decode_addr(&o.value) {
-                max_addr = max_addr.max(a);
-                if a == proposed_addr && o.name != format!("/members/{}", name.key()) {
-                    proposal_taken = true;
+        // Free slots of joiners we have stopped waiting for.
+        self.admitting.retain(|_, &mut (t, _, _)| now.since(t) <= ADMIT_SLOT_TTL);
+        // A retry from a joiner already holding a slot (its response was
+        // lost): re-grant the same address and block, idempotently.
+        let granted = self.admitting.get(&name).map(|&(_, a, b)| (a, b));
+        let (new_addr, new_block) = match granted {
+            Some(g) => g,
+            None => {
+                let window = self.cfg.admission_window as usize;
+                if window != 0 && self.admitting.len() >= window {
+                    self.stats.enrollments_deferred += 1;
+                    let body = refuse(ADMIT_RETRY_MS);
+                    self.send_mgmt_on(from_n1, body, invoke_id, R_ENROLL_BUSY);
+                    return;
                 }
+                self.assign_enrollee(&name, proposed_addr, proposed_block)
             }
-        }
-        let new_addr = if proposal_taken { max_addr + 1 } else { proposed_addr };
+        };
+        self.admitting.insert(name.clone(), (now, new_addr, new_block));
         self.stats.enrollments_sponsored += 1;
         self.rib.write_local(&format!("/members/{}", name.key()), "member", encode_addr(new_addr));
+        self.rib.write_local(&block_name(new_addr), BLOCK_CLASS, encode_block(new_block));
         // Snapshot *after* recording the new member so the joiner sees
-        // itself.
+        // itself. Small RIBs ride inline in the response; big ones would
+        // overflow the (N-1) MTU, so they stream as per-object updates
+        // behind an empty-snapshot response instead.
         let snapshot = self.rib.snapshot();
+        let stream = snapshot.len() > SNAPSHOT_INLINE_MAX;
         if let Some(p) = self.n1.get_mut(from_n1) {
             p.peer_name = Some(name);
             p.peer_addr = new_addr;
         }
-        let body = MgmtBody::EnrollResponse { addr: new_addr, snapshot };
+        let body = MgmtBody::EnrollResponse {
+            addr: new_addr,
+            block: new_block,
+            retry_after_ms: 0,
+            snapshot: if stream { vec![] } else { snapshot },
+        };
         self.send_mgmt_on(from_n1, body, invoke_id, 0);
+        if stream {
+            self.resync_port(from_n1);
+        }
         self.drain_rib();
         self.refresh_lsa(Time::ZERO);
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn handle_enroll_response(
         &mut self,
         addr: Addr,
+        block: (Addr, Addr),
+        retry_after_ms: u32,
         snapshot: Vec<RibObject>,
         result: i32,
         now: Time,
@@ -532,12 +726,21 @@ impl Ipcp {
         if self.enrolled {
             return; // duplicate response to a retried request
         }
+        if result == R_ENROLL_BUSY {
+            // The sponsor's admission window is full: pace the retry to
+            // its hint instead of the default timeout.
+            self.retry_hint = Some(Dur::from_millis(retry_after_ms.max(1) as u64));
+            return;
+        }
         if result != 0 || addr == 0 {
             return; // keep retrying (or give up via node policy)
         }
         self.addr = addr;
+        self.block = if block == (0, 0) { (addr, addr) } else { block };
         self.rib.set_origin(addr);
         self.enrolled = true;
+        // Requests retried before this response landed are now moot.
+        self.pending.retain(|_, p| !matches!(p, Pending::Enroll));
         for o in snapshot {
             self.rib.apply_remote(o);
         }
@@ -1009,9 +1212,14 @@ impl Ipcp {
             }
         };
         match body {
-            MgmtBody::Hello { name, addr } => {
+            MgmtBody::Hello { name, addr, rib_objects, rib_digest } => {
                 let mut changed = false;
                 let mut new_member = false;
+                if addr != 0 {
+                    // An enrolled hello confirms the joiner is up: its
+                    // admission-window slot (if any) frees.
+                    self.admitting.remove(&name);
+                }
                 if let Some(p) = self.n1.get_mut(from_n1) {
                     p.last_hello = now;
                     if !p.up {
@@ -1035,27 +1243,54 @@ impl Ipcp {
                 if changed {
                     self.refresh_lsa(now);
                 }
-                if new_member && !self.is_shim && self.enrolled {
-                    // A member (re)appeared on this port: bring it fully up
-                    // to date. RIEP dissemination is unreliable and
-                    // version-guarded, so (re)attachment is the moment to
-                    // resynchronize — this is what makes mobility's
-                    // join/leave cycles (§6.4) converge.
-                    self.resync_port(from_n1);
+                if !self.is_shim && self.enrolled && addr != 0 {
+                    if new_member {
+                        // A member (re)appeared on this port: bring it
+                        // fully up to date. RIEP dissemination is
+                        // unreliable and version-guarded, so
+                        // (re)attachment is the moment to resynchronize —
+                        // this is what makes mobility's join/leave cycles
+                        // (§6.4) converge.
+                        self.resync_port(from_n1);
+                    } else if (rib_objects, rib_digest)
+                        != (self.rib.object_count() as u64, self.rib.digest())
+                        && self.n1.get(from_n1).is_some_and(|p| {
+                            self.hello_ticks >= p.last_resync_tick + RESYNC_DAMP_TICKS
+                        })
+                    {
+                        // Anti-entropy: the neighbor's RIB summary differs
+                        // from ours, so one of us missed an update — e.g.
+                        // a streamed enrollment snapshot losing frames.
+                        // Push our versions (idempotent); the neighbor's
+                        // own hellos repair the opposite direction. Damped
+                        // to once per port per few hello cycles, so the
+                        // constant churn *during* assembly never triggers
+                        // full-RIB storms.
+                        self.resync_port(from_n1);
+                    }
                 }
             }
-            MgmtBody::EnrollRequest { name, credential, proposed_addr } => {
+            MgmtBody::EnrollRequest { name, credential, proposed_addr, proposed_block } => {
                 self.handle_enroll_request(
                     from_n1,
                     name,
                     credential,
                     proposed_addr,
+                    proposed_block,
                     cdap.invoke_id,
+                    now,
                 );
             }
-            MgmtBody::EnrollResponse { addr, snapshot } => {
+            MgmtBody::EnrollResponse { addr, block, retry_after_ms, snapshot } => {
                 if matches!(self.pending.remove(&cdap.invoke_id), Some(Pending::Enroll)) {
-                    self.handle_enroll_response(addr, snapshot, cdap.result, now);
+                    self.handle_enroll_response(
+                        addr,
+                        block,
+                        retry_after_ms,
+                        snapshot,
+                        cdap.result,
+                        now,
+                    );
                 }
             }
             MgmtBody::FlowRequest { src_app, dst_app, spec, src_addr, src_cep } => {
@@ -1083,18 +1318,35 @@ impl Ipcp {
                 let lsa_changed = obj.class == LSA_CLASS;
                 if self.rib.apply_remote(obj.clone()) {
                     // Re-flood to all other live neighbors.
-                    for i in 0..self.n1.len() {
-                        if i != from_n1 && self.n1[i].up && self.n1[i].peer_addr != 0 {
-                            self.stats.rib_tx += 1;
-                            let b = MgmtBody::RibUpdate(obj.clone());
-                            self.send_mgmt_on(i, b, 0, 0);
-                        }
-                    }
+                    self.flood_rib(&obj, Some(from_n1));
                     while self.rib.poll_event().is_some() {}
                     if lsa_changed {
-                        self.recompute_routes();
+                        // Debounced: floods of remote LSAs (a wave of
+                        // enrollments) collapse into one Dijkstra run.
+                        self.routes_dirty = true;
                     }
                 }
+            }
+        }
+    }
+
+    /// Encode one RIB object as a link-local management frame, once; the
+    /// flooding paths clone the (reference-counted) frame per port
+    /// instead of re-encoding it fan-out times.
+    fn rib_update_frame(&self, obj: &RibObject) -> Bytes {
+        let payload = MgmtBody::RibUpdate(obj.clone()).encode(0, 0);
+        Pdu::Mgmt(MgmtPdu { dest_addr: 0, src_addr: self.addr, ttl: 1, payload }).encode()
+    }
+
+    /// Flood one RIB object to every live, enrolled neighbor except
+    /// `except` (the port it arrived on, for re-floods).
+    fn flood_rib(&mut self, obj: &RibObject, except: Option<usize>) {
+        let frame = self.rib_update_frame(obj);
+        for i in 0..self.n1.len() {
+            if Some(i) != except && self.n1[i].up && self.n1[i].peer_addr != 0 {
+                self.stats.rib_tx += 1;
+                self.stats.mgmt_tx += 1;
+                self.tx_n1(i, frame.clone(), 7);
             }
         }
     }
@@ -1144,12 +1396,7 @@ impl Ipcp {
             updates.push(o);
         }
         for obj in updates {
-            for i in 0..self.n1.len() {
-                if self.n1[i].up && self.n1[i].peer_addr != 0 {
-                    self.stats.rib_tx += 1;
-                    self.send_mgmt_on(i, MgmtBody::RibUpdate(obj.clone()), 0, 0);
-                }
-            }
+            self.flood_rib(&obj, None);
         }
     }
 
@@ -1198,6 +1445,26 @@ fn encode_addr(a: Addr) -> Bytes {
 
 fn decode_addr(b: &[u8]) -> Option<Addr> {
     rina_wire::codec::Reader::new(b).varint().ok()
+}
+
+/// RIB object name for the delegated block rooted at `addr`.
+pub fn block_name(addr: Addr) -> String {
+    format!("{BLOCK_PREFIX}{addr}")
+}
+
+/// Encode a delegated `[lo, hi]` block as a RIB object value.
+pub fn encode_block(b: (Addr, Addr)) -> Bytes {
+    let mut w = rina_wire::codec::Writer::new();
+    w.varint(b.0).varint(b.1);
+    w.finish()
+}
+
+/// Decode a delegated block from a RIB object value.
+pub fn decode_block(b: &[u8]) -> Option<(Addr, Addr)> {
+    let mut r = rina_wire::codec::Reader::new(b);
+    let lo = r.varint().ok()?;
+    let hi = r.varint().ok()?;
+    Some((lo, hi))
 }
 
 #[cfg(test)]
@@ -1255,7 +1522,15 @@ mod tests {
         );
         sponsor.bootstrap(1);
         sponsor.add_n1(N1Kind::Phys { iface: 0, mtu: 1500 });
-        sponsor.handle_enroll_request(0, AppName::new("net.x"), "wrong".into(), 0, 5);
+        sponsor.handle_enroll_request(
+            0,
+            AppName::new("net.x"),
+            "wrong".into(),
+            0,
+            (0, 0),
+            5,
+            Time::ZERO,
+        );
         // The response effect is a TxPhys frame; decode it and check result.
         let out = sponsor.take_out();
         let frame = out
@@ -1279,11 +1554,218 @@ mod tests {
         sponsor.bootstrap(1);
         sponsor.add_n1(N1Kind::Phys { iface: 0, mtu: 1500 });
         sponsor.add_n1(N1Kind::Phys { iface: 1, mtu: 1500 });
-        sponsor.handle_enroll_request(0, AppName::new("net.x"), String::new(), 0, 1);
-        sponsor.handle_enroll_request(1, AppName::new("net.y"), String::new(), 0, 2);
+        sponsor.handle_enroll_request(
+            0,
+            AppName::new("net.x"),
+            String::new(),
+            0,
+            (0, 0),
+            1,
+            Time::ZERO,
+        );
+        sponsor.handle_enroll_request(
+            1,
+            AppName::new("net.y"),
+            String::new(),
+            0,
+            (0, 0),
+            2,
+            Time::ZERO,
+        );
         let x = decode_addr(&sponsor.rib.get("/members/net.x").unwrap().value).unwrap();
         let y = decode_addr(&sponsor.rib.get("/members/net.y").unwrap().value).unwrap();
         assert_eq!((x, y), (2, 3));
+    }
+
+    /// Decode the EnrollResponse a sponsor just emitted (among whatever
+    /// RIB floods followed it).
+    fn last_enroll_response(i: &mut Ipcp) -> (i32, Addr, (Addr, Addr), u32) {
+        i.take_out()
+            .iter()
+            .filter_map(|o| match o {
+                IpcpOut::TxPhys { frame, .. } => Some(frame.clone()),
+                _ => None,
+            })
+            .find_map(|frame| {
+                let Pdu::Mgmt(m) = Pdu::decode(&frame).ok()? else { return None };
+                let cdap = CdapMsg::decode(&m.payload).ok()?;
+                match MgmtBody::from_cdap(&cdap).ok()? {
+                    MgmtBody::EnrollResponse { addr, block, retry_after_ms, .. } => {
+                        Some((cdap.result, addr, block, retry_after_ms))
+                    }
+                    _ => None,
+                }
+            })
+            .expect("an EnrollResponse frame")
+    }
+
+    #[test]
+    fn admission_window_defers_excess_joiners_then_frees_on_hello() {
+        let mut sponsor =
+            Ipcp::new(0, DifConfig::new("net").with_admission_window(2), AppName::new("net.s"));
+        sponsor.bootstrap(1);
+        sponsor.set_block((1, 100));
+        for i in 0..3 {
+            sponsor.add_n1(N1Kind::Phys { iface: i, mtu: 1500 });
+        }
+        sponsor.handle_enroll_request(
+            0,
+            AppName::new("net.a"),
+            String::new(),
+            2,
+            (2, 10),
+            1,
+            Time::ZERO,
+        );
+        let (r, a, b, _) = last_enroll_response(&mut sponsor);
+        assert_eq!((r, a, b), (0, 2, (2, 10)));
+        sponsor.handle_enroll_request(
+            1,
+            AppName::new("net.b"),
+            String::new(),
+            11,
+            (11, 20),
+            2,
+            Time::ZERO,
+        );
+        let (r, a, _, _) = last_enroll_response(&mut sponsor);
+        assert_eq!((r, a), (0, 11));
+        // Third concurrent joiner: window (2) is full — busy, with a hint.
+        sponsor.handle_enroll_request(
+            2,
+            AppName::new("net.c"),
+            String::new(),
+            21,
+            (21, 30),
+            3,
+            Time::ZERO,
+        );
+        let (r, a, _, hint) = last_enroll_response(&mut sponsor);
+        assert_eq!((r, a), (R_ENROLL_BUSY, 0));
+        assert!(hint > 0, "busy responses carry a backoff hint");
+        assert_eq!(sponsor.stats.enrollments_deferred, 1);
+        // net.a's hello (enrolled) frees a slot; net.c's retry is admitted.
+        let hello =
+            MgmtBody::Hello { name: AppName::new("net.a"), addr: 2, rib_objects: 0, rib_digest: 0 }
+                .encode(0, 0);
+        let pdu = Pdu::Mgmt(MgmtPdu { dest_addr: 0, src_addr: 2, ttl: 1, payload: hello });
+        sponsor.on_frame(0, pdu.encode(), Time::ZERO);
+        sponsor.take_out();
+        sponsor.handle_enroll_request(
+            2,
+            AppName::new("net.c"),
+            String::new(),
+            21,
+            (21, 30),
+            4,
+            Time::ZERO,
+        );
+        let (r, a, b, _) = last_enroll_response(&mut sponsor);
+        assert_eq!((r, a, b), (0, 21, (21, 30)));
+    }
+
+    #[test]
+    fn admitted_retry_regrants_same_address_without_a_second_slot() {
+        let mut sponsor =
+            Ipcp::new(0, DifConfig::new("net").with_admission_window(1), AppName::new("net.s"));
+        sponsor.bootstrap(1);
+        sponsor.add_n1(N1Kind::Phys { iface: 0, mtu: 1500 });
+        sponsor.handle_enroll_request(
+            0,
+            AppName::new("net.x"),
+            String::new(),
+            0,
+            (0, 0),
+            1,
+            Time::ZERO,
+        );
+        let (_, first, _, _) = last_enroll_response(&mut sponsor);
+        // The response was lost; the joiner retries. Same grant, no busy.
+        sponsor.handle_enroll_request(
+            0,
+            AppName::new("net.x"),
+            String::new(),
+            0,
+            (0, 0),
+            2,
+            Time::ZERO,
+        );
+        let (r, again, _, _) = last_enroll_response(&mut sponsor);
+        assert_eq!((r, again), (0, first));
+        assert_eq!(sponsor.stats.enrollments_deferred, 0);
+    }
+
+    /// A proposal may nest *inside* an ancestor's block, but never
+    /// swallow an existing delegation — otherwise two sponsors would
+    /// both believe they own the swallowed range.
+    #[test]
+    fn block_proposal_swallowing_a_sibling_falls_back() {
+        let mut sponsor = mk("net.s");
+        sponsor.bootstrap(1);
+        sponsor.set_block((1, 50));
+        sponsor.add_n1(N1Kind::Phys { iface: 0, mtu: 1500 });
+        sponsor.add_n1(N1Kind::Phys { iface: 1, mtu: 1500 });
+        sponsor.handle_enroll_request(
+            0,
+            AppName::new("net.a"),
+            String::new(),
+            2,
+            (2, 10),
+            1,
+            Time::ZERO,
+        );
+        let (_, a, b, _) = last_enroll_response(&mut sponsor);
+        assert_eq!((a, b), (2, (2, 10)));
+        // net.b proposes (2, 20): strictly *contains* net.a's (2, 10) —
+        // inward nesting is fine, swallowing a delegation is not.
+        sponsor.handle_enroll_request(
+            1,
+            AppName::new("net.b"),
+            String::new(),
+            11,
+            (2, 20),
+            2,
+            Time::ZERO,
+        );
+        let (r, a2, b2, _) = last_enroll_response(&mut sponsor);
+        assert_eq!(r, 0);
+        assert!(a2 > 50, "fallback clears every known range, got {a2}");
+        assert_eq!(b2, (a2, a2));
+    }
+
+    #[test]
+    fn partially_overlapping_block_proposal_falls_back_to_singleton() {
+        let mut sponsor = mk("net.s");
+        sponsor.bootstrap(1);
+        sponsor.set_block((1, 50));
+        sponsor.add_n1(N1Kind::Phys { iface: 0, mtu: 1500 });
+        sponsor.add_n1(N1Kind::Phys { iface: 1, mtu: 1500 });
+        sponsor.handle_enroll_request(
+            0,
+            AppName::new("net.a"),
+            String::new(),
+            2,
+            (2, 20),
+            1,
+            Time::ZERO,
+        );
+        let (_, a, b, _) = last_enroll_response(&mut sponsor);
+        assert_eq!((a, b), (2, (2, 20)));
+        // net.b claims (15, 30): straddles net.a's block — rejected
+        // proposal, fallback past every delegated range.
+        sponsor.handle_enroll_request(
+            1,
+            AppName::new("net.b"),
+            String::new(),
+            15,
+            (15, 30),
+            2,
+            Time::ZERO,
+        );
+        let (r, a2, b2, _) = last_enroll_response(&mut sponsor);
+        assert_eq!(r, 0);
+        assert!(a2 > 50, "fallback must clear the sponsor's whole block, got {a2}");
+        assert_eq!(b2, (a2, a2));
     }
 
     #[test]

@@ -94,7 +94,7 @@ pub mod scenario;
 pub use app::{AppProcess, FlowOrigin, IpcApi, IpcError};
 pub use dif::{AuthPolicy, DifConfig, SchedPolicy};
 pub use naming::{Addr, AppName, DifName, PortId};
-pub use net::{AppH, DifH, IpcpH, LinkH, Net, NetBuilder, NodeH, Via};
+pub use net::{AppH, DifH, EnrollSchedule, IpcpH, LinkH, Net, NetBuilder, NodeH, Via};
 pub use node::{ext_timer_key, Node};
 pub use qos::{QosCube, QosSpec};
 
@@ -104,10 +104,10 @@ pub mod prelude {
     pub use crate::apps::{EchoApp, PingApp, SinkApp, SourceApp};
     pub use crate::dif::{AuthPolicy, DifConfig, SchedPolicy};
     pub use crate::naming::{AppName, DifName, PortId};
-    pub use crate::net::{AppH, DifH, IpcpH, LinkH, Net, NetBuilder, NodeH, Via};
+    pub use crate::net::{AppH, DifH, EnrollSchedule, IpcpH, LinkH, Net, NetBuilder, NodeH, Via};
     pub use crate::node::{ext_timer_key, Node};
     pub use crate::qos::{QosCube, QosSpec};
-    pub use crate::scenario::{Fabric, Topology, Workload};
+    pub use crate::scenario::{Fabric, Layered, LayeredFabric, Topology, Workload};
     pub use bytes::Bytes;
     pub use rina_sim::{Dur, LinkCfg, LossModel, Time};
 }

@@ -24,12 +24,19 @@ mod class {
 #[derive(Clone, Debug, PartialEq)]
 pub enum MgmtBody {
     /// Periodic link-local announcement over an (N-1) port: who is on the
-    /// other side. Also serves as keepalive.
+    /// other side. Also serves as keepalive, and carries a RIB summary
+    /// for anti-entropy: a neighbor whose `(rib_objects, rib_digest)`
+    /// differs from ours missed an update (RIEP dissemination is
+    /// unreliable) and gets a version-guarded resync.
     Hello {
         /// Sender's IPC-process application name.
         name: AppName,
         /// Sender's DIF-internal address (0 if not yet enrolled).
         addr: Addr,
+        /// Objects (tombstones included) in the sender's RIB.
+        rib_objects: u64,
+        /// Order-independent fingerprint of the sender's RIB versions.
+        rib_digest: u64,
     },
     /// Request to join the DIF (sent to a member over an (N-1) flow).
     EnrollRequest {
@@ -41,12 +48,23 @@ pub enum MgmtBody {
         /// planned networks propose to avoid races between concurrent
         /// sponsors; the sponsor still verifies uniqueness.
         proposed_addr: Addr,
+        /// Address block `[lo, hi]` the joiner proposes to sponsor its own
+        /// subtree from ((0, 0) = none; the planner derives blocks from
+        /// spanning-subtree sizes so sibling blocks never overlap).
+        proposed_block: (Addr, Addr),
     },
     /// Enrollment outcome. On success carries the assigned address and a
     /// full RIB synchronization set.
     EnrollResponse {
         /// Address assigned to the joiner (0 on failure).
         addr: Addr,
+        /// Address block delegated to the joiner for sub-sponsorship
+        /// ((0, 0) = singleton: just `addr`).
+        block: (Addr, Addr),
+        /// When the sponsor's admission window was full
+        /// ([`crate::ipcp::R_ENROLL_BUSY`]), how soon the joiner should
+        /// retry, in milliseconds (0 otherwise).
+        retry_after_ms: u32,
         /// RIB snapshot to initialize the joiner.
         snapshot: Vec<RibObject>,
     },
@@ -86,19 +104,21 @@ impl MgmtBody {
     /// Wrap into a CDAP message with the given invoke id and result code.
     pub fn into_cdap(self, invoke_id: u32, result: i32) -> CdapMsg {
         let (op, cls, name, value) = match self {
-            MgmtBody::Hello { name, addr } => {
+            MgmtBody::Hello { name, addr, rib_objects, rib_digest } => {
                 let mut w = Writer::new();
-                w.string(&name.key()).varint(addr);
+                w.string(&name.key()).varint(addr).varint(rib_objects).varint(rib_digest);
                 (OpCode::Write, class::HELLO, "/neighbors/self".to_string(), w.finish())
             }
-            MgmtBody::EnrollRequest { name, credential, proposed_addr } => {
+            MgmtBody::EnrollRequest { name, credential, proposed_addr, proposed_block } => {
                 let mut w = Writer::new();
                 w.string(&name.key()).string(&credential).varint(proposed_addr);
+                w.varint(proposed_block.0).varint(proposed_block.1);
                 (OpCode::Connect, class::ENROLL, "/enrollment".to_string(), w.finish())
             }
-            MgmtBody::EnrollResponse { addr, snapshot } => {
+            MgmtBody::EnrollResponse { addr, block, retry_after_ms, snapshot } => {
                 let mut w = Writer::new();
-                w.varint(addr).varint(snapshot.len() as u64);
+                w.varint(addr).varint(block.0).varint(block.1).varint(retry_after_ms as u64);
+                w.varint(snapshot.len() as u64);
                 for o in &snapshot {
                     w.bytes(&o.encode());
                 }
@@ -136,25 +156,31 @@ impl MgmtBody {
             (OpCode::Write, class::HELLO) => {
                 let name = AppName::from_key(r.string()?);
                 let addr = r.varint()?;
+                let rib_objects = r.varint()?;
+                let rib_digest = r.varint()?;
                 r.expect_end()?;
-                Ok(MgmtBody::Hello { name, addr })
+                Ok(MgmtBody::Hello { name, addr, rib_objects, rib_digest })
             }
             (OpCode::Connect, class::ENROLL) => {
                 let name = AppName::from_key(r.string()?);
                 let credential = r.string()?.to_string();
                 let proposed_addr = r.varint()?;
+                let proposed_block = (r.varint()?, r.varint()?);
                 r.expect_end()?;
-                Ok(MgmtBody::EnrollRequest { name, credential, proposed_addr })
+                Ok(MgmtBody::EnrollRequest { name, credential, proposed_addr, proposed_block })
             }
             (OpCode::ConnectR, class::ENROLL) => {
                 let addr = r.varint()?;
+                let block = (r.varint()?, r.varint()?);
+                let retry_after_ms =
+                    u32::try_from(r.varint()?).map_err(|_| WireError::Invalid("retry_after_ms"))?;
                 let n = r.varint()? as usize;
                 let mut snapshot = Vec::with_capacity(n.min(4096));
                 for _ in 0..n {
                     snapshot.push(RibObject::decode(r.bytes()?)?);
                 }
                 r.expect_end()?;
-                Ok(MgmtBody::EnrollResponse { addr, snapshot })
+                Ok(MgmtBody::EnrollResponse { addr, block, retry_after_ms, snapshot })
             }
             (OpCode::Create, class::FLOW) => {
                 let src_app = AppName::from_key(r.string()?);
@@ -205,8 +231,18 @@ mod tests {
 
     #[test]
     fn hello_roundtrip() {
-        roundtrip(MgmtBody::Hello { name: AppName::new("net.r1"), addr: 7 });
-        roundtrip(MgmtBody::Hello { name: AppName::with_instance("net", "2"), addr: 0 });
+        roundtrip(MgmtBody::Hello {
+            name: AppName::new("net.r1"),
+            addr: 7,
+            rib_objects: 12,
+            rib_digest: 0xDEAD_BEEF_CAFE_F00D,
+        });
+        roundtrip(MgmtBody::Hello {
+            name: AppName::with_instance("net", "2"),
+            addr: 0,
+            rib_objects: 0,
+            rib_digest: 0,
+        });
     }
 
     #[test]
@@ -215,9 +251,12 @@ mod tests {
             name: AppName::new("net.h1"),
             credential: "s3cret".into(),
             proposed_addr: 4,
+            proposed_block: (4, 9),
         });
         roundtrip(MgmtBody::EnrollResponse {
             addr: 9,
+            block: (9, 14),
+            retry_after_ms: 0,
             snapshot: vec![RibObject {
                 name: "/dir/a".into(),
                 class: "dir".into(),
@@ -227,7 +266,47 @@ mod tests {
                 deleted: false,
             }],
         });
-        roundtrip(MgmtBody::EnrollResponse { addr: 0, snapshot: vec![] });
+        roundtrip(MgmtBody::EnrollResponse {
+            addr: 0,
+            block: (0, 0),
+            retry_after_ms: 0,
+            snapshot: vec![],
+        });
+    }
+
+    /// Regression pin for the wave-parallel enrollment fields: subtree
+    /// prefix blocks on both directions and the admission-window backoff
+    /// hint on busy responses must survive the codec byte-exactly.
+    #[test]
+    fn enroll_admission_and_prefix_fields_roundtrip() {
+        // A dynamic joiner proposes nothing; blocks stay (0, 0).
+        roundtrip(MgmtBody::EnrollRequest {
+            name: AppName::new("net.dyn"),
+            credential: String::new(),
+            proposed_addr: 0,
+            proposed_block: (0, 0),
+        });
+        // A planned joiner proposes the block its subtree will occupy.
+        roundtrip(MgmtBody::EnrollRequest {
+            name: AppName::new("net.h9"),
+            credential: "k".into(),
+            proposed_addr: 17,
+            proposed_block: (17, 40),
+        });
+        // Busy sponsor: no address, no block, an explicit backoff hint.
+        roundtrip(MgmtBody::EnrollResponse {
+            addr: 0,
+            block: (0, 0),
+            retry_after_ms: 120,
+            snapshot: vec![],
+        });
+        // Large block bounds exercise multi-byte varints.
+        roundtrip(MgmtBody::EnrollResponse {
+            addr: 1 << 40,
+            block: (1 << 40, (1 << 41) - 1),
+            retry_after_ms: u32::MAX,
+            snapshot: vec![],
+        });
     }
 
     #[test]

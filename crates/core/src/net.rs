@@ -45,11 +45,65 @@ use crate::app::AppProcess;
 use crate::dif::{AuthPolicy, DifConfig};
 use crate::ipcp::Ipcp;
 use crate::naming::AppName;
-use crate::node::Node;
+use crate::node::{EnrollPlan, Node};
 use crate::qos::QosSpec;
 use rina_sim::{Dur, LinkCfg, LinkId, NodeId, Sim, Time};
 use std::collections::{HashMap, VecDeque};
 use std::marker::PhantomData;
+
+/// When each member's enrollment plan first fires, relative to
+/// simulation start. Every mode converges to the same membership,
+/// addresses, and blocks (plans retry until they hold; the planner
+/// pre-assigns addresses) — the schedule only shapes *when* admission
+/// load hits each sponsor, and therefore the assembly makespan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EnrollSchedule {
+    /// Every plan fires at start; convergence is paced purely by retries
+    /// and sponsors' admission windows (the seed behavior).
+    Eager,
+    /// Concurrent waves by spanning-tree depth: a member at depth `d`
+    /// first fires at `(d - 1) × interval`, so each wave meets sponsors
+    /// that the previous wave just enrolled. Makespan tracks tree depth
+    /// (× per-sponsor admission rounds), not member count.
+    Waves {
+        /// Delay between consecutive waves.
+        interval: Dur,
+    },
+    /// One member at a time in spanning-tree (BFS) order — the
+    /// sequential baseline: makespan grows linearly in members.
+    Sequential {
+        /// Delay between consecutive members.
+        interval: Dur,
+    },
+}
+
+impl EnrollSchedule {
+    /// Depth-staggered waves at the default interval.
+    pub fn waves() -> Self {
+        EnrollSchedule::Waves { interval: Dur::from_millis(100) }
+    }
+
+    /// The sequential baseline at the default interval.
+    pub fn sequential() -> Self {
+        EnrollSchedule::Sequential { interval: Dur::from_millis(150) }
+    }
+
+    /// When the member at spanning-tree `depth` (≥ 1), discovered at BFS
+    /// `rank` (1-based over non-bootstrap members), first fires.
+    fn start_after(&self, depth: u64, rank: u64) -> Dur {
+        match *self {
+            EnrollSchedule::Eager => Dur::ZERO,
+            EnrollSchedule::Waves { interval } => interval * depth.saturating_sub(1),
+            EnrollSchedule::Sequential { interval } => interval * rank.saturating_sub(1),
+        }
+    }
+}
+
+impl Default for EnrollSchedule {
+    fn default() -> Self {
+        EnrollSchedule::waves()
+    }
+}
 
 /// Handle to a machine added with [`NetBuilder::node`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -157,6 +211,7 @@ pub struct NetBuilder {
     adjacencies: Vec<AdjPlan>,
     shim_count: usize,
     shim_sched: crate::dif::SchedPolicy,
+    enroll_schedule: EnrollSchedule,
 }
 
 impl NetBuilder {
@@ -171,7 +226,15 @@ impl NetBuilder {
             adjacencies: Vec::new(),
             shim_count: 0,
             shim_sched: crate::dif::SchedPolicy::Priority,
+            enroll_schedule: EnrollSchedule::default(),
         }
+    }
+
+    /// Choose how enrollment plans are scheduled (default:
+    /// [`EnrollSchedule::waves`]). [`EnrollSchedule::sequential`] is the
+    /// linear baseline experiments compare against.
+    pub fn set_enroll_schedule(&mut self, s: EnrollSchedule) {
+        self.enroll_schedule = s;
     }
 
     /// Set the transmit-scheduling policy shims created by subsequent
@@ -378,18 +441,62 @@ impl NetBuilder {
             // Enrollment plans: child allocates the flow toward its parent
             // and enrolls through it.
             let overrides = self.difs[dif].credential_overrides.clone();
-            // Member addresses are pre-assigned by join order (bootstrap =
-            // 1); joiners propose them at enrollment so concurrent
-            // sponsors cannot collide.
-            let addr_of: HashMap<usize, u64> = self.difs[dif]
-                .members
-                .iter()
-                .enumerate()
-                .map(|(i, &(n, _))| (n, i as u64 + 1))
-                .collect();
+            // Member addresses are pre-assigned from per-subtree prefix
+            // blocks: a DFS preorder over the spanning tree gives every
+            // subtree a contiguous address range (the member itself takes
+            // the range's first address). Joiners propose address + block
+            // at enrollment, so concurrent sponsors cannot collide and
+            // remote subtrees aggregate into single forwarding ranges.
+            let mut children: HashMap<usize, Vec<usize>> = HashMap::new();
+            for &v in &seen {
+                if let Some(&(p, _, _)) = parent.get(&v) {
+                    children.entry(p).or_default().push(v);
+                }
+            }
+            let mut subtree: HashMap<usize, u64> = seen.iter().map(|&v| (v, 1)).collect();
+            for &v in seen.iter().rev() {
+                if let Some(&(p, _, _)) = parent.get(&v) {
+                    let s = subtree[&v];
+                    *subtree.get_mut(&p).expect("parent is seen") += s;
+                }
+            }
+            let mut addr_of: HashMap<usize, u64> = HashMap::new();
+            let mut block_of: HashMap<usize, (u64, u64)> = HashMap::new();
+            block_of.insert(boot, (1, subtree[&boot]));
+            let mut stack = vec![boot];
+            while let Some(v) = stack.pop() {
+                let (lo, _) = block_of[&v];
+                addr_of.insert(v, lo);
+                let mut cursor = lo + 1;
+                for &c in children.get(&v).into_iter().flatten() {
+                    block_of.insert(c, (cursor, cursor + subtree[&c] - 1));
+                    cursor += subtree[&c];
+                    stack.push(c);
+                }
+            }
+            // Spanning-tree depth and BFS rank drive the wave schedule.
+            let mut depth: HashMap<usize, u64> = HashMap::new();
+            depth.insert(boot, 0);
+            for &v in &seen {
+                if let Some(&(p, _, _)) = parent.get(&v) {
+                    let d = depth[&p] + 1;
+                    depth.insert(v, d);
+                }
+            }
+            let rank_of: HashMap<usize, u64> =
+                seen.iter().enumerate().map(|(i, &v)| (v, i as u64)).collect();
+            // The bootstrap sponsors from the whole DIF range.
+            let boot_ipcp = self.ipcp_of(DifH(dif), NodeH(boot)).idx;
+            self.node_mut(boot).set_ipcp_block(boot_ipcp, (1, subtree[&boot]));
+            let schedule = self.enroll_schedule;
             for (&child, &(par, via, spec)) in &parent {
                 let credential = overrides.get(&child).unwrap_or(&credential).clone();
-                let proposed = addr_of.get(&child).copied().unwrap_or(0);
+                let enroll = EnrollPlan {
+                    credential,
+                    proposed_addr: addr_of.get(&child).copied().unwrap_or(0),
+                    block: block_of.get(&child).copied().unwrap_or((0, 0)),
+                };
+                let start_after = schedule.start_after(depth[&child], rank_of[&child]);
                 let upper_child = self.ipcp_of(DifH(dif), NodeH(child)).idx;
                 let provider_child = self.provider_on(via, child);
                 let dst = self.ipcp_name(dif, par);
@@ -408,7 +515,8 @@ impl NetBuilder {
                     dst,
                     spec,
                     provider_child,
-                    Some((&credential, proposed)),
+                    Some(enroll),
+                    start_after,
                 );
             }
             // Non-tree adjacencies: plain flows from the BFS-later side.
@@ -438,7 +546,7 @@ impl NetBuilder {
                     let src_provider = self.ipcp_of(lower, NodeH(src)).idx;
                     self.node_mut(src).register_name(src_upper_name, src_provider);
                 }
-                self.node_mut(src).plan_n1(upper, dst, spec, provider, None);
+                self.node_mut(src).plan_n1(upper, dst, spec, provider, None, Dur::ZERO);
             }
         }
         Net { sim: self.sim, nodes: self.nodes, links: self.links }

@@ -29,6 +29,14 @@ use std::collections::{BTreeSet, HashMap, VecDeque};
 /// [`ext_timer_key`]).
 const EXT_BIT: u64 = 1 << 63;
 
+/// Default enrollment retry period (a busy sponsor's backoff hint
+/// overrides it — see [`TimerKind::EnrollRetry`]).
+const ENROLL_RETRY_PERIOD: Dur = Dur::from_millis(300);
+
+/// Debounce window for route recomputation after remote LSA updates: a
+/// burst of flooded LSAs costs one Dijkstra run, not one per update.
+const ROUTE_RECOMPUTE_DEBOUNCE: Dur = Dur::from_millis(50);
+
 /// Build the key for [`rina_sim::Sim::call`] that fires
 /// [`AppProcess::on_timer`] with `key` at application `app` of the target
 /// node. Lets benches poke applications without holding a context.
@@ -73,6 +81,18 @@ impl<T: AppProcess> AnyApp for T {
     }
 }
 
+/// How a planned adjacency enrolls once its (N-1) flow is up: what the
+/// joiner presents and proposes (see [`crate::ipcp::Ipcp::start_enroll`]).
+#[derive(Clone, Debug)]
+pub struct EnrollPlan {
+    /// Credential presented to the sponsor.
+    pub credential: String,
+    /// Proposed member address (0 = sponsor chooses).
+    pub proposed_addr: Addr,
+    /// Proposed subtree address block ((0, 0) = none).
+    pub block: (Addr, Addr),
+}
+
 /// A planned (N-1) adjacency for a higher IPC process, retried until it
 /// holds. Optionally doubles as the enrollment path.
 struct N1Plan {
@@ -80,7 +100,10 @@ struct N1Plan {
     dst: AppName,
     spec: QosSpec,
     via: usize,
-    credential: Option<(String, u64)>,
+    enroll: Option<EnrollPlan>,
+    /// Earliest virtual time (from simulation start) the plan first
+    /// fires — the enrollment planner's wave schedule.
+    start_after: Dur,
     port: Option<u64>,
     satisfied: bool,
     /// A retry timer is already armed (dedupe: multiple failure signals
@@ -98,12 +121,13 @@ struct Pace {
 
 enum TimerKind {
     Hello(usize),
-    EnrollRetry { ipcp: usize, credential: String, proposed: u64 },
+    EnrollRetry { ipcp: usize, plan: EnrollPlan },
     Conn { ipcp: usize, cep: CepId },
     Pace { ipcp: usize, n1: usize },
     App { app: usize, key: u64 },
     N1Retry(usize),
     AllocTimeout { port: u64 },
+    Routes { ipcp: usize },
 }
 
 enum Work {
@@ -156,6 +180,8 @@ pub struct Node {
     pending_regs: Vec<(AppName, usize)>,
     dirty: BTreeSet<usize>,
     armed_conn: HashMap<(usize, CepId), (u64, u64)>,
+    /// IPC processes with a route-recompute debounce timer in flight.
+    routes_armed: BTreeSet<usize>,
     /// SDUs delivered to ports with no live owner (diagnostic).
     pub orphan_sdus: u64,
 }
@@ -179,6 +205,7 @@ impl Node {
             pending_regs: Vec::new(),
             dirty: BTreeSet::new(),
             armed_conn: HashMap::new(),
+            routes_armed: BTreeSet::new(),
             orphan_sdus: 0,
         }
     }
@@ -215,10 +242,15 @@ impl Node {
         self.ipcps[idx].make_shim(side as Addr + 1);
         let n1 = self.ipcps[idx].add_n1(N1Kind::Phys { iface: iface.0, mtu });
         self.ifmap.insert(iface.0, (idx, n1));
+        // This queue models the *host's own* buffering toward its NIC
+        // (the network bottleneck queues live in the links). It must
+        // absorb a sponsor's full-RIB resync burst — O(members) small
+        // frames at enrollment time — which a wire-queue-sized cap would
+        // tail-drop with no repair path for distant objects.
         self.pace.insert(
             (idx, n1),
             Pace {
-                queue: RmtQueue::new(sched, 256 * 1024),
+                queue: RmtQueue::new(sched, 8 * 1024 * 1024),
                 busy_until: Time::ZERO,
                 iface,
                 timer_armed: false,
@@ -232,25 +264,34 @@ impl Node {
         self.ipcps[idx].bootstrap(addr);
     }
 
+    /// Hand the (bootstrapped) ipcp `idx` the address block it sponsors
+    /// its DIF from (the planner calls this with the whole DIF range).
+    pub fn set_ipcp_block(&mut self, idx: usize, block: (Addr, Addr)) {
+        self.ipcps[idx].set_block(block);
+    }
+
     /// Plan an (N-1) adjacency: allocate a flow from DIF `via` to the peer
     /// IPC process `dst`, attach it to `upper` as an (N-1) port, and — if
-    /// `credential` is given and `upper` is not yet enrolled — enroll
-    /// through it, proposing the given address (0 = sponsor chooses).
-    /// Retries until it succeeds.
+    /// `enroll` is given and `upper` is not yet enrolled — enroll through
+    /// it. The plan first fires `start_after` into the run (the
+    /// enrollment planner staggers waves by spanning-tree depth); it then
+    /// retries until it succeeds.
     pub fn plan_n1(
         &mut self,
         upper: usize,
         dst: AppName,
         spec: QosSpec,
         via: usize,
-        credential: Option<(&str, u64)>,
+        enroll: Option<EnrollPlan>,
+        start_after: Dur,
     ) {
         self.plans.push(N1Plan {
             upper,
             dst,
             spec,
             via,
-            credential: credential.map(|(s, a)| (s.to_string(), a)),
+            enroll,
+            start_after,
             port: None,
             satisfied: false,
             retry_pending: false,
@@ -588,27 +629,28 @@ impl Node {
                             self.flush_ipcp(u, ctx);
                             // Satisfy the plan and kick enrollment if this
                             // adjacency is the enrollment path.
-                            let mut start_enroll: Option<(usize, usize, String, u64)> = None;
+                            let mut start_enroll: Option<(usize, usize, EnrollPlan)> = None;
                             for p in &mut self.plans {
                                 if p.port == Some(port) {
                                     p.satisfied = true;
-                                    if let Some((c, a)) = &p.credential {
-                                        start_enroll = Some((u, n1, c.clone(), *a));
+                                    if let Some(e) = &p.enroll {
+                                        start_enroll = Some((u, n1, e.clone()));
                                     }
                                 }
                             }
-                            if let Some((u, n1, cred, proposed)) = start_enroll {
+                            if let Some((u, n1, plan)) = start_enroll {
                                 if !self.ipcps[u].is_enrolled() {
-                                    self.ipcps[u].start_enroll(n1, &cred, proposed);
+                                    self.ipcps[u].start_enroll(
+                                        n1,
+                                        &plan.credential,
+                                        plan.proposed_addr,
+                                        plan.block,
+                                    );
                                     self.flush_ipcp(u, ctx);
                                     self.arm(
                                         ctx,
-                                        Dur::from_millis(300),
-                                        TimerKind::EnrollRetry {
-                                            ipcp: u,
-                                            credential: cred,
-                                            proposed,
-                                        },
+                                        ENROLL_RETRY_PERIOD,
+                                        TimerKind::EnrollRetry { ipcp: u, plan },
                                     );
                                 }
                             }
@@ -661,6 +703,9 @@ impl Node {
         // Re-sync EFCP timers for every touched ipcp.
         let dirty: Vec<usize> = std::mem::take(&mut self.dirty).into_iter().collect();
         for i in dirty {
+            if self.ipcps[i].routes_dirty() && self.routes_armed.insert(i) {
+                self.arm(ctx, ROUTE_RECOMPUTE_DEBOUNCE, TimerKind::Routes { ipcp: i });
+            }
             for (cep, t) in self.ipcps[i].conn_timer_wants() {
                 let key = (i, cep);
                 let need = match self.armed_conn.get(&key) {
@@ -787,15 +832,15 @@ impl Node {
                 let period = self.ipcps[i].cfg.hello_period;
                 self.arm(ctx, period, TimerKind::Hello(i));
             }
-            TimerKind::EnrollRetry { ipcp, credential, proposed } => {
+            TimerKind::EnrollRetry { ipcp, plan } => {
                 if !self.ipcps[ipcp].is_enrolled() {
-                    self.ipcps[ipcp].retry_enroll(&credential, proposed);
+                    self.ipcps[ipcp].retry_enroll(&plan.credential, plan.proposed_addr, plan.block);
                     self.flush_ipcp(ipcp, ctx);
-                    self.arm(
-                        ctx,
-                        Dur::from_millis(300),
-                        TimerKind::EnrollRetry { ipcp, credential, proposed },
-                    );
+                    // A busy sponsor paces us via its backoff hint;
+                    // otherwise fall back to the default retry period.
+                    let d =
+                        self.ipcps[ipcp].take_enroll_retry_hint().unwrap_or(ENROLL_RETRY_PERIOD);
+                    self.arm(ctx, d, TimerKind::EnrollRetry { ipcp, plan });
                 }
             }
             TimerKind::Conn { ipcp, cep } => {
@@ -820,6 +865,10 @@ impl Node {
                 if !self.plans[idx].satisfied {
                     self.try_plan(idx, ctx);
                 }
+            }
+            TimerKind::Routes { ipcp } => {
+                self.routes_armed.remove(&ipcp);
+                self.ipcps[ipcp].recompute_routes_now();
             }
             TimerKind::AllocTimeout { port } => {
                 let still_pending = self.ports.get(&port).map(|s| !s.active).unwrap_or(false);
@@ -858,9 +907,15 @@ impl Agent for Node {
                     let period = self.ipcps[i].cfg.hello_period;
                     self.arm(ctx, period, TimerKind::Hello(i));
                 }
-                // Kick adjacency plans.
+                // Kick adjacency plans — immediately, or at their wave
+                // time when the enrollment planner staggered them.
                 for idx in 0..self.plans.len() {
-                    self.try_plan(idx, ctx);
+                    let delay = self.plans[idx].start_after;
+                    if delay == Dur::ZERO {
+                        self.try_plan(idx, ctx);
+                    } else {
+                        self.schedule_plan_retry(idx, delay, ctx);
+                    }
                 }
                 // Start applications.
                 for a in 0..self.apps.len() {

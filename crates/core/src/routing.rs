@@ -61,32 +61,70 @@ impl Lsa {
 }
 
 /// Destination → equal-cost next-hop addresses (step one of two).
+///
+/// Stored **range-compressed**: maximal runs of consecutive destination
+/// addresses sharing one next-hop set collapse into a single
+/// `[lo, hi] → hops` entry. When member addresses are assigned from
+/// per-subtree prefix blocks (the enrollment planner's DFS numbering), a
+/// whole remote subtree is one contiguous block behind one next hop, so
+/// the *aggregated* table size tracks the local degree rather than the
+/// DIF's member count. Lookup semantics are unchanged: only addresses
+/// that were actually reachable at compute time resolve.
 #[derive(Clone, Debug, Default)]
 pub struct ForwardingTable {
-    next_hops: HashMap<Addr, Vec<Addr>>,
+    /// Sorted, disjoint `(lo, hi, hops)` ranges over present destinations.
+    ranges: Vec<(Addr, Addr, Vec<Addr>)>,
 }
 
 impl ForwardingTable {
+    /// Build from a per-destination next-hop map, merging consecutive
+    /// addresses with identical hop sets.
+    fn from_next_hops(map: HashMap<Addr, Vec<Addr>>) -> Self {
+        let mut entries: Vec<(Addr, Vec<Addr>)> = map.into_iter().collect();
+        entries.sort_unstable_by_key(|&(a, _)| a);
+        let mut ranges: Vec<(Addr, Addr, Vec<Addr>)> = Vec::new();
+        for (addr, hops) in entries {
+            match ranges.last_mut() {
+                Some((_, hi, h)) if *hi + 1 == addr && *h == hops => *hi = addr,
+                _ => ranges.push((addr, addr, hops)),
+            }
+        }
+        ForwardingTable { ranges }
+    }
+
     /// Next-hop candidates toward `dest`, best first. Empty/None if
     /// unreachable.
     pub fn route(&self, dest: Addr) -> Option<&[Addr]> {
-        self.next_hops.get(&dest).map(|v| v.as_slice())
+        let i = self.ranges.partition_point(|&(lo, _, _)| lo <= dest);
+        let (_, hi, hops) = self.ranges.get(i.checked_sub(1)?)?;
+        if dest <= *hi {
+            Some(hops.as_slice())
+        } else {
+            None
+        }
     }
 
-    /// Number of destination entries (the routing-table-size metric of the
-    /// scalability experiment, §6.5).
+    /// Number of reachable destination addresses (the routing-table-size
+    /// metric of the scalability experiment, §6.5).
     pub fn len(&self) -> usize {
-        self.next_hops.len()
+        self.ranges.iter().map(|&(lo, hi, _)| (hi - lo + 1) as usize).sum()
+    }
+
+    /// Number of stored range entries after aggregation — the state a
+    /// member actually holds. With prefix-block addressing this is far
+    /// below [`ForwardingTable::len`].
+    pub fn aggregated_len(&self) -> usize {
+        self.ranges.len()
     }
 
     /// True if the table has no entries.
     pub fn is_empty(&self) -> bool {
-        self.next_hops.is_empty()
+        self.ranges.is_empty()
     }
 
     /// All reachable destinations.
     pub fn destinations(&self) -> impl Iterator<Item = Addr> + '_ {
-        self.next_hops.keys().copied()
+        self.ranges.iter().flat_map(|&(lo, hi, _)| lo..=hi)
     }
 }
 
@@ -151,7 +189,7 @@ pub fn compute_routes(self_addr: Addr, lsas: &HashMap<Addr, Lsa>) -> ForwardingT
     for hops in first_hops.values_mut() {
         hops.sort_unstable();
     }
-    ForwardingTable { next_hops: first_hops }
+    ForwardingTable::from_next_hops(first_hops)
 }
 
 #[cfg(test)]
@@ -235,5 +273,41 @@ mod tests {
     #[test]
     fn object_names() {
         assert_eq!(Lsa::object_name(17), "/lsa/17");
+    }
+
+    #[test]
+    fn contiguous_destinations_aggregate_into_ranges() {
+        // 1 - 2 - 3 - 4 - 5: from 1, destinations 2..=5 all go via 2.
+        let m = lsas(&[
+            (1, &[(2, 1)]),
+            (2, &[(1, 1), (3, 1)]),
+            (3, &[(2, 1), (4, 1)]),
+            (4, &[(3, 1), (5, 1)]),
+            (5, &[(4, 1)]),
+        ]);
+        let t = compute_routes(1, &m);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.aggregated_len(), 1, "one range entry for the whole chain");
+        for d in 2..=5 {
+            assert_eq!(t.route(d), Some(&[2][..]));
+        }
+        // Interior member: destinations split left/right into two ranges.
+        let t3 = compute_routes(3, &m);
+        assert_eq!(t3.len(), 4);
+        assert_eq!(t3.aggregated_len(), 2);
+    }
+
+    #[test]
+    fn gaps_and_hop_changes_split_ranges() {
+        // 1 - 2, 1 - 4 (address 3 does not exist): ranges must not bridge
+        // the gap, and different next hops never merge.
+        let m = lsas(&[(1, &[(2, 1), (4, 1)]), (2, &[(1, 1)]), (4, &[(1, 1)])]);
+        let t = compute_routes(1, &m);
+        assert_eq!(t.aggregated_len(), 2);
+        assert_eq!(t.route(2), Some(&[2][..]));
+        assert_eq!(t.route(3), None, "absent address inside the span stays absent");
+        assert_eq!(t.route(4), Some(&[4][..]));
+        let dests: Vec<Addr> = t.destinations().collect();
+        assert_eq!(dests, vec![2, 4]);
     }
 }

@@ -26,6 +26,8 @@ use crate::dif::DifConfig;
 use crate::naming::AppName;
 use crate::net::{AppH, DifH, LinkH, Net, NetBuilder, NodeH};
 use crate::qos::QosSpec;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use rina_sim::{topology, Dur, LinkCfg};
 
 /// Which graph a [`Topology`] generates.
@@ -137,6 +139,15 @@ impl Topology {
         }
     }
 
+    /// Use this topology as the **backbone graph** of a layered
+    /// internetwork: each of its vertices becomes a region router
+    /// fronting `hosts_per_region` hosts, with one DIF per region, a
+    /// backbone DIF over this graph, and an internet DIF riding both —
+    /// the E6-style hierarchy (§6.5) in one call.
+    pub fn layered(self, hosts_per_region: usize) -> Layered {
+        Layered { backbone: self, hosts_per_region, host_link: LinkCfg::wired() }
+    }
+
     /// Create the nodes, connect every edge, declare the spanning DIF,
     /// join every node to it, and declare one adjacency per link.
     pub fn materialize(&self, b: &mut NetBuilder) -> Fabric {
@@ -231,6 +242,182 @@ impl Fabric {
     }
 }
 
+/// A layered internetwork under construction: a backbone graph of region
+/// routers (any [`Topology`]), each fronting a star of hosts. See
+/// [`Topology::layered`].
+#[derive(Clone, Debug)]
+pub struct Layered {
+    backbone: Topology,
+    hosts_per_region: usize,
+    host_link: LinkCfg,
+}
+
+impl Layered {
+    /// Use `cfg` for the router–host access links (default:
+    /// [`LinkCfg::wired`]; the backbone keeps its own topology's link).
+    pub fn with_host_link(mut self, cfg: LinkCfg) -> Self {
+        self.host_link = cfg;
+        self
+    }
+
+    /// Total machines: backbone routers plus all hosts.
+    pub fn node_count(&self) -> usize {
+        let r = self.backbone.node_count();
+        r + r * self.hosts_per_region
+    }
+
+    /// Materialize **hierarchically**: one DIF per region (router +
+    /// hosts), a backbone DIF over the backbone graph, and an internet
+    /// DIF whose members are every router and host but whose adjacencies
+    /// ride the region and backbone DIFs — so no lower DIF ever carries
+    /// internetwork-wide state (§6.5).
+    pub fn materialize(&self, b: &mut NetBuilder) -> LayeredFabric {
+        let backbone = self.backbone.materialize(b);
+        let prefix = &self.backbone.prefix;
+        let mut hosts = Vec::new();
+        let mut host_links = Vec::new();
+        let mut region_difs = Vec::new();
+        for (r, &router) in backbone.nodes.iter().enumerate() {
+            let mut row = Vec::new();
+            let mut lrow = Vec::new();
+            for h in 0..self.hosts_per_region {
+                let id = b.node(&format!("{prefix}h{r}x{h}"));
+                lrow.push(b.link(router, id, self.host_link.clone()));
+                row.push(id);
+            }
+            let d = b.dif(DifConfig::new(&format!("{prefix}region{r}")));
+            b.join(d, router);
+            for (h, &host) in row.iter().enumerate() {
+                b.join(d, host);
+                b.adjacency_over_link(d, router, host, lrow[h]);
+            }
+            hosts.push(row);
+            host_links.push(lrow);
+            region_difs.push(d);
+        }
+        let inet = b.dif(DifConfig::new(&format!("{prefix}internet")));
+        for &r in &backbone.nodes {
+            b.join(inet, r);
+        }
+        for row in &hosts {
+            for &h in row {
+                b.join(inet, h);
+            }
+        }
+        for &(u, v) in &backbone.edges {
+            b.adjacency_over_dif(
+                inet,
+                backbone.nodes[u],
+                backbone.nodes[v],
+                backbone.dif,
+                QosSpec::datagram(),
+            );
+        }
+        for (r, row) in hosts.iter().enumerate() {
+            for &host in row {
+                b.adjacency_over_dif(
+                    inet,
+                    backbone.nodes[r],
+                    host,
+                    region_difs[r],
+                    QosSpec::datagram(),
+                );
+            }
+        }
+        LayeredFabric { backbone, hosts, host_links, region_difs, inet }
+    }
+
+    /// Materialize **flat**: identical machines and wires, but one DIF
+    /// spanning everything — the current-Internet shape E6 compares
+    /// against. Returns an ordinary [`Fabric`] (routers first, then hosts
+    /// region by region).
+    pub fn materialize_flat(&self, b: &mut NetBuilder) -> Fabric {
+        let rn = self.backbone.node_count();
+        let prefix = &self.backbone.prefix;
+        let mut nodes: Vec<NodeH> = (0..rn).map(|i| b.node(&format!("{prefix}{i}"))).collect();
+        let mut edges = self.backbone.edges();
+        let mut links: Vec<LinkH> = edges
+            .iter()
+            .map(|&(u, v)| b.link(nodes[u], nodes[v], self.backbone.link.clone()))
+            .collect();
+        for r in 0..rn {
+            for h in 0..self.hosts_per_region {
+                let id = b.node(&format!("{prefix}h{r}x{h}"));
+                let hi = nodes.len();
+                nodes.push(id);
+                links.push(b.link(nodes[r], id, self.host_link.clone()));
+                edges.push((r, hi));
+            }
+        }
+        let dif = b.dif(DifConfig::new(&format!("{prefix}flat")));
+        for &n in &nodes {
+            b.join(dif, n);
+        }
+        for (i, &(u, v)) in edges.iter().enumerate() {
+            b.adjacency_over_link(dif, nodes[u], nodes[v], links[i]);
+        }
+        Fabric { nodes, links, edges, dif }
+    }
+}
+
+/// The typed handles a hierarchically materialized [`Layered`] produced.
+#[derive(Clone, Debug)]
+pub struct LayeredFabric {
+    /// The backbone fabric: region routers, backbone links, backbone DIF.
+    pub backbone: Fabric,
+    /// Host handles per region.
+    pub hosts: Vec<Vec<NodeH>>,
+    /// Router–host access links, parallel to [`LayeredFabric::hosts`].
+    pub host_links: Vec<Vec<LinkH>>,
+    /// One DIF per region (its members: the router and its hosts).
+    pub region_difs: Vec<DifH>,
+    /// The internet DIF spanning every router and host.
+    pub inet: DifH,
+}
+
+impl LayeredFabric {
+    /// The region routers (backbone vertices, in order).
+    pub fn routers(&self) -> &[NodeH] {
+        &self.backbone.nodes
+    }
+
+    /// Host `h` of region `r`.
+    pub fn host(&self, r: usize, h: usize) -> NodeH {
+        self.hosts[r][h]
+    }
+
+    /// Every host, region by region.
+    pub fn all_hosts(&self) -> Vec<NodeH> {
+        self.hosts.iter().flatten().copied().collect()
+    }
+
+    /// Every member of the internet DIF (routers, then hosts).
+    pub fn inet_members(&self) -> Vec<NodeH> {
+        let mut v = self.backbone.nodes.clone();
+        v.extend(self.hosts.iter().flatten().copied());
+        v
+    }
+
+    /// Every member IPC process across all three layers (region DIFs,
+    /// backbone DIF, internet DIF), for stats collection.
+    pub fn member_ipcps(&self, b: &NetBuilder) -> Vec<crate::net::IpcpH> {
+        let mut v = Vec::new();
+        for (r, row) in self.hosts.iter().enumerate() {
+            v.push(b.ipcp_of(self.region_difs[r], self.backbone.nodes[r]));
+            for &h in row {
+                v.push(b.ipcp_of(self.region_difs[r], h));
+            }
+        }
+        for &r in &self.backbone.nodes {
+            v.push(b.ipcp_of(self.backbone.dif, r));
+        }
+        for &n in &self.inet_members() {
+            v.push(b.ipcp_of(self.inet, n));
+        }
+        v
+    }
+}
+
 /// Application placement patterns over a set of nodes.
 ///
 /// Each helper registers apps under predictable names (prefix + vertex
@@ -304,24 +491,124 @@ impl Workload {
         count: usize,
         size: usize,
     ) -> PingMesh {
+        let n = nodes.len();
+        let pairs: Vec<(usize, usize)> =
+            (0..n).flat_map(|i| (0..n).filter(move |&j| j != i).map(move |j| (i, j))).collect();
+        Workload::ping_pairs(b, dif, nodes, &pairs, count, size)
+    }
+
+    /// O(n) reachability by stride: every node hosts an echo responder
+    /// and node `i` pings node `(i + stride) mod n` — `n` pings instead
+    /// of the mesh's `n·(n-1)`. The target map is a bijection for any
+    /// stride, so **every node is pinged exactly once**; `stride` must
+    /// not be a multiple of `n` (that would self-ping).
+    ///
+    /// Installs the same `echo.{node}` responders as
+    /// [`Workload::ping_mesh`] — place at most one echo-installing
+    /// pattern per node set per DIF.
+    pub fn ping_stride(
+        b: &mut NetBuilder,
+        dif: DifH,
+        nodes: &[NodeH],
+        stride: usize,
+        count: usize,
+        size: usize,
+    ) -> PingMesh {
+        let n = nodes.len();
+        assert!(n >= 2, "stride reachability needs at least two nodes");
+        assert!(!stride.is_multiple_of(n), "stride {stride} ≡ 0 mod {n} would self-ping");
+        let pairs: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + stride) % n)).collect();
+        Workload::ping_pairs(b, dif, nodes, &pairs, count, size)
+    }
+
+    /// O(n) sampled reachability: a ring over a seed-shuffled
+    /// permutation of `nodes` — every node sources **and** receives
+    /// exactly one ping — plus `extra` additional distinct random pairs.
+    /// Deterministic in `seed`.
+    ///
+    /// Installs the same `echo.{node}` responders as
+    /// [`Workload::ping_mesh`] — place at most one echo-installing
+    /// pattern per node set per DIF.
+    #[allow(clippy::too_many_arguments)] // a placement pattern is its parameters
+    pub fn ping_sampled(
+        b: &mut NetBuilder,
+        dif: DifH,
+        nodes: &[NodeH],
+        extra: usize,
+        seed: u64,
+        count: usize,
+        size: usize,
+    ) -> PingMesh {
+        let n = nodes.len();
+        assert!(n >= 2, "sampled reachability needs at least two nodes");
+        // The ring consumes n of the n·(n-1) ordered pairs; the rest are
+        // available as extras. An unsatisfiable request is a bug in the
+        // caller's workload sizing, not something to paper over silently.
+        let available = n * (n - 1) - n;
+        assert!(
+            extra <= available,
+            "extra {extra} exceeds the {available} ordered pairs left beside the ring"
+        );
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut perm: Vec<usize> = (0..n).collect();
+        use rand::seq::SliceRandom;
+        perm.shuffle(&mut rng);
+        let mut pairs: Vec<(usize, usize)> = (0..n).map(|i| (perm[i], perm[(i + 1) % n])).collect();
+        let used: std::collections::HashSet<(usize, usize)> = pairs.iter().copied().collect();
+        if extra > 0 {
+            if extra * 2 >= available {
+                // Dense request: enumerate the leftover pair space and
+                // shuffle — exact, no rejection sampling.
+                let mut rest: Vec<(usize, usize)> = (0..n)
+                    .flat_map(|i| (0..n).map(move |j| (i, j)))
+                    .filter(|&(i, j)| i != j && !used.contains(&(i, j)))
+                    .collect();
+                rest.shuffle(&mut rng);
+                pairs.extend(rest.into_iter().take(extra));
+            } else {
+                // Sparse request: rejection-sample until filled (density
+                // < 1/2, so this terminates quickly and deterministically
+                // under the seeded RNG).
+                let mut used = used;
+                let mut added = 0;
+                while added < extra {
+                    let (i, j) = (rng.gen_range(0..n), rng.gen_range(0..n));
+                    if i != j && used.insert((i, j)) {
+                        pairs.push((i, j));
+                        added += 1;
+                    }
+                }
+            }
+        }
+        Workload::ping_pairs(b, dif, nodes, &pairs, count, size)
+    }
+
+    /// Shared placer: echoes everywhere, one pinger per `(from, to)`
+    /// index pair.
+    fn ping_pairs(
+        b: &mut NetBuilder,
+        dif: DifH,
+        nodes: &[NodeH],
+        pairs: &[(usize, usize)],
+        count: usize,
+        size: usize,
+    ) -> PingMesh {
         let echo_name = |n: NodeH| AppName::new(&format!("echo.{}", n.0));
         let echoes =
             nodes.iter().map(|&n| b.app(n, echo_name(n), dif, EchoApp::default())).collect();
-        let mut pings = Vec::new();
-        for &from in nodes {
-            for &to in nodes {
-                if from == to {
-                    continue;
-                }
+        let pings = pairs
+            .iter()
+            .map(|&(i, j)| {
+                let (from, to) = (nodes[i], nodes[j]);
                 let p = b.app(
                     from,
                     AppName::new(&format!("ping.{}.{}", from.0, to.0)),
                     dif,
                     PingApp::new(echo_name(to), QosSpec::reliable(), count, size),
                 );
-                pings.push((from, to, p));
-            }
-        }
+                (from, to, p)
+            })
+            .collect();
         PingMesh { echoes, pings }
     }
 
@@ -447,5 +734,120 @@ mod tests {
         assert_eq!(b.node_count(), 6);
         assert_ne!(f1.dif, f2.dif);
         assert_ne!(f1.node(0), f2.node(0));
+    }
+
+    #[test]
+    fn layered_builds_regions_backbone_and_internet() {
+        let mut b = NetBuilder::new(4);
+        let lay = Topology::ring(3).with_prefix("L").layered(4);
+        assert_eq!(lay.node_count(), 3 + 12);
+        let fab = lay.materialize(&mut b);
+        assert_eq!(b.node_count(), 15);
+        assert_eq!(fab.routers().len(), 3);
+        assert_eq!(fab.all_hosts().len(), 12);
+        assert_eq!(fab.region_difs.len(), 3);
+        assert_ne!(fab.backbone.dif, fab.inet);
+        // Every router is a member of three DIFs; every host of two.
+        for (r, &router) in fab.routers().iter().enumerate() {
+            let _ = b.ipcp_of(fab.region_difs[r], router);
+            let _ = b.ipcp_of(fab.backbone.dif, router);
+            let _ = b.ipcp_of(fab.inet, router);
+        }
+        for (r, row) in fab.hosts.iter().enumerate() {
+            for &h in row {
+                let _ = b.ipcp_of(fab.region_difs[r], h);
+                let _ = b.ipcp_of(fab.inet, h);
+            }
+        }
+        // 3 per region-DIF member + 3 backbone + 15 internet.
+        assert_eq!(fab.member_ipcps(&b).len(), 15 + 3 + 15);
+    }
+
+    #[test]
+    fn layered_flat_same_wires_one_dif() {
+        let mut b = NetBuilder::new(5);
+        let fab = Topology::ring(3).with_prefix("F").layered(2).materialize_flat(&mut b);
+        assert_eq!(fab.len(), 9);
+        // ring edges + one access link per host
+        assert_eq!(fab.links.len(), 3 + 6);
+        for &n in &fab.nodes {
+            let _ = b.ipcp_of(fab.dif, n);
+        }
+    }
+
+    #[test]
+    fn ping_stride_covers_every_node_exactly_once() {
+        for (n, stride) in [(5usize, 1usize), (6, 2), (6, 3), (7, 10), (12, 5)] {
+            let mut b = NetBuilder::new(6);
+            let fab = Topology::ring(n.max(3)).materialize(&mut b);
+            let mesh = Workload::ping_stride(&mut b, fab.dif, &fab.nodes, stride, 1, 16);
+            assert_eq!(mesh.pings.len(), n, "one ping per node");
+            let mut hit = vec![0usize; n];
+            for &(from, to, _) in &mesh.pings {
+                assert_ne!(from, to, "stride must never self-ping");
+                hit[fab.nodes.iter().position(|&x| x == to).unwrap()] += 1;
+            }
+            assert!(hit.iter().all(|&h| h == 1), "n={n} stride={stride}: {hit:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn ping_stride_rejects_self_ping_stride() {
+        let mut b = NetBuilder::new(6);
+        let fab = Topology::ring(4).materialize(&mut b);
+        let _ = Workload::ping_stride(&mut b, fab.dif, &fab.nodes, 8, 1, 16);
+    }
+
+    #[test]
+    fn ping_sampled_covers_every_node_and_dedupes_extras() {
+        for seed in 0..8u64 {
+            let mut b = NetBuilder::new(seed);
+            let fab = Topology::ring(9).materialize(&mut b);
+            let mesh = Workload::ping_sampled(&mut b, fab.dif, &fab.nodes, 6, seed, 1, 16);
+            let (mut src, mut dst) = (vec![0usize; 9], vec![0usize; 9]);
+            let mut seen = std::collections::HashSet::new();
+            for &(from, to, _) in &mesh.pings {
+                assert_ne!(from, to);
+                assert!(seen.insert((from, to)), "duplicate pair {from:?}->{to:?}");
+                src[fab.nodes.iter().position(|&x| x == from).unwrap()] += 1;
+                dst[fab.nodes.iter().position(|&x| x == to).unwrap()] += 1;
+            }
+            // The permutation ring guarantees coverage; extras only add.
+            assert!(src.iter().all(|&s| s >= 1), "seed {seed}: source coverage {src:?}");
+            assert!(dst.iter().all(|&d| d >= 1), "seed {seed}: target coverage {dst:?}");
+            assert!(mesh.pings.len() >= 9, "ring base present");
+        }
+    }
+
+    #[test]
+    fn ping_sampled_delivers_exact_extras_even_when_dense() {
+        let mut b = NetBuilder::new(9);
+        let fab = Topology::ring(5).materialize(&mut b);
+        // 5·4 − 5 = 15 pairs remain beside the ring; ask for all of them.
+        let mesh = Workload::ping_sampled(&mut b, fab.dif, &fab.nodes, 15, 3, 1, 16);
+        assert_eq!(mesh.pings.len(), 5 + 15, "dense extras are exact, not best-effort");
+        let mut seen = std::collections::HashSet::new();
+        assert!(mesh.pings.iter().all(|&(f, t, _)| f != t && seen.insert((f, t))));
+    }
+
+    #[test]
+    #[should_panic]
+    fn ping_sampled_rejects_unsatisfiable_extras() {
+        let mut b = NetBuilder::new(9);
+        let fab = Topology::ring(5).materialize(&mut b);
+        let _ = Workload::ping_sampled(&mut b, fab.dif, &fab.nodes, 16, 3, 1, 16);
+    }
+
+    #[test]
+    fn ping_sampled_deterministic_in_seed() {
+        let pairs_of = |seed| {
+            let mut b = NetBuilder::new(1);
+            let fab = Topology::ring(7).materialize(&mut b);
+            let mesh = Workload::ping_sampled(&mut b, fab.dif, &fab.nodes, 4, seed, 1, 16);
+            mesh.pings.iter().map(|&(f, t, _)| (f.0, t.0)).collect::<Vec<_>>()
+        };
+        assert_eq!(pairs_of(11), pairs_of(11));
+        assert_ne!(pairs_of(11), pairs_of(12));
     }
 }

@@ -1,0 +1,129 @@
+//! Enrollment convergence when the sponsor link loses management PDUs.
+//!
+//! Management traffic over a shim rides raw frames — no EFCP — so a lost
+//! `EnrollResponse` must be repaired by the joiner's enrollment-retry
+//! timer (the `TimerKind::EnrollRetry` path in `node.rs`), and the
+//! retried requests must not leak `Pending::Enroll` entries once the
+//! joiner finally gets in.
+
+use rina::dif::DifConfig;
+use rina::ipcp::{Ipcp, IpcpOut, N1Kind};
+use rina::naming::AppName;
+use rina::prelude::*;
+use rina::scenario::Topology;
+use rina_sim::LossModel;
+
+fn tx_frames(i: &mut Ipcp) -> Vec<Bytes> {
+    i.take_out()
+        .into_iter()
+        .filter_map(|o| match o {
+            IpcpOut::TxPhys { frame, .. } => Some(frame),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Deterministic unit-level reproduction: the very first
+/// `EnrollResponse` is dropped on the floor; the retry converges and the
+/// `Pending::Enroll` entry of the lost round is garbage-collected.
+#[test]
+fn dropped_first_enroll_response_converges_without_leaking_pending() {
+    let t = Time::ZERO;
+    let mut sponsor = Ipcp::new(0, DifConfig::new("net"), AppName::new("net.s"));
+    sponsor.bootstrap(1);
+    sponsor.set_block((1, 8));
+    sponsor.add_n1(N1Kind::Phys { iface: 0, mtu: 1500 });
+    let mut joiner = Ipcp::new(0, DifConfig::new("net"), AppName::new("net.j"));
+    joiner.add_n1(N1Kind::Phys { iface: 0, mtu: 1500 });
+
+    joiner.start_enroll(0, "", 2, (2, 4));
+    for f in tx_frames(&mut joiner) {
+        sponsor.on_frame(0, f, t);
+    }
+    // The sponsor answered — drop everything it sent (lossy link).
+    let dropped = tx_frames(&mut sponsor);
+    assert!(!dropped.is_empty(), "the sponsor did respond");
+    assert!(!joiner.is_enrolled());
+    assert_eq!(joiner.pending_enrolls(), 1, "one request in flight");
+
+    // The retry timer fires; this time the link delivers.
+    joiner.retry_enroll("", 2, (2, 4));
+    assert_eq!(joiner.pending_enrolls(), 2, "retry adds a second in-flight request");
+    for f in tx_frames(&mut joiner) {
+        sponsor.on_frame(0, f, t);
+    }
+    for f in tx_frames(&mut sponsor) {
+        joiner.on_frame(0, f, t);
+    }
+    assert!(joiner.is_enrolled(), "retry converged");
+    assert_eq!(joiner.addr, 2, "the sponsor re-granted the same address");
+    assert_eq!(joiner.block, (2, 4), "and the same block");
+    assert_eq!(
+        joiner.pending_enrolls(),
+        0,
+        "success garbage-collects every outstanding Pending::Enroll"
+    );
+}
+
+/// A DIF big enough that enrollment snapshots *stream* as per-object
+/// RibUpdates (> 64 RIB objects), over links that lose 10% of frames:
+/// dropped stream objects must be repaired by the hello digest
+/// anti-entropy, so every member eventually holds the whole membership
+/// and full routes.
+#[test]
+fn lossy_streamed_snapshots_repaired_by_digest_anti_entropy() {
+    let n = 22; // members + blocks + LSAs ≈ 66 objects > the inline cap
+    let mut b = NetBuilder::new(5);
+    let lossy = LinkCfg::wired().with_loss(LossModel::Bernoulli(0.1));
+    let fab = Topology::line(n).with_link(lossy).materialize(&mut b);
+    let ipcps = fab.member_ipcps(&b);
+    let mut net = b.build();
+    net.run_until_assembled(Dur::from_secs(180), Dur::ZERO);
+    // Anti-entropy runs on the hello cadence; give it room, then demand
+    // complete convergence: full membership and full reachability at
+    // every member.
+    for _ in 0..120 {
+        net.run_for(Dur::from_millis(500));
+        let done = ipcps.iter().all(|&h| {
+            let ip = net.ipcp(h);
+            ip.rib.iter_prefix("/members/").count() == n && ip.fwd.len() == n - 1
+        });
+        if done {
+            break;
+        }
+    }
+    for &h in &ipcps {
+        let ip = net.ipcp(h);
+        assert_eq!(
+            ip.rib.iter_prefix("/members/").count(),
+            n,
+            "{} missing members despite anti-entropy",
+            ip.name
+        );
+        assert_eq!(ip.fwd.len(), n - 1, "{} cannot reach everyone", ip.name);
+    }
+}
+
+/// Full-stack version: a line whose links lose 20% of frames. The
+/// node-level retry timers must still assemble the DIF, and no member
+/// may be left holding `Pending::Enroll` state.
+#[test]
+fn lossy_sponsor_links_still_assemble_via_retry_timers() {
+    let mut b = NetBuilder::new(77);
+    let lossy = LinkCfg::wired().with_loss(LossModel::Bernoulli(0.2));
+    let fab = Topology::line(4).with_link(lossy).materialize(&mut b);
+    let ipcps = fab.member_ipcps(&b);
+    let mut net = b.build();
+    // Generous limit: each hop may need several retry rounds.
+    net.run_until_assembled(Dur::from_secs(120), Dur::from_millis(300));
+    for &h in &ipcps {
+        let ip = net.ipcp(h);
+        assert!(ip.is_enrolled(), "{} enrolled despite loss", ip.name);
+        assert_eq!(ip.pending_enrolls(), 0, "{} leaked Pending::Enroll entries", ip.name);
+    }
+    // Addresses still unique under retries and re-grants.
+    let mut addrs: Vec<_> = ipcps.iter().map(|&h| net.ipcp(h).addr).collect();
+    addrs.sort_unstable();
+    addrs.dedup();
+    assert_eq!(addrs.len(), ipcps.len(), "duplicate addresses after lossy enrollment");
+}

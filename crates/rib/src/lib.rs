@@ -95,6 +95,25 @@ impl RibEvent {
     }
 }
 
+/// Order-independent fingerprint of one object version, XOR-aggregated
+/// into [`Rib::digest`]. Any version change changes it (versions are
+/// monotonic per name), so two RIBs with equal `(object_count, digest)`
+/// hold the same object versions with overwhelming probability — the
+/// basis of hello-driven anti-entropy.
+fn obj_fingerprint(o: &RibObject) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in o.name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h ^= o.version.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^= o.origin.rotate_left(32);
+    if o.deleted {
+        h = !h;
+    }
+    h
+}
+
 /// The Resource Information Base of one IPC process.
 #[derive(Debug, Default)]
 pub struct Rib {
@@ -104,6 +123,9 @@ pub struct Rib {
     events: VecDeque<RibEvent>,
     /// Objects (new versions) to disseminate to neighbors.
     outbox: VecDeque<RibObject>,
+    /// XOR of [`obj_fingerprint`] over every stored object (tombstones
+    /// included), maintained incrementally.
+    digest: u64,
 }
 
 impl Rib {
@@ -134,9 +156,18 @@ impl Rib {
             origin: self.origin,
             deleted: false,
         };
-        self.objects.insert(name.to_string(), obj.clone());
+        self.store(obj.clone());
         self.events.push_back(RibEvent::Upserted(obj.clone()));
         self.outbox.push_back(obj);
+    }
+
+    /// Insert `obj`, keeping the incremental digest in sync.
+    fn store(&mut self, obj: RibObject) {
+        if let Some(old) = self.objects.get(&obj.name) {
+            self.digest ^= obj_fingerprint(old);
+        }
+        self.digest ^= obj_fingerprint(&obj);
+        self.objects.insert(obj.name.clone(), obj);
     }
 
     /// Tombstone an object authored locally. No-op if absent or already
@@ -156,7 +187,7 @@ impl Rib {
             origin: self.origin,
             deleted: true,
         };
-        self.objects.insert(name.to_string(), obj.clone());
+        self.store(obj.clone());
         self.events.push_back(RibEvent::Deleted(obj.clone()));
         self.outbox.push_back(obj);
     }
@@ -174,7 +205,7 @@ impl Rib {
         } else {
             RibEvent::Upserted(obj.clone())
         };
-        self.objects.insert(obj.name.clone(), obj);
+        self.store(obj);
         self.events.push_back(ev);
         true
     }
@@ -202,6 +233,19 @@ impl Rib {
     /// Number of live objects.
     pub fn len(&self) -> usize {
         self.objects.values().filter(|o| !o.deleted).count()
+    }
+
+    /// Number of stored objects, tombstones included (pairs with
+    /// [`Rib::digest`] for anti-entropy comparisons).
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Order-independent fingerprint of the stored object versions. Two
+    /// RIBs with equal `(object_count, digest)` are in sync; a mismatch
+    /// means someone missed an update.
+    pub fn digest(&self) -> u64 {
+        self.digest
     }
 
     /// True when no live objects exist.
@@ -345,6 +389,33 @@ mod tests {
         }
         assert!(n.get("/a").is_none());
         assert!(n.get("/b").is_some());
+    }
+
+    #[test]
+    fn digest_tracks_state_not_history() {
+        // Two RIBs reaching the same object versions by different routes
+        // end with the same digest; divergent state differs.
+        let mut a = Rib::new(1);
+        a.write_local("/x", "c", Bytes::from_static(b"1"));
+        a.write_local("/y", "c", Bytes::from_static(b"2"));
+        let (ox, oy) = (a.poll_dissemination().unwrap(), a.poll_dissemination().unwrap());
+        let mut b = Rib::new(2);
+        assert_ne!((a.object_count(), a.digest()), (b.object_count(), b.digest()));
+        b.apply_remote(oy); // reversed arrival order
+        b.apply_remote(ox);
+        assert_eq!((a.object_count(), a.digest()), (b.object_count(), b.digest()));
+        // A new version moves the digest; syncing restores it.
+        a.write_local("/x", "c", Bytes::from_static(b"3"));
+        let o = a.poll_dissemination().unwrap();
+        assert_ne!(a.digest(), b.digest());
+        b.apply_remote(o);
+        assert_eq!(a.digest(), b.digest());
+        // Tombstones count too.
+        a.delete_local("/y");
+        assert_ne!(a.digest(), b.digest());
+        b.apply_remote(a.poll_dissemination().unwrap());
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.object_count(), 2, "tombstone still stored");
     }
 
     #[test]

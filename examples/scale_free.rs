@@ -35,9 +35,10 @@ fn main() {
     }
     let deg = fab.degrees();
     println!(
-        "hub degree = {}, hub forwarding entries = {}",
+        "hub degree = {}, hub reaches {} members via {} aggregated ranges",
         deg.iter().max().unwrap(),
-        net.ipcp(hub_ipcp).fwd.len()
+        net.ipcp(hub_ipcp).fwd.len(),
+        net.ipcp(hub_ipcp).fwd.aggregated_len()
     );
     println!("ok: one repeating structure, one hundred members, four lines of wiring");
 }
