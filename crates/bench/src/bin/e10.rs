@@ -1,0 +1,41 @@
+//! E10 scale sweep with wall-clock and flooding instrumentation.
+//!
+//! Runs the scale-free assembly at the sizes behind the EXPERIMENTS.md
+//! E10 scaling table and prints one markdown row per size, including the
+//! *wall-clock* cost of the run and the flooded-PDU totals — the metrics
+//! the incremental RIB sync work optimizes. Writes `e10.json`.
+//!
+//! Usage: `cargo run --release -p rina-bench --bin e10 [sizes...]`
+//! (default sizes: 50 100 200 1000)
+
+use rina_bench::report::{finish_doc, push_section};
+use rina_bench::{e10_scalefree, fmt};
+
+fn main() {
+    let mut sizes: Vec<usize> = std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
+    if sizes.is_empty() {
+        sizes = vec![50, 100, 200, 1000];
+    }
+    println!(
+        "| members | makespan (s) | wall (s) | mgmt/member | rib PDUs | suppressed | e2e ok |"
+    );
+    println!("|---|---|---|---|---|---|---|");
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let r = e10_scalefree::run(n, 2, 900 + n as u64);
+        println!(
+            "| {} | {} | {} | {} | {} | {} | {} |",
+            r.members,
+            fmt(r.assemble_s),
+            fmt(r.wall_s),
+            fmt(r.mgmt_per_member),
+            r.rib_pdus,
+            r.flood_suppressed,
+            r.e2e_ok
+        );
+        rows.push(r);
+    }
+    let mut doc = Vec::new();
+    push_section(&mut doc, "e10_sweep", &rows);
+    std::fs::write("e10.json", finish_doc(doc)).ok();
+}

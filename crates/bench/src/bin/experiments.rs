@@ -165,8 +165,8 @@ fn main() {
     push_section(&mut doc, "e9_util", &rows);
 
     println!("\n## E10 — scale-free internetworks (Barabási–Albert DIFs)\n");
-    println!("| members | m | schedule | makespan (s) | mgmt/member | deferred | hub degree | hub fwd | hub agg | fwd mean | agg mean | e2e ok |");
-    println!("|---|---|---|---|---|---|---|---|---|---|---|---|");
+    println!("| members | m | schedule | makespan (s) | wall (s) | mgmt/member | rib PDUs | deferred | hub degree | hub fwd | hub agg | fwd mean | agg mean | e2e ok |");
+    println!("|---|---|---|---|---|---|---|---|---|---|---|---|---|---|");
     // Wave-parallel sweep (the makespan should grow sublinearly in
     // members), with the sequential baseline alongside for comparison.
     let wave_ns: &[usize] = if quick { &[50] } else { &[50, 100, 1000] };
@@ -182,12 +182,14 @@ fn main() {
     for (n, schedule) in cells {
         let r = e10_scalefree::run_with(n, 2, 900 + n as u64, schedule);
         println!(
-            "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |",
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |",
             r.members,
             r.attach_degree,
             r.schedule,
             fmt(r.assemble_s),
+            fmt(r.wall_s),
             fmt(r.mgmt_per_member),
+            r.rib_pdus,
             r.deferred,
             r.hub_degree,
             r.hub_fwd,

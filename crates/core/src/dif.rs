@@ -64,6 +64,35 @@ pub struct DifConfig {
     /// hello confirms it is up (or the slot times out); requests beyond
     /// the window are told to back off and retry. `0` = unlimited.
     pub admission_window: u32,
+    /// Debounce *floor* for route recomputation after remote LSA
+    /// floods, in milliseconds: a burst of LSAs costs one Dijkstra run
+    /// per member, not one per update. The effective window is
+    /// `max(this, lsa_count / 10)` — recomputation cost grows with the
+    /// LSA set, so the window stretches with it. Experiments sweep it.
+    pub recompute_debounce_ms: u64,
+    /// Flood aggregation window, in milliseconds: queued flood objects
+    /// sit up to this long so everything passing a member inside one
+    /// window leaves as a few MTU-sized batch PDUs per port instead of
+    /// one PDU per object. `0` flushes immediately (one pass = one
+    /// batch). Adds at most this much per-hop dissemination latency.
+    pub flood_batch_ms: u64,
+    /// Debounce for *originating* LSA versions, in milliseconds. The
+    /// first neighbor-set change after a quiet period floods
+    /// immediately (failure rerouting stays fast); changes arriving
+    /// within the window batch into a single new version — a hub
+    /// admitting a wave of joiners advertises once per window instead
+    /// of once per attachment.
+    pub lsa_debounce_ms: u64,
+    /// Token-bucket rate limit on RIEP flooding out *cross* (non
+    /// spanning-tree) ports, in objects per second per member (`0` =
+    /// unlimited). Tree ports are never limited — they alone replicate
+    /// every update to every member — so the bucket only suppresses the
+    /// redundant copies dense fabrics would otherwise push over every
+    /// extra edge; digest-driven anti-entropy repairs whatever it drops.
+    pub flood_rate: u32,
+    /// Burst size of the flood token bucket (only meaningful when
+    /// [`DifConfig::flood_rate`] is nonzero).
+    pub flood_burst: u32,
 }
 
 impl DifConfig {
@@ -78,6 +107,11 @@ impl DifConfig {
             hello_misses: 3,
             max_sdu: 64 * 1024,
             admission_window: 8,
+            recompute_debounce_ms: 50,
+            flood_batch_ms: 5,
+            lsa_debounce_ms: 100,
+            flood_rate: 64,
+            flood_burst: 256,
         }
     }
 
@@ -123,6 +157,37 @@ impl DifConfig {
         self
     }
 
+    /// Builder-style route-recompute debounce override, in milliseconds
+    /// (default 50; experiments sweep it).
+    pub fn with_recompute_debounce_ms(mut self, ms: u64) -> Self {
+        self.recompute_debounce_ms = ms;
+        self
+    }
+
+    /// Builder-style flood-aggregation override, in milliseconds (`0` =
+    /// flush flood batches as soon as the current event finishes).
+    pub fn with_flood_batch_ms(mut self, ms: u64) -> Self {
+        self.flood_batch_ms = ms;
+        self
+    }
+
+    /// Builder-style LSA-origination debounce override, in milliseconds
+    /// (`0` = advertise every neighbor-set change immediately).
+    pub fn with_lsa_debounce_ms(mut self, ms: u64) -> Self {
+        self.lsa_debounce_ms = ms;
+        self
+    }
+
+    /// Builder-style flood rate limit: at most `rate` flooded RIEP
+    /// objects per second per member out cross (non-tree) ports, with
+    /// bursts up to `burst` (`rate` 0 = unlimited). Dropped floods are
+    /// repaired by digest anti-entropy.
+    pub fn with_flood_rate(mut self, rate: u32, burst: u32) -> Self {
+        self.flood_rate = rate;
+        self.flood_burst = burst.max(1);
+        self
+    }
+
     /// Look up a cube by id.
     pub fn cube(&self, id: u8) -> Option<&QosCube> {
         self.cubes.iter().find(|c| c.id == id)
@@ -154,6 +219,16 @@ mod tests {
     #[should_panic]
     fn cube_zero_required() {
         let _ = DifConfig::new("x").with_cubes(vec![]);
+    }
+
+    #[test]
+    fn sync_knobs_default_and_override() {
+        let c = DifConfig::new("x");
+        assert_eq!(c.recompute_debounce_ms, 50);
+        assert!(c.flood_rate > 0, "cross-port flooding is bounded by default");
+        let c = c.with_recompute_debounce_ms(5).with_flood_rate(200, 0);
+        assert_eq!(c.recompute_debounce_ms, 5);
+        assert_eq!((c.flood_rate, c.flood_burst), (200, 1), "burst floors at 1");
     }
 
     #[test]

@@ -7,7 +7,11 @@
 //!   relays them toward their destination address.
 //! * **IPC Transfer Control** — one `rina_efcp::Connection` per flow.
 //! * **IPC Management** — enrollment (§5.2), flow allocation (§5.3),
-//!   neighbor hellos, and RIEP dissemination over the RIB.
+//!   neighbor hellos, and RIEP dissemination over the RIB. Dissemination
+//!   is batch-preserving, tree-preferred flooding with digest-driven
+//!   anti-entropy: hellos carry per-subtree digest tables, mismatches
+//!   trigger targeted delta pulls, and floods out non-spanning-tree
+//!   ports are token-bucket limited (DESIGN.md §6).
 //!
 //! The recursion that defines the architecture is in [`N1Kind`]: an (N-1)
 //! port is *either* a raw interface (making this a shim DIF "tailored to
@@ -24,7 +28,7 @@ use crate::qos::{match_cube, QosSpec};
 use crate::routing::{compute_routes, Lsa, LSA_CLASS, LSA_PREFIX};
 use bytes::Bytes;
 use rina_efcp::{ConnId, Connection};
-use rina_rib::{Rib, RibEvent, RibObject};
+use rina_rib::{subtree_of, DigestTable, Rib, RibEvent, RibObject};
 use rina_sim::{Dur, Time};
 use rina_wire::{CdapMsg, CepId, MgmtPdu, Pdu};
 use std::collections::HashMap;
@@ -47,18 +51,27 @@ const ADMIT_SLOT_TTL: Dur = Dur::from_millis(1500);
 /// sponsor, admission rounds — not timeouts — should pace the wave.
 const ADMIT_RETRY_MS: u32 = 100;
 
-/// Minimum hello ticks between digest-triggered resyncs of one port:
+/// Minimum hello ticks between digest-triggered delta syncs of one port:
 /// anti-entropy must repair losses without turning assembly-time churn
 /// (when neighbors' RIBs differ constantly and legitimately) into
-/// full-RIB broadcast storms.
-const RESYNC_DAMP_TICKS: u64 = 8;
+/// request storms. Deltas are cheap (summaries + missing objects, per
+/// mismatched subtree), so this is tighter than the old full-RIB resync
+/// damp.
+const RESYNC_DAMP_TICKS: u64 = 4;
+
+/// Byte budget per [`MgmtBody::RibDeltaRequest`] /
+/// [`MgmtBody::RibDeltaResponse`] chunk — comfortably under the smallest
+/// (N-1) MTU once the PDU and CDAP envelopes are added, so sync traffic
+/// is never silently undeliverable.
+const DELTA_CHUNK_BYTES: usize = 1024;
 
 /// Largest RIB snapshot inlined into one [`MgmtBody::EnrollResponse`].
 /// Bigger RIBs would overflow the (N-1) MTU in a single PDU — the very
 /// wall that capped facilities near 100 members — so past this size the
-/// sponsor sends an *empty* snapshot and streams the RIB as individual
-/// [`MgmtBody::RibUpdate`]s right behind the response (each one small,
-/// all of them version-guarded and therefore idempotent).
+/// sponsor sends an *empty* snapshot and streams the sync set as
+/// MTU-sized [`MgmtBody::RibDeltaResponse`] batches right behind the
+/// response, restricted to the subtrees the joiner's digest table does
+/// not already cover (version-guarded and therefore idempotent).
 const SNAPSHOT_INLINE_MAX: usize = 64;
 
 /// What backs an (N-1) port.
@@ -93,9 +106,21 @@ pub struct N1Port {
     pub up: bool,
     /// Last hello heard on this port.
     pub last_hello: Time,
-    /// Our hello-tick count when this port was last resynced (damps
-    /// digest-triggered anti-entropy).
+    /// Our hello-tick count when this port last started a delta sync
+    /// (damps digest-triggered anti-entropy).
     pub(crate) last_resync_tick: u64,
+    /// The peer's RIB digest table from its last hello — the basis of
+    /// targeted delta requests and of flood suppression (don't send an
+    /// object out a port whose peer provably already holds its subtree).
+    pub(crate) peer_digests: Option<DigestTable>,
+    /// This port carried an enrollment (we joined through it, or
+    /// sponsored the peer over it): it is an edge of the DIF's
+    /// dissemination spanning tree. Tree edges alone reach every member,
+    /// so floods out tree ports are never rate-limited, while cross
+    /// (non-tree) ports go through the DIF's flood token bucket — the
+    /// topology-aware suppression that keeps hub flooding O(members),
+    /// not O(members × degree).
+    pub(crate) tree: bool,
 }
 
 /// Flow allocation phase of one connection endpoint.
@@ -209,6 +234,12 @@ pub struct IpcpStats {
     pub mgmt_tx: u64,
     /// RIEP object updates sent (dissemination + re-flood).
     pub rib_tx: u64,
+    /// Floods skipped because the peer's last hello digest already
+    /// covered the object's subtree, or the DIF's flood rate limit was
+    /// exhausted (anti-entropy repairs whatever a drop loses).
+    pub flood_suppressed: u64,
+    /// Anti-entropy delta requests sent (per subtree chunk).
+    pub delta_requests: u64,
     /// Enrollment requests handled as sponsor.
     pub enrollments_sponsored: u64,
     /// Enrollment requests deferred because the admission window was full.
@@ -249,6 +280,10 @@ pub struct Ipcp {
     pub rib: Rib,
     /// Current forwarding table (step one: destination → next hops).
     pub fwd: crate::routing::ForwardingTable,
+    /// Decoded mirror of the RIB's `/lsa/*` objects, maintained on
+    /// apply/write so a route recomputation never re-parses a thousand
+    /// LSA values it parsed 50 ms earlier.
+    lsa_cache: HashMap<Addr, Lsa>,
     /// Remote LSA updates arrived since the last Dijkstra run; the node
     /// recomputes on a short debounce timer so a flood of LSAs (a whole
     /// wave enrolling) costs one recomputation, not one per update.
@@ -273,13 +308,34 @@ pub struct Ipcp {
     pub stats: IpcpStats,
     /// Neighbor set currently advertised in our LSA.
     advertised: Vec<Addr>,
+    /// A neighbor-set change occurred inside the LSA debounce window;
+    /// the node's flush timer will batch it into one new version.
+    lsa_dirty: bool,
+    /// When the LSA was last (re)written — the debounce leading edge.
+    lsa_last_write: Time,
     /// Hello periods elapsed (drives periodic re-advertisement).
     hello_ticks: u64,
+    /// Shadow of the virtual clock, updated at the public entry points;
+    /// drives the flood token bucket without threading `now` through
+    /// every dissemination path.
+    clock: Time,
+    /// Per-port flood queue (port → pre-encoded objects), flushed as
+    /// MTU-sized batches when the node drains effects: everything
+    /// flooded within one event-handling pass coalesces into a few PDUs
+    /// per port instead of one PDU per object. Each object is encoded
+    /// once and the bytes are shared across ports. (BTreeMap for
+    /// deterministic flush order — same seed, same event sequence.)
+    flood_q: std::collections::BTreeMap<usize, Vec<Bytes>>,
+    /// Flood token-bucket level (see [`DifConfig::flood_rate`]).
+    flood_tokens: f64,
+    /// When the flood bucket last refilled.
+    flood_refill_at: Time,
 }
 
 impl Ipcp {
     /// Create a not-yet-enrolled IPC process for `cfg`, named `name`.
     pub fn new(idx: usize, cfg: DifConfig, name: AppName) -> Self {
+        let flood_tokens = cfg.flood_burst as f64;
         Ipcp {
             idx,
             cfg,
@@ -290,6 +346,7 @@ impl Ipcp {
             enrolled: false,
             rib: Rib::new(0),
             fwd: Default::default(),
+            lsa_cache: HashMap::new(),
             routes_dirty: false,
             n1: Vec::new(),
             conns: HashMap::new(),
@@ -303,7 +360,13 @@ impl Ipcp {
             out: Vec::new(),
             stats: IpcpStats::default(),
             advertised: Vec::new(),
+            lsa_dirty: false,
+            lsa_last_write: Time::ZERO,
             hello_ticks: 0,
+            clock: Time::ZERO,
+            flood_q: std::collections::BTreeMap::new(),
+            flood_tokens,
+            flood_refill_at: Time::ZERO,
         }
     }
 
@@ -352,6 +415,8 @@ impl Ipcp {
             up: true,
             last_hello: Time::ZERO,
             last_resync_tick: 0,
+            peer_digests: None,
+            tree: false,
         });
         self.n1.len() - 1
     }
@@ -371,9 +436,26 @@ impl Ipcp {
         self.n1.iter().position(|p| matches!(p.kind, N1Kind::Phys { iface: i, .. } if i == iface))
     }
 
-    /// Drain pending effects.
+    /// Drain pending effects. With [`DifConfig::flood_batch_ms`] of 0,
+    /// queued flood batches flush here (one event-handling pass = one
+    /// batch); otherwise they wait for the node's aggregation timer so
+    /// independent floods passing through within the window coalesce.
     pub fn take_out(&mut self) -> Vec<IpcpOut> {
+        if self.cfg.flood_batch_ms == 0 {
+            self.flush_floods();
+        }
         std::mem::take(&mut self.out)
+    }
+
+    /// Whether queued flood objects await the aggregation timer.
+    pub fn flood_flush_wanted(&self) -> bool {
+        !self.flood_q.is_empty()
+    }
+
+    /// Flush queued flood batches now (the aggregation timer fired).
+    pub fn flush_floods_now(&mut self, now: Time) {
+        self.clock = now;
+        self.flush_floods();
     }
 
     /// Earliest EFCP timer deadline over all connections, with its cep.
@@ -402,13 +484,21 @@ impl Ipcp {
     /// unreliable, so lost updates must eventually be repaired).
     /// Called on the DIF's hello period.
     pub fn tick_hello(&mut self, now: Time) {
+        self.clock = now;
+        // One digest table, one encoded frame, shared across every port
+        // (a hub sends ~degree identical hellos per tick).
+        let frame = self.hello_frame();
         for i in 0..self.n1.len() {
-            self.send_hello(i);
+            self.stats.mgmt_tx += 1;
+            self.tx_n1(i, frame.clone(), 7);
         }
         self.hello_ticks += 1;
         if !self.is_shim && self.enrolled && self.hello_ticks.is_multiple_of(8) {
+            // Re-advertise our own objects; ports whose peers' hello
+            // digests already cover them are skipped by the suppression
+            // in `flood_rib`, so a converged facility goes quiet.
             let own: Vec<RibObject> =
-                self.rib.snapshot().into_iter().filter(|o| o.origin == self.addr).collect();
+                self.rib.iter_all().filter(|o| o.origin == self.addr).cloned().collect();
             for obj in &own {
                 self.flood_rib(obj, None);
             }
@@ -424,6 +514,9 @@ impl Ipcp {
             {
                 p.up = false;
                 p.peer_addr = 0;
+                // An expired neighbor leaves the dissemination tree
+                // (see `n1_down`).
+                p.tree = false;
                 changed = true;
             }
         }
@@ -432,37 +525,98 @@ impl Ipcp {
         }
     }
 
-    fn send_hello(&mut self, n1: usize) {
+    /// The current hello, fully encoded as a link-local frame.
+    fn hello_frame(&self) -> Bytes {
         let body = MgmtBody::Hello {
             name: self.name.clone(),
             addr: self.addr,
-            rib_objects: self.rib.object_count() as u64,
-            rib_digest: self.rib.digest(),
+            digests: self.rib.digest_table(),
         };
-        self.send_mgmt_on(n1, body, 0, 0);
+        let payload = body.encode(0, 0);
+        Pdu::Mgmt(MgmtPdu { dest_addr: 0, src_addr: self.addr, ttl: 1, payload }).encode()
     }
 
-    /// Push the entire RIB to the peer on one port (joiner-style sync for
-    /// a neighbor that just (re)appeared, streamed snapshot for a fresh
-    /// enrollee, or anti-entropy repair after a digest mismatch). Version
-    /// guards make this idempotent.
-    fn resync_port(&mut self, n1: usize) {
+    fn send_hello(&mut self, n1: usize) {
+        let frame = self.hello_frame();
+        self.stats.mgmt_tx += 1;
+        self.tx_n1(n1, frame, 7);
+    }
+
+    /// Anti-entropy pull: for each of `subtrees`, send the peer on `n1`
+    /// our version summary in MTU-sized name-range chunks; the peer
+    /// answers with exactly the objects we lack. Replaces the old
+    /// push-the-whole-RIB resync — cost tracks the divergence, not the
+    /// RIB.
+    fn request_deltas(&mut self, n1: usize, subtrees: &[String]) {
         if let Some(p) = self.n1.get_mut(n1) {
             p.last_resync_tick = self.hello_ticks;
         }
-        for obj in self.rib.snapshot() {
-            self.stats.rib_tx += 1;
-            self.send_mgmt_on(n1, MgmtBody::RibUpdate(obj), 0, 0);
+        for st in subtrees {
+            let summary = self.rib.summary(st);
+            // Chunk on the summary's encoded size; boundaries are object
+            // names so the responder can detect absences per range.
+            let mut start = 0usize;
+            loop {
+                let mut bytes = 0usize;
+                let mut end = start;
+                while end < summary.len() && bytes < DELTA_CHUNK_BYTES {
+                    bytes += summary[end].name.len() + 12;
+                    end += 1;
+                }
+                let from = if start == 0 { String::new() } else { summary[start].name.clone() };
+                let upto =
+                    if end >= summary.len() { String::new() } else { summary[end].name.clone() };
+                let body = MgmtBody::RibDeltaRequest {
+                    subtree: st.clone(),
+                    from,
+                    upto,
+                    summary: summary[start..end].to_vec(),
+                };
+                self.stats.delta_requests += 1;
+                self.send_mgmt_on(n1, body, 0, 0);
+                if end >= summary.len() {
+                    break;
+                }
+                start = end;
+            }
         }
+    }
+
+    /// Push the full objects of `subtrees` to the peer on `n1` as
+    /// MTU-sized [`MgmtBody::RibDeltaResponse`] batches — the enrollment
+    /// sync stream (version-guarded, so idempotent under retries).
+    fn stream_subtrees(&mut self, n1: usize, subtrees: &[String]) {
+        if let Some(p) = self.n1.get_mut(n1) {
+            p.last_resync_tick = self.hello_ticks;
+        }
+        for st in subtrees {
+            let (objects, _) = self.rib.delta_for(st, "", "", &[]);
+            self.send_delta_batches(n1, st, objects);
+        }
+    }
+
+    /// Send `objects` of `subtree` as one or more under-MTU
+    /// [`MgmtBody::RibDeltaResponse`] PDUs on `n1`.
+    fn send_delta_batches(&mut self, n1: usize, subtree: &str, objects: Vec<RibObject>) {
+        let encs: Vec<Bytes> = objects.iter().map(|o| o.encode()).collect();
+        self.send_encoded_batches(n1, subtree, &encs);
     }
 
     /// Mark an (N-1) port down (local failure detection: the lower flow
     /// failed or the interface reported link-down).
     pub fn n1_down(&mut self, n1: usize, now: Time) {
+        self.clock = self.clock.max(now);
         if let Some(p) = self.n1.get_mut(n1) {
             if p.up {
                 p.up = false;
                 p.peer_addr = 0;
+                // A dead edge is no longer part of the dissemination
+                // tree; if the peer returns it re-earns tree status by
+                // re-enrolling (fresh members) or syncs via delta pulls
+                // (mobility reattachment). Leaving it set would let
+                // every historical enrollment edge flood rate-unlimited
+                // forever.
+                p.tree = false;
                 self.refresh_lsa(now);
             }
         }
@@ -470,6 +624,7 @@ impl Ipcp {
 
     /// Mark an (N-1) port back up and re-hello.
     pub fn n1_up(&mut self, n1: usize, now: Time) {
+        self.clock = self.clock.max(now);
         if let Some(p) = self.n1.get_mut(n1) {
             p.up = true;
             p.last_hello = now;
@@ -477,11 +632,45 @@ impl Ipcp {
         self.send_hello(n1);
     }
 
-    /// Recompute and re-advertise our LSA if the live neighbor set changed.
+    /// Re-advertise our LSA if the live neighbor set changed — with a
+    /// leading-edge debounce. The first change after a quiet period
+    /// writes (and floods) immediately, so failure rerouting and
+    /// mobility stay fast; further changes inside
+    /// [`DifConfig::lsa_debounce_ms`] mark the LSA dirty and are
+    /// batched into one version when the node's flush timer fires. A
+    /// hub admitting a wave of joiners then emits a handful of LSA
+    /// versions instead of one per attachment — each saved version is
+    /// one less object flooded DIF-wide.
     fn refresh_lsa(&mut self, _now: Time) {
         if !self.enrolled || self.is_shim {
             return;
         }
+        let window = Dur::from_millis(self.cfg.lsa_debounce_ms);
+        if self.lsa_last_write != Time::ZERO && self.clock.since(self.lsa_last_write) < window {
+            self.lsa_dirty = true;
+            return;
+        }
+        self.write_lsa_now();
+    }
+
+    /// Whether a debounced LSA re-advertisement is pending (the node
+    /// arms the flush timer and calls [`Ipcp::flush_lsa_now`]).
+    pub fn lsa_flush_wanted(&self) -> bool {
+        self.lsa_dirty
+    }
+
+    /// Run the deferred LSA re-advertisement (no-op when clean).
+    pub fn flush_lsa_now(&mut self, now: Time) {
+        self.clock = now;
+        if self.lsa_dirty {
+            self.write_lsa_now();
+        }
+    }
+
+    /// Unconditionally recompute the neighbor set and, if it differs
+    /// from what we advertise, write and disseminate a new LSA version.
+    fn write_lsa_now(&mut self) {
+        self.lsa_dirty = false;
         let mut neigh: Vec<Addr> =
             self.n1.iter().filter(|p| p.up && p.peer_addr != 0).map(|p| p.peer_addr).collect();
         neigh.sort_unstable();
@@ -489,25 +678,54 @@ impl Ipcp {
         if neigh == self.advertised {
             return;
         }
+        self.lsa_last_write = self.clock;
         self.advertised = neigh.clone();
         let lsa = Lsa { neighbors: neigh.into_iter().map(|a| (a, 1)).collect() };
-        self.rib.write_local(&Lsa::object_name(self.addr), LSA_CLASS, lsa.encode());
+        let value = lsa.encode();
+        self.lsa_cache.insert(self.addr, lsa);
+        self.rib.write_local(&Lsa::object_name(self.addr), LSA_CLASS, value);
         self.drain_rib();
     }
 
-    /// Recompute the forwarding table from the RIB's LSAs.
+    /// Keep the decoded LSA mirror in step with one applied object.
+    fn update_lsa_cache(&mut self, obj: &RibObject) {
+        if obj.class != LSA_CLASS {
+            return;
+        }
+        let Ok(addr) = obj.name[LSA_PREFIX.len().min(obj.name.len())..].parse::<u64>() else {
+            return;
+        };
+        if obj.deleted {
+            self.lsa_cache.remove(&addr);
+        } else if let Ok(l) = Lsa::decode(&obj.value) {
+            self.lsa_cache.insert(addr, l);
+        }
+    }
+
+    /// Apply one received object (event-free) and mirror LSA changes
+    /// into the decoded cache. Returns whether it was news.
+    fn apply_obj(&mut self, obj: RibObject) -> bool {
+        let cached = if obj.class == LSA_CLASS { Some(obj.clone()) } else { None };
+        if !self.rib.apply_remote_silent(obj) {
+            return false;
+        }
+        if let Some(o) = cached {
+            self.update_lsa_cache(&o);
+        }
+        true
+    }
+
+    /// Number of LSAs currently held (drives the adaptive recompute
+    /// debounce: recomputation cost scales with LSA count, so its
+    /// debounce window should too).
+    pub fn lsa_count(&self) -> usize {
+        self.lsa_cache.len()
+    }
+
+    /// Recompute the forwarding table from the decoded LSA mirror.
     fn recompute_routes(&mut self) {
         self.routes_dirty = false;
-        let mut lsas = HashMap::new();
-        for o in self.rib.iter_prefix(LSA_PREFIX) {
-            let Ok(addr) = o.name[LSA_PREFIX.len()..].parse::<u64>() else {
-                continue;
-            };
-            if let Ok(l) = Lsa::decode(&o.value) {
-                lsas.insert(addr, l);
-            }
-        }
-        self.fwd = compute_routes(self.addr, &lsas);
+        self.fwd = compute_routes(self.addr, &self.lsa_cache);
     }
 
     /// Whether a debounced route recomputation is wanted (the node arms
@@ -548,6 +766,7 @@ impl Ipcp {
             credential: credential.to_string(),
             proposed_addr,
             proposed_block,
+            digests: self.rib.digest_table(),
         };
         self.send_mgmt_on(n1, body, invoke, 0);
     }
@@ -570,6 +789,9 @@ impl Ipcp {
                 credential: credential.to_string(),
                 proposed_addr,
                 proposed_block,
+                // A retry advertises whatever the lost round already
+                // synced, so the sponsor re-streams only the rest.
+                digests: self.rib.digest_table(),
             };
             self.send_mgmt_on(n1, body, invoke, 0);
         }
@@ -605,10 +827,11 @@ impl Ipcp {
             || proposed_addr == self.addr
             || proposed_addr < proposed_block.0
             || proposed_addr > proposed_block.1;
+        let own_member_name = format!("/members/{}", name.key());
         for o in self.rib.iter_prefix("/members/") {
             if let Some(a) = decode_addr(&o.value) {
                 max_addr = max_addr.max(a);
-                if a == proposed_addr && o.name != format!("/members/{}", name.key()) {
+                if a == proposed_addr && o.name != own_member_name {
                     taken = true;
                 }
             }
@@ -648,6 +871,7 @@ impl Ipcp {
         credential: String,
         proposed_addr: Addr,
         proposed_block: (Addr, Addr),
+        joiner_digests: DigestTable,
         invoke_id: u32,
         now: Time,
     ) {
@@ -687,27 +911,45 @@ impl Ipcp {
         };
         self.admitting.insert(name.clone(), (now, new_addr, new_block));
         self.stats.enrollments_sponsored += 1;
-        self.rib.write_local(&format!("/members/{}", name.key()), "member", encode_addr(new_addr));
-        self.rib.write_local(&block_name(new_addr), BLOCK_CLASS, encode_block(new_block));
-        // Snapshot *after* recording the new member so the joiner sees
-        // itself. Small RIBs ride inline in the response; big ones would
-        // overflow the (N-1) MTU, so they stream as per-object updates
-        // behind an empty-snapshot response instead.
-        let snapshot = self.rib.snapshot();
-        let stream = snapshot.len() > SNAPSHOT_INLINE_MAX;
+        // Value-guarded: a re-granting retry must not bump versions and
+        // re-flood two unchanged objects to the whole DIF.
+        self.rib.write_local_if_changed(
+            &format!("/members/{}", name.key()),
+            "member",
+            encode_addr(new_addr),
+        );
+        self.rib.write_local_if_changed(
+            &block_name(new_addr),
+            BLOCK_CLASS,
+            encode_block(new_block),
+        );
+        // Sync set captured *after* recording the new member so the
+        // joiner sees itself. Small RIBs ride inline in the response;
+        // big ones would overflow the (N-1) MTU, so they stream as
+        // batched subtree deltas behind an empty-snapshot response —
+        // and only for the subtrees the joiner's advertised digest
+        // table does not already cover: a retrying or re-enrolling
+        // joiner costs O(missing), not O(RIB). (The snapshot clone
+        // itself is taken only on the inline path — cloning a growing
+        // RIB per sponsored joiner just to count it was an O(members ×
+        // RIB) tax on assembly.)
+        let stream = self.rib.object_count() > SNAPSHOT_INLINE_MAX;
         if let Some(p) = self.n1.get_mut(from_n1) {
             p.peer_name = Some(name);
             p.peer_addr = new_addr;
+            // Sponsoring over this port makes it a spanning-tree edge.
+            p.tree = true;
         }
         let body = MgmtBody::EnrollResponse {
             addr: new_addr,
             block: new_block,
             retry_after_ms: 0,
-            snapshot: if stream { vec![] } else { snapshot },
+            snapshot: if stream { vec![] } else { self.rib.snapshot() },
         };
         self.send_mgmt_on(from_n1, body, invoke_id, 0);
         if stream {
-            self.resync_port(from_n1);
+            let missing = self.rib.digest_table().mismatched(&joiner_digests);
+            self.stream_subtrees(from_n1, &missing);
         }
         self.drain_rib();
         self.refresh_lsa(Time::ZERO);
@@ -739,13 +981,15 @@ impl Ipcp {
         self.block = if block == (0, 0) { (addr, addr) } else { block };
         self.rib.set_origin(addr);
         self.enrolled = true;
+        // The port we enrolled through is our spanning-tree edge.
+        if let Some(p) = self.enroll_via.and_then(|n1| self.n1.get_mut(n1)) {
+            p.tree = true;
+        }
         // Requests retried before this response landed are now moot.
         self.pending.retain(|_, p| !matches!(p, Pending::Enroll));
         for o in snapshot {
-            self.rib.apply_remote(o);
+            self.apply_obj(o);
         }
-        // Flush events generated by the snapshot without re-flooding it.
-        while self.rib.poll_event().is_some() {}
         self.recompute_routes();
         // Announce ourselves on every port and advertise our adjacency.
         for i in 0..self.n1.len() {
@@ -1057,6 +1301,7 @@ impl Ipcp {
 
     /// A frame (encoded PDU) arrived on (N-1) port `n1`.
     pub fn on_frame(&mut self, n1: usize, frame: Bytes, now: Time) {
+        self.clock = now;
         if let Some(p) = self.n1.get_mut(n1) {
             // Any traffic proves liveness.
             p.last_hello = now;
@@ -1212,7 +1457,7 @@ impl Ipcp {
             }
         };
         match body {
-            MgmtBody::Hello { name, addr, rib_objects, rib_digest } => {
+            MgmtBody::Hello { name, addr, digests } => {
                 let mut changed = false;
                 let mut new_member = false;
                 if addr != 0 {
@@ -1239,44 +1484,47 @@ impl Ipcp {
                         changed = true;
                         new_member = true;
                     }
+                    if addr != 0 {
+                        p.peer_digests = Some(digests.clone());
+                    }
                 }
                 if changed {
                     self.refresh_lsa(now);
                 }
                 if !self.is_shim && self.enrolled && addr != 0 {
-                    if new_member {
-                        // A member (re)appeared on this port: bring it
-                        // fully up to date. RIEP dissemination is
-                        // unreliable and version-guarded, so
-                        // (re)attachment is the moment to resynchronize —
-                        // this is what makes mobility's join/leave cycles
-                        // (§6.4) converge.
-                        self.resync_port(from_n1);
-                    } else if (rib_objects, rib_digest)
-                        != (self.rib.object_count() as u64, self.rib.digest())
-                        && self.n1.get(from_n1).is_some_and(|p| {
-                            self.hello_ticks >= p.last_resync_tick + RESYNC_DAMP_TICKS
-                        })
+                    // Anti-entropy: the digest table localizes divergence
+                    // to subtrees, and a targeted delta *pull* moves only
+                    // the objects we actually lack (the peer's own hellos
+                    // drive the opposite direction symmetrically). A
+                    // member (re)appearing on the port syncs immediately —
+                    // this is what makes mobility's join/leave cycles
+                    // (§6.4) converge — while steady-state mismatches are
+                    // damped to once per port per few hello cycles.
+                    let mismatched = self.rib.digest_table().mismatched(&digests);
+                    if !mismatched.is_empty()
+                        && (new_member
+                            || self.n1.get(from_n1).is_some_and(|p| {
+                                self.hello_ticks >= p.last_resync_tick + RESYNC_DAMP_TICKS
+                            }))
                     {
-                        // Anti-entropy: the neighbor's RIB summary differs
-                        // from ours, so one of us missed an update — e.g.
-                        // a streamed enrollment snapshot losing frames.
-                        // Push our versions (idempotent); the neighbor's
-                        // own hellos repair the opposite direction. Damped
-                        // to once per port per few hello cycles, so the
-                        // constant churn *during* assembly never triggers
-                        // full-RIB storms.
-                        self.resync_port(from_n1);
+                        self.request_deltas(from_n1, &mismatched);
                     }
                 }
             }
-            MgmtBody::EnrollRequest { name, credential, proposed_addr, proposed_block } => {
+            MgmtBody::EnrollRequest {
+                name,
+                credential,
+                proposed_addr,
+                proposed_block,
+                digests,
+            } => {
                 self.handle_enroll_request(
                     from_n1,
                     name,
                     credential,
                     proposed_addr,
                     proposed_block,
+                    digests,
                     cdap.invoke_id,
                     now,
                 );
@@ -1315,39 +1563,136 @@ impl Ipcp {
                 }
             }
             MgmtBody::RibUpdate(obj) => {
-                let lsa_changed = obj.class == LSA_CLASS;
-                if self.rib.apply_remote(obj.clone()) {
-                    // Re-flood to all other live neighbors.
-                    self.flood_rib(&obj, Some(from_n1));
-                    while self.rib.poll_event().is_some() {}
-                    if lsa_changed {
-                        // Debounced: floods of remote LSAs (a wave of
-                        // enrollments) collapse into one Dijkstra run.
-                        self.routes_dirty = true;
-                    }
+                self.apply_and_reflood(obj, from_n1);
+            }
+            MgmtBody::RibDeltaRequest { subtree, from, upto, summary } => {
+                if self.is_shim || !self.enrolled {
+                    return;
+                }
+                let (objects, behind) = self.rib.delta_for(&subtree, &from, &upto, &summary);
+                self.send_delta_batches(from_n1, &subtree, objects);
+                // The summary proves the requester holds versions we
+                // lack: pull them right back (damped, so two diverged
+                // peers converge in one round trip without ping-pong).
+                if behind
+                    && self
+                        .n1
+                        .get(from_n1)
+                        .is_some_and(|p| self.hello_ticks >= p.last_resync_tick + RESYNC_DAMP_TICKS)
+                {
+                    self.request_deltas(from_n1, std::slice::from_ref(&subtree));
+                }
+            }
+            MgmtBody::RibDeltaResponse { subtree: _, objects } => {
+                for obj in objects {
+                    self.apply_and_reflood(obj, from_n1);
                 }
             }
         }
     }
 
-    /// Encode one RIB object as a link-local management frame, once; the
-    /// flooding paths clone the (reference-counted) frame per port
-    /// instead of re-encoding it fan-out times.
-    fn rib_update_frame(&self, obj: &RibObject) -> Bytes {
-        let payload = MgmtBody::RibUpdate(obj.clone()).encode(0, 0);
-        Pdu::Mgmt(MgmtPdu { dest_addr: 0, src_addr: self.addr, ttl: 1, payload }).encode()
+    /// Apply one received object; when it is news, re-flood it to the
+    /// other neighbors and mark routes dirty on LSA changes (debounced:
+    /// floods of remote LSAs collapse into one Dijkstra run).
+    fn apply_and_reflood(&mut self, obj: RibObject, from_n1: usize) {
+        let lsa_changed = obj.class == LSA_CLASS;
+        if self.rib.apply_remote_silent(obj.clone()) {
+            if lsa_changed {
+                self.update_lsa_cache(&obj);
+                self.routes_dirty = true;
+            }
+            self.flood_rib(&obj, Some(from_n1));
+        }
     }
 
-    /// Flood one RIB object to every live, enrolled neighbor except
-    /// `except` (the port it arrived on, for re-floods).
+    /// Queue one RIB object for flooding to every live, enrolled
+    /// neighbor except `except` (the port it arrived on, for re-floods) —
+    /// with two suppressions. *Topology-aware*: a port whose peer's last
+    /// hello digest table equals our current digest for the object's
+    /// subtree provably already holds this version (it had our exact
+    /// subtree state, which includes the object), so nothing is sent —
+    /// on scale-free fabrics this is what keeps hub flooding bounded.
+    /// *Rate-limited*: when [`DifConfig::flood_rate`] is set, a token
+    /// bucket caps flooded objects per second; whatever it drops, the
+    /// digest anti-entropy repairs on the hello cadence.
+    ///
+    /// Queued objects are flushed as MTU-sized batches (one or a few
+    /// PDUs per port) when the node drains this process's effects, so a
+    /// burst applied in one pass — a streamed enrollment sync, a whole
+    /// wave's LSAs — re-floods as a burst, not one PDU per object.
     fn flood_rib(&mut self, obj: &RibObject, except: Option<usize>) {
-        let frame = self.rib_update_frame(obj);
+        let subtree = subtree_of(&obj.name);
+        let ours = self.rib.subtree_digest(subtree);
+        let mut enc: Option<Bytes> = None;
         for i in 0..self.n1.len() {
-            if Some(i) != except && self.n1[i].up && self.n1[i].peer_addr != 0 {
-                self.stats.rib_tx += 1;
-                self.stats.mgmt_tx += 1;
-                self.tx_n1(i, frame.clone(), 7);
+            if Some(i) == except || !self.n1[i].up || self.n1[i].peer_addr == 0 {
+                continue;
             }
+            let covered = ours.is_some()
+                && self.n1[i].peer_digests.as_ref().and_then(|t| t.get(subtree)) == ours;
+            // Tree ports flood freely (they alone replicate to every
+            // member); cross ports pay the token bucket, so assembly
+            // storms stop being amplified by every redundant edge.
+            if covered || (!self.n1[i].tree && !self.take_flood_token()) {
+                self.stats.flood_suppressed += 1;
+                continue;
+            }
+            let enc = enc.get_or_insert_with(|| obj.encode()).clone();
+            self.flood_q.entry(i).or_default().push(enc);
+        }
+    }
+
+    /// Flush the per-port flood queues as batched PDUs. Duplicate
+    /// versions queued twice within one pass (periodic re-advertisement
+    /// crossing a re-flood) are left in — the receiver's version guard
+    /// makes them no-ops.
+    fn flush_floods(&mut self) {
+        if self.flood_q.is_empty() {
+            return;
+        }
+        for (port, encs) in std::mem::take(&mut self.flood_q) {
+            self.send_encoded_batches(port, "", &encs);
+        }
+    }
+
+    /// Send pre-encoded objects as one or more under-MTU
+    /// [`MgmtBody::RibDeltaResponse`] PDUs on `n1`.
+    fn send_encoded_batches(&mut self, n1: usize, subtree: &str, encs: &[Bytes]) {
+        let mut start = 0;
+        while start < encs.len() {
+            let mut bytes = 0usize;
+            let mut end = start;
+            while end < encs.len() && (end == start || bytes + encs[end].len() <= DELTA_CHUNK_BYTES)
+            {
+                bytes += encs[end].len();
+                end += 1;
+            }
+            let payload = MgmtBody::encode_delta_batch(subtree, &encs[start..end]);
+            let pdu = Pdu::Mgmt(MgmtPdu { dest_addr: 0, src_addr: self.addr, ttl: 1, payload });
+            self.stats.mgmt_tx += 1;
+            self.stats.rib_tx += (end - start) as u64;
+            self.tx_n1(n1, pdu.encode(), 7);
+            start = end;
+        }
+    }
+
+    /// Take one token from the flood bucket (always succeeds when no
+    /// rate limit is configured).
+    fn take_flood_token(&mut self) -> bool {
+        if self.cfg.flood_rate == 0 {
+            return true;
+        }
+        let elapsed = self.clock.since(self.flood_refill_at).as_secs_f64();
+        if elapsed > 0.0 {
+            self.flood_tokens = (self.flood_tokens + elapsed * self.cfg.flood_rate as f64)
+                .min(self.cfg.flood_burst as f64);
+            self.flood_refill_at = self.clock;
+        }
+        if self.flood_tokens >= 1.0 {
+            self.flood_tokens -= 1.0;
+            true
+        } else {
+            false
         }
     }
 
@@ -1528,6 +1873,7 @@ mod tests {
             "wrong".into(),
             0,
             (0, 0),
+            DigestTable::default(),
             5,
             Time::ZERO,
         );
@@ -1560,6 +1906,7 @@ mod tests {
             String::new(),
             0,
             (0, 0),
+            DigestTable::default(),
             1,
             Time::ZERO,
         );
@@ -1569,6 +1916,7 @@ mod tests {
             String::new(),
             0,
             (0, 0),
+            DigestTable::default(),
             2,
             Time::ZERO,
         );
@@ -1614,6 +1962,7 @@ mod tests {
             String::new(),
             2,
             (2, 10),
+            DigestTable::default(),
             1,
             Time::ZERO,
         );
@@ -1625,6 +1974,7 @@ mod tests {
             String::new(),
             11,
             (11, 20),
+            DigestTable::default(),
             2,
             Time::ZERO,
         );
@@ -1637,6 +1987,7 @@ mod tests {
             String::new(),
             21,
             (21, 30),
+            DigestTable::default(),
             3,
             Time::ZERO,
         );
@@ -1645,9 +1996,12 @@ mod tests {
         assert!(hint > 0, "busy responses carry a backoff hint");
         assert_eq!(sponsor.stats.enrollments_deferred, 1);
         // net.a's hello (enrolled) frees a slot; net.c's retry is admitted.
-        let hello =
-            MgmtBody::Hello { name: AppName::new("net.a"), addr: 2, rib_objects: 0, rib_digest: 0 }
-                .encode(0, 0);
+        let hello = MgmtBody::Hello {
+            name: AppName::new("net.a"),
+            addr: 2,
+            digests: DigestTable::default(),
+        }
+        .encode(0, 0);
         let pdu = Pdu::Mgmt(MgmtPdu { dest_addr: 0, src_addr: 2, ttl: 1, payload: hello });
         sponsor.on_frame(0, pdu.encode(), Time::ZERO);
         sponsor.take_out();
@@ -1657,6 +2011,7 @@ mod tests {
             String::new(),
             21,
             (21, 30),
+            DigestTable::default(),
             4,
             Time::ZERO,
         );
@@ -1676,6 +2031,7 @@ mod tests {
             String::new(),
             0,
             (0, 0),
+            DigestTable::default(),
             1,
             Time::ZERO,
         );
@@ -1687,6 +2043,7 @@ mod tests {
             String::new(),
             0,
             (0, 0),
+            DigestTable::default(),
             2,
             Time::ZERO,
         );
@@ -1711,6 +2068,7 @@ mod tests {
             String::new(),
             2,
             (2, 10),
+            DigestTable::default(),
             1,
             Time::ZERO,
         );
@@ -1724,6 +2082,7 @@ mod tests {
             String::new(),
             11,
             (2, 20),
+            DigestTable::default(),
             2,
             Time::ZERO,
         );
@@ -1746,6 +2105,7 @@ mod tests {
             String::new(),
             2,
             (2, 20),
+            DigestTable::default(),
             1,
             Time::ZERO,
         );
@@ -1759,6 +2119,7 @@ mod tests {
             String::new(),
             15,
             (15, 30),
+            DigestTable::default(),
             2,
             Time::ZERO,
         );

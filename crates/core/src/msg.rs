@@ -8,7 +8,7 @@
 use crate::naming::AppName;
 use crate::qos::QosSpec;
 use bytes::Bytes;
-use rina_rib::RibObject;
+use rina_rib::{DigestTable, ObjVer, RibObject};
 use rina_wire::codec::{Reader, Writer};
 use rina_wire::{Addr, CdapMsg, CepId, OpCode, WireError};
 
@@ -18,25 +18,26 @@ mod class {
     pub const ENROLL: &str = "enrollment";
     pub const FLOW: &str = "flow";
     pub const RIB: &str = "rib-object";
+    pub const RIB_SYNC: &str = "rib-sync";
 }
 
 /// A typed management message body.
 #[derive(Clone, Debug, PartialEq)]
 pub enum MgmtBody {
     /// Periodic link-local announcement over an (N-1) port: who is on the
-    /// other side. Also serves as keepalive, and carries a RIB summary
-    /// for anti-entropy: a neighbor whose `(rib_objects, rib_digest)`
-    /// differs from ours missed an update (RIEP dissemination is
-    /// unreliable) and gets a version-guarded resync.
+    /// other side. Also serves as keepalive, and carries the sender's
+    /// per-subtree RIB [`DigestTable`] for anti-entropy: a neighbor whose
+    /// table differs from ours missed an update (RIEP dissemination is
+    /// unreliable) and the mismatched *subtrees* — not the whole RIB —
+    /// get a targeted [`MgmtBody::RibDeltaRequest`] exchange.
     Hello {
         /// Sender's IPC-process application name.
         name: AppName,
         /// Sender's DIF-internal address (0 if not yet enrolled).
         addr: Addr,
-        /// Objects (tombstones included) in the sender's RIB.
-        rib_objects: u64,
-        /// Order-independent fingerprint of the sender's RIB versions.
-        rib_digest: u64,
+        /// Per-subtree `(object_count, digest)` summary of the sender's
+        /// RIB (tombstones included).
+        digests: DigestTable,
     },
     /// Request to join the DIF (sent to a member over an (N-1) flow).
     EnrollRequest {
@@ -52,6 +53,11 @@ pub enum MgmtBody {
         /// subtree from ((0, 0) = none; the planner derives blocks from
         /// spanning-subtree sizes so sibling blocks never overlap).
         proposed_block: (Addr, Addr),
+        /// The joiner's RIB digest table. Empty for a fresh joiner; a
+        /// retrying or re-enrolling joiner advertises what it already
+        /// holds, and the sponsor syncs only the mismatched subtrees —
+        /// O(missing) instead of O(RIB).
+        digests: DigestTable,
     },
     /// Enrollment outcome. On success carries the assigned address and a
     /// full RIB synchronization set.
@@ -96,23 +102,60 @@ pub enum MgmtBody {
         /// The endpoint at the receiver of this message.
         cep: CepId,
     },
-    /// RIEP dissemination of one RIB object version.
+    /// RIEP dissemination of one RIB object version. Kept as accepted
+    /// protocol surface (decode + apply) for single-object updates;
+    /// the send paths now batch objects into
+    /// [`MgmtBody::RibDeltaResponse`] PDUs instead.
     RibUpdate(RibObject),
+    /// Anti-entropy pull: "here is the version summary of my `subtree`
+    /// for names in `[from, upto)`; send me whatever I lack or hold
+    /// older". Big subtrees are requested in several name-range chunks so
+    /// each request fits one (N-1) MTU.
+    RibDeltaRequest {
+        /// Subtree being synchronized (a [`rina_rib::subtree_of`] value).
+        subtree: String,
+        /// Lower name bound of this chunk, inclusive (empty = start).
+        from: String,
+        /// Upper name bound of this chunk, exclusive (empty = end).
+        upto: String,
+        /// The requester's `(name, version, origin)` triples in range.
+        summary: Vec<ObjVer>,
+    },
+    /// A batch of RIB objects (full values), under the MTU: the answer
+    /// to a [`MgmtBody::RibDeltaRequest`], an enrollment sync stream, or
+    /// an ordinary flood burst (flooding is batch-preserving — objects
+    /// applied in one pass re-flood as one batch per port). Each object
+    /// is version-guarded at the receiver, so batches are idempotent
+    /// like any RIEP update.
+    RibDeltaResponse {
+        /// Subtree being synchronized (empty for mixed flood batches).
+        subtree: String,
+        /// Missing/newer objects for the requested range.
+        objects: Vec<RibObject>,
+    },
 }
 
 impl MgmtBody {
     /// Wrap into a CDAP message with the given invoke id and result code.
     pub fn into_cdap(self, invoke_id: u32, result: i32) -> CdapMsg {
         let (op, cls, name, value) = match self {
-            MgmtBody::Hello { name, addr, rib_objects, rib_digest } => {
+            MgmtBody::Hello { name, addr, digests } => {
                 let mut w = Writer::new();
-                w.string(&name.key()).varint(addr).varint(rib_objects).varint(rib_digest);
+                w.string(&name.key()).varint(addr);
+                digests.encode_into(&mut w);
                 (OpCode::Write, class::HELLO, "/neighbors/self".to_string(), w.finish())
             }
-            MgmtBody::EnrollRequest { name, credential, proposed_addr, proposed_block } => {
+            MgmtBody::EnrollRequest {
+                name,
+                credential,
+                proposed_addr,
+                proposed_block,
+                digests,
+            } => {
                 let mut w = Writer::new();
                 w.string(&name.key()).string(&credential).varint(proposed_addr);
                 w.varint(proposed_block.0).varint(proposed_block.1);
+                digests.encode_into(&mut w);
                 (OpCode::Connect, class::ENROLL, "/enrollment".to_string(), w.finish())
             }
             MgmtBody::EnrollResponse { addr, block, retry_after_ms, snapshot } => {
@@ -145,6 +188,22 @@ impl MgmtBody {
                 let name = obj.name.clone();
                 (OpCode::Write, class::RIB, name, obj.encode())
             }
+            MgmtBody::RibDeltaRequest { subtree, from, upto, summary } => {
+                let mut w = Writer::new();
+                w.string(&from).string(&upto).varint(summary.len() as u64);
+                for v in &summary {
+                    v.encode_into(&mut w);
+                }
+                (OpCode::Read, class::RIB_SYNC, subtree, w.finish())
+            }
+            MgmtBody::RibDeltaResponse { subtree, objects } => {
+                let mut w = Writer::new();
+                w.varint(objects.len() as u64);
+                for o in &objects {
+                    w.bytes(&o.encode());
+                }
+                (OpCode::ReadR, class::RIB_SYNC, subtree, w.finish())
+            }
         };
         CdapMsg { op, invoke_id, obj_class: cls.to_string(), obj_name: name, result, value }
     }
@@ -156,18 +215,24 @@ impl MgmtBody {
             (OpCode::Write, class::HELLO) => {
                 let name = AppName::from_key(r.string()?);
                 let addr = r.varint()?;
-                let rib_objects = r.varint()?;
-                let rib_digest = r.varint()?;
+                let digests = DigestTable::decode_from(&mut r)?;
                 r.expect_end()?;
-                Ok(MgmtBody::Hello { name, addr, rib_objects, rib_digest })
+                Ok(MgmtBody::Hello { name, addr, digests })
             }
             (OpCode::Connect, class::ENROLL) => {
                 let name = AppName::from_key(r.string()?);
                 let credential = r.string()?.to_string();
                 let proposed_addr = r.varint()?;
                 let proposed_block = (r.varint()?, r.varint()?);
+                let digests = DigestTable::decode_from(&mut r)?;
                 r.expect_end()?;
-                Ok(MgmtBody::EnrollRequest { name, credential, proposed_addr, proposed_block })
+                Ok(MgmtBody::EnrollRequest {
+                    name,
+                    credential,
+                    proposed_addr,
+                    proposed_block,
+                    digests,
+                })
             }
             (OpCode::ConnectR, class::ENROLL) => {
                 let addr = r.varint()?;
@@ -203,6 +268,26 @@ impl MgmtBody {
                 Ok(MgmtBody::FlowTeardown { cep: c })
             }
             (OpCode::Write, class::RIB) => Ok(MgmtBody::RibUpdate(RibObject::decode(&m.value)?)),
+            (OpCode::Read, class::RIB_SYNC) => {
+                let from = r.string()?.to_string();
+                let upto = r.string()?.to_string();
+                let n = r.varint()? as usize;
+                let mut summary = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    summary.push(ObjVer::decode_from(&mut r)?);
+                }
+                r.expect_end()?;
+                Ok(MgmtBody::RibDeltaRequest { subtree: m.obj_name.clone(), from, upto, summary })
+            }
+            (OpCode::ReadR, class::RIB_SYNC) => {
+                let n = r.varint()? as usize;
+                let mut objects = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    objects.push(RibObject::decode(r.bytes()?)?);
+                }
+                r.expect_end()?;
+                Ok(MgmtBody::RibDeltaResponse { subtree: m.obj_name.clone(), objects })
+            }
             _ => Err(WireError::Invalid("mgmt op/class")),
         }
     }
@@ -210,6 +295,28 @@ impl MgmtBody {
     /// Encode straight to bytes (CDAP envelope included).
     pub fn encode(self, invoke_id: u32, result: i32) -> Bytes {
         self.into_cdap(invoke_id, result).encode()
+    }
+
+    /// Encode a [`MgmtBody::RibDeltaResponse`] directly from
+    /// *pre-encoded* objects, byte-identical to the typed path. The
+    /// flooding hot path encodes each object once and reuses the bytes
+    /// across every port's batch instead of cloning whole `RibObject`s
+    /// fan-out times.
+    pub fn encode_delta_batch(subtree: &str, encoded: &[Bytes]) -> Bytes {
+        let mut w = Writer::with_capacity(8 + encoded.iter().map(|e| e.len() + 4).sum::<usize>());
+        w.varint(encoded.len() as u64);
+        for e in encoded {
+            w.bytes(e);
+        }
+        CdapMsg {
+            op: OpCode::ReadR,
+            invoke_id: 0,
+            obj_class: class::RIB_SYNC.to_string(),
+            obj_name: subtree.to_string(),
+            result: 0,
+            value: w.finish(),
+        }
+        .encode()
     }
 }
 
@@ -229,19 +336,20 @@ mod tests {
         assert_eq!(MgmtBody::from_cdap(&back).unwrap(), body);
     }
 
+    fn table() -> DigestTable {
+        DigestTable::from_entries(vec![
+            ("/dir".into(), 3, 0xAB),
+            ("/lsa".into(), 12, 0xDEAD_BEEF_CAFE_F00D),
+        ])
+    }
+
     #[test]
     fn hello_roundtrip() {
-        roundtrip(MgmtBody::Hello {
-            name: AppName::new("net.r1"),
-            addr: 7,
-            rib_objects: 12,
-            rib_digest: 0xDEAD_BEEF_CAFE_F00D,
-        });
+        roundtrip(MgmtBody::Hello { name: AppName::new("net.r1"), addr: 7, digests: table() });
         roundtrip(MgmtBody::Hello {
             name: AppName::with_instance("net", "2"),
             addr: 0,
-            rib_objects: 0,
-            rib_digest: 0,
+            digests: DigestTable::default(),
         });
     }
 
@@ -252,6 +360,7 @@ mod tests {
             credential: "s3cret".into(),
             proposed_addr: 4,
             proposed_block: (4, 9),
+            digests: table(),
         });
         roundtrip(MgmtBody::EnrollResponse {
             addr: 9,
@@ -279,19 +388,23 @@ mod tests {
     /// hint on busy responses must survive the codec byte-exactly.
     #[test]
     fn enroll_admission_and_prefix_fields_roundtrip() {
-        // A dynamic joiner proposes nothing; blocks stay (0, 0).
+        // A dynamic joiner proposes nothing; blocks stay (0, 0) and the
+        // digest table is empty (fresh RIB).
         roundtrip(MgmtBody::EnrollRequest {
             name: AppName::new("net.dyn"),
             credential: String::new(),
             proposed_addr: 0,
             proposed_block: (0, 0),
+            digests: DigestTable::default(),
         });
-        // A planned joiner proposes the block its subtree will occupy.
+        // A planned joiner proposes the block its subtree will occupy; a
+        // retrying joiner also advertises what it already synced.
         roundtrip(MgmtBody::EnrollRequest {
             name: AppName::new("net.h9"),
             credential: "k".into(),
             proposed_addr: 17,
             proposed_block: (17, 40),
+            digests: table(),
         });
         // Busy sponsor: no address, no block, an explicit backoff hint.
         roundtrip(MgmtBody::EnrollResponse {
@@ -332,6 +445,79 @@ mod tests {
             origin: 4,
             deleted: false,
         }));
+    }
+
+    /// Codec pins for the incremental-sync messages: subtree, name-range
+    /// chunk bounds, version summaries, and batched objects must survive
+    /// the wire byte-exactly.
+    #[test]
+    fn rib_delta_roundtrip() {
+        roundtrip(MgmtBody::RibDeltaRequest {
+            subtree: "/lsa".into(),
+            from: String::new(),
+            upto: String::new(),
+            summary: vec![],
+        });
+        roundtrip(MgmtBody::RibDeltaRequest {
+            subtree: "/dir".into(),
+            from: "/dir/b".into(),
+            upto: "/dir/k".into(),
+            summary: vec![
+                ObjVer { name: "/dir/b".into(), version: 3, origin: 9 },
+                ObjVer { name: "/dir/c".into(), version: 1 << 40, origin: u64::MAX },
+            ],
+        });
+        roundtrip(MgmtBody::RibDeltaResponse { subtree: "/lsa".into(), objects: vec![] });
+        roundtrip(MgmtBody::RibDeltaResponse {
+            subtree: "/members".into(),
+            objects: vec![
+                RibObject {
+                    name: "/members/net.a".into(),
+                    class: "member".into(),
+                    value: Bytes::from_static(b"\x05"),
+                    version: 2,
+                    origin: 1,
+                    deleted: false,
+                },
+                RibObject {
+                    name: "/members/net.b".into(),
+                    class: "member".into(),
+                    value: Bytes::new(),
+                    version: 7,
+                    origin: 3,
+                    deleted: true,
+                },
+            ],
+        });
+    }
+
+    /// The pre-encoded fast path must be byte-identical to the typed
+    /// encoder — a divergence would be an undecodable flood batch.
+    #[test]
+    fn delta_batch_fast_path_matches_typed_encoding() {
+        let objs = vec![
+            RibObject {
+                name: "/lsa/3".into(),
+                class: "lsa".into(),
+                value: Bytes::from_static(b"\x01\x02"),
+                version: 4,
+                origin: 3,
+                deleted: false,
+            },
+            RibObject {
+                name: "/dir/echo".into(),
+                class: "dir".into(),
+                value: Bytes::new(),
+                version: 1,
+                origin: 9,
+                deleted: true,
+            },
+        ];
+        let encs: Vec<Bytes> = objs.iter().map(|o| o.encode()).collect();
+        let fast = MgmtBody::encode_delta_batch("/lsa", &encs);
+        let typed =
+            MgmtBody::RibDeltaResponse { subtree: "/lsa".into(), objects: objs }.encode(0, 0);
+        assert_eq!(fast, typed);
     }
 
     #[test]

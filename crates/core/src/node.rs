@@ -33,10 +33,6 @@ const EXT_BIT: u64 = 1 << 63;
 /// overrides it — see [`TimerKind::EnrollRetry`]).
 const ENROLL_RETRY_PERIOD: Dur = Dur::from_millis(300);
 
-/// Debounce window for route recomputation after remote LSA updates: a
-/// burst of flooded LSAs costs one Dijkstra run, not one per update.
-const ROUTE_RECOMPUTE_DEBOUNCE: Dur = Dur::from_millis(50);
-
 /// Build the key for [`rina_sim::Sim::call`] that fires
 /// [`AppProcess::on_timer`] with `key` at application `app` of the target
 /// node. Lets benches poke applications without holding a context.
@@ -128,6 +124,8 @@ enum TimerKind {
     N1Retry(usize),
     AllocTimeout { port: u64 },
     Routes { ipcp: usize },
+    LsaFlush { ipcp: usize },
+    FloodFlush { ipcp: usize },
 }
 
 enum Work {
@@ -182,6 +180,10 @@ pub struct Node {
     armed_conn: HashMap<(usize, CepId), (u64, u64)>,
     /// IPC processes with a route-recompute debounce timer in flight.
     routes_armed: BTreeSet<usize>,
+    /// IPC processes with an LSA-flush debounce timer in flight.
+    lsa_armed: BTreeSet<usize>,
+    /// IPC processes with a flood-aggregation timer in flight.
+    flood_armed: BTreeSet<usize>,
     /// SDUs delivered to ports with no live owner (diagnostic).
     pub orphan_sdus: u64,
 }
@@ -206,6 +208,8 @@ impl Node {
             dirty: BTreeSet::new(),
             armed_conn: HashMap::new(),
             routes_armed: BTreeSet::new(),
+            lsa_armed: BTreeSet::new(),
+            flood_armed: BTreeSet::new(),
             orphan_sdus: 0,
         }
     }
@@ -704,7 +708,24 @@ impl Node {
         let dirty: Vec<usize> = std::mem::take(&mut self.dirty).into_iter().collect();
         for i in dirty {
             if self.ipcps[i].routes_dirty() && self.routes_armed.insert(i) {
-                self.arm(ctx, ROUTE_RECOMPUTE_DEBOUNCE, TimerKind::Routes { ipcp: i });
+                // Debounce window from the DIF's policy bundle: a burst
+                // of flooded LSAs costs one Dijkstra run, not one per
+                // update, and experiments can sweep the window. The
+                // configured value is a floor — recomputation cost
+                // scales with the LSA count, so the window stretches
+                // with it (1000 members → 100 ms) instead of letting
+                // huge DIFs spend their assembly in Dijkstra.
+                let cfg = self.ipcps[i].cfg.recompute_debounce_ms;
+                let d = Dur::from_millis(cfg.max(self.ipcps[i].lsa_count() as u64 / 10));
+                self.arm(ctx, d, TimerKind::Routes { ipcp: i });
+            }
+            if self.ipcps[i].lsa_flush_wanted() && self.lsa_armed.insert(i) {
+                let d = Dur::from_millis(self.ipcps[i].cfg.lsa_debounce_ms);
+                self.arm(ctx, d, TimerKind::LsaFlush { ipcp: i });
+            }
+            if self.ipcps[i].flood_flush_wanted() && self.flood_armed.insert(i) {
+                let d = Dur::from_millis(self.ipcps[i].cfg.flood_batch_ms);
+                self.arm(ctx, d, TimerKind::FloodFlush { ipcp: i });
             }
             for (cep, t) in self.ipcps[i].conn_timer_wants() {
                 let key = (i, cep);
@@ -869,6 +890,16 @@ impl Node {
             TimerKind::Routes { ipcp } => {
                 self.routes_armed.remove(&ipcp);
                 self.ipcps[ipcp].recompute_routes_now();
+            }
+            TimerKind::LsaFlush { ipcp } => {
+                self.lsa_armed.remove(&ipcp);
+                self.ipcps[ipcp].flush_lsa_now(ctx.now());
+                self.flush_ipcp(ipcp, ctx);
+            }
+            TimerKind::FloodFlush { ipcp } => {
+                self.flood_armed.remove(&ipcp);
+                self.ipcps[ipcp].flush_floods_now(ctx.now());
+                self.flush_ipcp(ipcp, ctx);
             }
             TimerKind::AllocTimeout { port } => {
                 let still_pending = self.ports.get(&port).map(|s| !s.active).unwrap_or(false);

@@ -16,6 +16,37 @@ use bytes::Bytes;
 use rina_wire::codec::{Reader, Writer};
 use rina_wire::{Addr, WireError};
 use std::collections::{BinaryHeap, HashMap};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-xor hasher for the integer-keyed maps of the route
+/// computation. Dijkstra runs once per debounce window per member —
+/// thousands of times during a big assembly — and SipHash was the
+/// single largest line item in those runs. Keys are small integers the
+/// simulation controls, so DoS resistance buys nothing here.
+#[derive(Default)]
+pub struct IntHasher(u64);
+
+impl Hasher for IntHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(v as u64);
+    }
+    fn write_u64(&mut self, v: u64) {
+        let mut z = self.0 ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        self.0 = z ^ (z >> 27);
+    }
+}
+
+type IntMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<IntHasher>>;
+type IntSet<K> = std::collections::HashSet<K, BuildHasherDefault<IntHasher>>;
 
 /// RIB object name prefix for link-state advertisements.
 pub const LSA_PREFIX: &str = "/lsa/";
@@ -132,64 +163,93 @@ impl ForwardingTable {
 /// (`origin address → Lsa`). An edge is used only if *both* endpoints
 /// advertise it, so a one-sided stale LSA cannot route into a dead link.
 pub fn compute_routes(self_addr: Addr, lsas: &HashMap<Addr, Lsa>) -> ForwardingTable {
-    // Build the bidirectionally-confirmed adjacency with min cost per edge.
-    let mut adj: HashMap<Addr, Vec<(Addr, u32)>> = HashMap::new();
+    // Addresses are mapped to dense indices and the whole computation
+    // runs over Vec-indexed state: a member of a big DIF recomputes
+    // thousands of times during assembly (debounced, but still once per
+    // window per member), so per-run constant factors dominate the
+    // facility's assembly wall clock.
+    let mut index: IntMap<Addr, u32> =
+        IntMap::with_capacity_and_hasher(lsas.len() + 1, Default::default());
+    let mut addr_of: Vec<Addr> = Vec::with_capacity(lsas.len() + 1);
+    let mut intern = |a: Addr, addr_of: &mut Vec<Addr>| -> u32 {
+        *index.entry(a).or_insert_with(|| {
+            addr_of.push(a);
+            (addr_of.len() - 1) as u32
+        })
+    };
+    let src = intern(self_addr, &mut addr_of);
+    // Bidirectional confirmation against a set of all advertised
+    // directed edges — O(E) overall, not O(Σ degree²).
+    let mut directed: IntSet<u64> =
+        IntSet::with_capacity_and_hasher(lsas.len() * 4, Default::default());
     for (&u, lsa) in lsas {
+        let ui = intern(u, &mut addr_of);
+        for &(v, _) in &lsa.neighbors {
+            let vi = intern(v, &mut addr_of);
+            directed.insert(((ui as u64) << 32) | vi as u64);
+        }
+    }
+    let n = addr_of.len();
+    let mut adj: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
+    for (&u, lsa) in lsas {
+        let ui = index[&u];
         for &(v, c) in &lsa.neighbors {
-            let confirmed =
-                lsas.get(&v).map(|l| l.neighbors.iter().any(|&(w, _)| w == u)).unwrap_or(false);
-            if confirmed {
-                adj.entry(u).or_default().push((v, c));
+            let vi = index[&v];
+            if directed.contains(&(((vi as u64) << 32) | ui as u64)) {
+                adj[ui as usize].push((vi, c));
             }
         }
     }
 
     // Dijkstra with predecessor sets for equal-cost multipath.
-    let mut dist: HashMap<Addr, u64> = HashMap::new();
-    let mut first_hops: HashMap<Addr, Vec<Addr>> = HashMap::new();
-    let mut heap: BinaryHeap<std::cmp::Reverse<(u64, Addr)>> = BinaryHeap::new();
-    dist.insert(self_addr, 0);
-    heap.push(std::cmp::Reverse((0, self_addr)));
+    const UNSEEN: u64 = u64::MAX;
+    let mut dist = vec![UNSEEN; n];
+    let mut first_hops: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut heap: BinaryHeap<std::cmp::Reverse<(u64, u32)>> = BinaryHeap::new();
+    dist[src as usize] = 0;
+    heap.push(std::cmp::Reverse((0, src)));
 
     while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
-        if dist.get(&u).copied() != Some(d) {
+        if dist[u as usize] != d {
             continue; // stale heap entry
         }
-        let Some(edges) = adj.get(&u) else { continue };
-        for &(v, c) in edges {
+        // First hops propagate: the first hop to v via u is u itself if
+        // u is the source, else u's first hops (cloned once per settled
+        // node, before its edges are relaxed).
+        let u_hops = first_hops[u as usize].clone();
+        let edges = std::mem::take(&mut adj[u as usize]);
+        for &(v, c) in &edges {
             let nd = d + c as u64;
-            let cur = dist.get(&v).copied();
-            // First hops propagate: the first hop to v via u is u itself if
-            // u is the source, else u's first hops.
-            let hops_via_u: Vec<Addr> = if u == self_addr {
-                vec![v]
-            } else {
-                first_hops.get(&u).cloned().unwrap_or_default()
-            };
-            match cur {
-                Some(cd) if nd > cd => {}
-                Some(cd) if nd == cd => {
-                    let e = first_hops.entry(v).or_default();
-                    for h in hops_via_u {
-                        if !e.contains(&h) {
-                            e.push(h);
-                        }
+            let cur = dist[v as usize];
+            if nd > cur {
+                continue;
+            }
+            let hops_via_u: Vec<u32> = if u == src { vec![v] } else { u_hops.clone() };
+            if nd == cur {
+                let e = &mut first_hops[v as usize];
+                for h in hops_via_u {
+                    if !e.contains(&h) {
+                        e.push(h);
                     }
                 }
-                _ => {
-                    dist.insert(v, nd);
-                    first_hops.insert(v, hops_via_u);
-                    heap.push(std::cmp::Reverse((nd, v)));
-                }
+            } else {
+                dist[v as usize] = nd;
+                first_hops[v as usize] = hops_via_u;
+                heap.push(std::cmp::Reverse((nd, v)));
             }
         }
     }
 
-    first_hops.remove(&self_addr);
-    for hops in first_hops.values_mut() {
+    let mut next_hops: HashMap<Addr, Vec<Addr>> = HashMap::with_capacity(n);
+    for (vi, hops) in first_hops.into_iter().enumerate() {
+        if vi as u32 == src || dist[vi] == UNSEEN || hops.is_empty() {
+            continue;
+        }
+        let mut hops: Vec<Addr> = hops.into_iter().map(|h| addr_of[h as usize]).collect();
         hops.sort_unstable();
+        next_hops.insert(addr_of[vi], hops);
     }
-    ForwardingTable::from_next_hops(first_hops)
+    ForwardingTable::from_next_hops(next_hops)
 }
 
 #[cfg(test)]

@@ -65,11 +65,11 @@ fn dropped_first_enroll_response_converges_without_leaking_pending() {
     );
 }
 
-/// A DIF big enough that enrollment snapshots *stream* as per-object
-/// RibUpdates (> 64 RIB objects), over links that lose 10% of frames:
-/// dropped stream objects must be repaired by the hello digest
-/// anti-entropy, so every member eventually holds the whole membership
-/// and full routes.
+/// A DIF big enough that enrollment snapshots *stream* as batched
+/// subtree deltas (> 64 RIB objects), over links that lose 10% of
+/// frames: dropped stream batches must be repaired by the hello
+/// digest-table anti-entropy, so every member eventually holds the
+/// whole membership and full routes.
 #[test]
 fn lossy_streamed_snapshots_repaired_by_digest_anti_entropy() {
     let n = 22; // members + blocks + LSAs ≈ 66 objects > the inline cap
@@ -102,6 +102,47 @@ fn lossy_streamed_snapshots_repaired_by_digest_anti_entropy() {
         );
         assert_eq!(ip.fwd.len(), n - 1, "{} cannot reach everyone", ip.name);
     }
+}
+
+/// The tentpole scale case: a 100-member scale-free DIF whose every
+/// link loses 10% of frames. Enrollment syncs stream as batched subtree
+/// deltas, floods are tree-preferred and rate-limited on cross ports —
+/// so convergence *depends* on the digest-table anti-entropy localizing
+/// each loss to a subtree and pulling exactly the missing objects.
+/// Demanded outcome: every member holds the full membership and can
+/// route to all 99 others.
+#[test]
+fn hundred_member_scale_free_converges_via_subtree_deltas_under_loss() {
+    let n = 100;
+    let mut b = NetBuilder::new(41);
+    let lossy = LinkCfg::wired().with_loss(LossModel::Bernoulli(0.1));
+    let fab = Topology::barabasi_albert(n, 2, 41).with_link(lossy).materialize(&mut b);
+    let ipcps = fab.member_ipcps(&b);
+    let mut net = b.build();
+    net.run_until_assembled(Dur::from_secs(300), Dur::ZERO);
+    for _ in 0..120 {
+        net.run_for(Dur::from_millis(500));
+        let done = ipcps.iter().all(|&h| {
+            let ip = net.ipcp(h);
+            ip.rib.iter_prefix("/members/").count() == n && ip.fwd.len() == n - 1
+        });
+        if done {
+            break;
+        }
+    }
+    let mut delta_requests = 0;
+    for &h in &ipcps {
+        let ip = net.ipcp(h);
+        assert_eq!(
+            ip.rib.iter_prefix("/members/").count(),
+            n,
+            "{} missing members despite anti-entropy",
+            ip.name
+        );
+        assert_eq!(ip.fwd.len(), n - 1, "{} cannot reach everyone", ip.name);
+        delta_requests += ip.stats.delta_requests;
+    }
+    assert!(delta_requests > 0, "losses at 10% must have exercised the delta machinery");
 }
 
 /// Full-stack version: a line whose links lose 20% of frames. The

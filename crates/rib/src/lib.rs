@@ -14,9 +14,23 @@
 //! exactly once per version regardless of topology. Deletions are
 //! tombstones so they win over stale resurrections.
 //!
+//! Because dissemination is unreliable, every RIB also maintains an
+//! incremental **per-subtree digest table** ([`DigestTable`]): one
+//! `(object_count, digest)` pair per first path component (`/members`,
+//! `/lsa`, …), where the digest XOR-aggregates collision-resistant
+//! per-object fingerprints. Two members compare tables (carried in
+//! hellos and enrollment requests) to localize divergence to subtrees,
+//! then exchange **deltas**: a version [`Rib::summary`] of the diverged
+//! subtree one way, the missing/newer objects ([`Rib::delta_for`]) the
+//! other. The repair cost of any divergence therefore tracks the
+//! divergence, not the RIB — the basis of digest-driven anti-entropy
+//! and of O(missing) re-enrollment sync (DESIGN.md §6).
+//!
 //! The crate is sans-IO: [`Rib`] produces [`RibEvent`]s for the local IPC
 //! process (routing recomputation, directory changes) and dissemination
 //! items for the management task to forward; the `rina` crate moves them.
+//! Hot paths that react to freshness directly can apply without event
+//! bookkeeping via [`Rib::apply_remote_silent`].
 
 #![warn(missing_docs)]
 
@@ -95,6 +109,147 @@ impl RibEvent {
     }
 }
 
+/// The name-space subtree an object belongs to: the first path component
+/// of its name (`/lsa/7` → `/lsa`, `/dir/echo` → `/dir`). Names without a
+/// second separator are their own subtree. Digest tables, delta requests,
+/// and flood suppression all work at this granularity.
+pub fn subtree_of(name: &str) -> &str {
+    if let Some(rest) = name.strip_prefix('/') {
+        if let Some(i) = rest.find('/') {
+            return &name[..i + 1];
+        }
+    }
+    name
+}
+
+/// One object's version coordinates, without its value — the unit of a
+/// delta-request summary. Two members exchange these (cheap) to discover
+/// which full objects (expensive) actually need to move.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ObjVer {
+    /// Full object name.
+    pub name: String,
+    /// Version counter.
+    pub version: u64,
+    /// Writing member's address (the version tie-breaker).
+    pub origin: u64,
+}
+
+impl ObjVer {
+    /// Encode into an in-progress wire value.
+    pub fn encode_into(&self, w: &mut Writer) {
+        w.string(&self.name).varint(self.version).varint(self.origin);
+    }
+
+    /// Decode from an in-progress wire value.
+    pub fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let name = r.string()?.to_string();
+        let version = r.varint()?;
+        let origin = r.varint()?;
+        Ok(ObjVer { name, version, origin })
+    }
+}
+
+/// Per-subtree `(object_count, digest)` summary of a RIB — the Merkle-ish
+/// table hellos and enrollment requests carry. Comparing two tables
+/// localizes a mismatch to the subtrees that actually diverged, so
+/// anti-entropy exchanges per-subtree deltas instead of whole RIBs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DigestTable {
+    /// `(subtree, object_count, digest)`, sorted by subtree name.
+    entries: Vec<(String, u64, u64)>,
+}
+
+impl DigestTable {
+    /// Build from `(subtree, count, digest)` triples (sorted internally).
+    pub fn from_entries(mut entries: Vec<(String, u64, u64)>) -> Self {
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        DigestTable { entries }
+    }
+
+    /// The sorted `(subtree, count, digest)` triples.
+    pub fn entries(&self) -> &[(String, u64, u64)] {
+        &self.entries
+    }
+
+    /// This table's `(count, digest)` for one subtree.
+    pub fn get(&self, subtree: &str) -> Option<(u64, u64)> {
+        self.entries
+            .binary_search_by(|e| e.0.as_str().cmp(subtree))
+            .ok()
+            .map(|i| (self.entries[i].1, self.entries[i].2))
+    }
+
+    /// Total stored objects (tombstones included) across subtrees.
+    pub fn total_count(&self) -> u64 {
+        self.entries.iter().map(|e| e.1).sum()
+    }
+
+    /// Whole-RIB digest: XOR over the subtree digests.
+    pub fn total_digest(&self) -> u64 {
+        self.entries.iter().fold(0, |d, e| d ^ e.2)
+    }
+
+    /// Subtrees whose `(count, digest)` differ between the two tables —
+    /// the union, so a subtree present on only one side counts.
+    pub fn mismatched(&self, other: &DigestTable) -> Vec<String> {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.entries.len() || j < other.entries.len() {
+            let a = self.entries.get(i);
+            let b = other.entries.get(j);
+            match (a, b) {
+                (Some(a), Some(b)) if a.0 == b.0 => {
+                    if (a.1, a.2) != (b.1, b.2) {
+                        out.push(a.0.clone());
+                    }
+                    i += 1;
+                    j += 1;
+                }
+                (Some(a), Some(b)) if a.0 < b.0 => {
+                    out.push(a.0.clone());
+                    i += 1;
+                }
+                (Some(_), Some(b)) => {
+                    out.push(b.0.clone());
+                    j += 1;
+                }
+                (Some(a), None) => {
+                    out.push(a.0.clone());
+                    i += 1;
+                }
+                (None, Some(b)) => {
+                    out.push(b.0.clone());
+                    j += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        out
+    }
+
+    /// Encode into an in-progress wire value.
+    pub fn encode_into(&self, w: &mut Writer) {
+        w.varint(self.entries.len() as u64);
+        for (s, c, d) in &self.entries {
+            w.string(s).varint(*c).varint(*d);
+        }
+    }
+
+    /// Decode from an in-progress wire value.
+    pub fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let n = r.varint()? as usize;
+        let mut entries = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            let s = r.string()?.to_string();
+            let c = r.varint()?;
+            let d = r.varint()?;
+            entries.push((s, c, d));
+        }
+        Ok(DigestTable::from_entries(entries))
+    }
+}
+
 /// Order-independent fingerprint of one object version, XOR-aggregated
 /// into [`Rib::digest`]. Any version change changes it (versions are
 /// monotonic per name), so two RIBs with equal `(object_count, digest)`
@@ -106,12 +261,27 @@ fn obj_fingerprint(o: &RibObject) -> u64 {
         h ^= b as u64;
         h = h.wrapping_mul(0x100_0000_01b3);
     }
-    h ^= o.version.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    h ^= o.origin.rotate_left(32);
+    // Nonlinear mixing (splitmix64 finalizer) entangles version and
+    // origin with the name hash. A plain XOR of `version × constant`
+    // would make the digest *difference* of a version bump independent
+    // of the name — two objects each one version stale then cancel in
+    // the XOR aggregate, and anti-entropy would declare two diverged
+    // RIBs in sync (seen in practice on lossy 22-member lines).
+    h = mix(h ^ o.version.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    h = mix(h ^ o.origin.rotate_left(32));
     if o.deleted {
         h = !h;
     }
     h
+}
+
+/// splitmix64's avalanche finalizer: every input bit affects every
+/// output bit, making XOR-aggregated fingerprints collision-resistant
+/// under correlated version bumps.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// The Resource Information Base of one IPC process.
@@ -126,6 +296,9 @@ pub struct Rib {
     /// XOR of [`obj_fingerprint`] over every stored object (tombstones
     /// included), maintained incrementally.
     digest: u64,
+    /// Per-subtree `(count, digest)`, maintained incrementally alongside
+    /// the whole-RIB digest (keys are [`subtree_of`] results).
+    subtrees: BTreeMap<String, (u64, u64)>,
 }
 
 impl Rib {
@@ -161,13 +334,53 @@ impl Rib {
         self.outbox.push_back(obj);
     }
 
-    /// Insert `obj`, keeping the incremental digest in sync.
+    /// Insert `obj`, keeping the incremental digests (whole-RIB and
+    /// per-subtree) in sync.
     fn store(&mut self, obj: RibObject) {
-        if let Some(old) = self.objects.get(&obj.name) {
-            self.digest ^= obj_fingerprint(old);
+        let st = subtree_of(&obj.name);
+        // get_mut-then-insert instead of the entry API: the common case
+        // (subtree exists) must not allocate an owned key per store —
+        // this runs once per applied object, millions of times in a big
+        // assembly.
+        if self.subtrees.get_mut(st).is_none() {
+            self.subtrees.insert(st.to_string(), (0, 0));
         }
-        self.digest ^= obj_fingerprint(&obj);
+        let entry = self.subtrees.get_mut(st).expect("just ensured");
+        if let Some(old) = self.objects.get(&obj.name) {
+            let f = obj_fingerprint(old);
+            self.digest ^= f;
+            entry.1 ^= f;
+        } else {
+            entry.0 += 1;
+        }
+        let f = obj_fingerprint(&obj);
+        self.digest ^= f;
+        entry.1 ^= f;
         self.objects.insert(obj.name.clone(), obj);
+    }
+
+    /// All stored objects (tombstones included) in `subtree`, name order.
+    fn subtree_objects<'a>(&'a self, subtree: &'a str) -> impl Iterator<Item = &'a RibObject> + 'a {
+        self.objects
+            .range(subtree.to_string()..)
+            .take_while(move |(k, _)| k.starts_with(subtree))
+            .filter(move |(k, _)| subtree_of(k) == subtree)
+            .map(|(_, v)| v)
+    }
+
+    /// [`Rib::write_local`], but a no-op when the object already holds
+    /// exactly `value` (live, same class). Keeps idempotent re-writes —
+    /// enrollment re-grants, repeated registrations — from bumping
+    /// versions, which would re-flood an unchanged object DIF-wide.
+    /// Returns whether a write happened.
+    pub fn write_local_if_changed(&mut self, name: &str, class: &str, value: Bytes) -> bool {
+        match self.objects.get(name) {
+            Some(o) if !o.deleted && o.class == class && o.value == value => false,
+            _ => {
+                self.write_local(name, class, value);
+                true
+            }
+        }
     }
 
     /// Tombstone an object authored locally. No-op if absent or already
@@ -210,6 +423,20 @@ impl Rib {
         true
     }
 
+    /// [`Rib::apply_remote`] without queueing a [`RibEvent`] — for
+    /// callers that react to the returned freshness directly and would
+    /// only drain-and-discard the event. Skipping it avoids cloning
+    /// every applied object, which matters when a joiner absorbs a
+    /// multi-thousand-object sync stream.
+    pub fn apply_remote_silent(&mut self, obj: RibObject) -> bool {
+        match self.objects.get(&obj.name) {
+            Some(cur) if !obj.newer_than(cur) => return false,
+            _ => {}
+        }
+        self.store(obj);
+        true
+    }
+
     /// Current value of a live (non-deleted) object.
     pub fn get(&self, name: &str) -> Option<&RibObject> {
         self.objects.get(name).filter(|o| !o.deleted)
@@ -230,6 +457,13 @@ impl Rib {
         self.objects.values().cloned().collect()
     }
 
+    /// Borrowing iterator over every stored object, tombstones included
+    /// — for callers that filter before cloning (periodic
+    /// re-advertisement clones 3 own objects, not a 3000-object RIB).
+    pub fn iter_all(&self) -> impl Iterator<Item = &RibObject> + '_ {
+        self.objects.values()
+    }
+
     /// Number of live objects.
     pub fn len(&self) -> usize {
         self.objects.values().filter(|o| !o.deleted).count()
@@ -246,6 +480,64 @@ impl Rib {
     /// means someone missed an update.
     pub fn digest(&self) -> u64 {
         self.digest
+    }
+
+    /// Per-subtree digest table (see [`DigestTable`]): comparing two
+    /// tables localizes divergence to the subtrees that actually differ.
+    pub fn digest_table(&self) -> DigestTable {
+        DigestTable::from_entries(
+            self.subtrees.iter().map(|(s, &(c, d))| (s.clone(), c, d)).collect(),
+        )
+    }
+
+    /// This RIB's `(count, digest)` for one subtree, if any object of it
+    /// is stored.
+    pub fn subtree_digest(&self, subtree: &str) -> Option<(u64, u64)> {
+        self.subtrees.get(subtree).copied()
+    }
+
+    /// Version summary of every stored object (tombstones included) in
+    /// `subtree`, in name order — what a delta request carries instead of
+    /// the objects themselves.
+    pub fn summary(&self, subtree: &str) -> Vec<ObjVer> {
+        self.subtree_objects(subtree)
+            .map(|o| ObjVer { name: o.name.clone(), version: o.version, origin: o.origin })
+            .collect()
+    }
+
+    /// Answer a delta request: given a peer's version `summary` of
+    /// `subtree` restricted to names in `[from, upto)` (empty bound =
+    /// unbounded), return the objects *we* hold in that range which the
+    /// peer lacks or holds older, plus `true` if the summary proves the
+    /// peer holds versions newer than ours (so the caller should issue
+    /// its own request for this subtree).
+    pub fn delta_for(
+        &self,
+        subtree: &str,
+        from: &str,
+        upto: &str,
+        summary: &[ObjVer],
+    ) -> (Vec<RibObject>, bool) {
+        let theirs: BTreeMap<&str, (u64, u64)> =
+            summary.iter().map(|v| (v.name.as_str(), (v.version, v.origin))).collect();
+        let in_range =
+            |name: &str| (from.is_empty() || name >= from) && (upto.is_empty() || name < upto);
+        let mut send = Vec::new();
+        for o in self.subtree_objects(subtree) {
+            if !in_range(&o.name) {
+                continue;
+            }
+            match theirs.get(o.name.as_str()) {
+                Some(&(v, org)) if (v, org) >= (o.version, o.origin) => {}
+                _ => send.push(o.clone()),
+            }
+        }
+        let behind =
+            summary.iter().filter(|v| in_range(&v.name)).any(|v| match self.objects.get(&v.name) {
+                Some(o) => (v.version, v.origin) > (o.version, o.origin),
+                None => true,
+            });
+        (send, behind)
     }
 
     /// True when no live objects exist.
@@ -294,6 +586,21 @@ mod tests {
         rib.write_local("/x", "c", Bytes::from_static(b"1"));
         rib.write_local("/x", "c", Bytes::from_static(b"2"));
         assert_eq!(rib.get("/x").unwrap().version, 2);
+        assert_eq!(rib.get("/x").unwrap().value.as_ref(), b"2");
+    }
+
+    #[test]
+    fn write_if_changed_skips_identical_values() {
+        let mut rib = Rib::new(1);
+        assert!(rib.write_local_if_changed("/x", "c", Bytes::from_static(b"1")));
+        assert!(!rib.write_local_if_changed("/x", "c", Bytes::from_static(b"1")));
+        assert_eq!(rib.get("/x").unwrap().version, 1, "no version churn");
+        assert!(rib.poll_dissemination().is_some());
+        assert!(rib.poll_dissemination().is_none(), "no re-flood queued");
+        assert!(rib.write_local_if_changed("/x", "c", Bytes::from_static(b"2")));
+        // A tombstoned object counts as changed: it must resurrect.
+        rib.delete_local("/x");
+        assert!(rib.write_local_if_changed("/x", "c", Bytes::from_static(b"2")));
         assert_eq!(rib.get("/x").unwrap().value.as_ref(), b"2");
     }
 
@@ -459,6 +766,127 @@ mod tests {
         }
     }
 
+    #[test]
+    fn subtree_of_splits_on_second_separator() {
+        assert_eq!(subtree_of("/lsa/17"), "/lsa");
+        assert_eq!(subtree_of("/dir/echo.h1"), "/dir");
+        assert_eq!(subtree_of("/members/net.a/b"), "/members");
+        assert_eq!(subtree_of("/flat"), "/flat");
+        assert_eq!(subtree_of("bare"), "bare");
+        assert_eq!(subtree_of(""), "");
+    }
+
+    #[test]
+    fn digest_table_localizes_divergence_to_subtrees() {
+        let mut a = Rib::new(1);
+        a.write_local("/dir/x", "dir", Bytes::from_static(b"1"));
+        a.write_local("/lsa/1", "lsa", Bytes::from_static(b"2"));
+        let mut b = Rib::new(2);
+        while let Some(o) = a.poll_dissemination() {
+            b.apply_remote(o);
+        }
+        assert_eq!(a.digest_table(), b.digest_table());
+        assert!(a.digest_table().mismatched(&b.digest_table()).is_empty());
+        // A /lsa-only change must not implicate /dir.
+        a.write_local("/lsa/1", "lsa", Bytes::from_static(b"3"));
+        let mm = a.digest_table().mismatched(&b.digest_table());
+        assert_eq!(mm, vec!["/lsa".to_string()]);
+        // The totals still match the whole-RIB digest machinery.
+        assert_eq!(a.digest_table().total_digest(), a.digest());
+        assert_eq!(a.digest_table().total_count(), a.object_count() as u64);
+        // A subtree present on only one side is a mismatch too.
+        b.write_local("/blocks/9", "block", Bytes::new());
+        let mm = a.digest_table().mismatched(&b.digest_table());
+        assert_eq!(mm, vec!["/blocks".to_string(), "/lsa".to_string()]);
+    }
+
+    #[test]
+    fn delta_for_sends_exactly_what_the_peer_lacks() {
+        let mut a = Rib::new(1);
+        a.write_local("/lsa/1", "lsa", Bytes::from_static(b"v1"));
+        a.write_local("/lsa/2", "lsa", Bytes::from_static(b"v1"));
+        a.write_local("/lsa/3", "lsa", Bytes::from_static(b"v1"));
+        a.write_local("/dir/x", "dir", Bytes::new());
+        let mut b = Rib::new(2);
+        // b holds /lsa/2 at the same version and /lsa/3 newer.
+        b.apply_remote(a.get("/lsa/2").unwrap().clone());
+        let mut newer = a.get("/lsa/3").unwrap().clone();
+        newer.version += 1;
+        newer.origin = 2;
+        b.apply_remote(newer);
+        let (send, behind) = a.delta_for("/lsa", "", "", &b.summary("/lsa"));
+        let names: Vec<_> = send.iter().map(|o| o.name.as_str()).collect();
+        assert_eq!(names, vec!["/lsa/1"], "equal version skipped, newer-at-peer skipped");
+        assert!(behind, "the summary proves the peer has a newer /lsa/3");
+        // Range bounds restrict the exchange.
+        let (send, behind) = a.delta_for("/lsa", "/lsa/2", "", &b.summary("/lsa"));
+        assert!(send.is_empty() && behind);
+        let (send, behind) = a.delta_for("/lsa", "", "/lsa/2", &b.summary("/lsa"));
+        assert_eq!(send.len(), 1);
+        assert!(!behind, "peer's newer /lsa/3 is outside [., /lsa/2)");
+        // An empty summary (fresh joiner) pulls the whole subtree.
+        let (send, behind) = a.delta_for("/lsa", "", "", &[]);
+        assert_eq!(send.len(), 3);
+        assert!(!behind);
+    }
+
+    /// Regression: with a linear fingerprint, the digest *difference* of
+    /// a version bump was name-independent, so two objects each one
+    /// version stale canceled in the XOR aggregate and two diverged RIBs
+    /// compared equal — anti-entropy then never repaired them.
+    #[test]
+    fn correlated_version_skew_does_not_cancel_in_the_digest() {
+        let mut a = Rib::new(1);
+        a.write_local("/lsa/13", "lsa", Bytes::from_static(b"1"));
+        a.write_local("/lsa/14", "lsa", Bytes::from_static(b"1"));
+        let mut b = Rib::new(2);
+        while let Some(o) = a.poll_dissemination() {
+            b.apply_remote(o);
+        }
+        // a advances both objects by exactly one version; b hears neither.
+        a.write_local("/lsa/13", "lsa", Bytes::from_static(b"22"));
+        a.write_local("/lsa/14", "lsa", Bytes::from_static(b"22"));
+        assert_ne!(a.digest(), b.digest(), "equal-count divergence must be visible");
+        assert_eq!(a.digest_table().mismatched(&b.digest_table()), vec!["/lsa".to_string()]);
+    }
+
+    #[test]
+    fn digest_table_roundtrips_on_the_wire() {
+        let mut a = Rib::new(1);
+        a.write_local("/dir/x", "dir", Bytes::from_static(b"1"));
+        a.write_local("/lsa/1", "lsa", Bytes::from_static(b"2"));
+        a.delete_local("/dir/x");
+        let t = a.digest_table();
+        let mut w = Writer::new();
+        t.encode_into(&mut w);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert_eq!(DigestTable::decode_from(&mut r).unwrap(), t);
+        assert!(r.expect_end().is_ok());
+    }
+
+    /// Run digest-driven delta sync between `a` (authoritative) and `b`
+    /// until their tables agree, counting objects moved. Mirrors the
+    /// ipcp exchange: per mismatched subtree, `b` summarizes, `a`
+    /// answers with missing/newer objects.
+    fn delta_sync(a: &mut Rib, b: &mut Rib) -> usize {
+        let mut moved = 0;
+        for _ in 0..64 {
+            let mm = a.digest_table().mismatched(&b.digest_table());
+            if mm.is_empty() {
+                return moved;
+            }
+            for st in mm {
+                let (objs, _) = a.delta_for(&st, "", "", &b.summary(&st));
+                for o in objs {
+                    moved += 1;
+                    b.apply_remote(o);
+                }
+            }
+        }
+        panic!("delta sync did not converge");
+    }
+
     proptest! {
         #[test]
         fn prop_object_roundtrip(
@@ -494,6 +922,61 @@ mod tests {
             for o in updates.clone() { r.apply_remote(o); }
             let winner = updates.iter().max_by_key(|o| (o.version, o.origin)).unwrap();
             prop_assert_eq!(&r.get("/obj").unwrap().value, &winner.value);
+        }
+
+        /// The tentpole invariant: syncing a diverged replica via
+        /// digest-table + per-subtree deltas reaches a RIB byte-identical
+        /// to one synced by a full snapshot resync — and moves only the
+        /// objects that actually differed.
+        #[test]
+        fn prop_delta_sync_equals_full_resync(seed in any::<u64>()) {
+            use rand::Rng;
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+            let subtrees = ["/dir/", "/lsa/", "/members/", "/blocks/"];
+            // An authoritative RIB with random writes and deletes.
+            let mut a = Rib::new(1);
+            for _ in 0..40 {
+                let name = format!(
+                    "{}o{}",
+                    subtrees[rng.gen_range(0..subtrees.len())],
+                    rng.gen_range(0..12u32)
+                );
+                if rng.gen_range(0..5u32) == 0 {
+                    a.delete_local(&name);
+                } else {
+                    a.write_local(&name, "c", Bytes::from(vec![rng.gen_range(0..=255u8) as u8]));
+                }
+            }
+            let updates: Vec<RibObject> =
+                std::iter::from_fn(|| a.poll_dissemination()).collect();
+            // A replica that saw a random subset of the updates.
+            let mut behind = Rib::new(2);
+            let mut missed = 0usize;
+            for o in &updates {
+                if rng.gen_range(0..3u32) > 0 {
+                    behind.apply_remote(o.clone());
+                } else {
+                    missed += 1;
+                }
+            }
+            let mut full = Rib::new(3);
+            for o in behind.snapshot() {
+                full.apply_remote(o);
+            }
+            // Arm one: full snapshot resync (the pre-digest behavior).
+            for o in a.snapshot() {
+                full.apply_remote(o);
+            }
+            // Arm two: digest-driven per-subtree delta sync.
+            let moved = delta_sync(&mut a, &mut behind);
+            prop_assert_eq!(behind.snapshot(), full.snapshot(), "delta ≠ full resync");
+            prop_assert_eq!(
+                (behind.object_count(), behind.digest()),
+                (a.object_count(), a.digest())
+            );
+            // O(missing), not O(RIB): only stale/absent versions moved.
+            prop_assert!(moved <= missed, "moved {} > missed {}", moved, missed);
         }
     }
 }
