@@ -1,31 +1,54 @@
 //! E10 scale sweep with wall-clock and flooding instrumentation.
 //!
 //! Runs the scale-free assembly at the sizes behind the EXPERIMENTS.md
-//! E10 scaling table and prints one markdown row per size, including the
-//! *wall-clock* cost of the run and the flooded-PDU totals — the metrics
-//! the incremental RIB sync work optimizes. Writes `e10.json`.
+//! E10 scaling table — under both the wave-parallel schedule and the
+//! sequential baseline — and prints one markdown row per cell,
+//! including the *wall-clock* cost of the run and the flooded-PDU
+//! totals. Cells run concurrently on the sweep thread pool (one
+//! independent `Sim` each, largest first), so the whole sweep's wall
+//! clock approaches the slowest single cell as `--threads` grows.
+//! Writes `reports/e10.json`.
 //!
-//! Usage: `cargo run --release -p rina-bench --bin e10 [sizes...]`
-//! (default sizes: 50 100 200 1000)
+//! Usage: `cargo run --release -p rina-bench --bin e10 -- \
+//!           [sizes...] [--threads N] [--waves-only]`
+//! (default sizes: 50 100 200 500 1000)
 
+use rina::prelude::EnrollSchedule;
 use rina_bench::report::{finish_doc, push_section};
+use rina_bench::sweep::{par_map, positional_numbers, threads_from_args, write_report};
 use rina_bench::{e10_scalefree, fmt};
 
 fn main() {
-    let mut sizes: Vec<usize> = std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = threads_from_args(&args);
+    let waves_only = args.iter().any(|a| a == "--waves-only");
+    let mut sizes = positional_numbers(&args, &["--threads"]);
     if sizes.is_empty() {
-        sizes = vec![50, 100, 200, 1000];
+        sizes = vec![50, 100, 200, 500, 1000];
     }
-    println!(
-        "| members | makespan (s) | wall (s) | mgmt/member | rib PDUs | suppressed | e2e ok |"
-    );
-    println!("|---|---|---|---|---|---|---|");
-    let mut rows = Vec::new();
+    // Largest cells first so the pool starts the stragglers early.
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    let mut cells: Vec<(usize, EnrollSchedule)> = Vec::new();
     for &n in &sizes {
-        let r = e10_scalefree::run(n, 2, 900 + n as u64);
+        cells.push((n, EnrollSchedule::waves()));
+        if !waves_only {
+            cells.push((n, EnrollSchedule::sequential()));
+        }
+    }
+    eprintln!("e10: {} cells on {} threads", cells.len(), threads);
+    let t0 = std::time::Instant::now();
+    let rows = par_map(threads, cells, |(n, schedule)| {
+        e10_scalefree::run_with(n, 2, 900 + n as u64, schedule)
+    });
+    println!(
+        "| members | schedule | makespan (s) | wall (s) | mgmt/member | rib PDUs | suppressed | e2e ok |"
+    );
+    println!("|---|---|---|---|---|---|---|---|");
+    for r in &rows {
         println!(
-            "| {} | {} | {} | {} | {} | {} | {} |",
+            "| {} | {} | {} | {} | {} | {} | {} | {} |",
             r.members,
+            r.schedule,
             fmt(r.assemble_s),
             fmt(r.wall_s),
             fmt(r.mgmt_per_member),
@@ -33,9 +56,14 @@ fn main() {
             r.flood_suppressed,
             r.e2e_ok
         );
-        rows.push(r);
     }
     let mut doc = Vec::new();
     push_section(&mut doc, "e10_sweep", &rows);
-    std::fs::write("e10.json", finish_doc(doc)).ok();
+    let path = write_report("e10.json", &finish_doc(doc));
+    eprintln!(
+        "e10: {} cells in {:.1}s wall -> {}",
+        rows.len(),
+        t0.elapsed().as_secs_f64(),
+        path.display()
+    );
 }

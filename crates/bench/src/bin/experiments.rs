@@ -1,22 +1,32 @@
 //! Regenerate every table/figure of the reproduction. Prints markdown
-//! tables (the source of EXPERIMENTS.md) and writes `results.json`.
+//! tables (the source of EXPERIMENTS.md) and writes
+//! `reports/results.json`.
 //!
-//! Usage: `cargo run --release -p rina-bench --bin experiments [--quick]`
+//! Usage: `cargo run --release -p rina-bench --bin experiments -- \
+//!           [--quick] [--threads N]`
+//!
+//! Each section's scenario cells run concurrently on the sweep thread
+//! pool (independent `Sim`s, one per cell); rows are printed in the
+//! fixed table order whatever the thread count, and every cell keeps
+//! its own fixed seed, so the output is reproducible at any `-N`.
 
 use rina::prelude::EnrollSchedule;
 use rina_bench::report::{finish_doc, push_section};
+use rina_bench::sweep::{par_map, run_jobs, threads_from_args, write_report};
 use rina_bench::*;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let threads = threads_from_args(&args);
     let mut doc: Vec<String> = Vec::new();
 
     println!("## E1/E2 — Figures 1 & 2: two-system and relayed IPC\n");
     println!("| scenario | relays | alloc latency (s) | RTT mean (s) | goodput (Mb/s) | relayed PDUs | hdr overhead (B) |");
     println!("|---|---|---|---|---|---|---|");
-    let mut rows = Vec::new();
-    for relays in [0usize, 1, 3] {
-        let r = e1_fig1::run(relays, 100 + relays as u64);
+    let rows =
+        par_map(threads, vec![0usize, 1, 3], |relays| e1_fig1::run(relays, 100 + relays as u64));
+    for r in &rows {
         println!(
             "| {} | {} | {} | {} | {} | {} | {} |",
             r.scenario,
@@ -27,7 +37,6 @@ fn main() {
             r.relayed_pdus,
             r.overhead_bytes
         );
-        rows.push(r);
     }
     push_section(&mut doc, "e1_fig1", &rows);
 
@@ -35,29 +44,32 @@ fn main() {
     println!("| P(bad) | config | delivered | goodput (Mb/s) | lat mean (s) | lat p99 (s) |");
     println!("|---|---|---|---|---|---|");
     let pbads: &[f64] = if quick { &[0.0, 0.25] } else { &[0.0, 0.1, 0.2, 0.3] };
-    let mut rows = Vec::new();
-    for &p in pbads {
-        for scoped in [false, true] {
-            let r = e3_fig3::run(p, scoped, 200);
-            println!(
-                "| {} | {} | {} | {} | {} | {} |",
-                fmt(r.p_bad),
-                r.config,
-                r.delivered,
-                fmt(r.goodput_mbps),
-                fmt(r.latency_mean_s),
-                fmt(r.latency_p99_s)
-            );
-            rows.push(r);
-        }
+    let cells: Vec<(f64, bool)> = pbads.iter().flat_map(|&p| [(p, false), (p, true)]).collect();
+    let rows = par_map(threads, cells, |(p, scoped)| e3_fig3::run(p, scoped, 200));
+    for r in &rows {
+        println!(
+            "| {} | {} | {} | {} | {} | {} |",
+            fmt(r.p_bad),
+            r.config,
+            r.delivered,
+            fmt(r.goodput_mbps),
+            fmt(r.latency_mean_s),
+            fmt(r.latency_p99_s)
+        );
     }
     push_section(&mut doc, "e3_fig3", &rows);
 
     println!("\n## E4 — Figure 4 / §6.3: multihoming failover\n");
     println!("| stack | flow survived | outage (s) | delivered/2000 | conn failures |");
     println!("|---|---|---|---|---|");
-    let mut rows = Vec::new();
-    for r in [e4_fig4::run_rina(300), e4_fig4::run_inet(300)] {
+    let rows = run_jobs(
+        threads,
+        vec![
+            Box::new(|| e4_fig4::run_rina(300)) as Box<dyn FnOnce() -> _ + Send>,
+            Box::new(|| e4_fig4::run_inet(300)),
+        ],
+    );
+    for r in &rows {
         println!(
             "| {} | {} | {} | {} | {} |",
             r.stack,
@@ -66,15 +78,20 @@ fn main() {
             r.delivered,
             r.conn_failures
         );
-        rows.push(r);
     }
     push_section(&mut doc, "e4_fig4", &rows);
 
     println!("\n## E5 — Figure 5 / §6.4: mobility\n");
     println!("| stack | handoff gap (s) | flow survived | update/tunnel msgs | delivered/3000 |");
     println!("|---|---|---|---|---|");
-    let mut rows = Vec::new();
-    for r in [e5_fig5::run_rina(400), e5_fig5::run_inet(400)] {
+    let rows = run_jobs(
+        threads,
+        vec![
+            Box::new(|| e5_fig5::run_rina(400)) as Box<dyn FnOnce() -> _ + Send>,
+            Box::new(|| e5_fig5::run_inet(400)),
+        ],
+    );
+    for r in &rows {
         println!(
             "| {} | {} | {} | {} | {} |",
             r.stack,
@@ -83,7 +100,6 @@ fn main() {
             r.update_msgs,
             r.delivered
         );
-        rows.push(r);
     }
     push_section(&mut doc, "e5_fig5", &rows);
 
@@ -91,46 +107,45 @@ fn main() {
     println!("| regions×hosts | config | fwd mean | fwd max | RIEP msgs | e2e ok |");
     println!("|---|---|---|---|---|---|");
     let sizes: &[(usize, usize)] = if quick { &[(3, 4)] } else { &[(3, 4), (4, 8), (6, 12)] };
-    let mut rows = Vec::new();
-    for &(rg, h) in sizes {
-        for flat in [true, false] {
-            let r = e6_scale::run(rg, h, flat, 500);
-            println!(
-                "| {}×{} | {} | {} | {} | {} | {} |",
-                r.regions,
-                r.hosts_per_region,
-                r.config,
-                fmt(r.fwd_mean),
-                r.fwd_max,
-                r.rib_msgs,
-                r.e2e_ok
-            );
-            rows.push(r);
-        }
+    let cells: Vec<(usize, usize, bool)> =
+        sizes.iter().flat_map(|&(rg, h)| [(rg, h, true), (rg, h, false)]).collect();
+    let rows = par_map(threads, cells, |(rg, h, flat)| e6_scale::run(rg, h, flat, 500));
+    for r in &rows {
+        println!(
+            "| {}×{} | {} | {} | {} | {} | {} |",
+            r.regions,
+            r.hosts_per_region,
+            r.config,
+            fmt(r.fwd_mean),
+            r.fwd_max,
+            r.rib_msgs,
+            r.e2e_ok
+        );
     }
     push_section(&mut doc, "e6_scale", &rows);
 
     println!("\n## E7 — §6.1: attack surface\n");
     println!("| stack | probes | information leaks | attacker payloads delivered |");
     println!("|---|---|---|---|");
-    let mut rows = Vec::new();
-    for r in [
-        e7_security::run_inet(600),
-        e7_security::run_rina_access_control(601),
-        e7_security::run_rina_private(602),
-    ] {
+    let rows = run_jobs(
+        threads,
+        vec![
+            Box::new(|| e7_security::run_inet(600)) as Box<dyn FnOnce() -> _ + Send>,
+            Box::new(|| e7_security::run_rina_access_control(601)),
+            Box::new(|| e7_security::run_rina_private(602)),
+        ],
+    );
+    for r in &rows {
         println!("| {} | {} | {} | {} |", r.stack, r.probes, r.leaks, r.payloads_delivered);
-        rows.push(r);
     }
     push_section(&mut doc, "e7_security", &rows);
 
     println!("\n## E8 — §5.2: enrollment cost\n");
     println!("| members | assemble (s) | mgmt msgs | per member |");
     println!("|---|---|---|---|");
-    let ks: &[usize] = if quick { &[4, 8] } else { &[2, 4, 8, 16, 32] };
-    let mut rows = Vec::new();
-    for &k in ks {
-        let r = e8_enroll::run(k, 700 + k as u64);
+    let ks: Vec<usize> = if quick { vec![4, 8] } else { vec![2, 4, 8, 16, 32] };
+    let rows = par_map(threads, ks, |k| e8_enroll::run(k, 700 + k as u64));
+    for r in &rows {
         println!(
             "| {} | {} | {} | {} |",
             r.members,
@@ -138,7 +153,6 @@ fn main() {
             r.mgmt_msgs,
             fmt(r.mgmt_per_member)
         );
-        rows.push(r);
     }
     push_section(&mut doc, "e8_enroll", &rows);
 
@@ -146,21 +160,18 @@ fn main() {
     println!("| offered load | sched | utilization | inter lat mean (s) | inter lat p99 (s) | bulk (Mb/s) |");
     println!("|---|---|---|---|---|---|");
     let loads: &[f64] = if quick { &[0.9, 1.1] } else { &[0.5, 0.8, 0.95, 1.1] };
-    let mut rows = Vec::new();
-    for &load in loads {
-        for prio in [false, true] {
-            let r = e9_util::run(load, prio, 800);
-            println!(
-                "| {} | {} | {} | {} | {} | {} |",
-                fmt(r.offered_load),
-                r.sched,
-                fmt(r.utilization),
-                fmt(r.inter_lat_mean_s),
-                fmt(r.inter_lat_p99_s),
-                fmt(r.bulk_mbps)
-            );
-            rows.push(r);
-        }
+    let cells: Vec<(f64, bool)> = loads.iter().flat_map(|&l| [(l, false), (l, true)]).collect();
+    let rows = par_map(threads, cells, |(load, prio)| e9_util::run(load, prio, 800));
+    for r in &rows {
+        println!(
+            "| {} | {} | {} | {} | {} | {} |",
+            fmt(r.offered_load),
+            r.sched,
+            fmt(r.utilization),
+            fmt(r.inter_lat_mean_s),
+            fmt(r.inter_lat_p99_s),
+            fmt(r.bulk_mbps)
+        );
     }
     push_section(&mut doc, "e9_util", &rows);
 
@@ -169,9 +180,9 @@ fn main() {
     println!("|---|---|---|---|---|---|---|---|---|---|---|---|---|---|");
     // Wave-parallel sweep (the makespan should grow sublinearly in
     // members), with the sequential baseline alongside for comparison.
-    let wave_ns: &[usize] = if quick { &[50] } else { &[50, 100, 1000] };
-    let seq_ns: &[usize] = if quick { &[50] } else { &[50, 100] };
-    let mut rows = Vec::new();
+    // Largest first: the pool starts the 1000-member straggler early.
+    let wave_ns: &[usize] = if quick { &[50] } else { &[1000, 100, 50] };
+    let seq_ns: &[usize] = if quick { &[50] } else { &[100, 50] };
     let mut cells = Vec::new();
     for &n in wave_ns {
         cells.push((n, EnrollSchedule::waves()));
@@ -179,8 +190,10 @@ fn main() {
     for &n in seq_ns {
         cells.push((n, EnrollSchedule::sequential()));
     }
-    for (n, schedule) in cells {
-        let r = e10_scalefree::run_with(n, 2, 900 + n as u64, schedule);
+    let rows = par_map(threads, cells, |(n, schedule)| {
+        e10_scalefree::run_with(n, 2, 900 + n as u64, schedule)
+    });
+    for r in &rows {
         println!(
             "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |",
             r.members,
@@ -198,10 +211,9 @@ fn main() {
             fmt(r.fwd_agg_mean),
             r.e2e_ok
         );
-        rows.push(r);
     }
     push_section(&mut doc, "e10_scalefree", &rows);
 
-    std::fs::write("results.json", finish_doc(doc)).ok();
-    println!("\n(results.json written)");
+    let path = write_report("results.json", &finish_doc(doc));
+    println!("\n({} written)", path.display());
 }

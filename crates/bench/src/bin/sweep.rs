@@ -1,0 +1,73 @@
+//! The sweep-grid runner behind the CI perf-regression gate.
+//!
+//! Runs the scenario matrix (size × topology × schedule × loss × flood
+//! config) on a thread pool of independent `Sim`s and writes
+//! `reports/BENCH_SWEEP.json`. Per-cell results are byte-identical for
+//! a given grid at any `--threads` value (only `wall_s` and the `meta`
+//! header vary between runs).
+//!
+//! Usage: `cargo run --release -p rina-bench --bin sweep -- \
+//!           [--threads N] [--full] [--out PATH]`
+//!
+//! * default grid: [`rina_bench::sweep::SweepGrid::ci`] (what
+//!   `BENCH_BASELINE.json` pins and CI gates on)
+//! * `--full`: the larger local grid reported in EXPERIMENTS.md
+//! * `--out PATH`: write the document somewhere other than
+//!   `reports/BENCH_SWEEP.json` (e.g. a fresh baseline)
+
+use rina_bench::sweep::{run_grid, sweep_doc, threads_from_args, write_report, SweepGrid};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = threads_from_args(&args);
+    let grid = if args.iter().any(|a| a == "--full") { SweepGrid::full() } else { SweepGrid::ci() };
+    let out = match args.iter().position(|a| a == "--out") {
+        Some(i) => match args.get(i + 1) {
+            Some(p) if !p.starts_with("--") => Some(p.clone()),
+            _ => {
+                eprintln!("sweep: --out needs a path (e.g. --out BENCH_BASELINE.json)");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
+    let cells = grid.cells();
+    eprintln!("sweep: {} cells on {} threads", cells.len(), threads);
+    let t0 = std::time::Instant::now();
+    let rows = run_grid(&grid, threads);
+    let wall = t0.elapsed().as_secs_f64();
+
+    println!("| cell | makespan (s) | mgmt PDUs | rib PDUs | suppressed | reachable | wall (s) |");
+    println!("|---|---|---|---|---|---|---|");
+    for r in &rows {
+        println!(
+            "| {} | {} | {} | {} | {} | {} | {:.3} |",
+            r.id,
+            rina_bench::fmt(r.makespan_s),
+            r.mgmt_pdus,
+            r.rib_pdus,
+            r.flood_suppressed,
+            r.reachable,
+            r.wall_s
+        );
+    }
+    let unreachable = rows.iter().filter(|r| !r.reachable).count();
+    let doc = sweep_doc(&rows, threads);
+    let path = match out {
+        Some(p) => {
+            std::fs::write(&p, &doc).expect("write --out");
+            std::path::PathBuf::from(p)
+        }
+        None => write_report("BENCH_SWEEP.json", &doc),
+    };
+    eprintln!(
+        "sweep: {} cells in {:.1}s wall ({} unreachable) -> {}",
+        rows.len(),
+        wall,
+        unreachable,
+        path.display()
+    );
+    if unreachable > 0 {
+        std::process::exit(1);
+    }
+}

@@ -16,6 +16,7 @@
 
 use rina::prelude::*;
 
+pub mod compare;
 pub mod e10_scalefree;
 pub mod e1_fig1;
 pub mod e3_fig3;
@@ -26,6 +27,7 @@ pub mod e7_security;
 pub mod e8_enroll;
 pub mod e9_util;
 pub mod report;
+pub mod sweep;
 
 /// An experiment scenario under construction: a named, seeded
 /// [`NetBuilder`] (usable as one via deref). When the wiring is done,

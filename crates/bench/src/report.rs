@@ -26,6 +26,11 @@ impl JsonValue for u64 {
         self.to_string()
     }
 }
+impl JsonValue for u32 {
+    fn render(&self) -> String {
+        self.to_string()
+    }
+}
 impl JsonValue for usize {
     fn render(&self) -> String {
         self.to_string()

@@ -1,0 +1,573 @@
+//! Parallel sweep harness: shard independent [`rina_sim::Sim`] runs
+//! across OS threads, and the scenario sweep grid built on top of it.
+//!
+//! Two layers:
+//!
+//! * [`run_jobs`] — a fixed thread pool over `std::thread` + `mpsc`
+//!   channels (the build environment is offline, so no rayon). Jobs are
+//!   closures that each build and run one self-contained simulation;
+//!   the [`rina_sim::Agent`]`: Send` bound guarantees a whole `Sim` can
+//!   move to a worker. Results come back in **submission order**
+//!   regardless of which worker finished first, so output is
+//!   deterministic at any thread count.
+//! * [`SweepGrid`] / [`run_grid`] — the scenario matrix (size ×
+//!   topology × enrollment schedule × loss rate × flood config) behind
+//!   `BENCH_SWEEP.json` and the CI perf-regression gate. Every cell
+//!   derives its seed from its own parameters, so per-cell results are
+//!   byte-identical for a given grid at 1 thread or 64.
+//!
+//! Jobs are popped longest-expected-first (LPT): the grid sorts its
+//! cells by descending size before submission, so a straggler 1000-node
+//! cell starts first instead of serializing the tail of the run.
+
+use crate::report::{Obj, ToJson};
+use crate::{row_json, Scenario};
+use rina::prelude::*;
+use rina::scenario::{Topology, Workload};
+use rina_sim::LossModel;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+
+/// Parse a `--threads N` argument out of `args`, defaulting to the
+/// machine's available parallelism (capped at 8 — sweep cells are
+/// memory-hungry). Accepts `--threads N` and `--threads=N`.
+pub fn threads_from_args(args: &[String]) -> usize {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--threads" {
+            if let Some(n) = it.next().and_then(|v| v.parse().ok()) {
+                return std::cmp::max(1, n);
+            }
+        } else if let Some(v) = a.strip_prefix("--threads=") {
+            if let Ok(n) = v.parse() {
+                return std::cmp::max(1, n);
+            }
+        }
+    }
+    default_threads()
+}
+
+/// The default worker count: available parallelism, capped at 8.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+}
+
+/// The positional numeric arguments of `args`, with every `--flag`
+/// (and the value of any flag in `flags_with_value`) stripped first —
+/// the one place bins parse sizes, so a flag's value can never be
+/// mistaken for a member count.
+pub fn positional_numbers(args: &[String], flags_with_value: &[&str]) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if flags_with_value.contains(&a.as_str()) {
+            let _ = it.next(); // the flag's value is not positional
+        } else if a.starts_with("--") {
+            // Boolean or `--flag=value` form: nothing extra to skip.
+        } else if let Ok(n) = a.parse() {
+            out.push(n);
+        }
+    }
+    out
+}
+
+/// Run `jobs` on a fixed pool of `threads` workers and return their
+/// results **in submission order**. Each job runs exactly once; workers
+/// pull from a shared queue, so a long job never blocks the others
+/// (work conserving). A panicking job does not poison the pool — the
+/// panic is re-raised on the caller's thread after every other job has
+/// finished, with the job's index in the message.
+pub fn run_jobs<R: Send + 'static>(
+    threads: usize,
+    jobs: Vec<Box<dyn FnOnce() -> R + Send>>,
+) -> Vec<R> {
+    let n = jobs.len();
+    let threads = threads.clamp(1, n.max(1));
+    if threads <= 1 {
+        // Inline fast path: no pool, same ordering semantics.
+        return jobs.into_iter().map(|j| j()).collect();
+    }
+    // Job distribution: one shared receiver behind a mutex (the classic
+    // std-only pool shape); results return over a second channel tagged
+    // with the submission index.
+    let (job_tx, job_rx) = mpsc::channel::<(usize, Box<dyn FnOnce() -> R + Send>)>();
+    let (res_tx, res_rx) = mpsc::channel();
+    for (i, job) in jobs.into_iter().enumerate() {
+        job_tx.send((i, job)).expect("queue open");
+    }
+    drop(job_tx); // Workers drain until the queue is empty, then exit.
+    let job_rx = Arc::new(Mutex::new(job_rx));
+    let workers: Vec<_> = (0..threads)
+        .map(|_| {
+            let job_rx = Arc::clone(&job_rx);
+            let res_tx = res_tx.clone();
+            std::thread::spawn(move || loop {
+                // Hold the lock only to pop; run the job unlocked.
+                let next = job_rx.lock().expect("queue lock").recv();
+                match next {
+                    Ok((i, job)) => {
+                        let out = catch_unwind(AssertUnwindSafe(job));
+                        if res_tx.send((i, out)).is_err() {
+                            return; // Caller gone; nothing left to do.
+                        }
+                    }
+                    Err(_) => return, // Queue drained.
+                }
+            })
+        })
+        .collect();
+    drop(res_tx);
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let mut panic: Option<(usize, Box<dyn std::any::Any + Send>)> = None;
+    for (i, out) in res_rx {
+        match out {
+            Ok(r) => slots[i] = Some(r),
+            Err(p) => panic = Some((i, p)),
+        }
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+    if let Some((i, p)) = panic {
+        eprintln!("sweep: job {i} panicked; re-raising");
+        std::panic::resume_unwind(p);
+    }
+    slots.into_iter().map(|r| r.expect("every job reported")).collect()
+}
+
+/// Convenience: map `items` through `f` on the pool, preserving order.
+pub fn par_map<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send + 'static,
+    R: Send + 'static,
+    F: Fn(T) -> R + Send + Sync + 'static,
+{
+    let f = Arc::new(f);
+    let jobs: Vec<Box<dyn FnOnce() -> R + Send>> = items
+        .into_iter()
+        .map(|it| {
+            let f = Arc::clone(&f);
+            Box::new(move || f(it)) as Box<dyn FnOnce() -> R + Send>
+        })
+        .collect();
+    run_jobs(threads, jobs)
+}
+
+/// Which graph family a sweep cell stamps out (all sized by the cell's
+/// `size` field, unlike [`Topology`] whose tree is sized by shape).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SweepTopology {
+    /// Barabási–Albert scale-free, `m = 2` (the E10 shape).
+    ScaleFree,
+    /// A ring — worst-case spanning-tree depth (≈ n/2).
+    Ring,
+    /// A star — worst-case sponsor fan-in (one hub admits everyone).
+    Star,
+}
+
+impl SweepTopology {
+    /// Stable cell-key token.
+    pub fn key(self) -> &'static str {
+        match self {
+            SweepTopology::ScaleFree => "ba2",
+            SweepTopology::Ring => "ring",
+            SweepTopology::Star => "star",
+        }
+    }
+
+    fn build(self, n: usize, seed: u64) -> Topology {
+        match self {
+            SweepTopology::ScaleFree => Topology::barabasi_albert(n, 2, seed),
+            SweepTopology::Ring => Topology::ring(n.max(3)),
+            SweepTopology::Star => Topology::star(n.max(2)),
+        }
+    }
+}
+
+/// One point of the sweep matrix.
+#[derive(Clone, Debug)]
+pub struct SweepCell {
+    /// DIF size (members).
+    pub size: usize,
+    /// Graph family.
+    pub topology: SweepTopology,
+    /// Enrollment schedule.
+    pub schedule: EnrollSchedule,
+    /// Per-link Bernoulli loss probability (0 = lossless).
+    pub loss: f64,
+    /// Cross-port flood token-bucket rate (objects/s; 0 = unlimited).
+    pub flood_rate: u32,
+}
+
+impl SweepCell {
+    /// Stable schedule token — used by both [`SweepCell::id`] and the
+    /// row's `schedule` field, so the two can never disagree.
+    pub fn schedule_key(&self) -> &'static str {
+        match self.schedule {
+            EnrollSchedule::Eager => "eager",
+            EnrollSchedule::Waves { .. } => "waves",
+            EnrollSchedule::Sequential { .. } => "seq",
+        }
+    }
+
+    /// The stable identifier baselines are matched on: every dimension
+    /// of the cell, none of its results.
+    pub fn id(&self) -> String {
+        format!(
+            "{}-n{}-{}-l{}-f{}",
+            self.topology.key(),
+            self.size,
+            self.schedule_key(),
+            self.loss,
+            self.flood_rate
+        )
+    }
+
+    /// The cell's RNG seed: a splitmix64 mix of its parameters, so a
+    /// cell's behaviour depends only on what the cell *is* — not on grid
+    /// position, thread count, or submission order.
+    pub fn seed(&self, base: u64) -> u64 {
+        let mut h = base ^ 0x9E37_79B9_7F4A_7C15;
+        for b in self.id().bytes() {
+            h = (h ^ b as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            h ^= h >> 27;
+        }
+        h
+    }
+}
+
+/// One row of `BENCH_SWEEP.json`: the cell's parameters plus its
+/// measurements. Every field except `wall_s` is a pure function of the
+/// cell (virtual time, PDU counts, reachability are deterministic under
+/// the seed); `wall_s` is the one machine-dependent field, and the
+/// comparison gate treats it separately.
+#[derive(Clone, Debug)]
+pub struct SweepRow {
+    /// Stable cell key (see [`SweepCell::id`]).
+    pub id: String,
+    /// Members.
+    pub size: usize,
+    /// Graph family token.
+    pub topology: &'static str,
+    /// Schedule token.
+    pub schedule: String,
+    /// Link loss probability.
+    pub loss: f64,
+    /// Flood rate limit (objects/s, 0 = unlimited).
+    pub flood_rate: u32,
+    /// Virtual-time assembly makespan, seconds.
+    pub makespan_s: f64,
+    /// Management PDUs sent DIF-wide during assembly.
+    pub mgmt_pdus: u64,
+    /// RIEP object PDUs sent over the whole run.
+    pub rib_pdus: u64,
+    /// Floods suppressed (digest-covered or rate-limited).
+    pub flood_suppressed: u64,
+    /// Enrollments deferred by full admission windows.
+    pub deferred: u64,
+    /// All sampled reachability pings completed.
+    pub reachable: bool,
+    /// Wall-clock seconds for the cell (machine-dependent).
+    pub wall_s: f64,
+}
+
+row_json!(SweepRow {
+    id,
+    size,
+    topology,
+    schedule,
+    loss,
+    flood_rate,
+    makespan_s,
+    mgmt_pdus,
+    rib_pdus,
+    flood_suppressed,
+    deferred,
+    reachable,
+    wall_s,
+});
+
+/// The sweep matrix: the cross product of its dimension vectors.
+#[derive(Clone, Debug)]
+pub struct SweepGrid {
+    /// DIF sizes.
+    pub sizes: Vec<usize>,
+    /// Graph families.
+    pub topologies: Vec<SweepTopology>,
+    /// Enrollment schedules.
+    pub schedules: Vec<EnrollSchedule>,
+    /// Per-link Bernoulli loss probabilities.
+    pub losses: Vec<f64>,
+    /// Cross-port flood rates (0 = unlimited).
+    pub flood_rates: Vec<u32>,
+    /// Base seed mixed into every cell seed.
+    pub base_seed: u64,
+}
+
+impl SweepGrid {
+    /// The CI grid: small enough to run on every PR in release mode,
+    /// wide enough that a regression in any dimension (schedule, loss
+    /// recovery, flood suppression) moves at least one cell.
+    pub fn ci() -> Self {
+        SweepGrid {
+            sizes: vec![16, 32, 96],
+            topologies: vec![SweepTopology::ScaleFree, SweepTopology::Ring, SweepTopology::Star],
+            schedules: vec![EnrollSchedule::waves(), EnrollSchedule::sequential()],
+            losses: vec![0.0, 0.02],
+            flood_rates: vec![64, 0],
+            base_seed: 1,
+        }
+    }
+
+    /// The full local grid (what EXPERIMENTS.md reports): bigger sizes,
+    /// same dimensions.
+    pub fn full() -> Self {
+        SweepGrid { sizes: vec![16, 32, 96, 200], ..SweepGrid::ci() }
+    }
+
+    /// Every cell, in deterministic enumeration order (the JSON row
+    /// order), largest sizes first so the pool starts stragglers early.
+    pub fn cells(&self) -> Vec<SweepCell> {
+        let mut cells = Vec::new();
+        let mut sizes = self.sizes.clone();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        for &size in &sizes {
+            for &topology in &self.topologies {
+                for &schedule in &self.schedules {
+                    for &loss in &self.losses {
+                        for &flood_rate in &self.flood_rates {
+                            cells.push(SweepCell { size, topology, schedule, loss, flood_rate });
+                        }
+                    }
+                }
+            }
+        }
+        cells
+    }
+}
+
+/// Run one cell: stamp the topology, assemble the DIF under the cell's
+/// schedule/loss/flood config, verify sampled reachability, collect the
+/// counters. Self-contained — builds its own `Sim` — so any number of
+/// cells run concurrently.
+pub fn run_cell(cell: &SweepCell, base_seed: u64) -> SweepRow {
+    let wall_t0 = std::time::Instant::now();
+    let seed = cell.seed(base_seed);
+    let mut s = Scenario::new("sweep-cell", seed);
+    s.set_enroll_schedule(cell.schedule);
+    let link = if cell.loss > 0.0 {
+        LinkCfg::wired().with_loss(LossModel::Bernoulli(cell.loss))
+    } else {
+        LinkCfg::wired()
+    };
+    let base_cfg = DifConfig::new("sweep-dif");
+    let burst = base_cfg.flood_burst;
+    let dif_cfg = base_cfg.with_flood_rate(cell.flood_rate, burst);
+    let fab = cell
+        .topology
+        .build(cell.size, seed)
+        .with_link(link)
+        .with_dif(dif_cfg)
+        .with_prefix("sw")
+        .materialize(&mut s);
+    let mesh = Workload::ping_sampled(&mut s, fab.dif, &fab.nodes, 0, seed, 1, 64);
+    let ipcps = fab.member_ipcps(&s);
+    // Generous limits: lossy sequential rings converge slowly in virtual
+    // time; a cell that blows the limit is a real regression and panics
+    // (the pool re-raises the panic on the caller's thread).
+    let limit = Dur::from_secs(600) * (1 + cell.size as u64 / 200);
+    let mut run = s.assemble(limit, Dur::ZERO);
+    let makespan_s = run.assembled_at.expect("assemble() ran").as_secs_f64();
+    let mgmt_pdus: u64 = ipcps.iter().map(|&h| run.net.ipcp(h).stats.mgmt_tx).sum();
+    let deferred: u64 = ipcps.iter().map(|&h| run.net.ipcp(h).stats.enrollments_deferred).sum();
+    run.run_for(Dur::from_secs(1));
+    // Budget scales with size: big lossy rings route across ~n/2 hops
+    // and repair dropped floods by (damped) anti-entropy, which takes
+    // real virtual time to converge.
+    let steps = 240 + cell.size;
+    run.run_until(Dur::from_millis(500), steps, |net| mesh.all_done(net));
+    let net = &run.net;
+    let rib_pdus: u64 = ipcps.iter().map(|&h| net.ipcp(h).stats.rib_tx).sum();
+    let flood_suppressed: u64 = ipcps.iter().map(|&h| net.ipcp(h).stats.flood_suppressed).sum();
+    SweepRow {
+        id: cell.id(),
+        size: cell.size,
+        topology: cell.topology.key(),
+        schedule: cell.schedule_key().into(),
+        loss: cell.loss,
+        flood_rate: cell.flood_rate,
+        makespan_s,
+        mgmt_pdus,
+        rib_pdus,
+        flood_suppressed,
+        deferred,
+        reachable: mesh.all_done(net),
+        wall_s: wall_t0.elapsed().as_secs_f64(),
+    }
+}
+
+/// Run every cell of `grid` on `threads` workers. Rows come back in
+/// grid enumeration order whatever the thread count.
+pub fn run_grid(grid: &SweepGrid, threads: usize) -> Vec<SweepRow> {
+    let base = grid.base_seed;
+    par_map(threads, grid.cells(), move |cell| run_cell(&cell, base))
+}
+
+/// Render sweep rows as the `BENCH_SWEEP.json` document. `threads` is
+/// recorded so the comparison gate knows whether two documents' wall
+/// clocks carry the same pool-contention profile (it skips wall gating
+/// when the worker counts differ); cells are matched by id regardless.
+pub fn sweep_doc(rows: &[SweepRow], threads: usize) -> String {
+    let mut head = Obj::new();
+    head.field("schema", &"bench-sweep-v1");
+    head.field("threads", &(threads as u64));
+    let items: Vec<String> = rows.iter().map(|r| r.to_json()).collect();
+    format!(
+        "{{\n  \"meta\": {},\n  \"cells\": [\n    {}\n  ]\n}}\n",
+        head.finish(),
+        items.join(",\n    ")
+    )
+}
+
+/// Strip machine-dependent fields (`wall_s`, the `meta` threads line)
+/// from a sweep document, leaving only what must be byte-identical
+/// across thread counts and runs — the determinism tests compare this.
+pub fn canonicalize(doc: &str) -> String {
+    doc.lines()
+        .filter(|l| !l.contains("\"meta\""))
+        .map(|l| match l.find(", \"wall_s\": ") {
+            // `wall_s` is emitted as the row's final field, so cutting
+            // from the preceding comma to the next delimiter removes it.
+            Some(i) => {
+                let tail = &l[i + 2..];
+                let end = tail.find(['}', ',']).map(|e| i + 2 + e).unwrap_or(l.len());
+                format!("{}{}", &l[..i], &l[end..])
+            }
+            None => l.to_string(),
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Write `doc` to `reports/<name>` (creating the directory), the
+/// single place every bench artifact lands — CI uploads the directory.
+pub fn write_report(name: &str, doc: &str) -> std::path::PathBuf {
+    let dir = std::path::Path::new("reports");
+    std::fs::create_dir_all(dir).expect("create reports/");
+    let path = dir.join(name);
+    std::fs::write(&path, doc).expect("write report");
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_preserves_submission_order() {
+        // Reverse-sorted sleep times: late submissions finish first.
+        let out = par_map(4, (0..16u64).collect(), |i| {
+            std::thread::sleep(std::time::Duration::from_millis((16 - i) % 5));
+            i * 2
+        });
+        assert_eq!(out, (0..16).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_single_thread_matches_multi() {
+        let a = par_map(1, (0..8u64).collect(), |i| i * i);
+        let b = par_map(8, (0..8u64).collect(), |i| i * i);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_job() {
+        let r = std::panic::catch_unwind(|| {
+            par_map(2, vec![0u32, 1, 2, 3], |i| {
+                if i == 2 {
+                    panic!("job blew up");
+                }
+                i
+            })
+        });
+        assert!(r.is_err(), "panic propagates to the caller");
+    }
+
+    #[test]
+    fn cell_ids_are_stable_and_distinct() {
+        let grid = SweepGrid::ci();
+        let cells = grid.cells();
+        let ids: std::collections::HashSet<String> = cells.iter().map(|c| c.id()).collect();
+        assert_eq!(ids.len(), cells.len(), "cell ids collide");
+        assert_eq!(
+            cells.len(),
+            grid.sizes.len()
+                * grid.topologies.len()
+                * grid.schedules.len()
+                * grid.losses.len()
+                * grid.flood_rates.len()
+        );
+    }
+
+    #[test]
+    fn cell_seed_depends_on_every_dimension() {
+        let c = SweepCell {
+            size: 16,
+            topology: SweepTopology::ScaleFree,
+            schedule: EnrollSchedule::waves(),
+            loss: 0.0,
+            flood_rate: 64,
+        };
+        let mut d = c.clone();
+        d.loss = 0.02;
+        assert_ne!(c.seed(1), d.seed(1));
+        assert_ne!(c.seed(1), c.seed(2));
+        assert_eq!(c.seed(1), c.seed(1));
+    }
+
+    #[test]
+    fn canonicalize_drops_wall_clock_only() {
+        let row = SweepRow {
+            id: "x".into(),
+            size: 4,
+            topology: "ring",
+            schedule: "waves".into(),
+            loss: 0.0,
+            flood_rate: 64,
+            makespan_s: 1.5,
+            mgmt_pdus: 10,
+            rib_pdus: 20,
+            flood_suppressed: 0,
+            deferred: 0,
+            reachable: true,
+            wall_s: 0.123456,
+        };
+        let doc = sweep_doc(std::slice::from_ref(&row), 4);
+        let mut other = row;
+        other.wall_s = 9.87;
+        let doc2 = sweep_doc(&[other], 1);
+        assert_ne!(doc, doc2);
+        assert_eq!(canonicalize(&doc), canonicalize(&doc2));
+        assert!(canonicalize(&doc).contains("\"makespan_s\": 1.5"));
+        assert!(!canonicalize(&doc).contains("wall_s"));
+    }
+
+    /// A tiny end-to-end cell: assembles, reaches, and is reproducible.
+    #[test]
+    fn small_cell_runs_and_reproduces() {
+        let cell = SweepCell {
+            size: 5,
+            topology: SweepTopology::Ring,
+            schedule: EnrollSchedule::waves(),
+            loss: 0.0,
+            flood_rate: 64,
+        };
+        let a = run_cell(&cell, 1);
+        let b = run_cell(&cell, 1);
+        assert!(a.reachable, "{a:?}");
+        assert_eq!(a.makespan_s, b.makespan_s);
+        assert_eq!(a.mgmt_pdus, b.mgmt_pdus);
+        assert_eq!(a.rib_pdus, b.rib_pdus);
+    }
+}

@@ -141,7 +141,7 @@ pub mod collection {
     use rand::rngs::SmallRng;
     use rand::Rng;
 
-    /// Strategy for vectors — see [`vec`].
+    /// Strategy for vectors — see [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: std::ops::Range<usize>,

@@ -45,7 +45,11 @@ impl FlowOrigin {
 
 /// Callbacks of an application process. All are optional except [`AppProcess::on_sdu`]
 /// implementors typically react to flows and data.
-pub trait AppProcess: 'static {
+///
+/// Applications must be [`Send`] (like every [`rina_sim::Agent`]): a
+/// node owns its apps outright, so whole simulations can be sharded
+/// across OS threads by the sweep harness.
+pub trait AppProcess: Send + 'static {
     /// The node started (simulation time zero for statically built nets).
     fn on_start(&mut self, api: &mut IpcApi<'_, '_, '_>) {
         let _ = api;

@@ -567,6 +567,16 @@ pub struct Net {
     links: Vec<(usize, usize, LinkId)>,
 }
 
+// A built network (and its builder) is one self-contained simulation:
+// nothing in it is shared with any other Net, so independent runs can be
+// sharded across OS threads. Enforced at compile time — regressions here
+// (an Rc, a RefCell, a non-Send app) break sweep parallelism.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Net>();
+    assert_send::<NetBuilder>();
+};
+
 impl Net {
     /// Immutable access to a machine.
     pub fn node(&self, h: NodeH) -> &Node {

@@ -491,7 +491,11 @@ impl Connection {
         self.cong.on_loss();
         self.recover_until = Some(self.next_seq);
         self.rtx_backoff = (self.rtx_backoff + 1).min(10);
-        self.rtx_deadline = Some(now_ns + (self.p.rtx_timeout_ns << self.rtx_backoff));
+        let mut rto = self.p.rtx_timeout_ns << self.rtx_backoff;
+        if self.p.rtx_max_timeout_ns > 0 {
+            rto = rto.min(self.p.rtx_max_timeout_ns);
+        }
+        self.rtx_deadline = Some(now_ns + rto);
         self.outq.push_back(Pdu::Data(self.data_pdu(seq, flags, payload)));
     }
 

@@ -42,6 +42,11 @@ pub struct ConnParams {
     pub max_pdu_payload: usize,
     /// Initial retransmission timeout, nanoseconds.
     pub rtx_timeout_ns: u64,
+    /// Ceiling on the backed-off retransmission timeout, nanoseconds.
+    /// Exponential backoff doubles the RTO per expiry; without a cap,
+    /// ten expiries on one PDU (long lossy paths) push the next attempt
+    /// minutes out. 0 = uncapped.
+    pub rtx_max_timeout_ns: u64,
     /// Give up after this many retransmissions of one PDU.
     pub max_rtx: u32,
     /// Congestion control policy.
@@ -60,7 +65,8 @@ impl ConnParams {
             flow_control: true,
             credit_window: 256,
             max_pdu_payload: 1400,
-            rtx_timeout_ns: 200_000_000, // 200 ms
+            rtx_timeout_ns: 200_000_000,       // 200 ms
+            rtx_max_timeout_ns: 5_000_000_000, // 5 s RTO ceiling
             max_rtx: 12,
             congestion: CongestionCtrl::aimd(),
             ack_delay_ns: 0,
@@ -76,6 +82,7 @@ impl ConnParams {
             credit_window: u64::MAX / 4,
             max_pdu_payload: 1400,
             rtx_timeout_ns: 0,
+            rtx_max_timeout_ns: 0,
             max_rtx: 0,
             congestion: CongestionCtrl::None,
             ack_delay_ns: 0,

@@ -14,8 +14,10 @@ use rina_sim::{Dur, Time};
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct SockId(pub u64);
 
-/// Callbacks of a baseline application.
-pub trait InetApp: 'static {
+/// Callbacks of a baseline application. Must be [`Send`] (like every
+/// [`rina_sim::Agent`]) so whole simulations can be sharded across OS
+/// threads by the sweep harness.
+pub trait InetApp: Send + 'static {
     /// Node start.
     fn on_start(&mut self, api: &mut InetApi<'_, '_, '_>) {
         let _ = api;

@@ -77,7 +77,14 @@ impl std::error::Error for SendError {}
 
 /// A node behaviour. Implementations are plain state machines; all side
 /// effects go through the [`Ctx`].
-pub trait Agent: 'static {
+///
+/// Agents must be [`Send`]: a [`Sim`] owns its agents outright and holds
+/// no shared mutable state (all randomness flows through the per-`Sim`
+/// seeded RNG), so whole simulations can be sharded across OS threads —
+/// the sweep harness in `rina-bench` runs one independent `Sim` per
+/// worker. The bound is what keeps thread-hostile state (`Rc`,
+/// `RefCell`, raw pointers) out of agent implementations.
+pub trait Agent: Send + 'static {
     /// React to one event at virtual time `now`.
     fn handle(&mut self, now: Time, ev: Event, ctx: &mut Ctx<'_>);
 }
@@ -288,6 +295,14 @@ pub struct Sim {
     nodes: Vec<NodeSlot>,
     world: World,
 }
+
+// A whole simulation is self-contained — agents, links, event heap, and
+// RNG state all live inside it — so it can move to a worker thread.
+// Enforced at compile time; breaking it breaks sweep parallelism.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Sim>();
+};
 
 impl Sim {
     /// Create an empty simulation with the given RNG seed. Two runs with the
