@@ -41,12 +41,12 @@ fn main() {
         e10_scalefree::run_with(n, 2, 900 + n as u64, schedule)
     });
     println!(
-        "| members | schedule | makespan (s) | wall (s) | mgmt/member | rib PDUs | suppressed | e2e ok |"
+        "| members | schedule | makespan (s) | wall (s) | mgmt/member | rib PDUs | suppressed | spf full | spf incr | ft delta | e2e ok |"
     );
-    println!("|---|---|---|---|---|---|---|---|");
+    println!("|---|---|---|---|---|---|---|---|---|---|---|");
     for r in &rows {
         println!(
-            "| {} | {} | {} | {} | {} | {} | {} | {} |",
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |",
             r.members,
             r.schedule,
             fmt(r.assemble_s),
@@ -54,6 +54,9 @@ fn main() {
             fmt(r.mgmt_per_member),
             r.rib_pdus,
             r.flood_suppressed,
+            r.spf_full,
+            r.spf_incremental,
+            r.ft_delta,
             r.e2e_ok
         );
     }

@@ -245,6 +245,9 @@ pub fn default_gates(wall_tol: f64) -> Vec<(&'static str, Gate)> {
         ("mgmt_pdus", Gate::Exact),
         ("rib_pdus", Gate::Exact),
         ("flood_suppressed", Gate::Exact),
+        ("spf_full", Gate::Exact),
+        ("spf_incremental", Gate::Exact),
+        ("ft_delta", Gate::Exact),
         ("deferred", Gate::Exact),
         ("reachable", Gate::Exact),
         ("wall_s", Gate::WallClock { frac: wall_tol }),
@@ -567,6 +570,9 @@ mod tests {
                             ("mgmt_pdus".into(), Json::Num(m)),
                             ("rib_pdus".into(), Json::Num(5.0)),
                             ("flood_suppressed".into(), Json::Num(0.0)),
+                            ("spf_full".into(), Json::Num(3.0)),
+                            ("spf_incremental".into(), Json::Num(7.0)),
+                            ("ft_delta".into(), Json::Num(11.0)),
                             ("deferred".into(), Json::Num(0.0)),
                             ("reachable".into(), Json::Bool(true)),
                             ("wall_s".into(), Json::Num(w)),

@@ -46,6 +46,14 @@ pub struct ScaleFreeRow {
     /// Floods skipped because the peer's hello digest already covered
     /// the object (plus token-bucket drops when a rate limit is set).
     pub flood_suppressed: u64,
+    /// From-scratch SPF runs DIF-wide (bootstrap + own-LSA changes +
+    /// fallbacks) — with the incremental engine this tracks local
+    /// adjacency churn, not remote joins.
+    pub spf_full: u64,
+    /// Incremental SPF repairs DIF-wide (delta-classified LSA changes).
+    pub spf_incremental: u64,
+    /// Forwarding-table entries updated via the delta path DIF-wide.
+    pub ft_delta: u64,
     /// Enrollment requests deferred by full admission windows.
     pub deferred: u64,
     /// Degree of the largest hub.
@@ -75,6 +83,9 @@ row_json!(ScaleFreeRow {
     mgmt_per_member,
     rib_pdus,
     flood_suppressed,
+    spf_full,
+    spf_incremental,
+    ft_delta,
     deferred,
     hub_degree,
     hub_fwd,
@@ -119,10 +130,14 @@ pub fn run_with(n: usize, m: usize, seed: u64, schedule: EnrollSchedule) -> Scal
     run.run_until(Dur::from_millis(500), 120, |net| mesh.all_done(net));
 
     let net = &run.net;
-    let fwd_sum: usize = ipcps.iter().map(|&h| net.ipcp(h).fwd.len()).sum();
-    let agg_sum: usize = ipcps.iter().map(|&h| net.ipcp(h).fwd.aggregated_len()).sum();
+    let fwd_sum: usize = ipcps.iter().map(|&h| net.ipcp(h).fwd().len()).sum();
+    let agg_sum: usize = ipcps.iter().map(|&h| net.ipcp(h).fwd().aggregated_len()).sum();
     let rib_pdus: u64 = ipcps.iter().map(|&h| net.ipcp(h).stats.rib_tx).sum();
     let flood_suppressed: u64 = ipcps.iter().map(|&h| net.ipcp(h).stats.flood_suppressed).sum();
+    let spf_full: u64 = ipcps.iter().map(|&h| net.ipcp(h).route_stats().spf_full).sum();
+    let spf_incremental: u64 =
+        ipcps.iter().map(|&h| net.ipcp(h).route_stats().spf_incremental).sum();
+    let ft_delta: u64 = ipcps.iter().map(|&h| net.ipcp(h).route_stats().ft_delta).sum();
     ScaleFreeRow {
         members: n,
         attach_degree: m,
@@ -136,10 +151,13 @@ pub fn run_with(n: usize, m: usize, seed: u64, schedule: EnrollSchedule) -> Scal
         mgmt_per_member: mgmt as f64 / n as f64,
         rib_pdus,
         flood_suppressed,
+        spf_full,
+        spf_incremental,
+        ft_delta,
         deferred,
         hub_degree,
-        hub_fwd: net.ipcp(hub_ipcp).fwd.len(),
-        hub_fwd_agg: net.ipcp(hub_ipcp).fwd.aggregated_len(),
+        hub_fwd: net.ipcp(hub_ipcp).fwd().len(),
+        hub_fwd_agg: net.ipcp(hub_ipcp).fwd().aggregated_len(),
         fwd_mean: fwd_sum as f64 / n as f64,
         fwd_agg_mean: agg_sum as f64 / n as f64,
         hub_relayed: net.ipcp(hub_ipcp).stats.relayed,
@@ -162,6 +180,13 @@ mod tests {
         assert!(r.hub_degree >= 8, "hub degree {}", r.hub_degree);
         // The hub knows (almost) the whole scope...
         assert!(r.hub_fwd >= r.members / 2, "hub fwd {}", r.hub_fwd);
+        // ...and the routing engine actually ran its delta paths: remote
+        // joins classify as incremental repairs that patch the table.
+        // (Dominance over the full fallback is a *scale* property — at 50
+        // members the per-member enrollment and own-LSA fulls still
+        // rival the deltas; the 200-member smoke asserts the ratio.)
+        assert!(r.spf_incremental > 0, "no incremental repairs ran: {r:?}");
+        assert!(r.ft_delta > 0, "delta path never patched the table: {r:?}");
         // ...but prefix-block addressing aggregates the stored state.
         assert!(
             r.fwd_agg_mean < r.fwd_mean,
@@ -205,5 +230,14 @@ mod tests {
         // hard stop well before the old regime.
         assert!(r.rib_pdus < 450_000, "{} RIEP object sends — flooding regressed", r.rib_pdus);
         assert!(r.flood_suppressed > 0, "suppression machinery never engaged: {r:?}");
+        // At this scale incremental SPF must carry the assembly: joins
+        // are remote for almost every member, so delta-classified
+        // repairs outnumber the full-recompute fallback.
+        assert!(
+            r.spf_incremental > r.spf_full,
+            "incremental SPF should dominate at 200: {} incremental vs {} full",
+            r.spf_incremental,
+            r.spf_full
+        );
     }
 }

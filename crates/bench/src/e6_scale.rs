@@ -79,8 +79,8 @@ pub fn run(regions: usize, hosts: usize, flat: bool, seed: u64) -> ScaleRow {
     let mut rib = 0u64;
     for &h in &ipcps {
         let ip = net.ipcp(h);
-        fwd_sum += ip.fwd.len();
-        fwd_max = fwd_max.max(ip.fwd.len());
+        fwd_sum += ip.fwd().len();
+        fwd_max = fwd_max.max(ip.fwd().len());
         rib += ip.stats.rib_tx;
     }
     ScaleRow {

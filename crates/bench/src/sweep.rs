@@ -264,6 +264,14 @@ pub struct SweepRow {
     pub rib_pdus: u64,
     /// Floods suppressed (digest-covered or rate-limited).
     pub flood_suppressed: u64,
+    /// From-scratch SPF runs DIF-wide. The `spf_full` / `spf_incremental`
+    /// split records, per grid cell, where the routing engine's full
+    /// fallback still fires (deterministic — gated exactly).
+    pub spf_full: u64,
+    /// Incremental SPF repairs DIF-wide.
+    pub spf_incremental: u64,
+    /// Forwarding-table entries updated via the delta path DIF-wide.
+    pub ft_delta: u64,
     /// Enrollments deferred by full admission windows.
     pub deferred: u64,
     /// All sampled reachability pings completed.
@@ -283,6 +291,9 @@ row_json!(SweepRow {
     mgmt_pdus,
     rib_pdus,
     flood_suppressed,
+    spf_full,
+    spf_incremental,
+    ft_delta,
     deferred,
     reachable,
     wall_s,
@@ -390,6 +401,10 @@ pub fn run_cell(cell: &SweepCell, base_seed: u64) -> SweepRow {
     let net = &run.net;
     let rib_pdus: u64 = ipcps.iter().map(|&h| net.ipcp(h).stats.rib_tx).sum();
     let flood_suppressed: u64 = ipcps.iter().map(|&h| net.ipcp(h).stats.flood_suppressed).sum();
+    let spf_full: u64 = ipcps.iter().map(|&h| net.ipcp(h).route_stats().spf_full).sum();
+    let spf_incremental: u64 =
+        ipcps.iter().map(|&h| net.ipcp(h).route_stats().spf_incremental).sum();
+    let ft_delta: u64 = ipcps.iter().map(|&h| net.ipcp(h).route_stats().ft_delta).sum();
     SweepRow {
         id: cell.id(),
         size: cell.size,
@@ -401,6 +416,9 @@ pub fn run_cell(cell: &SweepCell, base_seed: u64) -> SweepRow {
         mgmt_pdus,
         rib_pdus,
         flood_suppressed,
+        spf_full,
+        spf_incremental,
+        ft_delta,
         deferred,
         reachable: mesh.all_done(net),
         wall_s: wall_t0.elapsed().as_secs_f64(),
@@ -539,6 +557,9 @@ mod tests {
             mgmt_pdus: 10,
             rib_pdus: 20,
             flood_suppressed: 0,
+            spf_full: 4,
+            spf_incremental: 9,
+            ft_delta: 12,
             deferred: 0,
             reachable: true,
             wall_s: 0.123456,

@@ -64,12 +64,21 @@ pub struct DifConfig {
     /// hello confirms it is up (or the slot times out); requests beyond
     /// the window are told to back off and retry. `0` = unlimited.
     pub admission_window: u32,
-    /// Debounce *floor* for route recomputation after remote LSA
-    /// floods, in milliseconds: a burst of LSAs costs one Dijkstra run
-    /// per member, not one per update. The effective window is
-    /// `max(this, lsa_count / 10)` — recomputation cost grows with the
-    /// LSA set, so the window stretches with it. Experiments sweep it.
+    /// Debounce *floor* for route recomputation after remote LSA floods
+    /// that require the **full-recomputation fallback** (own-LSA
+    /// changes), in milliseconds: a burst of LSAs costs one Dijkstra
+    /// run per member, not one per update. The effective window is
+    /// `max(this, lsa_count / 10)` — a full recomputation's cost grows
+    /// with the LSA set, so its window stretches with it. Experiments
+    /// sweep it.
     pub recompute_debounce_ms: u64,
+    /// Debounce for route recomputation when every queued LSA delta is
+    /// **delta-classified** (incremental SPF repairs only the affected
+    /// region), in milliseconds. Repair cost tracks the change, not the
+    /// DIF, so this stays a small constant instead of stretching with
+    /// the LSA count — routes converge quickly however big the
+    /// facility grows.
+    pub recompute_delta_debounce_ms: u64,
     /// Flood aggregation window, in milliseconds: queued flood objects
     /// sit up to this long so everything passing a member inside one
     /// window leaves as a few MTU-sized batch PDUs per port instead of
@@ -108,6 +117,7 @@ impl DifConfig {
             max_sdu: 64 * 1024,
             admission_window: 8,
             recompute_debounce_ms: 50,
+            recompute_delta_debounce_ms: 20,
             flood_batch_ms: 5,
             lsa_debounce_ms: 100,
             flood_rate: 64,
@@ -157,10 +167,19 @@ impl DifConfig {
         self
     }
 
-    /// Builder-style route-recompute debounce override, in milliseconds
-    /// (default 50; experiments sweep it).
+    /// Builder-style route-recompute debounce override for the full
+    /// fallback, in milliseconds (default 50; experiments sweep it).
     pub fn with_recompute_debounce_ms(mut self, ms: u64) -> Self {
         self.recompute_debounce_ms = ms;
+        self
+    }
+
+    /// Builder-style debounce override for delta-classified route
+    /// recomputations, in milliseconds (default 20 — incremental repair
+    /// is cheap, so the window no longer needs to stretch with the
+    /// facility; it only coalesces one flood burst).
+    pub fn with_recompute_delta_debounce_ms(mut self, ms: u64) -> Self {
+        self.recompute_delta_debounce_ms = ms;
         self
     }
 
@@ -225,9 +244,17 @@ mod tests {
     fn sync_knobs_default_and_override() {
         let c = DifConfig::new("x");
         assert_eq!(c.recompute_debounce_ms, 50);
+        assert!(
+            c.recompute_delta_debounce_ms < c.recompute_debounce_ms,
+            "delta-classified changes recompute on a tighter timer"
+        );
         assert!(c.flood_rate > 0, "cross-port flooding is bounded by default");
-        let c = c.with_recompute_debounce_ms(5).with_flood_rate(200, 0);
+        let c = c
+            .with_recompute_debounce_ms(5)
+            .with_recompute_delta_debounce_ms(1)
+            .with_flood_rate(200, 0);
         assert_eq!(c.recompute_debounce_ms, 5);
+        assert_eq!(c.recompute_delta_debounce_ms, 1);
         assert_eq!((c.flood_rate, c.flood_burst), (200, 1), "burst floors at 1");
     }
 

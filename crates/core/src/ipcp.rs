@@ -25,7 +25,7 @@ use crate::dif::DifConfig;
 use crate::msg::MgmtBody;
 use crate::naming::{Addr, AppName};
 use crate::qos::{match_cube, QosSpec};
-use crate::routing::{compute_routes, Lsa, LSA_CLASS, LSA_PREFIX};
+use crate::routing::{EngineStats, Lsa, RouteEngine, LSA_CLASS, LSA_PREFIX};
 use bytes::Bytes;
 use rina_efcp::{ConnId, Connection};
 use rina_rib::{subtree_of, DigestTable, Rib, RibEvent, RibObject};
@@ -278,16 +278,12 @@ pub struct Ipcp {
     enrolled: bool,
     /// The Resource Information Base.
     pub rib: Rib,
-    /// Current forwarding table (step one: destination → next hops).
-    pub fwd: crate::routing::ForwardingTable,
-    /// Decoded mirror of the RIB's `/lsa/*` objects, maintained on
-    /// apply/write so a route recomputation never re-parses a thousand
-    /// LSA values it parsed 50 ms earlier.
-    lsa_cache: HashMap<Addr, Lsa>,
-    /// Remote LSA updates arrived since the last Dijkstra run; the node
-    /// recomputes on a short debounce timer so a flood of LSAs (a whole
-    /// wave enrolling) costs one recomputation, not one per update.
-    routes_dirty: bool,
+    /// The routing engine: graph mirror fed by the RIB's `/lsa/*` watch
+    /// hook, incremental SPF, delta-patched forwarding table. Remote
+    /// deltas accumulate here until the node's debounce timer runs
+    /// [`Ipcp::recompute_routes_now`]; local LSA writes recompute
+    /// immediately (failure rerouting stays fast).
+    engine: RouteEngine,
     n1: Vec<N1Port>,
     conns: HashMap<CepId, FlowState>,
     raw: HashMap<CepId, RawFlow>,
@@ -344,10 +340,14 @@ impl Ipcp {
             block: (0, 0),
             is_shim: false,
             enrolled: false,
-            rib: Rib::new(0),
-            fwd: Default::default(),
-            lsa_cache: HashMap::new(),
-            routes_dirty: false,
+            rib: {
+                let mut r = Rib::new(0);
+                // Object-level delta hook: the engine mirrors /lsa/*
+                // without ever re-decoding the subtree wholesale.
+                r.watch_prefix(LSA_PREFIX);
+                r
+            },
+            engine: RouteEngine::new(0),
             n1: Vec::new(),
             conns: HashMap::new(),
             raw: HashMap::new(),
@@ -377,6 +377,7 @@ impl Ipcp {
         self.addr = addr;
         self.block = (addr, addr);
         self.rib.set_origin(addr);
+        self.engine.set_self(addr);
         self.enrolled = true;
         self.rib.write_local(&format!("/members/{}", self.name.key()), "member", encode_addr(addr));
         self.drain_rib();
@@ -681,64 +682,69 @@ impl Ipcp {
         self.lsa_last_write = self.clock;
         self.advertised = neigh.clone();
         let lsa = Lsa { neighbors: neigh.into_iter().map(|a| (a, 1)).collect() };
-        let value = lsa.encode();
-        self.lsa_cache.insert(self.addr, lsa);
-        self.rib.write_local(&Lsa::object_name(self.addr), LSA_CLASS, value);
+        self.rib.write_local(&Lsa::object_name(self.addr), LSA_CLASS, lsa.encode());
         self.drain_rib();
     }
 
-    /// Keep the decoded LSA mirror in step with one applied object.
-    fn update_lsa_cache(&mut self, obj: &RibObject) {
-        if obj.class != LSA_CLASS {
-            return;
-        }
-        let Ok(addr) = obj.name[LSA_PREFIX.len().min(obj.name.len())..].parse::<u64>() else {
-            return;
-        };
-        if obj.deleted {
-            self.lsa_cache.remove(&addr);
-        } else if let Ok(l) = Lsa::decode(&obj.value) {
-            self.lsa_cache.insert(addr, l);
+    /// Drain the RIB's `/lsa/*` watch queue into the routing engine —
+    /// the single funnel through which the engine's graph mirror learns
+    /// of LSA changes, whatever path stored them (local write, flood,
+    /// delta response, enrollment snapshot, tombstone).
+    fn sync_engine(&mut self) {
+        while let Some(o) = self.rib.poll_watch() {
+            if o.class != LSA_CLASS {
+                continue;
+            }
+            let Some(addr) = Lsa::addr_of_name(&o.name) else { continue };
+            if o.deleted {
+                self.engine.on_lsa(addr, None);
+            } else if let Ok(lsa) = Lsa::decode(&o.value) {
+                self.engine.on_lsa(addr, Some(lsa));
+            }
+            // An undecodable live value keeps the last good mirror entry:
+            // withdrawing routes over a corrupt (or future-format) update
+            // would turn one bad PDU into an outage.
         }
     }
 
-    /// Apply one received object (event-free) and mirror LSA changes
-    /// into the decoded cache. Returns whether it was news.
-    fn apply_obj(&mut self, obj: RibObject) -> bool {
-        let cached = if obj.class == LSA_CLASS { Some(obj.clone()) } else { None };
-        if !self.rib.apply_remote_silent(obj) {
-            return false;
-        }
-        if let Some(o) = cached {
-            self.update_lsa_cache(&o);
-        }
-        true
-    }
-
-    /// Number of LSAs currently held (drives the adaptive recompute
-    /// debounce: recomputation cost scales with LSA count, so its
-    /// debounce window should too).
+    /// Number of LSAs currently mirrored (drives the adaptive recompute
+    /// debounce for full recomputations: their cost scales with the LSA
+    /// count, so the fallback's debounce window should too).
     pub fn lsa_count(&self) -> usize {
-        self.lsa_cache.len()
+        self.engine.lsa_count()
     }
 
-    /// Recompute the forwarding table from the decoded LSA mirror.
-    fn recompute_routes(&mut self) {
-        self.routes_dirty = false;
-        self.fwd = compute_routes(self.addr, &self.lsa_cache);
+    /// Current forwarding table (step one: destination → next hops).
+    pub fn fwd(&self) -> &crate::routing::ForwardingTable {
+        self.engine.table()
+    }
+
+    /// SPF counters (full vs incremental invocations, patched entries).
+    pub fn route_stats(&self) -> EngineStats {
+        self.engine.stats
     }
 
     /// Whether a debounced route recomputation is wanted (the node arms
-    /// a short timer and calls [`Ipcp::recompute_routes_now`]).
-    pub fn routes_dirty(&self) -> bool {
-        self.routes_dirty
+    /// a short timer and calls [`Ipcp::recompute_routes_now`]). Drains
+    /// the RIB's delta hook first, so the answer reflects everything
+    /// stored so far whichever path stored it.
+    pub fn routes_dirty(&mut self) -> bool {
+        self.sync_engine();
+        self.engine.dirty()
     }
 
-    /// Run the deferred Dijkstra (no-op when nothing changed).
+    /// Whether the queued LSA deltas include one classified for the
+    /// full-recomputation fallback (own-LSA change). Delta-classified
+    /// batches are cheap, so the node debounces them on a short constant
+    /// instead of the LSA-count-stretched window.
+    pub fn pending_full_recompute(&self) -> bool {
+        self.engine.pending_full()
+    }
+
+    /// Run the deferred SPF (no-op when nothing changed).
     pub fn recompute_routes_now(&mut self) {
-        if self.routes_dirty {
-            self.recompute_routes();
-        }
+        self.sync_engine();
+        self.engine.recompute();
     }
 
     // ------------------------------------------------------------------
@@ -980,6 +986,7 @@ impl Ipcp {
         self.addr = addr;
         self.block = if block == (0, 0) { (addr, addr) } else { block };
         self.rib.set_origin(addr);
+        self.engine.set_self(addr);
         self.enrolled = true;
         // The port we enrolled through is our spanning-tree edge.
         if let Some(p) = self.enroll_via.and_then(|n1| self.n1.get_mut(n1)) {
@@ -988,9 +995,10 @@ impl Ipcp {
         // Requests retried before this response landed are now moot.
         self.pending.retain(|_, p| !matches!(p, Pending::Enroll));
         for o in snapshot {
-            self.apply_obj(o);
+            self.rib.apply_remote_silent(o);
         }
-        self.recompute_routes();
+        self.sync_engine();
+        self.engine.recompute();
         // Announce ourselves on every port and advertise our adjacency.
         for i in 0..self.n1.len() {
             if self.n1[i].up {
@@ -1359,7 +1367,7 @@ impl Ipcp {
         if let Some(i) = self.n1.iter().position(|p| p.up && p.peer_addr == dest) {
             return Some(i);
         }
-        let hops = self.fwd.route(dest)?;
+        let hops = self.engine.table().route(dest)?;
         for &hop in hops {
             if let Some(i) = self.n1.iter().position(|p| p.up && p.peer_addr == hop) {
                 return Some(i);
@@ -1589,18 +1597,18 @@ impl Ipcp {
                 }
             }
         }
+        // Whatever this PDU applied, surface it to the engine now so the
+        // node sees a current dirty/classification state when it decides
+        // whether (and how fast) to arm the recompute debounce.
+        self.sync_engine();
     }
 
     /// Apply one received object; when it is news, re-flood it to the
-    /// other neighbors and mark routes dirty on LSA changes (debounced:
-    /// floods of remote LSAs collapse into one Dijkstra run).
+    /// other neighbors. LSA changes reach the routing engine through the
+    /// RIB watch hook and repair on the node's debounce timer (a flood
+    /// of remote LSAs collapses into one classified SPF repair).
     fn apply_and_reflood(&mut self, obj: RibObject, from_n1: usize) {
-        let lsa_changed = obj.class == LSA_CLASS;
         if self.rib.apply_remote_silent(obj.clone()) {
-            if lsa_changed {
-                self.update_lsa_cache(&obj);
-                self.routes_dirty = true;
-            }
             self.flood_rib(&obj, Some(from_n1));
         }
     }
@@ -1723,18 +1731,19 @@ impl Ipcp {
         self.forward(pdu, Time::ZERO);
     }
 
-    /// Flush RIB events (recompute routes on LSA changes) and disseminate
-    /// queued updates to all live neighbors.
+    /// Flush RIB events, feed the engine, and disseminate queued updates
+    /// to all live neighbors. Own-LSA changes recompute immediately
+    /// (they are rare and latency-sensitive — failure rerouting,
+    /// enrollment — and they require the full path anyway); remote
+    /// deltas keep waiting for the node's debounce timer and ride along
+    /// in whichever recomputation runs first.
     fn drain_rib(&mut self) {
-        let mut lsa_changed = false;
         while let Some(ev) = self.rib.poll_event() {
-            if ev.object().class == LSA_CLASS {
-                lsa_changed = true;
-            }
             let _ = matches!(ev, RibEvent::Deleted(_));
         }
-        if lsa_changed {
-            self.recompute_routes();
+        self.sync_engine();
+        if self.engine.pending_full() {
+            self.engine.recompute();
         }
         let mut updates = Vec::new();
         while let Some(o) = self.rib.poll_dissemination() {
@@ -2154,5 +2163,88 @@ mod tests {
         r.add_n1(N1Kind::Phys { iface: 0, mtu: 1500 });
         r.on_frame(0, Bytes::from_static(b"\xde\xad\xbe\xef"), Time::ZERO);
         assert_eq!(r.stats.decode_errors, 1);
+    }
+
+    fn lsa_obj(addr: Addr, neighbors: &[(Addr, u32)], version: u64, deleted: bool) -> RibObject {
+        RibObject {
+            name: Lsa::object_name(addr),
+            class: LSA_CLASS.into(),
+            value: if deleted {
+                Bytes::new()
+            } else {
+                Lsa { neighbors: neighbors.to_vec() }.encode()
+            },
+            version,
+            origin: addr,
+            deleted,
+        }
+    }
+
+    /// Regression: a member whose LSA is *removed* must leave every
+    /// peer's graph mirror — through whichever path the tombstone (or a
+    /// local deletion) reaches the RIB. Before the watch-hook funnel,
+    /// only the wire apply paths maintained the mirror, so a locally
+    /// deleted LSA lingered and kept routing traffic at a dead member.
+    #[test]
+    fn lsa_deletion_propagates_through_the_delta_hook() {
+        let mut a = mk("net.a");
+        a.bootstrap(1);
+        // Line 1 - 2 - 3: own LSA written locally, peers' applied as if
+        // flooded.
+        a.rib.write_local(
+            &Lsa::object_name(1),
+            LSA_CLASS,
+            Lsa { neighbors: vec![(2, 1)] }.encode(),
+        );
+        assert!(a.rib.apply_remote_silent(lsa_obj(2, &[(1, 1), (3, 1)], 1, false)));
+        assert!(a.rib.apply_remote_silent(lsa_obj(3, &[(2, 1)], 1, false)));
+        a.recompute_routes_now();
+        assert_eq!(a.fwd().route(3), Some(&[2][..]));
+        assert_eq!(a.lsa_count(), 3);
+
+        // A tombstone arrives over the wire (delta response / re-flood).
+        assert!(a.rib.apply_remote_silent(lsa_obj(3, &[], 2, true)));
+        assert!(a.routes_dirty(), "the delta hook saw the deletion");
+        a.recompute_routes_now();
+        assert_eq!(a.fwd().route(3), None, "deleted LSA must not linger in the mirror");
+        assert_eq!(a.lsa_count(), 2);
+
+        // The purely local deletion path (no wire apply involved).
+        a.rib.delete_local(&Lsa::object_name(2));
+        a.recompute_routes_now();
+        assert_eq!(a.fwd().route(2), None);
+        assert_eq!(a.lsa_count(), 1, "only our own LSA remains mirrored");
+    }
+
+    /// A live LSA whose value does not decode must not be treated as a
+    /// withdrawal: the mirror keeps the last good advertisement (one
+    /// corrupt or future-format update must not cause an outage). A
+    /// foreign-class object squatting under `/lsa/` is ignored entirely.
+    #[test]
+    fn undecodable_lsa_value_keeps_last_good_mirror_entry() {
+        let mut a = mk("net.a");
+        a.bootstrap(1);
+        a.rib.write_local(
+            &Lsa::object_name(1),
+            LSA_CLASS,
+            Lsa { neighbors: vec![(2, 1)] }.encode(),
+        );
+        assert!(a.rib.apply_remote_silent(lsa_obj(2, &[(1, 1)], 1, false)));
+        a.recompute_routes_now();
+        assert_eq!(a.fwd().route(2), Some(&[2][..]));
+        // A newer version with a truncated (undecodable) value arrives.
+        let mut bad = lsa_obj(2, &[], 2, false);
+        bad.value = Bytes::from_static(b"\xff");
+        assert!(a.rib.apply_remote_silent(bad));
+        a.recompute_routes_now();
+        assert_eq!(a.fwd().route(2), Some(&[2][..]), "last good LSA still routes");
+        assert_eq!(a.lsa_count(), 2);
+        // A non-lsa-class object under the /lsa/ prefix never reaches
+        // the engine.
+        let mut alien = lsa_obj(9, &[(1, 1)], 1, false);
+        alien.class = "dir".into();
+        assert!(a.rib.apply_remote_silent(alien));
+        a.recompute_routes_now();
+        assert_eq!(a.lsa_count(), 2, "foreign class ignored by the mirror");
     }
 }

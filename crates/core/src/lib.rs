@@ -18,8 +18,10 @@
 //! * [`ipcp`] — the IPC process: data transfer (relay + multiplex),
 //!   transfer control (EFCP), and management (enrollment §5.2, flow
 //!   allocation §5.3, RIEP over the RIB).
-//! * [`routing`] — link-state routing per DIF and the **two-step
-//!   forwarding** of Figure 4 (next-hop address, then live (N-1) path).
+//! * [`routing`] (the `rina-routing` crate) — link-state routing per DIF:
+//!   the incremental [`routing::RouteEngine`] (LSA graph mirror, dynamic
+//!   SPF, delta-patched tables) and the **two-step forwarding** of
+//!   Figure 4 (next-hop address, then live (N-1) path).
 //! * [`node`] — the IPC manager of one machine; hosts applications and the
 //!   DIF stack.
 //! * [`net`] — declarative construction of whole internetworks through
@@ -88,7 +90,7 @@ pub mod net;
 pub mod node;
 pub mod qos;
 pub mod rmt;
-pub mod routing;
+pub use rina_routing as routing;
 pub mod scenario;
 
 pub use app::{AppProcess, FlowOrigin, IpcApi, IpcError};

@@ -709,14 +709,18 @@ impl Node {
         for i in dirty {
             if self.ipcps[i].routes_dirty() && self.routes_armed.insert(i) {
                 // Debounce window from the DIF's policy bundle: a burst
-                // of flooded LSAs costs one Dijkstra run, not one per
-                // update, and experiments can sweep the window. The
-                // configured value is a floor — recomputation cost
-                // scales with the LSA count, so the window stretches
-                // with it (1000 members → 100 ms) instead of letting
-                // huge DIFs spend their assembly in Dijkstra.
-                let cfg = self.ipcps[i].cfg.recompute_debounce_ms;
-                let d = Dur::from_millis(cfg.max(self.ipcps[i].lsa_count() as u64 / 10));
+                // of flooded LSAs costs one SPF repair, not one per
+                // update. Delta-classified batches repair incrementally
+                // (cost tracks the change), so they run on a small
+                // constant; only the full-recomputation fallback keeps
+                // the LSA-count-stretched floor (1000 members → 100 ms),
+                // since its cost scales with the whole LSA set.
+                let d = if self.ipcps[i].pending_full_recompute() {
+                    let floor = self.ipcps[i].cfg.recompute_debounce_ms;
+                    Dur::from_millis(floor.max(self.ipcps[i].lsa_count() as u64 / 10))
+                } else {
+                    Dur::from_millis(self.ipcps[i].cfg.recompute_delta_debounce_ms)
+                };
                 self.arm(ctx, d, TimerKind::Routes { ipcp: i });
             }
             if self.ipcps[i].lsa_flush_wanted() && self.lsa_armed.insert(i) {

@@ -86,7 +86,7 @@ fn lossy_streamed_snapshots_repaired_by_digest_anti_entropy() {
         net.run_for(Dur::from_millis(500));
         let done = ipcps.iter().all(|&h| {
             let ip = net.ipcp(h);
-            ip.rib.iter_prefix("/members/").count() == n && ip.fwd.len() == n - 1
+            ip.rib.iter_prefix("/members/").count() == n && ip.fwd().len() == n - 1
         });
         if done {
             break;
@@ -100,7 +100,7 @@ fn lossy_streamed_snapshots_repaired_by_digest_anti_entropy() {
             "{} missing members despite anti-entropy",
             ip.name
         );
-        assert_eq!(ip.fwd.len(), n - 1, "{} cannot reach everyone", ip.name);
+        assert_eq!(ip.fwd().len(), n - 1, "{} cannot reach everyone", ip.name);
     }
 }
 
@@ -124,7 +124,7 @@ fn hundred_member_scale_free_converges_via_subtree_deltas_under_loss() {
         net.run_for(Dur::from_millis(500));
         let done = ipcps.iter().all(|&h| {
             let ip = net.ipcp(h);
-            ip.rib.iter_prefix("/members/").count() == n && ip.fwd.len() == n - 1
+            ip.rib.iter_prefix("/members/").count() == n && ip.fwd().len() == n - 1
         });
         if done {
             break;
@@ -139,7 +139,7 @@ fn hundred_member_scale_free_converges_via_subtree_deltas_under_loss() {
             "{} missing members despite anti-entropy",
             ip.name
         );
-        assert_eq!(ip.fwd.len(), n - 1, "{} cannot reach everyone", ip.name);
+        assert_eq!(ip.fwd().len(), n - 1, "{} cannot reach everyone", ip.name);
         delta_requests += ip.stats.delta_requests;
     }
     assert!(delta_requests > 0, "losses at 10% must have exercised the delta machinery");

@@ -349,7 +349,7 @@ fn barabasi_albert_sixty_nodes_assemble_and_route() {
     net.run_for(Dur::from_secs(5));
     assert!(mesh.all_done(&net), "rtts: {:?}", mesh.rtts(&net));
     // The hub carries state for the whole 60-member scope.
-    assert!(net.ipcp(hub_ipcp).fwd.len() >= 30, "hub fwd {}", net.ipcp(hub_ipcp).fwd.len());
+    assert!(net.ipcp(hub_ipcp).fwd().len() >= 30, "hub fwd {}", net.ipcp(hub_ipcp).fwd().len());
 }
 
 /// Applications never see addresses: the API surface carries only names

@@ -299,6 +299,10 @@ pub struct Rib {
     /// Per-subtree `(count, digest)`, maintained incrementally alongside
     /// the whole-RIB digest (keys are [`subtree_of`] results).
     subtrees: BTreeMap<String, (u64, u64)>,
+    /// Name prefixes with a change subscription (see [`Rib::watch_prefix`]).
+    watch_prefixes: Vec<String>,
+    /// Stored objects matching a watched prefix, in application order.
+    watch_q: VecDeque<RibObject>,
 }
 
 impl Rib {
@@ -334,9 +338,31 @@ impl Rib {
         self.outbox.push_back(obj);
     }
 
+    /// Subscribe to object-level changes under `prefix`: every stored
+    /// version (local write, remote apply, tombstone — *any* path into
+    /// the RIB) whose name starts with `prefix` is queued for
+    /// [`Rib::poll_watch`]. This is the delta hook consumers like the
+    /// routing engine use to mirror a subtree incrementally instead of
+    /// re-decoding it: because it sits on the single store choke point,
+    /// deletions propagate exactly like upserts, whichever protocol path
+    /// delivered them.
+    pub fn watch_prefix(&mut self, prefix: &str) {
+        if !self.watch_prefixes.iter().any(|p| p == prefix) {
+            self.watch_prefixes.push(prefix.to_string());
+        }
+    }
+
+    /// Drain the next watched change (in application order).
+    pub fn poll_watch(&mut self) -> Option<RibObject> {
+        self.watch_q.pop_front()
+    }
+
     /// Insert `obj`, keeping the incremental digests (whole-RIB and
     /// per-subtree) in sync.
     fn store(&mut self, obj: RibObject) {
+        if self.watch_prefixes.iter().any(|p| obj.name.starts_with(p.as_str())) {
+            self.watch_q.push_back(obj.clone());
+        }
         let st = subtree_of(&obj.name);
         // get_mut-then-insert instead of the entry API: the common case
         // (subtree exists) must not allocate an owned key per store —
@@ -828,6 +854,39 @@ mod tests {
         let (send, behind) = a.delta_for("/lsa", "", "", &[]);
         assert_eq!(send.len(), 3);
         assert!(!behind);
+    }
+
+    /// The watch hook fires on every path into the store — local
+    /// writes, remote applies (silent or not), and deletions — and only
+    /// for matching prefixes.
+    #[test]
+    fn watch_prefix_sees_every_store_path() {
+        let mut a = Rib::new(1);
+        a.watch_prefix("/lsa/");
+        a.write_local("/lsa/1", "lsa", Bytes::from_static(b"x"));
+        a.write_local("/dir/app", "dir", Bytes::from_static(b"7"));
+        let remote = RibObject {
+            name: "/lsa/9".into(),
+            class: "lsa".into(),
+            value: Bytes::from_static(b"y"),
+            version: 3,
+            origin: 9,
+            deleted: false,
+        };
+        assert!(a.apply_remote_silent(remote.clone()));
+        assert!(!a.apply_remote_silent(remote), "stale apply must not re-notify");
+        a.delete_local("/lsa/1");
+        let seen: Vec<(String, bool)> =
+            std::iter::from_fn(|| a.poll_watch()).map(|o| (o.name, o.deleted)).collect();
+        assert_eq!(
+            seen,
+            vec![
+                ("/lsa/1".to_string(), false),
+                ("/lsa/9".to_string(), false),
+                ("/lsa/1".to_string(), true),
+            ],
+            "application order, deletions included, /dir ignored"
+        );
     }
 
     /// Regression: with a linear fingerprint, the digest *difference* of

@@ -1,9 +1,9 @@
-//! Routing within one DIF, and the two-step forwarding of Figure 4.
+//! # rina-routing — routing within one DIF, as a maintained data structure
 //!
 //! Routing runs over the RIB: every member floods a link-state object
 //! (`/lsa/<addr>`) listing its neighbor addresses and costs. Each member
-//! runs Dijkstra over the collected LSAs to produce a [`ForwardingTable`]
-//! mapping destination address → equal-cost *next-hop addresses*.
+//! turns the collected LSAs into a [`ForwardingTable`] mapping destination
+//! address → equal-cost *next-hop addresses*.
 //!
 //! Crucially — and this is the paper's resolution of multihoming (§6.3) —
 //! the table stops at the next hop. Choosing *which (N-1) path* reaches the
@@ -11,15 +11,31 @@
 //! separate step performed at transmission time against the live set of
 //! (N-1) flows. A PoA failing therefore never invalidates the route, only
 //! the local binding.
+//!
+//! Two ways to produce the table live here:
+//!
+//! * [`compute_routes`] — one from-scratch Dijkstra over a full LSA set.
+//!   The reference semantics, and the fallback.
+//! * [`RouteEngine`] — the long-lived per-IPCP engine: an incrementally
+//!   maintained graph mirror fed by LSA *deltas*, dynamic SPF that repairs
+//!   only the affected shortest-path region, and delta application into the
+//!   forwarding table ([`ForwardingTable::patch`]). A join that touches one
+//!   subtree no longer costs a DIF-wide recomputation at every member.
+
+#![warn(missing_docs)]
 
 use bytes::Bytes;
 use rina_wire::codec::{Reader, Writer};
-use rina_wire::{Addr, WireError};
+pub use rina_wire::Addr;
+use rina_wire::WireError;
 use std::collections::{BinaryHeap, HashMap};
 use std::hash::{BuildHasherDefault, Hasher};
 
+mod engine;
+pub use engine::{EngineStats, RouteEngine};
+
 /// Multiply-xor hasher for the integer-keyed maps of the route
-/// computation. Dijkstra runs once per debounce window per member —
+/// computation. SPF runs once per debounce window per member —
 /// thousands of times during a big assembly — and SipHash was the
 /// single largest line item in those runs. Keys are small integers the
 /// simulation controls, so DoS resistance buys nothing here.
@@ -45,8 +61,8 @@ impl Hasher for IntHasher {
     }
 }
 
-type IntMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<IntHasher>>;
-type IntSet<K> = std::collections::HashSet<K, BuildHasherDefault<IntHasher>>;
+pub(crate) type IntMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<IntHasher>>;
+pub(crate) type IntSet<K> = std::collections::HashSet<K, BuildHasherDefault<IntHasher>>;
 
 /// RIB object name prefix for link-state advertisements.
 pub const LSA_PREFIX: &str = "/lsa/";
@@ -89,6 +105,12 @@ impl Lsa {
     pub fn object_name(addr: Addr) -> String {
         format!("{LSA_PREFIX}{addr}")
     }
+
+    /// The member address an LSA object name advertises for, if the name
+    /// is well-formed (`/lsa/<addr>`).
+    pub fn addr_of_name(name: &str) -> Option<Addr> {
+        name.strip_prefix(LSA_PREFIX)?.parse().ok()
+    }
 }
 
 /// Destination → equal-cost next-hop addresses (step one of two).
@@ -101,7 +123,7 @@ impl Lsa {
 /// the *aggregated* table size tracks the local degree rather than the
 /// DIF's member count. Lookup semantics are unchanged: only addresses
 /// that were actually reachable at compute time resolve.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ForwardingTable {
     /// Sorted, disjoint `(lo, hi, hops)` ranges over present destinations.
     ranges: Vec<(Addr, Addr, Vec<Addr>)>,
@@ -157,11 +179,90 @@ impl ForwardingTable {
     pub fn destinations(&self) -> impl Iterator<Item = Addr> + '_ {
         self.ranges.iter().flat_map(|&(lo, hi, _)| lo..=hi)
     }
+
+    /// Apply per-destination changes — `Some(hops)` upserts an entry,
+    /// `None` removes it — re-aggregating only around the touched
+    /// addresses. `changes` must be sorted by address with unique keys
+    /// (a `BTreeMap` iterator qualifies). Cost is
+    /// O(aggregated entries + changes), **not** O(destinations): the
+    /// delta path that lets a join touching one subtree skip rebuilding
+    /// and re-sorting the whole table. Returns how many destination
+    /// addresses actually changed (no-op changes are not counted).
+    ///
+    /// The result is canonical: byte-identical to a full rebuild with
+    /// the same final contents (pinned by the crate's proptests).
+    pub fn patch(&mut self, changes: &[(Addr, Option<Vec<Addr>>)]) -> usize {
+        debug_assert!(changes.windows(2).all(|w| w[0].0 < w[1].0), "changes sorted & unique");
+        if changes.is_empty() {
+            return 0;
+        }
+        let mut out: Vec<(Addr, Addr, Vec<Addr>)> = Vec::with_capacity(self.ranges.len() + 4);
+        // Emit one destination (or a whole untouched run) into `out`,
+        // merging with the previous entry when contiguous and equal.
+        fn push_run(out: &mut Vec<(Addr, Addr, Vec<Addr>)>, lo: Addr, hi: Addr, hops: Vec<Addr>) {
+            match out.last_mut() {
+                Some((_, phi, ph)) if *phi + 1 == lo && *ph == hops => *phi = hi,
+                _ => out.push((lo, hi, hops)),
+            }
+        }
+        let mut changed = 0usize;
+        let mut ch = changes.iter().peekable();
+        for (lo, hi, hops) in std::mem::take(&mut self.ranges) {
+            // Changes strictly before this range are pure inserts.
+            while let Some(&&(a, ref new)) = ch.peek() {
+                if a >= lo {
+                    break;
+                }
+                if let Some(h) = new {
+                    push_run(&mut out, a, a, h.clone());
+                    changed += 1;
+                }
+                ch.next();
+            }
+            // Walk the range, splitting at touched addresses.
+            let mut cur = lo;
+            while let Some(&&(a, ref new)) = ch.peek() {
+                if a > hi {
+                    break;
+                }
+                if a > cur {
+                    push_run(&mut out, cur, a - 1, hops.clone());
+                }
+                match new {
+                    Some(h) => {
+                        if *h != hops {
+                            changed += 1;
+                        }
+                        push_run(&mut out, a, a, h.clone());
+                    }
+                    None => changed += 1,
+                }
+                cur = a + 1;
+                ch.next();
+            }
+            if cur <= hi {
+                push_run(&mut out, cur, hi, hops);
+            }
+        }
+        // Changes past the last range are pure inserts.
+        for (a, new) in ch {
+            if let Some(h) = new {
+                push_run(&mut out, *a, *a, h.clone());
+                changed += 1;
+            }
+        }
+        self.ranges = out;
+        changed
+    }
 }
 
 /// Compute the forwarding table at `self_addr` from a set of LSAs
 /// (`origin address → Lsa`). An edge is used only if *both* endpoints
 /// advertise it, so a one-sided stale LSA cannot route into a dead link.
+///
+/// This is the reference semantics: [`RouteEngine`] must produce (and in
+/// debug builds asserts) byte-identical tables while doing only
+/// delta-proportional work.
 pub fn compute_routes(self_addr: Addr, lsas: &HashMap<Addr, Lsa>) -> ForwardingTable {
     // Addresses are mapped to dense indices and the whole computation
     // runs over Vec-indexed state: a member of a big DIF recomputes
@@ -333,6 +434,9 @@ mod tests {
     #[test]
     fn object_names() {
         assert_eq!(Lsa::object_name(17), "/lsa/17");
+        assert_eq!(Lsa::addr_of_name("/lsa/17"), Some(17));
+        assert_eq!(Lsa::addr_of_name("/dir/17"), None);
+        assert_eq!(Lsa::addr_of_name("/lsa/x"), None);
     }
 
     #[test]
@@ -369,5 +473,41 @@ mod tests {
         assert_eq!(t.route(4), Some(&[4][..]));
         let dests: Vec<Addr> = t.destinations().collect();
         assert_eq!(dests, vec![2, 4]);
+    }
+
+    /// Rebuild a table from a plain map (the reference for patch tests).
+    fn table_of(entries: &[(Addr, &[Addr])]) -> ForwardingTable {
+        ForwardingTable::from_next_hops(entries.iter().map(|&(a, h)| (a, h.to_vec())).collect())
+    }
+
+    #[test]
+    fn patch_upserts_removes_and_reaggregates() {
+        let mut t = table_of(&[(2, &[2]), (3, &[2]), (4, &[2]), (6, &[6])]);
+        assert_eq!(t.aggregated_len(), 2);
+        // Remove the middle of the run, retarget 6, insert 5 and 9.
+        let n = t.patch(&[(3, None), (5, Some(vec![6])), (6, Some(vec![2])), (9, Some(vec![2]))]);
+        assert_eq!(n, 4);
+        let want = table_of(&[(2, &[2]), (4, &[2]), (5, &[6]), (6, &[2]), (9, &[2])]);
+        assert_eq!(t, want, "patched table is canonical");
+        // A no-op change counts nothing and changes nothing.
+        let before = t.clone();
+        assert_eq!(t.patch(&[(2, Some(vec![2])), (7, None)]), 0);
+        assert_eq!(t, before);
+    }
+
+    #[test]
+    fn patch_merges_across_filled_gap() {
+        let mut t = table_of(&[(2, &[2]), (4, &[2])]);
+        assert_eq!(t.aggregated_len(), 2);
+        assert_eq!(t.patch(&[(3, Some(vec![2]))]), 1);
+        assert_eq!(t.aggregated_len(), 1, "filling the gap re-merges the run");
+        assert_eq!(t, table_of(&[(2, &[2]), (3, &[2]), (4, &[2])]));
+    }
+
+    #[test]
+    fn patch_on_empty_table_inserts() {
+        let mut t = ForwardingTable::default();
+        assert_eq!(t.patch(&[(5, Some(vec![1])), (6, Some(vec![1])), (8, None)]), 2);
+        assert_eq!(t, table_of(&[(5, &[1]), (6, &[1])]));
     }
 }

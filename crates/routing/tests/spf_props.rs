@@ -1,0 +1,149 @@
+//! The tentpole invariant of the routing engine: after any sequence of
+//! LSA mutations (edge add / edge remove / cost change / one-sided
+//! withdrawal / whole-LSA deletion), the incrementally repaired
+//! forwarding table is **byte-identical** to a from-scratch
+//! [`compute_routes`] over the same mirror — equal-cost next-hop sets
+//! included.
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rina_routing::{compute_routes, Addr, Lsa, RouteEngine};
+use std::collections::BTreeMap;
+
+/// Advertisement model: origin → (neighbor → cost). A row's presence is
+/// "this member has a (possibly empty) LSA"; absence is a deleted LSA.
+type Model = BTreeMap<Addr, BTreeMap<Addr, u32>>;
+
+fn lsa_of(row: &BTreeMap<Addr, u32>) -> Lsa {
+    Lsa { neighbors: row.iter().map(|(&a, &c)| (a, c)).collect() }
+}
+
+/// Push `origin`'s current model row (or deletion) into the engine.
+fn sync(e: &mut RouteEngine, model: &Model, origin: Addr) {
+    e.on_lsa(origin, model.get(&origin).map(lsa_of));
+}
+
+/// One random mutation; returns the origins whose LSAs changed.
+fn mutate(model: &mut Model, rng: &mut rand::rngs::SmallRng, n: Addr) -> Vec<Addr> {
+    let a = rng.gen_range(1..=n);
+    let b = {
+        let mut b = rng.gen_range(1..=n);
+        while b == a {
+            b = rng.gen_range(1..=n);
+        }
+        b
+    };
+    match rng.gen_range(0..10u32) {
+        // Symmetric edge add (fresh costs each side — they may differ).
+        0..=3 => {
+            model.entry(a).or_default().insert(b, rng.gen_range(1..=4u32));
+            model.entry(b).or_default().insert(a, rng.gen_range(1..=4u32));
+            vec![a, b]
+        }
+        // Symmetric edge remove.
+        4..=5 => {
+            model.entry(a).or_default().remove(&b);
+            model.entry(b).or_default().remove(&a);
+            vec![a, b]
+        }
+        // One-sided withdrawal: a stops advertising b (stale peer LSA).
+        6 => {
+            model.entry(a).or_default().remove(&b);
+            vec![a]
+        }
+        // Cost change on one advertised direction.
+        7..=8 => {
+            let row = model.entry(a).or_default();
+            if row.contains_key(&b) {
+                row.insert(b, rng.gen_range(1..=4u32));
+            }
+            vec![a]
+        }
+        // Whole-LSA deletion (the member's object was tombstoned).
+        _ => {
+            model.remove(&a);
+            vec![a]
+        }
+    }
+}
+
+proptest! {
+    /// ≥64 random mutation sequences (the default case count), each a
+    /// few dozen steps with randomly sized delta batches between
+    /// recomputations. After every recomputation the engine's table must
+    /// equal the from-scratch reference. (Debug builds additionally
+    /// self-assert inside the engine on every recompute.)
+    #[test]
+    fn incremental_spf_equals_full_dijkstra(seed in proptest::prelude::any::<u64>()) {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let n: Addr = rng.gen_range(4..=12u64);
+        let src: Addr = rng.gen_range(1..=n);
+        let mut model = Model::new();
+        let mut engine = RouteEngine::new(src);
+        // Seed a connected-ish start so the first full run is non-trivial.
+        for a in 1..=n {
+            let b = if a == n { 1 } else { a + 1 };
+            model.entry(a).or_default().insert(b, 1);
+            model.entry(b).or_default().insert(a, 1);
+        }
+        for a in 1..=n {
+            sync(&mut engine, &model, a);
+        }
+        engine.recompute();
+        prop_assert_eq!(engine.table(), &compute_routes(src, engine.mirror()));
+
+        for _ in 0..30 {
+            // A batch of 1–3 mutations lands before one recomputation
+            // (floods arrive in bursts; the debounce coalesces them).
+            for _ in 0..rng.gen_range(1..=3u32) {
+                for origin in mutate(&mut model, &mut rng, n) {
+                    sync(&mut engine, &model, origin);
+                }
+            }
+            engine.recompute();
+            prop_assert_eq!(engine.table(), &compute_routes(src, engine.mirror()));
+        }
+        // The mirror itself must match the model (deletions propagate).
+        prop_assert_eq!(engine.lsa_count(), model.len());
+    }
+}
+
+/// ECMP pin: delta repair must preserve — and correctly extend —
+/// equal-cost next-hop *sets*, not just distances.
+#[test]
+fn delta_repair_preserves_ecmp_next_hop_sets() {
+    // Diamond 1-{2,3}-4, then a tail 4-5.
+    let mut e = RouteEngine::new(1);
+    let mut model = Model::new();
+    for (a, b) in [(1, 2), (1, 3), (2, 4), (3, 4), (4, 5)] {
+        model.entry(a).or_default().insert(b, 1);
+        model.entry(b).or_default().insert(a, 1);
+    }
+    for &a in model.keys().collect::<Vec<_>>() {
+        sync(&mut e, &model, a);
+    }
+    e.recompute();
+    assert_eq!(e.table().route(4), Some(&[2, 3][..]), "both diamond arms");
+    assert_eq!(e.table().route(5), Some(&[2, 3][..]), "tail inherits the set");
+
+    // An unrelated leaf joins at 5: repair must not disturb the sets.
+    model.entry(5).or_default().insert(6, 1);
+    model.entry(6).or_default().insert(5, 1);
+    sync(&mut e, &model, 5);
+    sync(&mut e, &model, 6);
+    e.recompute();
+    assert!(e.stats.spf_incremental >= 1, "leaf join repaired incrementally");
+    assert_eq!(e.table().route(4), Some(&[2, 3][..]));
+    assert_eq!(e.table().route(6), Some(&[2, 3][..]));
+
+    // Cutting one arm (2-4) shrinks every downstream set — same
+    // distance for 4 is impossible now, so paths re-route via 3 only.
+    model.entry(2).or_default().remove(&4);
+    model.entry(4).or_default().remove(&2);
+    sync(&mut e, &model, 2);
+    sync(&mut e, &model, 4);
+    e.recompute();
+    assert_eq!(e.table().route(4), Some(&[3][..]));
+    assert_eq!(e.table().route(6), Some(&[3][..]));
+    assert_eq!(e.table(), &compute_routes(1, e.mirror()));
+}

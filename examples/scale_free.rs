@@ -37,8 +37,8 @@ fn main() {
     println!(
         "hub degree = {}, hub reaches {} members via {} aggregated ranges",
         deg.iter().max().unwrap(),
-        net.ipcp(hub_ipcp).fwd.len(),
-        net.ipcp(hub_ipcp).fwd.aggregated_len()
+        net.ipcp(hub_ipcp).fwd().len(),
+        net.ipcp(hub_ipcp).fwd().aggregated_len()
     );
     println!("ok: one repeating structure, one hundred members, four lines of wiring");
 }
