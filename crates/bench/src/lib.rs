@@ -12,6 +12,7 @@
 //! *shape* — who wins, where, and why — with the current-Internet
 //! architecture (`inet`) as baseline under identical physical conditions.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use rina::prelude::*;

@@ -31,7 +31,7 @@ use rina_efcp::{ConnId, Connection};
 use rina_rib::{subtree_of, DigestTable, Rib, RibEvent, RibObject};
 use rina_sim::{Dur, Time};
 use rina_wire::{CdapMsg, CepId, MgmtPdu, Pdu};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// CDAP result code a sponsor returns when its admission window is full:
 /// not a refusal — the joiner should back off and retry.
@@ -285,16 +285,16 @@ pub struct Ipcp {
     /// immediately (failure rerouting stays fast).
     engine: RouteEngine,
     n1: Vec<N1Port>,
-    conns: HashMap<CepId, FlowState>,
-    raw: HashMap<CepId, RawFlow>,
+    conns: BTreeMap<CepId, FlowState>,
+    raw: BTreeMap<CepId, RawFlow>,
     next_cep: CepId,
     next_invoke: u32,
-    pending: HashMap<u32, Pending>,
+    pending: BTreeMap<u32, Pending>,
     enroll_via: Option<usize>,
     /// Joiners admitted but not yet confirmed up (first hello pending):
     /// joiner name → (admitted at, granted address, granted block). Size
     /// is capped by the DIF's admission window.
-    admitting: HashMap<AppName, (Time, Addr, (Addr, Addr))>,
+    admitting: BTreeMap<AppName, (Time, Addr, (Addr, Addr))>,
     /// Backoff hint from the last busy sponsor response; the node's
     /// enrollment-retry timer consumes it.
     retry_hint: Option<Dur>,
@@ -349,13 +349,13 @@ impl Ipcp {
             },
             engine: RouteEngine::new(0),
             n1: Vec::new(),
-            conns: HashMap::new(),
-            raw: HashMap::new(),
+            conns: BTreeMap::new(),
+            raw: BTreeMap::new(),
             next_cep: 1,
             next_invoke: 1,
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             enroll_via: None,
-            admitting: HashMap::new(),
+            admitting: BTreeMap::new(),
             retry_hint: None,
             out: Vec::new(),
             stats: IpcpStats::default(),
@@ -1218,10 +1218,10 @@ impl Ipcp {
     /// notifying the peer.
     pub fn dealloc_port(&mut self, port: u64) {
         if self.is_shim {
-            let Some((&cep, _)) = self.raw.iter().find(|(_, r)| r.port == port) else {
+            let Some(cep) = self.raw.iter().find(|(_, r)| r.port == port).map(|(&c, _)| c) else {
                 return;
             };
-            let r = self.raw.remove(&cep).expect("present");
+            let Some(r) = self.raw.remove(&cep) else { return };
             if r.phase == Phase::Active {
                 let peer_addr = if self.addr == 1 { 2 } else { 1 };
                 let invoke = self.next_invoke();
@@ -1230,10 +1230,10 @@ impl Ipcp {
             }
             return;
         }
-        let Some((&cep, _)) = self.conns.iter().find(|(_, f)| f.port == port) else {
+        let Some(cep) = self.conns.iter().find(|(_, f)| f.port == port).map(|(&c, _)| c) else {
             return;
         };
-        let f = self.conns.remove(&cep).expect("present");
+        let Some(f) = self.conns.remove(&cep) else { return };
         let id = f.conn.id();
         if f.phase == Phase::Active {
             let invoke = self.next_invoke();

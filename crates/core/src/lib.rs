@@ -78,6 +78,8 @@
 //! assert!(net.app(cs.clients[0]).done());
 //! ```
 
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 #![warn(missing_docs)]
 
 pub mod app;

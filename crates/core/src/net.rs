@@ -48,7 +48,7 @@ use crate::naming::AppName;
 use crate::node::{EnrollPlan, Node};
 use crate::qos::QosSpec;
 use rina_sim::{Dur, LinkCfg, LinkId, NodeId, Sim, Time};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::marker::PhantomData;
 
 /// When each member's enrollment plan first fires, relative to
@@ -408,7 +408,9 @@ impl NetBuilder {
                 .collect();
             // BFS from the bootstrap member over declared adjacencies.
             let boot = members[0];
-            let mut parent: HashMap<usize, (usize, Via, QosSpec)> = HashMap::new();
+            // BTreeMap: enrollment plans are installed by iterating this
+            // map, so its order must not depend on hasher state.
+            let mut parent: BTreeMap<usize, (usize, Via, QosSpec)> = BTreeMap::new();
             let mut seen = vec![boot];
             let mut q = VecDeque::from([boot]);
             while let Some(u) = q.pop_front() {
@@ -447,7 +449,7 @@ impl NetBuilder {
             // the range's first address). Joiners propose address + block
             // at enrollment, so concurrent sponsors cannot collide and
             // remote subtrees aggregate into single forwarding ranges.
-            let mut children: HashMap<usize, Vec<usize>> = HashMap::new();
+            let mut children: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
             for &v in &seen {
                 if let Some(&(p, _, _)) = parent.get(&v) {
                     children.entry(p).or_default().push(v);

@@ -226,8 +226,8 @@ impl Connection {
 
     /// Move fragments from the send queue into PDUs while window allows.
     fn pump(&mut self, now_ns: u64) {
-        while !self.sendq.is_empty() && self.next_seq < self.send_limit() {
-            let (mut flags, payload) = self.sendq.pop_front().expect("nonempty");
+        while self.next_seq < self.send_limit() {
+            let Some((mut flags, payload)) = self.sendq.pop_front() else { break };
             if self.drf_pending {
                 flags |= FLAG_DRF;
                 self.drf_pending = false;
@@ -306,11 +306,11 @@ impl Connection {
         }
         // In-order.
         self.accept_in_order(d.flags, d.payload.clone());
-        while let Some((&s, _)) = self.ooo.first_key_value() {
-            if s != self.rcv_next {
+        while let Some(e) = self.ooo.first_entry() {
+            if *e.key() != self.rcv_next {
                 break;
             }
-            let (flags, payload) = self.ooo.remove(&s).expect("present");
+            let (flags, payload) = e.remove();
             self.accept_in_order(flags, payload);
         }
         self.last_nacked = None;
@@ -513,7 +513,7 @@ impl Connection {
 
 fn concat(parts: &mut Vec<Bytes>) -> Bytes {
     if parts.len() == 1 {
-        return parts.pop().expect("len 1");
+        return parts.swap_remove(0);
     }
     let total = parts.iter().map(|p| p.len()).sum();
     let mut v = Vec::with_capacity(total);

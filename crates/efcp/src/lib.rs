@@ -12,6 +12,8 @@
 //! and delivered SDUs. The `rina` crate instantiates one `Connection` per
 //! allocated flow and wires it to the relaying/multiplexing task.
 
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 #![warn(missing_docs)]
 
 mod cong;

@@ -15,6 +15,7 @@
 //! Everything runs on the same `rina-sim` substrate as the `rina` crate,
 //! so head-to-head experiments share identical physical conditions.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod addr;

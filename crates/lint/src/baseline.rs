@@ -1,0 +1,134 @@
+//! The `lint-allow.toml` baseline: a checked-in list of accepted
+//! findings, each with a human justification. Parsed with a tiny TOML
+//! subset reader (array-of-tables with string values only) so the lint
+//! stays dependency-free.
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "D1"
+//! key = "D1|crates/bench/src/sweep.rs|std::thread"
+//! reason = "the sweep worker pool is the sanctioned OS-thread site"
+//! ```
+
+/// One accepted finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Allow {
+    /// Rule id, e.g. `"D1"`.
+    pub rule: String,
+    /// Stable finding key this entry accepts.
+    pub key: String,
+    /// Why this finding is acceptable. Must be non-empty.
+    pub reason: String,
+    /// 1-based line of the `[[allow]]` header, for diagnostics.
+    pub line: u32,
+}
+
+/// Parse the baseline file. Errors carry the offending line number.
+pub fn parse(text: &str) -> Result<Vec<Allow>, String> {
+    let mut out: Vec<Allow> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            out.push(Allow {
+                rule: String::new(),
+                key: String::new(),
+                reason: String::new(),
+                line: lineno,
+            });
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(format!("line {lineno}: only [[allow]] tables are supported"));
+        }
+        let Some(eq) = line.find('=') else {
+            return Err(format!("line {lineno}: expected `name = \"value\"`"));
+        };
+        let name = line[..eq].trim();
+        let value = parse_string(line[eq + 1..].trim())
+            .ok_or_else(|| format!("line {lineno}: value must be a double-quoted string"))?;
+        let Some(cur) = out.last_mut() else {
+            return Err(format!("line {lineno}: key/value outside any [[allow]] table"));
+        };
+        match name {
+            "rule" => cur.rule = value,
+            "key" => cur.key = value,
+            "reason" => cur.reason = value,
+            other => return Err(format!("line {lineno}: unknown field `{other}`")),
+        }
+    }
+    for a in &out {
+        if a.rule.is_empty() || a.key.is_empty() {
+            return Err(format!("line {}: [[allow]] entry needs both `rule` and `key`", a.line));
+        }
+        if a.reason.trim().is_empty() {
+            return Err(format!(
+                "line {}: entry for `{}` has no justification (`reason`)",
+                a.line, a.key
+            ));
+        }
+        if !a.key.starts_with(&format!("{}|", a.rule)) {
+            return Err(format!(
+                "line {}: key `{}` does not match rule `{}`",
+                a.line, a.key, a.rule
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// A double-quoted TOML basic string with `\"` and `\\` escapes; must
+/// span the rest of the line (a trailing comment is allowed).
+fn parse_string(s: &str) -> Option<String> {
+    let rest = s.strip_prefix('"')?;
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => out.push(chars.next()?),
+            '"' => {
+                let tail = chars.as_str().trim();
+                if tail.is_empty() || tail.starts_with('#') {
+                    return Some(out);
+                }
+                return None;
+            }
+            _ => out.push(c),
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_comments() {
+        let t = "# header\n\n[[allow]]\nrule = \"D1\"\nkey = \"D1|a.rs|Instant\"\nreason = \"harness timing\" # ok\n\n[[allow]]\nrule = \"R1\"\nkey = \"R1|b.rs|f|index\"\nreason = \"dense index\"\n";
+        let v = parse(t).unwrap();
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].key, "D1|a.rs|Instant");
+        assert_eq!(v[1].rule, "R1");
+    }
+
+    #[test]
+    fn missing_reason_rejected() {
+        let t = "[[allow]]\nrule = \"D1\"\nkey = \"D1|a.rs|Instant\"\nreason = \"  \"\n";
+        assert!(parse(t).unwrap_err().contains("justification"));
+    }
+
+    #[test]
+    fn rule_key_mismatch_rejected() {
+        let t = "[[allow]]\nrule = \"D1\"\nkey = \"D2|a.rs|m\"\nreason = \"x\"\n";
+        assert!(parse(t).unwrap_err().contains("does not match"));
+    }
+
+    #[test]
+    fn stray_assignment_rejected() {
+        assert!(parse("rule = \"D1\"\n").is_err());
+    }
+}

@@ -1,0 +1,420 @@
+//! A lightweight Rust lexer: just enough token structure for the lint
+//! rules — identifiers, punctuation, balanced delimiters, line numbers —
+//! with comments, strings, char literals, and lifetimes handled so that
+//! a `HashMap` in a doc comment or an `"Instant"` in a string literal
+//! never produces a finding.
+//!
+//! This is deliberately not a parser. The rules work on token patterns
+//! (in the style of the hand-rolled JSON reader in
+//! `crates/bench/src/compare.rs`), which keeps the whole analyzer
+//! dependency-free and fast enough to run on every file of the
+//! workspace in well under a second.
+
+/// One lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Numeric literal (value dropped).
+    Num,
+    /// String / byte-string / char literal (content dropped).
+    Lit,
+    /// `::`
+    Colon2,
+    /// `=>`
+    FatArrow,
+    /// `(`, `[`, `{`
+    Open(char),
+    /// `)`, `]`, `}`
+    Close(char),
+    /// Any other single punctuation character.
+    Punct(char),
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+impl Token {
+    /// The identifier text, if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(&self.tok, Tok::Ident(i) if i == s)
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.tok == Tok::Punct(c)
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_cont(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Tokenize Rust source. Comments (line, nested block, doc) and literal
+/// contents are dropped; everything else becomes a [`Token`] with its
+/// line number.
+pub fn lex(src: &str) -> Vec<Token> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                toks.push(Token { tok: Tok::Lit, line });
+                i = skip_string(b, i, &mut line);
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(b, i) => {
+                toks.push(Token { tok: Tok::Lit, line });
+                i = skip_prefixed_string(b, i, &mut line);
+            }
+            b'\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                let next = b.get(i + 1).copied().unwrap_or(0);
+                if is_ident_start(next) && b.get(i + 2) != Some(&b'\'') {
+                    // Lifetime: skip the quote and the identifier.
+                    i += 1;
+                    while i < b.len() && is_ident_cont(b[i]) {
+                        i += 1;
+                    }
+                } else {
+                    toks.push(Token { tok: Tok::Lit, line });
+                    i += 1; // opening quote
+                    if i < b.len() && b[i] == b'\\' {
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                    // Closing quote (tolerate malformed input).
+                    while i < b.len() && b[i] != b'\'' && b[i] != b'\n' {
+                        i += 1;
+                    }
+                    i += 1;
+                }
+            }
+            _ if is_ident_start(c) => {
+                let start = i;
+                while i < b.len() && is_ident_cont(b[i]) {
+                    i += 1;
+                }
+                toks.push(Token { tok: Tok::Ident(src[start..i].to_string()), line });
+            }
+            _ if c.is_ascii_digit() => {
+                toks.push(Token { tok: Tok::Num, line });
+                while i < b.len() && (is_ident_cont(b[i]) || b[i] == b'.') {
+                    // Stop a number before `..` so ranges stay punctuation.
+                    if b[i] == b'.' && b.get(i + 1) == Some(&b'.') {
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            b':' if b.get(i + 1) == Some(&b':') => {
+                toks.push(Token { tok: Tok::Colon2, line });
+                i += 2;
+            }
+            b'=' if b.get(i + 1) == Some(&b'>') => {
+                toks.push(Token { tok: Tok::FatArrow, line });
+                i += 2;
+            }
+            b'(' | b'[' | b'{' => {
+                toks.push(Token { tok: Tok::Open(c as char), line });
+                i += 1;
+            }
+            b')' | b']' | b'}' => {
+                toks.push(Token { tok: Tok::Close(c as char), line });
+                i += 1;
+            }
+            _ => {
+                toks.push(Token { tok: Tok::Punct(c as char), line });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+fn starts_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    // r"..."  r#"..."#  b"..."  br"..."  br#"..."#  (not an identifier
+    // that merely starts with r/b).
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if b.get(j) == Some(&b'r') {
+        j += 1;
+        while b.get(j) == Some(&b'#') {
+            j += 1;
+        }
+    }
+    j > i && b.get(j) == Some(&b'"') || (b[i] == b'b' && b.get(i + 1) == Some(&b'"'))
+}
+
+fn skip_prefixed_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    let mut raw = false;
+    if b[i] == b'b' {
+        i += 1;
+    }
+    if b.get(i) == Some(&b'r') {
+        raw = true;
+        i += 1;
+    }
+    let mut hashes = 0;
+    while b.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    debug_assert_eq!(b.get(i), Some(&b'"'));
+    if raw {
+        i += 1; // opening quote
+        while i < b.len() {
+            if b[i] == b'\n' {
+                *line += 1;
+            }
+            if b[i] == b'"' {
+                let mut k = 0;
+                while k < hashes && b.get(i + 1 + k) == Some(&b'#') {
+                    k += 1;
+                }
+                if k == hashes {
+                    return i + 1 + hashes;
+                }
+            }
+            i += 1;
+        }
+        i
+    } else {
+        skip_string(b, i, line)
+    }
+}
+
+/// Skip a plain `"..."` string starting at the opening quote; returns the
+/// index just past the closing quote.
+fn skip_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Remove every item annotated with a `test`-mentioning attribute —
+/// `#[cfg(test)] mod tests { … }`, `#[test] fn …` — so rules only see
+/// shipping code. Works on the token stream: an attribute whose tokens
+/// mention `test` causes the attribute *and* the following item (up to
+/// its closing brace or terminating semicolon) to be dropped.
+pub fn strip_test_items(toks: &[Token]) -> Vec<Token> {
+    let mut out = Vec::with_capacity(toks.len());
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Open('[')))
+        {
+            // Find the attribute's closing bracket.
+            let mut depth = 0;
+            let mut j = i + 1;
+            let mut mentions_test = false;
+            while j < toks.len() {
+                match toks[j].tok {
+                    Tok::Open(_) => depth += 1,
+                    Tok::Close(_) => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    Tok::Ident(ref s) if s == "test" => mentions_test = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if mentions_test {
+                // Skip the attribute, any further attributes, and the item.
+                i = j + 1;
+                while i < toks.len()
+                    && toks[i].is_punct('#')
+                    && matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Open('[')))
+                {
+                    let mut depth = 0;
+                    let mut k = i + 1;
+                    while k < toks.len() {
+                        match toks[k].tok {
+                            Tok::Open(_) => depth += 1,
+                            Tok::Close(_) => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    i = k + 1;
+                }
+                // Item body: everything up to `;` at depth 0 or a
+                // balanced `{ … }`.
+                let mut depth = 0;
+                while i < toks.len() {
+                    match toks[i].tok {
+                        Tok::Open('{') => {
+                            depth += 1;
+                        }
+                        Tok::Close('}') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Tok::Punct(';') if depth == 0 => {
+                            i += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        out.push(toks[i].clone());
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).into_iter().filter_map(|t| t.ident().map(str::to_string)).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_dropped() {
+        let src = r##"
+            // Instant in a comment
+            /* HashMap /* nested */ SystemTime */
+            let x = "Instant inside"; // gone
+            let y = r#"raw HashMap"#;
+            let z = b"bytes";
+            let c = 'h';
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|s| s == "Instant" || s == "HashMap" || s == "SystemTime"));
+        assert_eq!(ids, ["let", "x", "let", "y", "let", "z", "let", "c"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> Reader<'_> { 'x' }";
+        let toks = lex(src);
+        // Exactly one literal: the 'x' char.
+        assert_eq!(toks.iter().filter(|t| t.tok == Tok::Lit).count(), 1);
+        assert!(toks.iter().any(|t| t.is_ident("Reader")));
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_constructs() {
+        let src = "a\n/* two\nlines */\nb \"s\ntr\" c";
+        let toks = lex(src);
+        let find = |name: &str| toks.iter().find(|t| t.is_ident(name)).unwrap().line;
+        assert_eq!(find("a"), 1);
+        assert_eq!(find("b"), 4);
+        assert_eq!(find("c"), 5);
+    }
+
+    #[test]
+    fn multi_char_puncts() {
+        let toks = lex("A::B => x");
+        assert!(toks.iter().any(|t| t.tok == Tok::Colon2));
+        assert!(toks.iter().any(|t| t.tok == Tok::FatArrow));
+    }
+
+    #[test]
+    fn ranges_do_not_eat_numbers() {
+        let toks = lex("for i in 0..n {}");
+        // 0 is a Num, then two '.' puncts, then ident n.
+        let dots = toks.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2);
+        assert!(toks.iter().any(|t| t.is_ident("n")));
+    }
+
+    #[test]
+    fn strip_removes_cfg_test_mod_and_test_fns() {
+        let src = r#"
+            fn keep() { a.unwrap(); }
+            #[cfg(test)]
+            mod tests {
+                fn gone() { b.unwrap(); }
+            }
+            #[test]
+            fn also_gone() { c.unwrap(); }
+            fn keep2() {}
+        "#;
+        let toks = strip_test_items(&lex(src));
+        let ids: Vec<_> = toks.iter().filter_map(|t| t.ident()).collect();
+        assert!(ids.contains(&"keep"));
+        assert!(ids.contains(&"keep2"));
+        assert!(!ids.contains(&"gone"));
+        assert!(!ids.contains(&"also_gone"));
+        assert!(!ids.contains(&"b"));
+        assert!(!ids.contains(&"c"));
+    }
+}

@@ -1,0 +1,124 @@
+//! `rina-lint`: repo-specific determinism and protocol-invariant static
+//! analysis for the netipc workspace.
+//!
+//! Five rule families, all running on a hand-rolled token stream (no
+//! external dependencies, in the spirit of the JSON reader in
+//! `crates/bench/src/compare.rs`):
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | D1 | no wall clocks, OS threads, or OS randomness in shipping code |
+//! | D2 | no hash-order iteration feeding wire/report/digest output |
+//! | W1 | encode/decode symmetry per enum variant in paired codec fns |
+//! | R1 | no panic sites (`unwrap`/`expect`/indexing) in protocol hot paths |
+//! | C1 | every `DifConfig`/`ConnParams` field documented in DESIGN.md |
+//!
+//! Accepted findings are carried in `lint-allow.toml` with a mandatory
+//! justification string; stale entries (matching no live finding) fail
+//! the `--deny` gate, so the baseline can only shrink truthfully.
+
+#![forbid(unsafe_code)]
+
+pub mod baseline;
+pub mod lexer;
+pub mod parse;
+pub mod rules;
+
+use std::path::Path;
+
+/// One lint finding with a stable baseline key.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Rule id (`"D1"` … `"C1"`).
+    pub rule: &'static str,
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line of the (first) offending token.
+    pub line: u32,
+    /// Stable key for `lint-allow.toml` (no line numbers, survives
+    /// unrelated edits).
+    pub key: String,
+    /// Human-readable diagnosis.
+    pub msg: String,
+}
+
+/// Files whose panic-freedom R1 enforces: the per-PDU protocol paths.
+pub const HOT_PATHS: &[&str] = &[
+    "crates/core/src/ipcp.rs",
+    "crates/core/src/rmt.rs",
+    "crates/efcp/src/conn.rs",
+    "crates/routing/src/engine.rs",
+    "crates/sim/src/engine.rs",
+];
+
+/// Collect the workspace's lintable sources: `crates/*/src/**/*.rs`
+/// excluding the vendored `compat` shims, plus the root package's
+/// `src/`. Returns `(relative path, contents)` sorted by path.
+pub fn collect_sources(root: &Path) -> Result<Vec<(String, String)>, String> {
+    let mut roots: Vec<(String, std::path::PathBuf)> = Vec::new();
+    let crates = root.join("crates");
+    let entries =
+        std::fs::read_dir(&crates).map_err(|e| format!("cannot read {}: {e}", crates.display()))?;
+    for ent in entries {
+        let ent = ent.map_err(|e| e.to_string())?;
+        let name = ent.file_name().to_string_lossy().to_string();
+        if name == "compat" || !ent.path().is_dir() {
+            continue;
+        }
+        let src = ent.path().join("src");
+        if src.is_dir() {
+            roots.push((format!("crates/{name}/src"), src));
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        roots.push(("src".to_string(), root_src));
+    }
+    let mut out = Vec::new();
+    for (rel, dir) in roots {
+        walk_rs(&dir, &rel, &mut out)?;
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(out)
+}
+
+fn walk_rs(dir: &Path, rel: &str, out: &mut Vec<(String, String)>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    let mut names: Vec<_> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| (e.file_name().to_string_lossy().to_string(), e.path()))
+        .collect();
+    names.sort();
+    for (name, path) in names {
+        if path.is_dir() {
+            walk_rs(&path, &format!("{rel}/{name}"), out)?;
+        } else if name.ends_with(".rs") {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            out.push((format!("{rel}/{name}"), text));
+        }
+    }
+    Ok(())
+}
+
+/// Run every rule over the workspace at `root`. Findings are sorted by
+/// `(rule, file, line)`.
+pub fn run_all(root: &Path) -> Result<Vec<Finding>, String> {
+    let sources = collect_sources(root)?;
+    let lexed: Vec<(String, Vec<lexer::Token>)> =
+        sources.iter().map(|(p, s)| (p.clone(), lexer::strip_test_items(&lexer::lex(s)))).collect();
+    let mut out = Vec::new();
+    for (path, toks) in &lexed {
+        out.extend(rules::determinism::check_d1(path, toks));
+        out.extend(rules::determinism::check_d2(path, toks));
+        out.extend(rules::wire::check_w1(path, toks));
+        if HOT_PATHS.contains(&path.as_str()) {
+            out.extend(rules::panics::check_r1(path, toks));
+        }
+    }
+    let design = std::fs::read_to_string(root.join("DESIGN.md")).unwrap_or_default();
+    out.extend(rules::config::check_c1(&design, &lexed));
+    out.sort_by(|a, b| (a.rule, &a.file, a.line).cmp(&(b.rule, &b.file, b.line)));
+    Ok(out)
+}

@@ -1,0 +1,164 @@
+//! `rina-lint` CLI: scan the workspace, diff against `lint-allow.toml`,
+//! print clickable `file:line` diagnostics grouped by rule, and gate CI.
+//!
+//! Exit codes (mirroring `bench-compare`): `0` clean, `1` unbaselined
+//! findings or (under `--deny`) stale baseline entries, `2` bad input.
+
+#![forbid(unsafe_code)]
+
+use rina_lint::{baseline, run_all, Finding};
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut emit = false;
+    let mut root: Option<PathBuf> = None;
+    let mut allow_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--deny" => deny = true,
+            "--emit-baseline" => emit = true,
+            "--root" => root = args.next().map(PathBuf::from),
+            "--baseline" => allow_path = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root
+        .or_else(|| {
+            // `cargo run -p rina-lint` runs with the manifest dir set to
+            // crates/lint; the workspace root is two levels up.
+            std::env::var_os("CARGO_MANIFEST_DIR").map(|d| PathBuf::from(d).join("../.."))
+        })
+        .unwrap_or_else(|| PathBuf::from("."));
+
+    let findings = match run_all(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("rina-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if emit {
+        for f in &findings {
+            println!("[[allow]]\nrule = \"{}\"\nkey = \"{}\"\nreason = \"\"\n", f.rule, f.key);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let allow_path = allow_path.unwrap_or_else(|| root.join("lint-allow.toml"));
+    let allows = match std::fs::read_to_string(&allow_path) {
+        Ok(text) => match baseline::parse(&text) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("rina-lint: {}: {e}", allow_path.display());
+                return ExitCode::from(2);
+            }
+        },
+        Err(_) => Vec::new(),
+    };
+
+    let live_keys: Vec<&str> = findings.iter().map(|f| f.key.as_str()).collect();
+    let unbaselined: Vec<&Finding> =
+        findings.iter().filter(|f| !allows.iter().any(|a| a.key == f.key)).collect();
+    let stale: Vec<&baseline::Allow> =
+        allows.iter().filter(|a| !live_keys.contains(&a.key.as_str())).collect();
+
+    report(&findings, &unbaselined, &stale, deny);
+
+    let fail = !unbaselined.is_empty() || (deny && !stale.is_empty());
+    if fail {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn report(findings: &[Finding], unbaselined: &[&Finding], stale: &[&baseline::Allow], deny: bool) {
+    let rules = ["D1", "D2", "W1", "R1", "C1"];
+    if !unbaselined.is_empty() {
+        for rule in rules {
+            let of_rule: Vec<&&Finding> = unbaselined.iter().filter(|f| f.rule == rule).collect();
+            if of_rule.is_empty() {
+                continue;
+            }
+            eprintln!("{rule}: {}", rule_title(rule));
+            for f in &of_rule {
+                eprintln!("  {}:{}: [{}] {}", f.file, f.line, f.rule, f.msg);
+            }
+            eprintln!();
+        }
+    }
+    for a in stale {
+        eprintln!(
+            "stale baseline entry (lint-allow.toml:{}): `{}` matches no live finding{}",
+            a.line,
+            a.key,
+            if deny { "" } else { " (fails under --deny)" }
+        );
+    }
+
+    let mut md = String::new();
+    md.push_str("## rina-lint\n\n");
+    md.push_str("| rule | live findings | baselined | new |\n|---|---|---|---|\n");
+    for rule in rules {
+        let live = findings.iter().filter(|f| f.rule == rule).count();
+        let new = unbaselined.iter().filter(|f| f.rule == rule).count();
+        md.push_str(&format!("| {rule} | {live} | {} | {new} |\n", live - new));
+    }
+    let verdict = if !unbaselined.is_empty() {
+        format!("**FAIL** — {} unbaselined finding(s)", unbaselined.len())
+    } else if deny && !stale.is_empty() {
+        format!("**FAIL** — {} stale baseline entr(ies)", stale.len())
+    } else if !stale.is_empty() {
+        format!("PASS with {} stale baseline entr(ies)", stale.len())
+    } else {
+        "**PASS** — workspace is lint-clean against the baseline".to_string()
+    };
+    md.push_str(&format!("\n{verdict}\n"));
+    if !unbaselined.is_empty() {
+        md.push_str("\n| finding | where |\n|---|---|\n");
+        for f in unbaselined.iter().take(50) {
+            md.push_str(&format!("| `{}` | `{}:{}` |\n", f.key, f.file, f.line));
+        }
+    }
+    println!("{md}");
+    if let Ok(summary) = std::env::var("GITHUB_STEP_SUMMARY") {
+        if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&summary) {
+            let _ = writeln!(f, "{md}");
+        }
+    }
+}
+
+fn rule_title(rule: &str) -> &'static str {
+    match rule {
+        "D1" => "ambient nondeterminism (wall clock / OS threads / OS randomness)",
+        "D2" => "hash-order iteration reaching output",
+        "W1" => "wire-codec encode/decode asymmetry",
+        "R1" => "panic sites in protocol hot paths",
+        "C1" => "undocumented policy-config fields",
+        _ => "",
+    }
+}
+
+const USAGE: &str = "\
+rina-lint: workspace determinism & protocol-invariant static analysis
+
+USAGE: rina-lint [--deny] [--root DIR] [--baseline FILE] [--emit-baseline]
+
+  --deny            also fail on stale lint-allow.toml entries (CI mode)
+  --root DIR        workspace root (default: two levels above the crate)
+  --baseline FILE   baseline path (default: <root>/lint-allow.toml)
+  --emit-baseline   print a TOML skeleton for all current findings; every
+                    `reason` is left empty and must be justified by hand
+";

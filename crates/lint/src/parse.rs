@@ -1,0 +1,338 @@
+//! Item-level structure over the token stream: `impl` blocks, functions
+//! (with separate signature and body ranges), and `match`-arm
+//! segmentation. Enough shape for the rules to pair `encode`/`decode`
+//! functions and attribute codec operations to enum variants — still
+//! far short of a real parser, by design.
+
+use crate::lexer::{Tok, Token};
+
+/// A function item found in the token stream.
+#[derive(Debug)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// Name of the `impl` type this fn lives in (empty for free fns).
+    pub impl_type: String,
+    /// Token range of the signature: from after the name to the body `{`.
+    pub sig: (usize, usize),
+    /// Token range of the body, *inside* the braces.
+    pub body: (usize, usize),
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+}
+
+/// Find the index of the token matching the `Open` at `open` (which must
+/// be an `Open`), i.e. its balanced closing delimiter.
+pub fn matching_close(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < toks.len() {
+        match toks[i].tok {
+            Tok::Open(_) => depth += 1,
+            Tok::Close(_) => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Extract every function in the stream, annotated with its enclosing
+/// `impl` type (the `T` of `impl T` / `impl Trait for T`).
+pub fn find_fns(toks: &[Token]) -> Vec<FnItem> {
+    let mut out = Vec::new();
+    walk_items(toks, 0, toks.len(), "", &mut out);
+    out
+}
+
+fn walk_items(toks: &[Token], start: usize, end: usize, impl_type: &str, out: &mut Vec<FnItem>) {
+    let mut i = start;
+    while i < end {
+        match &toks[i].tok {
+            Tok::Ident(s) if s == "impl" => {
+                if let Some((ty, body_open)) = impl_header(toks, i, end) {
+                    let close = matching_close(toks, body_open);
+                    walk_items(toks, body_open + 1, close, &ty, out);
+                    i = close + 1;
+                    continue;
+                }
+                i += 1;
+            }
+            Tok::Ident(s) if s == "fn" => {
+                let Some(Tok::Ident(name)) = toks.get(i + 1).map(|t| &t.tok) else {
+                    i += 1;
+                    continue;
+                };
+                // The body is the first `{` at paren/bracket depth 0
+                // after the name (skipping the generic/param/return
+                // portion of the signature).
+                let mut j = i + 2;
+                let mut depth = 0i32;
+                let mut body_open = None;
+                while j < end {
+                    match toks[j].tok {
+                        Tok::Open('{') if depth == 0 => {
+                            body_open = Some(j);
+                            break;
+                        }
+                        Tok::Open(_) => depth += 1,
+                        Tok::Close(_) => depth -= 1,
+                        // Trait method without body.
+                        Tok::Punct(';') if depth == 0 => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let Some(open) = body_open else {
+                    i = j + 1;
+                    continue;
+                };
+                let close = matching_close(toks, open);
+                out.push(FnItem {
+                    name: name.clone(),
+                    impl_type: impl_type.to_string(),
+                    sig: (i + 2, open),
+                    body: (open + 1, close),
+                    line: toks[i].line,
+                });
+                i = close + 1;
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Parse an `impl` header starting at `impl_idx`; returns the
+/// implemented type name and the index of the block's `{`.
+fn impl_header(toks: &[Token], impl_idx: usize, end: usize) -> Option<(String, usize)> {
+    let mut i = impl_idx + 1;
+    // Skip generic parameters.
+    if matches!(toks.get(i).map(|t| &t.tok), Some(Tok::Punct('<'))) {
+        let mut depth = 0i32;
+        while i < end {
+            match toks[i].tok {
+                Tok::Punct('<') => depth += 1,
+                Tok::Punct('>') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    // Collect idents up to `{`; the type is the ident right after `for`
+    // if present, else the first ident.
+    let mut ty = String::new();
+    let mut after_for = false;
+    while i < end {
+        match &toks[i].tok {
+            Tok::Open('{') => {
+                return if ty.is_empty() { None } else { Some((ty, i)) };
+            }
+            Tok::Ident(s) if s == "for" => {
+                after_for = true;
+                ty.clear();
+            }
+            Tok::Ident(s) if s == "where" => {
+                // Type name is settled by now.
+                while i < end && !matches!(toks[i].tok, Tok::Open('{')) {
+                    i += 1;
+                }
+                continue;
+            }
+            Tok::Ident(s) if ty.is_empty() || after_for => {
+                ty = s.clone();
+                after_for = false;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// One arm of a `match`: its pattern and body token ranges.
+#[derive(Debug)]
+pub struct Arm {
+    /// Tokens of the pattern (before `=>`).
+    pub pat: (usize, usize),
+    /// Tokens of the arm body.
+    pub body: (usize, usize),
+}
+
+/// A `match` expression: the scrutinee range and its arms.
+#[derive(Debug)]
+pub struct MatchExpr {
+    /// Tokens between `match` and the block `{`.
+    pub scrutinee: (usize, usize),
+    /// The arms, in order.
+    pub arms: Vec<Arm>,
+    /// Full block range including braces.
+    pub block: (usize, usize),
+}
+
+/// Find the *outermost* `match` expressions inside `range` (nested
+/// matches stay embedded in their arm bodies).
+pub fn find_matches(toks: &[Token], range: (usize, usize)) -> Vec<MatchExpr> {
+    let mut out = Vec::new();
+    let mut i = range.0;
+    while i < range.1 {
+        match &toks[i].tok {
+            Tok::Ident(s) if s == "match" => {
+                // Scrutinee: up to the first `{` at delimiter depth 0.
+                let mut j = i + 1;
+                let mut depth = 0i32;
+                while j < range.1 {
+                    match toks[j].tok {
+                        Tok::Open('{') if depth == 0 => break,
+                        Tok::Open(_) => depth += 1,
+                        Tok::Close(_) => depth -= 1,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if j >= range.1 {
+                    break;
+                }
+                let block_open = j;
+                let block_close = matching_close(toks, block_open);
+                let arms = parse_arms(toks, block_open + 1, block_close);
+                out.push(MatchExpr {
+                    scrutinee: (i + 1, block_open),
+                    arms,
+                    block: (block_open, block_close),
+                });
+                i = block_close + 1;
+            }
+            // Skip nested blocks wholesale? No — outermost matches can
+            // live inside `let … = match …` or plain statements at any
+            // brace depth; we only skip *into* found matches above.
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+fn parse_arms(toks: &[Token], start: usize, end: usize) -> Vec<Arm> {
+    let mut arms = Vec::new();
+    let mut i = start;
+    while i < end {
+        // Pattern: up to `=>` at depth 0.
+        let pat_start = i;
+        let mut depth = 0i32;
+        let mut arrow = None;
+        while i < end {
+            match toks[i].tok {
+                Tok::FatArrow if depth == 0 => {
+                    arrow = Some(i);
+                    break;
+                }
+                Tok::Open(_) => depth += 1,
+                Tok::Close(_) => depth -= 1,
+                _ => {}
+            }
+            i += 1;
+        }
+        let Some(arrow) = arrow else { break };
+        // Body: a braced block, or an expression up to `,` at depth 0.
+        let body_start = arrow + 1;
+        let body_end;
+        if matches!(toks.get(body_start).map(|t| &t.tok), Some(Tok::Open('{'))) {
+            let close = matching_close(toks, body_start);
+            body_end = close + 1;
+            i = close + 1;
+            // Optional trailing comma.
+            if matches!(toks.get(i).map(|t| &t.tok), Some(Tok::Punct(','))) {
+                i += 1;
+            }
+        } else {
+            let mut depth = 0i32;
+            let mut j = body_start;
+            while j < end {
+                match toks[j].tok {
+                    Tok::Punct(',') if depth == 0 => break,
+                    Tok::Open(_) => depth += 1,
+                    Tok::Close(_) => depth -= 1,
+                    _ => {}
+                }
+                j += 1;
+            }
+            body_end = j;
+            i = j + 1;
+        }
+        arms.push(Arm { pat: (pat_start, arrow), body: (body_start, body_end) });
+    }
+    arms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn fns_and_impls() {
+        let src = r#"
+            fn free() { 1 }
+            impl Foo {
+                pub fn encode(&self) -> Bytes { x }
+                fn helper(a: u8) { y }
+            }
+            impl<T: Clone> Display for Bar<T> {
+                fn fmt(&self) { z }
+            }
+        "#;
+        let toks = lex(src);
+        let fns = find_fns(&toks);
+        let names: Vec<_> = fns.iter().map(|f| (f.impl_type.as_str(), f.name.as_str())).collect();
+        assert_eq!(names, [("", "free"), ("Foo", "encode"), ("Foo", "helper"), ("Bar", "fmt")]);
+    }
+
+    #[test]
+    fn match_arms_with_blocks_and_exprs() {
+        let src = r#"
+            fn f(x: E) -> u8 {
+                let v = match x {
+                    E::A { a } => { w.u8(a); 1 }
+                    E::B(b) => b,
+                    _ => return 0,
+                };
+                v
+            }
+        "#;
+        let toks = lex(src);
+        let fns = find_fns(&toks);
+        let ms = find_matches(&toks, fns[0].body);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].arms.len(), 3);
+    }
+
+    #[test]
+    fn nested_match_stays_inside_outer_arm() {
+        let src = r#"
+            fn f(x: E) {
+                match x {
+                    E::A(k) => match k {
+                        K::P => 1,
+                        K::Q => 2,
+                    },
+                    E::B => 3,
+                }
+            }
+        "#;
+        let toks = lex(src);
+        let fns = find_fns(&toks);
+        let ms = find_matches(&toks, fns[0].body);
+        assert_eq!(ms.len(), 1, "outer match only");
+        assert_eq!(ms[0].arms.len(), 2);
+    }
+}

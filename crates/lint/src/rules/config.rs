@@ -1,0 +1,148 @@
+//! C1 — policy-surface documentation. Every field of the two
+//! policy-parameter structs (`DifConfig`, `ConnParams`) must be named in
+//! DESIGN.md's config tables: the paper's whole point is that one
+//! mechanism is parameterized by visible policy, so an undocumented knob
+//! is a spec violation, not just a docs gap.
+
+use crate::lexer::{Tok, Token};
+use crate::parse::matching_close;
+use crate::Finding;
+
+/// The structs whose fields form the documented policy surface.
+pub const CONFIG_STRUCTS: &[&str] = &["DifConfig", "ConnParams"];
+
+/// Check every `CONFIG_STRUCTS` definition found in `files` against the
+/// DESIGN.md text.
+pub fn check_c1(design_md: &str, files: &[(String, Vec<Token>)]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (path, toks) in files {
+        for (sname, field, line) in struct_fields(toks) {
+            if !word_present(design_md, &field) {
+                out.push(Finding {
+                    rule: "C1",
+                    file: path.clone(),
+                    line,
+                    key: format!("C1|{sname}|{field}"),
+                    msg: format!(
+                        "policy field `{sname}.{field}` is not referenced in DESIGN.md's \
+                         config tables"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// `(struct, field, line)` for each field of a config struct definition.
+fn struct_fields(toks: &[Token]) -> Vec<(String, String, u32)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let is_def = toks[i].is_ident("struct")
+            && toks
+                .get(i + 1)
+                .is_some_and(|t| t.ident().is_some_and(|s| CONFIG_STRUCTS.contains(&s)));
+        if !is_def {
+            i += 1;
+            continue;
+        }
+        let sname = toks[i + 1].ident().unwrap_or_default().to_string();
+        // Find the body `{` (skipping generics, which none of ours have).
+        let mut j = i + 2;
+        while j < toks.len() && !matches!(toks[j].tok, Tok::Open('{')) {
+            if toks[j].is_punct(';') {
+                break; // unit/tuple struct — no named fields
+            }
+            j += 1;
+        }
+        if j >= toks.len() || !matches!(toks[j].tok, Tok::Open('{')) {
+            i += 2;
+            continue;
+        }
+        let close = matching_close(toks, j);
+        let mut depth = 0i32;
+        for k in j + 1..close {
+            match &toks[k].tok {
+                Tok::Open(_) => depth += 1,
+                Tok::Close(_) => depth -= 1,
+                Tok::Ident(name) if depth == 0 => {
+                    // A field is `name :` at top level, preceded by `{`,
+                    // `,`, `pub`, or `pub(..)`.
+                    let starts_field = toks.get(k + 1).is_some_and(|t| t.is_punct(':'))
+                        && !matches!(toks[k - 1].tok, Tok::Colon2)
+                        && (matches!(toks[k - 1].tok, Tok::Open('{') | Tok::Punct(','))
+                            || toks[k - 1].is_ident("pub")
+                            || matches!(toks[k - 1].tok, Tok::Close(')')));
+                    if starts_field {
+                        out.push((sname.clone(), name.clone(), toks[k].line));
+                    }
+                }
+                _ => {}
+            }
+        }
+        i = close + 1;
+    }
+    out
+}
+
+/// Word-boundary presence: `name` appears in `text` not embedded in a
+/// larger identifier.
+fn word_present(text: &str, name: &str) -> bool {
+    let b = text.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = text[from..].find(name) {
+        let start = from + pos;
+        let end = start + name.len();
+        let ok_before =
+            start == 0 || !(b[start - 1].is_ascii_alphanumeric() || b[start - 1] == b'_');
+        let ok_after = end >= b.len() || !(b[end].is_ascii_alphanumeric() || b[end] == b'_');
+        if ok_before && ok_after {
+            return true;
+        }
+        from = start + 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn files(src: &str) -> Vec<(String, Vec<Token>)> {
+        vec![("cfg.rs".to_string(), lex(src))]
+    }
+
+    const SRC: &str = r#"
+        pub struct DifConfig {
+            pub name: DifName,
+            pub hello_period: u64,
+            pub cubes: Vec<QosCube>,
+        }
+        struct Unrelated { pub hidden_knob: u8 }
+    "#;
+
+    #[test]
+    fn undocumented_field_fires() {
+        let md = "| `name` | the DIF name |\n| `hello_period` | keepalive period |";
+        let fs = check_c1(md, &files(SRC));
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].key, "C1|DifConfig|cubes");
+    }
+
+    #[test]
+    fn fully_documented_struct_is_clean_and_unrelated_structs_ignored() {
+        let md = "`name`, `hello_period`, and `cubes` are the policy surface.";
+        assert!(check_c1(md, &files(SRC)).is_empty());
+    }
+
+    #[test]
+    fn word_boundaries_respected() {
+        // `hello_period_ms` must not satisfy `hello_period`.
+        let md = "`name` `hello_period_ms` `cubes`";
+        let fs = check_c1(md, &files(SRC));
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].key, "C1|DifConfig|hello_period");
+    }
+}

@@ -1,0 +1,281 @@
+//! D1 — ambient nondeterminism sources (wall clocks, OS threads, OS
+//! randomness) and D2 — hash-order iteration that can leak into output.
+//!
+//! Every performance and protocol claim in this repo rests on runs being
+//! byte-identical given a seed; these two rules defend that statically.
+
+use crate::lexer::{Tok, Token};
+use crate::Finding;
+
+/// Identifiers whose mere presence in shipping code is a D1 finding.
+const D1_SYMBOLS: &[&str] = &["Instant", "SystemTime", "thread_rng", "RandomState", "from_entropy"];
+
+/// D1: flag wall-clock, OS-thread, and OS-randomness symbols. One finding
+/// per `(file, symbol)` at the first occurrence; legitimate uses (the
+/// sweep worker pool, harness timing) carry a `lint-allow.toml` entry.
+pub fn check_d1(file: &str, toks: &[Token]) -> Vec<Finding> {
+    let mut seen: Vec<(String, u32)> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        let Some(id) = t.ident() else { continue };
+        let sym = if D1_SYMBOLS.contains(&id) {
+            Some(id.to_string())
+        } else if id == "std"
+            && matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Colon2))
+            && toks.get(i + 2).is_some_and(|t| t.is_ident("thread"))
+        {
+            Some("std::thread".to_string())
+        } else {
+            None
+        };
+        if let Some(sym) = sym {
+            if !seen.iter().any(|(s, _)| *s == sym) {
+                seen.push((sym, t.line));
+            }
+        }
+    }
+    seen.into_iter()
+        .map(|(sym, line)| Finding {
+            rule: "D1",
+            file: file.to_string(),
+            line,
+            key: format!("D1|{file}|{sym}"),
+            msg: format!(
+                "ambient nondeterminism source `{sym}`; simulation code must use \
+                 the virtual clock and seeded RNGs"
+            ),
+        })
+        .collect()
+}
+
+/// Methods that enumerate a hash container in hash order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// Identifiers that mark an iteration as order-insensitive or explicitly
+/// re-ordered within its statement window (`sort*`, commutative folds,
+/// ordered collections as the sink).
+fn is_suppressor(id: &str) -> bool {
+    id.starts_with("sort")
+        || matches!(
+            id,
+            "BTreeMap"
+                | "BTreeSet"
+                | "BinaryHeap"
+                | "count"
+                | "sum"
+                | "min"
+                | "max"
+                | "min_by_key"
+                | "max_by_key"
+                | "all"
+                | "any"
+                | "fold"
+        )
+}
+
+/// D2: flag iteration over bindings declared as `HashMap`/`HashSet`
+/// unless the surrounding statement window shows the order being fixed
+/// (sorted) or erased (commutative aggregation, ordered sink). Bindings
+/// behind `type` aliases (the routing crate's seeded `IntMap`) are out of
+/// scope by design: their hasher is deterministic across runs.
+pub fn check_d2(file: &str, toks: &[Token]) -> Vec<Finding> {
+    let bindings = hash_bindings(toks);
+    if bindings.is_empty() {
+        return Vec::new();
+    }
+    let mut out: Vec<Finding> = Vec::new();
+    let mut hit = |name: &str, idx: usize, line: u32| {
+        if suppressed(toks, idx) {
+            return;
+        }
+        let key = format!("D2|{file}|{name}");
+        if out.iter().any(|f| f.key == key) {
+            return;
+        }
+        out.push(Finding {
+            rule: "D2",
+            file: file.to_string(),
+            line,
+            key,
+            msg: format!(
+                "iteration over hash-ordered `{name}`; sort before iterating, switch \
+                 to BTreeMap/BTreeSet, or baseline with a justification"
+            ),
+        });
+    };
+    for (i, t) in toks.iter().enumerate() {
+        // `binding.iter()` style (also matches `self.binding.keys()`).
+        if let Some(name) = t.ident() {
+            if bindings.iter().any(|b| b == name)
+                && i + 2 < toks.len()
+                && toks[i + 1].is_punct('.')
+                && toks[i + 2].ident().is_some_and(|m| ITER_METHODS.contains(&m))
+                && matches!(toks.get(i + 3).map(|t| &t.tok), Some(Tok::Open('(')))
+            {
+                hit(name, i, t.line);
+            }
+        }
+        // `for pat in <expr mentioning binding> {` style.
+        if t.is_ident("for") {
+            let mut depth = 0i32;
+            let mut j = i + 1;
+            let mut in_kw = None;
+            while j < toks.len() {
+                match toks[j].tok {
+                    Tok::Open('{') if depth == 0 => break,
+                    Tok::Open(_) => depth += 1,
+                    Tok::Close(_) => depth -= 1,
+                    Tok::Ident(ref s) if s == "in" && depth == 0 && in_kw.is_none() => {
+                        in_kw = Some(j)
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if let Some(k) = in_kw {
+                for e in k + 1..j {
+                    if let Some(name) = toks[e].ident() {
+                        if bindings.iter().any(|b| b == name) {
+                            hit(name, i, toks[i].line);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Names declared (or initialized) as `HashMap`/`HashSet` anywhere in the
+/// file: `name: HashMap<..>` fields/params and `name = HashMap::new()`
+/// style initializations. `type` aliases are skipped.
+fn hash_bindings(toks: &[Token]) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    for (k, t) in toks.iter().enumerate() {
+        if !(t.is_ident("HashMap") || t.is_ident("HashSet")) {
+            continue;
+        }
+        // Walk back over path segments and type sigils to the `:` of a
+        // declaration or the `=` of an initialization.
+        let mut j = k;
+        while j > 0 {
+            j -= 1;
+            match &toks[j].tok {
+                Tok::Ident(_) | Tok::Colon2 | Tok::Punct('&') | Tok::Punct('<') => continue,
+                _ => break,
+            }
+        }
+        let name = match toks[j].tok {
+            Tok::Punct(':') | Tok::Punct('=') => {
+                match toks.get(j.wrapping_sub(1)).map(|t| &t.tok) {
+                    Some(Tok::Ident(n)) => {
+                        // `type Alias = HashMap<..>` is not a binding.
+                        if j >= 2 && toks[j - 2].is_ident("type") {
+                            None
+                        } else {
+                            Some(n.clone())
+                        }
+                    }
+                    _ => None,
+                }
+            }
+            _ => None,
+        };
+        if let Some(n) = name {
+            if !names.contains(&n) {
+                names.push(n);
+            }
+        }
+    }
+    names
+}
+
+/// True if the statement window starting at the hit (through the next two
+/// `;`, or a bounded lookahead) mentions a suppressor.
+fn suppressed(toks: &[Token], idx: usize) -> bool {
+    let mut semis = 0;
+    for t in toks.iter().skip(idx).take(200) {
+        if let Some(id) = t.ident() {
+            if is_suppressor(id) {
+                return true;
+            }
+        }
+        if t.is_punct(';') {
+            semis += 1;
+            if semis == 2 {
+                break;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn d1_flags_symbols_once_per_file() {
+        let src =
+            "use std::time::Instant; fn f() { let t = Instant::now(); std::thread::sleep(d); }";
+        let fs = check_d1("x.rs", &lex(src));
+        let keys: Vec<_> = fs.iter().map(|f| f.key.as_str()).collect();
+        assert_eq!(keys, ["D1|x.rs|Instant", "D1|x.rs|std::thread"]);
+    }
+
+    #[test]
+    fn d1_ignores_comments_and_strings() {
+        let src = "// Instant\nfn f() { let s = \"SystemTime\"; }";
+        assert!(check_d1("x.rs", &lex(src)).is_empty());
+    }
+
+    #[test]
+    fn d2_flags_unsorted_iteration() {
+        let src =
+            "struct S { m: HashMap<u32, u8> }\nfn f(s: &S) { for (k, v) in &s.m { emit(k, v); } }";
+        let fs = check_d2("x.rs", &lex(src));
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].key, "D2|x.rs|m");
+    }
+
+    #[test]
+    fn d2_method_iteration_flagged() {
+        let src = "fn f() { let m = HashMap::new(); out.extend(m.keys()); }";
+        assert_eq!(check_d2("x.rs", &lex(src)).len(), 1);
+    }
+
+    #[test]
+    fn d2_sorted_window_suppresses() {
+        let src = "fn f(m: &HashMap<u32, u8>) { let mut v: Vec<_> = m.iter().collect(); v.sort_unstable(); }";
+        assert!(check_d2("x.rs", &lex(src)).is_empty());
+    }
+
+    #[test]
+    fn d2_commutative_sink_suppresses() {
+        let src = "fn f(m: &HashMap<u32, u8>) -> u64 { m.values().map(|v| *v as u64).sum() }";
+        assert!(check_d2("x.rs", &lex(src)).is_empty());
+    }
+
+    #[test]
+    fn d2_type_alias_and_btreemap_exempt() {
+        let src = "type IntMap<K, V> = std::collections::HashMap<K, V, H>;\n\
+                   fn f(m: &BTreeMap<u32, u8>) { for x in m.iter() { emit(x); } }";
+        assert!(check_d2("x.rs", &lex(src)).is_empty());
+    }
+
+    #[test]
+    fn d2_retain_is_not_iteration() {
+        let src = "fn f(m: &mut HashMap<u32, u8>) { m.retain(|_, v| *v > 0); }";
+        assert!(check_d2("x.rs", &lex(src)).is_empty());
+    }
+}

@@ -1,0 +1,8 @@
+//! The rule families. Each module exposes `check_*` functions that take
+//! pre-lexed (and test-stripped) token streams and return
+//! [`Finding`](crate::Finding)s with stable baseline keys.
+
+pub mod config;
+pub mod determinism;
+pub mod panics;
+pub mod wire;

@@ -1,0 +1,128 @@
+//! R1 — no panic paths in protocol hot code. `unwrap()`, `expect(..)`,
+//! `panic!`/`unreachable!`/`todo!`, and direct indexing are all ways a
+//! malformed PDU or a state-machine race can take down a whole simulated
+//! node instead of surfacing an error.
+//!
+//! Findings aggregate per `(file, fn, kind)` — the count is reported but
+//! not part of the baseline key, so refactors inside an already-baselined
+//! function don't churn the baseline while *new* functions still fail.
+
+use crate::lexer::{Tok, Token};
+use crate::parse::{find_fns, matching_close};
+use crate::Finding;
+
+/// Identifiers that, immediately before `[`, mean the bracket is not an
+/// index expression.
+const NON_INDEX_PREV: &[&str] = &[
+    "let", "in", "return", "if", "else", "match", "mut", "ref", "move", "as", "break", "where",
+    "use", "pub", "crate", "dyn", "impl", "for",
+];
+
+/// Check one hot-path file.
+pub fn check_r1(file: &str, toks: &[Token]) -> Vec<Finding> {
+    let mut agg: Vec<(String, String, u32, u32)> = Vec::new(); // (fn, kind, first line, count)
+    for f in find_fns(toks) {
+        let mut hit = |kind: &str, line: u32| match agg
+            .iter_mut()
+            .find(|(fa, k, _, _)| *fa == f.name && k == kind)
+        {
+            Some((_, _, _, n)) => *n += 1,
+            None => agg.push((f.name.clone(), kind.to_string(), line, 1)),
+        };
+        for i in f.body.0..f.body.1 {
+            match &toks[i].tok {
+                Tok::Ident(m)
+                    if (m == "unwrap" || m == "expect")
+                        && i > 0
+                        && toks[i - 1].is_punct('.')
+                        && matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Open('('))) =>
+                {
+                    hit(m, toks[i].line);
+                }
+                Tok::Ident(m)
+                    if (m == "panic" || m == "unreachable" || m == "todo")
+                        && toks.get(i + 1).is_some_and(|t| t.is_punct('!')) =>
+                {
+                    hit(m, toks[i].line);
+                }
+                Tok::Open('[') if i > 0 && is_index_site(toks, i) => {
+                    hit("index", toks[i].line);
+                }
+                _ => {}
+            }
+        }
+    }
+    agg.into_iter()
+        .map(|(fname, kind, line, n)| Finding {
+            rule: "R1",
+            file: file.to_string(),
+            line,
+            key: format!("R1|{file}|{fname}|{kind}"),
+            msg: format!(
+                "{n} `{kind}` panic site{} in hot-path fn `{fname}`; return an error or \
+                 prove the invariant and baseline it",
+                if n == 1 { "" } else { "s" }
+            ),
+        })
+        .collect()
+}
+
+/// `expr[..]`-style index expression: `[` directly after an identifier or
+/// a closing delimiter, excluding full-range slices `[..]` and non-index
+/// contexts (macros, attributes, types, patterns after keywords).
+fn is_index_site(toks: &[Token], i: usize) -> bool {
+    let indexable = match &toks[i - 1].tok {
+        Tok::Ident(s) => !NON_INDEX_PREV.contains(&s.as_str()),
+        Tok::Close(')') | Tok::Close(']') => true,
+        _ => false,
+    };
+    if !indexable {
+        return false;
+    }
+    // `buf[..]` borrows the whole slice — infallible.
+    let close = matching_close(toks, i);
+    !(close == i + 3 && toks[i + 1].is_punct('.') && toks[i + 2].is_punct('.'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn unwrap_expect_and_macros_fire_per_fn() {
+        let src = r#"
+            fn a(x: Option<u8>) -> u8 { x.unwrap() }
+            fn b(x: Option<u8>) -> u8 { if x.is_none() { panic!("no") } x.expect("b") }
+        "#;
+        let keys: Vec<String> = check_r1("h.rs", &lex(src)).into_iter().map(|f| f.key).collect();
+        assert_eq!(keys, ["R1|h.rs|a|unwrap", "R1|h.rs|b|panic", "R1|h.rs|b|expect"]);
+    }
+
+    #[test]
+    fn indexing_fires_but_ranges_macros_types_do_not() {
+        let src = r#"
+            fn a(v: &[u8], i: usize) -> u8 { v[i] }
+            fn b(v: &[u8]) -> &[u8] { &v[..] }
+            fn c() -> Vec<u8> { vec![1, 2] }
+            fn d(m: [u8; 4]) -> u8 { let [x, _, _, _] = m; x }
+        "#;
+        let fs = check_r1("h.rs", &lex(src));
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].key, "R1|h.rs|a|index");
+    }
+
+    #[test]
+    fn counts_aggregate_per_fn_and_kind() {
+        let src = "fn a(v: &[u8]) -> u8 { v[0] + v[1] }";
+        let fs = check_r1("h.rs", &lex(src));
+        assert_eq!(fs.len(), 1);
+        assert!(fs[0].msg.starts_with("2 "), "{}", fs[0].msg);
+    }
+
+    #[test]
+    fn partial_ranges_still_fire() {
+        let src = "fn a(v: &[u8]) -> &[u8] { &v[1..] }";
+        assert_eq!(check_r1("h.rs", &lex(src)).len(), 1);
+    }
+}

@@ -1,0 +1,16 @@
+//! C1 fixture: a config struct with one documented and one
+//! undocumented field (relative to the test's DESIGN.md snippet).
+
+pub struct DifConfig {
+    pub name: DifName,
+    pub hello_period: Dur,
+    pub secret_knob: u64,
+}
+
+pub struct ConnParams {
+    pub reliable: bool,
+}
+
+pub struct NotAPolicyStruct {
+    pub internal_detail: u8,
+}

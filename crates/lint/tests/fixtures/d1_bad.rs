@@ -1,0 +1,10 @@
+//! D1 fixture: every kind of ambient nondeterminism the rule names.
+
+use std::time::Instant;
+
+pub fn measure() -> u64 {
+    let t0 = Instant::now();
+    let _now = std::time::SystemTime::now();
+    let h = std::thread::spawn(|| 1u64);
+    t0.elapsed().as_nanos() as u64 + h.join().unwrap_or(0)
+}

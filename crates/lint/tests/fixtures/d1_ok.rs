@@ -1,0 +1,17 @@
+//! D1 fixture (negative): virtual time and seeded randomness only.
+
+pub struct Clock(u64);
+
+pub fn measure(clock: &Clock, seed: u64) -> u64 {
+    // A test item mentioning Instant must be stripped, not flagged.
+    clock.0.wrapping_mul(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let t0 = std::time::Instant::now();
+        assert!(t0.elapsed().as_nanos() < u128::MAX);
+    }
+}

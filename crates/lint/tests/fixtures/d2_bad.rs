@@ -1,0 +1,10 @@
+//! D2 fixture: hash-order iteration flowing into an encoder unsorted.
+
+use std::collections::HashMap;
+
+pub fn digest(table: &HashMap<u64, u64>, w: &mut Vec<u8>) {
+    for (k, v) in table.iter() {
+        w.extend_from_slice(&k.to_be_bytes());
+        w.extend_from_slice(&v.to_be_bytes());
+    }
+}

@@ -1,0 +1,20 @@
+//! D2 fixture (negative): ordered map, and a hash map whose iteration
+//! result is sorted before it can reach any output.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub fn digest_ordered(rows: &BTreeMap<u64, u64>, w: &mut Vec<u8>) {
+    for (k, v) in rows.iter() {
+        w.extend_from_slice(&k.to_be_bytes());
+        w.extend_from_slice(&v.to_be_bytes());
+    }
+}
+
+pub fn digest_sorted(table: &HashMap<u64, u64>, w: &mut Vec<u8>) {
+    let mut rows: Vec<(u64, u64)> = table.iter().map(|(&k, &v)| (k, v)).collect();
+    rows.sort_unstable();
+    for (k, v) in rows {
+        w.extend_from_slice(&k.to_be_bytes());
+        w.extend_from_slice(&v.to_be_bytes());
+    }
+}

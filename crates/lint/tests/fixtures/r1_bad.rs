@@ -1,0 +1,11 @@
+//! R1 fixture: one of each panic-site kind in a hot-path fn.
+
+pub fn on_pdu(&mut self, cep: u32, buf: &[u8]) {
+    let f = self.conns.get(&cep).unwrap();
+    let first = buf[0];
+    let tail = self.q.pop().expect("nonempty");
+    if first == 0 {
+        panic!("zero tag");
+    }
+    let _ = (f, tail);
+}

@@ -1,0 +1,17 @@
+//! R1 fixture (negative): the same flow with errors surfaced, plus the
+//! constructs R1 must not misread as indexing (macros, slicing `[..]`,
+//! attributes, array types).
+
+#[derive(Debug)]
+pub struct State {
+    ring: [u64; 8],
+}
+
+pub fn on_pdu(&mut self, cep: u32, buf: &[u8]) -> Result<(), Error> {
+    let f = self.conns.get(&cep).ok_or(Error::NoSuchCep)?;
+    let first = buf.first().copied().ok_or(Error::Truncated)?;
+    let all = &buf[..];
+    let msg = vec![first, 0u8];
+    let _ = (f, all, msg);
+    Ok(())
+}

@@ -1,0 +1,30 @@
+//! W1 fixture: the `Beta` arm writes two varints but reads only one.
+
+pub enum Msg {
+    Alpha { a: u64 },
+    Beta { x: u64, y: u64 },
+}
+
+impl Msg {
+    pub fn encode(&self, w: &mut Writer) {
+        match self {
+            Msg::Alpha { a } => {
+                w.u8(TAG_ALPHA);
+                w.varint(*a);
+            }
+            Msg::Beta { x, y } => {
+                w.u8(TAG_BETA);
+                w.varint(*x);
+                w.varint(*y);
+            }
+        }
+    }
+
+    pub fn decode(r: &mut Reader) -> Result<Self, Err> {
+        match r.u8()? {
+            TAG_ALPHA => Ok(Msg::Alpha { a: r.varint()? }),
+            TAG_BETA => Ok(Msg::Beta { x: r.varint()?, y: 0 }),
+            _ => Err(Err),
+        }
+    }
+}

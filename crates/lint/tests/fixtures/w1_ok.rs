@@ -1,0 +1,45 @@
+//! W1 fixture (negative): symmetric codec with tags, loops, and a
+//! nested codec — every shape the real MgmtBody/Pdu codecs use.
+
+pub enum Msg {
+    Alpha { a: u64, name: String },
+    Batch { items: Vec<Item> },
+}
+
+impl Msg {
+    pub fn encode(&self, w: &mut Writer) {
+        match self {
+            Msg::Alpha { a, name } => {
+                w.u8(TAG_ALPHA);
+                w.varint(*a);
+                w.string(name);
+            }
+            Msg::Batch { items } => {
+                w.u8(TAG_BATCH);
+                w.varint(items.len() as u64);
+                for it in items {
+                    it.encode_into(w);
+                }
+            }
+        }
+    }
+
+    pub fn decode(r: &mut Reader) -> Result<Self, Err> {
+        match r.u8()? {
+            TAG_ALPHA => {
+                let a = r.varint()?;
+                let name = r.string()?;
+                Ok(Msg::Alpha { a, name })
+            }
+            TAG_BATCH => {
+                let n = r.varint()?;
+                let mut items = Vec::new();
+                for _ in 0..n {
+                    items.push(Item::decode_from(r)?);
+                }
+                Ok(Msg::Batch { items })
+            }
+            _ => Err(Err),
+        }
+    }
+}

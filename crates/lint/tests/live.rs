@@ -1,0 +1,57 @@
+//! The lint run against the real workspace: the tree must be clean
+//! modulo the checked-in baseline, the baseline must carry no stale
+//! entries, and a seeded codec mutation must trip W1 — proving the gate
+//! would catch a real encode/decode drift, not just fixture toys.
+
+use rina_lint::lexer::{lex, strip_test_items};
+use rina_lint::rules::wire;
+use rina_lint::{baseline, run_all};
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn workspace_is_clean_against_baseline_with_no_stale_entries() {
+    let root = workspace_root();
+    let findings = run_all(&root).expect("scan workspace");
+    let text = std::fs::read_to_string(root.join("lint-allow.toml")).expect("read baseline");
+    let allows = baseline::parse(&text).expect("baseline must parse with justified entries");
+
+    let unbaselined: Vec<String> = findings
+        .iter()
+        .filter(|f| !allows.iter().any(|a| a.key == f.key))
+        .map(|f| format!("{}:{} {}", f.file, f.line, f.key))
+        .collect();
+    assert!(unbaselined.is_empty(), "unbaselined findings:\n{}", unbaselined.join("\n"));
+
+    let stale: Vec<&str> = allows
+        .iter()
+        .filter(|a| !findings.iter().any(|f| f.key == a.key))
+        .map(|a| a.key.as_str())
+        .collect();
+    assert!(stale.is_empty(), "stale lint-allow.toml entries: {stale:?}");
+}
+
+#[test]
+fn w1_catches_a_seeded_decode_mutation_in_the_real_codec() {
+    let root = workspace_root();
+    let path = root.join("crates/core/src/msg.rs");
+    let src = std::fs::read_to_string(&path).expect("read msg.rs");
+
+    // The pristine codec must be symmetric.
+    let clean = wire::check_w1("msg.rs", &strip_test_items(&lex(&src)));
+    assert!(clean.is_empty(), "real codec flagged before mutation: {clean:?}");
+
+    // Delete one field read from `MgmtBody::from_cdap` (the joiner's
+    // proposed address in EnrollRequest) and re-lint: W1 must fire.
+    let needle = "let proposed_addr = r.varint()?;";
+    assert!(src.contains(needle), "mutation anchor vanished from msg.rs; update this test");
+    let mutated = src.replacen(needle, "let proposed_addr = 0;", 1);
+    let fs = wire::check_w1("msg.rs", &strip_test_items(&lex(&mutated)));
+    assert!(
+        fs.iter().any(|f| f.key.contains("EnrollRequest")),
+        "dropped decode read not caught: {fs:?}"
+    );
+}

@@ -32,6 +32,8 @@
 //! Hot paths that react to freshness directly can apply without event
 //! bookkeeping via [`Rib::apply_remote_silent`].
 
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 #![warn(missing_docs)]
 
 use bytes::Bytes;

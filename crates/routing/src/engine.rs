@@ -47,7 +47,7 @@
 //! reference algorithm itself.
 
 use crate::{Addr, ForwardingTable, IntMap, Lsa};
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 const UNSEEN: u64 = u64::MAX;
 
@@ -69,7 +69,7 @@ pub struct EngineStats {
 pub struct RouteEngine {
     self_addr: Addr,
     /// Decoded `/lsa/*` mirror — the authoritative graph input.
-    mirror: HashMap<Addr, Lsa>,
+    mirror: BTreeMap<Addr, Lsa>,
     /// Dense interning of every address ever seen (append-only).
     index: IntMap<Addr, u32>,
     addr_of: Vec<Addr>,
@@ -102,7 +102,7 @@ impl RouteEngine {
     pub fn new(self_addr: Addr) -> Self {
         RouteEngine {
             self_addr,
-            mirror: HashMap::new(),
+            mirror: BTreeMap::new(),
             index: IntMap::default(),
             addr_of: Vec::new(),
             adv: Vec::new(),
@@ -132,7 +132,7 @@ impl RouteEngine {
     }
 
     /// The decoded LSA mirror.
-    pub fn mirror(&self) -> &HashMap<Addr, Lsa> {
+    pub fn mirror(&self) -> &BTreeMap<Addr, Lsa> {
         &self.mirror
     }
 

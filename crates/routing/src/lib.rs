@@ -22,13 +22,15 @@
 //!   forwarding table ([`ForwardingTable::patch`]). A join that touches one
 //!   subtree no longer costs a DIF-wide recomputation at every member.
 
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 #![warn(missing_docs)]
 
 use bytes::Bytes;
 use rina_wire::codec::{Reader, Writer};
 pub use rina_wire::Addr;
 use rina_wire::WireError;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use std::hash::{BuildHasherDefault, Hasher};
 
 mod engine;
@@ -263,7 +265,7 @@ impl ForwardingTable {
 /// This is the reference semantics: [`RouteEngine`] must produce (and in
 /// debug builds asserts) byte-identical tables while doing only
 /// delta-proportional work.
-pub fn compute_routes(self_addr: Addr, lsas: &HashMap<Addr, Lsa>) -> ForwardingTable {
+pub fn compute_routes(self_addr: Addr, lsas: &BTreeMap<Addr, Lsa>) -> ForwardingTable {
     // Addresses are mapped to dense indices and the whole computation
     // runs over Vec-indexed state: a member of a big DIF recomputes
     // thousands of times during assembly (debounced, but still once per
@@ -361,7 +363,7 @@ mod tests {
         Lsa { neighbors: pairs.to_vec() }
     }
 
-    fn lsas(entries: &[(Addr, &[(Addr, u32)])]) -> HashMap<Addr, Lsa> {
+    fn lsas(entries: &[(Addr, &[(Addr, u32)])]) -> BTreeMap<Addr, Lsa> {
         entries.iter().map(|&(a, ns)| (a, lsa(ns))).collect()
     }
 
@@ -427,7 +429,7 @@ mod tests {
 
     #[test]
     fn empty_input_empty_table() {
-        let t = compute_routes(1, &HashMap::new());
+        let t = compute_routes(1, &BTreeMap::new());
         assert!(t.is_empty());
     }
 

@@ -39,6 +39,7 @@
 //! assert_eq!(sim.link_stats(link).delivered, 1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod engine;

@@ -15,6 +15,8 @@
 //! All decoders are total: arbitrary bytes produce an error, never a panic
 //! (verified by property tests).
 
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 #![warn(missing_docs)]
 
 pub mod cdap;

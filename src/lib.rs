@@ -14,6 +14,8 @@
 //! * [`inet`] — the current-Internet baseline stack the paper argues
 //!   against (flat addresses, well-known ports, DNS, Mobile-IP).
 
+#![forbid(unsafe_code)]
+
 pub use inet;
 pub use rina;
 pub use rina_efcp as efcp;
