@@ -214,6 +214,33 @@ fn main() {
     }
     push_section(&mut doc, "e10_scalefree", &rows);
 
+    println!("\n## E11 — continuous dynamics: churn, failure, partition\n");
+    println!("| members | leaves | fails | flaps | parts | assemble (s) | churn (s) | reconverge (s) | reach min | agg before | agg after | agg peak | stale | purged | converged |");
+    println!("|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|");
+    let churn_ns: &[usize] = if quick { &[30] } else { &[200, 100, 30] };
+    let rows = par_map(threads, churn_ns.to_vec(), |n| e11_churn::run(n, 1100 + n as u64));
+    for r in &rows {
+        println!(
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |",
+            r.members,
+            r.leaves,
+            r.fails,
+            r.flaps,
+            r.partitions,
+            fmt(r.assemble_s),
+            fmt(r.churn_s),
+            fmt(r.reconverge_s),
+            fmt(r.reach_min),
+            r.agg_before,
+            r.agg_after,
+            r.agg_peak_calm,
+            r.stale_final,
+            r.purged,
+            r.converged
+        );
+    }
+    push_section(&mut doc, "e11_churn", &rows);
+
     let path = write_report("results.json", &finish_doc(doc));
     println!("\n({} written)", path.display());
 }

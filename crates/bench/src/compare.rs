@@ -250,6 +250,13 @@ pub fn default_gates(wall_tol: f64) -> Vec<(&'static str, Gate)> {
         ("ft_delta", Gate::Exact),
         ("deferred", Gate::Exact),
         ("reachable", Gate::Exact),
+        // Churn-phase invariants (deterministic, so gated exactly):
+        // `agg_len` growth means rejoin grants stopped aggregating,
+        // `stale_rib` > 0 means departed state leaked, and a lower
+        // `churn_reach` means reachability dipped after heal windows.
+        ("agg_len", Gate::Exact),
+        ("stale_rib", Gate::Exact),
+        ("churn_reach", Gate::Exact),
         ("wall_s", Gate::WallClock { frac: wall_tol }),
     ]
 }
@@ -575,6 +582,9 @@ mod tests {
                             ("ft_delta".into(), Json::Num(11.0)),
                             ("deferred".into(), Json::Num(0.0)),
                             ("reachable".into(), Json::Bool(true)),
+                            ("agg_len".into(), Json::Num(40.0)),
+                            ("stale_rib".into(), Json::Num(0.0)),
+                            ("churn_reach".into(), Json::Num(1.0)),
                             ("wall_s".into(), Json::Num(w)),
                         ])
                     })
@@ -598,6 +608,33 @@ mod tests {
         let cmp = compare(&base, &fresh, &default_gates(0.25));
         assert!(!cmp.ok());
         assert!(cmp.findings.iter().any(|f| f.metric == "mgmt_pdus" && f.regressed));
+    }
+
+    /// The churn invariants are gated exactly: a leaked stale object or
+    /// a post-heal reachability dip fails even when every other metric
+    /// matches.
+    #[test]
+    fn churn_metric_drift_fails() {
+        let base = sweep(&[("ba2-n16-waves-l0-f0-churn", 1.0, 10.0)]);
+        let mut fresh = sweep(&[("ba2-n16-waves-l0-f0-churn", 1.0, 10.0)]);
+        if let Json::Obj(fields) = &mut fresh {
+            if let Some((_, Json::Arr(cells))) = fields.iter_mut().find(|(k, _)| k == "cells") {
+                if let Json::Obj(row) = &mut cells[0] {
+                    for (k, v) in row.iter_mut() {
+                        if k == "stale_rib" {
+                            *v = Json::Num(3.0);
+                        }
+                        if k == "churn_reach" {
+                            *v = Json::Num(0.9);
+                        }
+                    }
+                }
+            }
+        }
+        let cmp = compare(&base, &fresh, &default_gates(0.25));
+        assert!(!cmp.ok());
+        assert!(cmp.findings.iter().any(|f| f.metric == "stale_rib" && f.regressed));
+        assert!(cmp.findings.iter().any(|f| f.metric == "churn_reach" && f.regressed));
     }
 
     #[test]

@@ -1,0 +1,311 @@
+//! E11 (new): continuous dynamics — churn, failure, and partition on a
+//! live scale-free DIF.
+//!
+//! The paper's architecture claims its strongest ground under *change*:
+//! enrollment (§5.2) is an ordinary operation, not an exceptional one,
+//! so members joining, leaving, crashing, and partitioning should cost
+//! routine mechanism — deletion floods and digest anti-entropy for
+//! state, delta-classified SPF repairs for routes — and leave no scars.
+//! This experiment runs a [`Churn`] timeline (graceful leaves with
+//! rejoin, crash-fails past the sponsor's GC grace, link flaps, a
+//! partition-and-heal) against an assembled Barabási–Albert DIF and
+//! measures exactly the two things that historically rot under churn:
+//!
+//! * **Forwarding-table fragmentation** — a rejoiner granted a
+//!   `max_addr + 1` singleton adds one non-aggregatable range to every
+//!   member's table, forever. With sponsors carving rejoin grants from
+//!   their own prefix blocks, the aggregated size must return to its
+//!   pre-churn figure.
+//! * **Stale state** — departed members' RIB objects (blocks, LSAs,
+//!   directory entries) must be tombstoned DIF-wide, not linger until
+//!   they mislead routing or admission.
+//!
+//! Reachability is sampled between disturbances by walking the live
+//! forwarding tables over a seeded permutation ring (every member
+//! sources and receives one probe per sample), masked by the plan's
+//! disturbance windows plus a reconvergence margin.
+
+use crate::{row_json, Scenario};
+use rina::prelude::*;
+use std::collections::BTreeMap;
+
+/// Result of one churn run.
+#[derive(Debug)]
+pub struct ChurnRow {
+    /// DIF size (members).
+    pub members: usize,
+    /// Disturbance counts: graceful leaves (with rejoin).
+    pub leaves: usize,
+    /// Crash-fails (downtime beyond the sponsor's GC grace).
+    pub fails: usize,
+    /// Single-link flaps.
+    pub flaps: usize,
+    /// Partition-and-heal events.
+    pub partitions: usize,
+    /// Enrollment makespan of the initial assembly (virtual s).
+    pub assemble_s: f64,
+    /// Length of the disturbance timeline (virtual s).
+    pub churn_s: f64,
+    /// Virtual time from the last heal until the DIF re-quiesced:
+    /// assembled, zero stale objects, full table-walk reachability.
+    pub reconverge_s: f64,
+    /// Reachability samples taken outside disturbance windows.
+    pub calm_samples: usize,
+    /// Worst sampled reachability fraction outside disturbance windows.
+    pub reach_min: f64,
+    /// Σ aggregated forwarding entries DIF-wide before churn.
+    pub agg_before: usize,
+    /// Σ aggregated forwarding entries DIF-wide at quiescence — bounded
+    /// by `agg_before` (± ECMP jitter) when rejoin grants aggregate.
+    pub agg_after: usize,
+    /// Largest Σ aggregated entries sampled outside disturbance windows.
+    pub agg_peak_calm: usize,
+    /// Live RIB objects of departed origins anywhere at quiescence
+    /// (must be zero).
+    pub stale_final: usize,
+    /// Members declared failed and garbage-collected by their sponsors.
+    pub purged: u64,
+    /// Own objects re-asserted over wrongful tombstones.
+    pub reasserts: u64,
+    /// Wall-clock cost of the whole run (s).
+    pub wall_s: f64,
+    /// The DIF re-quiesced within the measurement budget.
+    pub converged: bool,
+}
+
+row_json!(ChurnRow {
+    members,
+    leaves,
+    fails,
+    flaps,
+    partitions,
+    assemble_s,
+    churn_s,
+    reconverge_s,
+    calm_samples,
+    reach_min,
+    agg_before,
+    agg_after,
+    agg_peak_calm,
+    stale_final,
+    purged,
+    reasserts,
+    wall_s,
+    converged,
+});
+
+/// Σ aggregated forwarding-table entries over the current members.
+pub fn agg_sum(net: &Net, members: &[IpcpH]) -> usize {
+    members.iter().map(|&h| net.ipcp(h).fwd().aggregated_len()).sum()
+}
+
+/// Live RIB objects anywhere whose origin is not a current member.
+pub fn stale_count(net: &Net, members: &[IpcpH]) -> usize {
+    let addrs: std::collections::BTreeSet<u64> =
+        members.iter().map(|&h| net.ipcp(h).addr).collect();
+    members
+        .iter()
+        .map(|&h| {
+            net.ipcp(h)
+                .rib
+                .iter_prefix("/")
+                .filter(|o| o.origin != 0 && !addrs.contains(&o.origin))
+                .count()
+        })
+        .sum()
+}
+
+/// Walk `src`'s forwarding table hop by hop toward `dst`'s address.
+fn walk(net: &Net, by_addr: &BTreeMap<u64, IpcpH>, src: u64, dst: u64, ttl: usize) -> bool {
+    let mut cur = src;
+    for _ in 0..ttl {
+        if cur == dst {
+            return true;
+        }
+        let Some(&h) = by_addr.get(&cur) else { return false };
+        let Some(hops) = net.ipcp(h).fwd().route(dst) else { return false };
+        let Some(&nh) = hops.first() else { return false };
+        cur = nh;
+    }
+    cur == dst
+}
+
+/// Sampled reachability over the enrolled members: a seeded permutation
+/// ring, so every member sources and receives exactly one probe.
+/// Members mid-rejoin (unenrolled or departed) are excluded — they are
+/// not part of the facility at this instant.
+pub fn reach_fraction(net: &Net, members: &[IpcpH], salt: u64) -> f64 {
+    let live: Vec<u64> = members
+        .iter()
+        .filter(|&&h| {
+            let ip = net.ipcp(h);
+            ip.is_enrolled() && !ip.is_departed()
+        })
+        .map(|&h| net.ipcp(h).addr)
+        .collect();
+    if live.len() < 2 {
+        return 1.0;
+    }
+    let by_addr: BTreeMap<u64, IpcpH> = members.iter().map(|&h| (net.ipcp(h).addr, h)).collect();
+    // Seeded rotation: probe i → i+k in address order, k from the salt.
+    let k = 1 + (salt as usize % (live.len() - 1));
+    let ok = (0..live.len())
+        .filter(|&i| walk(net, &by_addr, live[i], live[(i + k) % live.len()], live.len() + 2))
+        .count();
+    ok as f64 / live.len() as f64
+}
+
+/// Full table-walk reachability over every ordered pair of enrolled
+/// members (the quiescence criterion — O(n²) walks, used sparingly).
+pub fn fully_reachable(net: &Net, members: &[IpcpH]) -> bool {
+    let by_addr: BTreeMap<u64, IpcpH> = members.iter().map(|&h| (net.ipcp(h).addr, h)).collect();
+    let addrs: Vec<u64> = by_addr.keys().copied().collect();
+    addrs
+        .iter()
+        .all(|&s| addrs.iter().all(|&d| s == d || walk(net, &by_addr, s, d, addrs.len() + 2)))
+}
+
+/// Run the default mixed workload (two of each disturbance, one
+/// partition) against an `n`-member Barabási–Albert DIF.
+pub fn run(n: usize, seed: u64) -> ChurnRow {
+    run_with(n, seed, 2, 2, 2, 1)
+}
+
+/// Run a churn timeline with explicit disturbance counts.
+pub fn run_with(
+    n: usize,
+    seed: u64,
+    leaves: usize,
+    fails: usize,
+    flaps: usize,
+    partitions: usize,
+) -> ChurnRow {
+    let wall_t0 = std::time::Instant::now();
+    let mut s = Scenario::new("e11-churn", seed);
+    // Grace below the fail downtime (4 s default pacing): crashes are
+    // garbage-collected by their sponsors, not ridden out.
+    let cfg = DifConfig::new("as").with_member_gc_grace_ms(2_000);
+    let fab =
+        Topology::barabasi_albert(n, 2, seed).with_dif(cfg).with_prefix("as").materialize(&mut s);
+    let members = fab.member_ipcps(&s);
+    let limit = Dur::from_secs(600) * (1 + n as u64 / 500);
+    let mut run = s.assemble(limit, Dur::from_secs(1));
+    let assemble_s = run.assembled_at.expect("assemble() ran").as_secs_f64();
+    let agg_before = agg_sum(&run.net, &members);
+
+    // 12 s epochs leave a measurable calm window between one heal's
+    // convergence margin and the next disturbance.
+    let plan = Churn::new(seed ^ 0x00c4_u64)
+        .with_counts(leaves, fails, flaps, partitions)
+        .with_pacing(Dur::from_secs(12), Dur::from_secs(4), Dur::from_millis(1_200))
+        .plan(&fab);
+    let churn_s = plan.horizon().as_secs_f64();
+    let horizon = plan.horizon();
+    // Convergence margin after each heal before steady-state sampling
+    // resumes: adjacency expiry (~1.5 s), re-enrollment rounds, and the
+    // reassert round-trips when a rejoin races an in-flight purge flood.
+    let margin = Dur::from_secs(5);
+    let mut runner = ChurnRunner::new(plan, &run.net, members.clone());
+
+    let mut calm_samples = 0usize;
+    let mut reach_min = 1.0f64;
+    let mut agg_peak_calm = agg_before;
+    let mut tick = 0u64;
+    while runner.elapsed(&run.net) < horizon {
+        runner.advance(&mut run.net, Dur::from_millis(500));
+        tick += 1;
+        // "Calm" = outside every disturbance window (plus margin) *and*
+        // re-assembled: while a rejoiner's flows are still re-allocating
+        // the DIF is by definition inside a convergence window.
+        if !runner.disturbed(&run.net, margin) && run.net.assembled() {
+            let f = reach_fraction(&run.net, &members, tick);
+            reach_min = reach_min.min(f);
+            calm_samples += 1;
+            agg_peak_calm = agg_peak_calm.max(agg_sum(&run.net, &members));
+        }
+    }
+
+    runner.finish(&mut run.net, Dur::ZERO);
+
+    // Reconvergence: step until the facility re-quiesces — assembled,
+    // no stale objects, every ordered pair reachable on the tables.
+    let heal_at = run.net.sim.now();
+    let mut converged = false;
+    for _ in 0..240 {
+        run.run_for(Dur::from_millis(500));
+        if run.net.assembled()
+            && stale_count(&run.net, &members) == 0
+            && fully_reachable(&run.net, &members)
+        {
+            converged = true;
+            break;
+        }
+    }
+    let reconverge_s = run.net.sim.now().since(heal_at).as_secs_f64();
+
+    let net = &run.net;
+    ChurnRow {
+        members: n,
+        leaves,
+        fails,
+        flaps,
+        partitions,
+        assemble_s,
+        churn_s,
+        reconverge_s,
+        calm_samples,
+        reach_min,
+        agg_before,
+        agg_after: agg_sum(net, &members),
+        agg_peak_calm,
+        stale_final: stale_count(net, &members),
+        purged: members.iter().map(|&h| net.ipcp(h).stats.members_purged).sum(),
+        reasserts: members.iter().map(|&h| net.ipcp(h).stats.reasserts).sum(),
+        wall_s: wall_t0.elapsed().as_secs_f64(),
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    /// The acceptance scenario at debug-friendly scale: a 30-member DIF
+    /// rides out the full mixed workload and re-quiesces clean.
+    #[test]
+    fn thirty_member_dif_survives_mixed_churn() {
+        let r = super::run(30, 71);
+        assert!(r.converged, "never re-quiesced: {r:?}");
+        assert!(r.calm_samples > 0, "no calm window was ever sampled: {r:?}");
+        assert_eq!(r.stale_final, 0, "departed state leaked: {r:?}");
+        assert!(r.purged >= 1, "the crash-fails never hit sponsor GC: {r:?}");
+        // Rejoin grants are carved from sponsor blocks, so the tables
+        // return to their pre-churn aggregated size (± ECMP jitter).
+        assert!(
+            r.agg_after <= r.agg_before + r.members / 10,
+            "churn fragmented the tables: {} -> {}",
+            r.agg_before,
+            r.agg_after
+        );
+        assert!(r.reach_min >= 0.99, "reachability dipped outside disturbance windows: {r:?}");
+    }
+
+    /// CI smoke at 200 members (release-only): the E11 acceptance gate —
+    /// ≥99% sampled reachability outside convergence windows, bounded
+    /// aggregated tables, zero departed-state leaks at quiescence.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn e11_two_hundred_smoke_reconverges_bounded_and_clean() {
+        let r = super::run(200, 29);
+        assert!(r.converged, "never re-quiesced: {r:?}");
+        assert!(r.calm_samples > 0, "no calm window was ever sampled: {r:?}");
+        assert_eq!(r.stale_final, 0, "departed state leaked: {r:?}");
+        assert!(r.reach_min >= 0.99, "reachability dipped: {r:?}");
+        assert!(
+            r.agg_after <= r.agg_before + r.members / 10,
+            "churn fragmented the tables: {} -> {}",
+            r.agg_before,
+            r.agg_after
+        );
+        assert!(r.reconverge_s < 60.0, "reconvergence took {} s", r.reconverge_s);
+        assert!(r.wall_s < 120.0, "200-member churn took {:.1} s wall clock", r.wall_s);
+    }
+}

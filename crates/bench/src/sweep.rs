@@ -198,6 +198,11 @@ pub struct SweepCell {
     pub loss: f64,
     /// Cross-port flood token-bucket rate (objects/s; 0 = unlimited).
     pub flood_rate: u32,
+    /// Run the continuous-dynamics phase (a seeded [`Churn`] timeline —
+    /// leave/rejoin, crash-fail past GC grace, flap, partition — after
+    /// assembly), gating post-churn fragmentation, staleness, and
+    /// reachability.
+    pub churn: bool,
 }
 
 impl SweepCell {
@@ -215,12 +220,13 @@ impl SweepCell {
     /// of the cell, none of its results.
     pub fn id(&self) -> String {
         format!(
-            "{}-n{}-{}-l{}-f{}",
+            "{}-n{}-{}-l{}-f{}{}",
             self.topology.key(),
             self.size,
             self.schedule_key(),
             self.loss,
-            self.flood_rate
+            self.flood_rate,
+            if self.churn { "-churn" } else { "" }
         )
     }
 
@@ -276,6 +282,17 @@ pub struct SweepRow {
     pub deferred: u64,
     /// All sampled reachability pings completed.
     pub reachable: bool,
+    /// Σ aggregated forwarding-table entries DIF-wide at the end of the
+    /// run. In churn cells this is the post-heal figure — growth against
+    /// the baseline means rejoin grants stopped aggregating (the
+    /// `max_addr + 1` fragmentation bug).
+    pub agg_len: u64,
+    /// Live RIB objects of departed origins anywhere at the end of the
+    /// run (must be 0: departed state never outlives its owner).
+    pub stale_rib: u64,
+    /// Worst sampled reachability fraction outside churn disturbance
+    /// windows (1 in non-churn cells).
+    pub churn_reach: f64,
     /// Wall-clock seconds for the cell (machine-dependent).
     pub wall_s: f64,
 }
@@ -296,6 +313,9 @@ row_json!(SweepRow {
     ft_delta,
     deferred,
     reachable,
+    agg_len,
+    stale_rib,
+    churn_reach,
     wall_s,
 });
 
@@ -339,16 +359,37 @@ impl SweepGrid {
 
     /// Every cell, in deterministic enumeration order (the JSON row
     /// order), largest sizes first so the pool starts stragglers early.
+    ///
+    /// On top of the static cross product, every size × topology gets
+    /// one **churn cell** (wave schedule, lossless, unlimited flood):
+    /// the continuous-dynamics phase costs tens of virtual seconds per
+    /// cell, so it rides the default config only — the static dimensions
+    /// already cover schedule/loss/flood interactions.
     pub fn cells(&self) -> Vec<SweepCell> {
         let mut cells = Vec::new();
         let mut sizes = self.sizes.clone();
         sizes.sort_unstable_by(|a, b| b.cmp(a));
         for &size in &sizes {
             for &topology in &self.topologies {
+                cells.push(SweepCell {
+                    size,
+                    topology,
+                    schedule: EnrollSchedule::waves(),
+                    loss: 0.0,
+                    flood_rate: 0,
+                    churn: true,
+                });
                 for &schedule in &self.schedules {
                     for &loss in &self.losses {
                         for &flood_rate in &self.flood_rates {
-                            cells.push(SweepCell { size, topology, schedule, loss, flood_rate });
+                            cells.push(SweepCell {
+                                size,
+                                topology,
+                                schedule,
+                                loss,
+                                flood_rate,
+                                churn: false,
+                            });
                         }
                     }
                 }
@@ -374,7 +415,12 @@ pub fn run_cell(cell: &SweepCell, base_seed: u64) -> SweepRow {
     };
     let base_cfg = DifConfig::new("sweep-dif");
     let burst = base_cfg.flood_burst;
-    let dif_cfg = base_cfg.with_flood_rate(cell.flood_rate, burst);
+    let mut dif_cfg = base_cfg.with_flood_rate(cell.flood_rate, burst);
+    if cell.churn {
+        // Grace below the churn plan's 4 s downtime: crash-fails get
+        // garbage-collected by their sponsors, not ridden out.
+        dif_cfg = dif_cfg.with_member_gc_grace_ms(2_000);
+    }
     let fab = cell
         .topology
         .build(cell.size, seed)
@@ -398,6 +444,37 @@ pub fn run_cell(cell: &SweepCell, base_seed: u64) -> SweepRow {
     // real virtual time to converge.
     let steps = 240 + cell.size;
     run.run_until(Dur::from_millis(500), steps, |net| mesh.all_done(net));
+
+    // Continuous-dynamics phase (churn cells only): run a mixed seeded
+    // disturbance timeline — one leave/rejoin, one crash-fail past GC
+    // grace, one flap, one partition — sampling reachability in the calm
+    // stretches, then step until the DIF re-quiesces. Paced and margined
+    // like E11 (12 s epochs, 5 s convergence margin).
+    let mut churn_reach = 1.0f64;
+    if cell.churn {
+        let plan = Churn::new(seed ^ 0x00c4)
+            .with_counts(1, 1, 1, 1)
+            .with_pacing(Dur::from_secs(12), Dur::from_secs(4), Dur::from_millis(1_200))
+            .plan(&fab);
+        let horizon = plan.horizon();
+        let margin = Dur::from_secs(5);
+        let mut runner = ChurnRunner::new(plan, &run.net, ipcps.clone());
+        let mut tick = 0u64;
+        while runner.elapsed(&run.net) < horizon {
+            runner.advance(&mut run.net, Dur::from_millis(500));
+            tick += 1;
+            if !runner.disturbed(&run.net, margin) && run.net.assembled() {
+                churn_reach =
+                    churn_reach.min(crate::e11_churn::reach_fraction(&run.net, &ipcps, tick));
+            }
+        }
+        runner.finish(&mut run.net, Dur::ZERO);
+        run.run_until(Dur::from_millis(500), 240, |net| {
+            net.assembled()
+                && crate::e11_churn::stale_count(net, &ipcps) == 0
+                && crate::e11_churn::fully_reachable(net, &ipcps)
+        });
+    }
     let net = &run.net;
     let rib_pdus: u64 = ipcps.iter().map(|&h| net.ipcp(h).stats.rib_tx).sum();
     let flood_suppressed: u64 = ipcps.iter().map(|&h| net.ipcp(h).stats.flood_suppressed).sum();
@@ -421,6 +498,9 @@ pub fn run_cell(cell: &SweepCell, base_seed: u64) -> SweepRow {
         ft_delta,
         deferred,
         reachable: mesh.all_done(net),
+        agg_len: crate::e11_churn::agg_sum(net, &ipcps) as u64,
+        stale_rib: crate::e11_churn::stale_count(net, &ipcps) as u64,
+        churn_reach,
         wall_s: wall_t0.elapsed().as_secs_f64(),
     }
 }
@@ -518,14 +598,18 @@ mod tests {
         let cells = grid.cells();
         let ids: std::collections::HashSet<String> = cells.iter().map(|c| c.id()).collect();
         assert_eq!(ids.len(), cells.len(), "cell ids collide");
+        // The static cross product plus one churn cell per size × topology.
         assert_eq!(
             cells.len(),
             grid.sizes.len()
                 * grid.topologies.len()
-                * grid.schedules.len()
-                * grid.losses.len()
-                * grid.flood_rates.len()
+                * (grid.schedules.len() * grid.losses.len() * grid.flood_rates.len() + 1)
         );
+        assert_eq!(
+            cells.iter().filter(|c| c.churn).count(),
+            grid.sizes.len() * grid.topologies.len()
+        );
+        assert!(cells.iter().filter(|c| c.churn).all(|c| c.id().ends_with("-churn")));
     }
 
     #[test]
@@ -536,12 +620,16 @@ mod tests {
             schedule: EnrollSchedule::waves(),
             loss: 0.0,
             flood_rate: 64,
+            churn: false,
         };
         let mut d = c.clone();
         d.loss = 0.02;
         assert_ne!(c.seed(1), d.seed(1));
         assert_ne!(c.seed(1), c.seed(2));
         assert_eq!(c.seed(1), c.seed(1));
+        let mut e = c.clone();
+        e.churn = true;
+        assert_ne!(c.seed(1), e.seed(1), "churn is part of the cell identity");
     }
 
     #[test]
@@ -562,6 +650,9 @@ mod tests {
             ft_delta: 12,
             deferred: 0,
             reachable: true,
+            agg_len: 40,
+            stale_rib: 0,
+            churn_reach: 1.0,
             wall_s: 0.123456,
         };
         let doc = sweep_doc(std::slice::from_ref(&row), 4);
@@ -583,6 +674,7 @@ mod tests {
             schedule: EnrollSchedule::waves(),
             loss: 0.0,
             flood_rate: 64,
+            churn: false,
         };
         let a = run_cell(&cell, 1);
         let b = run_cell(&cell, 1);
@@ -590,5 +682,29 @@ mod tests {
         assert_eq!(a.makespan_s, b.makespan_s);
         assert_eq!(a.mgmt_pdus, b.mgmt_pdus);
         assert_eq!(a.rib_pdus, b.rib_pdus);
+        assert_eq!(a.stale_rib, 0);
+        assert_eq!(a.churn_reach, 1.0, "non-churn cells report full reachability");
+    }
+
+    /// A tiny churn cell: the continuous-dynamics phase runs, quiesces
+    /// clean, and is reproducible.
+    #[test]
+    fn small_churn_cell_quiesces_clean_and_reproduces() {
+        let cell = SweepCell {
+            size: 8,
+            topology: SweepTopology::ScaleFree,
+            schedule: EnrollSchedule::waves(),
+            loss: 0.0,
+            flood_rate: 0,
+            churn: true,
+        };
+        let a = run_cell(&cell, 1);
+        let b = run_cell(&cell, 1);
+        assert!(a.reachable, "{a:?}");
+        assert_eq!(a.stale_rib, 0, "departed state leaked: {a:?}");
+        assert!(a.churn_reach >= 0.99, "reachability dipped in calm windows: {a:?}");
+        assert_eq!(a.agg_len, b.agg_len);
+        assert_eq!(a.rib_pdus, b.rib_pdus);
+        assert_eq!(a.churn_reach, b.churn_reach);
     }
 }

@@ -102,6 +102,15 @@ pub struct DifConfig {
     /// Burst size of the flood token bucket (only meaningful when
     /// [`DifConfig::flood_rate`] is nonzero).
     pub flood_burst: u32,
+    /// How long a sponsor waits after a sponsored member's adjacency
+    /// expires before declaring it failed and garbage-collecting its
+    /// RIB objects (member record, block, LSA, directory entries) via
+    /// deletion floods, in milliseconds. The grace must comfortably
+    /// exceed a link flap plus re-enrollment, because a purge of a
+    /// live member costs one reassert round trip (the owner rewrites
+    /// its objects at a higher version). `0` disables failure GC —
+    /// departed state then only leaves via graceful leave.
+    pub member_gc_grace_ms: u64,
 }
 
 impl DifConfig {
@@ -122,6 +131,7 @@ impl DifConfig {
             lsa_debounce_ms: 100,
             flood_rate: 64,
             flood_burst: 256,
+            member_gc_grace_ms: 10_000,
         }
     }
 
@@ -204,6 +214,13 @@ impl DifConfig {
     pub fn with_flood_rate(mut self, rate: u32, burst: u32) -> Self {
         self.flood_rate = rate;
         self.flood_burst = burst.max(1);
+        self
+    }
+
+    /// Builder-style failure-GC grace override, in milliseconds (`0`
+    /// disables sponsor-side garbage collection of failed members).
+    pub fn with_member_gc_grace_ms(mut self, ms: u64) -> Self {
+        self.member_gc_grace_ms = ms;
         self
     }
 

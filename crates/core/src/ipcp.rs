@@ -219,6 +219,17 @@ pub enum IpcpOut {
     },
     /// Enrollment completed; the IPC process now has an address.
     Enrolled,
+    /// An (N-1) adjacency's hellos went silent past the expiry deadline.
+    /// The node must check whether it owns the flow behind this port
+    /// (an adjacency plan allocated it) and, if so, tear the dead flow
+    /// down and re-allocate: after a peer crash-restart the remote end
+    /// of the old flow no longer exists, so hellos can never resume on
+    /// it — without an active re-allocation the adjacency would stay
+    /// dead forever and silently partition the DIF.
+    N1Expired {
+        /// (N-1) port index whose peer expired.
+        n1: usize,
+    },
 }
 
 /// Counters the experiments aggregate per DIF.
@@ -248,6 +259,12 @@ pub struct IpcpStats {
     pub flow_reqs_in: u64,
     /// Undecodable frames received.
     pub decode_errors: u64,
+    /// Sponsored members declared failed and garbage-collected.
+    pub members_purged: u64,
+    /// Objects of ours someone else clobbered (usually a wrong failure
+    /// purge across a partition) that we re-asserted at a higher
+    /// version.
+    pub reasserts: u64,
 }
 
 enum Pending {
@@ -295,6 +312,22 @@ pub struct Ipcp {
     /// joiner name → (admitted at, granted address, granted block). Size
     /// is capped by the DIF's admission window.
     admitting: BTreeMap<AppName, (Time, Addr, (Addr, Addr))>,
+    /// Members this process sponsored and saw come up (first enrolled
+    /// hello): joiner name → granted address. The sponsor owns these
+    /// members' failure garbage collection.
+    sponsored: BTreeMap<AppName, Addr>,
+    /// Sponsored members whose adjacency expired, on failure watch:
+    /// name → (address, when the watch was armed). If nothing proves
+    /// the member alive within [`DifConfig::member_gc_grace_ms`], its
+    /// RIB objects are purged (one-shot).
+    gc_watch: BTreeMap<AppName, (Addr, Time)>,
+    /// Applications registered here (drives directory reasserts when a
+    /// wrong purge tombstones one of our `/dir/*` entries).
+    registered: Vec<AppName>,
+    /// This member announced a graceful leave: its objects are
+    /// tombstoned and it must not originate new state (LSA refreshes,
+    /// reasserts) that would resurrect itself while it lingers.
+    departed: bool,
     /// Backoff hint from the last busy sponsor response; the node's
     /// enrollment-retry timer consumes it.
     retry_hint: Option<Dur>,
@@ -356,6 +389,10 @@ impl Ipcp {
             pending: BTreeMap::new(),
             enroll_via: None,
             admitting: BTreeMap::new(),
+            sponsored: BTreeMap::new(),
+            gc_watch: BTreeMap::new(),
+            registered: Vec::new(),
+            departed: false,
             retry_hint: None,
             out: Vec::new(),
             stats: IpcpStats::default(),
@@ -507,7 +544,8 @@ impl Ipcp {
         // Expire neighbors we have not heard from.
         let deadline = self.cfg.hello_period * self.cfg.hello_misses as u64;
         let mut changed = false;
-        for p in &mut self.n1 {
+        let mut lost: Vec<AppName> = Vec::new();
+        for (i, p) in self.n1.iter_mut().enumerate() {
             if p.up
                 && p.peer_addr != 0
                 && p.last_hello != Time::ZERO
@@ -519,10 +557,43 @@ impl Ipcp {
                 // (see `n1_down`).
                 p.tree = false;
                 changed = true;
+                if let Some(n) = p.peer_name.clone() {
+                    lost.push(n);
+                }
+                self.out.push(IpcpOut::N1Expired { n1: i });
             }
         }
         if changed {
-            self.refresh_lsa(now);
+            // Adjacency *loss* is urgent: bypass the LSA debounce so
+            // the withdrawal floods — and the local table repairs via
+            // the delta-classified remove path — this tick, not one
+            // debounce window later.
+            self.write_lsa_now();
+        }
+        // Sponsored members whose adjacency just expired go on failure
+        // watch; anything proving them alive (a hello, a newly applied
+        // object of theirs) cancels it.
+        for n in lost {
+            if let Some(&a) = self.sponsored.get(&n) {
+                self.gc_watch.entry(n).or_insert((a, now));
+            }
+        }
+        if self.cfg.member_gc_grace_ms != 0 && !self.departed && !self.gc_watch.is_empty() {
+            let grace = Dur::from_millis(self.cfg.member_gc_grace_ms);
+            let due: Vec<(AppName, Addr)> = self
+                .gc_watch
+                .iter()
+                .filter(|&(_, &(_, t))| now.since(t) > grace)
+                .map(|(n, &(a, _))| (n.clone(), a))
+                .collect();
+            for (n, a) in due {
+                // One-shot: untrack before purging, so a member that
+                // was in fact alive is corrected by its own reassert
+                // instead of being purged again on the next expiry.
+                self.gc_watch.remove(&n);
+                self.sponsored.remove(&n);
+                self.purge_member(&n, a);
+            }
         }
     }
 
@@ -618,7 +689,8 @@ impl Ipcp {
                 // every historical enrollment edge flood rate-unlimited
                 // forever.
                 p.tree = false;
-                self.refresh_lsa(now);
+                // Loss bypasses the debounce (see `tick_hello`).
+                self.write_lsa_now();
             }
         }
     }
@@ -631,6 +703,77 @@ impl Ipcp {
             p.last_hello = now;
         }
         self.send_hello(n1);
+    }
+
+    /// Gracefully leave the DIF: tombstone every object this member is
+    /// responsible for — its member record, delegated block, LSA, and
+    /// everything it originated (directory registrations included) — so
+    /// the deletions flood and anti-entropy exactly like any other RIB
+    /// update, and stop originating new state. The caller must keep the
+    /// process attached for at least one hello period afterwards so the
+    /// queued tombstones actually leave the node (leave vs fail is
+    /// precisely "the tombstones got out" vs "the sponsor's failure GC
+    /// has to reconstruct them").
+    pub fn announce_leave(&mut self, now: Time) {
+        if !self.enrolled || self.is_shim || self.departed {
+            return;
+        }
+        self.clock = self.clock.max(now);
+        self.departed = true;
+        for n in self.departure_names(&self.name.clone(), self.addr) {
+            self.rib.delete_local(&n);
+        }
+        self.drain_rib();
+    }
+
+    /// The RIB objects that depart with member (`name`, `addr`): its
+    /// member record, delegated block, LSA, and everything else it
+    /// originated — EXCEPT the member and block records it wrote *as a
+    /// sponsor* for other members. Those records carry the sponsor's
+    /// origin (admission authored them) but describe still-live members;
+    /// tombstoning them would force every described member through a
+    /// reassert round for state that was never the departing member's
+    /// to retract.
+    fn departure_names(&self, name: &AppName, addr: Addr) -> Vec<String> {
+        let member_rec = format!("/members/{}", name.key());
+        let mut names: Vec<String> = self
+            .rib
+            .live_of_origin(addr)
+            .into_iter()
+            .filter(|n| {
+                if let Some(owner) = n.strip_prefix(BLOCK_PREFIX) {
+                    return owner.parse::<u64>().map(|a| a == addr).unwrap_or(true);
+                }
+                if n.starts_with("/members/") {
+                    return *n == member_rec;
+                }
+                true
+            })
+            .collect();
+        names.push(member_rec);
+        names.push(block_name(addr));
+        names.push(Lsa::object_name(addr));
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
+
+    /// Whether this member has announced a graceful leave.
+    pub fn is_departed(&self) -> bool {
+        self.departed
+    }
+
+    /// Garbage-collect a failed sponsored member: tombstone its member
+    /// record, block, LSA, and every other live object it originated
+    /// (directory entries, re-asserted records). The tombstones ride
+    /// the ordinary dissemination machinery — flood now, digest-driven
+    /// anti-entropy later — so departed state cannot linger anywhere.
+    fn purge_member(&mut self, name: &AppName, addr: Addr) {
+        for n in self.departure_names(name, addr) {
+            self.rib.delete_local(&n);
+        }
+        self.stats.members_purged += 1;
+        self.drain_rib();
     }
 
     /// Re-advertise our LSA if the live neighbor set changed — with a
@@ -669,8 +812,16 @@ impl Ipcp {
     }
 
     /// Unconditionally recompute the neighbor set and, if it differs
-    /// from what we advertise, write and disseminate a new LSA version.
+    /// from what we advertise, write and disseminate a new LSA version —
+    /// then repair the local forwarding table immediately: our own
+    /// adjacency changes are delta-classified like any other edge, so
+    /// the repair is cheap, and failure rerouting must not wait out the
+    /// node's debounce window.
     fn write_lsa_now(&mut self) {
+        if !self.enrolled || self.is_shim || self.departed {
+            // A departed member must not resurrect its tombstoned LSA.
+            return;
+        }
         self.lsa_dirty = false;
         let mut neigh: Vec<Addr> =
             self.n1.iter().filter(|p| p.up && p.peer_addr != 0).map(|p| p.peer_addr).collect();
@@ -684,6 +835,7 @@ impl Ipcp {
         let lsa = Lsa { neighbors: neigh.into_iter().map(|a| (a, 1)).collect() };
         self.rib.write_local(&Lsa::object_name(self.addr), LSA_CLASS, lsa.encode());
         self.drain_rib();
+        self.engine.recompute();
     }
 
     /// Drain the RIB's `/lsa/*` watch queue into the routing engine —
@@ -733,10 +885,11 @@ impl Ipcp {
         self.engine.dirty()
     }
 
-    /// Whether the queued LSA deltas include one classified for the
-    /// full-recomputation fallback (own-LSA change). Delta-classified
-    /// batches are cheap, so the node debounces them on a short constant
-    /// instead of the LSA-count-stretched window.
+    /// Whether the queued LSA deltas require the full-recomputation
+    /// fallback (bootstrap, re-rooting after enrollment). Ordinary
+    /// delta-classified batches — neighbor changes included — are
+    /// cheap, so the node debounces them on a short constant instead of
+    /// the LSA-count-stretched window.
     pub fn pending_full_recompute(&self) -> bool {
         self.engine.pending_full()
     }
@@ -818,8 +971,15 @@ impl Ipcp {
     /// Choose the address and block for an enrollee, honouring its
     /// proposal when it conflicts with nothing we know. Sibling blocks
     /// must stay disjoint: a proposal that *partially* overlaps a known
-    /// block (neither contains the other) falls back to a fresh singleton
-    /// past everything delegated so far.
+    /// block (neither contains the other) is refused. A refused or
+    /// absent proposal no longer dooms the joiner to a fragmenting
+    /// singleton: a re-enrolling member gets its previous grant back
+    /// (identity reuse — its stale records become its records again
+    /// instead of colliding with them), and otherwise the sponsor
+    /// *carves* a fresh sub-range out of its own delegated block, so
+    /// unplanned joiners stay aggregatable with the sponsor's subtree.
+    /// Only when the block is exhausted does the legacy fallback — a
+    /// singleton past everything delegated — fire.
     fn assign_enrollee(
         &self,
         name: &AppName,
@@ -861,12 +1021,94 @@ impl Ipcp {
                 taken = true;
             }
         }
-        if taken {
-            let a = max_addr + 1;
-            (a, (a, a))
-        } else {
-            (proposed_addr, proposed_block)
+        if !taken {
+            return (proposed_addr, proposed_block);
         }
+        // Identity reuse: a member that failed (or lost its state) and
+        // re-enrolls under the same name is re-granted its recorded
+        // address and block.
+        if let Some(a) = self.rib.get(&own_member_name).and_then(|o| decode_addr(&o.value)) {
+            if a != 0 && a != self.addr {
+                let b = self
+                    .rib
+                    .get(&block_name(a))
+                    .and_then(|o| decode_block(&o.value))
+                    .filter(|&(lo, hi)| lo <= a && a <= hi)
+                    .unwrap_or((a, a));
+                return (a, b);
+            }
+        }
+        if let Some(grant) = self.carve_block() {
+            return grant;
+        }
+        let a = max_addr + 1;
+        (a, (a, a))
+    }
+
+    /// Carve an unused sub-range out of this member's own delegated
+    /// block for a joiner that proposed nothing usable: the joiner gets
+    /// the first address of the largest free gap, plus the first half
+    /// of that gap as its own block to sponsor from. Repeated carving
+    /// halves geometrically, so one sponsor absorbs O(log block-size)
+    /// generations of unplanned joiners before ever falling back to a
+    /// singleton — this is what keeps `aggregated_len` bounded under
+    /// churn. Returns `None` when the block is a singleton or fully
+    /// delegated.
+    fn carve_block(&self) -> Option<(Addr, (Addr, Addr))> {
+        let (lo, hi) = self.block;
+        if lo >= hi {
+            return None;
+        }
+        // Everything already spoken for inside our block: our own
+        // address, delegated sub-blocks, and member addresses in range.
+        // Blocks *containing* ours are ancestors' (enrollment delegates
+        // top-down) — carving may only subdivide what was delegated to
+        // us, so they are skipped, as is our own block record.
+        let mut occ: Vec<(Addr, Addr)> = vec![(self.addr, self.addr)];
+        for o in self.rib.iter_prefix(BLOCK_PREFIX) {
+            let Some(b) = decode_block(&o.value) else { continue };
+            if b.0 <= lo && hi <= b.1 {
+                continue;
+            }
+            if b.1 >= lo && b.0 <= hi {
+                occ.push((b.0.max(lo), b.1.min(hi)));
+            }
+        }
+        for o in self.rib.iter_prefix("/members/") {
+            if let Some(a) = decode_addr(&o.value) {
+                if lo <= a && a <= hi {
+                    occ.push((a, a));
+                }
+            }
+        }
+        occ.sort_unstable();
+        let mut merged: Vec<(Addr, Addr)> = Vec::new();
+        for r in occ {
+            match merged.last_mut() {
+                Some(m) if r.0 <= m.1.saturating_add(1) => m.1 = m.1.max(r.1),
+                _ => merged.push(r),
+            }
+        }
+        // Largest free gap between the merged occupied ranges.
+        let mut gaps: Vec<(Addr, Addr)> = Vec::new();
+        let mut cursor = lo;
+        for m in &merged {
+            if m.0 > cursor {
+                gaps.push((cursor, m.0 - 1));
+            }
+            cursor = cursor.max(m.1.saturating_add(1));
+        }
+        if cursor <= hi {
+            gaps.push((cursor, hi));
+        }
+        let mut best: Option<(Addr, Addr)> = None;
+        for (g0, g1) in gaps {
+            if best.is_none_or(|(b0, b1)| g1 - g0 > b1 - b0) {
+                best = Some((g0, g1));
+            }
+        }
+        let (g0, g1) = best?;
+        Some((g0, (g0, g0 + (g1 - g0) / 2)))
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -916,6 +1158,9 @@ impl Ipcp {
             }
         };
         self.admitting.insert(name.clone(), (now, new_addr, new_block));
+        // An enrollment request is proof of life: a re-enrolling member
+        // must not be purged by its own pending failure watch.
+        self.gc_watch.remove(&name);
         self.stats.enrollments_sponsored += 1;
         // Value-guarded: a re-granting retry must not bump versions and
         // re-flood two unchanged objects to the whole DIF.
@@ -1018,6 +1263,9 @@ impl Ipcp {
         if self.is_shim {
             return; // shims have an implicit two-party directory
         }
+        if !self.registered.contains(app) {
+            self.registered.push(app.clone());
+        }
         self.rib.write_local(&format!("/dir/{}", app.key()), "dir", encode_addr(self.addr));
         self.drain_rib();
     }
@@ -1027,6 +1275,7 @@ impl Ipcp {
         if self.is_shim {
             return;
         }
+        self.registered.retain(|r| r != app);
         self.rib.delete_local(&format!("/dir/{}", app.key()));
         self.drain_rib();
     }
@@ -1470,8 +1719,15 @@ impl Ipcp {
                 let mut new_member = false;
                 if addr != 0 {
                     // An enrolled hello confirms the joiner is up: its
-                    // admission-window slot (if any) frees.
-                    self.admitting.remove(&name);
+                    // admission-window slot (if any) frees, and from
+                    // here on this sponsor owns its failure GC.
+                    if let Some((_, granted, _)) = self.admitting.remove(&name) {
+                        if granted == addr {
+                            self.sponsored.insert(name.clone(), granted);
+                        }
+                    }
+                    // Any hello from a watched member proves it alive.
+                    self.gc_watch.remove(&name);
                 }
                 if let Some(p) = self.n1.get_mut(from_n1) {
                     p.last_hello = now;
@@ -1609,8 +1865,67 @@ impl Ipcp {
     /// of remote LSAs collapses into one classified SPF repair).
     fn apply_and_reflood(&mut self, obj: RibObject, from_n1: usize) {
         if self.rib.apply_remote_silent(obj.clone()) {
+            // A genuinely new version from a watched origin proves the
+            // member alive: cancel its pending failure GC.
+            if obj.origin != 0 && !self.gc_watch.is_empty() {
+                self.gc_watch.retain(|_, &mut (a, _)| a != obj.origin);
+            }
+            if self.reassert_own(&obj) {
+                // The stale update was superseded, not re-flooded: the
+                // correction from `drain_rib` floods in its place.
+                return;
+            }
             self.flood_rib(&obj, Some(from_n1));
         }
+    }
+
+    /// If `obj` (just applied) clobbers an object this member is
+    /// authoritative for — its member record, its block, its LSA, or a
+    /// live directory registration of its own — rewrite the truth and
+    /// flood the correction ([`Rib::write_local`] bumps above whatever
+    /// version is stored, tombstones included, so one round suffices).
+    /// This is the self-healing half of failure GC: a sponsor that
+    /// wrongly purges a member it could not see (partition, long flap)
+    /// costs the DIF one reassert round of that member's objects,
+    /// nothing more. Returns whether a correction was issued.
+    ///
+    /// `obj.origin == self.addr` is NOT exempted: an applied remote
+    /// object bearing our own origin cannot be an echo of our own write
+    /// (same `(version, origin)` is never newer), so it is a previous
+    /// incarnation's record — typically the departure tombstone of a
+    /// member that left and rejoined under its old address, racing the
+    /// rejoin floods. Without the correction the rejoiner's LSA stays
+    /// tombstoned DIF-wide (nothing re-marks it dirty: the neighbor set
+    /// matches what it believes it advertises) and the member is
+    /// silently unroutable until its next adjacency change.
+    fn reassert_own(&mut self, obj: &RibObject) -> bool {
+        if !self.enrolled || self.is_shim || self.departed {
+            return false;
+        }
+        let truth: Option<(&str, Bytes)> = if obj.name == format!("/members/{}", self.name.key()) {
+            Some(("member", encode_addr(self.addr)))
+        } else if obj.name == block_name(self.addr) {
+            Some((BLOCK_CLASS, encode_block(self.block)))
+        } else if obj.name == Lsa::object_name(self.addr) {
+            let lsa = Lsa { neighbors: self.advertised.iter().map(|&a| (a, 1)).collect() };
+            Some((LSA_CLASS, lsa.encode()))
+        } else if let Some(app) = obj.name.strip_prefix("/dir/") {
+            self.registered.iter().any(|r| r.key() == app).then(|| ("dir", encode_addr(self.addr)))
+        } else {
+            None
+        };
+        let Some((class, value)) = truth else { return false };
+        let wrong = match self.rib.get(&obj.name) {
+            None => true, // tombstoned (a live different value is also wrong)
+            Some(o) => o.value != value,
+        };
+        if !wrong {
+            return false;
+        }
+        self.stats.reasserts += 1;
+        self.rib.write_local(&obj.name, class, value);
+        self.drain_rib();
+        true
     }
 
     /// Queue one RIB object for flooding to every live, enrolled
@@ -1732,11 +2047,11 @@ impl Ipcp {
     }
 
     /// Flush RIB events, feed the engine, and disseminate queued updates
-    /// to all live neighbors. Own-LSA changes recompute immediately
-    /// (they are rare and latency-sensitive — failure rerouting,
-    /// enrollment — and they require the full path anyway); remote
+    /// to all live neighbors. Bootstrap/re-root states (the only
+    /// full-path classifications left) recompute immediately; remote
     /// deltas keep waiting for the node's debounce timer and ride along
-    /// in whichever recomputation runs first.
+    /// in whichever recomputation runs first. Local LSA writes also
+    /// recompute immediately, in [`Ipcp::write_lsa_now`].
     fn drain_rib(&mut self) {
         while let Some(ev) = self.rib.poll_event() {
             let _ = matches!(ev, RibEvent::Deleted(_));
@@ -2065,7 +2380,7 @@ mod tests {
     /// swallow an existing delegation — otherwise two sponsors would
     /// both believe they own the swallowed range.
     #[test]
-    fn block_proposal_swallowing_a_sibling_falls_back() {
+    fn block_proposal_swallowing_a_sibling_is_refused_and_carved() {
         let mut sponsor = mk("net.s");
         sponsor.bootstrap(1);
         sponsor.set_block((1, 50));
@@ -2097,12 +2412,14 @@ mod tests {
         );
         let (r, a2, b2, _) = last_enroll_response(&mut sponsor);
         assert_eq!(r, 0);
-        assert!(a2 > 50, "fallback clears every known range, got {a2}");
-        assert_eq!(b2, (a2, a2));
+        // The refused proposal is replaced by a carve from the
+        // sponsor's own block: the largest free gap is (11, 50), the
+        // joiner gets its first address and its first half.
+        assert_eq!((a2, b2), (11, (11, 30)));
     }
 
     #[test]
-    fn partially_overlapping_block_proposal_falls_back_to_singleton() {
+    fn partially_overlapping_block_proposal_gets_a_carved_block() {
         let mut sponsor = mk("net.s");
         sponsor.bootstrap(1);
         sponsor.set_block((1, 50));
@@ -2121,7 +2438,7 @@ mod tests {
         let (_, a, b, _) = last_enroll_response(&mut sponsor);
         assert_eq!((a, b), (2, (2, 20)));
         // net.b claims (15, 30): straddles net.a's block — rejected
-        // proposal, fallback past every delegated range.
+        // proposal, replaced by a carve of the free (21, 50) gap.
         sponsor.handle_enroll_request(
             1,
             AppName::new("net.b"),
@@ -2134,8 +2451,7 @@ mod tests {
         );
         let (r, a2, b2, _) = last_enroll_response(&mut sponsor);
         assert_eq!(r, 0);
-        assert!(a2 > 50, "fallback must clear the sponsor's whole block, got {a2}");
-        assert_eq!(b2, (a2, a2));
+        assert_eq!((a2, b2), (21, (21, 35)));
     }
 
     #[test]
@@ -2246,5 +2562,283 @@ mod tests {
         assert!(a.rib.apply_remote_silent(alien));
         a.recompute_routes_now();
         assert_eq!(a.lsa_count(), 2, "foreign class ignored by the mirror");
+    }
+
+    /// Joiners with no usable proposal get nested sub-ranges carved out
+    /// of the sponsor's own block — disjoint, in-block, and halving —
+    /// instead of fragmenting singletons.
+    #[test]
+    fn carving_gives_unplanned_joiners_nested_aggregatable_blocks() {
+        let mut sponsor = mk("net.s");
+        sponsor.bootstrap(1);
+        sponsor.set_block((1, 64));
+        for i in 0..3 {
+            sponsor.add_n1(N1Kind::Phys { iface: i, mtu: 1500 });
+        }
+        let mut grants = Vec::new();
+        for (i, name) in ["net.a", "net.b", "net.c"].iter().enumerate() {
+            sponsor.handle_enroll_request(
+                i,
+                AppName::new(name),
+                String::new(),
+                0,
+                (0, 0),
+                DigestTable::default(),
+                i as u32 + 1,
+                Time::ZERO,
+            );
+            let (r, a, b, _) = last_enroll_response(&mut sponsor);
+            assert_eq!(r, 0);
+            grants.push((a, b));
+        }
+        assert_eq!(grants, vec![(2, (2, 33)), (34, (34, 49)), (50, (50, 57))]);
+        for &(a, (lo, hi)) in &grants {
+            assert!(1 <= lo && hi <= 64, "carves stay inside the sponsor's block");
+            assert!(lo <= a && a <= hi);
+        }
+        for (i, &(_, x)) in grants.iter().enumerate() {
+            for &(_, y) in &grants[i + 1..] {
+                assert!(x.1 < y.0 || y.1 < x.0, "carved blocks stay disjoint");
+            }
+        }
+    }
+
+    /// A member that failed (losing all its state) and re-enrolls under
+    /// the same name gets its recorded address and block back instead
+    /// of colliding with its own stale records.
+    #[test]
+    fn failed_member_re_enrolls_with_its_old_grant() {
+        let mut sponsor = mk("net.s");
+        sponsor.bootstrap(1);
+        sponsor.set_block((1, 64));
+        sponsor.add_n1(N1Kind::Phys { iface: 0, mtu: 1500 });
+        sponsor.handle_enroll_request(
+            0,
+            AppName::new("net.x"),
+            String::new(),
+            0,
+            (0, 0),
+            DigestTable::default(),
+            1,
+            Time::ZERO,
+        );
+        let (_, first_addr, first_block, _) = last_enroll_response(&mut sponsor);
+        // The joiner came up (enrolled hello), then crashed and lost its
+        // state entirely: its fresh incarnation proposes nothing.
+        let hello = MgmtBody::Hello {
+            name: AppName::new("net.x"),
+            addr: first_addr,
+            digests: DigestTable::default(),
+        }
+        .encode(0, 0);
+        let pdu = Pdu::Mgmt(MgmtPdu { dest_addr: 0, src_addr: first_addr, ttl: 1, payload: hello });
+        sponsor.on_frame(0, pdu.encode(), Time::ZERO);
+        sponsor.take_out();
+        sponsor.handle_enroll_request(
+            0,
+            AppName::new("net.x"),
+            String::new(),
+            0,
+            (0, 0),
+            DigestTable::default(),
+            2,
+            Time::from_secs(10),
+        );
+        let (r, again_addr, again_block, _) = last_enroll_response(&mut sponsor);
+        assert_eq!(r, 0);
+        assert_eq!((again_addr, again_block), (first_addr, first_block), "identity reuse");
+        let rec = decode_addr(&sponsor.rib.get("/members/net.x").unwrap().value).unwrap();
+        assert_eq!(rec, first_addr, "one member record, unchanged");
+    }
+
+    /// Sponsor-side failure GC: a sponsored member that goes silent past
+    /// the grace has its member record, block, and LSA tombstoned; any
+    /// sign of life within the grace cancels the purge.
+    #[test]
+    fn sponsor_purges_a_silent_sponsored_member_after_grace() {
+        let mut sponsor = Ipcp::new(
+            0,
+            DifConfig::new("net").with_member_gc_grace_ms(2_000),
+            AppName::new("net.s"),
+        );
+        sponsor.bootstrap(1);
+        sponsor.set_block((1, 64));
+        sponsor.add_n1(N1Kind::Phys { iface: 0, mtu: 1500 });
+        sponsor.handle_enroll_request(
+            0,
+            AppName::new("net.x"),
+            String::new(),
+            0,
+            (0, 0),
+            DigestTable::default(),
+            1,
+            Time::ZERO,
+        );
+        let (_, addr, _, _) = last_enroll_response(&mut sponsor);
+        let hello = |t: Time, s: &mut Ipcp| {
+            let h = MgmtBody::Hello {
+                name: AppName::new("net.x"),
+                addr,
+                digests: DigestTable::default(),
+            }
+            .encode(0, 0);
+            let pdu = Pdu::Mgmt(MgmtPdu { dest_addr: 0, src_addr: addr, ttl: 1, payload: h });
+            s.on_frame(0, pdu.encode(), t);
+        };
+        hello(Time::from_millis(100), &mut sponsor);
+        // The member also flooded an LSA before dying.
+        assert!(sponsor.rib.apply_remote_silent(lsa_obj(addr, &[(1, 1)], 1, false)));
+        // Silence: hellos expire the adjacency (3 misses × 500 ms),
+        // arming the watch; the grace later runs out and the purge
+        // fires.
+        let mut purged_at = None;
+        for ms in (500..=6_000).step_by(500) {
+            sponsor.tick_hello(Time::from_millis(ms));
+            sponsor.take_out();
+            if sponsor.stats.members_purged > 0 {
+                purged_at = Some(ms);
+                break;
+            }
+        }
+        let purged_at = purged_at.expect("the purge fired");
+        assert!(purged_at >= 3_500, "expiry (~1.5 s) plus grace (2 s), got {purged_at} ms");
+        assert!(sponsor.rib.get("/members/net.x").is_none());
+        assert!(sponsor.rib.get(&block_name(addr)).is_none());
+        assert!(sponsor.rib.get(&Lsa::object_name(addr)).is_none());
+        assert!(sponsor.rib.live_of_origin(addr).is_empty());
+
+        // Same scenario, but the member hellos again inside the grace:
+        // nothing is purged.
+        let mut sponsor2 = Ipcp::new(
+            0,
+            DifConfig::new("net").with_member_gc_grace_ms(2_000),
+            AppName::new("net.s"),
+        );
+        sponsor2.bootstrap(1);
+        sponsor2.set_block((1, 64));
+        sponsor2.add_n1(N1Kind::Phys { iface: 0, mtu: 1500 });
+        sponsor2.handle_enroll_request(
+            0,
+            AppName::new("net.x"),
+            String::new(),
+            0,
+            (0, 0),
+            DigestTable::default(),
+            1,
+            Time::ZERO,
+        );
+        let (_, addr2, _, _) = last_enroll_response(&mut sponsor2);
+        assert_eq!(addr2, addr);
+        hello(Time::from_millis(100), &mut sponsor2);
+        for ms in (500..=2_500).step_by(500) {
+            sponsor2.tick_hello(Time::from_millis(ms));
+        }
+        // Alive after all: the returning hellos cancel the watch and
+        // keep the adjacency from re-expiring.
+        for ms in (3_000..=8_000).step_by(500) {
+            hello(Time::from_millis(ms), &mut sponsor2);
+            sponsor2.tick_hello(Time::from_millis(ms));
+            sponsor2.take_out();
+        }
+        assert_eq!(sponsor2.stats.members_purged, 0, "the flap was not a failure");
+        assert!(sponsor2.rib.get("/members/net.x").is_some());
+    }
+
+    /// A wrong purge (the member was alive behind a partition) is
+    /// healed in one round: the owner rewrites its objects at a higher
+    /// version than the tombstone.
+    #[test]
+    fn wrong_purge_is_reasserted_by_the_owner() {
+        let mut a = mk("net.a");
+        a.bootstrap(1);
+        a.dir_register(&AppName::new("web"));
+        a.take_out();
+        for name in ["/members/net.a", "/dir/web"] {
+            let cur = a.rib.get(name).expect("live before the purge");
+            let tomb = RibObject {
+                name: name.into(),
+                class: cur.class.clone(),
+                value: Bytes::new(),
+                version: cur.version + 1,
+                origin: 9,
+                deleted: true,
+            };
+            a.apply_and_reflood(tomb, 0);
+        }
+        assert_eq!(a.stats.reasserts, 2);
+        let rec = a.rib.get("/members/net.a").expect("reasserted");
+        assert_eq!(decode_addr(&rec.value), Some(1));
+        assert_eq!(a.dir_lookup(&AppName::new("web")), Some(1));
+        // An unregistered app's tombstone is accepted, not fought.
+        a.dir_unregister(&AppName::new("web"));
+        assert_eq!(a.dir_lookup(&AppName::new("web")), None);
+    }
+
+    /// Graceful leave tombstones everything the member owns and stops
+    /// it from originating new state while it lingers.
+    #[test]
+    fn announce_leave_tombstones_every_owned_object() {
+        let mut a = mk("net.a");
+        a.bootstrap(1);
+        a.dir_register(&AppName::new("web"));
+        a.add_n1(N1Kind::Phys { iface: 0, mtu: 1500 });
+        a.rib.write_local(
+            &Lsa::object_name(1),
+            LSA_CLASS,
+            Lsa { neighbors: vec![(2, 1)] }.encode(),
+        );
+        a.take_out();
+        a.announce_leave(Time::from_secs(1));
+        assert!(a.is_departed());
+        assert!(a.rib.get("/members/net.a").is_none());
+        assert!(a.rib.get("/dir/web").is_none());
+        assert!(a.rib.get(&Lsa::object_name(1)).is_none());
+        assert!(a.rib.live_of_origin(1).is_empty());
+        // Neither an LSA refresh nor a reassert resurrects it.
+        a.write_lsa_now();
+        assert!(a.rib.get(&Lsa::object_name(1)).is_none());
+        let cur_v = a.rib.iter_all().find(|o| o.name == "/members/net.a").unwrap().version;
+        let tomb = RibObject {
+            name: "/members/net.a".into(),
+            class: "member".into(),
+            value: Bytes::new(),
+            version: cur_v + 1,
+            origin: 9,
+            deleted: true,
+        };
+        a.apply_and_reflood(tomb, 0);
+        assert_eq!(a.stats.reasserts, 0, "a departed member does not reassert");
+        assert!(a.rib.get("/members/net.a").is_none());
+    }
+
+    /// A previous incarnation's departure tombstone — same name, same
+    /// origin address — arriving after the member rejoined is fought
+    /// like any other wrongful clobber. Without this, a leave-rejoin
+    /// under the old address can leave the rejoiner's LSA tombstoned
+    /// DIF-wide: nothing re-marks it dirty (the neighbor set still
+    /// matches `advertised`), so the member stays unroutable until its
+    /// next adjacency change.
+    #[test]
+    fn stale_incarnations_own_origin_tombstone_is_reasserted() {
+        let mut a = mk("net.a");
+        a.bootstrap(1);
+        a.add_n1(N1Kind::Phys { iface: 0, mtu: 1500 });
+        a.n1[0].up = true;
+        a.n1[0].peer_addr = 2;
+        a.write_lsa_now();
+        a.take_out();
+        let cur = a.rib.get(&Lsa::object_name(1)).expect("own LSA live");
+        let tomb = RibObject {
+            name: Lsa::object_name(1),
+            class: cur.class.clone(),
+            value: Bytes::new(),
+            version: cur.version + 1,
+            origin: 1, // authored by our own previous incarnation
+            deleted: true,
+        };
+        a.apply_and_reflood(tomb, 0);
+        assert_eq!(a.stats.reasserts, 1, "own-origin clobber must be fought");
+        let healed = a.rib.get(&Lsa::object_name(1)).expect("LSA reasserted");
+        assert_eq!(Lsa::decode(&healed.value).unwrap().neighbors, vec![(2, 1)]);
     }
 }

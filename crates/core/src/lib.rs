@@ -111,7 +111,10 @@ pub mod prelude {
     pub use crate::net::{AppH, DifH, EnrollSchedule, IpcpH, LinkH, Net, NetBuilder, NodeH, Via};
     pub use crate::node::{ext_timer_key, Node};
     pub use crate::qos::{QosCube, QosSpec};
-    pub use crate::scenario::{Fabric, Layered, LayeredFabric, Topology, Workload};
+    pub use crate::scenario::{
+        Churn, ChurnAction, ChurnPlan, ChurnRunner, Fabric, Layered, LayeredFabric, Topology,
+        Workload,
+    };
     pub use bytes::Bytes;
     pub use rina_sim::{Dur, LinkCfg, LossModel, Time};
 }

@@ -609,6 +609,46 @@ impl Net {
         self.node(h.node).ipcp(h.idx)
     }
 
+    /// Mutable access to the IPC process behind `h` (tests/benches only).
+    pub fn ipcp_mut(&mut self, h: IpcpH) -> &mut Ipcp {
+        self.node_mut(h.node).ipcp_mut(h.idx)
+    }
+
+    /// Every physical link with an end at `h` (churn harnesses cut and
+    /// restore these to model node-scoped failures and partitions).
+    pub fn links_of_node(&self, h: NodeH) -> Vec<LinkH> {
+        self.links
+            .iter()
+            .enumerate()
+            .filter(|&(_, &(a, b, _))| a == h.0 || b == h.0)
+            .map(|(i, _)| LinkH(i))
+            .collect()
+    }
+
+    /// The two machines a link connects.
+    pub fn link_ends(&self, h: LinkH) -> (NodeH, NodeH) {
+        let (a, b, _) = self.links[h.0];
+        (NodeH(a), NodeH(b))
+    }
+
+    /// Schedule a graceful departure: at the next event, the member
+    /// behind `h` tombstones every RIB object it owns and floods the
+    /// deletions (§5.2 in reverse). Keep its links up for at least one
+    /// hello period afterwards so neighbors drain the floods.
+    pub fn announce_leave(&mut self, h: IpcpH) {
+        let id = self.nodes[h.node.0];
+        self.sim.call(id, crate::node::leave_key(h.idx), Dur::ZERO);
+    }
+
+    /// Schedule a crash-restart of the member behind `h`: the process is
+    /// replaced by a fresh unenrolled instance that re-enrolls through
+    /// its planned adjacencies. Nothing is announced — neighbors detect
+    /// the silence and the sponsor's failure GC reclaims the RIB state.
+    pub fn respawn_ipcp(&mut self, h: IpcpH) {
+        let id = self.nodes[h.node.0];
+        self.sim.call(id, crate::node::respawn_key(h.idx), Dur::ZERO);
+    }
+
     /// The sim-level id of a machine (for [`rina_sim::Sim::call`]).
     pub fn node_id(&self, h: NodeH) -> NodeId {
         self.nodes[h.0]

@@ -29,6 +29,12 @@ use std::collections::{BTreeSet, HashMap, VecDeque};
 /// [`ext_timer_key`]).
 const EXT_BIT: u64 = 1 << 63;
 
+/// Timer key bit marking externally injected node commands (see
+/// [`leave_key`] / [`respawn_key`]). Commands run inside the event loop,
+/// where the node holds a context and can flush effects and arm timers —
+/// churn harnesses cannot do either from outside the simulation.
+const CMD_BIT: u64 = 1 << 62;
+
 /// Default enrollment retry period (a busy sponsor's backoff hint
 /// overrides it — see [`TimerKind::EnrollRetry`]).
 const ENROLL_RETRY_PERIOD: Dur = Dur::from_millis(300);
@@ -38,6 +44,22 @@ const ENROLL_RETRY_PERIOD: Dur = Dur::from_millis(300);
 /// node. Lets benches poke applications without holding a context.
 pub fn ext_timer_key(app: usize, key: u32) -> u64 {
     EXT_BIT | ((app as u64) << 32) | key as u64
+}
+
+/// Build the key for [`rina_sim::Sim::call`] that makes IPC process
+/// `ipcp` of the target node gracefully leave its DIF: it tombstones all
+/// its RIB objects ([`Ipcp::announce_leave`]) and the node floods the
+/// deletions while the process lingers for its neighbors to drain them.
+pub fn leave_key(ipcp: usize) -> u64 {
+    CMD_BIT | (1 << 32) | ipcp as u64
+}
+
+/// Build the key for [`rina_sim::Sim::call`] that crash-restarts IPC
+/// process `ipcp` of the target node: the old process vanishes without a
+/// word (its neighbors detect the silence), a fresh one takes its slot,
+/// and the node's adjacency plans re-fire so it re-enrolls from scratch.
+pub fn respawn_key(ipcp: usize) -> u64 {
+    CMD_BIT | (2 << 32) | ipcp as u64
 }
 
 /// Who consumes SDUs delivered on a port.
@@ -158,6 +180,10 @@ enum Work {
         src_cep: CepId,
         invoke_id: u32,
     },
+    N1Expired {
+        ipcp: usize,
+        n1: usize,
+    },
 }
 
 /// A simulated machine hosting applications and a DIF stack.
@@ -175,7 +201,10 @@ pub struct Node {
     ifmap: HashMap<u32, (usize, usize)>,
     pace: HashMap<(usize, usize), Pace>,
     plans: Vec<N1Plan>,
-    pending_regs: Vec<(AppName, usize)>,
+    /// Durable registration intents: application name → directory DIF.
+    /// Applied when the ipcp (re-)enrolls and kept — a respawned IPC
+    /// process must re-register its applications, not forget them.
+    regs: Vec<(AppName, usize)>,
     dirty: BTreeSet<usize>,
     armed_conn: HashMap<(usize, CepId), (u64, u64)>,
     /// IPC processes with a route-recompute debounce timer in flight.
@@ -204,7 +233,7 @@ impl Node {
             ifmap: HashMap::new(),
             pace: HashMap::new(),
             plans: Vec::new(),
-            pending_regs: Vec::new(),
+            regs: Vec::new(),
             dirty: BTreeSet::new(),
             armed_conn: HashMap::new(),
             routes_armed: BTreeSet::new(),
@@ -303,12 +332,17 @@ impl Node {
     }
 
     /// Register application `name` in DIF `ipcp`'s directory (deferred
-    /// until the ipcp is enrolled).
+    /// until the ipcp is enrolled, and re-applied whenever it re-enrolls
+    /// after a crash-restart).
     pub fn register_name(&mut self, name: AppName, ipcp: usize) {
-        if self.ipcps[ipcp].is_enrolled() && !self.ipcps[ipcp].is_shim {
+        if self.ipcps[ipcp].is_shim {
+            return;
+        }
+        if self.ipcps[ipcp].is_enrolled() {
             self.ipcps[ipcp].dir_register(&name);
-        } else if !self.ipcps[ipcp].is_shim {
-            self.pending_regs.push((name, ipcp));
+        }
+        if !self.regs.iter().any(|(n, p)| *n == name && *p == ipcp) {
+            self.regs.push((name, ipcp));
         }
     }
 
@@ -502,14 +536,19 @@ impl Node {
                             invoke_id,
                         });
                     }
+                    IpcpOut::N1Expired { n1 } => {
+                        self.workq.push_back(Work::N1Expired { ipcp: i, n1 });
+                    }
                     IpcpOut::Enrolled => {
+                        // Apply (and keep) the durable registration
+                        // intents: a re-enrolling process re-announces
+                        // its applications to the rebuilt directory.
                         let regs: Vec<_> = self
-                            .pending_regs
+                            .regs
                             .iter()
                             .filter(|(_, p)| *p == i)
                             .map(|(n, _)| n.clone())
                             .collect();
-                        self.pending_regs.retain(|(_, p)| *p != i);
                         for n in regs {
                             self.ipcps[i].dir_register(&n);
                         }
@@ -702,6 +741,33 @@ impl Node {
                         ipcp, src_app, dst_app, spec, src_addr, src_cep, invoke_id, ctx,
                     );
                 }
+                Work::N1Expired { ipcp, n1 } => {
+                    // An adjacency went silent. If one of our plans
+                    // allocated the flow behind it, the remote end may be
+                    // gone for good (peer crash-restart deallocates only
+                    // its local state), so hellos can never resume on the
+                    // old flow: tear it down and re-fire the plan. Ports
+                    // we did not allocate are the peer's to re-establish.
+                    let dead = self.ipcps[ipcp].n1_ports().get(n1).and_then(|p| match p.kind {
+                        N1Kind::Lower { port } => Some(port),
+                        _ => None,
+                    });
+                    let Some(port) = dead else { continue };
+                    let ours = self.ports.get(&port).is_some_and(|s| s.owner == Owner::Upper(ipcp));
+                    if !ours {
+                        continue;
+                    }
+                    if !self.plans.iter().any(|p| p.port == Some(port)) {
+                        continue;
+                    }
+                    if let Some(st) = self.ports.remove(&port) {
+                        if st.provider != usize::MAX {
+                            self.ipcps[st.provider].dealloc_port(port);
+                            self.flush_ipcp(st.provider, ctx);
+                        }
+                    }
+                    self.reschedule_plan_for(port, ctx);
+                }
             }
         }
         // Re-sync EFCP timers for every touched ipcp.
@@ -846,6 +912,80 @@ impl Node {
         self.apps[a].behavior = Some(b);
     }
 
+    /// Graceful departure ([`leave_key`]): the process tombstones every
+    /// RIB object it owns and the deletion floods leave through its
+    /// still-up adjacencies. The caller keeps the process (and its links)
+    /// alive for at least one hello period so neighbors drain the floods.
+    fn leave_ipcp(&mut self, i: usize, ctx: &mut Ctx<'_>) {
+        self.ipcps[i].announce_leave(ctx.now());
+        self.flush_ipcp(i, ctx);
+    }
+
+    /// Crash-restart ([`respawn_key`]): replace IPC process `i` with a
+    /// fresh, unenrolled instance of the same configuration and name.
+    /// Nothing is announced — neighbors must detect the silence (hello
+    /// expiry withdraws the adjacency; the sponsor's failure GC reclaims
+    /// the RIB objects). The node's adjacency plans for `i` re-fire, so
+    /// the fresh process re-allocates its (N-1) flows and re-enrolls.
+    fn respawn_ipcp(&mut self, i: usize, ctx: &mut Ctx<'_>) {
+        let cfg = self.ipcps[i].cfg.clone();
+        let name = self.ipcps[i].name.clone();
+        if self.ipcps[i].is_shim {
+            return; // Shims are the medium's, not the DIF's, to restart.
+        }
+        // The dead process's (N-1) ports: release the lower flows (the
+        // local provider end only — a crash tells the remote end nothing).
+        // Port-id order, not hash order: dealloc emits events whose order
+        // must be identical across runs.
+        let mut owned: Vec<u64> = self
+            .ports
+            .iter()
+            .filter(|&(_, s)| s.owner == Owner::Upper(i))
+            .map(|(&p, _)| p)
+            .collect();
+        owned.sort_unstable();
+        for port in owned {
+            if let Some(st) = self.ports.remove(&port) {
+                if st.provider != usize::MAX {
+                    self.ipcps[st.provider].dealloc_port(port);
+                    self.flush_ipcp(st.provider, ctx);
+                }
+            }
+        }
+        // Flows the dead process provided die with it.
+        let mut provided: Vec<u64> =
+            self.ports.iter().filter(|&(_, s)| s.provider == i).map(|(&p, _)| p).collect();
+        provided.sort_unstable();
+        for port in provided {
+            self.workq.push_back(Work::NotifyClosed { port });
+        }
+        // Scrub timers bound to the dead process's internal state (CEP
+        // retransmits, enrollment retries, debounced flushes). Hello and
+        // plan-retry timers survive: they index the slot, not the state,
+        // and serve the fresh process.
+        self.timers.retain(|_, k| {
+            !matches!(k,
+                TimerKind::EnrollRetry { ipcp, .. }
+                | TimerKind::Conn { ipcp, .. }
+                | TimerKind::Routes { ipcp }
+                | TimerKind::LsaFlush { ipcp }
+                | TimerKind::FloodFlush { ipcp } if *ipcp == i)
+        });
+        self.armed_conn.retain(|&(p, _), _| p != i);
+        self.routes_armed.remove(&i);
+        self.lsa_armed.remove(&i);
+        self.flood_armed.remove(&i);
+        self.ipcps[i] = Ipcp::new(i, cfg, name);
+        // Re-fire the adjacency plans so the fresh process re-assembles.
+        for idx in 0..self.plans.len() {
+            if self.plans[idx].upper == i {
+                self.plans[idx].port = None;
+                self.plans[idx].satisfied = false;
+                self.schedule_plan_retry(idx, Dur::from_millis(50), ctx);
+            }
+        }
+    }
+
     fn on_timer_kind(&mut self, token: u64, ctx: &mut Ctx<'_>) {
         let Some(kind) = self.timers.remove(&token) else {
             return;
@@ -969,6 +1109,15 @@ impl Agent for Node {
                     let k = key & 0xFFFF_FFFF;
                     if app < self.apps.len() {
                         self.call_app(app, ctx, |a, api| a.on_timer(k, api));
+                    }
+                } else if key & CMD_BIT != 0 {
+                    let i = (key & 0xFFFF_FFFF) as usize;
+                    if i < self.ipcps.len() {
+                        match (key >> 32) & 0x3FFF_FFFF {
+                            1 => self.leave_ipcp(i, ctx),
+                            2 => self.respawn_ipcp(i, ctx),
+                            _ => {}
+                        }
                     }
                 } else {
                     self.on_timer_kind(key, ctx);

@@ -24,11 +24,11 @@
 use crate::apps::{EchoApp, PingApp, SinkApp, SourceApp};
 use crate::dif::DifConfig;
 use crate::naming::AppName;
-use crate::net::{AppH, DifH, LinkH, Net, NetBuilder, NodeH};
+use crate::net::{AppH, DifH, IpcpH, LinkH, Net, NetBuilder, NodeH};
 use crate::qos::QosSpec;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use rina_sim::{topology, Dur, LinkCfg};
+use rina_sim::{topology, Dur, LinkCfg, Time};
 
 /// Which graph a [`Topology`] generates.
 #[derive(Clone, Debug)]
@@ -669,6 +669,272 @@ impl Workload {
             })
             .collect();
         SourcesToSink { sink, sources }
+    }
+}
+
+/// One scripted disturbance step of a [`ChurnPlan`] timeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChurnAction {
+    /// Vertex `m` leaves gracefully: its member announces the departure,
+    /// tombstoning every RIB object it owns (§5.2 in reverse). Its links
+    /// stay up through the plan's linger so the deletion floods drain.
+    Leave(usize),
+    /// Vertex `m`'s member crash-restarts: a fresh unenrolled process
+    /// takes its slot, silently. Neighbors detect the silence; the
+    /// sponsor's failure GC reclaims the RIB state if the member stays
+    /// down past the grace.
+    Respawn(usize),
+    /// Cut these physical links.
+    LinksDown(Vec<LinkH>),
+    /// Restore these physical links.
+    LinksUp(Vec<LinkH>),
+}
+
+/// A continuous-dynamics workload over a [`Fabric`]: graceful leaves,
+/// crash-failures with rejoin, link flaps, and partition-and-heal events,
+/// all derived deterministically from the seed and driven from the Sim
+/// clock — the event timeline (and therefore the whole run) is
+/// byte-identical at any host thread count.
+///
+/// Disturbances land one per epoch and every one heals before the next
+/// begins (`downtime < epoch`), so each epoch is an isolated
+/// perturbation + reconvergence experiment; [`ChurnPlan::windows`] hands
+/// measurement code the disturbed intervals to mask.
+#[derive(Clone, Debug)]
+pub struct Churn {
+    /// Seed for victim/link/bisection choices (and epoch ordering).
+    pub seed: u64,
+    /// Graceful leave → later rejoin events.
+    pub leaves: usize,
+    /// Crash-fail → later rejoin events.
+    pub fails: usize,
+    /// Single-link flap events.
+    pub flaps: usize,
+    /// Partition-and-heal events (a random bisection's crossing links).
+    pub partitions: usize,
+    /// Spacing between consecutive disturbances. The first lands one
+    /// epoch after the runner starts.
+    pub epoch: Dur,
+    /// How long each disturbance lasts before it heals.
+    pub downtime: Dur,
+    /// How long a graceful leaver keeps its links up after announcing —
+    /// at least one hello period, so neighbors drain the deletion floods.
+    pub linger: Dur,
+}
+
+impl Churn {
+    /// A mixed workload at moderate rates (two of each disturbance, one
+    /// partition), paced for the default DIF timescales.
+    pub fn new(seed: u64) -> Self {
+        Churn {
+            seed,
+            leaves: 2,
+            fails: 2,
+            flaps: 2,
+            partitions: 1,
+            epoch: Dur::from_secs(8),
+            downtime: Dur::from_secs(4),
+            linger: Dur::from_millis(1200),
+        }
+    }
+
+    /// Builder-style event-count override.
+    pub fn with_counts(mut self, leaves: usize, fails: usize, flaps: usize, parts: usize) -> Self {
+        self.leaves = leaves;
+        self.fails = fails;
+        self.flaps = flaps;
+        self.partitions = parts;
+        self
+    }
+
+    /// Builder-style pacing override.
+    pub fn with_pacing(mut self, epoch: Dur, downtime: Dur, linger: Dur) -> Self {
+        self.epoch = epoch;
+        self.downtime = downtime;
+        self.linger = linger;
+        self
+    }
+
+    /// Expand into the concrete event timeline over `fab`. Vertex 0 (the
+    /// bootstrap sponsor) is never a victim; flaps and partitions may
+    /// touch any link.
+    pub fn plan(&self, fab: &Fabric) -> ChurnPlan {
+        assert!(self.downtime < self.epoch, "a disturbance must heal before the next begins");
+        assert!(self.linger < self.downtime, "a leaver lingers within its downtime");
+        assert!(fab.len() >= 3, "churn needs at least three nodes");
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        #[derive(Clone, Copy)]
+        enum K {
+            Leave,
+            Fail,
+            Flap,
+            Partition,
+        }
+        let mut kinds = Vec::new();
+        kinds.extend(std::iter::repeat_n(K::Leave, self.leaves));
+        kinds.extend(std::iter::repeat_n(K::Fail, self.fails));
+        kinds.extend(std::iter::repeat_n(K::Flap, self.flaps));
+        kinds.extend(std::iter::repeat_n(K::Partition, self.partitions));
+        use rand::seq::SliceRandom;
+        kinds.shuffle(&mut rng);
+        let node_links = |m: usize| -> Vec<LinkH> {
+            fab.edges
+                .iter()
+                .enumerate()
+                .filter(|&(_, &(u, v))| u == m || v == m)
+                .map(|(i, _)| fab.links[i])
+                .collect()
+        };
+        let mut events = Vec::new();
+        let mut windows = Vec::new();
+        for (i, k) in kinds.iter().enumerate() {
+            let t0 = self.epoch * (i as u64 + 1);
+            let heal = t0 + self.downtime;
+            match k {
+                K::Leave => {
+                    let m = rng.gen_range(1..fab.len());
+                    let links = node_links(m);
+                    events.push((t0, ChurnAction::Leave(m)));
+                    events.push((t0 + self.linger, ChurnAction::LinksDown(links.clone())));
+                    events.push((heal, ChurnAction::LinksUp(links)));
+                    events.push((heal, ChurnAction::Respawn(m)));
+                }
+                K::Fail => {
+                    let m = rng.gen_range(1..fab.len());
+                    let links = node_links(m);
+                    events.push((t0, ChurnAction::LinksDown(links.clone())));
+                    events.push((t0, ChurnAction::Respawn(m)));
+                    events.push((heal, ChurnAction::LinksUp(links)));
+                }
+                K::Flap => {
+                    let l = fab.links[rng.gen_range(0..fab.links.len())];
+                    events.push((t0, ChurnAction::LinksDown(vec![l])));
+                    events.push((heal, ChurnAction::LinksUp(vec![l])));
+                }
+                K::Partition => {
+                    // A random proper bisection; cut every crossing link.
+                    let mut side: Vec<bool> = (0..fab.len()).map(|_| rng.gen_bool(0.5)).collect();
+                    if side.iter().all(|&s| s == side[0]) {
+                        let last = side.len() - 1;
+                        side[last] = !side[last];
+                    }
+                    let cross: Vec<LinkH> = fab
+                        .edges
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &(u, v))| side[u] != side[v])
+                        .map(|(i, _)| fab.links[i])
+                        .collect();
+                    events.push((t0, ChurnAction::LinksDown(cross.clone())));
+                    events.push((heal, ChurnAction::LinksUp(cross)));
+                }
+            }
+            windows.push((t0, heal));
+        }
+        ChurnPlan { events, windows }
+    }
+}
+
+/// The concrete timeline a [`Churn`] expands to over one fabric: events
+/// at offsets from the runner's start, already sorted.
+#[derive(Clone, Debug)]
+pub struct ChurnPlan {
+    /// `(offset, action)` pairs in nondecreasing offset order.
+    pub events: Vec<(Dur, ChurnAction)>,
+    /// One `(start, heal)` interval per disturbance — measurement code
+    /// masks these (plus a reconvergence margin) when asserting
+    /// steady-state properties.
+    pub windows: Vec<(Dur, Dur)>,
+}
+
+impl ChurnPlan {
+    /// Offset of the last event (every disturbance healed).
+    pub fn horizon(&self) -> Dur {
+        self.events.last().map(|&(t, _)| t).unwrap_or(Dur::ZERO)
+    }
+
+    /// Whether `off` (an offset from runner start) falls inside any
+    /// disturbance window stretched by `margin` on the heal side.
+    pub fn disturbed(&self, off: Dur, margin: Dur) -> bool {
+        self.windows.iter().any(|&(s, h)| off >= s && off <= h + margin)
+    }
+}
+
+/// Drives a [`ChurnPlan`] against a running [`Net`], interleaving the
+/// scripted disturbances with the caller's measurement slices.
+pub struct ChurnRunner {
+    plan: ChurnPlan,
+    /// The fabric's member IPC process per vertex (capture with
+    /// [`Fabric::member_ipcps`] before `build()`).
+    members: Vec<IpcpH>,
+    start: Time,
+    next: usize,
+}
+
+impl ChurnRunner {
+    /// Anchor the plan's offsets at `net`'s current virtual time.
+    pub fn new(plan: ChurnPlan, net: &Net, members: Vec<IpcpH>) -> Self {
+        let start = net.sim.now();
+        ChurnRunner { plan, members, start, next: 0 }
+    }
+
+    /// Offset of `net`'s clock from the runner's start.
+    pub fn elapsed(&self, net: &Net) -> Dur {
+        net.sim.now().since(self.start)
+    }
+
+    /// Whether the current instant falls inside a disturbance window
+    /// (stretched by `margin` for reconvergence).
+    pub fn disturbed(&self, net: &Net, margin: Dur) -> bool {
+        self.plan.disturbed(self.elapsed(net), margin)
+    }
+
+    /// Whether every planned event has been applied.
+    pub fn done(&self) -> bool {
+        self.next >= self.plan.events.len()
+    }
+
+    /// Advance virtual time by `d`, applying every event that falls due
+    /// at its exact planned instant.
+    pub fn advance(&mut self, net: &mut Net, d: Dur) {
+        let target = net.sim.now() + d;
+        while self.next < self.plan.events.len() {
+            let (off, _) = self.plan.events[self.next];
+            let at = self.start + off;
+            if at > target {
+                break;
+            }
+            net.sim.run_until(at);
+            let (_, action) = self.plan.events[self.next].clone();
+            self.next += 1;
+            self.apply(net, &action);
+        }
+        net.sim.run_until(target);
+    }
+
+    /// Apply all remaining events, then run `settle` past the last one.
+    pub fn finish(&mut self, net: &mut Net, settle: Dur) {
+        let now_off = self.elapsed(net);
+        let remaining = Dur(self.plan.horizon().0.saturating_sub(now_off.0));
+        self.advance(net, remaining);
+        net.run_for(settle);
+    }
+
+    fn apply(&self, net: &mut Net, action: &ChurnAction) {
+        match action {
+            ChurnAction::Leave(m) => net.announce_leave(self.members[*m]),
+            ChurnAction::Respawn(m) => net.respawn_ipcp(self.members[*m]),
+            ChurnAction::LinksDown(ls) => {
+                for &l in ls {
+                    net.set_link_up(l, false);
+                }
+            }
+            ChurnAction::LinksUp(ls) => {
+                for &l in ls {
+                    net.set_link_up(l, true);
+                }
+            }
+        }
     }
 }
 

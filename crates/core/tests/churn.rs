@@ -1,0 +1,254 @@
+//! Continuous-dynamics integration: the [`Churn`] workload against live
+//! DIFs.
+//!
+//! The invariants under churn (DESIGN.md §10):
+//! - a graceful leaver's RIB objects are tombstoned DIF-wide before it
+//!   disconnects, and a rejoiner gets a **carved, aggregatable** block
+//!   from its sponsor (not a fragmenting `max+1` singleton);
+//! - a crashed member that stays silent past the sponsor's grace is
+//!   garbage-collected (deletion floods), and one that returns quickly
+//!   re-enrolls under its old identity with nothing purged;
+//! - flaps and partitions reroute and heal without purging or leaking
+//!   any member's state;
+//! - at quiescence, every live RIB object's origin is a current member —
+//!   departed state never outlives its owner;
+//! - the whole timeline is deterministic in its seeds.
+
+use rina::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// An `n`-member Barabási–Albert DIF with the given failure-GC grace,
+/// assembled and settled. Returns the runnable net, the fabric, and the
+/// member IPC process per vertex.
+fn build(n: usize, seed: u64, grace_ms: u64) -> (Net, Fabric, Vec<IpcpH>) {
+    let mut b = NetBuilder::new(seed);
+    let cfg = DifConfig::new("churn").with_member_gc_grace_ms(grace_ms);
+    let fab = Topology::barabasi_albert(n, 2, seed).with_dif(cfg).materialize(&mut b);
+    let members = fab.member_ipcps(&b);
+    let mut net = b.build();
+    net.run_until_assembled(Dur::from_secs(120), Dur::from_secs(1));
+    (net, fab, members)
+}
+
+/// Live RIB objects anywhere in the DIF whose origin is not a current
+/// member — the stale-state leak the churn machinery must prevent.
+fn stale_objects(net: &Net, members: &[IpcpH]) -> Vec<(usize, u64, String)> {
+    let addrs: BTreeSet<u64> = members.iter().map(|&h| net.ipcp(h).addr).collect();
+    let mut out = Vec::new();
+    for (i, &h) in members.iter().enumerate() {
+        for o in net.ipcp(h).rib.iter_prefix("/") {
+            if o.origin != 0 && !addrs.contains(&o.origin) {
+                out.push((i, o.origin, o.name.clone()));
+            }
+        }
+    }
+    out
+}
+
+/// Walk the forwarding tables member-by-member for every ordered pair;
+/// returns the pairs that fail to reach.
+fn unreachable_pairs(net: &Net, members: &[IpcpH]) -> Vec<(u64, u64)> {
+    let by_addr: BTreeMap<u64, IpcpH> = members.iter().map(|&h| (net.ipcp(h).addr, h)).collect();
+    let mut missing = Vec::new();
+    for &src in members {
+        for &dst in members {
+            let (s, d) = (net.ipcp(src).addr, net.ipcp(dst).addr);
+            if s == d {
+                continue;
+            }
+            let mut cur = s;
+            let mut ok = false;
+            for _ in 0..members.len() + 2 {
+                if cur == d {
+                    ok = true;
+                    break;
+                }
+                let Some(&h) = by_addr.get(&cur) else { break };
+                let Some(hops) = net.ipcp(h).fwd().route(d) else { break };
+                let Some(&nh) = hops.first() else { break };
+                cur = nh;
+            }
+            if !ok {
+                missing.push((s, d));
+            }
+        }
+    }
+    missing
+}
+
+/// Run in hello-period steps until the DIF is quiescent again: stack
+/// assembled, no stale objects, full table-walk reachability.
+fn wait_quiescent(net: &mut Net, members: &[IpcpH]) {
+    for _ in 0..120 {
+        net.run_for(Dur::from_millis(500));
+        if net.assembled()
+            && stale_objects(net, members).is_empty()
+            && unreachable_pairs(net, members).is_empty()
+        {
+            return;
+        }
+    }
+    let stale = stale_objects(net, members);
+    let unreach = unreachable_pairs(net, members);
+    panic!("never quiesced: assembled={} stale={stale:?} unreachable={unreach:?}", net.assembled());
+}
+
+fn agg_sum(net: &Net, members: &[IpcpH]) -> usize {
+    members.iter().map(|&h| net.ipcp(h).fwd().aggregated_len()).sum()
+}
+
+#[test]
+fn graceful_leave_is_tombstoned_everywhere_and_rejoin_stays_aggregated() {
+    let (mut net, fab, members) = build(10, 41, 10_000);
+    let agg_before = agg_sum(&net, &members);
+    let plan = Churn::new(7)
+        .with_counts(1, 0, 0, 0)
+        .with_pacing(Dur::from_secs(6), Dur::from_secs(3), Dur::from_millis(1200))
+        .plan(&fab);
+    let victim = plan
+        .events
+        .iter()
+        .find_map(|(_, a)| match a {
+            ChurnAction::Leave(m) => Some(*m),
+            _ => None,
+        })
+        .expect("plan has a leave");
+    let old_addr = net.ipcp(members[victim]).addr;
+    let mut runner = ChurnRunner::new(plan, &net, members.clone());
+
+    // Past announce + linger (leave at 6 s, disconnect at 7.2 s): the
+    // deletion floods must already have drained through the still-up
+    // links — every remaining member has tombstoned the leaver.
+    runner.advance(&mut net, Dur::from_secs(8));
+    for (i, &h) in members.iter().enumerate() {
+        if i == victim {
+            continue;
+        }
+        let live = net.ipcp(h).rib.live_of_origin(old_addr);
+        assert!(live.is_empty(), "member {i} still holds {live:?} of the leaver");
+    }
+
+    // Heal + rejoin: the fresh process re-enrolls and the DIF quiesces.
+    runner.finish(&mut net, Dur::from_secs(2));
+    wait_quiescent(&mut net, &members);
+
+    // The rejoiner's grant was carved from its sponsor's block, so the
+    // aggregated tables stay at their pre-churn size (± ECMP jitter) —
+    // a `max_addr + 1` singleton would add a non-aggregatable range to
+    // every member's table.
+    let agg_after = agg_sum(&net, &members);
+    assert!(
+        agg_after <= agg_before + 2,
+        "rejoin fragmented the tables: aggregated {agg_before} -> {agg_after}"
+    );
+}
+
+#[test]
+fn crashed_member_is_purged_after_grace_and_rejoins_cleanly() {
+    // Grace well below the downtime: the sponsor must declare the silent
+    // member failed and flood the deletions before it returns.
+    let (mut net, fab, members) = build(10, 42, 1_500);
+    let plan = Churn::new(11)
+        .with_counts(0, 1, 0, 0)
+        .with_pacing(Dur::from_secs(8), Dur::from_secs(6), Dur::from_secs(1))
+        .plan(&fab);
+    let victim = plan
+        .events
+        .iter()
+        .find_map(|(_, a)| match a {
+            ChurnAction::Respawn(m) => Some(*m),
+            _ => None,
+        })
+        .expect("plan has a fail");
+    let old_addr = net.ipcp(members[victim]).addr;
+    let mut runner = ChurnRunner::new(plan, &net, members.clone());
+
+    // Just before the heal (fail at 8 s, heal at 14 s): adjacency expiry
+    // (~1.5 s) plus the 1.5 s grace has long passed — the sponsor purged
+    // the crashed member's objects DIF-wide.
+    runner.advance(&mut net, Dur::from_millis(13_500));
+    let purged: u64 = members.iter().map(|&h| net.ipcp(h).stats.members_purged).sum();
+    assert!(purged >= 1, "no sponsor purged the silent member");
+    for (i, &h) in members.iter().enumerate() {
+        if i == victim {
+            continue;
+        }
+        let live = net.ipcp(h).rib.live_of_origin(old_addr);
+        assert!(live.is_empty(), "member {i} still holds {live:?} after the purge");
+    }
+
+    runner.finish(&mut net, Dur::from_secs(2));
+    wait_quiescent(&mut net, &members);
+}
+
+#[test]
+fn fast_rejoin_reuses_identity_and_is_never_purged() {
+    // Grace far above the downtime: the member returns before the
+    // sponsor gives up on it, re-enrolls under its old name, and gets
+    // its old address back — no purge, no reassert churn.
+    let (mut net, fab, members) = build(10, 43, 10_000);
+    let plan = Churn::new(13)
+        .with_counts(0, 1, 0, 0)
+        .with_pacing(Dur::from_secs(6), Dur::from_secs(3), Dur::from_secs(1))
+        .plan(&fab);
+    let victim = plan
+        .events
+        .iter()
+        .find_map(|(_, a)| match a {
+            ChurnAction::Respawn(m) => Some(*m),
+            _ => None,
+        })
+        .expect("plan has a fail");
+    let old_addr = net.ipcp(members[victim]).addr;
+    let mut runner = ChurnRunner::new(plan, &net, members.clone());
+    runner.finish(&mut net, Dur::from_secs(2));
+    wait_quiescent(&mut net, &members);
+
+    assert_eq!(
+        net.ipcp(members[victim]).addr,
+        old_addr,
+        "a fast rejoiner keeps its address (identity reuse)"
+    );
+    let purged: u64 = members.iter().map(|&h| net.ipcp(h).stats.members_purged).sum();
+    assert_eq!(purged, 0, "nothing should be purged inside the grace");
+}
+
+#[test]
+fn flaps_and_partitions_heal_with_no_purges_or_address_changes() {
+    let (mut net, fab, members) = build(10, 44, 10_000);
+    let addrs_before: Vec<u64> = members.iter().map(|&h| net.ipcp(h).addr).collect();
+    let plan = Churn::new(17)
+        .with_counts(0, 0, 2, 1)
+        .with_pacing(Dur::from_secs(5), Dur::from_millis(2_500), Dur::from_secs(1))
+        .plan(&fab);
+    let mut runner = ChurnRunner::new(plan, &net, members.clone());
+    runner.finish(&mut net, Dur::from_secs(2));
+    wait_quiescent(&mut net, &members);
+
+    let addrs_after: Vec<u64> = members.iter().map(|&h| net.ipcp(h).addr).collect();
+    assert_eq!(addrs_before, addrs_after, "links flapped, membership did not");
+    let purged: u64 = members.iter().map(|&h| net.ipcp(h).stats.members_purged).sum();
+    assert_eq!(purged, 0, "a flap or partition must never purge a member");
+}
+
+#[test]
+fn churn_runs_are_deterministic_in_their_seeds() {
+    let fingerprint = || {
+        let (mut net, fab, members) = build(9, 45, 2_000);
+        let plan = Churn::new(19)
+            .with_counts(1, 1, 1, 1)
+            .with_pacing(Dur::from_secs(6), Dur::from_secs(3), Dur::from_secs(1))
+            .plan(&fab);
+        let mut runner = ChurnRunner::new(plan, &net, members.clone());
+        runner.finish(&mut net, Dur::from_secs(4));
+        net.run_for(Dur::from_secs(10));
+        members
+            .iter()
+            .map(|&h| {
+                let i = net.ipcp(h);
+                (i.addr, i.rib.object_count(), i.rib.digest())
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(fingerprint(), fingerprint(), "same seeds, same final state");
+}

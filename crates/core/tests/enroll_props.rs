@@ -15,6 +15,18 @@ use rina::prelude::*;
 use rina::scenario::Topology;
 use std::collections::{BTreeMap, BTreeSet};
 
+/// Run in hello-period steps until the stack holds again after churn
+/// (bounded; the caller asserts the stronger invariants afterwards).
+fn requiesce(net: &mut Net) {
+    for _ in 0..120 {
+        net.run_for(Dur::from_millis(500));
+        if net.assembled() {
+            net.run_for(Dur::from_secs(3));
+            return;
+        }
+    }
+}
+
 /// Deterministic topology from a (kind, size, seed) triple. Sizes stay
 /// small so 64 debug-mode assemblies per property stay fast.
 fn topology(kind: u8, n: usize, seed: u64) -> Topology {
@@ -183,6 +195,79 @@ proptest! {
             (sort(block_map(&eager)), sort(block_map(&waves)), sort(block_map(&seq)));
         prop_assert_eq!(&be, &bw, "eager vs waves blocks");
         prop_assert_eq!(&be, &bs, "eager vs sequential blocks");
+    }
+
+    /// Churn preserves every standing invariant: after a random mix of
+    /// graceful leaves, crash-fails (with rejoin), link flaps, and a
+    /// partition-and-heal over a random topology, the facility
+    /// re-quiesces with every member enrolled under a unique in-range
+    /// address, every delegated block nested-or-disjoint with its base
+    /// owned by its member, and **no live RIB object owned by a departed
+    /// origin** — departed state never outlives its owner.
+    #[test]
+    fn churn_sequences_requiesce_with_nested_blocks_and_no_stale_state(
+        kind in 0u8..5,
+        n in 5usize..9,
+        seed in 0u64..1 << 32,
+    ) {
+        let top = topology(kind, n, seed);
+        let mut b = NetBuilder::new(seed);
+        // Grace below the fail downtime, so crash-fails exercise the
+        // sponsor-side GC path, not only identity reuse.
+        let cfg = DifConfig::new("churned").with_member_gc_grace_ms(1_500);
+        let fab = top.clone().with_dif(cfg).materialize(&mut b);
+        let ipcps = fab.member_ipcps(&b);
+        let mut net = b.build();
+        net.run_until_assembled(Dur::from_secs(60), Dur::from_millis(500));
+
+        let plan = Churn::new(seed ^ 0x5eed)
+            .with_counts(1, 1, 1, 1)
+            .with_pacing(Dur::from_secs(5), Dur::from_millis(2_500), Dur::from_secs(1))
+            .plan(&fab);
+        let mut runner = ChurnRunner::new(plan, &net, ipcps.clone());
+        runner.finish(&mut net, Dur::from_secs(2));
+        requiesce(&mut net);
+
+        let members = top.node_count() as u64;
+        let mut addrs = BTreeSet::new();
+        for &h in &ipcps {
+            let ip = net.ipcp(h);
+            prop_assert!(ip.is_enrolled(), "{} not enrolled after churn", ip.name);
+            prop_assert!(
+                ip.addr >= 1 && ip.addr <= members,
+                "address {} escaped the root block 1..={members}",
+                ip.addr
+            );
+            prop_assert!(addrs.insert(ip.addr), "duplicate address {}", ip.addr);
+        }
+        let a = Assembled { net, ipcps };
+        let blocks = block_map(&a);
+        prop_assert_eq!(blocks.len(), a.ipcps.len(), "one live block per member: {:?}", blocks);
+        for &(owner, (lo, hi)) in &blocks {
+            prop_assert!(lo <= hi && lo >= 1 && hi <= members, "block ({lo},{hi})/{members}");
+            prop_assert_eq!(owner, lo, "a member sits at its block's base");
+        }
+        for (i, &(_, (a0, a1))) in blocks.iter().enumerate() {
+            for &(_, (b0, b1)) in &blocks[i + 1..] {
+                let disjoint = a1 < b0 || b1 < a0;
+                let nested = (a0 >= b0 && a1 <= b1) || (b0 >= a0 && b1 <= a1);
+                prop_assert!(
+                    disjoint || nested,
+                    "blocks ({a0},{a1}) and ({b0},{b1}) partially overlap after churn"
+                );
+            }
+        }
+        // No member holds a live object from a departed origin.
+        for (i, &h) in a.ipcps.iter().enumerate() {
+            for o in a.net.ipcp(h).rib.iter_prefix("/") {
+                prop_assert!(
+                    o.origin == 0 || addrs.contains(&o.origin),
+                    "member {i} holds stale {} of departed origin {}",
+                    o.name,
+                    o.origin
+                );
+            }
+        }
     }
 
     /// Same seed ⇒ identical final RIB: two runs of the same scenario

@@ -479,6 +479,19 @@ impl Rib {
             .filter(|o| !o.deleted)
     }
 
+    /// Names of every live object whose last write came from `origin` —
+    /// what a departed member left behind (its LSA, its directory
+    /// registrations). Garbage collection tombstones each name via
+    /// [`Rib::delete_local`], so the deletions flood and the digests
+    /// converge like any other write.
+    pub fn live_of_origin(&self, origin: u64) -> Vec<String> {
+        self.objects
+            .values()
+            .filter(|o| !o.deleted && o.origin == origin)
+            .map(|o| o.name.clone())
+            .collect()
+    }
+
     /// Every object including tombstones — the enrollment sync set a new
     /// member receives (§5.2).
     pub fn snapshot(&self) -> Vec<RibObject> {
@@ -675,6 +688,26 @@ mod tests {
         a.delete_local("/nope");
         assert!(drain_events(&mut a).is_empty());
         assert!(a.poll_dissemination().is_none());
+    }
+
+    #[test]
+    fn live_of_origin_filters_tombstones_and_other_members() {
+        let mut a = Rib::new(7);
+        a.write_local("/lsa/7", "lsa", Bytes::from_static(b"me"));
+        a.write_local("/dir/app7", "dir", Bytes::from_static(b"7"));
+        a.write_local("/blocks/7", "block", Bytes::from_static(b"b"));
+        a.delete_local("/dir/app7");
+        // Another member's object arrives via dissemination.
+        let mut b = Rib::new(9);
+        b.write_local("/lsa/9", "lsa", Bytes::from_static(b"peer"));
+        let obj = b.poll_dissemination().unwrap();
+        assert!(a.apply_remote(obj));
+
+        let mut live = a.live_of_origin(7);
+        live.sort();
+        assert_eq!(live, vec!["/blocks/7".to_string(), "/lsa/7".to_string()]);
+        assert_eq!(a.live_of_origin(9), vec!["/lsa/9".to_string()]);
+        assert!(a.live_of_origin(3).is_empty());
     }
 
     #[test]

@@ -11,8 +11,13 @@
 //!    LSA deltas the engine *classifies* every confirmed-edge change
 //!    (no-op / cost change / edge add / edge remove) and repairs only
 //!    the affected shortest-path region, falling back to a from-scratch
-//!    Dijkstra on root-adjacent or pathological changes (region larger
-//!    than half the graph).
+//!    Dijkstra only on pathological changes (region larger than half
+//!    the graph). Root-adjacent edges need no special case: the source
+//!    distance is pinned at 0, so a changed `src→v` edge classifies
+//!    like any other (seeding `v`), and an edge *into* the source can
+//!    never be tight or improving (costs are ≥ 1) — which is what lets
+//!    a flapped local adjacency take the cheap delta path instead of
+//!    the full-recompute floor.
 //! 3. **The forwarding table**, updated by *delta*
 //!    ([`ForwardingTable::patch`]): only destinations whose distance or
 //!    hop set moved are re-aggregated, so a join touching one subtree
@@ -28,8 +33,14 @@
 //! | removed / cost↑ on a tight edge         | *closure*-seed `v`: every old shortest-path descendant of `v` may move |
 //! | added / cost↓ with `dist(u)+c < dist(v)`| *plain*-seed `v`: the improvement propagates by relaxation |
 //! | added / cost↓ with `dist(u)+c = dist(v)`| *closure*-seed `v`: the ECMP hop set changes and propagates downstream |
-//! | anything touching the source            | full recomputation |
 //! | otherwise                               | no-op |
+//!
+//! Edges incident to the source follow the same rules (`dist(src) = 0`
+//! makes every live `src→v` edge classify exactly; edges into the
+//! source never seed because `dist(u)+c ≥ 1 > 0`). Should a repair ever
+//! pull the source itself into the dirty region, the engine still bails
+//! to a full run — a safety net the classification above makes
+//! unreachable, kept because it is cheap.
 //!
 //! The dirty region (plain seeds ∪ old-DAG closure of closure seeds) is
 //! reset and re-run as a bounded Dijkstra seeded from boundary in-edges;
@@ -55,8 +66,8 @@ const UNSEEN: u64 = u64::MAX;
 /// a fixed seed — the bench gate compares them exactly).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct EngineStats {
-    /// From-scratch Dijkstra runs (bootstrap, root-adjacent changes,
-    /// pathological regions).
+    /// From-scratch Dijkstra runs (bootstrap, re-rooting after
+    /// enrollment, pathological regions).
     pub spf_full: u64,
     /// Incremental repairs (classified delta, bounded region).
     pub spf_incremental: u64,
@@ -88,8 +99,10 @@ pub struct RouteEngine {
     mask: Vec<bool>,
     /// Origins whose LSA changed since the last recomputation.
     pending: BTreeSet<Addr>,
-    /// A queued change requires a full recomputation (own LSA moved,
-    /// or the engine has never computed).
+    /// A queued change requires a full recomputation (the engine was
+    /// re-rooted by `set_self`, or has never computed). Own-LSA changes
+    /// deliberately do *not* set this: a local adjacency flap repairs
+    /// through the same delta classification as any remote change.
     pending_full: bool,
     computed: bool,
     /// Counters.
@@ -146,11 +159,13 @@ impl RouteEngine {
         self.pending_full || !self.pending.is_empty()
     }
 
-    /// Whether the queued work includes a change classified for the
-    /// full-recomputation path (drives the caller's debounce choice: a
-    /// delta-classified batch is cheap enough to run on a short timer).
+    /// Whether the queued work will take the full-recomputation path
+    /// (drives the caller's debounce choice: a delta-classified batch
+    /// is cheap enough to run on a short timer). True only at bootstrap
+    /// (never computed) or after a `set_self` re-root — adjacency
+    /// changes, local or remote, classify incrementally.
     pub fn pending_full(&self) -> bool {
-        self.pending_full
+        self.pending_full || (!self.computed && !self.pending.is_empty())
     }
 
     /// Feed one LSA delta from the RIB: `None` deletes `origin`'s LSA
@@ -171,9 +186,6 @@ impl RouteEngine {
             None => {
                 self.mirror.remove(&origin);
             }
-        }
-        if origin == self.self_addr {
-            self.pending_full = true;
         }
         self.pending.insert(origin);
         true
@@ -320,17 +332,16 @@ impl RouteEngine {
         // Classify every changed *confirmed* directed edge.
         let mut plain: BTreeSet<u32> = BTreeSet::new();
         let mut closure: BTreeSet<u32> = BTreeSet::new();
-        let mut root_adjacent = false;
         let mut any_change = false;
         let mut classify = |u: u32, v: u32, oc: Option<u32>, nc: Option<u32>, dist: &[u64]| {
             if oc == nc {
                 return;
             }
             any_change = true;
-            if u == src || v == src {
-                root_adjacent = true;
-                return;
-            }
+            // Root-adjacent edges need no special case: dist[src] = 0,
+            // so a changed src→v edge seeds v like any other, and an
+            // edge into src can never be tight or improving (costs ≥ 1
+            // mean du + c ≥ 1 > dist[src] = 0), so src never seeds.
             let du = dist[u as usize];
             if du != UNSEEN {
                 if let Some(oc) = oc {
@@ -369,9 +380,6 @@ impl RouteEngine {
         }
         if !any_change {
             return false; // version churn with no confirmed-edge change
-        }
-        if root_adjacent {
-            return self.full_rebuild();
         }
 
         // Dirty region: plain seeds plus the old-DAG descendant closure
@@ -666,16 +674,46 @@ mod tests {
     }
 
     #[test]
-    fn own_lsa_change_forces_full() {
+    fn own_lsa_change_repairs_incrementally() {
         let mut e = RouteEngine::new(1);
         feed_graph(&mut e, &[(1, 2)]);
         e.recompute();
+        // A new local adjacency (1-3) is a root-adjacent edge add — the
+        // delta classification handles it without the full fallback.
         e.on_lsa(1, Some(lsa(&[(2, 1), (3, 1)])));
-        assert!(e.pending_full());
+        assert!(!e.pending_full(), "own-LSA changes classify incrementally");
         e.on_lsa(3, Some(lsa(&[(1, 1)])));
         e.recompute();
-        assert_eq!(e.stats.spf_full, 2);
+        assert_eq!((e.stats.spf_full, e.stats.spf_incremental), (1, 1));
         assert_eq!(e.table().route(3), Some(&[3][..]));
+    }
+
+    #[test]
+    fn local_adjacency_flap_takes_the_delta_remove_path() {
+        // 1-2-3 plus a direct 1-3: flapping the local 1-3 edge down and
+        // back up must re-route 3 via 2 and back, all incrementally
+        // (the debug build additionally asserts equality with the
+        // from-scratch Dijkstra on every recompute).
+        let mut e = RouteEngine::new(1);
+        feed_graph(&mut e, &[(1, 2), (2, 3), (1, 3)]);
+        e.recompute();
+        assert_eq!(e.stats.spf_full, 1);
+        assert_eq!(e.table().route(3), Some(&[3][..]));
+
+        // Down: withdraw 1-3 from both LSAs (what neighbor expiry does).
+        e.on_lsa(1, Some(lsa(&[(2, 1)])));
+        e.on_lsa(3, Some(lsa(&[(2, 1)])));
+        assert!(!e.pending_full(), "withdrawal is delta-classified");
+        assert!(e.recompute());
+        assert_eq!(e.table().route(3), Some(&[2][..]), "re-routed via 2");
+
+        // Up: re-advertise the adjacency on both sides.
+        e.on_lsa(1, Some(lsa(&[(2, 1), (3, 1)])));
+        e.on_lsa(3, Some(lsa(&[(2, 1), (1, 1)])));
+        assert!(e.recompute());
+        assert_eq!(e.table().route(3), Some(&[3][..]), "direct hop restored");
+        assert_eq!(e.stats.spf_full, 1, "no full recompute after bootstrap");
+        assert_eq!(e.stats.spf_incremental, 2);
     }
 
     #[test]

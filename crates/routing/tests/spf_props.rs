@@ -106,6 +106,95 @@ proptest! {
         // The mirror itself must match the model (deletions propagate).
         prop_assert_eq!(engine.lsa_count(), model.len());
     }
+
+    /// Churn shape: arbitrary interleavings of link flaps (symmetric
+    /// down **and later up** on the same edge, including edges at the
+    /// source) and member leaves (both-sided withdrawal plus the
+    /// member's own LSA tombstone). After every recomputation the
+    /// incrementally maintained table must be byte-identical to the
+    /// from-scratch reference, and at the end a *fresh* engine fed only
+    /// the final LSA set must agree — repair history cannot leak into
+    /// the result.
+    #[test]
+    fn flap_and_leave_sequences_stay_identical_to_scratch(seed in proptest::prelude::any::<u64>()) {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let n: Addr = rng.gen_range(5..=12u64);
+        let src: Addr = rng.gen_range(1..=n);
+        let mut model = Model::new();
+        let mut engine = RouteEngine::new(src);
+        // Ring base so the graph usually stays connected under flaps.
+        for a in 1..=n {
+            let b = if a == n { 1 } else { a + 1 };
+            model.entry(a).or_default().insert(b, 1);
+            model.entry(b).or_default().insert(a, 1);
+        }
+        // A few chords for ECMP and alternate paths.
+        for _ in 0..n / 2 {
+            let a = rng.gen_range(1..=n);
+            let b = rng.gen_range(1..=n);
+            if a != b {
+                model.entry(a).or_default().insert(b, 1);
+                model.entry(b).or_default().insert(a, 1);
+            }
+        }
+        for a in 1..=n {
+            sync(&mut engine, &model, a);
+        }
+        engine.recompute();
+        prop_assert_eq!(engine.table(), &compute_routes(src, engine.mirror()));
+
+        // Links currently flapped down: (a, b) → saved symmetric costs.
+        let mut down: Vec<(Addr, Addr, u32, u32)> = Vec::new();
+        for _ in 0..24 {
+            match rng.gen_range(0..4u32) {
+                // Flap an existing edge down (maybe one at the source).
+                0..=1 => {
+                    let a = rng.gen_range(1..=n);
+                    if let Some(&b) = model.get(&a).and_then(|r| r.keys().next()) {
+                        let ca = model.entry(a).or_default().remove(&b).unwrap_or(1);
+                        let cb = model.entry(b).or_default().remove(&a).unwrap_or(1);
+                        down.push((a, b, ca, cb));
+                        sync(&mut engine, &model, a);
+                        sync(&mut engine, &model, b);
+                    }
+                }
+                // Bring a flapped link back with its original costs.
+                2 => {
+                    if !down.is_empty() {
+                        let (a, b, ca, cb) = down.swap_remove(rng.gen_range(0..down.len()));
+                        model.entry(a).or_default().insert(b, ca);
+                        model.entry(b).or_default().insert(a, cb);
+                        sync(&mut engine, &model, a);
+                        sync(&mut engine, &model, b);
+                    }
+                }
+                // A member (never the source) leaves: neighbors withdraw
+                // it and its LSA is tombstoned — the GC flood shape.
+                _ => {
+                    let m = rng.gen_range(1..=n);
+                    if m != src {
+                        let peers: Vec<Addr> =
+                            model.get(&m).map(|r| r.keys().copied().collect()).unwrap_or_default();
+                        for p in peers {
+                            model.entry(p).or_default().remove(&m);
+                            sync(&mut engine, &model, p);
+                        }
+                        model.remove(&m);
+                        sync(&mut engine, &model, m);
+                    }
+                }
+            }
+            engine.recompute();
+            prop_assert_eq!(engine.table(), &compute_routes(src, engine.mirror()));
+        }
+        // History independence: a fresh engine over the final state.
+        let mut fresh = RouteEngine::new(src);
+        for a in 1..=n {
+            sync(&mut fresh, &model, a);
+        }
+        fresh.recompute();
+        prop_assert_eq!(engine.table(), fresh.table());
+    }
 }
 
 /// ECMP pin: delta repair must preserve — and correctly extend —
