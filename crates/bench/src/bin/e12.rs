@@ -1,0 +1,69 @@
+//! E12 partial-RIB-replication sweep: scoped vs full `/dir` at scale.
+//!
+//! Runs the scale-free assembly at each size **twice** — full
+//! replication and owner-held `/dir` — and prints one markdown row per
+//! cell with the per-member RIB footprint and directory-share metrics
+//! behind the EXPERIMENTS.md E12 table. Cells run concurrently on the
+//! sweep thread pool (one independent `Sim` each, largest first).
+//! Writes `reports/e12.json`.
+//!
+//! Usage: `cargo run --release -p rina-bench --bin e12 -- \
+//!           [sizes...] [--threads N] [--scoped-only]`
+//! (default sizes: 50 200 500 2000)
+
+use rina_bench::report::{finish_doc, push_section};
+use rina_bench::sweep::{par_map, positional_numbers, threads_from_args, write_report};
+use rina_bench::{e12_partial_rib, fmt};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = threads_from_args(&args);
+    let scoped_only = args.iter().any(|a| a == "--scoped-only");
+    let mut sizes = positional_numbers(&args, &["--threads"]);
+    if sizes.is_empty() {
+        sizes = vec![50, 200, 500, 2000];
+    }
+    // Largest cells first so the pool starts the stragglers early.
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    let mut cells: Vec<(usize, bool)> = Vec::new();
+    for &n in &sizes {
+        cells.push((n, true));
+        if !scoped_only {
+            cells.push((n, false));
+        }
+    }
+    eprintln!("e12: {} cells on {} threads", cells.len(), threads);
+    let t0 = std::time::Instant::now();
+    let rows =
+        par_map(threads, cells, |(n, scoped)| e12_partial_rib::run(n, 1200 + n as u64, scoped));
+    println!(
+        "| members | /dir | rib obj max | rib bytes max | dir obj max | dir obj mean | lookups | cache hits | rib PDUs | makespan (s) | wall (s) | e2e ok |"
+    );
+    println!("|---|---|---|---|---|---|---|---|---|---|---|---|");
+    for r in &rows {
+        println!(
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |",
+            r.members,
+            if r.scoped { "scoped" } else { "full" },
+            r.rib_objects_max,
+            r.rib_bytes_max,
+            r.dir_objects_max,
+            fmt(r.dir_objects_mean),
+            r.dir_lookups,
+            r.dir_cache_hits,
+            r.rib_pdus,
+            fmt(r.assemble_s),
+            fmt(r.wall_s),
+            r.e2e_ok
+        );
+    }
+    let mut doc = Vec::new();
+    push_section(&mut doc, "e12_sweep", &rows);
+    let path = write_report("e12.json", &finish_doc(doc));
+    eprintln!(
+        "e12: {} cells in {:.1}s wall -> {}",
+        rows.len(),
+        t0.elapsed().as_secs_f64(),
+        path.display()
+    );
+}

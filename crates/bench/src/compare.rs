@@ -257,6 +257,11 @@ pub fn default_gates(wall_tol: f64) -> Vec<(&'static str, Gate)> {
         ("agg_len", Gate::Exact),
         ("stale_rib", Gate::Exact),
         ("churn_reach", Gate::Exact),
+        // Partial-replication invariants (deterministic, gated exactly):
+        // the widest per-member RIB footprint. Growth in a scoped cell
+        // means the full-replication floor is creeping back.
+        ("rib_objects_max", Gate::Exact),
+        ("rib_bytes_max", Gate::Exact),
         ("wall_s", Gate::WallClock { frac: wall_tol }),
     ]
 }
@@ -585,6 +590,8 @@ mod tests {
                             ("agg_len".into(), Json::Num(40.0)),
                             ("stale_rib".into(), Json::Num(0.0)),
                             ("churn_reach".into(), Json::Num(1.0)),
+                            ("rib_objects_max".into(), Json::Num(9.0)),
+                            ("rib_bytes_max".into(), Json::Num(300.0)),
                             ("wall_s".into(), Json::Num(w)),
                         ])
                     })

@@ -180,14 +180,35 @@ pub fn run_with(
     flaps: usize,
     partitions: usize,
 ) -> ChurnRow {
+    run_with_cfg(n, seed, leaves, fails, flaps, partitions, false)
+}
+
+/// Run a churn timeline with explicit disturbance counts, optionally
+/// under the partial-replication policy (owner-held `/dir` resolved on
+/// demand). The scoped variant also places a stride ping workload so
+/// real flows resolve names through the directory machinery while the
+/// disturbances land — with `scoped_dir` false the run is byte-identical
+/// to what [`run_with`] always produced.
+pub fn run_with_cfg(
+    n: usize,
+    seed: u64,
+    leaves: usize,
+    fails: usize,
+    flaps: usize,
+    partitions: usize,
+    scoped_dir: bool,
+) -> ChurnRow {
     let wall_t0 = std::time::Instant::now();
     let mut s = Scenario::new("e11-churn", seed);
     // Grace below the fail downtime (4 s default pacing): crashes are
     // garbage-collected by their sponsors, not ridden out.
-    let cfg = DifConfig::new("as").with_member_gc_grace_ms(2_000);
+    let cfg = DifConfig::new("as").with_member_gc_grace_ms(2_000).with_scoped_dir(scoped_dir);
     let fab =
         Topology::barabasi_albert(n, 2, seed).with_dif(cfg).with_prefix("as").materialize(&mut s);
     let members = fab.member_ipcps(&s);
+    if scoped_dir {
+        let _ = Workload::ping_stride(&mut s, fab.dif, &fab.nodes, 1, 1, 16);
+    }
     let limit = Dur::from_secs(600) * (1 + n as u64 / 500);
     let mut run = s.assemble(limit, Dur::from_secs(1));
     let assemble_s = run.assembled_at.expect("assemble() ran").as_secs_f64();
@@ -286,6 +307,21 @@ mod tests {
             r.agg_after
         );
         assert!(r.reach_min >= 0.99, "reachability dipped outside disturbance windows: {r:?}");
+    }
+
+    /// Satellite regression for partial RIB replication: the E11 flap
+    /// scenario rerun with owner-held `/dir` and a live ping workload
+    /// resolving names on demand. Scoping the directory must not
+    /// reopen the holes churn historically carved: zero stale objects
+    /// at quiescence, full sampled reachability in every calm window,
+    /// and no foreign directory state landing anywhere.
+    #[test]
+    fn flap_churn_with_scoped_dir_stays_clean_and_fully_reachable() {
+        let r = super::run_with_cfg(30, 71, 0, 0, 2, 0, true);
+        assert!(r.converged, "never re-quiesced: {r:?}");
+        assert!(r.calm_samples > 0, "no calm window was ever sampled: {r:?}");
+        assert_eq!(r.stale_final, 0, "scoped /dir leaked departed state: {r:?}");
+        assert_eq!(r.reach_min, 1.0, "reachability dipped under scoped /dir: {r:?}");
     }
 
     /// CI smoke at 200 members (release-only): the E11 acceptance gate —

@@ -1,0 +1,168 @@
+//! E12 (new): partial RIB replication at scale — breaking the
+//! full-replication floor.
+//!
+//! Every earlier experiment replicates the whole RIB to every member, so
+//! per-member state grows O(members × registrations) no matter what the
+//! forwarding table does. With **replication scopes** the `/dir` subtree
+//! becomes owner-held: each member stores only its own registrations and
+//! resolves foreign names on demand over the spanning tree
+//! (`DirLookupRequest`/`DirLookupResponse`), caching answers in a small
+//! LRU. `/lsa` and `/blocks` stay DIF-wide — routing and liveness still
+//! need the full graph.
+//!
+//! This experiment assembles the same scale-free internetwork as E10 with
+//! and without scoped `/dir` and measures the per-member **directory
+//! share** of the RIB: under full replication the widest member holds
+//! every registration in the DIF (O(n)); under scoping it holds only its
+//! own (O(1) in the member count), with the sampled ping workload
+//! verifying that on-demand resolution still completes end to end.
+
+use crate::{row_json, Scenario};
+use rina::prelude::*;
+
+/// Result of one partial-replication run.
+#[derive(Debug)]
+pub struct PartialRibRow {
+    /// DIF size (members).
+    pub members: usize,
+    /// Whether `/dir` was owner-held (`true`) or DIF-wide (`false`).
+    pub scoped: bool,
+    /// Enrollment makespan: virtual time until the facility assembled (s).
+    pub assemble_s: f64,
+    /// Wall-clock cost of the whole run, in seconds.
+    pub wall_s: f64,
+    /// Largest total RIB object count any member holds (live +
+    /// tombstoned), the full-replication-floor metric.
+    pub rib_objects_max: u64,
+    /// Largest encoded RIB footprint any member holds, in bytes.
+    pub rib_bytes_max: u64,
+    /// Largest `/dir` object count any member holds — the directory
+    /// share. O(n) under full replication, O(own registrations) scoped.
+    pub dir_objects_max: u64,
+    /// Mean `/dir` object count across members.
+    pub dir_objects_mean: f64,
+    /// On-demand directory lookups sent DIF-wide (0 when unscoped).
+    pub dir_lookups: u64,
+    /// Directory cache hits DIF-wide (0 when unscoped).
+    pub dir_cache_hits: u64,
+    /// RIEP object PDUs sent DIF-wide over the whole run.
+    pub rib_pdus: u64,
+    /// All O(n) sampled-reachability pings completed.
+    pub e2e_ok: bool,
+}
+
+row_json!(PartialRibRow {
+    members,
+    scoped,
+    assemble_s,
+    wall_s,
+    rib_objects_max,
+    rib_bytes_max,
+    dir_objects_max,
+    dir_objects_mean,
+    dir_lookups,
+    dir_cache_hits,
+    rib_pdus,
+    e2e_ok,
+});
+
+/// Assemble an `n`-member Barabási–Albert DIF (attachment degree 2) with
+/// `/dir` owner-held iff `scoped`, run an O(n) sampled ping workload so
+/// every member resolves at least one foreign name, and measure the
+/// per-member RIB footprint.
+pub fn run(n: usize, seed: u64, scoped: bool) -> PartialRibRow {
+    let wall_t0 = std::time::Instant::now();
+    let mut s = Scenario::new("e12-partial-rib", seed);
+    let mut cfg = DifConfig::new("as");
+    if scoped {
+        cfg = cfg.with_scoped_dir(true);
+    }
+    let fab =
+        Topology::barabasi_albert(n, 2, seed).with_prefix("as").with_dif(cfg).materialize(&mut s);
+    let mesh = Workload::ping_sampled(&mut s, fab.dif, &fab.nodes, 0, seed, 1, 64);
+    let ipcps = fab.member_ipcps(&s);
+
+    let limit = Dur::from_secs(600) * (1 + n as u64 / 500);
+    let mut run = s.assemble(limit, Dur::ZERO);
+    let assemble_s = run.assembled_at.expect("assemble() ran").as_secs_f64();
+    run.run_for(Dur::from_secs(1));
+    run.run_until(Dur::from_millis(500), 240, |net| mesh.all_done(net));
+
+    let net = &run.net;
+    let rib_objects_max: u64 =
+        ipcps.iter().map(|&h| net.ipcp(h).rib.iter_all().count() as u64).max().unwrap_or(0);
+    let rib_bytes_max: u64 = ipcps
+        .iter()
+        .map(|&h| net.ipcp(h).rib.iter_all().map(|o| o.encode().len() as u64).sum::<u64>())
+        .max()
+        .unwrap_or(0);
+    let dir_counts: Vec<u64> =
+        ipcps.iter().map(|&h| net.ipcp(h).rib.iter_prefix("/dir/").count() as u64).collect();
+    PartialRibRow {
+        members: n,
+        scoped,
+        assemble_s,
+        wall_s: wall_t0.elapsed().as_secs_f64(),
+        rib_objects_max,
+        rib_bytes_max,
+        dir_objects_max: dir_counts.iter().copied().max().unwrap_or(0),
+        dir_objects_mean: dir_counts.iter().sum::<u64>() as f64 / n as f64,
+        dir_lookups: ipcps.iter().map(|&h| net.ipcp(h).stats.dir_lookups_sent).sum(),
+        dir_cache_hits: ipcps.iter().map(|&h| net.ipcp(h).stats.dir_cache_hits).sum(),
+        rib_pdus: ipcps.iter().map(|&h| net.ipcp(h).stats.rib_tx).sum(),
+        e2e_ok: mesh.all_done(net),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    /// The scope boundary at debug scale: the scoped facility still
+    /// routes end to end through on-demand resolution, while the
+    /// directory share of every member's RIB collapses from O(members)
+    /// to O(own registrations).
+    #[test]
+    fn scoped_dir_collapses_the_directory_share_and_still_routes() {
+        let full = super::run(24, 12, false);
+        let part = super::run(24, 12, true);
+        assert!(full.e2e_ok && part.e2e_ok, "full {full:?} part {part:?}");
+        // Full replication: the widest member holds every registration
+        // (one echo app per member plus the ping sources).
+        assert!(
+            full.dir_objects_max >= full.members as u64,
+            "full-replication floor missing: {full:?}"
+        );
+        // Scoped: nobody holds more than its own few registrations.
+        assert!(part.dir_objects_max <= 4, "scoped member hoards directory: {part:?}");
+        assert!(part.rib_objects_max < full.rib_objects_max, "no RIB shrink: {part:?}");
+        assert!(part.rib_bytes_max < full.rib_bytes_max, "no byte shrink: {part:?}");
+        // The machinery was exercised, not bypassed.
+        assert!(part.dir_lookups > 0, "no on-demand lookup ran: {part:?}");
+        assert_eq!(full.dir_lookups, 0, "unscoped run sent lookups: {full:?}");
+    }
+
+    /// Determinism: same seed ⇒ byte-identical row (modulo wall clock).
+    #[test]
+    fn e12_reproduces_bit_identically() {
+        let a = super::run(16, 7, true);
+        let b = super::run(16, 7, true);
+        assert_eq!(a.rib_objects_max, b.rib_objects_max);
+        assert_eq!(a.rib_bytes_max, b.rib_bytes_max);
+        assert_eq!(a.dir_lookups, b.dir_lookups);
+        assert_eq!(a.dir_cache_hits, b.dir_cache_hits);
+        assert_eq!(a.rib_pdus, b.rib_pdus);
+    }
+
+    /// CI smoke at 500 members, release-only: the directory share stays
+    /// O(1) in the member count (the sublinearity claim at a scale where
+    /// the full-replication floor would be ≥ 500), and resolution still
+    /// completes everywhere within the wall-clock budget.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn e12_five_hundred_smoke_directory_share_stays_constant() {
+        let r = super::run(500, 29, true);
+        assert!(r.e2e_ok, "{r:?}");
+        assert!(r.dir_objects_max <= 4, "directory share grew with the DIF: {r:?}");
+        assert!(r.dir_lookups >= 500, "resolution barely exercised: {r:?}");
+        assert!(r.wall_s < 120.0, "500-member scoped run took {:.1} s", r.wall_s);
+    }
+}

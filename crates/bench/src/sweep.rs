@@ -203,6 +203,11 @@ pub struct SweepCell {
     /// assembly), gating post-churn fragmentation, staleness, and
     /// reachability.
     pub churn: bool,
+    /// Partial RIB replication: `/dir` owner-held and resolved on
+    /// demand instead of replicated DIF-wide. Gates the per-member RIB
+    /// footprint (`rib_objects_max` / `rib_bytes_max`) against the
+    /// full-replication floor.
+    pub scoped: bool,
 }
 
 impl SweepCell {
@@ -220,13 +225,14 @@ impl SweepCell {
     /// of the cell, none of its results.
     pub fn id(&self) -> String {
         format!(
-            "{}-n{}-{}-l{}-f{}{}",
+            "{}-n{}-{}-l{}-f{}{}{}",
             self.topology.key(),
             self.size,
             self.schedule_key(),
             self.loss,
             self.flood_rate,
-            if self.churn { "-churn" } else { "" }
+            if self.churn { "-churn" } else { "" },
+            if self.scoped { "-scoped" } else { "" }
         )
     }
 
@@ -293,6 +299,13 @@ pub struct SweepRow {
     /// Worst sampled reachability fraction outside churn disturbance
     /// windows (1 in non-churn cells).
     pub churn_reach: f64,
+    /// Largest per-member RIB object count (live + tombstones) at the
+    /// end of the run. The partial-replication gate: scoped cells must
+    /// hold this below the full-replication floor.
+    pub rib_objects_max: u64,
+    /// Largest per-member RIB encoded size (bytes) at the end of the
+    /// run.
+    pub rib_bytes_max: u64,
     /// Wall-clock seconds for the cell (machine-dependent).
     pub wall_s: f64,
 }
@@ -316,6 +329,8 @@ row_json!(SweepRow {
     agg_len,
     stale_rib,
     churn_reach,
+    rib_objects_max,
+    rib_bytes_max,
     wall_s,
 });
 
@@ -364,7 +379,11 @@ impl SweepGrid {
     /// one **churn cell** (wave schedule, lossless, unlimited flood):
     /// the continuous-dynamics phase costs tens of virtual seconds per
     /// cell, so it rides the default config only — the static dimensions
-    /// already cover schedule/loss/flood interactions.
+    /// already cover schedule/loss/flood interactions. Every size also
+    /// gets one **scoped cell** (scale-free, wave schedule, lossless,
+    /// unlimited flood, `/dir` owner-held): the partial-replication
+    /// counterpart of the matching static cell, gating the per-member
+    /// RIB footprint below the full-replication floor.
     pub fn cells(&self) -> Vec<SweepCell> {
         let mut cells = Vec::new();
         let mut sizes = self.sizes.clone();
@@ -378,6 +397,7 @@ impl SweepGrid {
                     loss: 0.0,
                     flood_rate: 0,
                     churn: true,
+                    scoped: false,
                 });
                 for &schedule in &self.schedules {
                     for &loss in &self.losses {
@@ -389,11 +409,21 @@ impl SweepGrid {
                                 loss,
                                 flood_rate,
                                 churn: false,
+                                scoped: false,
                             });
                         }
                     }
                 }
             }
+            cells.push(SweepCell {
+                size,
+                topology: SweepTopology::ScaleFree,
+                schedule: EnrollSchedule::waves(),
+                loss: 0.0,
+                flood_rate: 0,
+                churn: false,
+                scoped: true,
+            });
         }
         cells
     }
@@ -420,6 +450,9 @@ pub fn run_cell(cell: &SweepCell, base_seed: u64) -> SweepRow {
         // Grace below the churn plan's 4 s downtime: crash-fails get
         // garbage-collected by their sponsors, not ridden out.
         dif_cfg = dif_cfg.with_member_gc_grace_ms(2_000);
+    }
+    if cell.scoped {
+        dif_cfg = dif_cfg.with_scoped_dir(true);
     }
     let fab = cell
         .topology
@@ -482,6 +515,13 @@ pub fn run_cell(cell: &SweepCell, base_seed: u64) -> SweepRow {
     let spf_incremental: u64 =
         ipcps.iter().map(|&h| net.ipcp(h).route_stats().spf_incremental).sum();
     let ft_delta: u64 = ipcps.iter().map(|&h| net.ipcp(h).route_stats().ft_delta).sum();
+    let rib_objects_max: u64 =
+        ipcps.iter().map(|&h| net.ipcp(h).rib.iter_all().count() as u64).max().unwrap_or(0);
+    let rib_bytes_max: u64 = ipcps
+        .iter()
+        .map(|&h| net.ipcp(h).rib.iter_all().map(|o| o.encode().len() as u64).sum::<u64>())
+        .max()
+        .unwrap_or(0);
     SweepRow {
         id: cell.id(),
         size: cell.size,
@@ -501,6 +541,8 @@ pub fn run_cell(cell: &SweepCell, base_seed: u64) -> SweepRow {
         agg_len: crate::e11_churn::agg_sum(net, &ipcps) as u64,
         stale_rib: crate::e11_churn::stale_count(net, &ipcps) as u64,
         churn_reach,
+        rib_objects_max,
+        rib_bytes_max,
         wall_s: wall_t0.elapsed().as_secs_f64(),
     }
 }
@@ -598,18 +640,33 @@ mod tests {
         let cells = grid.cells();
         let ids: std::collections::HashSet<String> = cells.iter().map(|c| c.id()).collect();
         assert_eq!(ids.len(), cells.len(), "cell ids collide");
-        // The static cross product plus one churn cell per size × topology.
+        // The static cross product plus one churn cell per size ×
+        // topology plus one scoped cell per size.
         assert_eq!(
             cells.len(),
             grid.sizes.len()
                 * grid.topologies.len()
                 * (grid.schedules.len() * grid.losses.len() * grid.flood_rates.len() + 1)
+                + grid.sizes.len()
         );
         assert_eq!(
             cells.iter().filter(|c| c.churn).count(),
             grid.sizes.len() * grid.topologies.len()
         );
         assert!(cells.iter().filter(|c| c.churn).all(|c| c.id().ends_with("-churn")));
+        assert_eq!(cells.iter().filter(|c| c.scoped).count(), grid.sizes.len());
+        assert!(cells.iter().filter(|c| c.scoped).all(|c| c.id().ends_with("-scoped")));
+        // Every scoped cell has its exact unscoped counterpart in-grid,
+        // so the RIB-footprint comparison is like against like.
+        for c in cells.iter().filter(|c| c.scoped) {
+            let mut twin = c.clone();
+            twin.scoped = false;
+            assert!(
+                cells.iter().any(|o| o.id() == twin.id()),
+                "scoped cell {} lacks its unscoped twin",
+                c.id()
+            );
+        }
     }
 
     #[test]
@@ -621,6 +678,7 @@ mod tests {
             loss: 0.0,
             flood_rate: 64,
             churn: false,
+            scoped: false,
         };
         let mut d = c.clone();
         d.loss = 0.02;
@@ -630,6 +688,9 @@ mod tests {
         let mut e = c.clone();
         e.churn = true;
         assert_ne!(c.seed(1), e.seed(1), "churn is part of the cell identity");
+        let mut f = c.clone();
+        f.scoped = true;
+        assert_ne!(c.seed(1), f.seed(1), "scope is part of the cell identity");
     }
 
     #[test]
@@ -653,6 +714,8 @@ mod tests {
             agg_len: 40,
             stale_rib: 0,
             churn_reach: 1.0,
+            rib_objects_max: 9,
+            rib_bytes_max: 300,
             wall_s: 0.123456,
         };
         let doc = sweep_doc(std::slice::from_ref(&row), 4);
@@ -675,6 +738,7 @@ mod tests {
             loss: 0.0,
             flood_rate: 64,
             churn: false,
+            scoped: false,
         };
         let a = run_cell(&cell, 1);
         let b = run_cell(&cell, 1);
@@ -697,6 +761,7 @@ mod tests {
             loss: 0.0,
             flood_rate: 0,
             churn: true,
+            scoped: false,
         };
         let a = run_cell(&cell, 1);
         let b = run_cell(&cell, 1);
@@ -706,5 +771,43 @@ mod tests {
         assert_eq!(a.agg_len, b.agg_len);
         assert_eq!(a.rib_pdus, b.rib_pdus);
         assert_eq!(a.churn_reach, b.churn_reach);
+    }
+
+    /// A tiny scoped cell against its unscoped twin: both assemble and
+    /// reach, the scoped member RIBs are strictly smaller, and the
+    /// scoped run is reproducible.
+    #[test]
+    fn scoped_cell_shrinks_member_ribs_and_reproduces() {
+        let unscoped = SweepCell {
+            size: 8,
+            topology: SweepTopology::ScaleFree,
+            schedule: EnrollSchedule::waves(),
+            loss: 0.0,
+            flood_rate: 0,
+            churn: false,
+            scoped: false,
+        };
+        let mut scoped = unscoped.clone();
+        scoped.scoped = true;
+        let u = run_cell(&unscoped, 1);
+        let s = run_cell(&scoped, 1);
+        let s2 = run_cell(&scoped, 1);
+        assert!(u.reachable && s.reachable, "unscoped {u:?} / scoped {s:?}");
+        assert_eq!(s.stale_rib, 0, "{s:?}");
+        assert!(
+            s.rib_objects_max < u.rib_objects_max,
+            "scoping did not shrink the widest RIB: {} !< {}",
+            s.rib_objects_max,
+            u.rib_objects_max
+        );
+        assert!(
+            s.rib_bytes_max < u.rib_bytes_max,
+            "scoping did not shrink RIB bytes: {} !< {}",
+            s.rib_bytes_max,
+            u.rib_bytes_max
+        );
+        assert_eq!(s.rib_objects_max, s2.rib_objects_max);
+        assert_eq!(s.rib_bytes_max, s2.rib_bytes_max);
+        assert_eq!(s.rib_pdus, s2.rib_pdus);
     }
 }

@@ -111,6 +111,21 @@ pub struct DifConfig {
     /// its objects at a higher version). `0` disables failure GC —
     /// departed state then only leaves via graceful leave.
     pub member_gc_grace_ms: u64,
+    /// Replication scope of the `/dir` application-directory subtree.
+    /// `false` (default): DIF-wide — every member mirrors every directory
+    /// entry, exactly the pre-scope behavior. `true`: **owner-held** —
+    /// each member keeps only its own registrations; `/dir` leaves the
+    /// digest/delta/flood surface, and flow allocation resolves foreign
+    /// names on demand over the spanning tree
+    /// ([`crate::msg::MgmtBody::DirLookupRequest`]) with per-member LRU
+    /// caching. Tombstones still flood DIF-wide: they are the cache
+    /// invalidation channel.
+    pub scoped_dir: bool,
+    /// Capacity of the per-member directory resolution cache (only
+    /// meaningful when [`DifConfig::scoped_dir`] is set). Least-recently
+    /// used entries are evicted beyond this many; `0` disables caching,
+    /// forcing every allocation to resolve at the owner.
+    pub dir_cache_cap: u32,
 }
 
 impl DifConfig {
@@ -132,6 +147,8 @@ impl DifConfig {
             flood_rate: 64,
             flood_burst: 256,
             member_gc_grace_ms: 10_000,
+            scoped_dir: false,
+            dir_cache_cap: 128,
         }
     }
 
@@ -224,6 +241,21 @@ impl DifConfig {
         self
     }
 
+    /// Builder-style replication-scope override for `/dir`: `true` makes
+    /// directory entries owner-held with on-demand lookup instead of
+    /// DIF-wide replication.
+    pub fn with_scoped_dir(mut self, scoped: bool) -> Self {
+        self.scoped_dir = scoped;
+        self
+    }
+
+    /// Builder-style directory-cache capacity override (`0` disables
+    /// caching; only meaningful with [`DifConfig::with_scoped_dir`]).
+    pub fn with_dir_cache_cap(mut self, cap: u32) -> Self {
+        self.dir_cache_cap = cap;
+        self
+    }
+
     /// Look up a cube by id.
     pub fn cube(&self, id: u8) -> Option<&QosCube> {
         self.cubes.iter().find(|c| c.id == id)
@@ -273,6 +305,16 @@ mod tests {
         assert_eq!(c.recompute_debounce_ms, 5);
         assert_eq!(c.recompute_delta_debounce_ms, 1);
         assert_eq!((c.flood_rate, c.flood_burst), (200, 1), "burst floors at 1");
+    }
+
+    #[test]
+    fn dir_scope_defaults_off_and_overrides() {
+        let c = DifConfig::new("x");
+        assert!(!c.scoped_dir, "scoped /dir is opt-in: default stays fully replicated");
+        assert!(c.dir_cache_cap > 0);
+        let c = c.with_scoped_dir(true).with_dir_cache_cap(4);
+        assert!(c.scoped_dir);
+        assert_eq!(c.dir_cache_cap, 4);
     }
 
     #[test]

@@ -65,6 +65,16 @@ const RESYNC_DAMP_TICKS: u64 = 4;
 /// is never silently undeliverable.
 const DELTA_CHUNK_BYTES: usize = 1024;
 
+/// Hello ticks between resends of an unanswered on-demand directory
+/// lookup (scoped `/dir` only): requests ride the spanning tree best
+/// effort, so a lookup racing assembly or churn is simply asked again.
+const DIR_LOOKUP_RETRY_TICKS: u64 = 2;
+
+/// How many resends an unanswered directory lookup gets before the
+/// allocations waiting on it fail. The node's own allocation timeout
+/// usually fires first; the late failure is absorbed as a no-op.
+const DIR_LOOKUP_RETRIES: u32 = 3;
+
 /// Largest RIB snapshot inlined into one [`MgmtBody::EnrollResponse`].
 /// Bigger RIBs would overflow the (N-1) MTU in a single PDU — the very
 /// wall that capped facilities near 100 members — so past this size the
@@ -265,11 +275,58 @@ pub struct IpcpStats {
     /// purge across a partition) that we re-asserted at a higher
     /// version.
     pub reasserts: u64,
+    /// Directory resolutions served from the lookup cache (scoped
+    /// `/dir` only). Same seed must give the same count at any thread
+    /// count — the determinism property tests pin this.
+    pub dir_cache_hits: u64,
+    /// Directory resolutions that missed both own registrations and the
+    /// cache (each starts or joins an on-demand lookup).
+    pub dir_cache_misses: u64,
+    /// [`MgmtBody::DirLookupRequest`]s originated (resends included;
+    /// forwarding on behalf of others is not counted).
+    pub dir_lookups_sent: u64,
+    /// Authoritative [`MgmtBody::DirLookupResponse`]s sent as owner.
+    pub dir_lookups_answered: u64,
+    /// Cache entries dropped by invalidation (a `/dir` tombstone or the
+    /// owner's `/blocks` departure tombstone).
+    pub dir_invalidations: u64,
 }
 
 enum Pending {
     Enroll,
     FlowAlloc { cep: CepId },
+}
+
+/// One flow allocation parked behind an on-demand directory lookup
+/// (scoped `/dir` only): resumed by the owner's answer, failed when the
+/// retry budget runs out.
+struct DirWaiter {
+    port: u64,
+    src_app: AppName,
+    dst_app: AppName,
+    spec: QosSpec,
+}
+
+/// An in-flight on-demand directory lookup.
+struct DirPending {
+    waiters: Vec<DirWaiter>,
+    /// `hello_ticks` when the request was last sent — drives resends.
+    asked_tick: u64,
+    /// Resends so far (bounded by [`DIR_LOOKUP_RETRIES`]).
+    retries: u32,
+    /// Correlation id echoed by the owner's response.
+    lookup_id: u64,
+}
+
+/// A cached directory resolution (scoped `/dir` only): where the owner
+/// said the application lives, at which entry version (so in-flight
+/// answers lose to newer tombstones), last used when (deterministic LRU
+/// via a monotonic use stamp, not wall time).
+#[derive(Clone, Copy, Debug)]
+struct DirCached {
+    addr: Addr,
+    version: u64,
+    used: u64,
 }
 
 /// One IPC process (see module docs).
@@ -359,12 +416,30 @@ pub struct Ipcp {
     flood_tokens: f64,
     /// When the flood bucket last refilled.
     flood_refill_at: Time,
+    /// On-demand directory resolution cache (scoped `/dir` only):
+    /// name → owner answer, LRU-bounded by [`DifConfig::dir_cache_cap`].
+    dir_cache: BTreeMap<String, DirCached>,
+    /// Monotonic use stamp backing the cache's deterministic LRU.
+    dir_use: u64,
+    /// Newest `/dir` tombstone seen per name `(version, origin,
+    /// recorded-at)`: the invalidation memory that keeps stale in-flight
+    /// lookup answers from resurrecting a deleted entry. Entries expire
+    /// after [`DifConfig::member_gc_grace_ms`] — a re-registered owner
+    /// restarts its version clock, so tombstone memory held forever
+    /// would refuse the reborn entry; past the grace the staleness
+    /// window it guards has long closed.
+    dir_neg: BTreeMap<String, (u64, Addr, Time)>,
+    /// Outstanding directory lookups by RIB name.
+    dir_pending: BTreeMap<String, DirPending>,
+    /// Correlation ids handed to [`MgmtBody::DirLookupRequest`]s.
+    next_lookup: u64,
 }
 
 impl Ipcp {
     /// Create a not-yet-enrolled IPC process for `cfg`, named `name`.
     pub fn new(idx: usize, cfg: DifConfig, name: AppName) -> Self {
         let flood_tokens = cfg.flood_burst as f64;
+        let scoped_dir = cfg.scoped_dir;
         Ipcp {
             idx,
             cfg,
@@ -378,6 +453,11 @@ impl Ipcp {
                 // Object-level delta hook: the engine mirrors /lsa/*
                 // without ever re-decoding the subtree wholesale.
                 r.watch_prefix(LSA_PREFIX);
+                if scoped_dir {
+                    // Owner-held directory: /dir leaves the digest,
+                    // snapshot, and delta surface entirely.
+                    r.set_local_subtree("/dir");
+                }
                 r
             },
             engine: RouteEngine::new(0),
@@ -404,7 +484,18 @@ impl Ipcp {
             flood_q: std::collections::BTreeMap::new(),
             flood_tokens,
             flood_refill_at: Time::ZERO,
+            dir_cache: BTreeMap::new(),
+            dir_use: 0,
+            dir_neg: BTreeMap::new(),
+            dir_pending: BTreeMap::new(),
+            next_lookup: 0,
         }
+    }
+
+    /// Whether this process runs the owner-held `/dir` replication
+    /// scope (shims have an implicit two-party directory and never do).
+    fn scoped_dir(&self) -> bool {
+        self.cfg.scoped_dir && !self.is_shim
     }
 
     /// Make this the DIF's first member, self-assigned `addr`.
@@ -535,11 +626,31 @@ impl Ipcp {
             // Re-advertise our own objects; ports whose peers' hello
             // digests already cover them are skipped by the suppression
             // in `flood_rib`, so a converged facility goes quiet.
-            let own: Vec<RibObject> =
-                self.rib.iter_all().filter(|o| o.origin == self.addr).cloned().collect();
+            // Local-scope subtrees (owner-held /dir) are skipped whole:
+            // their live entries never replicate, and their deletions
+            // already flooded once — departures invalidate through the
+            // replicated /blocks tombstone instead.
+            let own: Vec<RibObject> = self
+                .rib
+                .iter_all()
+                .filter(|o| {
+                    o.origin == self.addr && !self.rib.is_local_subtree(subtree_of(&o.name))
+                })
+                .cloned()
+                .collect();
             for obj in &own {
                 self.flood_rib(obj, None);
             }
+        }
+        self.retry_dir_lookups(now);
+        // Expire tombstone memory past the member-GC grace: a
+        // re-registered owner restarts its version clock, and /dir is
+        // off the anti-entropy surface, so memory held forever would
+        // refuse the reborn entry's answers. The in-flight answers the
+        // memory guards against are milliseconds old, never grace-old.
+        if self.cfg.member_gc_grace_ms != 0 {
+            let grace = Dur::from_millis(self.cfg.member_gc_grace_ms);
+            self.dir_neg.retain(|_, &mut (_, _, t)| now.since(t) <= grace);
         }
         // Expire neighbors we have not heard from.
         let deadline = self.cfg.hello_period * self.cfg.hello_misses as u64;
@@ -771,6 +882,12 @@ impl Ipcp {
     fn purge_member(&mut self, name: &AppName, addr: Addr) {
         for n in self.departure_names(name, addr) {
             self.rib.delete_local(&n);
+        }
+        if self.scoped_dir() {
+            // The sponsor tombstones the block locally, so the wire
+            // hook in `apply_and_reflood` never sees it: drop our own
+            // cached answers pointing at the purged member here.
+            self.invalidate_dir_cache_for(addr);
         }
         self.stats.members_purged += 1;
         self.drain_rib();
@@ -1293,18 +1410,263 @@ impl Ipcp {
         self.n1.iter().find(|p| p.up).map(|_| if self.addr == 1 { 2 } else { 1 })
     }
 
+    /// Resolve `app` from local knowledge under the scoped-`/dir`
+    /// policy: own registrations first (the only entries a scoped RIB
+    /// holds), then the lookup cache. Cache consultations are counted —
+    /// the determinism property tests pin hit/miss counters across
+    /// thread counts.
+    fn resolve_dir_local(&mut self, app: &AppName) -> Option<Addr> {
+        let name = format!("/dir/{}", app.key());
+        if let Some(o) = self.rib.get(&name) {
+            return decode_addr(&o.value);
+        }
+        if let Some(c) = self.dir_cache.get_mut(&name) {
+            self.dir_use += 1;
+            c.used = self.dir_use;
+            self.stats.dir_cache_hits += 1;
+            return Some(c.addr);
+        }
+        self.stats.dir_cache_misses += 1;
+        None
+    }
+
+    /// Park a flow allocation behind an on-demand directory lookup:
+    /// ask the spanning tree for the owner's entry and continue (or
+    /// fail) the allocation when the answer (or the retry budget)
+    /// arrives. Concurrent allocations to the same name share one
+    /// outstanding request.
+    fn start_dir_lookup(&mut self, port: u64, src_app: AppName, dst_app: AppName, spec: QosSpec) {
+        let name = format!("/dir/{}", dst_app.key());
+        let w = DirWaiter { port, src_app, dst_app, spec };
+        if let Some(p) = self.dir_pending.get_mut(&name) {
+            p.waiters.push(w);
+            return;
+        }
+        self.next_lookup += 1;
+        let id = self.next_lookup;
+        self.dir_pending.insert(
+            name.clone(),
+            DirPending {
+                waiters: vec![w],
+                asked_tick: self.hello_ticks,
+                retries: 0,
+                lookup_id: id,
+            },
+        );
+        self.send_dir_lookup(&name, id);
+    }
+
+    /// Emit one [`MgmtBody::DirLookupRequest`] out every live tree
+    /// port. The tree alone reaches every member and is acyclic, so
+    /// propagation needs no duplicate-suppression state.
+    fn send_dir_lookup(&mut self, name: &str, lookup_id: u64) {
+        for i in 0..self.n1.len() {
+            if self.n1[i].up && self.n1[i].peer_addr != 0 && self.n1[i].tree {
+                let body = MgmtBody::DirLookupRequest {
+                    name: name.to_string(),
+                    origin: self.addr,
+                    lookup_id,
+                };
+                self.stats.dir_lookups_sent += 1;
+                self.send_mgmt_on(i, body, 0, 0);
+            }
+        }
+    }
+
+    /// Resend outstanding directory lookups on the hello cadence and
+    /// fail the allocations whose retry budget ran out (the node's own
+    /// allocation timeout has usually beaten us to it; its port is
+    /// already gone and the late failure is a no-op).
+    fn retry_dir_lookups(&mut self, _now: Time) {
+        if !self.scoped_dir() || self.dir_pending.is_empty() {
+            return;
+        }
+        let due: Vec<String> = self
+            .dir_pending
+            .iter()
+            .filter(|(_, p)| self.hello_ticks >= p.asked_tick + DIR_LOOKUP_RETRY_TICKS)
+            .map(|(n, _)| n.clone())
+            .collect();
+        for name in due {
+            let Some(p) = self.dir_pending.get_mut(&name) else { continue };
+            if p.retries >= DIR_LOOKUP_RETRIES {
+                let Some(p) = self.dir_pending.remove(&name) else { continue };
+                for w in p.waiters {
+                    self.out.push(IpcpOut::FlowFailed {
+                        port: w.port,
+                        reason: "destination unknown in DIF",
+                    });
+                }
+                continue;
+            }
+            p.retries += 1;
+            p.asked_tick = self.hello_ticks;
+            let id = p.lookup_id;
+            self.send_dir_lookup(&name, id);
+        }
+    }
+
+    /// A directory lookup reached us: answer if we hold the live entry
+    /// as its authoritative owner, else forward it down the spanning
+    /// tree (away from the ingress port).
+    fn handle_dir_lookup_request(
+        &mut self,
+        name: String,
+        origin: Addr,
+        lookup_id: u64,
+        from_n1: usize,
+    ) {
+        if self.is_shim || !self.enrolled || origin == 0 || origin == self.addr {
+            return;
+        }
+        let own = self
+            .rib
+            .get(&name)
+            .filter(|o| o.origin == self.addr)
+            .map(|o| (decode_addr(&o.value), o.version));
+        if let Some((maybe_addr, version)) = own {
+            let Some(addr) = maybe_addr else { return };
+            let body = MgmtBody::DirLookupResponse { name, addr, version, lookup_id };
+            self.stats.dir_lookups_answered += 1;
+            self.send_mgmt_addr(origin, body, 0, 0);
+            return;
+        }
+        for i in 0..self.n1.len() {
+            if i != from_n1 && self.n1[i].up && self.n1[i].peer_addr != 0 && self.n1[i].tree {
+                let body = MgmtBody::DirLookupRequest { name: name.clone(), origin, lookup_id };
+                self.send_mgmt_on(i, body, 0, 0);
+            }
+        }
+    }
+
+    /// An authoritative lookup answer arrived: guard it against every
+    /// tombstone we know (a stale in-flight answer must never
+    /// resurrect a deleted entry or a departed owner), cache it, and
+    /// resume the allocations waiting on the name.
+    fn handle_dir_lookup_response(&mut self, name: String, addr: Addr, version: u64) {
+        if !self.scoped_dir() || addr == 0 || addr == self.addr {
+            return;
+        }
+        if let Some(&(tv, to, _)) = self.dir_neg.get(&name) {
+            if (version, addr) <= (tv, to) {
+                return; // the answer lost the race with a newer deletion
+            }
+        }
+        if self.rib.get(&block_name(addr)).is_none() {
+            // The owner's member state is already tombstoned DIF-wide:
+            // the answer raced its departure. Serving or caching it
+            // would point flows at a dead member past the GC grace.
+            return;
+        }
+        let mut resolved = addr;
+        let cap = self.cfg.dir_cache_cap as usize;
+        if cap > 0 {
+            if !self.dir_cache.contains_key(&name) && self.dir_cache.len() >= cap {
+                // Deterministic LRU: the use stamp is monotonic and
+                // unique, so the victim is unambiguous.
+                if let Some(evict) =
+                    self.dir_cache.iter().min_by_key(|(_, c)| c.used).map(|(n, _)| n.clone())
+                {
+                    self.dir_cache.remove(&evict);
+                }
+            }
+            self.dir_use += 1;
+            let used = self.dir_use;
+            let e = self.dir_cache.entry(name.clone()).or_insert(DirCached { addr, version, used });
+            if (version, addr) >= (e.version, e.addr) {
+                *e = DirCached { addr, version, used };
+            } else {
+                e.used = used;
+            }
+            resolved = e.addr;
+        }
+        if let Some(p) = self.dir_pending.remove(&name) {
+            for w in p.waiters {
+                self.alloc_flow_resolved(w.port, w.src_app, w.dst_app, w.spec, resolved);
+            }
+        }
+    }
+
+    /// Read-only view of the on-demand directory cache, for tests and
+    /// measurement: `(object name, owner address, entry version)` per
+    /// cached answer.
+    pub fn dir_cache_entries(&self) -> Vec<(String, Addr, u64)> {
+        self.dir_cache.iter().map(|(n, c)| (n.clone(), c.addr, c.version)).collect()
+    }
+
+    /// Drop every cached directory entry pointing at `addr` — the
+    /// owner departed (graceful leave or sponsor purge), announced by
+    /// its DIF-wide `/blocks` tombstone.
+    fn invalidate_dir_cache_for(&mut self, addr: Addr) {
+        let before = self.dir_cache.len();
+        self.dir_cache.retain(|_, c| c.addr != addr);
+        self.stats.dir_invalidations += (before - self.dir_cache.len()) as u64;
+    }
+
+    /// A `/dir` object arrived over the wire in scoped mode and we are
+    /// not its owner: nothing is stored — non-owners hold no foreign
+    /// directory state. Deletions are the cache-invalidation channel:
+    /// remember the newest tombstone per name, drop the cache entry it
+    /// kills, and pass it down the spanning tree exactly once (the
+    /// newness check is the duplicate suppression).
+    fn on_scoped_dir_flood(&mut self, obj: RibObject, from_n1: usize) {
+        if !obj.deleted {
+            return; // live entries are owner-held; never replicated
+        }
+        let newer =
+            self.dir_neg.get(&obj.name).is_none_or(|&(v, o, _)| (obj.version, obj.origin) > (v, o));
+        if !newer {
+            return;
+        }
+        self.dir_neg.insert(obj.name.clone(), (obj.version, obj.origin, self.clock));
+        if let Some(c) = self.dir_cache.get(&obj.name) {
+            if (c.version, c.addr) <= (obj.version, obj.origin) {
+                self.dir_cache.remove(&obj.name);
+                self.stats.dir_invalidations += 1;
+            }
+        }
+        let enc = obj.encode();
+        for i in 0..self.n1.len() {
+            if i != from_n1 && self.n1[i].up && self.n1[i].peer_addr != 0 && self.n1[i].tree {
+                self.flood_q.entry(i).or_default().push(enc.clone());
+            }
+        }
+    }
+
     // ------------------------------------------------------------------
     // Flow allocation (§5.3)
     // ------------------------------------------------------------------
 
     /// Requester side: allocate a flow from `src_app` (bound to node port
     /// `port`) to `dst_app` with `spec`. The result arrives later as a
-    /// [`IpcpOut::FlowActive`] or [`IpcpOut::FlowFailed`] effect.
+    /// [`IpcpOut::FlowActive`] or [`IpcpOut::FlowFailed`] effect. Under
+    /// the scoped-`/dir` policy a name neither registered here nor
+    /// cached first resolves on demand at its owner; the allocation
+    /// continues when the answer arrives.
     pub fn alloc_flow(&mut self, port: u64, src_app: AppName, dst_app: AppName, spec: QosSpec) {
+        if self.scoped_dir() {
+            match self.resolve_dir_local(&dst_app) {
+                Some(a) => self.alloc_flow_resolved(port, src_app, dst_app, spec, a),
+                None => self.start_dir_lookup(port, src_app, dst_app, spec),
+            }
+            return;
+        }
         let Some(dst_addr) = self.dir_lookup(&dst_app) else {
             self.out.push(IpcpOut::FlowFailed { port, reason: "destination unknown in DIF" });
             return;
         };
+        self.alloc_flow_resolved(port, src_app, dst_app, spec, dst_addr);
+    }
+
+    /// Continue a flow allocation whose destination member is known.
+    fn alloc_flow_resolved(
+        &mut self,
+        port: u64,
+        src_app: AppName,
+        dst_app: AppName,
+        spec: QosSpec,
+        dst_addr: Addr,
+    ) {
         // Fail fast if routing has not converged to the destination member
         // yet — the requester retries rather than stalling on a timeout.
         if !self.is_shim && dst_addr != self.addr && self.pick_n1_toward(dst_addr).is_none() {
@@ -1852,6 +2214,12 @@ impl Ipcp {
                     self.apply_and_reflood(obj, from_n1);
                 }
             }
+            MgmtBody::DirLookupRequest { name, origin, lookup_id } => {
+                self.handle_dir_lookup_request(name, origin, lookup_id, from_n1);
+            }
+            MgmtBody::DirLookupResponse { name, addr, version, lookup_id: _ } => {
+                self.handle_dir_lookup_response(name, addr, version);
+            }
         }
         // Whatever this PDU applied, surface it to the engine now so the
         // node sees a current dirty/classification state when it decides
@@ -1864,7 +2232,34 @@ impl Ipcp {
     /// RIB watch hook and repair on the node's debounce timer (a flood
     /// of remote LSAs collapses into one classified SPF repair).
     fn apply_and_reflood(&mut self, obj: RibObject, from_n1: usize) {
+        if self.scoped_dir() && obj.name.starts_with("/dir/") {
+            // Owner-held scope: only the entry's owner stores it. The
+            // owner takes the normal path below — apply + reassert heal
+            // a wrongful tombstone of a live registration, with the
+            // correction staying local (lookups re-resolve it). Every
+            // other member handles the object without storing it.
+            let own = self.enrolled
+                && !self.departed
+                && obj
+                    .name
+                    .strip_prefix("/dir/")
+                    .is_some_and(|app| self.registered.iter().any(|r| r.key() == app));
+            if !own {
+                self.on_scoped_dir_flood(obj, from_n1);
+                return;
+            }
+        }
         if self.rib.apply_remote_silent(obj.clone()) {
+            if self.scoped_dir() && obj.deleted {
+                // A departing member's /blocks tombstone rides the
+                // fully-replicated machinery: use it to drop every
+                // cached directory answer pointing at the dead owner.
+                if let Some(a) =
+                    obj.name.strip_prefix(BLOCK_PREFIX).and_then(|s| s.parse::<Addr>().ok())
+                {
+                    self.invalidate_dir_cache_for(a);
+                }
+            }
             // A genuinely new version from a watched origin proves the
             // member alive: cancel its pending failure GC.
             if obj.origin != 0 && !self.gc_watch.is_empty() {
@@ -2809,6 +3204,328 @@ mod tests {
         a.apply_and_reflood(tomb, 0);
         assert_eq!(a.stats.reasserts, 0, "a departed member does not reassert");
         assert!(a.rib.get("/members/net.a").is_none());
+    }
+
+    fn mk_scoped(name: &str) -> Ipcp {
+        Ipcp::new(
+            0,
+            DifConfig::new("net").with_scoped_dir(true).with_flood_batch_ms(0),
+            AppName::new(name),
+        )
+    }
+
+    /// Decode every management body this process transmitted, with the
+    /// (N-1) port it left on and the PDU's destination address.
+    fn tx_mgmt(out: &[IpcpOut]) -> Vec<(usize, Addr, MgmtBody)> {
+        out.iter()
+            .filter_map(|o| match o {
+                IpcpOut::TxPhys { n1, frame, .. } => Some((*n1, frame.clone())),
+                _ => None,
+            })
+            .filter_map(|(n1, frame)| {
+                let Pdu::Mgmt(m) = Pdu::decode(&frame).ok()? else { return None };
+                let cdap = CdapMsg::decode(&m.payload).ok()?;
+                Some((n1, m.dest_addr, MgmtBody::from_cdap(&cdap).ok()?))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn scoped_dir_leaves_the_hello_digest_surface() {
+        let mut a = mk_scoped("net.a");
+        a.bootstrap(1);
+        a.dir_register(&AppName::new("web"));
+        // The owner still resolves its own registration...
+        assert_eq!(a.dir_lookup(&AppName::new("web")), Some(1));
+        // ...but advertises nothing about /dir to its neighbors.
+        let table = a.rib.digest_table();
+        assert!(table.entries().iter().all(|e| e.0 != "/dir"));
+        assert!(a.rib.snapshot().iter().all(|o| !o.name.starts_with("/dir/")));
+    }
+
+    #[test]
+    fn scoped_owner_answers_lookup_requests_authoritatively() {
+        let mut owner = mk_scoped("net.o");
+        owner.bootstrap(5);
+        owner.add_n1(N1Kind::Phys { iface: 0, mtu: 1500 });
+        owner.n1[0].up = true;
+        owner.n1[0].peer_addr = 9; // the requester is a direct neighbor
+        owner.dir_register(&AppName::new("web"));
+        owner.take_out();
+        let req = MgmtBody::DirLookupRequest { name: "/dir/web".into(), origin: 9, lookup_id: 3 }
+            .encode(0, 0);
+        let pdu = Pdu::Mgmt(MgmtPdu { dest_addr: 0, src_addr: 9, ttl: 1, payload: req });
+        owner.on_frame(0, pdu.encode(), Time::ZERO);
+        let out = owner.take_out();
+        let answers: Vec<_> = tx_mgmt(&out)
+            .into_iter()
+            .filter_map(|(_, dest, b)| match b {
+                MgmtBody::DirLookupResponse { name, addr, version, lookup_id } => {
+                    Some((dest, name, addr, version, lookup_id))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(answers, vec![(9, "/dir/web".to_string(), 5, 1, 3)]);
+        assert_eq!(owner.stats.dir_lookups_answered, 1);
+    }
+
+    #[test]
+    fn scoped_member_forwards_lookups_down_the_tree_only() {
+        let mut relay = mk_scoped("net.r");
+        relay.bootstrap(2);
+        for i in 0..3 {
+            relay.add_n1(N1Kind::Phys { iface: i, mtu: 1500 });
+            relay.n1[i as usize].up = true;
+            relay.n1[i as usize].peer_addr = 10 + i as Addr;
+        }
+        relay.n1[0].tree = true; // ingress
+        relay.n1[1].tree = true; // the only forwarding target
+        relay.n1[2].tree = false; // cross edge: lookups never ride it
+        relay.take_out();
+        let req = MgmtBody::DirLookupRequest { name: "/dir/web".into(), origin: 9, lookup_id: 1 }
+            .encode(0, 0);
+        let pdu = Pdu::Mgmt(MgmtPdu { dest_addr: 0, src_addr: 10, ttl: 1, payload: req });
+        relay.on_frame(0, pdu.encode(), Time::ZERO);
+        let out = relay.take_out();
+        let forwards: Vec<usize> = tx_mgmt(&out)
+            .into_iter()
+            .filter_map(|(n1, _, b)| matches!(b, MgmtBody::DirLookupRequest { .. }).then_some(n1))
+            .collect();
+        assert_eq!(forwards, vec![1], "tree-only, ingress excluded");
+    }
+
+    #[test]
+    fn scoped_lookup_resolves_waiting_allocation_and_caches() {
+        let mut a = mk_scoped("net.a");
+        a.bootstrap(1);
+        a.add_n1(N1Kind::Phys { iface: 0, mtu: 1500 });
+        a.n1[0].up = true;
+        a.n1[0].peer_addr = 7; // owner is a direct tree neighbor
+        a.n1[0].tree = true;
+        // The owner's member state is known DIF-wide (liveness guard).
+        assert!(a.rib.apply_remote_silent(RibObject {
+            name: block_name(7),
+            class: BLOCK_CLASS.into(),
+            value: encode_block((7, 7)),
+            version: 1,
+            origin: 7,
+            deleted: false,
+        }));
+        a.alloc_flow(10, AppName::new("c"), AppName::new("web"), QosSpec::reliable());
+        let out = a.take_out();
+        assert!(
+            !out.iter().any(|o| matches!(o, IpcpOut::FlowFailed { .. })),
+            "the allocation parks behind the lookup instead of failing"
+        );
+        assert!(tx_mgmt(&out)
+            .iter()
+            .any(|(_, _, b)| matches!(b, MgmtBody::DirLookupRequest { .. })));
+        assert_eq!((a.stats.dir_cache_misses, a.stats.dir_lookups_sent), (1, 1));
+        // The owner's answer arrives, addressed to us.
+        let resp = MgmtBody::DirLookupResponse {
+            name: "/dir/web".into(),
+            addr: 7,
+            version: 1,
+            lookup_id: 1,
+        }
+        .encode(0, 0);
+        let pdu = Pdu::Mgmt(MgmtPdu { dest_addr: 1, src_addr: 7, ttl: 4, payload: resp });
+        a.on_frame(0, pdu.encode(), Time::ZERO);
+        let out = a.take_out();
+        let reqs: Vec<_> = tx_mgmt(&out)
+            .into_iter()
+            .filter_map(|(_, dest, b)| match b {
+                MgmtBody::FlowRequest { dst_app, .. } => Some((dest, dst_app.key())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(reqs, vec![(7, "web".to_string())], "the parked allocation continued");
+        // A second allocation hits the cache — no new lookup.
+        a.alloc_flow(11, AppName::new("c"), AppName::new("web"), QosSpec::reliable());
+        assert_eq!((a.stats.dir_cache_hits, a.stats.dir_lookups_sent), (1, 1));
+        assert!(a.rib.get("/dir/web").is_none(), "cached, never stored in the RIB");
+    }
+
+    #[test]
+    fn scoped_non_owner_never_stores_foreign_dir_objects() {
+        let mut a = mk_scoped("net.a");
+        a.bootstrap(1);
+        a.apply_and_reflood(
+            RibObject {
+                name: "/dir/web".into(),
+                class: "dir".into(),
+                value: encode_addr(7),
+                version: 1,
+                origin: 7,
+                deleted: false,
+            },
+            0,
+        );
+        assert!(a.rib.get("/dir/web").is_none());
+        assert!(a.rib.iter_all().all(|o| !o.name.starts_with("/dir/")));
+    }
+
+    #[test]
+    fn dir_tombstone_invalidates_cache_and_blocks_stale_answers() {
+        let mut a = mk_scoped("net.a");
+        a.bootstrap(1);
+        a.add_n1(N1Kind::Phys { iface: 0, mtu: 1500 });
+        a.n1[0].up = true;
+        a.n1[0].peer_addr = 7;
+        a.n1[0].tree = true;
+        a.add_n1(N1Kind::Phys { iface: 1, mtu: 1500 });
+        a.n1[1].up = true;
+        a.n1[1].peer_addr = 8;
+        a.n1[1].tree = true;
+        assert!(a.rib.apply_remote_silent(RibObject {
+            name: block_name(7),
+            class: BLOCK_CLASS.into(),
+            value: encode_block((7, 7)),
+            version: 1,
+            origin: 7,
+            deleted: false,
+        }));
+        // Seed the cache through a lookup answer.
+        a.handle_dir_lookup_response("/dir/web".into(), 7, 1);
+        a.alloc_flow(10, AppName::new("c"), AppName::new("web"), QosSpec::reliable());
+        assert_eq!(a.stats.dir_cache_hits, 1);
+        a.take_out();
+        // The owner unregisters: its tombstone floods in on port 0.
+        a.apply_and_reflood(
+            RibObject {
+                name: "/dir/web".into(),
+                class: "dir".into(),
+                value: Bytes::new(),
+                version: 2,
+                origin: 7,
+                deleted: true,
+            },
+            0,
+        );
+        assert_eq!(a.stats.dir_invalidations, 1);
+        let out = a.take_out();
+        let fwd: Vec<usize> = tx_mgmt(&out)
+            .into_iter()
+            .filter_map(|(n1, _, b)| match b {
+                MgmtBody::RibDeltaResponse { objects, .. }
+                    if objects.iter().any(|o| o.name == "/dir/web" && o.deleted) =>
+                {
+                    Some(n1)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(fwd, vec![1], "tombstone forwarded down the tree, ingress excluded");
+        // A stale in-flight answer (version 1 < tombstone 2) is refused…
+        a.handle_dir_lookup_response("/dir/web".into(), 7, 1);
+        a.alloc_flow(11, AppName::new("c"), AppName::new("web"), QosSpec::reliable());
+        assert_eq!(a.stats.dir_cache_hits, 1, "no stale hit");
+        // …while the re-registered entry (version 3) is accepted again.
+        a.handle_dir_lookup_response("/dir/web".into(), 7, 3);
+        a.alloc_flow(12, AppName::new("c"), AppName::new("web"), QosSpec::reliable());
+        assert_eq!(a.stats.dir_cache_hits, 2);
+    }
+
+    #[test]
+    fn blocks_tombstone_drops_cached_answers_for_departed_owner() {
+        let mut a = mk_scoped("net.a");
+        a.bootstrap(1);
+        assert!(a.rib.apply_remote_silent(RibObject {
+            name: block_name(7),
+            class: BLOCK_CLASS.into(),
+            value: encode_block((7, 7)),
+            version: 1,
+            origin: 7,
+            deleted: false,
+        }));
+        a.handle_dir_lookup_response("/dir/web".into(), 7, 1);
+        a.handle_dir_lookup_response("/dir/ssh".into(), 7, 1);
+        a.handle_dir_lookup_response("/dir/ftp".into(), 8, 1);
+        // /dir/ftp points elsewhere and needs its own liveness record.
+        assert_eq!(a.dir_cache.len(), 2, "owner 8 has no member state: not cached");
+        assert!(a.rib.apply_remote_silent(RibObject {
+            name: block_name(8),
+            class: BLOCK_CLASS.into(),
+            value: encode_block((8, 8)),
+            version: 1,
+            origin: 8,
+            deleted: false,
+        }));
+        a.handle_dir_lookup_response("/dir/ftp".into(), 8, 1);
+        assert_eq!(a.dir_cache.len(), 3);
+        // Member 7 departs: its block tombstone arrives over the wire.
+        a.apply_and_reflood(
+            RibObject {
+                name: block_name(7),
+                class: BLOCK_CLASS.into(),
+                value: Bytes::new(),
+                version: 2,
+                origin: 7,
+                deleted: true,
+            },
+            0,
+        );
+        assert_eq!(a.stats.dir_invalidations, 2, "both answers pointing at 7 dropped");
+        assert_eq!(a.dir_cache.len(), 1, "the unrelated answer survives");
+        // A late answer from the departed owner is refused outright.
+        a.handle_dir_lookup_response("/dir/web".into(), 7, 5);
+        assert_eq!(a.dir_cache.len(), 1);
+    }
+
+    #[test]
+    fn scoped_lookup_retry_budget_fails_the_waiting_allocation() {
+        let mut a = mk_scoped("net.a");
+        a.bootstrap(1);
+        a.add_n1(N1Kind::Phys { iface: 0, mtu: 1500 });
+        a.n1[0].up = true;
+        a.n1[0].peer_addr = 2;
+        a.n1[0].tree = true;
+        a.alloc_flow(10, AppName::new("c"), AppName::new("ghost"), QosSpec::reliable());
+        a.take_out();
+        let mut failed = None;
+        for tick in 1..=16u64 {
+            a.tick_hello(Time::from_millis(tick * 500));
+            let out = a.take_out();
+            if out.iter().any(
+                |o| matches!(o, IpcpOut::FlowFailed { port: 10, reason } if *reason == "destination unknown in DIF"),
+            ) {
+                failed = Some(tick);
+                break;
+            }
+        }
+        assert!(failed.is_some(), "the unanswered lookup eventually fails its waiter");
+        assert!(a.stats.dir_lookups_sent > 1, "the lookup was retried before giving up");
+        assert!(a.dir_pending.is_empty());
+    }
+
+    #[test]
+    fn dir_cache_evicts_least_recently_used_beyond_capacity() {
+        let mut a = Ipcp::new(
+            0,
+            DifConfig::new("net").with_scoped_dir(true).with_dir_cache_cap(2),
+            AppName::new("net.a"),
+        );
+        a.bootstrap(1);
+        for owner in [7u64, 8, 9] {
+            assert!(a.rib.apply_remote_silent(RibObject {
+                name: block_name(owner),
+                class: BLOCK_CLASS.into(),
+                value: encode_block((owner, owner)),
+                version: 1,
+                origin: owner,
+                deleted: false,
+            }));
+        }
+        a.handle_dir_lookup_response("/dir/one".into(), 7, 1);
+        a.handle_dir_lookup_response("/dir/two".into(), 8, 1);
+        // Touch /dir/one so /dir/two becomes the LRU victim.
+        assert_eq!(a.resolve_dir_local(&AppName::new("one")), Some(7));
+        a.handle_dir_lookup_response("/dir/three".into(), 9, 1);
+        assert_eq!(a.dir_cache.len(), 2);
+        assert!(a.dir_cache.contains_key("/dir/one"));
+        assert!(a.dir_cache.contains_key("/dir/three"));
+        assert!(!a.dir_cache.contains_key("/dir/two"), "LRU victim evicted");
     }
 
     /// A previous incarnation's departure tombstone — same name, same

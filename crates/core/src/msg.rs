@@ -19,6 +19,7 @@ mod class {
     pub const FLOW: &str = "flow";
     pub const RIB: &str = "rib-object";
     pub const RIB_SYNC: &str = "rib-sync";
+    pub const DIR: &str = "dir-lookup";
 }
 
 /// A typed management message body.
@@ -133,6 +134,34 @@ pub enum MgmtBody {
         /// Missing/newer objects for the requested range.
         objects: Vec<RibObject>,
     },
+    /// On-demand resolution of an **owner-held** directory entry (one whose
+    /// subtree has local replication scope, so it is not in every member's
+    /// RIB). Forwarded along spanning-tree ports until it reaches the member
+    /// authoritative for `name`; the tree is acyclic, so forwarding needs no
+    /// duplicate-suppression state.
+    DirLookupRequest {
+        /// Full RIB name being resolved (e.g. `/dir/echo.h3`).
+        name: String,
+        /// Requester's member address — the authoritative owner unicasts
+        /// its [`MgmtBody::DirLookupResponse`] back to this address.
+        origin: Addr,
+        /// Requester-chosen correlation id, echoed in the response.
+        lookup_id: u64,
+    },
+    /// Authoritative answer to a [`MgmtBody::DirLookupRequest`], sent by
+    /// the entry's owner straight to the requester. Carries the entry's
+    /// version so stale answers in flight lose to newer tombstones.
+    DirLookupResponse {
+        /// The RIB name that was resolved.
+        name: String,
+        /// Member address the entry maps to (0 = the owner holds no such
+        /// live entry — a negative answer).
+        addr: Addr,
+        /// Version of the entry at the owner (0 on negative answers).
+        version: u64,
+        /// Correlation id copied from the request.
+        lookup_id: u64,
+    },
 }
 
 impl MgmtBody {
@@ -203,6 +232,16 @@ impl MgmtBody {
                     w.bytes(&o.encode());
                 }
                 (OpCode::ReadR, class::RIB_SYNC, subtree, w.finish())
+            }
+            MgmtBody::DirLookupRequest { name, origin, lookup_id } => {
+                let mut w = Writer::new();
+                w.varint(origin).varint(lookup_id);
+                (OpCode::Read, class::DIR, name, w.finish())
+            }
+            MgmtBody::DirLookupResponse { name, addr, version, lookup_id } => {
+                let mut w = Writer::new();
+                w.varint(addr).varint(version).varint(lookup_id);
+                (OpCode::ReadR, class::DIR, name, w.finish())
             }
         };
         CdapMsg { op, invoke_id, obj_class: cls.to_string(), obj_name: name, result, value }
@@ -287,6 +326,24 @@ impl MgmtBody {
                 }
                 r.expect_end()?;
                 Ok(MgmtBody::RibDeltaResponse { subtree: m.obj_name.clone(), objects })
+            }
+            (OpCode::Read, class::DIR) => {
+                let origin = r.varint()?;
+                let lookup_id = r.varint()?;
+                r.expect_end()?;
+                Ok(MgmtBody::DirLookupRequest { name: m.obj_name.clone(), origin, lookup_id })
+            }
+            (OpCode::ReadR, class::DIR) => {
+                let addr = r.varint()?;
+                let version = r.varint()?;
+                let lookup_id = r.varint()?;
+                r.expect_end()?;
+                Ok(MgmtBody::DirLookupResponse {
+                    name: m.obj_name.clone(),
+                    addr,
+                    version,
+                    lookup_id,
+                })
             }
             _ => Err(WireError::Invalid("mgmt op/class")),
         }
@@ -489,6 +546,63 @@ mod tests {
                 },
             ],
         });
+    }
+
+    /// Codec pins for the on-demand directory resolution pair: the RIB
+    /// name rides the CDAP `obj_name`, and the correlation id plus the
+    /// owner's version (stale-response guard) must survive byte-exactly.
+    #[test]
+    fn dir_lookup_roundtrip() {
+        roundtrip(MgmtBody::DirLookupRequest {
+            name: "/dir/echo.h3".into(),
+            origin: 7,
+            lookup_id: 1,
+        });
+        // Multi-byte varints on every numeric field.
+        roundtrip(MgmtBody::DirLookupRequest {
+            name: "/dir/ping.h1.h2".into(),
+            origin: 1 << 40,
+            lookup_id: u64::MAX,
+        });
+        roundtrip(MgmtBody::DirLookupResponse {
+            name: "/dir/echo.h3".into(),
+            addr: 19,
+            version: 4,
+            lookup_id: 1,
+        });
+        // Negative answer: no live entry at the owner.
+        roundtrip(MgmtBody::DirLookupResponse {
+            name: "/dir/gone".into(),
+            addr: 0,
+            version: 0,
+            lookup_id: 9,
+        });
+        roundtrip(MgmtBody::DirLookupResponse {
+            name: "/dir/far".into(),
+            addr: (1 << 41) - 1,
+            version: 1 << 33,
+            lookup_id: 1 << 50,
+        });
+    }
+
+    /// The `dir-lookup` class must not shadow the `rib-sync` arms that
+    /// share its opcodes: dispatch is on `(op, class)` pairs.
+    #[test]
+    fn dir_lookup_class_does_not_collide_with_rib_sync() {
+        let req = MgmtBody::DirLookupRequest { name: "/dir/x".into(), origin: 2, lookup_id: 3 }
+            .into_cdap(1, 0);
+        assert_eq!(req.obj_class, class::DIR);
+        let sync = MgmtBody::RibDeltaRequest {
+            subtree: "/dir/x".into(),
+            from: String::new(),
+            upto: String::new(),
+            summary: vec![],
+        }
+        .into_cdap(1, 0);
+        assert_eq!(sync.obj_class, class::RIB_SYNC);
+        assert_eq!(req.op, sync.op);
+        assert!(matches!(MgmtBody::from_cdap(&req).unwrap(), MgmtBody::DirLookupRequest { .. }));
+        assert!(matches!(MgmtBody::from_cdap(&sync).unwrap(), MgmtBody::RibDeltaRequest { .. }));
     }
 
     /// The pre-encoded fast path must be byte-identical to the typed

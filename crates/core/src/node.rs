@@ -480,8 +480,17 @@ impl Node {
 
     /// Applications allocate only from real DIFs; shims serve IPC
     /// processes (their service is raw and their directory degenerate).
+    /// A DIF that replicates its directory must know the name locally;
+    /// one running the scoped-`/dir` policy resolves names on demand at
+    /// their owner, so it is eligible without local knowledge (the
+    /// allocation fails later if no owner answers).
     fn pick_provider(&self, dst: &AppName) -> Option<usize> {
-        self.ipcps.iter().position(|p| !p.is_shim && p.is_enrolled() && p.dir_lookup(dst).is_some())
+        self.ipcps
+            .iter()
+            .position(|p| !p.is_shim && p.is_enrolled() && p.dir_lookup(dst).is_some())
+            .or_else(|| {
+                self.ipcps.iter().position(|p| !p.is_shim && p.is_enrolled() && p.cfg.scoped_dir)
+            })
     }
 
     fn arm(&mut self, ctx: &mut Ctx<'_>, d: Dur, kind: TimerKind) -> u64 {

@@ -305,6 +305,12 @@ pub struct Rib {
     watch_prefixes: Vec<String>,
     /// Stored objects matching a watched prefix, in application order.
     watch_q: VecDeque<RibObject>,
+    /// Subtrees with **local replication scope** (sorted): their objects
+    /// are owner-held instead of DIF-wide. A local subtree is excluded
+    /// from the digest table, the enrollment snapshot, and delta
+    /// serving, and its live writes are not queued for dissemination —
+    /// only its tombstones flood, so remote caches still hear deletions.
+    local_subtrees: Vec<String>,
 }
 
 impl Rib {
@@ -323,6 +329,35 @@ impl Rib {
         self.origin
     }
 
+    /// Give `subtree` (a [`subtree_of`] result, e.g. `"/dir"`) **local
+    /// replication scope**: its objects stay owner-held instead of
+    /// replicating DIF-wide. From this call on the subtree disappears
+    /// from [`Rib::digest_table`] (so hellos stop advertising it),
+    /// [`Rib::snapshot`] (so enrollment stops copying it), and
+    /// [`Rib::delta_for`]/[`Rib::summary`] (so anti-entropy never pulls
+    /// it), and live writes under it skip the dissemination outbox.
+    /// Tombstones still disseminate — deletion floods are how remote
+    /// lookup caches hear invalidations. Watchers registered for a
+    /// prefix inside the subtree are torn down: a watcher must not fire
+    /// on entries that are no longer part of the replicated RIB.
+    pub fn set_local_subtree(&mut self, subtree: &str) {
+        if let Err(i) = self.local_subtrees.binary_search_by(|s| s.as_str().cmp(subtree)) {
+            self.local_subtrees.insert(i, subtree.to_string());
+        }
+        self.watch_prefixes.retain(|p| subtree_of(p) != subtree);
+        self.watch_q.retain(|o| subtree_of(&o.name) != subtree);
+    }
+
+    /// Whether `subtree` has local replication scope.
+    pub fn is_local_subtree(&self, subtree: &str) -> bool {
+        self.local_subtrees.binary_search_by(|s| s.as_str().cmp(subtree)).is_ok()
+    }
+
+    /// The subtrees with local replication scope, sorted.
+    pub fn local_subtrees(&self) -> &[String] {
+        &self.local_subtrees
+    }
+
     /// Write (create or update) an object authored locally. The new version
     /// supersedes any existing one and is queued for dissemination.
     pub fn write_local(&mut self, name: &str, class: &str, value: Bytes) {
@@ -337,7 +372,9 @@ impl Rib {
         };
         self.store(obj.clone());
         self.events.push_back(RibEvent::Upserted(obj.clone()));
-        self.outbox.push_back(obj);
+        if !self.is_local_subtree(subtree_of(&obj.name)) {
+            self.outbox.push_back(obj);
+        }
     }
 
     /// Subscribe to object-level changes under `prefix`: every stored
@@ -357,6 +394,20 @@ impl Rib {
     /// Drain the next watched change (in application order).
     pub fn poll_watch(&mut self) -> Option<RibObject> {
         self.watch_q.pop_front()
+    }
+
+    /// Tear down the subscription registered by [`Rib::watch_prefix`]
+    /// for exactly `prefix`, dropping any of its queued-but-undrained
+    /// changes. No-op if the prefix was never watched (or was already
+    /// torn down by [`Rib::set_local_subtree`]).
+    pub fn unwatch_prefix(&mut self, prefix: &str) {
+        if !self.watch_prefixes.iter().any(|p| p == prefix) {
+            return;
+        }
+        self.watch_prefixes.retain(|p| p != prefix);
+        // Keep queued changes still covered by another live watcher.
+        let live = self.watch_prefixes.clone();
+        self.watch_q.retain(|o| live.iter().any(|p| o.name.starts_with(p.as_str())));
     }
 
     /// Insert `obj`, keeping the incremental digests (whole-RIB and
@@ -493,9 +544,14 @@ impl Rib {
     }
 
     /// Every object including tombstones — the enrollment sync set a new
-    /// member receives (§5.2).
+    /// member receives (§5.2). Local-scope subtrees are excluded: their
+    /// objects are owner-held, so a joiner never receives them.
     pub fn snapshot(&self) -> Vec<RibObject> {
-        self.objects.values().cloned().collect()
+        self.objects
+            .values()
+            .filter(|o| !self.is_local_subtree(subtree_of(&o.name)))
+            .cloned()
+            .collect()
     }
 
     /// Borrowing iterator over every stored object, tombstones included
@@ -525,9 +581,15 @@ impl Rib {
 
     /// Per-subtree digest table (see [`DigestTable`]): comparing two
     /// tables localizes divergence to the subtrees that actually differ.
+    /// Local-scope subtrees are omitted — hellos must not advertise
+    /// owner-held state, or every peer would try to pull it.
     pub fn digest_table(&self) -> DigestTable {
         DigestTable::from_entries(
-            self.subtrees.iter().map(|(s, &(c, d))| (s.clone(), c, d)).collect(),
+            self.subtrees
+                .iter()
+                .filter(|(s, _)| !self.is_local_subtree(s))
+                .map(|(s, &(c, d))| (s.clone(), c, d))
+                .collect(),
         )
     }
 
@@ -539,8 +601,12 @@ impl Rib {
 
     /// Version summary of every stored object (tombstones included) in
     /// `subtree`, in name order — what a delta request carries instead of
-    /// the objects themselves.
+    /// the objects themselves. Empty for local-scope subtrees: they are
+    /// never offered for anti-entropy.
     pub fn summary(&self, subtree: &str) -> Vec<ObjVer> {
+        if self.is_local_subtree(subtree) {
+            return Vec::new();
+        }
         self.subtree_objects(subtree)
             .map(|o| ObjVer { name: o.name.clone(), version: o.version, origin: o.origin })
             .collect()
@@ -559,6 +625,11 @@ impl Rib {
         upto: &str,
         summary: &[ObjVer],
     ) -> (Vec<RibObject>, bool) {
+        if self.is_local_subtree(subtree) {
+            // Owner-held state is never served by anti-entropy, and a
+            // peer's summary of it proves nothing we should pull.
+            return (Vec::new(), false);
+        }
         let theirs: BTreeMap<&str, (u64, u64)> =
             summary.iter().map(|v| (v.name.as_str(), (v.version, v.origin))).collect();
         let in_range =
@@ -922,6 +993,92 @@ mod tests {
             ],
             "application order, deletions included, /dir ignored"
         );
+    }
+
+    /// A local-scope subtree leaves the replication surface: no digest
+    /// advertisement, no snapshot copy, no delta serving, no
+    /// dissemination of live writes — but tombstones still flood.
+    #[test]
+    fn local_subtree_leaves_the_replication_surface() {
+        let mut a = Rib::new(1);
+        a.set_local_subtree("/dir");
+        assert!(a.is_local_subtree("/dir"));
+        assert!(!a.is_local_subtree("/lsa"));
+        a.write_local("/dir/echo", "dir", Bytes::from_static(b"\x01"));
+        a.write_local("/lsa/1", "lsa", Bytes::from_static(b"x"));
+        // Only the /lsa write disseminates.
+        let out: Vec<RibObject> = std::iter::from_fn(|| a.poll_dissemination()).collect();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].name, "/lsa/1");
+        // The owner still reads its own entry; events still fire.
+        assert!(a.get("/dir/echo").is_some());
+        assert_eq!(drain_events(&mut a).len(), 2);
+        // Digest table, snapshot, summary, delta all exclude /dir.
+        let table = a.digest_table();
+        let subs: Vec<&str> = table.entries().iter().map(|e| e.0.as_str()).collect();
+        assert_eq!(subs, vec!["/lsa"]);
+        assert!(a.snapshot().iter().all(|o| !o.name.starts_with("/dir")));
+        assert!(a.summary("/dir").is_empty());
+        assert_eq!(a.delta_for("/dir", "", "", &[]), (vec![], false));
+        // Tombstones still flood — remote caches must hear deletions.
+        a.delete_local("/dir/echo");
+        let tomb = a.poll_dissemination().expect("tombstone disseminates");
+        assert!(tomb.deleted && tomb.name == "/dir/echo");
+        assert!(a.poll_dissemination().is_none());
+    }
+
+    /// Two RIBs that agree on every replicated subtree compare in sync
+    /// even when their owner-held /dir contents differ completely.
+    #[test]
+    fn scoped_ribs_compare_in_sync_despite_divergent_dir() {
+        let mut a = Rib::new(1);
+        let mut b = Rib::new(2);
+        for r in [&mut a, &mut b] {
+            r.set_local_subtree("/dir");
+        }
+        a.write_local("/lsa/1", "lsa", Bytes::from_static(b"x"));
+        a.write_local("/dir/app-a", "dir", Bytes::from_static(b"\x01"));
+        b.write_local("/dir/app-b", "dir", Bytes::from_static(b"\x02"));
+        while let Some(o) = a.poll_dissemination() {
+            b.apply_remote(o);
+        }
+        assert!(a.digest_table().mismatched(&b.digest_table()).is_empty());
+    }
+
+    /// Satellite fix: a watcher registered for a prefix that later
+    /// becomes non-replicated is torn down — it must not fire on
+    /// entries that are now owner-held/cache-only.
+    #[test]
+    fn watcher_torn_down_when_prefix_becomes_local_scope() {
+        let mut a = Rib::new(1);
+        a.watch_prefix("/dir/");
+        a.watch_prefix("/lsa/");
+        a.write_local("/dir/early", "dir", Bytes::from_static(b"\x01"));
+        // The queued /dir change and the watcher itself both go.
+        a.set_local_subtree("/dir");
+        a.write_local("/dir/late", "dir", Bytes::from_static(b"\x02"));
+        a.write_local("/lsa/1", "lsa", Bytes::from_static(b"x"));
+        let seen: Vec<String> = std::iter::from_fn(|| a.poll_watch()).map(|o| o.name).collect();
+        assert_eq!(seen, vec!["/lsa/1".to_string()], "no /dir change fires, queued or new");
+        // Re-registering after the scope change is also inert for /dir.
+        a.watch_prefix("/lsa/");
+        a.unwatch_prefix("/lsa/");
+        a.write_local("/lsa/1", "lsa", Bytes::from_static(b"y"));
+        assert!(a.poll_watch().is_none(), "unwatch stops deliveries");
+    }
+
+    /// `unwatch_prefix` drops only the torn-down watcher's queued
+    /// changes — entries still covered by another watcher survive.
+    #[test]
+    fn unwatch_keeps_changes_of_other_watchers() {
+        let mut a = Rib::new(1);
+        a.watch_prefix("/lsa/");
+        a.watch_prefix("/blocks/");
+        a.write_local("/lsa/1", "lsa", Bytes::from_static(b"x"));
+        a.write_local("/blocks/1", "block", Bytes::from_static(b"b"));
+        a.unwatch_prefix("/lsa/");
+        let seen: Vec<String> = std::iter::from_fn(|| a.poll_watch()).map(|o| o.name).collect();
+        assert_eq!(seen, vec!["/blocks/1".to_string()]);
     }
 
     /// Regression: with a linear fingerprint, the digest *difference* of
