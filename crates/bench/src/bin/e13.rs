@@ -1,0 +1,82 @@
+//! E13 data-plane scale sweep: flow churn + RMT QoS under congestion.
+//!
+//! Runs the flow-churn workload at the sizes behind the EXPERIMENTS.md
+//! E13 table — under each RMT scheduling discipline — and prints one
+//! markdown row per cell: sustained/peak concurrent flows, allocation
+//! throughput and p99 latency, per-class data latency, and the per-cube
+//! RMT drop/byte counters that show *where* congestion was shed. Cells
+//! run concurrently on the sweep thread pool (one independent `Sim`
+//! each, largest first); every counter is a pure function of the seed.
+//! Writes `reports/e13.json`.
+//!
+//! Usage: `cargo run --release -p rina-bench --bin e13 -- \
+//!           [sizes...] [--threads N] [--sched fifo|priority|wrr]`
+//! (default sizes: 50 200 500; default: all three disciplines)
+
+use rina::prelude::SchedPolicy;
+use rina_bench::report::{finish_doc, push_section};
+use rina_bench::sweep::{par_map, positional_numbers, threads_from_args, write_report};
+use rina_bench::{e13_flows, fmt};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = threads_from_args(&args);
+    let scheds: Vec<SchedPolicy> = match args.iter().position(|a| a == "--sched") {
+        Some(i) => {
+            let v = args.get(i + 1).map(String::as_str).unwrap_or("");
+            vec![match v {
+                "fifo" => SchedPolicy::Fifo,
+                "priority" => SchedPolicy::Priority,
+                "wrr" => SchedPolicy::Wrr,
+                other => panic!("unknown --sched {other:?} (fifo|priority|wrr)"),
+            }]
+        }
+        None => vec![SchedPolicy::Fifo, SchedPolicy::Priority, SchedPolicy::Wrr],
+    };
+    let mut sizes = positional_numbers(&args, &["--threads", "--sched"]);
+    if sizes.is_empty() {
+        sizes = vec![50, 200, 500];
+    }
+    // Largest cells first so the pool starts the stragglers early.
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    let mut cells: Vec<(usize, SchedPolicy)> = Vec::new();
+    for &n in &sizes {
+        for &s in &scheds {
+            cells.push((n, s));
+        }
+    }
+    eprintln!("e13: {} cells on {} threads", cells.len(), threads);
+    let t0 = std::time::Instant::now();
+    let rows = par_map(threads, cells, |(n, sched)| e13_flows::run(n, 5, sched, 1_300 + n as u64));
+    println!(
+        "| members | drivers | sched | sustained | peak | allocs/s | alloc p99 (ms) | deaths | inter p99 (ms) | bulk p99 (ms) | drops inter | drops bulk | wall (s) |"
+    );
+    println!("|---|---|---|---|---|---|---|---|---|---|---|---|---|");
+    for r in &rows {
+        println!(
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |",
+            r.members,
+            r.drivers,
+            r.sched,
+            r.concurrent_sustained,
+            r.concurrent_peak,
+            fmt(r.allocs_per_s),
+            fmt(r.alloc_p99_ms),
+            r.flow_deaths,
+            fmt(r.inter_p99_ms),
+            fmt(r.bulk_p99_ms),
+            r.rmt_drops_inter,
+            r.rmt_drops_bulk,
+            fmt(r.wall_s)
+        );
+    }
+    let mut doc = Vec::new();
+    push_section(&mut doc, "e13_flows", &rows);
+    let path = write_report("e13.json", &finish_doc(doc));
+    eprintln!(
+        "e13: {} cells in {:.1}s wall -> {}",
+        rows.len(),
+        t0.elapsed().as_secs_f64(),
+        path.display()
+    );
+}

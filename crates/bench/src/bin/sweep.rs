@@ -7,15 +7,18 @@
 //! header vary between runs).
 //!
 //! Usage: `cargo run --release -p rina-bench --bin sweep -- \
-//!           [--threads N] [--full] [--out PATH]`
+//!           [--threads N] [--full] [--out PATH] [--repeat N]`
 //!
 //! * default grid: [`rina_bench::sweep::SweepGrid::ci`] (what
 //!   `BENCH_BASELINE.json` pins and CI gates on)
 //! * `--full`: the larger local grid reported in EXPERIMENTS.md
 //! * `--out PATH`: write the document somewhere other than
 //!   `reports/BENCH_SWEEP.json` (e.g. a fresh baseline)
+//! * `--repeat N`: passes over the grid; per-cell `wall_s` is the
+//!   minimum across passes (default 3 — sub-second cells jitter ±30%
+//!   on a busy box, and the gate compares noise floors, not draws)
 
-use rina_bench::sweep::{run_grid, sweep_doc, threads_from_args, write_report, SweepGrid};
+use rina_bench::sweep::{run_grid_best_of, sweep_doc, threads_from_args, write_report, SweepGrid};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -31,10 +34,20 @@ fn main() {
         },
         None => None,
     };
+    let repeat = match args.iter().position(|a| a == "--repeat") {
+        Some(i) => match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+            Some(n) if n >= 1 => n,
+            _ => {
+                eprintln!("sweep: --repeat needs a count >= 1 (e.g. --repeat 3)");
+                std::process::exit(2);
+            }
+        },
+        None => 3,
+    };
     let cells = grid.cells();
-    eprintln!("sweep: {} cells on {} threads", cells.len(), threads);
+    eprintln!("sweep: {} cells on {} threads, best of {repeat}", cells.len(), threads);
     let t0 = std::time::Instant::now();
-    let rows = run_grid(&grid, threads);
+    let rows = run_grid_best_of(&grid, threads, repeat);
     let wall = t0.elapsed().as_secs_f64();
 
     println!("| cell | makespan (s) | mgmt PDUs | rib PDUs | suppressed | reachable | wall (s) |");

@@ -262,6 +262,17 @@ pub fn default_gates(wall_tol: f64) -> Vec<(&'static str, Gate)> {
         // means the full-replication floor is creeping back.
         ("rib_objects_max", Gate::Exact),
         ("rib_bytes_max", Gate::Exact),
+        // Data-plane invariants (deterministic, gated exactly): the
+        // §5.3 allocation-path counters of the flow cells and the RMT
+        // queue accounting of every cell. Drift in `rmt_deq_bytes`
+        // means the relaying/multiplexing byte flow changed; drift in
+        // `flow_allocs` means the allocation path changed behaviour.
+        ("flow_allocs", Gate::Exact),
+        ("flow_alloc_fail", Gate::Exact),
+        ("flow_sdus", Gate::Exact),
+        ("flow_recv", Gate::Exact),
+        ("rmt_drops", Gate::Exact),
+        ("rmt_deq_bytes", Gate::Exact),
         ("wall_s", Gate::WallClock { frac: wall_tol }),
     ]
 }
@@ -592,6 +603,12 @@ mod tests {
                             ("churn_reach".into(), Json::Num(1.0)),
                             ("rib_objects_max".into(), Json::Num(9.0)),
                             ("rib_bytes_max".into(), Json::Num(300.0)),
+                            ("flow_allocs".into(), Json::Num(6.0)),
+                            ("flow_alloc_fail".into(), Json::Num(0.0)),
+                            ("flow_sdus".into(), Json::Num(60.0)),
+                            ("flow_recv".into(), Json::Num(60.0)),
+                            ("rmt_drops".into(), Json::Num(0.0)),
+                            ("rmt_deq_bytes".into(), Json::Num(4096.0)),
                             ("wall_s".into(), Json::Num(w)),
                         ])
                     })
@@ -642,6 +659,32 @@ mod tests {
         assert!(!cmp.ok());
         assert!(cmp.findings.iter().any(|f| f.metric == "stale_rib" && f.regressed));
         assert!(cmp.findings.iter().any(|f| f.metric == "churn_reach" && f.regressed));
+    }
+
+    /// The data-plane counters are gated exactly: a changed allocation
+    /// count or RMT byte flow fails even when every other metric holds.
+    #[test]
+    fn data_plane_metric_drift_fails() {
+        let base = sweep(&[("ba2-n16-waves-l0-f0-flow", 1.0, 10.0)]);
+        let mut fresh = sweep(&[("ba2-n16-waves-l0-f0-flow", 1.0, 10.0)]);
+        if let Json::Obj(fields) = &mut fresh {
+            if let Some((_, Json::Arr(cells))) = fields.iter_mut().find(|(k, _)| k == "cells") {
+                if let Json::Obj(row) = &mut cells[0] {
+                    for (k, v) in row.iter_mut() {
+                        if k == "flow_allocs" {
+                            *v = Json::Num(5.0);
+                        }
+                        if k == "rmt_deq_bytes" {
+                            *v = Json::Num(5000.0);
+                        }
+                    }
+                }
+            }
+        }
+        let cmp = compare(&base, &fresh, &default_gates(0.25));
+        assert!(!cmp.ok());
+        assert!(cmp.findings.iter().any(|f| f.metric == "flow_allocs" && f.regressed));
+        assert!(cmp.findings.iter().any(|f| f.metric == "rmt_deq_bytes" && f.regressed));
     }
 
     #[test]

@@ -21,6 +21,7 @@ pub mod compare;
 pub mod e10_scalefree;
 pub mod e11_churn;
 pub mod e12_partial_rib;
+pub mod e13_flows;
 pub mod e1_fig1;
 pub mod e3_fig3;
 pub mod e4_fig4;

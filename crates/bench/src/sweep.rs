@@ -208,6 +208,11 @@ pub struct SweepCell {
     /// footprint (`rib_objects_max` / `rib_bytes_max`) against the
     /// full-replication floor.
     pub scoped: bool,
+    /// Run a flow-churn phase ([`Workload::flow_churn`]) after the
+    /// reachability check: drivers cycle EFCP flows against leaf sinks,
+    /// gating the allocation-path counters (`flow_allocs` …) and the
+    /// per-port RMT queue counters exactly.
+    pub flow: bool,
 }
 
 impl SweepCell {
@@ -225,14 +230,15 @@ impl SweepCell {
     /// of the cell, none of its results.
     pub fn id(&self) -> String {
         format!(
-            "{}-n{}-{}-l{}-f{}{}{}",
+            "{}-n{}-{}-l{}-f{}{}{}{}",
             self.topology.key(),
             self.size,
             self.schedule_key(),
             self.loss,
             self.flood_rate,
             if self.churn { "-churn" } else { "" },
-            if self.scoped { "-scoped" } else { "" }
+            if self.scoped { "-scoped" } else { "" },
+            if self.flow { "-flow" } else { "" }
         )
     }
 
@@ -306,6 +312,21 @@ pub struct SweepRow {
     /// Largest per-member RIB encoded size (bytes) at the end of the
     /// run.
     pub rib_bytes_max: u64,
+    /// Flow allocations completed by the churn phase (0 outside flow
+    /// cells).
+    pub flow_allocs: u64,
+    /// Flow-allocation failures during the churn phase (each retried).
+    pub flow_alloc_fail: u64,
+    /// SDUs written over churned flows.
+    pub flow_sdus: u64,
+    /// SDUs delivered to the churn sinks.
+    pub flow_recv: u64,
+    /// RMT tail drops summed over every (N-1)-port queue DIF-wide.
+    pub rmt_drops: u64,
+    /// RMT bytes transmitted (dequeued) summed over every queue — in
+    /// non-flow cells this counts the management traffic alone, so the
+    /// queue accounting is exact-gated in every cell of the grid.
+    pub rmt_deq_bytes: u64,
     /// Wall-clock seconds for the cell (machine-dependent).
     pub wall_s: f64,
 }
@@ -331,6 +352,12 @@ row_json!(SweepRow {
     churn_reach,
     rib_objects_max,
     rib_bytes_max,
+    flow_allocs,
+    flow_alloc_fail,
+    flow_sdus,
+    flow_recv,
+    rmt_drops,
+    rmt_deq_bytes,
     wall_s,
 });
 
@@ -383,7 +410,11 @@ impl SweepGrid {
     /// gets one **scoped cell** (scale-free, wave schedule, lossless,
     /// unlimited flood, `/dir` owner-held): the partial-replication
     /// counterpart of the matching static cell, gating the per-member
-    /// RIB footprint below the full-replication floor.
+    /// RIB footprint below the full-replication floor. And every size
+    /// gets one **flow cell** (scale-free, wave schedule, lossless,
+    /// unlimited flood): a flow-churn phase after assembly, gating the
+    /// §5.3 allocation-path counters and the per-port RMT queue
+    /// counters exactly.
     pub fn cells(&self) -> Vec<SweepCell> {
         let mut cells = Vec::new();
         let mut sizes = self.sizes.clone();
@@ -398,6 +429,7 @@ impl SweepGrid {
                     flood_rate: 0,
                     churn: true,
                     scoped: false,
+                    flow: false,
                 });
                 for &schedule in &self.schedules {
                     for &loss in &self.losses {
@@ -410,6 +442,7 @@ impl SweepGrid {
                                 flood_rate,
                                 churn: false,
                                 scoped: false,
+                                flow: false,
                             });
                         }
                     }
@@ -423,6 +456,17 @@ impl SweepGrid {
                 flood_rate: 0,
                 churn: false,
                 scoped: true,
+                flow: false,
+            });
+            cells.push(SweepCell {
+                size,
+                topology: SweepTopology::ScaleFree,
+                schedule: EnrollSchedule::waves(),
+                loss: 0.0,
+                flood_rate: 0,
+                churn: false,
+                scoped: false,
+                flow: true,
             });
         }
         cells
@@ -462,6 +506,25 @@ pub fn run_cell(cell: &SweepCell, base_seed: u64) -> SweepRow {
         .with_prefix("sw")
         .materialize(&mut s);
     let mesh = Workload::ping_sampled(&mut s, fab.dif, &fab.nodes, 0, seed, 1, 64);
+    // Flow cells: place the churn population before the build. Sinks go
+    // on the two lowest-degree members; every other node drives.
+    let flow = if cell.flow {
+        let deg = fab.degrees();
+        let mut order: Vec<usize> = (0..fab.len()).collect();
+        order.sort_by_key(|&i| (deg[i], i));
+        let sink_count = 2.min(fab.len().saturating_sub(1)).max(1);
+        let sink_nodes: Vec<NodeH> = order.iter().take(sink_count).map(|&i| fab.node(i)).collect();
+        let cfg = FlowChurnCfg::new(seed ^ 0x00f2)
+            .with_drivers_per_node(2)
+            .with_pacing(
+                (Dur::from_secs(1), Dur::from_secs(3)),
+                (Dur::from_millis(100), Dur::from_millis(400)),
+            )
+            .with_traffic(32, Dur::from_millis(50));
+        Some(Workload::flow_churn(&mut s, fab.dif, &fab.nodes, &sink_nodes, &cfg))
+    } else {
+        None
+    };
     let ipcps = fab.member_ipcps(&s);
     // Generous limits: lossy sequential rings converge slowly in virtual
     // time; a cell that blows the limit is a real regression and panics
@@ -508,6 +571,11 @@ pub fn run_cell(cell: &SweepCell, base_seed: u64) -> SweepRow {
                 && crate::e11_churn::fully_reachable(net, &ipcps)
         });
     }
+    // Flow-churn phase: let the population cycle a few hold/gap rounds
+    // past the assembly-time opens, so the counters cover steady churn.
+    if flow.is_some() {
+        run.run_for(Dur::from_secs(8));
+    }
     let net = &run.net;
     let rib_pdus: u64 = ipcps.iter().map(|&h| net.ipcp(h).stats.rib_tx).sum();
     let flood_suppressed: u64 = ipcps.iter().map(|&h| net.ipcp(h).stats.flood_suppressed).sum();
@@ -522,6 +590,18 @@ pub fn run_cell(cell: &SweepCell, base_seed: u64) -> SweepRow {
         .map(|&h| net.ipcp(h).rib.iter_all().map(|o| o.encode().len() as u64).sum::<u64>())
         .max()
         .unwrap_or(0);
+    let (flow_allocs, flow_alloc_fail, flow_sdus, flow_recv) = match &flow {
+        Some(f) => (f.allocs(net), f.alloc_failures(net), f.sent(net), f.received(net)),
+        None => (0, 0, 0, 0),
+    };
+    let mut rmt_drops = 0u64;
+    let mut rmt_deq_bytes = 0u64;
+    for &h in &fab.nodes {
+        for st in net.node(h).rmt_lane_stats() {
+            rmt_drops += st.drops;
+            rmt_deq_bytes += st.deq_bytes;
+        }
+    }
     SweepRow {
         id: cell.id(),
         size: cell.size,
@@ -543,6 +623,12 @@ pub fn run_cell(cell: &SweepCell, base_seed: u64) -> SweepRow {
         churn_reach,
         rib_objects_max,
         rib_bytes_max,
+        flow_allocs,
+        flow_alloc_fail,
+        flow_sdus,
+        flow_recv,
+        rmt_drops,
+        rmt_deq_bytes,
         wall_s: wall_t0.elapsed().as_secs_f64(),
     }
 }
@@ -552,6 +638,21 @@ pub fn run_cell(cell: &SweepCell, base_seed: u64) -> SweepRow {
 pub fn run_grid(grid: &SweepGrid, threads: usize) -> Vec<SweepRow> {
     let base = grid.base_seed;
     par_map(threads, grid.cells(), move |cell| run_cell(&cell, base))
+}
+
+/// Run the grid `repeat` times and keep, per cell, the minimum `wall_s`
+/// across passes. Every other field is a pure function of the cell and
+/// seed, so repeated passes change nothing but the wall-clock noise
+/// floor — min-of-N is what the perf gate should compare, since a cell
+/// can run slow by scheduling accident but never fast by one.
+pub fn run_grid_best_of(grid: &SweepGrid, threads: usize, repeat: usize) -> Vec<SweepRow> {
+    let mut rows = run_grid(grid, threads);
+    for _ in 1..repeat.max(1) {
+        for (row, again) in rows.iter_mut().zip(run_grid(grid, threads)) {
+            row.wall_s = row.wall_s.min(again.wall_s);
+        }
+    }
+    rows
 }
 
 /// Render sweep rows as the `BENCH_SWEEP.json` document. `threads` is
@@ -641,13 +742,13 @@ mod tests {
         let ids: std::collections::HashSet<String> = cells.iter().map(|c| c.id()).collect();
         assert_eq!(ids.len(), cells.len(), "cell ids collide");
         // The static cross product plus one churn cell per size ×
-        // topology plus one scoped cell per size.
+        // topology plus one scoped cell and one flow cell per size.
         assert_eq!(
             cells.len(),
             grid.sizes.len()
                 * grid.topologies.len()
                 * (grid.schedules.len() * grid.losses.len() * grid.flood_rates.len() + 1)
-                + grid.sizes.len()
+                + 2 * grid.sizes.len()
         );
         assert_eq!(
             cells.iter().filter(|c| c.churn).count(),
@@ -656,6 +757,8 @@ mod tests {
         assert!(cells.iter().filter(|c| c.churn).all(|c| c.id().ends_with("-churn")));
         assert_eq!(cells.iter().filter(|c| c.scoped).count(), grid.sizes.len());
         assert!(cells.iter().filter(|c| c.scoped).all(|c| c.id().ends_with("-scoped")));
+        assert_eq!(cells.iter().filter(|c| c.flow).count(), grid.sizes.len());
+        assert!(cells.iter().filter(|c| c.flow).all(|c| c.id().ends_with("-flow")));
         // Every scoped cell has its exact unscoped counterpart in-grid,
         // so the RIB-footprint comparison is like against like.
         for c in cells.iter().filter(|c| c.scoped) {
@@ -679,6 +782,7 @@ mod tests {
             flood_rate: 64,
             churn: false,
             scoped: false,
+            flow: false,
         };
         let mut d = c.clone();
         d.loss = 0.02;
@@ -691,6 +795,9 @@ mod tests {
         let mut f = c.clone();
         f.scoped = true;
         assert_ne!(c.seed(1), f.seed(1), "scope is part of the cell identity");
+        let mut g = c.clone();
+        g.flow = true;
+        assert_ne!(c.seed(1), g.seed(1), "flow is part of the cell identity");
     }
 
     #[test]
@@ -716,6 +823,12 @@ mod tests {
             churn_reach: 1.0,
             rib_objects_max: 9,
             rib_bytes_max: 300,
+            flow_allocs: 0,
+            flow_alloc_fail: 0,
+            flow_sdus: 0,
+            flow_recv: 0,
+            rmt_drops: 0,
+            rmt_deq_bytes: 4_096,
             wall_s: 0.123456,
         };
         let doc = sweep_doc(std::slice::from_ref(&row), 4);
@@ -739,6 +852,7 @@ mod tests {
             flood_rate: 64,
             churn: false,
             scoped: false,
+            flow: false,
         };
         let a = run_cell(&cell, 1);
         let b = run_cell(&cell, 1);
@@ -748,6 +862,39 @@ mod tests {
         assert_eq!(a.rib_pdus, b.rib_pdus);
         assert_eq!(a.stale_rib, 0);
         assert_eq!(a.churn_reach, 1.0, "non-churn cells report full reachability");
+        // Even without a flow phase the RMT queues carried the mgmt
+        // traffic, and the accounting is reproducible.
+        assert_eq!(a.flow_allocs, 0);
+        assert!(a.rmt_deq_bytes > 0, "{a:?}");
+        assert_eq!(a.rmt_deq_bytes, b.rmt_deq_bytes);
+        assert_eq!(a.rmt_drops, b.rmt_drops);
+    }
+
+    /// A tiny flow cell: the churn phase cycles flows end to end and
+    /// every allocation/RMT counter reproduces exactly.
+    #[test]
+    fn small_flow_cell_cycles_flows_and_reproduces() {
+        let cell = SweepCell {
+            size: 6,
+            topology: SweepTopology::ScaleFree,
+            schedule: EnrollSchedule::waves(),
+            loss: 0.0,
+            flood_rate: 0,
+            churn: false,
+            scoped: false,
+            flow: true,
+        };
+        let a = run_cell(&cell, 1);
+        let b = run_cell(&cell, 1);
+        assert!(a.reachable, "{a:?}");
+        assert!(a.flow_allocs > 0, "churn never opened a flow: {a:?}");
+        assert!(a.flow_recv > 0, "churned flows carried no data: {a:?}");
+        assert_eq!(a.flow_allocs, b.flow_allocs);
+        assert_eq!(a.flow_alloc_fail, b.flow_alloc_fail);
+        assert_eq!(a.flow_sdus, b.flow_sdus);
+        assert_eq!(a.flow_recv, b.flow_recv);
+        assert_eq!(a.rmt_drops, b.rmt_drops);
+        assert_eq!(a.rmt_deq_bytes, b.rmt_deq_bytes);
     }
 
     /// A tiny churn cell: the continuous-dynamics phase runs, quiesces
@@ -762,6 +909,7 @@ mod tests {
             flood_rate: 0,
             churn: true,
             scoped: false,
+            flow: false,
         };
         let a = run_cell(&cell, 1);
         let b = run_cell(&cell, 1);
@@ -786,6 +934,7 @@ mod tests {
             flood_rate: 0,
             churn: false,
             scoped: false,
+            flow: false,
         };
         let mut scoped = unscoped.clone();
         scoped.scoped = true;

@@ -2,35 +2,55 @@
 //!
 //! This is the paper's whole point of contact between applications and the
 //! network (§3.1): an application *names* the destination application and
-//! states desired properties; it gets back an opaque, local [`PortId`].
-//! "Applications never see addresses" — nothing in [`IpcApi`] exposes one.
+//! states desired properties; it gets back an opaque, typed [`FlowH`].
+//! "Applications never see addresses" — nothing in [`IpcApi`] exposes one,
+//! and nothing exposes a raw integer either: the flow handle is a distinct
+//! type, like the builder's `NodeH`/`LinkH`/`AppH`, so a flow handle cannot
+//! be confused with a timer key, an address, or a counter, and a stale or
+//! foreign handle is a typed [`IpcError`], never silent misdelivery.
 //!
 //! Applications are event-driven state machines implementing
 //! [`AppProcess`]; the [`crate::node::Node`] invokes their callbacks and
 //! hands them an [`IpcApi`] for issuing requests.
 
-use crate::naming::{AppName, PortId};
+use crate::naming::AppName;
 use crate::qos::QosSpec;
 use bytes::Bytes;
 use rina_sim::{Dur, Time};
 
+/// An opaque, node-local handle to one flow.
+///
+/// Returned by [`IpcApi::allocate_flow`] the moment the request is made
+/// (completion arrives later via [`AppProcess::on_flow_allocated`] or
+/// [`AppProcess::on_flow_failed`], carrying the same handle), and by every
+/// flow-bearing callback. There is no handle/port duality: the value an
+/// application allocates with is the value it writes on, receives on, and
+/// deallocates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowH(pub(crate) u64);
+
+impl std::fmt::Display for FlowH {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "flow:{}", self.0)
+    }
+}
+
 /// Where a newly active flow came from, as seen by the application.
 ///
-/// Replaces the old `handle = 0` sentinel: an inbound flow is now a
-/// distinct variant instead of being indistinguishable from "outbound
-/// request number zero".
+/// An inbound flow is a distinct variant instead of being
+/// indistinguishable from "outbound request number zero".
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FlowOrigin {
     /// This application requested the flow; the payload is the handle
     /// [`IpcApi::allocate_flow`] returned.
-    Requested(u64),
+    Requested(FlowH),
     /// A remote peer allocated the flow *to* this application.
     Inbound,
 }
 
 impl FlowOrigin {
     /// The allocation handle, if this application requested the flow.
-    pub fn handle(&self) -> Option<u64> {
+    pub fn handle(&self) -> Option<FlowH> {
         match *self {
             FlowOrigin::Requested(h) => Some(h),
             FlowOrigin::Inbound => None,
@@ -65,15 +85,16 @@ pub trait AppProcess: Send + 'static {
 
     /// A flow is ready. `origin` says whether this application requested
     /// it (and with which [`IpcApi::allocate_flow`] handle) or the peer
-    /// allocated it inbound.
+    /// allocated it inbound; `flow` is the handle every later operation
+    /// and callback uses (for requested flows it equals the origin's).
     fn on_flow_allocated(
         &mut self,
         origin: FlowOrigin,
-        port: PortId,
+        flow: FlowH,
         peer: &AppName,
         api: &mut IpcApi<'_, '_, '_>,
     ) {
-        let _ = (origin, port, peer, api);
+        let _ = (origin, flow, peer, api);
     }
 
     /// A flow allocation failed or an active flow died.
@@ -82,13 +103,13 @@ pub trait AppProcess: Send + 'static {
     }
 
     /// An SDU arrived on a flow.
-    fn on_sdu(&mut self, port: PortId, sdu: Bytes, api: &mut IpcApi<'_, '_, '_>) {
-        let _ = (port, sdu, api);
+    fn on_sdu(&mut self, flow: FlowH, sdu: Bytes, api: &mut IpcApi<'_, '_, '_>) {
+        let _ = (flow, sdu, api);
     }
 
     /// The peer deallocated a flow.
-    fn on_flow_closed(&mut self, port: PortId, api: &mut IpcApi<'_, '_, '_>) {
-        let _ = (port, api);
+    fn on_flow_closed(&mut self, flow: FlowH, api: &mut IpcApi<'_, '_, '_>) {
+        let _ = (flow, api);
     }
 
     /// A timer armed with [`IpcApi::timer_in`] (or injected externally)
@@ -101,8 +122,8 @@ pub trait AppProcess: Send + 'static {
 /// Why an [`IpcApi`] request was rejected synchronously.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum IpcError {
-    /// The port does not exist or is not owned by this application.
-    BadPort,
+    /// The flow does not exist or is not owned by this application.
+    BadFlow,
     /// The flow is not (or no longer) active.
     NotActive,
     /// The SDU exceeds the DIF's maximum SDU size or the flow pushed back.
@@ -112,7 +133,7 @@ pub enum IpcError {
 impl std::fmt::Display for IpcError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = match self {
-            IpcError::BadPort => "bad port",
+            IpcError::BadFlow => "bad flow handle",
             IpcError::NotActive => "flow not active",
             IpcError::Rejected => "sdu rejected",
         };
@@ -133,20 +154,20 @@ pub struct IpcApi<'n, 'c, 'w> {
 
 impl IpcApi<'_, '_, '_> {
     /// Request a flow to the application named `dst` with the desired
-    /// properties. Returns a handle; completion arrives later via
+    /// properties. Returns the flow's handle; completion arrives later via
     /// [`AppProcess::on_flow_allocated`] or [`AppProcess::on_flow_failed`].
-    pub fn allocate_flow(&mut self, dst: &AppName, spec: QosSpec) -> u64 {
+    pub fn allocate_flow(&mut self, dst: &AppName, spec: QosSpec) -> FlowH {
         self.node.api_allocate(self.app, dst.clone(), spec, self.ctx)
     }
 
     /// Send an SDU on an allocated flow.
-    pub fn write(&mut self, port: PortId, sdu: Bytes) -> Result<(), IpcError> {
-        self.node.api_write(self.app, port, sdu, self.ctx)
+    pub fn write(&mut self, flow: FlowH, sdu: Bytes) -> Result<(), IpcError> {
+        self.node.api_write(self.app, flow, sdu, self.ctx)
     }
 
     /// Release a flow.
-    pub fn deallocate(&mut self, port: PortId) {
-        self.node.api_deallocate(self.app, port, self.ctx);
+    pub fn deallocate(&mut self, flow: FlowH) {
+        self.node.api_deallocate(self.app, flow, self.ctx);
     }
 
     /// Arm an application timer that fires [`AppProcess::on_timer`] with

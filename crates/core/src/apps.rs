@@ -4,14 +4,16 @@
 //! user of the library writes against. They only ever name destination
 //! applications; none of them ever sees an address.
 
-use crate::app::{AppProcess, FlowOrigin, IpcApi};
-use crate::naming::{AppName, PortId};
+use crate::app::{AppProcess, FlowH, FlowOrigin, IpcApi};
+use crate::naming::AppName;
 use crate::qos::QosSpec;
 use bytes::Bytes;
 use rina_sim::{Dur, Histogram, Time};
 
 const KEY_START: u64 = 1;
 const KEY_SEND: u64 = 2;
+const KEY_OPEN: u64 = 3;
+const KEY_CLOSE: u64 = 4;
 
 /// Accepts every flow and echoes every SDU back to the sender.
 #[derive(Default)]
@@ -23,10 +25,10 @@ pub struct EchoApp {
 }
 
 impl AppProcess for EchoApp {
-    fn on_sdu(&mut self, port: PortId, sdu: Bytes, api: &mut IpcApi<'_, '_, '_>) {
+    fn on_sdu(&mut self, flow: FlowH, sdu: Bytes, api: &mut IpcApi<'_, '_, '_>) {
         self.echoed += 1;
         self.bytes += sdu.len() as u64;
-        let _ = api.write(port, sdu);
+        let _ = api.write(flow, sdu);
     }
 }
 
@@ -66,7 +68,7 @@ impl AppProcess for SinkApp {
         }
     }
 
-    fn on_sdu(&mut self, _port: PortId, sdu: Bytes, api: &mut IpcApi<'_, '_, '_>) {
+    fn on_sdu(&mut self, _flow: FlowH, sdu: Bytes, api: &mut IpcApi<'_, '_, '_>) {
         self.received += 1;
         self.bytes += sdu.len() as u64;
         self.last_arrival = api.now();
@@ -99,8 +101,8 @@ pub struct SourceApp {
     pub sent: u64,
     /// Allocation failures observed (then retried).
     pub alloc_failures: u64,
-    /// The allocated port, once any.
-    pub port: Option<PortId>,
+    /// The allocated flow, once any.
+    pub flow: Option<FlowH>,
     /// Time the flow came up.
     pub flow_up_at: Option<Time>,
     /// All SDUs sent.
@@ -119,7 +121,7 @@ impl SourceApp {
             start_delay: Dur::from_millis(10),
             sent: 0,
             alloc_failures: 0,
-            port: None,
+            flow: None,
             flow_up_at: None,
             completed: false,
         }
@@ -139,17 +141,17 @@ impl AppProcess for SourceApp {
 
     fn on_timer(&mut self, key: u64, api: &mut IpcApi<'_, '_, '_>) {
         match key {
-            KEY_START if self.port.is_none() => {
+            KEY_START if self.flow.is_none() => {
                 api.allocate_flow(&self.dst.clone(), self.spec);
             }
             KEY_SEND => {
-                let Some(port) = self.port else { return };
+                let Some(flow) = self.flow else { return };
                 if self.sent >= self.count {
                     self.completed = true;
                     return;
                 }
                 let pl = self.payload(api.now());
-                match api.write(port, pl) {
+                match api.write(flow, pl) {
                     Ok(()) => {
                         self.sent += 1;
                         if self.sent >= self.count {
@@ -171,23 +173,258 @@ impl AppProcess for SourceApp {
     fn on_flow_allocated(
         &mut self,
         _origin: FlowOrigin,
-        port: PortId,
+        flow: FlowH,
         _peer: &AppName,
         api: &mut IpcApi<'_, '_, '_>,
     ) {
-        self.port = Some(port);
+        self.flow = Some(flow);
         self.flow_up_at = Some(api.now());
         api.timer_in(Dur::ZERO, KEY_SEND);
     }
 
     fn on_flow_failed(&mut self, _origin: FlowOrigin, _reason: &str, api: &mut IpcApi<'_, '_, '_>) {
         self.alloc_failures += 1;
-        self.port = None;
+        self.flow = None;
         api.timer_in(Dur::from_millis(200), KEY_START);
     }
 
-    fn on_flow_closed(&mut self, _port: PortId, _api: &mut IpcApi<'_, '_, '_>) {
-        self.port = None;
+    fn on_flow_closed(&mut self, _flow: FlowH, _api: &mut IpcApi<'_, '_, '_>) {
+        self.flow = None;
+    }
+}
+
+/// Number of traffic classes churn sinks account separately (matches
+/// [`crate::rmt::LANES`]; the class byte in a churn SDU is clamped).
+pub const CHURN_CLASSES: usize = 8;
+
+/// Accepts every flow and accounts arrivals **per traffic class**: churn
+/// SDUs (from [`ChurnDriver`]) carry an 8-byte virtual-time timestamp
+/// followed by a class byte, and each class gets its own one-way latency
+/// histogram — the per-cube data-plane metric of the flow-churn
+/// experiments.
+#[derive(Default)]
+pub struct ChurnSinkApp {
+    /// SDUs received (all classes).
+    pub received: u64,
+    /// Payload bytes received.
+    pub bytes: u64,
+    /// SDUs received per class byte (clamped to [`CHURN_CLASSES`]).
+    pub received_by_class: [u64; CHURN_CLASSES],
+    /// One-way latency per class, seconds of virtual time.
+    pub latency_by_class: [Histogram; CHURN_CLASSES],
+}
+
+impl AppProcess for ChurnSinkApp {
+    fn on_sdu(&mut self, _flow: FlowH, sdu: Bytes, api: &mut IpcApi<'_, '_, '_>) {
+        self.received += 1;
+        self.bytes += sdu.len() as u64;
+        if sdu.len() >= 9 {
+            let ts = u64::from_be_bytes(sdu[..8].try_into().expect("len checked"));
+            let class = (sdu[8] as usize).min(CHURN_CLASSES - 1);
+            self.received_by_class[class] += 1;
+            if ts > 0 && ts <= api.now().nanos() {
+                self.latency_by_class[class].push((api.now().nanos() - ts) as f64 / 1e9);
+            }
+        }
+    }
+}
+
+/// One self-driving flow-churn client: allocate a flow to `dst`, hold it
+/// for a jittered interval while sending timestamped SDUs, deallocate,
+/// idle for a jittered gap, reallocate — forever. A population of these
+/// maintains a target concurrent-flow level while continuously exercising
+/// the allocation path (the flow-churn workload of ROADMAP item 4).
+///
+/// All jitter comes from the driver's own seeded RNG, advanced only by
+/// virtual-time callbacks, so a churn population is byte-identical at any
+/// host thread count.
+pub struct ChurnDriver {
+    /// Destination application (a [`ChurnSinkApp`]).
+    pub dst: AppName,
+    /// Requested flow properties (decides the QoS cube, hence the lane).
+    pub spec: QosSpec,
+    /// Class byte stamped into every SDU (the sink's histogram index).
+    pub class: u8,
+    /// SDU payload size (min 9: timestamp + class byte).
+    pub size: usize,
+    /// Interval between SDUs while a flow is held.
+    pub send_interval: Dur,
+    /// Flow holding time bounds (uniform jitter, inclusive).
+    pub hold: (Dur, Dur),
+    /// Idle gap bounds between flows (uniform jitter, inclusive).
+    pub gap: (Dur, Dur),
+    rng: rand::rngs::SmallRng,
+    /// The flow currently held, if any.
+    pub flow: Option<FlowH>,
+    alloc_requested: Option<Time>,
+    close_at: Time,
+    next_send: Time,
+    /// Completed allocations.
+    pub allocs: u64,
+    /// Allocation failures (each is retried after a backoff).
+    pub alloc_failures: u64,
+    /// Established flows that died mid-life (e.g. EFCP gave up under
+    /// sustained loss) — congestion shedding, not allocator refusals.
+    pub flow_deaths: u64,
+    /// Deliberate deallocations.
+    pub closes: u64,
+    /// SDUs written.
+    pub sent: u64,
+    /// Allocation latency (request → flow up), seconds of virtual time.
+    pub alloc_latency: Histogram,
+}
+
+impl ChurnDriver {
+    /// A driver cycling flows to `dst` under its own RNG stream.
+    #[allow(clippy::too_many_arguments)] // a workload driver is its parameters
+    pub fn new(
+        dst: AppName,
+        spec: QosSpec,
+        class: u8,
+        size: usize,
+        send_interval: Dur,
+        hold: (Dur, Dur),
+        gap: (Dur, Dur),
+        seed: u64,
+    ) -> Self {
+        use rand::SeedableRng;
+        ChurnDriver {
+            dst,
+            spec,
+            class,
+            size: size.max(9),
+            send_interval,
+            hold,
+            gap,
+            rng: rand::rngs::SmallRng::seed_from_u64(seed),
+            flow: None,
+            alloc_requested: None,
+            close_at: Time::ZERO,
+            next_send: Time::ZERO,
+            allocs: 0,
+            alloc_failures: 0,
+            flow_deaths: 0,
+            closes: 0,
+            sent: 0,
+            alloc_latency: Histogram::new(),
+        }
+    }
+
+    /// Whether a flow is currently held (the concurrency sample).
+    pub fn active(&self) -> bool {
+        self.flow.is_some()
+    }
+
+    fn jitter(&mut self, (lo, hi): (Dur, Dur)) -> Dur {
+        use rand::Rng;
+        let (a, b) = (lo.nanos().min(hi.nanos()), lo.nanos().max(hi.nanos()));
+        Dur::from_nanos(self.rng.gen_range(a..=b))
+    }
+
+    fn payload(&self, now: Time) -> Bytes {
+        let mut v = vec![0u8; self.size];
+        v[..8].copy_from_slice(&now.nanos().to_be_bytes());
+        v[8] = self.class;
+        Bytes::from(v)
+    }
+}
+
+impl AppProcess for ChurnDriver {
+    fn on_start(&mut self, api: &mut IpcApi<'_, '_, '_>) {
+        // Stagger first opens across the gap window so a population does
+        // not thundering-herd the flow allocator at t=0.
+        let d = self.jitter(self.gap);
+        api.timer_in(d, KEY_OPEN);
+    }
+
+    fn on_timer(&mut self, key: u64, api: &mut IpcApi<'_, '_, '_>) {
+        match key {
+            KEY_OPEN => {
+                if self.flow.is_some() || self.alloc_requested.is_some() {
+                    return;
+                }
+                self.alloc_requested = Some(api.now());
+                api.allocate_flow(&self.dst.clone(), self.spec);
+            }
+            KEY_SEND => {
+                let Some(flow) = self.flow else { return };
+                // A stale send chain from a previous flow epoch fires at
+                // a time the current chain did not schedule: drop it, or
+                // the two chains would double the send rate.
+                if api.now() != self.next_send {
+                    return;
+                }
+                let pl = self.payload(api.now());
+                if api.write(flow, pl).is_ok() {
+                    self.sent += 1;
+                }
+                // Backpressured writes are simply skipped — the churn
+                // load is open-loop, paced by the interval alone.
+                self.next_send = api.now() + self.send_interval;
+                api.timer_in(self.send_interval, KEY_SEND);
+            }
+            KEY_CLOSE => {
+                // A stale close from a flow that already died early must
+                // not cut the current flow short.
+                if api.now() < self.close_at {
+                    return;
+                }
+                if let Some(f) = self.flow.take() {
+                    api.deallocate(f);
+                    self.closes += 1;
+                    let d = self.jitter(self.gap);
+                    api.timer_in(d, KEY_OPEN);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_flow_allocated(
+        &mut self,
+        _origin: FlowOrigin,
+        flow: FlowH,
+        _peer: &AppName,
+        api: &mut IpcApi<'_, '_, '_>,
+    ) {
+        self.allocs += 1;
+        if let Some(t0) = self.alloc_requested.take() {
+            self.alloc_latency.push(api.now().since(t0).as_secs_f64());
+        }
+        self.flow = Some(flow);
+        let hold = self.jitter(self.hold);
+        self.close_at = api.now() + hold;
+        self.next_send = api.now();
+        api.timer_in(hold, KEY_CLOSE);
+        api.timer_in(Dur::ZERO, KEY_SEND);
+    }
+
+    fn on_flow_failed(&mut self, _origin: FlowOrigin, _reason: &str, api: &mut IpcApi<'_, '_, '_>) {
+        if self.flow.take().is_some() {
+            // An established flow died mid-life (EFCP gave up under
+            // sustained loss). That is congestion shedding the transport
+            // — count it apart from allocator refusals, and reopen
+            // exactly as after a deliberate close. Dropping the handle
+            // here also keeps a later stale KEY_CLOSE from deallocating
+            // the next flow.
+            self.flow_deaths += 1;
+            let d = self.jitter(self.gap);
+            api.timer_in(d, KEY_OPEN);
+            return;
+        }
+        self.alloc_failures += 1;
+        self.alloc_requested = None;
+        let d = Dur::from_millis(200) + self.jitter(self.gap);
+        api.timer_in(d, KEY_OPEN);
+    }
+
+    fn on_flow_closed(&mut self, _flow: FlowH, api: &mut IpcApi<'_, '_, '_>) {
+        // The network (not this driver) closed the flow: reopen after a
+        // gap, exactly as if the driver had finished its hold.
+        if self.flow.take().is_some() {
+            let d = self.jitter(self.gap);
+            api.timer_in(d, KEY_OPEN);
+        }
     }
 }
 
@@ -209,7 +446,7 @@ pub struct PingApp {
     /// Time the flow came up.
     pub alloc_done: Option<Time>,
     sent_at: Time,
-    port: Option<PortId>,
+    flow: Option<FlowH>,
     /// Allocation failures observed (then retried).
     pub alloc_failures: u64,
 }
@@ -226,7 +463,7 @@ impl PingApp {
             alloc_requested: None,
             alloc_done: None,
             sent_at: Time::ZERO,
-            port: None,
+            flow: None,
             alloc_failures: 0,
         }
     }
@@ -243,7 +480,7 @@ impl AppProcess for PingApp {
     }
 
     fn on_timer(&mut self, key: u64, api: &mut IpcApi<'_, '_, '_>) {
-        if key == KEY_START && self.port.is_none() {
+        if key == KEY_START && self.flow.is_none() {
             self.alloc_requested = Some(api.now());
             api.allocate_flow(&self.dst.clone(), self.spec);
         }
@@ -252,28 +489,28 @@ impl AppProcess for PingApp {
     fn on_flow_allocated(
         &mut self,
         _origin: FlowOrigin,
-        port: PortId,
+        flow: FlowH,
         _peer: &AppName,
         api: &mut IpcApi<'_, '_, '_>,
     ) {
-        self.port = Some(port);
+        self.flow = Some(flow);
         self.alloc_done = Some(api.now());
         self.sent_at = api.now();
-        let _ = api.write(port, Bytes::from(vec![0u8; self.size]));
+        let _ = api.write(flow, Bytes::from(vec![0u8; self.size]));
     }
 
     fn on_flow_failed(&mut self, _origin: FlowOrigin, _reason: &str, api: &mut IpcApi<'_, '_, '_>) {
         self.alloc_failures += 1;
-        self.port = None;
+        self.flow = None;
         api.timer_in(Dur::from_millis(200), KEY_START);
     }
 
-    fn on_sdu(&mut self, port: PortId, _sdu: Bytes, api: &mut IpcApi<'_, '_, '_>) {
+    fn on_sdu(&mut self, flow: FlowH, _sdu: Bytes, api: &mut IpcApi<'_, '_, '_>) {
         let rtt = api.now().since(self.sent_at).as_secs_f64();
         self.rtts.push(rtt);
         if self.rtts.len() < self.count {
             self.sent_at = api.now();
-            let _ = api.write(port, Bytes::from(vec![0u8; self.size]));
+            let _ = api.write(flow, Bytes::from(vec![0u8; self.size]));
         }
     }
 }

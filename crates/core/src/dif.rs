@@ -38,6 +38,9 @@ pub enum SchedPolicy {
     Fifo,
     /// Strict priority by QoS-cube priority.
     Priority,
+    /// Deficit-weighted round-robin by QoS-cube weight: weighted sharing
+    /// across cubes with no starvation of low-weight lanes.
+    Wrr,
 }
 
 /// Shared configuration of one DIF.
@@ -126,6 +129,12 @@ pub struct DifConfig {
     /// used entries are evicted beyond this many; `0` disables caching,
     /// forcing every allocation to resolve at the owner.
     pub dir_cache_cap: u32,
+    /// Byte capacity of each RMT transmit queue at a paced (N-1) port
+    /// (all QoS lanes share it; frames beyond it tail-drop against their
+    /// lane's counters). Sized like a host NIC ring: large enough to
+    /// absorb sync bursts, small enough that congestion shows up as
+    /// scheduling pressure rather than unbounded memory.
+    pub rmt_queue_cap_bytes: usize,
 }
 
 impl DifConfig {
@@ -149,6 +158,7 @@ impl DifConfig {
             member_gc_grace_ms: 10_000,
             scoped_dir: false,
             dir_cache_cap: 128,
+            rmt_queue_cap_bytes: 8 * 1024 * 1024,
         }
     }
 
@@ -175,9 +185,21 @@ impl DifConfig {
         self
     }
 
+    /// Builder-style cube-set selection by name — the typed front door to
+    /// the shipped sets ([`crate::qos::CubeSet`]).
+    pub fn with_cube_set(self, set: crate::qos::CubeSet) -> Self {
+        self.with_cubes(set.cubes())
+    }
+
     /// Builder-style scheduler override.
     pub fn with_sched(mut self, s: SchedPolicy) -> Self {
         self.sched = s;
+        self
+    }
+
+    /// Builder-style RMT transmit-queue capacity override, bytes.
+    pub fn with_rmt_queue_cap_bytes(mut self, cap: usize) -> Self {
+        self.rmt_queue_cap_bytes = cap.max(1500);
         self
     }
 

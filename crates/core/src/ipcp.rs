@@ -25,6 +25,7 @@ use crate::dif::DifConfig;
 use crate::msg::MgmtBody;
 use crate::naming::{Addr, AppName};
 use crate::qos::{match_cube, QosSpec};
+use crate::rmt::TxClass;
 use crate::routing::{EngineStats, Lsa, RouteEngine, LSA_CLASS, LSA_PREFIX};
 use bytes::Bytes;
 use rina_efcp::{ConnId, Connection};
@@ -165,14 +166,14 @@ struct RawFlow {
 /// What the node must do on behalf of this IPC process.
 #[derive(Debug)]
 pub enum IpcpOut {
-    /// Transmit a frame on a physical interface, scheduled at `priority`.
+    /// Transmit a frame on a physical interface, scheduled by `class`.
     TxPhys {
         /// (N-1) port index (must be `N1Kind::Phys`).
         n1: usize,
         /// Encoded PDU.
         frame: Bytes,
-        /// Scheduling priority (QoS-cube priority).
-        priority: u8,
+        /// Scheduling class (QoS-cube id + priority).
+        class: TxClass,
     },
     /// Write an SDU into a lower-DIF flow.
     TxLower {
@@ -180,10 +181,10 @@ pub enum IpcpOut {
         port: u64,
         /// Encoded PDU (the lower DIF's SDU).
         sdu: Bytes,
-        /// Scheduling priority inherited from the originating QoS cube, so
+        /// Scheduling class inherited from the originating QoS cube, so
         /// class differentiation survives multiplexing onto shared lower
         /// flows all the way to the bottleneck medium.
-        priority: u8,
+        class: TxClass,
     },
     /// An SDU arrived for the user bound to `port`.
     Deliver {
@@ -619,7 +620,7 @@ impl Ipcp {
         let frame = self.hello_frame();
         for i in 0..self.n1.len() {
             self.stats.mgmt_tx += 1;
-            self.tx_n1(i, frame.clone(), 7);
+            self.tx_n1(i, frame.clone(), TxClass::mgmt());
         }
         self.hello_ticks += 1;
         if !self.is_shim && self.enrolled && self.hello_ticks.is_multiple_of(8) {
@@ -722,7 +723,7 @@ impl Ipcp {
     fn send_hello(&mut self, n1: usize) {
         let frame = self.hello_frame();
         self.stats.mgmt_tx += 1;
-        self.tx_n1(n1, frame, 7);
+        self.tx_n1(n1, frame, TxClass::mgmt());
     }
 
     /// Anti-entropy pull: for each of `subtrees`, send the peer on `n1`
@@ -1857,18 +1858,18 @@ impl Ipcp {
     // Data path
     // ------------------------------------------------------------------
 
-    /// User SDU written to the flow bound to `port`. `priority_hint`
-    /// carries the originating cube's priority when the writer is a higher
-    /// IPC process (None for application writes).
+    /// User SDU written to the flow bound to `port`. `class_hint`
+    /// carries the originating cube's scheduling class when the writer is
+    /// a higher IPC process (None for application writes).
     pub fn write_port(
         &mut self,
         port: u64,
         sdu: Bytes,
         now: Time,
-        priority_hint: Option<u8>,
+        class_hint: Option<TxClass>,
     ) -> Result<(), &'static str> {
         if self.is_shim {
-            return self.write_raw(port, sdu, priority_hint);
+            return self.write_raw(port, sdu, class_hint);
         }
         let Some((&cep, f)) = self.conns.iter_mut().find(|(_, f)| f.port == port) else {
             return Err("no such flow");
@@ -1890,7 +1891,7 @@ impl Ipcp {
         &mut self,
         port: u64,
         sdu: Bytes,
-        priority_hint: Option<u8>,
+        class_hint: Option<TxClass>,
     ) -> Result<(), &'static str> {
         let Some(r) = self.raw.values().find(|r| r.port == port) else {
             return Err("no such flow");
@@ -1910,11 +1911,15 @@ impl Ipcp {
             ttl: 1,
             payload: sdu,
         });
-        let (priority, frame) = (priority_hint.unwrap_or(r.priority), pdu.encode());
+        // The hint preserves the *originating* cube (an upper DIF's class
+        // riding this shim flow); plain writes class as the shim flow's
+        // own cube.
+        let class = class_hint.unwrap_or(TxClass::new(r.qos_id, r.priority));
+        let frame = pdu.encode();
         let Some(n1) = self.n1.iter().position(|p| p.up) else {
             return Err("link down");
         };
-        self.tx_n1(n1, frame, priority);
+        self.tx_n1(n1, frame, class);
         Ok(())
     }
 
@@ -1967,8 +1972,9 @@ impl Ipcp {
             return;
         };
         let prio = self.cfg.cube(pdu.qos_id()).map(|c| c.priority).unwrap_or(0);
+        let class = TxClass::new(pdu.qos_id(), prio);
         let frame = pdu.encode();
-        self.tx_n1(n1, frame, prio);
+        self.tx_n1(n1, frame, class);
     }
 
     /// Choose the (N-1) port for `dest`: step 1 route lookup, step 2 path
@@ -1987,12 +1993,10 @@ impl Ipcp {
         None
     }
 
-    fn tx_n1(&mut self, n1: usize, frame: Bytes, priority: u8) {
+    fn tx_n1(&mut self, n1: usize, frame: Bytes, class: TxClass) {
         match self.n1[n1].kind {
-            N1Kind::Phys { .. } => self.out.push(IpcpOut::TxPhys { n1, frame, priority }),
-            N1Kind::Lower { port } => {
-                self.out.push(IpcpOut::TxLower { port, sdu: frame, priority })
-            }
+            N1Kind::Phys { .. } => self.out.push(IpcpOut::TxPhys { n1, frame, class }),
+            N1Kind::Lower { port } => self.out.push(IpcpOut::TxLower { port, sdu: frame, class }),
         }
     }
 
@@ -2389,7 +2393,7 @@ impl Ipcp {
             let pdu = Pdu::Mgmt(MgmtPdu { dest_addr: 0, src_addr: self.addr, ttl: 1, payload });
             self.stats.mgmt_tx += 1;
             self.stats.rib_tx += (end - start) as u64;
-            self.tx_n1(n1, pdu.encode(), 7);
+            self.tx_n1(n1, pdu.encode(), TxClass::mgmt());
             start = end;
         }
     }
@@ -2420,7 +2424,7 @@ impl Ipcp {
         let pdu = Pdu::Mgmt(MgmtPdu { dest_addr: 0, src_addr: self.addr, ttl: 1, payload });
         self.stats.mgmt_tx += 1;
         let frame = pdu.encode();
-        self.tx_n1(n1, frame, 7);
+        self.tx_n1(n1, frame, TxClass::mgmt());
     }
 
     /// Send a management body to a member address (relayed if needed).

@@ -10,7 +10,9 @@
 //! ## The pieces
 //!
 //! * [`naming`] — location-independent application names; DIF-internal
-//!   addresses that applications never see; local port ids.
+//!   addresses that applications never see.
+//! * [`app`] — the application-facing IPC interface: [`AppProcess`]
+//!   callbacks and the typed flow handle [`app::FlowH`].
 //! * [`qos`] — what applications ask for ([`QosSpec`]) and what DIFs offer
 //!   ([`QosCube`]).
 //! * [`dif`] — the per-DIF policy bundle: membership auth, QoS cubes,
@@ -95,25 +97,27 @@ pub mod rmt;
 pub use rina_routing as routing;
 pub mod scenario;
 
-pub use app::{AppProcess, FlowOrigin, IpcApi, IpcError};
+pub use app::{AppProcess, FlowH, FlowOrigin, IpcApi, IpcError};
 pub use dif::{AuthPolicy, DifConfig, SchedPolicy};
-pub use naming::{Addr, AppName, DifName, PortId};
+pub use naming::{Addr, AppName, DifName};
 pub use net::{AppH, DifH, EnrollSchedule, IpcpH, LinkH, Net, NetBuilder, NodeH, Via};
 pub use node::{ext_timer_key, Node};
-pub use qos::{QosCube, QosSpec};
+pub use qos::{CubeSet, QosCube, QosSpec};
+pub use rmt::{LaneStats, RmtQueue, TxClass, LANES};
 
 /// Convenient glob-import for examples and experiments.
 pub mod prelude {
-    pub use crate::app::{AppProcess, FlowOrigin, IpcApi};
-    pub use crate::apps::{EchoApp, PingApp, SinkApp, SourceApp};
+    pub use crate::app::{AppProcess, FlowH, FlowOrigin, IpcApi, IpcError};
+    pub use crate::apps::{ChurnDriver, ChurnSinkApp, EchoApp, PingApp, SinkApp, SourceApp};
     pub use crate::dif::{AuthPolicy, DifConfig, SchedPolicy};
-    pub use crate::naming::{AppName, DifName, PortId};
+    pub use crate::naming::{AppName, DifName};
     pub use crate::net::{AppH, DifH, EnrollSchedule, IpcpH, LinkH, Net, NetBuilder, NodeH, Via};
     pub use crate::node::{ext_timer_key, Node};
-    pub use crate::qos::{QosCube, QosSpec};
+    pub use crate::qos::{CubeSet, QosCube, QosSpec};
+    pub use crate::rmt::{LaneStats, TxClass};
     pub use crate::scenario::{
-        Churn, ChurnAction, ChurnPlan, ChurnRunner, Fabric, Layered, LayeredFabric, Topology,
-        Workload,
+        Churn, ChurnAction, ChurnPlan, ChurnRunner, Fabric, FlowChurn, FlowChurnCfg, Layered,
+        LayeredFabric, Topology, Workload,
     };
     pub use bytes::Bytes;
     pub use rina_sim::{Dur, LinkCfg, LossModel, Time};

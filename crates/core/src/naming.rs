@@ -79,18 +79,11 @@ impl fmt::Display for DifName {
 
 /// A DIF-internal address. Re-exported from the wire crate; `0` means
 /// "unassigned / link-local".
+///
+/// Node-local flow endpoints are [`crate::app::FlowH`] — a typed handle,
+/// not a naming concept: it carries no application-name semantics and
+/// applications cannot fabricate one.
 pub use rina_wire::Addr;
-
-/// A node-local handle to one end of an allocated flow. Dynamically
-/// assigned; carries no application-name semantics.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
-pub struct PortId(pub u64);
-
-impl fmt::Display for PortId {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "port:{}", self.0)
-    }
-}
 
 #[cfg(test)]
 mod tests {
@@ -110,6 +103,5 @@ mod tests {
     fn display_forms() {
         assert_eq!(AppName::with_instance("a", "i").to_string(), "a/i");
         assert_eq!(DifName::new("net").to_string(), "net");
-        assert_eq!(PortId(3).to_string(), "port:3");
     }
 }

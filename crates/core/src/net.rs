@@ -211,6 +211,7 @@ pub struct NetBuilder {
     adjacencies: Vec<AdjPlan>,
     shim_count: usize,
     shim_sched: crate::dif::SchedPolicy,
+    shim_queue_cap: Option<usize>,
     enroll_schedule: EnrollSchedule,
 }
 
@@ -226,6 +227,7 @@ impl NetBuilder {
             adjacencies: Vec::new(),
             shim_count: 0,
             shim_sched: crate::dif::SchedPolicy::Priority,
+            shim_queue_cap: None,
             enroll_schedule: EnrollSchedule::default(),
         }
     }
@@ -242,6 +244,14 @@ impl NetBuilder {
     /// queues). `Fifo` models the best-effort baseline.
     pub fn set_shim_sched(&mut self, s: crate::dif::SchedPolicy) {
         self.shim_sched = s;
+    }
+
+    /// Bound the transmit queues of shims created by subsequent
+    /// [`NetBuilder::link`] calls to `bytes` (default: the
+    /// [`DifConfig`] queue capacity). Small caps make congestion shed
+    /// load by tail-drop instead of building seconds of standing queue.
+    pub fn set_shim_queue_cap(&mut self, bytes: usize) {
+        self.shim_queue_cap = Some(bytes);
     }
 
     /// Add a machine.
@@ -264,6 +274,9 @@ impl NetBuilder {
         let mut shim_cfg = DifConfig::new(&format!("shim{shim_name}"))
             .with_cubes(crate::qos::QosCube::shim_set())
             .with_sched(self.shim_sched);
+        if let Some(cap) = self.shim_queue_cap {
+            shim_cfg = shim_cfg.with_rmt_queue_cap_bytes(cap);
+        }
         shim_cfg.hello_period = Dur::from_millis(100);
         let na = {
             let node = self.node_mut(a.0);

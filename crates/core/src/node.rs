@@ -13,12 +13,12 @@
 //! until the stack assembles itself — exactly the bottom-up self-formation
 //! the paper's §5 describes.
 
-use crate::app::{AppProcess, FlowOrigin, IpcApi, IpcError};
+use crate::app::{AppProcess, FlowH, FlowOrigin, IpcApi, IpcError};
 use crate::dif::DifConfig;
 use crate::ipcp::{Ipcp, IpcpOut, N1Kind};
-use crate::naming::{Addr, AppName, PortId};
+use crate::naming::{Addr, AppName};
 use crate::qos::QosSpec;
-use crate::rmt::RmtQueue;
+use crate::rmt::{RmtQueue, TxClass};
 use bytes::Bytes;
 use rina_sim::{Agent, Ctx, Dur, Event, IfaceId, SendError, Time};
 use rina_wire::CepId;
@@ -74,9 +74,10 @@ enum Owner {
 struct PortState {
     owner: Owner,
     provider: usize,
-    /// The allocation handle when a local application requested this
-    /// flow; `None` for inbound flows and (N-1) ports of upper IPCPs.
-    handle: Option<u64>,
+    /// Whether a local application requested this flow (its [`FlowH`] is
+    /// the port id); `false` for inbound flows and (N-1) ports of upper
+    /// IPCPs.
+    requested: bool,
     active: bool,
     n1_of_owner: Option<usize>,
 }
@@ -154,7 +155,7 @@ enum Work {
     WritePort {
         port: u64,
         sdu: Bytes,
-        priority: Option<u8>,
+        class: Option<TxClass>,
     },
     DeliverPort {
         port: u64,
@@ -194,7 +195,6 @@ pub struct Node {
     ipcps: Vec<Ipcp>,
     ports: HashMap<u64, PortState>,
     next_port: u64,
-    next_handle: u64,
     timers: HashMap<u64, TimerKind>,
     next_token: u64,
     workq: VecDeque<Work>,
@@ -226,7 +226,6 @@ impl Node {
             ipcps: Vec::new(),
             ports: HashMap::new(),
             next_port: 1,
-            next_handle: 1,
             timers: HashMap::new(),
             next_token: 1,
             workq: VecDeque::new(),
@@ -271,24 +270,19 @@ impl Node {
         mtu: usize,
     ) -> usize {
         let idx = self.add_ipcp(cfg, name);
-        let sched = self.ipcps[idx].cfg.sched;
         self.ipcps[idx].make_shim(side as Addr + 1);
         let n1 = self.ipcps[idx].add_n1(N1Kind::Phys { iface: iface.0, mtu });
         self.ifmap.insert(iface.0, (idx, n1));
         // This queue models the *host's own* buffering toward its NIC
-        // (the network bottleneck queues live in the links). It must
-        // absorb a sponsor's full-RIB resync burst — O(members) small
-        // frames at enrollment time — which a wire-queue-sized cap would
-        // tail-drop with no repair path for distant objects.
-        self.pace.insert(
-            (idx, n1),
-            Pace {
-                queue: RmtQueue::new(sched, 8 * 1024 * 1024),
-                busy_until: Time::ZERO,
-                iface,
-                timer_armed: false,
-            },
-        );
+        // (the network bottleneck queues live in the links). Its default
+        // capacity must absorb a sponsor's full-RIB resync burst —
+        // O(members) small frames at enrollment time — which a
+        // wire-queue-sized cap would tail-drop with no repair path for
+        // distant objects.
+        let c = &self.ipcps[idx].cfg;
+        let queue = RmtQueue::for_cubes(c.sched, c.rmt_queue_cap_bytes, &c.cubes);
+        self.pace
+            .insert((idx, n1), Pace { queue, busy_until: Time::ZERO, iface, timer_armed: false });
         idx
     }
 
@@ -401,6 +395,22 @@ impl Node {
         self.plans.iter().all(|p| p.satisfied) && self.ipcps.iter().all(|i| i.is_enrolled())
     }
 
+    /// Aggregate per-lane RMT transmit-queue counters over every paced
+    /// (N-1) port of this node (key-sorted: the aggregation order is
+    /// deterministic, so exact gating on the result is sound).
+    pub fn rmt_lane_stats(&self) -> [crate::rmt::LaneStats; crate::rmt::LANES] {
+        let mut agg = [crate::rmt::LaneStats::default(); crate::rmt::LANES];
+        let mut keys: Vec<(usize, usize)> = self.pace.keys().copied().collect();
+        keys.sort_unstable();
+        for k in keys {
+            let Some(p) = self.pace.get(&k) else { continue };
+            for (l, s) in p.queue.lane_stats().iter().enumerate() {
+                agg[l].merge(s);
+            }
+        }
+        agg
+    }
+
     // ------------------------------------------------------------------
     // IpcApi backing (called by application callbacks)
     // ------------------------------------------------------------------
@@ -411,55 +421,53 @@ impl Node {
         dst: AppName,
         spec: QosSpec,
         ctx: &mut Ctx<'_>,
-    ) -> u64 {
-        let handle = self.next_handle;
-        self.next_handle += 1;
+    ) -> FlowH {
         let src = self.apps[app].name.clone();
         let Some(provider) = self.pick_provider(&dst) else {
             // Deliver the failure asynchronously, after this callback.
-            let port = self.new_port(Owner::App(app), usize::MAX, Some(handle));
+            let port = self.new_port(Owner::App(app), usize::MAX, true);
             self.workq
                 .push_back(Work::NotifyFailed { port, reason: "no DIF knows the destination" });
-            return handle;
+            return FlowH(port);
         };
-        let port = self.new_port(Owner::App(app), provider, Some(handle));
+        let port = self.new_port(Owner::App(app), provider, true);
         self.ipcps[provider].alloc_flow(port, src, dst, spec);
         self.flush_ipcp(provider, ctx);
         self.arm(ctx, Dur::from_secs(1), TimerKind::AllocTimeout { port });
-        handle
+        FlowH(port)
     }
 
     pub(crate) fn api_write(
         &mut self,
         app: usize,
-        port: PortId,
+        flow: FlowH,
         sdu: Bytes,
         ctx: &mut Ctx<'_>,
     ) -> Result<(), IpcError> {
-        let st = self.ports.get(&port.0).ok_or(IpcError::BadPort)?;
+        let st = self.ports.get(&flow.0).ok_or(IpcError::BadFlow)?;
         if st.owner != Owner::App(app) {
-            return Err(IpcError::BadPort);
+            return Err(IpcError::BadFlow);
         }
         if !st.active {
             return Err(IpcError::NotActive);
         }
         let provider = st.provider;
         let res = self.ipcps[provider]
-            .write_port(port.0, sdu, ctx.now(), None)
+            .write_port(flow.0, sdu, ctx.now(), None)
             .map_err(|_| IpcError::Rejected);
         self.flush_ipcp(provider, ctx);
         res
     }
 
-    pub(crate) fn api_deallocate(&mut self, app: usize, port: PortId, ctx: &mut Ctx<'_>) {
-        let Some(st) = self.ports.get(&port.0) else { return };
+    pub(crate) fn api_deallocate(&mut self, app: usize, flow: FlowH, ctx: &mut Ctx<'_>) {
+        let Some(st) = self.ports.get(&flow.0) else { return };
         if st.owner != Owner::App(app) {
             return;
         }
         let provider = st.provider;
-        self.ipcps[provider].dealloc_port(port.0);
+        self.ipcps[provider].dealloc_port(flow.0);
         self.flush_ipcp(provider, ctx);
-        self.ports.remove(&port.0);
+        self.ports.remove(&flow.0);
     }
 
     pub(crate) fn api_timer(&mut self, app: usize, d: Dur, key: u64, ctx: &mut Ctx<'_>) {
@@ -470,11 +478,13 @@ impl Node {
     // Internals
     // ------------------------------------------------------------------
 
-    fn new_port(&mut self, owner: Owner, provider: usize, handle: Option<u64>) -> u64 {
+    fn new_port(&mut self, owner: Owner, provider: usize, requested: bool) -> u64 {
         let port = self.next_port;
         self.next_port += 1;
-        self.ports
-            .insert(port, PortState { owner, provider, handle, active: false, n1_of_owner: None });
+        self.ports.insert(
+            port,
+            PortState { owner, provider, requested, active: false, n1_of_owner: None },
+        );
         port
     }
 
@@ -512,15 +522,11 @@ impl Node {
             }
             for e in effs {
                 match e {
-                    IpcpOut::TxPhys { n1, frame, priority } => {
-                        self.pace_push(i, n1, frame, priority, ctx);
+                    IpcpOut::TxPhys { n1, frame, class } => {
+                        self.pace_push(i, n1, frame, class, ctx);
                     }
-                    IpcpOut::TxLower { port, sdu, priority } => {
-                        self.workq.push_back(Work::WritePort {
-                            port,
-                            sdu,
-                            priority: Some(priority),
-                        });
+                    IpcpOut::TxLower { port, sdu, class } => {
+                        self.workq.push_back(Work::WritePort { port, sdu, class: Some(class) });
                     }
                     IpcpOut::Deliver { port, sdu } => {
                         self.workq.push_back(Work::DeliverPort { port, sdu });
@@ -568,11 +574,12 @@ impl Node {
         self.dirty.insert(i);
     }
 
-    fn pace_push(&mut self, i: usize, n1: usize, frame: Bytes, priority: u8, ctx: &mut Ctx<'_>) {
+    fn pace_push(&mut self, i: usize, n1: usize, frame: Bytes, class: TxClass, ctx: &mut Ctx<'_>) {
+        let now_ns = ctx.now().nanos();
         let Some(p) = self.pace.get_mut(&(i, n1)) else {
             return;
         };
-        p.queue.push(priority, frame);
+        p.queue.push(class, frame, now_ns);
         self.pace_kick(i, n1, ctx);
     }
 
@@ -595,7 +602,7 @@ impl Node {
             }
             return;
         }
-        let Some(frame) = p.queue.pop() else {
+        let Some(frame) = p.queue.pop(now.nanos()) else {
             return;
         };
         let bw = ctx.iface_bandwidth(p.iface).unwrap_or(1_000_000_000);
@@ -626,10 +633,10 @@ impl Node {
             guard += 1;
             assert!(guard < 5_000_000, "node work loop runaway on {}", self.name);
             match w {
-                Work::WritePort { port, sdu, priority } => {
+                Work::WritePort { port, sdu, class } => {
                     let Some(st) = self.ports.get(&port) else { continue };
                     let provider = st.provider;
-                    let _ = self.ipcps[provider].write_port(port, sdu, ctx.now(), priority);
+                    let _ = self.ipcps[provider].write_port(port, sdu, ctx.now(), class);
                     self.flush_ipcp(provider, ctx);
                 }
                 Work::DeliverPort { port, sdu } => {
@@ -640,7 +647,7 @@ impl Node {
                     match st.owner {
                         Owner::App(a) => {
                             self.call_app(a, ctx, |app, api| {
-                                app.on_sdu(PortId(port), sdu, api);
+                                app.on_sdu(FlowH(port), sdu, api);
                             });
                         }
                         Owner::Upper(u) => {
@@ -658,12 +665,16 @@ impl Node {
                 Work::NotifyActive { port, peer } => {
                     let Some(st) = self.ports.get_mut(&port) else { continue };
                     st.active = true;
-                    let (owner, handle) = (st.owner, st.handle);
+                    let (owner, requested) = (st.owner, st.requested);
                     match owner {
                         Owner::App(a) => {
-                            let origin = handle.map_or(FlowOrigin::Inbound, FlowOrigin::Requested);
+                            let origin = if requested {
+                                FlowOrigin::Requested(FlowH(port))
+                            } else {
+                                FlowOrigin::Inbound
+                            };
                             self.call_app(a, ctx, |app, api| {
-                                app.on_flow_allocated(origin, PortId(port), &peer, api);
+                                app.on_flow_allocated(origin, FlowH(port), &peer, api);
                             });
                         }
                         Owner::Upper(u) => {
@@ -713,8 +724,11 @@ impl Node {
                     let Some(st) = self.ports.remove(&port) else { continue };
                     match st.owner {
                         Owner::App(a) => {
-                            let origin =
-                                st.handle.map_or(FlowOrigin::Inbound, FlowOrigin::Requested);
+                            let origin = if st.requested {
+                                FlowOrigin::Requested(FlowH(port))
+                            } else {
+                                FlowOrigin::Inbound
+                            };
                             self.call_app(a, ctx, |app, api| {
                                 app.on_flow_failed(origin, reason, api);
                             });
@@ -733,7 +747,7 @@ impl Node {
                     match st.owner {
                         Owner::App(a) => {
                             self.call_app(a, ctx, |app, api| {
-                                app.on_flow_closed(PortId(port), api);
+                                app.on_flow_closed(FlowH(port), api);
                             });
                         }
                         Owner::Upper(u) => {
@@ -841,7 +855,7 @@ impl Node {
             let accept = b.on_flow_requested(&src_app);
             self.apps[a].behavior = Some(b);
             if accept {
-                let port = self.new_port(Owner::App(a), ipcp, None);
+                let port = self.new_port(Owner::App(a), ipcp, false);
                 self.ipcps[ipcp].flow_accept(port, src_app, spec, src_addr, src_cep, invoke_id);
             } else {
                 self.ipcps[ipcp].flow_reject(src_addr, invoke_id, -5);
@@ -852,7 +866,7 @@ impl Node {
         // Destination is a higher IPC process on this node? (They are
         // applications of this DIF — auto-accept; adjacency forming.)
         if let Some(u) = self.ipcps.iter().position(|p| p.name == dst_app) {
-            let port = self.new_port(Owner::Upper(u), ipcp, None);
+            let port = self.new_port(Owner::Upper(u), ipcp, false);
             self.ipcps[ipcp].flow_accept(port, src_app, spec, src_addr, src_cep, invoke_id);
             self.flush_ipcp(ipcp, ctx);
             return;
@@ -899,7 +913,7 @@ impl Node {
             }
         }
         let src = self.ipcps[upper].name.clone();
-        let port = self.new_port(Owner::Upper(upper), via, None);
+        let port = self.new_port(Owner::Upper(upper), via, false);
         self.plans[idx].port = Some(port);
         self.ipcps[via].alloc_flow(port, src, dst, spec);
         self.flush_ipcp(via, ctx);

@@ -64,6 +64,10 @@ pub struct QosCube {
     pub params: ConnParams,
     /// Relay scheduling priority (higher = served first).
     pub priority: u8,
+    /// Weighted-round-robin share under [`crate::dif::SchedPolicy::Wrr`]
+    /// (0 acts as 1). Relative, not absolute: a weight-4 cube gets four
+    /// times the bottleneck bytes of a weight-1 cube when both are backlogged.
+    pub weight: u32,
 }
 
 impl QosCube {
@@ -71,8 +75,20 @@ impl QosCube {
     /// priority, reliable), reliable bulk, interactive, and datagram.
     pub fn standard_set() -> Vec<QosCube> {
         vec![
-            QosCube { id: 0, name: "mgmt".into(), params: ConnParams::reliable(), priority: 7 },
-            QosCube { id: 1, name: "reliable".into(), params: ConnParams::reliable(), priority: 2 },
+            QosCube {
+                id: 0,
+                name: "mgmt".into(),
+                params: ConnParams::reliable(),
+                priority: 7,
+                weight: 4,
+            },
+            QosCube {
+                id: 1,
+                name: "reliable".into(),
+                params: ConnParams::reliable(),
+                priority: 2,
+                weight: 2,
+            },
             QosCube {
                 id: 2,
                 name: "interactive".into(),
@@ -82,12 +98,14 @@ impl QosCube {
                     p
                 },
                 priority: 5,
+                weight: 4,
             },
             QosCube {
                 id: 3,
                 name: "datagram".into(),
                 params: ConnParams::unreliable(),
                 priority: 1,
+                weight: 1,
             },
         ]
     }
@@ -110,7 +128,13 @@ impl QosCube {
     /// link preserves order; reliability is a higher DIF's job).
     pub fn shim_set() -> Vec<QosCube> {
         vec![
-            QosCube { id: 0, name: "mgmt".into(), params: ConnParams::reliable(), priority: 7 },
+            QosCube {
+                id: 0,
+                name: "mgmt".into(),
+                params: ConnParams::reliable(),
+                priority: 7,
+                weight: 4,
+            },
             QosCube {
                 id: 2,
                 name: "interactive".into(),
@@ -120,12 +144,14 @@ impl QosCube {
                     p
                 },
                 priority: 5,
+                weight: 4,
             },
             QosCube {
                 id: 3,
                 name: "datagram".into(),
                 params: ConnParams::unreliable(),
                 priority: 1,
+                weight: 1,
             },
         ]
     }
@@ -134,14 +160,52 @@ impl QosCube {
     /// responsibility) — used as the *baseline* in the Figure 3 experiment.
     pub fn transit_set() -> Vec<QosCube> {
         vec![
-            QosCube { id: 0, name: "mgmt".into(), params: ConnParams::reliable(), priority: 7 },
+            QosCube {
+                id: 0,
+                name: "mgmt".into(),
+                params: ConnParams::reliable(),
+                priority: 7,
+                weight: 4,
+            },
             QosCube {
                 id: 3,
                 name: "datagram".into(),
                 params: ConnParams::unreliable(),
                 priority: 1,
+                weight: 1,
             },
         ]
+    }
+}
+
+/// A named, typed choice among the cube sets this crate ships — so callers
+/// configure a DIF's service offering declaratively
+/// ([`crate::dif::DifConfig::with_cube_set`]) instead of hand-assembling
+/// `Vec<QosCube>`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CubeSet {
+    /// [`QosCube::standard_set`]: mgmt, reliable, interactive, datagram.
+    Standard,
+    /// [`QosCube::wireless_set`]: standard with short-haul-lossy
+    /// retransmission policies.
+    Wireless,
+    /// [`QosCube::shim_set`]: no EFCP reliability — honest point-to-point
+    /// shim offering.
+    Shim,
+    /// [`QosCube::transit_set`]: relays never retransmit (Figure 3
+    /// baseline).
+    Transit,
+}
+
+impl CubeSet {
+    /// Materialize the cube vector.
+    pub fn cubes(self) -> Vec<QosCube> {
+        match self {
+            CubeSet::Standard => QosCube::standard_set(),
+            CubeSet::Wireless => QosCube::wireless_set(),
+            CubeSet::Shim => QosCube::shim_set(),
+            CubeSet::Transit => QosCube::transit_set(),
+        }
     }
 }
 

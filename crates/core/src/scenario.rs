@@ -21,14 +21,14 @@
 //! assert!(cs.clients.iter().all(|&c| net.app(c).done()));
 //! ```
 
-use crate::apps::{EchoApp, PingApp, SinkApp, SourceApp};
+use crate::apps::{ChurnDriver, ChurnSinkApp, EchoApp, PingApp, SinkApp, SourceApp};
 use crate::dif::DifConfig;
 use crate::naming::AppName;
 use crate::net::{AppH, DifH, IpcpH, LinkH, Net, NetBuilder, NodeH};
 use crate::qos::QosSpec;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use rina_sim::{topology, Dur, LinkCfg, Time};
+use rina_sim::{topology, Dur, Histogram, LinkCfg, Time};
 
 /// Which graph a [`Topology`] generates.
 #[derive(Clone, Debug)]
@@ -476,6 +476,157 @@ impl SourcesToSink {
     }
 }
 
+/// Parameters of [`Workload::flow_churn`]: how many drivers, how they
+/// pace their open/hold/close cycles, and the QoS-class mix. All jitter
+/// windows are uniform in virtual time under the workload seed.
+#[derive(Clone, Debug)]
+pub struct FlowChurnCfg {
+    /// Seed for destination choice, class mix, and every driver's
+    /// jitter stream.
+    pub seed: u64,
+    /// Churn drivers placed on each non-sink node.
+    pub drivers_per_node: usize,
+    /// Flow holding-time bounds (uniform, inclusive).
+    pub hold: (Dur, Dur),
+    /// Idle-gap bounds between one close and the next open.
+    pub gap: (Dur, Dur),
+    /// SDU payload size (min 9: timestamp + class byte).
+    pub size: usize,
+    /// Interval between SDUs while a flow is held.
+    pub send_interval: Dur,
+    /// Weighted QoS-class mix: `(spec, weight)` per class; a driver's
+    /// class byte is its index in this vector.
+    pub mix: Vec<(QosSpec, u32)>,
+}
+
+impl FlowChurnCfg {
+    /// A moderate default: four drivers per node, seconds-scale holds,
+    /// sub-second gaps, an interactive/reliable/datagram mix.
+    pub fn new(seed: u64) -> Self {
+        FlowChurnCfg {
+            seed,
+            drivers_per_node: 4,
+            hold: (Dur::from_secs(2), Dur::from_secs(6)),
+            gap: (Dur::from_millis(200), Dur::from_millis(900)),
+            size: 64,
+            send_interval: Dur::from_millis(50),
+            mix: vec![
+                (QosSpec::interactive(), 1),
+                (QosSpec::reliable(), 1),
+                (QosSpec::datagram(), 2),
+            ],
+        }
+    }
+
+    /// Builder-style driver-count override.
+    pub fn with_drivers_per_node(mut self, n: usize) -> Self {
+        self.drivers_per_node = n;
+        self
+    }
+
+    /// Builder-style pacing override.
+    pub fn with_pacing(mut self, hold: (Dur, Dur), gap: (Dur, Dur)) -> Self {
+        self.hold = hold;
+        self.gap = gap;
+        self
+    }
+
+    /// Builder-style traffic-shape override.
+    pub fn with_traffic(mut self, size: usize, send_interval: Dur) -> Self {
+        self.size = size;
+        self.send_interval = send_interval;
+        self
+    }
+
+    /// Builder-style class-mix override.
+    pub fn with_mix(mut self, mix: Vec<(QosSpec, u32)>) -> Self {
+        assert!(!mix.is_empty(), "flow churn needs at least one class");
+        self.mix = mix;
+        self
+    }
+}
+
+/// Handles returned by [`Workload::flow_churn`].
+pub struct FlowChurn {
+    /// One per-class-accounting sink per sink node.
+    pub sinks: Vec<AppH<ChurnSinkApp>>,
+    /// Every churn driver, in placement order.
+    pub drivers: Vec<AppH<ChurnDriver>>,
+}
+
+impl FlowChurn {
+    /// Flows held open right now (the concurrency sample — read it at
+    /// fixed virtual-time points for deterministic traces).
+    pub fn concurrent(&self, net: &Net) -> usize {
+        self.drivers.iter().filter(|&&d| net.app(d).active()).count()
+    }
+
+    /// Completed flow allocations across all drivers.
+    pub fn allocs(&self, net: &Net) -> u64 {
+        self.drivers.iter().map(|&d| net.app(d).allocs).sum()
+    }
+
+    /// Allocation failures across all drivers (each was retried).
+    pub fn alloc_failures(&self, net: &Net) -> u64 {
+        self.drivers.iter().map(|&d| net.app(d).alloc_failures).sum()
+    }
+
+    /// Established flows that died mid-life across all drivers —
+    /// congestion shedding by the transport, not allocator refusals.
+    pub fn flow_deaths(&self, net: &Net) -> u64 {
+        self.drivers.iter().map(|&d| net.app(d).flow_deaths).sum()
+    }
+
+    /// Deliberate deallocations across all drivers.
+    pub fn closes(&self, net: &Net) -> u64 {
+        self.drivers.iter().map(|&d| net.app(d).closes).sum()
+    }
+
+    /// SDUs written across all drivers.
+    pub fn sent(&self, net: &Net) -> u64 {
+        self.drivers.iter().map(|&d| net.app(d).sent).sum()
+    }
+
+    /// SDUs received across all sinks.
+    pub fn received(&self, net: &Net) -> u64 {
+        self.sinks.iter().map(|&s| net.app(s).received).sum()
+    }
+
+    /// Allocation latency pooled across drivers, seconds of virtual time.
+    pub fn alloc_latency(&self, net: &Net) -> Histogram {
+        let mut h = Histogram::new();
+        for &d in &self.drivers {
+            for &v in net.app(d).alloc_latency.samples() {
+                h.push(v);
+            }
+        }
+        h
+    }
+
+    /// One-way data latency of `class` pooled across sinks, seconds.
+    pub fn latency_of_class(&self, net: &Net, class: usize) -> Histogram {
+        let mut h = Histogram::new();
+        let class = class.min(crate::apps::CHURN_CLASSES - 1);
+        for &s in &self.sinks {
+            for &v in net.app(s).latency_by_class[class].samples() {
+                h.push(v);
+            }
+        }
+        h
+    }
+
+    /// SDUs received per class byte, pooled across sinks.
+    pub fn received_by_class(&self, net: &Net) -> [u64; crate::apps::CHURN_CLASSES] {
+        let mut out = [0u64; crate::apps::CHURN_CLASSES];
+        for &s in &self.sinks {
+            for (i, &c) in net.app(s).received_by_class.iter().enumerate() {
+                out[i] += c;
+            }
+        }
+        out
+    }
+}
+
 impl Workload {
     /// Full-mesh reachability: every node in `nodes` hosts an echo
     /// responder and pings every other one `count` times with `size`-byte
@@ -669,6 +820,62 @@ impl Workload {
             })
             .collect();
         SourcesToSink { sink, sources }
+    }
+
+    /// The flow-churn workload (ROADMAP item 4): every node of `sink_nodes`
+    /// hosts a per-class [`ChurnSinkApp`], and every node of `nodes` not
+    /// hosting a sink gets `cfg.drivers_per_node` [`ChurnDriver`]s, each
+    /// cycling open → hold → close → reopen against a seeded-random sink,
+    /// with its QoS class drawn from the weighted `cfg.mix`. The whole
+    /// placement — destinations, classes, per-driver jitter streams — is a
+    /// pure function of `cfg.seed`, so a churn population's entire
+    /// lifetime is byte-identical at any host thread count.
+    pub fn flow_churn(
+        b: &mut NetBuilder,
+        dif: DifH,
+        nodes: &[NodeH],
+        sink_nodes: &[NodeH],
+        cfg: &FlowChurnCfg,
+    ) -> FlowChurn {
+        assert!(!sink_nodes.is_empty(), "flow churn needs at least one sink node");
+        assert!(!cfg.mix.is_empty(), "flow churn needs at least one class");
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let sink_name = |n: NodeH| AppName::new(&format!("churnsink.{}", n.0));
+        let sinks: Vec<AppH<ChurnSinkApp>> = sink_nodes
+            .iter()
+            .map(|&n| b.app(n, sink_name(n), dif, ChurnSinkApp::default()))
+            .collect();
+        let total_weight: u32 = cfg.mix.iter().map(|&(_, w)| w.max(1)).sum();
+        let mut drivers = Vec::new();
+        for &n in nodes.iter().filter(|n| !sink_nodes.contains(n)) {
+            for k in 0..cfg.drivers_per_node {
+                let dst = sink_nodes[rng.gen_range(0..sink_nodes.len())];
+                let mut pick = rng.gen_range(0..total_weight);
+                let mut class = 0usize;
+                for (i, &(_, w)) in cfg.mix.iter().enumerate() {
+                    let w = w.max(1);
+                    if pick < w {
+                        class = i;
+                        break;
+                    }
+                    pick -= w;
+                }
+                let spec = cfg.mix[class].0;
+                let seed = rng.gen_range(0..u64::MAX);
+                let d = ChurnDriver::new(
+                    sink_name(dst),
+                    spec,
+                    class as u8,
+                    cfg.size,
+                    cfg.send_interval,
+                    cfg.hold,
+                    cfg.gap,
+                    seed,
+                );
+                drivers.push(b.app(n, AppName::new(&format!("churn.{}.{k}", n.0)), dif, d));
+            }
+        }
+        FlowChurn { sinks, drivers }
     }
 }
 
@@ -1103,6 +1310,64 @@ mod tests {
         let mut b = NetBuilder::new(9);
         let fab = Topology::ring(5).materialize(&mut b);
         let _ = Workload::ping_sampled(&mut b, fab.dif, &fab.nodes, 16, 3, 1, 16);
+    }
+
+    #[test]
+    fn flow_churn_places_drivers_on_non_sink_nodes() {
+        let mut b = NetBuilder::new(7);
+        let fab = Topology::star(5).materialize(&mut b);
+        let cfg = FlowChurnCfg::new(11).with_drivers_per_node(3);
+        let churn = Workload::flow_churn(&mut b, fab.dif, &fab.all(), &[fab.node(0)], &cfg);
+        assert_eq!(churn.sinks.len(), 1);
+        assert_eq!(churn.drivers.len(), 4 * 3, "every non-sink node gets drivers_per_node");
+    }
+
+    #[test]
+    fn flow_churn_classes_and_destinations_deterministic_in_seed() {
+        let place = |seed| {
+            let mut b = NetBuilder::new(1);
+            let fab = Topology::ring(6).materialize(&mut b);
+            let cfg = FlowChurnCfg::new(seed).with_drivers_per_node(2);
+            let churn = Workload::flow_churn(
+                &mut b,
+                fab.dif,
+                &fab.all(),
+                &[fab.node(0), fab.node(3)],
+                &cfg,
+            );
+            let net = b.build();
+            churn
+                .drivers
+                .iter()
+                .map(|&d| (net.app(d).class, net.app(d).dst.clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(place(5), place(5));
+        assert_ne!(place(5), place(6));
+    }
+
+    #[test]
+    fn flow_churn_cycles_flows_end_to_end() {
+        let mut b = NetBuilder::new(42);
+        let fab = Topology::line(3).materialize(&mut b);
+        let cfg = FlowChurnCfg::new(9)
+            .with_drivers_per_node(2)
+            .with_pacing(
+                (Dur::from_millis(300), Dur::from_millis(600)),
+                (Dur::from_millis(50), Dur::from_millis(150)),
+            )
+            .with_traffic(32, Dur::from_millis(20));
+        let churn = Workload::flow_churn(&mut b, fab.dif, &fab.all(), &[fab.node(2)], &cfg);
+        let mut net = b.build();
+        net.run_until_assembled(Dur::from_secs(10), Dur::from_millis(200));
+        net.run_for(Dur::from_secs(5));
+        let drivers = churn.drivers.len() as u64;
+        assert!(churn.allocs(&net) > drivers, "every driver reopened at least once");
+        assert!(churn.closes(&net) > 0, "flows were deliberately closed");
+        assert!(churn.received(&net) > 0, "data flowed");
+        let by_class = churn.received_by_class(&net);
+        assert_eq!(by_class.iter().sum::<u64>(), churn.received(&net));
+        assert!(churn.alloc_latency(&net).count() as u64 == churn.allocs(&net));
     }
 
     #[test]

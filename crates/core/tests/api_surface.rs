@@ -1,0 +1,57 @@
+//! Source-level pin on the application-facing API: flows are **typed**.
+//!
+//! The paper's application interface names destinations and states QoS;
+//! the handle it returns is opaque ([`rina::app::FlowH`]). This test
+//! fails if a raw integer or an internal port identifier ever leaks back
+//! into the app-facing surface (`app.rs`) — the kind of regression type
+//! checking alone cannot catch once an `u64` alias compiles again.
+
+const APP_API: &str = include_str!("../src/app.rs");
+
+/// No app-facing signature mentions the data-plane's internal port type.
+#[test]
+fn app_api_never_exposes_port_ids() {
+    assert!(
+        !APP_API.contains("PortId"),
+        "app.rs mentions PortId — internal port identifiers must not \
+         appear in the application-facing API"
+    );
+}
+
+/// Every flow-bearing public signature uses the typed handle, never a
+/// bare integer.
+#[test]
+fn flow_parameters_are_typed_handles() {
+    for (i, line) in APP_API.lines().enumerate() {
+        let sig = line.trim_start();
+        if !(sig.starts_with("pub fn") || sig.starts_with("fn ")) {
+            continue;
+        }
+        let takes_flow = sig.contains("flow:") || sig.contains("-> FlowH");
+        if sig.contains("flow:") {
+            assert!(
+                sig.contains("flow: FlowH"),
+                "app.rs:{}: flow parameter is not the typed handle: {sig}",
+                i + 1
+            );
+        }
+        if takes_flow || sig.contains("origin:") {
+            assert!(
+                !sig.contains("u64") || sig.contains("key: u64"),
+                "app.rs:{}: raw integer in a flow-bearing signature: {sig}",
+                i + 1
+            );
+        }
+    }
+}
+
+/// The handle's payload stays crate-private: applications cannot reach
+/// the underlying integer, so it cannot be forged or arithmetic'd on.
+#[test]
+fn flow_handle_payload_is_crate_private() {
+    assert!(
+        APP_API.contains("pub struct FlowH(pub(crate) u64);"),
+        "FlowH payload is no longer pub(crate) — an application could \
+         mint or unwrap raw flow identifiers"
+    );
+}

@@ -236,7 +236,7 @@ fn multihoming_failover() {
 #[test]
 fn deallocation_closes_peer() {
     struct Closer {
-        port: Option<PortId>,
+        flow: Option<FlowH>,
         sent: bool,
     }
     impl AppProcess for Closer {
@@ -249,8 +249,8 @@ fn deallocation_closes_peer() {
                     api.allocate_flow(&AppName::new("watcher"), QosSpec::reliable());
                 }
                 2 => {
-                    if let Some(p) = self.port {
-                        api.deallocate(p);
+                    if let Some(f) = self.flow {
+                        api.deallocate(f);
                     }
                 }
                 _ => {}
@@ -259,14 +259,15 @@ fn deallocation_closes_peer() {
         fn on_flow_allocated(
             &mut self,
             origin: FlowOrigin,
-            port: PortId,
+            flow: FlowH,
             _p: &AppName,
             api: &mut IpcApi<'_, '_, '_>,
         ) {
             assert!(!origin.is_inbound(), "this app only requests flows");
-            self.port = Some(port);
+            assert_eq!(origin.handle(), Some(flow), "requested flows keep their handle");
+            self.flow = Some(flow);
             self.sent = true;
-            let _ = api.write(port, Bytes::from_static(b"bye soon"));
+            let _ = api.write(flow, Bytes::from_static(b"bye soon"));
             api.timer_in(Dur::from_millis(200), 2);
         }
         fn on_flow_failed(&mut self, _o: FlowOrigin, _r: &str, api: &mut IpcApi<'_, '_, '_>) {
@@ -284,7 +285,7 @@ fn deallocation_closes_peer() {
         fn on_flow_allocated(
             &mut self,
             origin: FlowOrigin,
-            _p: PortId,
+            _f: FlowH,
             _n: &AppName,
             _a: &mut IpcApi<'_, '_, '_>,
         ) {
@@ -292,10 +293,10 @@ fn deallocation_closes_peer() {
                 self.inbound += 1;
             }
         }
-        fn on_sdu(&mut self, _p: PortId, _s: Bytes, _a: &mut IpcApi<'_, '_, '_>) {
+        fn on_sdu(&mut self, _f: FlowH, _s: Bytes, _a: &mut IpcApi<'_, '_, '_>) {
             self.got += 1;
         }
-        fn on_flow_closed(&mut self, _p: PortId, _a: &mut IpcApi<'_, '_, '_>) {
+        fn on_flow_closed(&mut self, _f: FlowH, _a: &mut IpcApi<'_, '_, '_>) {
             self.closed += 1;
         }
     }
@@ -309,7 +310,7 @@ fn deallocation_closes_peer() {
     b.join(d, h2);
     b.adjacency_over_link(d, h1, h2, l);
     let w = b.app(h2, AppName::new("watcher"), d, Watcher::default());
-    b.app(h1, AppName::new("closer"), d, Closer { port: None, sent: false });
+    b.app(h1, AppName::new("closer"), d, Closer { flow: None, sent: false });
     let mut net = b.build();
     net.run_until_assembled(Dur::from_secs(10), Dur::from_millis(100));
     net.run_for(Dur::from_secs(2));
@@ -352,12 +353,18 @@ fn barabasi_albert_sixty_nodes_assemble_and_route() {
     assert!(net.ipcp(hub_ipcp).fwd().len() >= 30, "hub fwd {}", net.ipcp(hub_ipcp).fwd().len());
 }
 
-/// Applications never see addresses: the API surface carries only names
-/// and local port ids (compile-time property made explicit).
+/// Applications never see addresses — nor raw integers: the API surface
+/// carries only names and the opaque typed flow handle (compile-time
+/// property made explicit).
 #[test]
 fn api_exposes_no_addresses() {
-    // QosSpec + AppName in; PortId out. The assertion is the signature of
-    // IpcApi::allocate_flow itself; here we just confirm PortId is opaque.
-    let p = PortId(42);
-    assert_eq!(format!("{p}"), "port:42");
+    // QosSpec + AppName in; FlowH out. The assertion is the signature of
+    // IpcApi::allocate_flow itself; here we just confirm FlowH is opaque:
+    // it renders, compares, and hashes, but cannot be fabricated from an
+    // integer outside the crate (its field is pub(crate)).
+    fn takes_only_flow_handles(f: FlowH) -> String {
+        format!("{f}")
+    }
+    let _ = takes_only_flow_handles;
+    assert!(std::mem::size_of::<FlowH>() <= 8, "handles stay copy-cheap");
 }

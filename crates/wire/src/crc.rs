@@ -1,22 +1,38 @@
-//! CRC-32 (IEEE 802.3 polynomial), table-driven.
+//! CRC-32 (IEEE 802.3 polynomial), slice-by-8 table-driven.
 //!
 //! Links in the simulator lose frames but never corrupt them, so in normal
 //! operation the checksum always verifies; it is kept on the wire for
 //! realism, for fault-injection tests, and so the header overhead accounting
 //! in the experiments matches a deployable format.
+//!
+//! Every relayed PDU is checked on arrival and re-summed on departure, so
+//! this function dominates the data-plane profile under flow churn (E13).
+//! The slice-by-8 kernel folds eight input bytes per step through eight
+//! precomputed tables — the same polynomial, the same result for every
+//! input as the plain byte-at-a-time loop (pinned by the test vectors),
+//! at a fraction of the per-byte cost.
 
-/// Lazily built reflected-polynomial lookup table.
-fn table() -> &'static [u32; 256] {
+/// Lazily built reflected-polynomial lookup tables. `t[0]` is the classic
+/// byte-at-a-time table; `t[k]` maps a byte to its CRC contribution `k`
+/// positions earlier in an 8-byte block.
+fn tables() -> &'static [[u32; 256]; 8] {
     use std::sync::OnceLock;
-    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
-    TABLE.get_or_init(|| {
-        let mut t = [0u32; 256];
-        for (i, e) in t.iter_mut().enumerate() {
+    static TABLES: OnceLock<[[u32; 256]; 8]> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut t = [[0u32; 256]; 8];
+        for (i, slot) in t[0].iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
                 c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
             }
-            *e = c;
+            *slot = c;
+        }
+        for i in 0..256usize {
+            let mut c = t[0][i];
+            for k in 1..8 {
+                c = t[0][(c & 0xFF) as usize] ^ (c >> 8);
+                t[k][i] = c;
+            }
         }
         t
     })
@@ -24,10 +40,23 @@ fn table() -> &'static [u32; 256] {
 
 /// Compute the CRC-32 of `data`.
 pub fn crc32(data: &[u8]) -> u32 {
-    let t = table();
+    let t = tables();
     let mut c = 0xFFFF_FFFFu32;
-    for &b in data {
-        c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    let mut chunks = data.chunks_exact(8);
+    for ch in &mut chunks {
+        let lo = u32::from_le_bytes([ch[0], ch[1], ch[2], ch[3]]) ^ c;
+        let hi = u32::from_le_bytes([ch[4], ch[5], ch[6], ch[7]]);
+        c = t[7][(lo & 0xFF) as usize]
+            ^ t[6][((lo >> 8) & 0xFF) as usize]
+            ^ t[5][((lo >> 16) & 0xFF) as usize]
+            ^ t[4][(lo >> 24) as usize]
+            ^ t[3][(hi & 0xFF) as usize]
+            ^ t[2][((hi >> 8) & 0xFF) as usize]
+            ^ t[1][((hi >> 16) & 0xFF) as usize]
+            ^ t[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        c = t[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
     }
     c ^ 0xFFFF_FFFF
 }
@@ -42,6 +71,25 @@ mod tests {
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
         assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn slice_by_8_matches_byte_at_a_time() {
+        // Reference implementation: the classic one-byte loop.
+        let reference = |data: &[u8]| -> u32 {
+            let t = &tables()[0];
+            let mut c = 0xFFFF_FFFFu32;
+            for &b in data {
+                c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+            }
+            c ^ 0xFFFF_FFFF
+        };
+        // Every length 0..=64 exercises the 8-byte kernel and every
+        // possible remainder, with non-repeating content.
+        let buf: Vec<u8> = (0..64u32).map(|i| (i.wrapping_mul(167) ^ 0x5A) as u8).collect();
+        for len in 0..=buf.len() {
+            assert_eq!(crc32(&buf[..len]), reference(&buf[..len]), "len {len}");
+        }
     }
 
     #[test]
