@@ -1,0 +1,50 @@
+//! Microbenchmarks for the zero-copy relay kernels: the incremental
+//! CRC-32 trailer patch against a full re-sum, and the `PduView` peek
+//! against a full `Pdu::decode`, at relay-typical frame sizes.
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rina_wire::crc::{crc32, crc32_patch};
+use rina_wire::{DataPdu, Pdu, PduView};
+
+fn frame_of(payload_len: usize) -> bytes::Bytes {
+    let pdu = Pdu::Data(DataPdu {
+        dest_addr: 1_000,
+        src_addr: 7,
+        qos_id: 2,
+        dest_cep: 11,
+        src_cep: 13,
+        seq: 12_345,
+        flags: 0,
+        ttl: 16,
+        payload: bytes::Bytes::from(vec![0xA5u8; payload_len]),
+    });
+    pdu.encode()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire_kernels");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for &len in &[64usize, 1400] {
+        let frame = frame_of(len);
+        let body_len = frame.len() - 4;
+        let v = PduView::peek(&frame).expect("encoder frame peeks");
+        let old_crc = u32::from_be_bytes(frame[body_len..].try_into().expect("4-byte trailer"));
+        let dist = body_len - 1 - v.ttl_offset;
+        g.bench_function(format!("crc_patch/{len}"), |b| {
+            b.iter(|| crc32_patch(black_box(old_crc), black_box(dist), 16, 15));
+        });
+        g.bench_function(format!("crc_full_resum/{len}"), |b| {
+            b.iter(|| crc32(black_box(&frame[..body_len])));
+        });
+        g.bench_function(format!("peek/{len}"), |b| {
+            b.iter(|| PduView::peek(black_box(&frame)));
+        });
+        g.bench_function(format!("decode/{len}"), |b| {
+            b.iter(|| Pdu::decode(black_box(&frame)).expect("valid frame"));
+        });
+    }
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

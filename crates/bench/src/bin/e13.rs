@@ -39,22 +39,35 @@ fn main() {
     }
     // Largest cells first so the pool starts the stragglers early.
     sizes.sort_unstable_by(|a, b| b.cmp(a));
-    let mut cells: Vec<(usize, SchedPolicy)> = Vec::new();
+    let mut cells: Vec<(usize, SchedPolicy, bool)> = Vec::new();
     for &n in &sizes {
         for &s in &scheds {
-            cells.push((n, s));
+            cells.push((n, s, false));
+        }
+        // One coupled cell per size: priority scheduling with the
+        // RMT→EFCP congestion feedback flipped on, so the table shows
+        // what the backoff does to the same congested population.
+        if scheds.contains(&SchedPolicy::Priority) {
+            cells.push((n, SchedPolicy::Priority, true));
         }
     }
     eprintln!("e13: {} cells on {} threads", cells.len(), threads);
     let t0 = std::time::Instant::now();
-    let rows = par_map(threads, cells, |(n, sched)| e13_flows::run(n, 5, sched, 1_300 + n as u64));
+    let rows = par_map(threads, cells, |(n, sched, cong)| {
+        let profile = e13_flows::Profile { cong_from_rmt: cong, ..Default::default() };
+        let mut r = e13_flows::run_with(n, 5, sched, 1_300 + n as u64, profile);
+        if cong {
+            r.sched = "priority+cong";
+        }
+        r
+    });
     println!(
-        "| members | drivers | sched | sustained | peak | allocs/s | alloc p99 (ms) | deaths | inter p99 (ms) | bulk p99 (ms) | drops inter | drops bulk | wall (s) |"
+        "| members | drivers | sched | sustained | peak | allocs/s | alloc p99 (ms) | deaths | inter p99 (ms) | bulk p99 (ms) | drops inter | drops bulk | relay fast | relay slow | backoffs | wall (s) |"
     );
-    println!("|---|---|---|---|---|---|---|---|---|---|---|---|---|");
+    println!("|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|");
     for r in &rows {
         println!(
-            "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |",
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |",
             r.members,
             r.drivers,
             r.sched,
@@ -67,6 +80,9 @@ fn main() {
             fmt(r.bulk_p99_ms),
             r.rmt_drops_inter,
             r.rmt_drops_bulk,
+            r.relay_fast,
+            r.relay_slow,
+            r.cong_backoffs,
             fmt(r.wall_s)
         );
     }

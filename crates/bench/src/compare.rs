@@ -273,6 +273,12 @@ pub fn default_gates(wall_tol: f64) -> Vec<(&'static str, Gate)> {
         ("flow_recv", Gate::Exact),
         ("rmt_drops", Gate::Exact),
         ("rmt_deq_bytes", Gate::Exact),
+        // Relay fast/slow-path split (deterministic, gated exactly):
+        // `relay_fast` dropping toward zero means the zero-copy
+        // peek-and-patch path stopped engaging; `relay_slow` growing
+        // means transit traffic is falling back to decode → re-encode.
+        ("relay_fast", Gate::Exact),
+        ("relay_slow", Gate::Exact),
         ("wall_s", Gate::WallClock { frac: wall_tol }),
     ]
 }
@@ -609,6 +615,8 @@ mod tests {
                             ("flow_recv".into(), Json::Num(60.0)),
                             ("rmt_drops".into(), Json::Num(0.0)),
                             ("rmt_deq_bytes".into(), Json::Num(4096.0)),
+                            ("relay_fast".into(), Json::Num(30.0)),
+                            ("relay_slow".into(), Json::Num(2.0)),
                             ("wall_s".into(), Json::Num(w)),
                         ])
                     })

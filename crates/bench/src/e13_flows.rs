@@ -66,6 +66,15 @@ pub struct FlowsRow {
     pub rmt_deq_bytes: u64,
     /// Widest single-queue backlog observed anywhere (bytes).
     pub rmt_backlog_peak: u64,
+    /// Transit PDUs forwarded via the zero-copy peek-and-patch fast
+    /// path, summed over every member (deterministic — gated exactly).
+    pub relay_fast: u64,
+    /// Transit PDUs forwarded via the decode → re-encode slow path.
+    pub relay_slow: u64,
+    /// EFCP window halvings triggered by local RMT push-out/tail-drop
+    /// ([`Profile::cong_from_rmt`]; 0 when the coupling is off), summed
+    /// over flows still open at the end of the window.
+    pub cong_backoffs: u64,
     /// Wall-clock seconds for the cell (machine-dependent).
     pub wall_s: f64,
 }
@@ -89,6 +98,9 @@ row_json!(FlowsRow {
     rmt_drops_bulk,
     rmt_deq_bytes,
     rmt_backlog_peak,
+    relay_fast,
+    relay_slow,
+    cong_backoffs,
     wall_s,
 });
 
@@ -118,11 +130,22 @@ pub struct Profile {
     pub queue_cap: usize,
     /// Measurement window of virtual time (after the ramp).
     pub measure: Dur,
+    /// Couple EFCP windows to RMT pressure ([`DifConfig::cong_from_rmt`]):
+    /// queue push-outs and tail-drops halve the originating flow's window
+    /// at most once per RTT, instead of waiting out the retransmission
+    /// timer. Off in the baseline cells.
+    pub cong_from_rmt: bool,
 }
 
 impl Default for Profile {
     fn default() -> Self {
-        Profile { bw_bps: 12_000_000, sinks: 8, queue_cap: 128 * 1024, measure: Dur::from_secs(25) }
+        Profile {
+            bw_bps: 12_000_000,
+            sinks: 8,
+            queue_cap: 128 * 1024,
+            measure: Dur::from_secs(25),
+            cong_from_rmt: false,
+        }
     }
 }
 
@@ -144,11 +167,13 @@ pub fn run_with(
     let mut s = Scenario::new("e13-flows", seed);
     s.set_shim_sched(sched);
     s.set_shim_queue_cap(profile.queue_cap);
+    s.set_shim_cong_from_rmt(profile.cong_from_rmt);
     let link = LinkCfg::wired().with_bandwidth(profile.bw_bps).with_delay(Dur::from_millis(2));
     let dif_cfg = DifConfig::new("flows")
         .with_cube_set(CubeSet::Standard)
         .with_sched(sched)
-        .with_rmt_queue_cap_bytes(profile.queue_cap);
+        .with_rmt_queue_cap_bytes(profile.queue_cap)
+        .with_cong_from_rmt(profile.cong_from_rmt);
     let fab = Topology::barabasi_albert(n, 2, seed)
         .with_link(link)
         .with_dif(dif_cfg)
@@ -176,6 +201,7 @@ pub fn run_with(
         ]);
     let churn = Workload::flow_churn(&mut s, fab.dif, &fab.all(), &sink_nodes, &churn_cfg);
     let drivers = churn.drivers.len();
+    let ipcps = fab.member_ipcps(&s);
 
     let limit = Dur::from_secs(600) * (1 + n as u64 / 500);
     let mut run = s.assemble(limit, Dur::from_millis(500));
@@ -229,6 +255,9 @@ pub fn run_with(
         rmt_drops_bulk: lane[1].drops + lane[1].evict + lane[3].drops + lane[3].evict,
         rmt_deq_bytes: lane.iter().map(|s| s.deq_bytes).sum(),
         rmt_backlog_peak: lane.iter().map(|s| s.backlog_peak_bytes).max().unwrap_or(0),
+        relay_fast: ipcps.iter().map(|&h| net.ipcp(h).stats.relay_fast).sum(),
+        relay_slow: ipcps.iter().map(|&h| net.ipcp(h).stats.relay_slow).sum(),
+        cong_backoffs: ipcps.iter().map(|&h| net.ipcp(h).conn_stats_sum().cong_backoffs).sum(),
         wall_s: wall_t0.elapsed().as_secs_f64(),
     }
 }
@@ -246,6 +275,7 @@ mod tests {
             sinks: 1,
             queue_cap: 64 * 1024,
             measure: Dur::from_secs(measure_s),
+            cong_from_rmt: false,
         }
     }
 
@@ -289,6 +319,27 @@ mod tests {
             wrr.bulk_p99_ms.is_finite() && wrr.sdus_received > wrr.sdus_sent / 4,
             "bulk starved: {wrr:?}"
         );
+    }
+
+    /// The zero-copy fast path carries (nearly) all transit traffic,
+    /// and flipping the RMT→EFCP congestion coupling on actually backs
+    /// windows off under the same congestion.
+    #[test]
+    fn fast_path_dominates_and_cong_coupling_engages() {
+        let base = run_with(24, 4, SchedPolicy::Priority, 37, tight(10));
+        assert!(base.relay_fast > 0, "fast path never ran: {base:?}");
+        let relayed = base.relay_fast + base.relay_slow;
+        assert!(
+            base.relay_fast * 100 >= relayed * 95,
+            "fast path carried {} of {} relayed PDUs",
+            base.relay_fast,
+            relayed
+        );
+        assert_eq!(base.cong_backoffs, 0, "coupling is off by default: {base:?}");
+        let mut p = tight(10);
+        p.cong_from_rmt = true;
+        let cong = run_with(24, 4, SchedPolicy::Priority, 37, p);
+        assert!(cong.cong_backoffs > 0, "coupling never signalled a flow: {cong:?}");
     }
 
     /// Determinism: an identical cell reproduces every counter exactly.

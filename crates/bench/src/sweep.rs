@@ -327,6 +327,11 @@ pub struct SweepRow {
     /// non-flow cells this counts the management traffic alone, so the
     /// queue accounting is exact-gated in every cell of the grid.
     pub rmt_deq_bytes: u64,
+    /// Transit PDUs forwarded via the zero-copy peek-and-patch fast
+    /// path, summed over every member (deterministic — gated exactly).
+    pub relay_fast: u64,
+    /// Transit PDUs forwarded via the decode → re-encode slow path.
+    pub relay_slow: u64,
     /// Wall-clock seconds for the cell (machine-dependent).
     pub wall_s: f64,
 }
@@ -358,6 +363,8 @@ row_json!(SweepRow {
     flow_recv,
     rmt_drops,
     rmt_deq_bytes,
+    relay_fast,
+    relay_slow,
     wall_s,
 });
 
@@ -602,6 +609,8 @@ pub fn run_cell(cell: &SweepCell, base_seed: u64) -> SweepRow {
             rmt_deq_bytes += st.deq_bytes;
         }
     }
+    let relay_fast: u64 = ipcps.iter().map(|&h| net.ipcp(h).stats.relay_fast).sum();
+    let relay_slow: u64 = ipcps.iter().map(|&h| net.ipcp(h).stats.relay_slow).sum();
     SweepRow {
         id: cell.id(),
         size: cell.size,
@@ -629,6 +638,8 @@ pub fn run_cell(cell: &SweepCell, base_seed: u64) -> SweepRow {
         flow_recv,
         rmt_drops,
         rmt_deq_bytes,
+        relay_fast,
+        relay_slow,
         wall_s: wall_t0.elapsed().as_secs_f64(),
     }
 }
@@ -829,6 +840,8 @@ mod tests {
             flow_recv: 0,
             rmt_drops: 0,
             rmt_deq_bytes: 4_096,
+            relay_fast: 7,
+            relay_slow: 2,
             wall_s: 0.123456,
         };
         let doc = sweep_doc(std::slice::from_ref(&row), 4);

@@ -66,6 +66,30 @@ impl Bytes {
         assert!(lo <= hi && hi <= self.len(), "slice {lo}..{hi} out of bounds of {}", self.len());
         Bytes { data: Arc::clone(&self.data), start: self.start + lo, end: self.start + hi }
     }
+
+    /// Mutable access to this view's bytes, copy-on-write.
+    ///
+    /// If this `Bytes` is the sole owner of its backing allocation, the
+    /// bytes are patched in place (zero copy — the relay fast path). If the
+    /// allocation is shared with clones or sub-slices (e.g. a flood batch
+    /// fanned out across ports), the view's range is first copied into a
+    /// fresh private allocation so the other holders never observe the
+    /// mutation.
+    pub fn make_mut(&mut self) -> &mut [u8] {
+        if Arc::get_mut(&mut self.data).is_none() {
+            let copy: Arc<[u8]> = self.data[self.start..self.end].into();
+            self.data = copy;
+            self.start = 0;
+            self.end = self.data.len();
+        }
+        let (start, end) = (self.start, self.end);
+        // The branch above guaranteed uniqueness; a concurrent clone is
+        // impossible while we hold `&mut self`.
+        match Arc::get_mut(&mut self.data) {
+            Some(buf) => &mut buf[start..end],
+            None => unreachable!("sole owner after copy-on-write"),
+        }
+    }
 }
 
 impl Deref for Bytes {
@@ -161,6 +185,34 @@ mod tests {
         assert!(Bytes::new().is_empty());
         assert_eq!(Bytes::from_static(b"abc"), Bytes::copy_from_slice(b"abc"));
         assert_eq!(Bytes::from_static(b"abc"), *b"abc");
+    }
+
+    #[test]
+    fn make_mut_unique_patches_in_place() {
+        let mut b = Bytes::from(vec![1u8, 2, 3, 4]);
+        let before = b.as_ptr();
+        b.make_mut()[2] = 9;
+        assert_eq!(&b[..], &[1, 2, 9, 4]);
+        assert_eq!(b.as_ptr(), before, "sole owner must not reallocate");
+    }
+
+    #[test]
+    fn make_mut_shared_copies_on_write() {
+        let mut a = Bytes::from(vec![1u8, 2, 3, 4]);
+        let b = a.clone();
+        a.make_mut()[0] = 9;
+        assert_eq!(&a[..], &[9, 2, 3, 4]);
+        assert_eq!(&b[..], &[1, 2, 3, 4], "clone must not see the write");
+        assert_ne!(a.as_ptr(), b.as_ptr());
+    }
+
+    #[test]
+    fn make_mut_on_slice_view_keeps_parent_intact() {
+        let parent = Bytes::from(vec![0u8, 1, 2, 3, 4, 5]);
+        let mut view = parent.slice(2..5);
+        view.make_mut()[0] = 9;
+        assert_eq!(&view[..], &[9, 3, 4]);
+        assert_eq!(&parent[..], &[0, 1, 2, 3, 4, 5]);
     }
 
     #[test]

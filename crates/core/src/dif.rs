@@ -135,6 +135,14 @@ pub struct DifConfig {
     /// absorb sync bursts, small enough that congestion shows up as
     /// scheduling pressure rather than unbounded memory.
     pub rmt_queue_cap_bytes: usize,
+    /// Couple EFCP congestion control to RMT queue pressure: when a
+    /// local port queue pushes out or tail-drops one of this member's
+    /// own data PDUs, the owning connection halves its window (at most
+    /// once per RTT) instead of waiting for the retransmission timer.
+    /// Off by default — the no-coupling baseline. First rung of the
+    /// RMT↔EFCP coupling: only locally-originated flows react; transit
+    /// flows dropped at a relay still discover loss end to end.
+    pub cong_from_rmt: bool,
 }
 
 impl DifConfig {
@@ -159,6 +167,7 @@ impl DifConfig {
             scoped_dir: false,
             dir_cache_cap: 128,
             rmt_queue_cap_bytes: 8 * 1024 * 1024,
+            cong_from_rmt: false,
         }
     }
 
@@ -275,6 +284,13 @@ impl DifConfig {
     /// caching; only meaningful with [`DifConfig::with_scoped_dir`]).
     pub fn with_dir_cache_cap(mut self, cap: u32) -> Self {
         self.dir_cache_cap = cap;
+        self
+    }
+
+    /// Builder-style RMT→EFCP congestion-coupling override (see
+    /// [`DifConfig::cong_from_rmt`]).
+    pub fn with_cong_from_rmt(mut self, on: bool) -> Self {
+        self.cong_from_rmt = on;
         self
     }
 

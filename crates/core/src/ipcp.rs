@@ -31,7 +31,7 @@ use bytes::Bytes;
 use rina_efcp::{ConnId, Connection};
 use rina_rib::{subtree_of, DigestTable, Rib, RibEvent, RibObject};
 use rina_sim::{Dur, Time};
-use rina_wire::{CdapMsg, CepId, MgmtPdu, Pdu};
+use rina_wire::{CdapMsg, CepId, MgmtPdu, Pdu, PduKind, PduView};
 use std::collections::BTreeMap;
 
 /// CDAP result code a sponsor returns when its admission window is full:
@@ -252,6 +252,12 @@ pub struct IpcpStats {
     pub no_route: u64,
     /// PDUs dropped because TTL expired.
     pub ttl_drops: u64,
+    /// Relayed PDUs forwarded by the zero-copy fast path: TTL byte and
+    /// CRC trailer patched in place, no decode, no re-encode.
+    pub relay_fast: u64,
+    /// Relayed PDUs that took the full decode → decrement → re-encode
+    /// slow path (TTL about to expire, or the peek declined the frame).
+    pub relay_slow: u64,
     /// Management PDUs sent (all kinds).
     pub mgmt_tx: u64,
     /// RIEP object updates sent (dissemination + re-flood).
@@ -360,7 +366,18 @@ pub struct Ipcp {
     /// immediately (failure rerouting stays fast).
     engine: RouteEngine,
     n1: Vec<N1Port>,
+    /// Relay index over `n1`: peer address → lowest live port toward it.
+    /// Rebuilt on every port up/down/peer-address change so the per-frame
+    /// next-hop port lookup is a map probe, not a linear port scan.
+    peer_index: BTreeMap<Addr, usize>,
     conns: BTreeMap<CepId, FlowState>,
+    /// Connections whose EFCP timer state may have moved since the last
+    /// [`Ipcp::conn_timer_wants`] pass. Every mutation path (pump, local
+    /// congestion, creation) records the cep here so the node's per-event
+    /// timer re-sync polls only the touched connections instead of
+    /// scanning the whole table (hundreds of entries on a flow-churn
+    /// sink member, once per delivered PDU).
+    timer_dirty: Vec<CepId>,
     raw: BTreeMap<CepId, RawFlow>,
     next_cep: CepId,
     next_invoke: u32,
@@ -463,7 +480,9 @@ impl Ipcp {
             },
             engine: RouteEngine::new(0),
             n1: Vec::new(),
+            peer_index: BTreeMap::new(),
             conns: BTreeMap::new(),
+            timer_dirty: Vec::new(),
             raw: BTreeMap::new(),
             next_cep: 1,
             next_invoke: 1,
@@ -548,6 +567,7 @@ impl Ipcp {
             peer_digests: None,
             tree: false,
         });
+        self.rebuild_peer_index();
         self.n1.len() - 1
     }
 
@@ -577,6 +597,17 @@ impl Ipcp {
         std::mem::take(&mut self.out)
     }
 
+    /// Like [`Ipcp::take_out`], but swaps the effects into a caller-owned
+    /// buffer so a hot flush loop recycles two allocations forever instead
+    /// of minting a fresh `Vec` per event.
+    pub fn take_out_into(&mut self, buf: &mut Vec<IpcpOut>) {
+        if self.cfg.flood_batch_ms == 0 {
+            self.flush_floods();
+        }
+        buf.clear();
+        std::mem::swap(&mut self.out, buf);
+    }
+
     /// Whether queued flood objects await the aggregation timer.
     pub fn flood_flush_wanted(&self) -> bool {
         !self.flood_q.is_empty()
@@ -588,9 +619,28 @@ impl Ipcp {
         self.flush_floods();
     }
 
-    /// Earliest EFCP timer deadline over all connections, with its cep.
-    pub fn conn_timer_wants(&self) -> Vec<(CepId, u64)> {
-        self.conns.iter().filter_map(|(&cep, f)| f.conn.poll_timeout().map(|t| (cep, t))).collect()
+    /// EFCP timer deadlines of the connections touched since the last
+    /// call, sorted by cep (the same relative order the old full-table
+    /// scan produced, so the node arms timers — and numbers timer tokens —
+    /// identically). Untouched connections cannot have moved their
+    /// deadline, and an unchanged deadline never re-arms, so skipping them
+    /// is behavior-preserving.
+    pub fn conn_timer_wants(&mut self) -> Vec<(CepId, u64)> {
+        if self.timer_dirty.is_empty() {
+            return Vec::new();
+        }
+        self.timer_dirty.sort_unstable();
+        self.timer_dirty.dedup();
+        let mut out = Vec::with_capacity(self.timer_dirty.len());
+        for &cep in &self.timer_dirty {
+            if let Some(f) = self.conns.get(&cep) {
+                if let Some(t) = f.conn.poll_timeout() {
+                    out.push((cep, t));
+                }
+            }
+        }
+        self.timer_dirty.clear();
+        out
     }
 
     /// Drive one connection's timers.
@@ -674,6 +724,9 @@ impl Ipcp {
                 }
                 self.out.push(IpcpOut::N1Expired { n1: i });
             }
+        }
+        if changed {
+            self.rebuild_peer_index();
         }
         if changed {
             // Adjacency *loss* is urgent: bypass the LSA debounce so
@@ -801,6 +854,7 @@ impl Ipcp {
                 // every historical enrollment edge flood rate-unlimited
                 // forever.
                 p.tree = false;
+                self.rebuild_peer_index();
                 // Loss bypasses the debounce (see `tick_hello`).
                 self.write_lsa_now();
             }
@@ -814,6 +868,7 @@ impl Ipcp {
             p.up = true;
             p.last_hello = now;
         }
+        self.rebuild_peer_index();
         self.send_hello(n1);
     }
 
@@ -1309,6 +1364,7 @@ impl Ipcp {
             // Sponsoring over this port makes it a spanning-tree edge.
             p.tree = true;
         }
+        self.rebuild_peer_index();
         let body = MgmtBody::EnrollResponse {
             addr: new_addr,
             block: new_block,
@@ -1695,6 +1751,7 @@ impl Ipcp {
             self.send_mgmt_addr(dst_addr, body, invoke, 0);
             return;
         }
+        self.timer_dirty.push(cep);
         self.conns.insert(
             cep,
             FlowState {
@@ -1766,6 +1823,7 @@ impl Ipcp {
             },
             cube.params.clone(),
         );
+        self.timer_dirty.push(cep);
         self.conns
             .insert(cep, FlowState { conn, port, phase: Phase::Active, peer: src_app.clone() });
         let body = MgmtBody::FlowResponse { dst_cep: cep, qos_id: cube.id };
@@ -1823,6 +1881,7 @@ impl Ipcp {
         );
         f.phase = Phase::Active;
         let (port, peer) = (f.port, f.peer.clone());
+        self.timer_dirty.push(cep);
         self.out.push(IpcpOut::FlowActive { port, peer });
     }
 
@@ -1915,7 +1974,27 @@ impl Ipcp {
         // riding this shim flow); plain writes class as the shim flow's
         // own cube.
         let class = class_hint.unwrap_or(TxClass::new(r.qos_id, r.priority));
-        let frame = pdu.encode();
+        // Wrap fast path: an SDU handed down by an upper IPC process
+        // (class_hint is Some exactly then) is an encoded frame ending in
+        // its own CRC trailer, so the outer trailer combines in O(1) from
+        // a header-only sum — no pass over the payload bytes. Application
+        // SDUs are opaque and take the full re-sum. Byte-identical output
+        // either way (pinned by proptest in rina-wire).
+        let frame = match (&pdu, class_hint) {
+            (Pdu::Data(d), Some(_)) if d.payload.len() >= 5 => {
+                let (body, tail) = d.payload.split_at(d.payload.len() - 4);
+                let mut b = [0u8; 4];
+                b.copy_from_slice(tail);
+                let trailer = u32::from_be_bytes(b);
+                debug_assert_eq!(
+                    trailer,
+                    rina_wire::crc::crc32(body),
+                    "TxLower SDU is not a CRC-trailed frame"
+                );
+                d.encode_with_payload_crc(rina_wire::crc::crc32_of_trailed(trailer))
+            }
+            _ => pdu.encode(),
+        };
         let Some(n1) = self.n1.iter().position(|p| p.up) else {
             return Err("link down");
         };
@@ -1930,6 +2009,43 @@ impl Ipcp {
             // Any traffic proves liveness.
             p.last_hello = now;
         }
+        // Relay fast path (cut-through): when the peeked destination is
+        // non-local and the TTL survives the hop, patch the TTL byte and
+        // CRC trailer in place and retransmit the same buffer — no decode,
+        // no allocation, no re-encode. Local delivery, shims, expiring
+        // TTLs, and frames the peek declines fall through to the full
+        // decode below; the peek validates a strict subset of what decode
+        // does (it trusts the CRC trailer — links lose frames but never
+        // corrupt them, and a corrupt frame is still caught by the
+        // terminal hop's full decode).
+        if !self.is_shim {
+            if let Some(v) = PduView::peek(&frame) {
+                if v.dest_addr != 0 && v.dest_addr != self.addr && v.ttl > 1 {
+                    self.relay_fast(v, frame);
+                    return;
+                }
+            }
+        } else if let Some(v) = PduView::peek(&frame) {
+            // Shim unwrap fast path: a shim delivers every data PDU
+            // locally — slice the payload straight out of the arrival
+            // buffer and hand it up, no decode, no Pdu construction. The
+            // outer CRC goes unverified here by the same trust argument as
+            // above: the wrapped frame carries its own trailer, checked at
+            // *its* terminal hop. Management PDUs (the shim flow
+            // handshake) and unknown/idle CEPs fall through to the full
+            // decode, which preserves the slow path's exact behavior.
+            if v.kind == PduKind::Data {
+                if let Some(cep) = v.dest_cep {
+                    if let Some(r) = self.raw.get(&cep) {
+                        if r.phase == Phase::Active {
+                            let sdu = frame.slice(v.payload_range(frame.len()));
+                            self.out.push(IpcpOut::Deliver { port: r.port, sdu });
+                            return;
+                        }
+                    }
+                }
+            }
+        }
         let pdu = match Pdu::decode(&frame) {
             Ok(p) => p,
             Err(_) => {
@@ -1938,6 +2054,60 @@ impl Ipcp {
             }
         };
         self.rmt_in(pdu, n1, now);
+    }
+
+    /// Zero-copy relay: decrement the TTL and fix the CRC trailer in the
+    /// arrival buffer itself (copy-on-write if it is shared, e.g. a flood
+    /// batch fanned out across ports), then hand the buffer straight to
+    /// the chosen (N-1) port.
+    fn relay_fast(&mut self, v: PduView, mut frame: Bytes) {
+        self.stats.relayed += 1;
+        let Some(n1) = self.pick_n1_toward(v.dest_addr) else {
+            self.stats.no_route += 1;
+            return;
+        };
+        self.stats.relay_fast += 1;
+        // peek guaranteed the layout: a parsed header before the TTL byte
+        // and a 4-byte big-endian CRC trailer behind it.
+        let body_len = frame.len() - 4;
+        let old_crc = {
+            let (_, tail) = frame.split_at(body_len);
+            let mut b = [0u8; 4];
+            b.copy_from_slice(tail);
+            u32::from_be_bytes(b)
+        };
+        let new_crc =
+            rina_wire::crc::crc32_patch(old_crc, body_len - 1 - v.ttl_offset, v.ttl, v.ttl - 1);
+        let buf = frame.make_mut();
+        let (body, tail) = buf.split_at_mut(body_len);
+        if let Some(t) = body.get_mut(v.ttl_offset) {
+            *t = v.ttl - 1;
+        }
+        tail.copy_from_slice(&new_crc.to_be_bytes());
+        let prio = self.cfg.cube(v.qos_id).map(|c| c.priority).unwrap_or(0);
+        self.tx_n1(n1, frame, TxClass::new(v.qos_id, prio));
+    }
+
+    /// RMT pressure feedback ([`DifConfig::cong_from_rmt`]): a local
+    /// port queue pushed out or tail-dropped `frame`. If it is a data
+    /// PDU of a flow *this* process originated, tell the owning EFCP
+    /// connection so it backs off now instead of waiting out the
+    /// retransmission timer. Transit flows dropped here are not
+    /// signalled (their senders are remote); they discover the loss end
+    /// to end.
+    pub fn on_rmt_drop(&mut self, frame: &Bytes, now: Time) {
+        if !self.cfg.cong_from_rmt {
+            return;
+        }
+        let Some(v) = PduView::peek(frame) else { return };
+        if v.kind != PduKind::Data || v.src_addr != self.addr {
+            return;
+        }
+        let Some(cep) = v.src_cep else { return };
+        if let Some(f) = self.conns.get_mut(&cep) {
+            f.conn.on_local_congestion(now.nanos());
+            self.timer_dirty.push(cep);
+        }
     }
 
     /// RMT input: deliver locally or relay.
@@ -1953,6 +2123,7 @@ impl Ipcp {
             return;
         }
         self.stats.relayed += 1;
+        self.stats.relay_slow += 1;
         self.forward(pdu, now);
     }
 
@@ -1981,16 +2152,29 @@ impl Ipcp {
     /// selection among live ports to the chosen next hop.
     fn pick_n1_toward(&self, dest: Addr) -> Option<usize> {
         // Direct adjacency short-circuit (also the only case for shims).
-        if let Some(i) = self.n1.iter().position(|p| p.up && p.peer_addr == dest) {
+        if let Some(&i) = self.peer_index.get(&dest) {
             return Some(i);
         }
         let hops = self.engine.table().route(dest)?;
-        for &hop in hops {
-            if let Some(i) = self.n1.iter().position(|p| p.up && p.peer_addr == hop) {
+        for hop in hops {
+            if let Some(&i) = self.peer_index.get(hop) {
                 return Some(i);
             }
         }
         None
+    }
+
+    /// Rebuild the `peer_addr → port` relay index. Called whenever a
+    /// port's liveness or peer address changes; ports without an enrolled
+    /// peer (address 0) are not indexed — address 0 is never a relay
+    /// destination or a next hop.
+    fn rebuild_peer_index(&mut self) {
+        self.peer_index.clear();
+        for (i, p) in self.n1.iter().enumerate() {
+            if p.up && p.peer_addr != 0 {
+                self.peer_index.entry(p.peer_addr).or_insert(i);
+            }
+        }
     }
 
     fn tx_n1(&mut self, n1: usize, frame: Bytes, class: TxClass) {
@@ -2032,6 +2216,7 @@ impl Ipcp {
     /// Pump one connection: route its outgoing PDUs, surface delivered
     /// SDUs, detect failure.
     fn pump_conn(&mut self, cep: CepId, now: Time) {
+        self.timer_dirty.push(cep);
         let Some(f) = self.conns.get_mut(&cep) else { return };
         let port = f.port;
         let mut pdus = Vec::new();
@@ -2119,6 +2304,7 @@ impl Ipcp {
                     }
                 }
                 if changed {
+                    self.rebuild_peer_index();
                     self.refresh_lsa(now);
                 }
                 if !self.is_shim && self.enrolled && addr != 0 {
@@ -2500,6 +2686,7 @@ impl Ipcp {
             s.ooo_pdus += c.ooo_pdus;
             s.acks_sent += c.acks_sent;
             s.rcv_dropped += c.rcv_dropped;
+            s.cong_backoffs += c.cong_backoffs;
         }
         s
     }
@@ -2570,6 +2757,50 @@ mod tests {
         s.make_shim(1);
         s.add_n1(N1Kind::Phys { iface: 0, mtu: 1500 });
         assert_eq!(s.dir_lookup(&AppName::new("anything")), Some(2));
+    }
+
+    #[test]
+    fn relay_fast_path_patches_ttl_in_place() {
+        let mut r = mk("net.r");
+        r.bootstrap(1);
+        r.add_n1(N1Kind::Phys { iface: 0, mtu: 1500 });
+        r.add_n1(N1Kind::Phys { iface: 1, mtu: 1500 });
+        r.n1[0].up = true;
+        r.n1[0].peer_addr = 2;
+        r.n1[1].up = true;
+        r.n1[1].peer_addr = 3;
+        r.rebuild_peer_index();
+        r.take_out();
+        let pdu = Pdu::Data(rina_wire::DataPdu {
+            dest_addr: 3,
+            src_addr: 2,
+            qos_id: 0,
+            dest_cep: 7,
+            src_cep: 9,
+            seq: 42,
+            flags: 0,
+            ttl: 4,
+            payload: Bytes::from_static(b"some payload"),
+        });
+        let original = pdu.encode();
+        r.on_frame(0, original.clone(), Time::ZERO);
+        assert_eq!(
+            (r.stats.relayed, r.stats.relay_fast, r.stats.relay_slow),
+            (1, 1, 0),
+            "a transit data PDU with ttl > 1 takes the fast path"
+        );
+        let out = r.take_out();
+        let [IpcpOut::TxPhys { n1, frame, .. }] = &out[..] else {
+            panic!("one forwarded frame expected, got {out:?}");
+        };
+        assert_eq!(*n1, 1, "forwarded toward the destination's port");
+        // The patched buffer is byte-identical to what the slow path
+        // (decode, decrement TTL, re-encode) would have produced.
+        let Pdu::Data(mut d) = Pdu::decode(&original).unwrap() else { unreachable!() };
+        d.ttl -= 1;
+        assert_eq!(frame.as_ref(), Pdu::Data(d).encode().as_ref());
+        // And the arriving buffer was not mutated in place (it is shared).
+        assert_eq!(Pdu::decode(&original).unwrap().ttl(), 4);
     }
 
     #[test]
@@ -3254,6 +3485,7 @@ mod tests {
         owner.add_n1(N1Kind::Phys { iface: 0, mtu: 1500 });
         owner.n1[0].up = true;
         owner.n1[0].peer_addr = 9; // the requester is a direct neighbor
+        owner.rebuild_peer_index();
         owner.dir_register(&AppName::new("web"));
         owner.take_out();
         let req = MgmtBody::DirLookupRequest { name: "/dir/web".into(), origin: 9, lookup_id: 3 }
@@ -3286,6 +3518,7 @@ mod tests {
         relay.n1[0].tree = true; // ingress
         relay.n1[1].tree = true; // the only forwarding target
         relay.n1[2].tree = false; // cross edge: lookups never ride it
+        relay.rebuild_peer_index();
         relay.take_out();
         let req = MgmtBody::DirLookupRequest { name: "/dir/web".into(), origin: 9, lookup_id: 1 }
             .encode(0, 0);
@@ -3307,6 +3540,7 @@ mod tests {
         a.n1[0].up = true;
         a.n1[0].peer_addr = 7; // owner is a direct tree neighbor
         a.n1[0].tree = true;
+        a.rebuild_peer_index();
         // The owner's member state is known DIF-wide (liveness guard).
         assert!(a.rib.apply_remote_silent(RibObject {
             name: block_name(7),
@@ -3382,6 +3616,7 @@ mod tests {
         a.n1[1].up = true;
         a.n1[1].peer_addr = 8;
         a.n1[1].tree = true;
+        a.rebuild_peer_index();
         assert!(a.rib.apply_remote_silent(RibObject {
             name: block_name(7),
             class: BLOCK_CLASS.into(),
@@ -3485,6 +3720,7 @@ mod tests {
         a.n1[0].up = true;
         a.n1[0].peer_addr = 2;
         a.n1[0].tree = true;
+        a.rebuild_peer_index();
         a.alloc_flow(10, AppName::new("c"), AppName::new("ghost"), QosSpec::reliable());
         a.take_out();
         let mut failed = None;
@@ -3546,6 +3782,7 @@ mod tests {
         a.add_n1(N1Kind::Phys { iface: 0, mtu: 1500 });
         a.n1[0].up = true;
         a.n1[0].peer_addr = 2;
+        a.rebuild_peer_index();
         a.write_lsa_now();
         a.take_out();
         let cur = a.rib.get(&Lsa::object_name(1)).expect("own LSA live");

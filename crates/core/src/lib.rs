@@ -87,6 +87,7 @@
 pub mod app;
 pub mod apps;
 pub mod dif;
+pub mod fxhash;
 pub mod ipcp;
 pub mod msg;
 pub mod naming;

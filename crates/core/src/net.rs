@@ -212,6 +212,7 @@ pub struct NetBuilder {
     shim_count: usize,
     shim_sched: crate::dif::SchedPolicy,
     shim_queue_cap: Option<usize>,
+    shim_cong_from_rmt: bool,
     enroll_schedule: EnrollSchedule,
 }
 
@@ -228,6 +229,7 @@ impl NetBuilder {
             shim_count: 0,
             shim_sched: crate::dif::SchedPolicy::Priority,
             shim_queue_cap: None,
+            shim_cong_from_rmt: false,
             enroll_schedule: EnrollSchedule::default(),
         }
     }
@@ -254,6 +256,14 @@ impl NetBuilder {
         self.shim_queue_cap = Some(bytes);
     }
 
+    /// Make shims created by subsequent [`NetBuilder::link`] calls report
+    /// queue push-outs and tail-drops back to the EFCP connections that
+    /// originated the victims ([`DifConfig::cong_from_rmt`]). Off by
+    /// default.
+    pub fn set_shim_cong_from_rmt(&mut self, on: bool) {
+        self.shim_cong_from_rmt = on;
+    }
+
     /// Add a machine.
     pub fn node(&mut self, name: &str) -> NodeH {
         let id = self.sim.add_node(Node::new(name));
@@ -273,7 +283,8 @@ impl NetBuilder {
         self.shim_count += 1;
         let mut shim_cfg = DifConfig::new(&format!("shim{shim_name}"))
             .with_cubes(crate::qos::QosCube::shim_set())
-            .with_sched(self.shim_sched);
+            .with_sched(self.shim_sched)
+            .with_cong_from_rmt(self.shim_cong_from_rmt);
         if let Some(cap) = self.shim_queue_cap {
             shim_cfg = shim_cfg.with_rmt_queue_cap_bytes(cap);
         }

@@ -15,6 +15,7 @@
 
 use crate::app::{AppProcess, FlowH, FlowOrigin, IpcApi, IpcError};
 use crate::dif::DifConfig;
+use crate::fxhash::FxBuild;
 use crate::ipcp::{Ipcp, IpcpOut, N1Kind};
 use crate::naming::{Addr, AppName};
 use crate::qos::QosSpec;
@@ -193,20 +194,23 @@ pub struct Node {
     pub name: String,
     apps: Vec<AppEntry>,
     ipcps: Vec<Ipcp>,
-    ports: HashMap<u64, PortState>,
+    ports: HashMap<u64, PortState, FxBuild>,
     next_port: u64,
-    timers: HashMap<u64, TimerKind>,
+    timers: HashMap<u64, TimerKind, FxBuild>,
     next_token: u64,
     workq: VecDeque<Work>,
-    ifmap: HashMap<u32, (usize, usize)>,
-    pace: HashMap<(usize, usize), Pace>,
+    ifmap: HashMap<u32, (usize, usize), FxBuild>,
+    pace: HashMap<(usize, usize), Pace, FxBuild>,
     plans: Vec<N1Plan>,
     /// Durable registration intents: application name → directory DIF.
     /// Applied when the ipcp (re-)enrolls and kept — a respawned IPC
     /// process must re-register its applications, not forget them.
     regs: Vec<(AppName, usize)>,
     dirty: BTreeSet<usize>,
-    armed_conn: HashMap<(usize, CepId), (u64, u64)>,
+    /// Recycled buffer for draining IPCP effect queues without a fresh
+    /// allocation per flush (the data plane flushes after every frame).
+    out_scratch: Vec<IpcpOut>,
+    armed_conn: HashMap<(usize, CepId), (u64, u64), FxBuild>,
     /// IPC processes with a route-recompute debounce timer in flight.
     routes_armed: BTreeSet<usize>,
     /// IPC processes with an LSA-flush debounce timer in flight.
@@ -224,17 +228,18 @@ impl Node {
             name: name.to_string(),
             apps: Vec::new(),
             ipcps: Vec::new(),
-            ports: HashMap::new(),
+            ports: HashMap::default(),
             next_port: 1,
-            timers: HashMap::new(),
+            timers: HashMap::default(),
             next_token: 1,
             workq: VecDeque::new(),
-            ifmap: HashMap::new(),
-            pace: HashMap::new(),
+            ifmap: HashMap::default(),
+            pace: HashMap::default(),
             plans: Vec::new(),
             regs: Vec::new(),
             dirty: BTreeSet::new(),
-            armed_conn: HashMap::new(),
+            out_scratch: Vec::new(),
+            armed_conn: HashMap::default(),
             routes_armed: BTreeSet::new(),
             lsa_armed: BTreeSet::new(),
             flood_armed: BTreeSet::new(),
@@ -280,7 +285,8 @@ impl Node {
         // wire-queue-sized cap would tail-drop with no repair path for
         // distant objects.
         let c = &self.ipcps[idx].cfg;
-        let queue = RmtQueue::for_cubes(c.sched, c.rmt_queue_cap_bytes, &c.cubes);
+        let mut queue = RmtQueue::for_cubes(c.sched, c.rmt_queue_cap_bytes, &c.cubes);
+        queue.set_collect_dropped(c.cong_from_rmt);
         self.pace
             .insert((idx, n1), Pace { queue, busy_until: Time::ZERO, iface, timer_armed: false });
         idx
@@ -515,12 +521,16 @@ impl Node {
         if i == usize::MAX {
             return;
         }
+        // Recycled drain buffer: flush_ipcp never re-enters itself (effects
+        // either go to the workq or straight to the pace queues), so one
+        // scratch Vec serves every flush with zero steady-state allocation.
+        let mut effs = std::mem::take(&mut self.out_scratch);
         loop {
-            let effs = self.ipcps[i].take_out();
+            self.ipcps[i].take_out_into(&mut effs);
             if effs.is_empty() {
                 break;
             }
-            for e in effs {
+            for e in effs.drain(..) {
                 match e {
                     IpcpOut::TxPhys { n1, frame, class } => {
                         self.pace_push(i, n1, frame, class, ctx);
@@ -571,6 +581,7 @@ impl Node {
                 }
             }
         }
+        self.out_scratch = effs;
         self.dirty.insert(i);
     }
 
@@ -580,6 +591,27 @@ impl Node {
             return;
         };
         p.queue.push(class, frame, now_ns);
+        let dropped = p.queue.take_dropped();
+        if !dropped.is_empty() {
+            // RMT→EFCP coupling (DifConfig::cong_from_rmt): the queue
+            // retained its push-out/tail-drop victims. Each is a shim
+            // frame whose payload is an upper-DIF PDU — unwrap one level
+            // and let every upper IPC process on this node check whether
+            // it originated the flow that just lost a frame locally.
+            let now = ctx.now();
+            for f in dropped {
+                let Some(v) = rina_wire::PduView::peek(&f) else { continue };
+                if v.kind != rina_wire::PduKind::Data || f.len() < 4 + v.ttl_offset + 1 {
+                    continue;
+                }
+                let inner = f.slice(v.ttl_offset + 1..f.len() - 4);
+                for p in &mut self.ipcps {
+                    if !p.is_shim {
+                        p.on_rmt_drop(&inner, now);
+                    }
+                }
+            }
+        }
         self.pace_kick(i, n1, ctx);
     }
 
@@ -793,9 +825,10 @@ impl Node {
                 }
             }
         }
-        // Re-sync EFCP timers for every touched ipcp.
-        let dirty: Vec<usize> = std::mem::take(&mut self.dirty).into_iter().collect();
-        for i in dirty {
+        // Re-sync EFCP timers for every touched ipcp. Nothing in the loop
+        // body re-marks an ipcp dirty, so popping in ascending order visits
+        // exactly the set the old take-and-collect walk did.
+        while let Some(i) = self.dirty.pop_first() {
             if self.ipcps[i].routes_dirty() && self.routes_armed.insert(i) {
                 // Debounce window from the DIF's policy bundle: a burst
                 // of flooded LSAs costs one SPF repair, not one per

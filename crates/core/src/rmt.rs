@@ -155,10 +155,22 @@ pub struct RmtQueue {
     bytes: usize,
     cap_bytes: usize,
     next_seq: u64,
+    /// Bitmask of non-empty lanes, maintained at every enqueue/dequeue/
+    /// evict. Lets [`RmtQueue::pop`] skip the 8-lane head scan in the two
+    /// overwhelmingly common states — empty, and exactly one busy lane —
+    /// where every scan's answer is forced.
+    occupied: u8,
     /// `Wrr` round-robin cursor.
     rr: usize,
     /// `Wrr` per-lane deficit, bytes.
     deficit: [u64; LANES],
+    /// When set ([`DifConfig::cong_from_rmt`]), frames lost to push-out
+    /// or tail-drop are retained for the node to feed back to EFCP
+    /// instead of being discarded silently; drained by
+    /// [`RmtQueue::take_dropped`]. Counters are identical either way.
+    collect_dropped: bool,
+    /// Retained victims (empty unless `collect_dropped`).
+    dropped: Vec<Bytes>,
 }
 
 impl RmtQueue {
@@ -173,9 +185,24 @@ impl RmtQueue {
             bytes: 0,
             cap_bytes,
             next_seq: 0,
+            occupied: 0,
             rr: 0,
             deficit: [0; LANES],
+            collect_dropped: false,
+            dropped: Vec::new(),
         }
+    }
+
+    /// Enable or disable victim retention for congestion feedback (see
+    /// [`RmtQueue::take_dropped`]).
+    pub fn set_collect_dropped(&mut self, on: bool) {
+        self.collect_dropped = on;
+    }
+
+    /// Drain the frames lost to push-out or tail-drop since the last
+    /// call. Always empty unless retention was enabled.
+    pub fn take_dropped(&mut self) -> Vec<Bytes> {
+        std::mem::take(&mut self.dropped)
     }
 
     /// A queue whose lane table mirrors a DIF's cube set: each cube's id
@@ -212,6 +239,9 @@ impl RmtQueue {
         if self.bytes + len > self.cap_bytes {
             self.stats[l].drops += 1;
             self.stats[l].drop_bytes += len as u64;
+            if self.collect_dropped {
+                self.dropped.push(frame);
+            }
             return false;
         }
         self.bytes += len;
@@ -222,6 +252,7 @@ impl RmtQueue {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.lanes[l].push_back(Entry { seq, priority: class.priority, enq_ns: now_ns, frame });
+        self.occupied |= 1 << l;
         true
     }
 
@@ -249,8 +280,14 @@ impl RmtQueue {
         self.lane_bytes[l] -= len as u64;
         self.stats[l].evict += 1;
         self.stats[l].evict_bytes += len as u64;
-        if self.policy == SchedPolicy::Wrr && self.lanes[l].is_empty() {
-            self.deficit[l] = 0;
+        if self.collect_dropped {
+            self.dropped.push(e.frame);
+        }
+        if self.lanes[l].is_empty() {
+            self.occupied &= !(1 << l);
+            if self.policy == SchedPolicy::Wrr {
+                self.deficit[l] = 0;
+            }
         }
         true
     }
@@ -258,10 +295,22 @@ impl RmtQueue {
     /// Dequeue the next frame per the scheduling policy, recording its
     /// queueing delay against its lane.
     pub fn pop(&mut self, now_ns: u64) -> Option<Bytes> {
-        let l = match self.policy {
-            SchedPolicy::Fifo => self.pick_fifo()?,
-            SchedPolicy::Priority => self.pick_priority()?,
-            SchedPolicy::Wrr => self.pick_wrr()?,
+        if self.occupied == 0 {
+            // All policies answer None on an empty queue without touching
+            // scheduler state, so skipping the pick entirely is exact.
+            return None;
+        }
+        let l = if self.occupied.count_ones() == 1 && self.policy != SchedPolicy::Wrr {
+            // One busy lane: `Fifo` and `Priority` pick over a single
+            // candidate, so the scan's answer is forced. `Wrr` must still
+            // run its pick — the cursor walk accrues per-round credit.
+            self.occupied.trailing_zeros() as usize
+        } else {
+            match self.policy {
+                SchedPolicy::Fifo => self.pick_fifo()?,
+                SchedPolicy::Priority => self.pick_priority()?,
+                SchedPolicy::Wrr => self.pick_wrr()?,
+            }
         };
         let e = self.lanes[l].pop_front()?;
         let len = e.frame.len() as u64;
@@ -270,6 +319,9 @@ impl RmtQueue {
         self.stats[l].deq += 1;
         self.stats[l].deq_bytes += len;
         self.stats[l].lat_ns_sum += now_ns.saturating_sub(e.enq_ns);
+        if self.lanes[l].is_empty() {
+            self.occupied &= !(1 << l);
+        }
         if self.policy == SchedPolicy::Wrr {
             self.deficit[l] = self.deficit[l].saturating_sub(len);
             if self.lanes[l].is_empty() {

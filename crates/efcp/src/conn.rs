@@ -54,6 +54,9 @@ pub struct ConnStats {
     pub acks_sent: u64,
     /// SDUs (or fragments) dropped by the receiver in unreliable modes.
     pub rcv_dropped: u64,
+    /// Window halvings triggered by local RMT pressure
+    /// (`DifConfig::cong_from_rmt`), at most one per RTT.
+    pub cong_backoffs: u64,
 }
 
 #[derive(Clone, Debug)]
@@ -121,6 +124,8 @@ pub struct Connection {
 
     outq: VecDeque<Pdu>,
     stats: ConnStats,
+    /// Last time local RMT pressure halved the window (once-per-RTT guard).
+    last_cong_ns: Option<u64>,
 }
 
 impl Connection {
@@ -151,12 +156,31 @@ impl Connection {
             last_nacked: None,
             outq: VecDeque::new(),
             stats: ConnStats::default(),
+            last_cong_ns: None,
         }
     }
 
     /// The connection's addressing.
     pub fn id(&self) -> ConnId {
         self.id
+    }
+
+    /// Local RMT pressure signal: a PDU of this flow was pushed out of (or
+    /// tail-dropped at) a queue on this node. Halve the window like a fast
+    /// retransmit would — the loss is certain, no need to wait for the
+    /// retransmission timer — but at most once per RTT so a burst of drops
+    /// from a single overload event does not collapse the window to nothing.
+    /// With no RTT estimator on the connection, the retransmission timeout
+    /// stands in for the RTT.
+    pub fn on_local_congestion(&mut self, now_ns: u64) {
+        if let Some(last) = self.last_cong_ns {
+            if now_ns.saturating_sub(last) < self.p.rtx_timeout_ns {
+                return;
+            }
+        }
+        self.last_cong_ns = Some(now_ns);
+        self.cong.on_fast_retransmit();
+        self.stats.cong_backoffs += 1;
     }
 
     /// Rebind the peer address — the late binding that makes multihoming
@@ -599,6 +623,23 @@ mod tests {
 
     fn drain(b: &mut Connection) -> Vec<Bytes> {
         std::iter::from_fn(|| b.poll_deliver()).collect()
+    }
+
+    #[test]
+    fn local_congestion_backs_off_at_most_once_per_rtt() {
+        let p = ConnParams::reliable().with_rtx_timeout_ns(1_000_000);
+        let (mut a, _b) = pair(p);
+        let before = a.cong.window();
+        // A burst of drops from one overload event counts once.
+        a.on_local_congestion(10);
+        a.on_local_congestion(20);
+        a.on_local_congestion(999_000);
+        assert_eq!(a.stats().cong_backoffs, 1);
+        let after = a.cong.window();
+        assert!(after <= before, "window never grows on a congestion signal");
+        // After an RTT the signal is armed again.
+        a.on_local_congestion(1_000_010);
+        assert_eq!(a.stats().cong_backoffs, 2);
     }
 
     #[test]

@@ -19,6 +19,16 @@
 //!   `match` scrutinee or bound to a name that is only compared/matched.
 //! * Ops inside a loop are tracked as `op@loop` so a looped field can't
 //!   pair with a straight-line one.
+//!
+//! Besides the pairwise comparison, W1 polices the *read-side surface*:
+//! a fn with a recognized read name (`decode`, `decode_from`,
+//! `from_cdap`) and no write-side counterpart on the same impl is
+//! flagged — a one-sided walker silently drifts from the encoder. The
+//! one sanctioned shape of unpaired reader is the **read-only peek**: a
+//! fn named `peek` on a `*View` type (e.g. `PduView::peek`), which by
+//! contract reads a strict subset of the frame and is pinned to the
+//! paired `decode` by proptest instead of by this rule. A `peek` on any
+//! other type, or a `*View::peek` that grows `Writer` ops, is flagged.
 
 use crate::lexer::{Tok, Token};
 use crate::parse::{find_fns, find_matches, matching_close, FnItem};
@@ -62,8 +72,64 @@ pub fn check_w1(file: &str, toks: &[Token]) -> Vec<Finding> {
             };
             compare_pair(file, toks, ef, df, &mut out);
         }
+        // Read-side surface: a recognized read name with no write-side
+        // counterpart on the same impl is a one-sided walker.
+        for df in fns.iter().filter(|f| f.name == *dname && !f.impl_type.is_empty()) {
+            if fns.iter().any(|f| f.name == *ename && f.impl_type == df.impl_type) {
+                continue;
+            }
+            out.push(Finding {
+                rule: "W1",
+                file: file.to_string(),
+                line: df.line,
+                key: format!("W1|{file}|{}::{}|unpaired-read", df.impl_type, df.name),
+                msg: format!(
+                    "{}::{} reads the wire format with no paired {} on the same impl — \
+                     one-sided walkers drift silently from the encoder",
+                    df.impl_type, df.name, ename
+                ),
+            });
+        }
     }
+    check_peeks(file, toks, &fns, &mut out);
     out
+}
+
+/// The sanctioned unpaired reader: `peek` on a `*View` type is a
+/// declared read-only walk (pinned to the paired `decode` by proptest),
+/// so it needs no write-side counterpart — but it must *stay* read-only,
+/// and the shape is reserved for `*View` types so the contract is
+/// visible at the call site.
+fn check_peeks(file: &str, toks: &[Token], fns: &[FnItem], out: &mut Vec<Finding>) {
+    for f in fns.iter().filter(|f| f.name == "peek" && !f.impl_type.is_empty()) {
+        if !f.impl_type.ends_with("View") {
+            out.push(Finding {
+                rule: "W1",
+                file: file.to_string(),
+                line: f.line,
+                key: format!("W1|{file}|{}::peek|peek-on-non-view", f.impl_type),
+                msg: format!(
+                    "{}::peek walks the wire format on a type not named *View — either pair \
+                     it with an encoder or move it to a read-only view type",
+                    f.impl_type
+                ),
+            });
+            continue;
+        }
+        if (f.body.0..f.body.1).any(|i| toks[i].is_ident("Writer")) {
+            out.push(Finding {
+                rule: "W1",
+                file: file.to_string(),
+                line: f.line,
+                key: format!("W1|{file}|{}::peek|peek-writes", f.impl_type),
+                msg: format!(
+                    "{}::peek constructs a Writer — a peek is read-only by contract; a \
+                     read/write walker needs the paired encode/decode treatment",
+                    f.impl_type
+                ),
+            });
+        }
+    }
 }
 
 fn compare_pair(file: &str, toks: &[Token], ef: &FnItem, df: &FnItem, out: &mut Vec<Finding>) {
@@ -578,5 +644,67 @@ mod tests {
             }
         "#;
         assert!(w1(src).is_empty());
+    }
+
+    #[test]
+    fn unpaired_decode_fires() {
+        let src = r#"
+            impl OnlyDec {
+                fn decode(buf: &[u8]) -> Result<OnlyDec, E> {
+                    let mut r = Reader::new(buf);
+                    Ok(OnlyDec { id: r.varint()? })
+                }
+            }
+        "#;
+        let fs = w1(src);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert!(fs[0].key.contains("unpaired-read"), "{}", fs[0].key);
+    }
+
+    #[test]
+    fn view_peek_is_a_sanctioned_unpaired_reader() {
+        let src = r#"
+            impl FrameView {
+                pub fn peek(frame: &[u8]) -> Option<FrameView> {
+                    let mut r = Reader::new(frame);
+                    let kind = r.u8().ok()?;
+                    let dest = r.varint().ok()?;
+                    Some(FrameView { kind, dest })
+                }
+            }
+        "#;
+        assert!(w1(src).is_empty(), "{:?}", w1(src));
+    }
+
+    #[test]
+    fn peek_on_non_view_type_fires() {
+        let src = r#"
+            impl Frame {
+                pub fn peek(frame: &[u8]) -> Option<u8> {
+                    let mut r = Reader::new(frame);
+                    r.u8().ok()
+                }
+            }
+        "#;
+        let fs = w1(src);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert!(fs[0].key.contains("peek-on-non-view"), "{}", fs[0].key);
+    }
+
+    #[test]
+    fn writing_peek_fires() {
+        let src = r#"
+            impl FrameView {
+                pub fn peek(frame: &[u8]) -> Bytes {
+                    let mut r = Reader::new(frame);
+                    let mut w = Writer::new();
+                    w.u8(r.u8().unwrap_or(0));
+                    w.finish()
+                }
+            }
+        "#;
+        let fs = w1(src);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert!(fs[0].key.contains("peek-writes"), "{}", fs[0].key);
     }
 }

@@ -42,6 +42,19 @@ fn w1_fires_on_missing_read_and_accepts_symmetric_codec() {
 }
 
 #[test]
+fn w1_read_side_surface_fires_and_accepts_view_peek() {
+    let bad = wire::check_w1("w1_peek_bad.rs", &toks(include_str!("fixtures/w1_peek_bad.rs")));
+    let keys: Vec<&str> = bad.iter().map(|f| f.key.as_str()).collect();
+    assert!(keys.iter().any(|k| k.contains("Frame::peek|peek-on-non-view")), "{keys:?}");
+    assert!(keys.iter().any(|k| k.contains("OnlyDec::decode|unpaired-read")), "{keys:?}");
+    assert!(keys.iter().any(|k| k.contains("PatchView::peek|peek-writes")), "{keys:?}");
+    assert_eq!(bad.len(), 3, "{keys:?}");
+
+    let ok = wire::check_w1("w1_peek_ok.rs", &toks(include_str!("fixtures/w1_peek_ok.rs")));
+    assert!(ok.is_empty(), "read-only *View peek flagged: {ok:?}");
+}
+
+#[test]
 fn r1_fires_on_each_panic_kind_and_accepts_error_returns() {
     let bad = panics::check_r1("r1_bad.rs", &toks(include_str!("fixtures/r1_bad.rs")));
     let kinds: Vec<&str> =

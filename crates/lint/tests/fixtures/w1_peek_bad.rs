@@ -1,0 +1,34 @@
+//! W1 fixture: read-side surface violations. `Frame::peek` walks the
+//! wire format on a type not named `*View`; `OnlyDec::decode` has no
+//! paired encode on its impl; `PatchView::peek` grows a `Writer`.
+
+pub struct Frame;
+
+impl Frame {
+    pub fn peek(frame: &[u8]) -> Option<u8> {
+        let mut r = Reader::new(frame);
+        r.u8().ok()
+    }
+}
+
+pub struct OnlyDec {
+    pub id: u64,
+}
+
+impl OnlyDec {
+    pub fn decode(buf: &[u8]) -> Result<OnlyDec, Err> {
+        let mut r = Reader::new(buf);
+        Ok(OnlyDec { id: r.varint()? })
+    }
+}
+
+pub struct PatchView;
+
+impl PatchView {
+    pub fn peek(frame: &[u8]) -> Bytes {
+        let mut r = Reader::new(frame);
+        let mut w = Writer::new();
+        w.u8(r.u8().unwrap_or(0));
+        w.finish()
+    }
+}

@@ -1,0 +1,19 @@
+//! W1 fixture (negative): a read-only peek on a `*View` type — the
+//! sanctioned unpaired reader (the `PduView::peek` shape). No paired
+//! encode exists, and none is required.
+
+pub struct FrameView {
+    pub kind: u8,
+    pub dest: u64,
+    pub ttl_offset: usize,
+}
+
+impl FrameView {
+    pub fn peek(frame: &[u8]) -> Option<FrameView> {
+        let mut r = Reader::new(frame);
+        let kind = r.u8().ok()?;
+        let dest = r.varint().ok()?;
+        let ttl_offset = frame.len() - r.remaining();
+        Some(FrameView { kind, dest, ttl_offset })
+    }
+}

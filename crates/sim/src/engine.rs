@@ -107,7 +107,6 @@ impl<T: Agent> AnyAgent for T {
 enum EvKind {
     Start { node: u32 },
     Deliver { node: u32, iface: u32, data: Bytes },
-    TxDone { link: u32, dir: u8, len: usize },
     Timer { node: u32, key: u64 },
 }
 
@@ -138,6 +137,10 @@ impl Ord for Entry {
 pub(crate) struct World {
     time: Time,
     seq: u64,
+    /// Sequence number of the event currently being dispatched. Transmit
+    /// completions strictly before `(time, cur_seq)` are the ones a
+    /// heap-driven TxDone would already have retired.
+    cur_seq: u64,
     heap: BinaryHeap<Reverse<Entry>>,
     links: Vec<Link>,
     /// Per node: (link index, side) for each interface.
@@ -170,6 +173,19 @@ impl World {
             return Err(SendError::LinkDown);
         }
         let d = &mut link.dir[side as usize];
+        // Retire completed transmissions before the capacity check. An
+        // entry is complete iff its `(tx done, seq)` precedes the event
+        // being dispatched — exactly the set a TxDone heap event would
+        // already have processed, so the occupancy seen here is identical
+        // while the heap handles one event per frame fewer.
+        while let Some(&(t, s, l)) = d.inflight.front() {
+            if (t, s) < (now, self.cur_seq) {
+                d.inflight.pop_front();
+                d.queued_bytes = d.queued_bytes.saturating_sub(l);
+            } else {
+                break;
+            }
+        }
         if d.queued_bytes + len > link.cfg.queue_bytes {
             d.drops_overflow += 1;
             self.tracer.record(|| TraceEvent {
@@ -201,7 +217,13 @@ impl World {
             iface: iface.0,
             len,
         });
-        self.push(tx_done, EvKind::TxDone { link: lidx, dir: side, len });
+        // Record the completion in the ledger instead of pushing a TxDone
+        // heap event — but still consume a sequence number, so every later
+        // event gets the same seq (and thus the same tie-break order) as it
+        // would have with the event in the heap.
+        let tx_seq = self.seq;
+        self.seq += 1;
+        self.links[lidx as usize].dir[side as usize].inflight.push_back((tx_done, tx_seq, len));
         if !lost {
             self.push(deliver_at, EvKind::Deliver { node: peer_node, iface: peer_iface, data });
         }
@@ -314,6 +336,7 @@ impl Sim {
             world: World {
                 time: Time::ZERO,
                 seq: 0,
+                cur_seq: 0,
                 heap: BinaryHeap::new(),
                 links: Vec::new(),
                 ifaces: Vec::new(),
@@ -436,11 +459,8 @@ impl Sim {
         };
         debug_assert!(e.time >= self.world.time, "time went backwards");
         self.world.time = e.time;
+        self.world.cur_seq = e.seq;
         match e.kind {
-            EvKind::TxDone { link, dir, len } => {
-                let d = &mut self.world.links[link as usize].dir[dir as usize];
-                d.queued_bytes = d.queued_bytes.saturating_sub(len);
-            }
             EvKind::Start { node } => self.dispatch(node, Event::Start),
             EvKind::Timer { node, key } => self.dispatch(node, Event::Timer { key }),
             EvKind::Deliver { node, iface, data } => {

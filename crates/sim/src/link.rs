@@ -156,8 +156,14 @@ impl Default for LinkCfg {
 pub(crate) struct DirState {
     /// Instant at which the transmitter becomes free.
     pub busy_until: Time,
-    /// Bytes currently queued or being serialized.
+    /// Bytes currently queued or being serialized. Kept lazily: in-flight
+    /// transmissions are retired from [`Self::inflight`] on the next send
+    /// over this direction, not by a heap event at their completion instant.
     pub queued_bytes: usize,
+    /// Completion ledger for queued transmissions: `(tx done, event seq,
+    /// len)`, lexicographically nondecreasing (serialization finishes in
+    /// submission order and seq is globally increasing).
+    pub inflight: std::collections::VecDeque<(Time, u64, usize)>,
     /// Loss-channel state.
     pub loss: LossState,
     /// Frames dropped due to queue overflow.

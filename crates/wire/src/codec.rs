@@ -103,6 +103,14 @@ impl Writer {
         self.buf.extend_from_slice(&c.to_be_bytes());
         Bytes::from(self.buf)
     }
+    /// Finish with a caller-supplied CRC-32 trailer. For callers that
+    /// derived the sum incrementally (e.g. [`crate::crc::crc32_combine`]);
+    /// the value must equal `crc32` of everything written or the frame
+    /// will not verify.
+    pub fn finish_with_crc_value(mut self, c: u32) -> Bytes {
+        self.buf.extend_from_slice(&c.to_be_bytes());
+        Bytes::from(self.buf)
+    }
 }
 
 /// Borrowing decoder over a byte slice.

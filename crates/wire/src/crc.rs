@@ -38,6 +38,116 @@ fn tables() -> &'static [[u32; 256]; 8] {
     })
 }
 
+/// A 32×32 GF(2) linear operator on CRC registers; column `j` is the image
+/// of bit `j`.
+type Gf2Op = [u32; 32];
+
+fn gf2_apply(m: &Gf2Op, mut v: u32) -> u32 {
+    let mut r = 0u32;
+    let mut j = 0usize;
+    while v != 0 {
+        if v & 1 != 0 {
+            r ^= m[j];
+        }
+        v >>= 1;
+        j += 1;
+    }
+    r
+}
+
+/// Number of precomputed doubling operators; supports patch distances up to
+/// `2^48 - 1` bytes, far beyond any frame the codec can produce.
+const ZERO_OPS: usize = 48;
+
+/// Lazily built operators: `ops[k]` advances a CRC *difference* register
+/// across `2^k` zero bytes — i.e. multiplication by `x^(8·2^k) mod P` in the
+/// reflected representation. Built once by matrix squaring of the one-byte
+/// step `v → (v >> 8) ^ t0[v & 0xFF]`.
+fn zero_ops() -> &'static [Gf2Op; ZERO_OPS] {
+    use std::sync::OnceLock;
+    static OPS: OnceLock<[Gf2Op; ZERO_OPS]> = OnceLock::new();
+    OPS.get_or_init(|| {
+        let t0 = &tables()[0];
+        let mut ops = [[0u32; 32]; ZERO_OPS];
+        for (j, col) in ops[0].iter_mut().enumerate() {
+            let v = 1u32 << j;
+            *col = (v >> 8) ^ t0[(v & 0xFF) as usize];
+        }
+        for k in 1..ZERO_OPS {
+            let prev = ops[k - 1];
+            for j in 0..32 {
+                ops[k][j] = gf2_apply(&prev, prev[j]);
+            }
+        }
+        ops
+    })
+}
+
+/// Patch a CRC-32 for a single changed byte without re-summing the message.
+///
+/// `old_crc` is the CRC of the original message; the byte at distance
+/// `dist_from_end` from the message's last byte (0 = the final byte itself)
+/// changed from `old_byte` to `new_byte`. Returns the CRC of the patched
+/// message.
+///
+/// Why this works: the per-byte register update `r → (r >> 8) ^ t0[(r ^ b)
+/// & 0xFF]` is GF(2)-linear jointly in register and data byte, so the
+/// *difference* between the two runs' registers is zero until the patched
+/// byte, becomes `t0[old ^ new]` there, and then evolves through the
+/// remaining `d` bytes exactly as if they were zeros:
+/// `new_crc = old_crc ^ x^(8d)·t0[old ^ new] mod P`. The init/xorout
+/// constants cancel in the XOR. The zero-byte advance runs in
+/// `O(popcount(d))` operator applications via the precomputed doubling
+/// table, so patching a frame costs the same whether it is 10 bytes or a
+/// megabyte.
+pub fn crc32_patch(old_crc: u32, dist_from_end: usize, old_byte: u8, new_byte: u8) -> u32 {
+    old_crc ^ zero_advance(tables()[0][(old_byte ^ new_byte) as usize], dist_from_end)
+}
+
+/// Advance a raw CRC register across `len` zero bytes — multiplication by
+/// `x^(8·len) mod P` in the reflected representation, `O(popcount(len))`
+/// operator applications via the doubling table.
+fn zero_advance(mut v: u32, len: usize) -> u32 {
+    let ops = zero_ops();
+    let mut d = len;
+    let mut k = 0usize;
+    while d != 0 && k < ZERO_OPS {
+        if d & 1 != 0 {
+            v = gf2_apply(&ops[k], v);
+        }
+        d >>= 1;
+        k += 1;
+    }
+    v
+}
+
+/// CRC-32 of a concatenation from the parts' CRCs, without touching the
+/// bytes: `crc32(A ‖ B) = x^(8·|B|)·crc32(A) ⊕ crc32(B) mod P`.
+///
+/// Why the init/xorout conditioning needs no correction term: with
+/// `F(D, i)` the raw register after feeding `D` from initial register `i`,
+/// linearity gives `F(B, i) = F(B, 0) ⊕ x^(8·|B|)·i`. Expanding
+/// `crc(A‖B) = F(B, F(A, i₀)) ⊕ x₀` and substituting the same identity for
+/// `crc(B)` makes both the `i₀` and `x₀` constants cancel in the XOR.
+pub fn crc32_combine(crc_a: u32, crc_b: u32, len_b: usize) -> u32 {
+    zero_advance(crc_a, len_b) ^ crc_b
+}
+
+/// CRC-32 of a self-checksummed frame `body ‖ crc32(body).to_be_bytes()`,
+/// given only its trailer value — O(1), four table steps.
+///
+/// Un-finalizing the trailer (`⊕ 0xFFFF_FFFF`) recovers the register state
+/// the summer held after `body`'s last byte; feeding the four trailer bytes
+/// from there continues the very computation that produced them.
+pub fn crc32_of_trailed(trailer: u32) -> u32 {
+    let t = &tables()[0];
+    let mut c = trailer ^ 0xFFFF_FFFF;
+    for b in trailer.to_be_bytes() {
+        c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
 /// Compute the CRC-32 of `data`.
 pub fn crc32(data: &[u8]) -> u32 {
     let t = tables();
@@ -89,6 +199,91 @@ mod tests {
         let buf: Vec<u8> = (0..64u32).map(|i| (i.wrapping_mul(167) ^ 0x5A) as u8).collect();
         for len in 0..=buf.len() {
             assert_eq!(crc32(&buf[..len]), reference(&buf[..len]), "len {len}");
+        }
+    }
+
+    /// Deterministic non-repeating filler.
+    fn filler(len: usize) -> Vec<u8> {
+        (0..len as u32).map(|i| (i.wrapping_mul(167) ^ (i >> 8) ^ 0x5A) as u8).collect()
+    }
+
+    #[test]
+    fn patch_matches_full_resum_every_offset() {
+        // Every offset of every length up to 80 pins the patch kernel
+        // bitwise-identical to a full re-sum, for two different new values.
+        for len in 1..=80usize {
+            let orig = filler(len);
+            let base = crc32(&orig);
+            for off in 0..len {
+                let d = len - 1 - off;
+                for new in [orig[off] ^ 0xFF, orig[off].wrapping_add(1)] {
+                    let mut patched = orig.clone();
+                    patched[off] = new;
+                    assert_eq!(
+                        crc32_patch(base, d, orig[off], new),
+                        crc32(&patched),
+                        "len {len} off {off} new {new:#x}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn patch_matches_full_resum_large_distances() {
+        // Large messages exercise the high doubling operators.
+        for len in [1_000usize, 4_099, 70_001] {
+            let orig = filler(len);
+            let base = crc32(&orig);
+            for off in [0, 1, len / 3, len / 2, len - 2, len - 1] {
+                let mut patched = orig.clone();
+                patched[off] ^= 0xA5;
+                assert_eq!(
+                    crc32_patch(base, len - 1 - off, orig[off], patched[off]),
+                    crc32(&patched),
+                    "len {len} off {off}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn patch_same_byte_is_identity() {
+        let orig = filler(37);
+        let base = crc32(&orig);
+        for off in 0..orig.len() {
+            assert_eq!(crc32_patch(base, orig.len() - 1 - off, orig[off], orig[off]), base);
+        }
+    }
+
+    #[test]
+    fn combine_matches_full_sum_every_split() {
+        // Every split point of several lengths pins crc32_combine
+        // bitwise-identical to summing the concatenation directly.
+        for len in [0usize, 1, 7, 8, 9, 64, 257, 1_400] {
+            let buf = filler(len);
+            let whole = crc32(&buf);
+            for split in 0..=len {
+                let (a, b) = buf.split_at(split);
+                assert_eq!(
+                    crc32_combine(crc32(a), crc32(b), b.len()),
+                    whole,
+                    "len {len} split {split}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailed_matches_full_sum() {
+        // A frame that ends in its own big-endian CRC trailer: the O(1)
+        // resume from the trailer equals summing the whole frame.
+        for len in [1usize, 5, 37, 360, 1_400] {
+            let body = filler(len);
+            let trailer = crc32(&body);
+            let mut frame = body;
+            frame.extend_from_slice(&trailer.to_be_bytes());
+            assert_eq!(crc32_of_trailed(trailer), crc32(&frame), "len {len}");
         }
     }
 

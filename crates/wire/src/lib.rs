@@ -26,5 +26,5 @@ pub mod efcp;
 mod error;
 
 pub use cdap::{CdapMsg, OpCode, RES_OK};
-pub use efcp::{Addr, CepId, CtrlKind, CtrlPdu, DataPdu, MgmtPdu, Pdu, SeqNum};
+pub use efcp::{Addr, CepId, CtrlKind, CtrlPdu, DataPdu, MgmtPdu, Pdu, PduKind, PduView, SeqNum};
 pub use error::WireError;
